@@ -1,0 +1,88 @@
+// E10 — Equalizer ablation under spatial correlation (Fig. reconstruction):
+// how ZF / MMSE / ML degrade as the antennas become correlated and the
+// channel matrix ill-conditioned.
+//
+// Expected shape: on i.i.d. channels the three are close; as correlation
+// grows, ZF collapses first (noise enhancement ~ 1/sigma_min^2), MMSE
+// degrades gracefully, ML holds out longest. The post-equalization SINR
+// table shows the same story analytically.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "channel/fading.hpp"
+#include "core/link_simulator.hpp"
+#include "dsp/stats.hpp"
+
+using namespace mimonet;
+
+namespace {
+
+double run_per(double rho, eq::EqualizerType type, double snr,
+               std::size_t packets, std::uint64_t seed) {
+  auto cfg = core::make_link_config(11, snr);  // 16-QAM 1/2, 2 streams
+  cfg.psdu_payload_bytes = 400;
+  cfg.phy.equalizer = type;
+  cfg.channel.fading = true;
+  cfg.channel.rho_tx = rho;
+  cfg.channel.rho_rx = rho;
+  cfg.seed = seed;
+  core::LinkSimulator sim(cfg);
+  return sim.run(packets).per.per();
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("E10", "Equalizer ablation vs antenna correlation (Fig.)");
+  constexpr std::size_t kPackets = 30;
+  constexpr double kSnr = 24.0;
+  bench::note("MCS 11 (16-QAM 1/2, 2x2), %zu packets per cell, %.0f dB SNR",
+              kPackets, kSnr);
+
+  std::printf("\n  PER vs correlation coefficient rho (both link ends)\n");
+  const bench::Table table({"rho", "ZF", "MMSE", "ML"}, 10);
+  for (const double rho : {0.0, 0.3, 0.5, 0.7, 0.85, 0.95}) {
+    std::vector<std::string> cells{bench::fix(rho, 2)};
+    for (const auto type :
+         {eq::EqualizerType::kZeroForcing, eq::EqualizerType::kMmse,
+          eq::EqualizerType::kMaxLikelihood}) {
+      cells.push_back(bench::fix(
+          run_per(rho, type, kSnr, kPackets,
+                  100 + static_cast<std::uint64_t>(rho * 100)),
+          2));
+    }
+    table.row(cells);
+  }
+
+  std::printf("\n  Analytic mean post-equalization SINR (dB) over 500 channels\n");
+  const bench::Table t2({"rho", "ZF", "MMSE", "MF bound"}, 10);
+  for (const double rho : {0.0, 0.5, 0.85, 0.95}) {
+    channel::FadingGenerator gen(2, 2, channel::DelayProfile::kFlat, 55, rho, rho);
+    dsp::RunningStats zf;
+    dsp::RunningStats mmse;
+    dsp::RunningStats mf;
+    const auto nv = static_cast<float>(dsp::from_db(-kSnr));
+    for (int t = 0; t < 500; ++t) {
+      const auto re = gen.next();
+      eq::CMatrix h(2, 2);
+      for (std::size_t r = 0; r < 2; ++r) {
+        for (std::size_t s = 0; s < 2; ++s) h(r, s) = dsp::cf64(re.taps[r][s][0]);
+      }
+      try {
+        const auto a = eq::post_eq_sinr_db(h, nv, eq::EqualizerType::kZeroForcing);
+        const auto b = eq::post_eq_sinr_db(h, nv, eq::EqualizerType::kMmse);
+        const auto c = eq::post_eq_sinr_db(h, nv, eq::EqualizerType::kMaxLikelihood);
+        zf.add(a[0]);
+        mmse.add(b[0]);
+        mf.add(c[0]);
+      } catch (const std::runtime_error&) {
+        // singular draw; skip
+      }
+    }
+    t2.row({bench::fix(rho, 2), bench::fix(zf.mean(), 1), bench::fix(mmse.mean(), 1),
+            bench::fix(mf.mean(), 1)});
+  }
+  bench::note("expected: ZF PER rises steeply past rho ~0.7; ML stays lowest;");
+  bench::note("SINR gap ZF->MMSE widens with rho");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// E4 — Synchronization accuracy: the paper's MIMO-extended Van de Beek
+// estimator vs the STF-autocorrelation baseline and L-LTF cross-correlation.
+//
+// Metrics per SNR: timing error statistics (samples) and CFO RMSE
+// (cycles/sample), on real 2x2 PPDUs with random CFO. Also contrasts
+// single-antenna vs two-antenna Van de Beek (the "MIMO extension" claim:
+// combining antennas sharpens the ML metric at low SNR).
+#include <cstdio>
+#include <random>
+
+#include "bench_util.hpp"
+#include "channel/mimo_channel.hpp"
+#include "core/transmitter.hpp"
+#include "dsp/stats.hpp"
+#include "sync/frame_sync.hpp"
+#include "wifi/psdu.hpp"
+
+using namespace mimonet;
+
+namespace {
+
+struct SyncStats {
+  dsp::RunningStats timing;
+  dsp::RunningStats cfo;
+  std::size_t missed = 0;
+};
+
+void observe(SyncStats& st, const std::optional<sync::FrameSyncResult>& res,
+             std::size_t true_start, double true_cfo) {
+  if (!res) {
+    ++st.missed;
+    return;
+  }
+  st.timing.add(static_cast<double>(res->packet_start) -
+                static_cast<double>(true_start));
+  st.cfo.add(res->cfo_norm - true_cfo);
+}
+
+std::string timing_cell(const SyncStats& st) {
+  if (st.timing.count() == 0) return "x";
+  return bench::fix(st.timing.mean(), 1) + "/" + bench::fix(st.timing.stddev(), 1);
+}
+
+std::string cfo_cell(const SyncStats& st) {
+  if (st.cfo.count() == 0) return "x";
+  return bench::sci(st.cfo.rms());
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("E4", "Sync accuracy: MIMO Van de Beek vs baselines (Fig.)");
+  constexpr std::size_t kTrials = 40;
+  bench::note("%zu 2x2 packets per SNR, random CFO in [-1e-3, 1e-3] cycles/sample",
+              kTrials);
+  bench::note("timing cells: mean/stddev of packet-start error in samples");
+
+  core::PhyConfig phy;
+  phy.mcs = 8;
+  const core::Transmitter tx(phy);
+  const auto psdu = wifi::build_psdu(wifi::MacHeader{},
+                                     std::vector<std::uint8_t>(400, 0x3C));
+
+  sync::FrameSyncConfig xcorr_cfg;
+  xcorr_cfg.mode = sync::TimingMode::kLtfCrossCorr;
+  sync::FrameSyncConfig vdb_cfg;
+  vdb_cfg.mode = sync::TimingMode::kVanDeBeekMimo;
+  const sync::FrameSynchronizer fs_xcorr(xcorr_cfg);
+  const sync::FrameSynchronizer fs_vdb(vdb_cfg);
+
+  std::printf("\n  Timing error (mean/stddev samples) and miss count\n");
+  const bench::Table t1({"SNR dB", "xcorr", "VdB-MIMO", "VdB-1ant", "missed"}, 12);
+  std::vector<std::string> cfo_rows;
+
+  const bench::Table* cfo_table = nullptr;
+  (void)cfo_table;
+  struct Row {
+    double snr;
+    SyncStats xc, vdb2, vdb1;
+  };
+  std::vector<Row> rows;
+
+  for (double snr = -2.0; snr <= 18.0; snr += 4.0) {
+    Row row;
+    row.snr = snr;
+    std::mt19937_64 rng(42 + static_cast<std::uint64_t>(snr * 10));
+    std::uniform_real_distribution<double> cfo_dist(-1e-3, 1e-3);
+
+    for (std::size_t t = 0; t < kTrials; ++t) {
+      channel::ChannelConfig ccfg;
+      ccfg.ntx = 2;
+      ccfg.nrx = 2;
+      ccfg.snr_db = snr;
+      ccfg.cfo_norm = cfo_dist(rng);
+      ccfg.timing_pad = 800;
+      ccfg.tail_pad = 200;
+      ccfg.seed = rng();
+      channel::MimoChannel chan(ccfg);
+      const auto capture = chan.transmit(tx.transmit(psdu));
+      const auto& truth = chan.truth();
+
+      observe(row.xc, fs_xcorr.synchronize(capture), truth.packet_start,
+              truth.cfo_norm);
+      observe(row.vdb2, fs_vdb.synchronize(capture), truth.packet_start,
+              truth.cfo_norm);
+      const std::vector<std::vector<dsp::cf32>> one_ant{capture[0]};
+      observe(row.vdb1, fs_vdb.synchronize(one_ant), truth.packet_start,
+              truth.cfo_norm);
+    }
+    t1.row({bench::fix(row.snr, 0), timing_cell(row.xc), timing_cell(row.vdb2),
+            timing_cell(row.vdb1),
+            std::to_string(row.xc.missed) + "/" + std::to_string(row.vdb2.missed) +
+                "/" + std::to_string(row.vdb1.missed)});
+    rows.push_back(std::move(row));
+  }
+
+  std::printf("\n  CFO estimate RMSE (cycles/sample)\n");
+  const bench::Table t2({"SNR dB", "xcorr", "VdB-MIMO", "VdB-1ant"}, 12);
+  for (const auto& row : rows) {
+    t2.row({bench::fix(row.snr, 0), cfo_cell(row.xc), cfo_cell(row.vdb2),
+            cfo_cell(row.vdb1)});
+  }
+  bench::note("expected: VdB-MIMO timing stddev <= VdB-1ant, gap widest at low SNR");
+  return 0;
+}

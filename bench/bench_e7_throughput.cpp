@@ -1,0 +1,53 @@
+// E7 — Goodput per MCS (Table reconstruction): the spatial-multiplexing
+// headline — two streams double throughput without extra bandwidth.
+//
+// Expected shape: at high SNR, goodput approaches the PHY rate minus
+// preamble overhead, and MCS 8-15 deliver ~2x their MCS 0-7 counterparts;
+// at moderate SNR the fastest MCS collapses first (PER dominates).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/link_simulator.hpp"
+
+using namespace mimonet;
+
+namespace {
+
+struct Cell {
+  double goodput = 0.0;
+  double per = 0.0;
+};
+
+Cell run_cell(unsigned mcs, double snr, std::size_t packets, std::uint64_t seed) {
+  auto cfg = core::make_link_config(mcs, snr);
+  cfg.psdu_payload_bytes = 1500;
+  cfg.seed = seed;
+  core::LinkSimulator sim(cfg);
+  const auto res = sim.run(packets);
+  return {res.throughput.goodput_mbps(), res.per.per()};
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("E7", "Goodput per MCS, 1500-byte payloads (Table reconstruction)");
+  constexpr std::size_t kPackets = 20;
+  bench::note("%zu packets per cell, AWGN; goodput = delivered bits / air time",
+              kPackets);
+
+  const bench::Table table({"MCS", "PHY Mb/s", "nss", "30dB Mb/s", "18dB Mb/s",
+                            "10dB Mb/s"},
+                           11);
+  for (unsigned mcs = 0; mcs <= 15; ++mcs) {
+    const auto info = wifi::mcs_info(mcs);
+    const auto high = run_cell(mcs, 30.0, kPackets, 70 + mcs);
+    const auto mid = run_cell(mcs, 18.0, kPackets, 170 + mcs);
+    const auto low = run_cell(mcs, 10.0, kPackets, 270 + mcs);
+    table.row({std::to_string(mcs), bench::fix(info.data_rate_mbps(), 1),
+               std::to_string(info.nss), bench::fix(high.goodput, 1),
+               bench::fix(mid.goodput, 1), bench::fix(low.goodput, 1)});
+  }
+  bench::note("expected: MCS k+8 goodput ~= 2x MCS k at 30 dB (spatial multiplexing");
+  bench::note("doubles rate in the same 20 MHz); high MCS collapse first as SNR drops");
+  return 0;
+}

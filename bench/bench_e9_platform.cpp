@@ -1,0 +1,164 @@
+// E9 — SDR platform performance (Table reconstruction): per-stage and
+// full-chain processing rates of the software implementation, the numbers
+// that decide whether the GNU-Radio-style pipeline keeps up with 20 Msps.
+//
+// Uses google-benchmark. Rates are reported as items/second counters:
+// samples/s for stream stages, packets/s for the full chains.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "channel/mimo_channel.hpp"
+#include "core/receiver.hpp"
+#include "core/transmitter.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/rng.hpp"
+#include "eq/equalizer.hpp"
+#include "fec/viterbi.hpp"
+#include "mod/constellation.hpp"
+#include "sync/packet_detector.hpp"
+#include "wifi/interleaver.hpp"
+#include "wifi/psdu.hpp"
+
+using namespace mimonet;
+
+namespace {
+
+void BM_Fft64(benchmark::State& state) {
+  const dsp::FftPlan plan(64);
+  std::vector<dsp::cf32> buf(64, dsp::cf32{1.0F, -0.5F});
+  for (auto _ : state) {
+    plan.forward(buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_Fft64);
+
+void BM_ViterbiDecode(benchmark::State& state) {
+  const fec::ViterbiDecoder dec;
+  std::mt19937 rng(1);
+  std::vector<std::uint8_t> bits(1000);
+  for (auto& b : bits) b = rng() & 1U;
+  const auto coded = fec::encode_with_tail(bits, fec::CodeRate::kR1_2);
+  std::vector<float> llrs(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    llrs[i] = coded[i] != 0 ? -1.0F : 1.0F;
+  }
+  for (auto _ : state) {
+    auto out = fec::decode_with_tail(llrs, fec::CodeRate::kR1_2, dec);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * bits.size());  // info bits/s
+}
+BENCHMARK(BM_ViterbiDecode);
+
+void BM_MmseEqualize2x2(benchmark::State& state) {
+  eq::CMatrix h(2, 2);
+  h(0, 0) = {1.0, 0.1};
+  h(0, 1) = {0.3, -0.2};
+  h(1, 0) = {-0.1, 0.4};
+  h(1, 1) = {0.9, 0.0};
+  const eq::LinearEqualizer eq_(eq::EqualizerType::kMmse);
+  const std::vector<dsp::cf32> y{{0.5F, 0.2F}, {-0.1F, 0.7F}};
+  for (auto _ : state) {
+    auto out = eq_.equalize(h, y, 0.01F);
+    benchmark::DoNotOptimize(out.symbols.data());
+  }
+  state.SetItemsProcessed(state.iterations());  // subcarriers/s
+}
+BENCHMARK(BM_MmseEqualize2x2);
+
+void BM_MlDetect2x2Qam16(benchmark::State& state) {
+  const mod::Constellation c(mod::Modulation::kQam16);
+  const eq::MlDetector det(c, 2);
+  eq::CMatrix h(2, 2);
+  h(0, 0) = {1.0, 0.1};
+  h(0, 1) = {0.3, -0.2};
+  h(1, 0) = {-0.1, 0.4};
+  h(1, 1) = {0.9, 0.0};
+  const std::vector<dsp::cf32> y{{0.5F, 0.2F}, {-0.1F, 0.7F}};
+  std::vector<float> llrs(8);
+  for (auto _ : state) {
+    det.demap(h, y, 0.01F, llrs);
+    benchmark::DoNotOptimize(llrs.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MlDetect2x2Qam16);
+
+void BM_Interleave(benchmark::State& state) {
+  const wifi::Interleaver il(6, 0, 2);  // 64-QAM block
+  std::mt19937 rng(2);
+  std::vector<std::uint8_t> bits(il.block_size() * 16);
+  for (auto& b : bits) b = rng() & 1U;
+  for (auto _ : state) {
+    auto out = il.interleave(bits);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * bits.size());
+}
+BENCHMARK(BM_Interleave);
+
+void BM_PacketDetector(benchmark::State& state) {
+  dsp::ComplexGaussian noise(3, 1.0);
+  std::vector<dsp::cf32> capture(1 << 15);
+  noise.fill(capture);
+  const sync::PacketDetector det(sync::DetectorConfig{});
+  for (auto _ : state) {
+    auto d = det.detect(capture);
+    benchmark::DoNotOptimize(&d);
+  }
+  state.SetItemsProcessed(state.iterations() * capture.size());  // samples/s
+}
+BENCHMARK(BM_PacketDetector);
+
+void BM_TxChain(benchmark::State& state) {
+  core::PhyConfig phy;
+  phy.mcs = static_cast<unsigned>(state.range(0));
+  const core::Transmitter tx(phy);
+  const auto psdu = wifi::build_psdu(wifi::MacHeader{},
+                                     std::vector<std::uint8_t>(1500, 0xA5));
+  std::size_t samples = 0;
+  for (auto _ : state) {
+    auto streams = tx.transmit(psdu);
+    samples = streams[0].size();
+    benchmark::DoNotOptimize(streams.data());
+  }
+  state.SetItemsProcessed(state.iterations() * samples);  // samples/s per chain
+  state.counters["mbit/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 1500 * 8 / 1e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TxChain)->Arg(0)->Arg(7)->Arg(15);
+
+void BM_RxChain(benchmark::State& state) {
+  core::PhyConfig phy;
+  phy.mcs = static_cast<unsigned>(state.range(0));
+  const core::Transmitter tx(phy);
+  const auto nss = phy.mcs_info().nss;
+  channel::ChannelConfig ccfg;
+  ccfg.ntx = nss;
+  ccfg.nrx = nss;
+  ccfg.snr_db = 25.0;
+  ccfg.timing_pad = 300;
+  ccfg.tail_pad = 100;
+  channel::MimoChannel chan(ccfg);
+  core::Receiver rx(phy, nss);
+  const auto psdu = wifi::build_psdu(wifi::MacHeader{},
+                                     std::vector<std::uint8_t>(1500, 0xA5));
+  const auto capture = chan.transmit(tx.transmit(psdu));
+  for (auto _ : state) {
+    auto pkt = rx.receive(capture);
+    benchmark::DoNotOptimize(&pkt);
+  }
+  state.SetItemsProcessed(state.iterations() * capture[0].size());  // samples/s
+  state.counters["mbit/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 1500 * 8 / 1e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RxChain)->Arg(0)->Arg(7)->Arg(15);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Shared output helpers for the experiment harnesses: aligned tables the
+// way the paper's evaluation section reports rows.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace bench {
+
+inline void heading(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::printf("  ");
+  std::vprintf(fmt, args);
+  std::printf("\n");
+  va_end(args);
+}
+
+/// Fixed-width row printer: give it the header once, then rows of the same
+/// column count.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int col_width = 12)
+      : n_cols_(headers.size()), width_(col_width) {
+    for (const auto& h : headers) std::printf("%*s", width_, h.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < n_cols_; ++i) {
+      for (int c = 0; c < width_; ++c) std::printf("-");
+    }
+    std::printf("\n");
+  }
+
+  void row(const std::vector<std::string>& cells) const {
+    for (const auto& c : cells) std::printf("%*s", width_, c.c_str());
+    std::printf("\n");
+  }
+
+ private:
+  std::size_t n_cols_;
+  int width_;
+};
+
+inline std::string fmt(const char* f, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, f, v);
+  return buf;
+}
+
+inline std::string sci(double v) { return fmt("%.2e", v); }
+inline std::string fix(double v, int digits = 2) {
+  char f[8];
+  std::snprintf(f, sizeof f, "%%.%df", digits);
+  return fmt(f, v);
+}
+
+}  // namespace bench

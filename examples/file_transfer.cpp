@@ -1,0 +1,67 @@
+// Reliable file transfer over the MIMO link: chunks a payload into MSDUs
+// and pushes them through the stop-and-wait ARQ MAC over a fading 2x2
+// channel — the paper's platform doing actual network-level work.
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "fec/crc.hpp"
+#include "mac/arq.hpp"
+
+int main() {
+  using namespace mimonet;
+
+  // A 40 kB pseudo-file.
+  std::vector<std::uint8_t> file(40 * 1024);
+  std::iota(file.begin(), file.end(), 0);
+  const std::uint32_t file_crc = fec::crc32(file);
+
+  mac::ArqConfig cfg;
+  cfg.data_phy.mcs = 12;  // 16-QAM 3/4 x 2 streams = 78 Mb/s PHY
+  cfg.ack_phy.mcs = 0;
+  cfg.forward.ntx = 2;
+  cfg.forward.nrx = 2;
+  cfg.forward.fading = true;
+  cfg.forward.snr_db = 18.0;  // marginal for MCS 12: retries will happen
+  cfg.forward.timing_pad = 300;
+  cfg.forward.tail_pad = 80;
+  cfg.forward.seed = 11;
+  cfg.reverse = cfg.forward;
+  cfg.reverse.ntx = 1;  // ACKs ride a single robust stream
+  cfg.reverse.nrx = 2;  // with receive diversity at the station
+  cfg.reverse.seed = 12;
+  cfg.reverse.snr_db = 25.0;
+  mac::StopAndWaitLink link(cfg);
+
+  constexpr std::size_t kChunk = 1400;
+  std::size_t sent_chunks = 0;
+  std::size_t lost_chunks = 0;
+  for (std::size_t off = 0; off < file.size(); off += kChunk) {
+    const std::size_t n = std::min(kChunk, file.size() - off);
+    const auto rep = link.send(std::span(file).subspan(off, n));
+    ++sent_chunks;
+    if (!rep.delivered) ++lost_chunks;
+    if (sent_chunks % 8 == 0 || off + n == file.size()) {
+      std::printf("  %5zu/%zu bytes | tries so far: %zu data TX, %zu retx\n",
+                  off + n, file.size(), link.stats().msdus,
+                  link.stats().retransmissions);
+    }
+  }
+
+  // Reassemble at the peer and verify integrity end to end.
+  std::vector<std::uint8_t> reassembled;
+  for (const auto& chunk : link.received()) {
+    reassembled.insert(reassembled.end(), chunk.begin(), chunk.end());
+  }
+  const bool intact = reassembled.size() == file.size() &&
+                      fec::crc32(reassembled) == file_crc;
+
+  const auto& st = link.stats();
+  std::printf("\ntransfer %s: %zu chunks, %zu lost, %zu retransmissions\n",
+              intact ? "OK" : "CORRUPTED", sent_chunks, lost_chunks,
+              st.retransmissions);
+  std::printf("MAC goodput %.1f Mb/s over %.1f ms of air time (PHY rate %.0f)\n",
+              st.goodput_mbps(), st.airtime_us / 1000.0,
+              wifi::mcs_info(cfg.data_phy.mcs).data_rate_mbps());
+  return intact ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+// Quickstart: send one spatially-multiplexed packet over a simulated 2x2
+// channel and print what the receiver recovered.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+#include <cstdio>
+#include <string>
+
+#include "core/link_simulator.hpp"
+#include "wifi/psdu.hpp"
+
+int main() {
+  using namespace mimonet;
+
+  // MCS 8 = BPSK 1/2 over two spatial streams; 20 dB SNR, flat channel.
+  core::LinkConfig cfg = core::make_link_config(/*mcs=*/8, /*snr_db=*/20.0);
+  cfg.channel.cfo_norm = 1e-4;  // ~2 kHz-per-sample worth of CFO at 20 Msps
+  cfg.psdu_payload_bytes = 256;
+
+  core::Transmitter tx(cfg.phy);
+  channel::MimoChannel air(cfg.channel);
+  core::Receiver rx(cfg.phy, cfg.channel.nrx);
+
+  const std::string message =
+      "MIMONet quickstart: two data streams, two antennas, one packet.";
+  wifi::MacHeader hdr;
+  hdr.addr1 = {0x02, 0x11, 0x22, 0x33, 0x44, 0x55};
+  hdr.addr2 = {0x02, 0xAA, 0xBB, 0xCC, 0xDD, 0xEE};
+  const auto psdu = wifi::build_psdu(
+      hdr, std::span(reinterpret_cast<const std::uint8_t*>(message.data()),
+                     message.size()));
+
+  const auto streams = tx.transmit(psdu);
+  std::printf("TX: %zu streams x %zu samples (MCS %u, %.1f Mb/s)\n", streams.size(),
+              streams[0].size(), cfg.phy.mcs, cfg.phy.mcs_info().data_rate_mbps());
+
+  const auto capture = air.transmit(streams);
+  const auto pkt = rx.receive(capture);
+  if (!pkt) {
+    std::printf("RX: no packet detected\n");
+    return 1;
+  }
+
+  std::printf("RX: packet at sample %zu (true %zu), CFO est %.2e (true %.2e)\n",
+              pkt->sync.packet_start, air.truth().packet_start, pkt->sync.cfo_norm,
+              air.truth().cfo_norm);
+  std::printf("RX: L-SIG %s, HT-SIG %s (MCS %u, %u bytes), FCS %s\n",
+              pkt->lsig_ok ? "ok" : "BAD", pkt->htsig_ok ? "ok" : "BAD",
+              pkt->htsig.mcs, pkt->htsig.length, pkt->fcs_ok ? "ok" : "BAD");
+  std::printf("RX: SNR estimate %.1f dB (LTF), %.1f dB (pilots); true %.1f dB\n",
+              pkt->snr.snr_db, pkt->pilot_snr.snr_db, cfg.channel.snr_db);
+
+  if (pkt->fcs_ok) {
+    const auto parsed = wifi::parse_psdu(pkt->psdu);
+    std::printf("RX: payload: \"%.*s\"\n", static_cast<int>(parsed->payload.size()),
+                reinterpret_cast<const char*>(parsed->payload.data()));
+  }
+  return pkt->fcs_ok ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+// Streaming flowgraph example: the GNU-Radio-style deployment shape of the
+// paper's system. A TransmitterBlock modulates a queue of frames into two
+// continuous antenna streams, a MimoChannelBlock fades and corrupts them
+// sample-by-sample, and a ReceiverBlock detects and decodes packets from
+// the stream — all running on the thread-per-block scheduler.
+#include <cstdio>
+#include <string>
+
+#include "core/phy_blocks.hpp"
+#include "flowgraph/graph.hpp"
+#include "wifi/psdu.hpp"
+
+int main() {
+  using namespace mimonet;
+
+  core::PhyConfig phy;
+  phy.mcs = 11;  // 16-QAM 1/2, two spatial streams, 52 Mb/s PHY rate
+
+  // A short "video stream": ten numbered frames.
+  std::vector<std::vector<std::uint8_t>> psdus;
+  for (int i = 0; i < 10; ++i) {
+    const std::string payload = "frame " + std::to_string(i) +
+                                " of the MIMONet streaming demo ----------------";
+    wifi::MacHeader hdr;
+    hdr.sequence_control = static_cast<std::uint16_t>(i << 4U);
+    psdus.push_back(wifi::build_psdu(
+        hdr, std::span(reinterpret_cast<const std::uint8_t*>(payload.data()),
+                       payload.size())));
+  }
+
+  channel::ChannelConfig air;
+  air.ntx = 2;
+  air.nrx = 2;
+  air.fading = true;
+  air.profile = channel::DelayProfile::kShort;
+  air.snr_db = 28.0;
+  air.cfo_norm = 3e-4;
+  air.seed = 7;
+
+  auto tx = std::make_shared<core::TransmitterBlock>(phy, psdus, 1000);
+  auto chan = std::make_shared<core::MimoChannelBlock>(air);
+  auto rx = std::make_shared<core::ReceiverBlock>(phy, 2);
+
+  flowgraph::Graph graph;
+  graph.add(tx);
+  graph.add(chan);
+  graph.add(rx);
+  for (std::size_t s = 0; s < 2; ++s) graph.connect<dsp::cf32>(*tx, s, *chan, s);
+  for (std::size_t r = 0; r < 2; ++r) graph.connect<dsp::cf32>(*chan, r, *rx, r);
+
+  std::printf("running thread-per-block flowgraph: tx(2 streams) -> 2x2 fading "
+              "channel -> rx...\n");
+  flowgraph::run_threaded(graph);
+
+  std::size_t ok = 0;
+  for (const auto& pkt : rx->packets()) {
+    if (!pkt.fcs_ok) {
+      std::printf("  packet: FCS FAILED (snr est %.1f dB)\n", pkt.snr.snr_db);
+      continue;
+    }
+    ++ok;
+    const auto parsed = wifi::parse_psdu(pkt.psdu);
+    std::printf("  seq %2u | snr %.1f dB | \"%.20s...\"\n",
+                parsed->header.sequence_control >> 4U, pkt.snr.snr_db,
+                reinterpret_cast<const char*>(parsed->payload.data()));
+  }
+  std::printf("%zu/%zu frames delivered\n", ok, psdus.size());
+  return ok == psdus.size() ? 0 : 1;
+}

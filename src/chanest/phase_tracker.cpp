@@ -1,0 +1,74 @@
+#include "chanest/phase_tracker.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ofdm/pilots.hpp"
+#include "ofdm/subcarriers.hpp"
+
+namespace mimonet::chanest {
+
+namespace {
+constexpr double kSlopeGain = 0.25;  // first-order loop gain on the slope
+}
+
+PilotPhaseTracker::PilotPhaseTracker(const MimoChannelEstimate& est) : est_(est) {
+  for (std::size_t p = 0; p < 4; ++p) {
+    pilot_bins_[p] = ofdm::SubcarrierMap::logical_to_bin(ofdm::kPilotCarriers[p]);
+  }
+}
+
+double PilotPhaseTracker::estimate_cpe(
+    const std::vector<std::array<cf32, 4>>& rx_pilots,
+    std::size_t data_symbol_index) const {
+  if (rx_pilots.size() != est_.nrx) {
+    throw std::invalid_argument("estimate_cpe: wrong antenna count");
+  }
+  dsp::cf64 acc{0.0, 0.0};
+  for (std::size_t r = 0; r < est_.nrx; ++r) {
+    for (std::size_t p = 0; p < 4; ++p) {
+      dsp::cf64 expected{0.0, 0.0};
+      for (std::size_t s = 0; s < est_.nss; ++s) {
+        const auto pv = ofdm::ht_data_pilots(est_.nss, s, data_symbol_index);
+        expected += dsp::cf64(est_.h[r][s][pilot_bins_[p]]) * dsp::cf64(pv[p]);
+      }
+      acc += dsp::cf64(rx_pilots[r][p]) * std::conj(expected);
+    }
+  }
+  return std::arg(acc);
+}
+
+double PilotPhaseTracker::track(double raw_cpe) {
+  if (!primed_) {
+    primed_ = true;
+    prev_phase_ = raw_cpe;
+    slope_ = 0.0;
+    count_ = 1;
+    return raw_cpe;
+  }
+  // Unwrap the raw measurement to the branch nearest the prediction.
+  const double predicted = prev_phase_ + slope_;
+  double unwrapped = raw_cpe;
+  while (unwrapped - predicted > dsp::pi_d) unwrapped -= dsp::two_pi_d;
+  while (unwrapped - predicted < -dsp::pi_d) unwrapped += dsp::two_pi_d;
+
+  const double new_slope = unwrapped - prev_phase_;
+  slope_ += kSlopeGain * (new_slope - slope_);
+  prev_phase_ = unwrapped;
+  ++count_;
+  return unwrapped;
+}
+
+double PilotPhaseTracker::residual_cfo_norm() const noexcept {
+  // One symbol spans 80 samples; slope is radians/symbol.
+  return slope_ / (dsp::two_pi_d * 80.0);
+}
+
+void PilotPhaseTracker::reset() noexcept {
+  primed_ = false;
+  prev_phase_ = 0.0;
+  slope_ = 0.0;
+  count_ = 0;
+}
+
+}  // namespace mimonet::chanest

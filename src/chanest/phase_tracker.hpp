@@ -1,0 +1,51 @@
+// Pilot-driven common-phase-error (CPE) tracking: residual CFO and phase
+// noise rotate all subcarriers of a symbol by a common angle; the 4 pilot
+// tones measure it each symbol so the equalized data can be de-rotated.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "chanest/ls_estimator.hpp"
+#include "dsp/types.hpp"
+
+namespace mimonet::chanest {
+
+/// Per-symbol CPE estimator and a first-order loop that additionally tracks
+/// the CPE slope (residual CFO) across symbols.
+class PilotPhaseTracker {
+ public:
+  /// @param est channel estimate whose pilot-bin entries predict the
+  ///        expected pilot observations.
+  explicit PilotPhaseTracker(const MimoChannelEstimate& est);
+
+  /// Estimate the common phase error of one HT data symbol.
+  /// @param rx_pilots  [rx][pilot 0..3] observed pilot tones (FFT output)
+  /// @param data_symbol_index 0-based HT data symbol number (drives the
+  ///        pilot polarity/rotation exactly as the transmitter's
+  ///        ofdm::ht_data_pilots does).
+  [[nodiscard]] double estimate_cpe(
+      const std::vector<std::array<cf32, 4>>& rx_pilots,
+      std::size_t data_symbol_index) const;
+
+  /// Feed one symbol's CPE into the tracking loop and return the smoothed
+  /// phase to remove. Tracks slope so long packets do not unwrap badly.
+  [[nodiscard]] double track(double raw_cpe);
+
+  /// Residual-CFO estimate (cycles/sample) implied by the tracked slope.
+  [[nodiscard]] double residual_cfo_norm() const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  const MimoChannelEstimate& est_;
+  std::array<std::size_t, 4> pilot_bins_{};
+  // Loop state.
+  bool primed_ = false;
+  double prev_phase_ = 0.0;
+  double slope_ = 0.0;       // radians/symbol
+  std::size_t count_ = 0;
+};
+
+}  // namespace mimonet::chanest

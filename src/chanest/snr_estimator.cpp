@@ -1,0 +1,114 @@
+#include "chanest/snr_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+#include "ofdm/subcarriers.hpp"
+#include "wifi/preamble.hpp"
+
+namespace mimonet::chanest {
+
+SnrEstimate snr_from_lltf(std::span<const std::span<const cf32>> lltf_payload) {
+  if (lltf_payload.empty()) throw std::invalid_argument("snr_from_lltf: no antennas");
+  constexpr std::size_t kN = 64;
+
+  double noise = 0.0;
+  double total = 0.0;
+  std::size_t n_samp = 0;
+
+  // Per-subcarrier accumulation across antennas.
+  std::vector<double> bin_noise(kN, 0.0);
+  std::vector<double> bin_sig(kN, 0.0);
+  const dsp::FftPlan plan(kN);
+
+  for (const auto& ant : lltf_payload) {
+    if (ant.size() < 2 * kN) {
+      throw std::invalid_argument("snr_from_lltf: need 128 samples per antenna");
+    }
+    // Time-domain wideband estimate: d = x1 - x2 carries 2x the noise.
+    for (std::size_t k = 0; k < kN; ++k) {
+      const cf32 d = ant[k] - ant[k + kN];
+      noise += 0.5 * static_cast<double>(dsp::mag_sqr(d));
+      total += 0.5 * static_cast<double>(dsp::mag_sqr(ant[k]) + dsp::mag_sqr(ant[k + kN]));
+      ++n_samp;
+    }
+    // Frequency-domain per-subcarrier estimate.
+    std::vector<cf32> x1(ant.begin(), ant.begin() + kN);
+    std::vector<cf32> x2(ant.begin() + kN, ant.begin() + 2 * kN);
+    plan.forward(x1);
+    plan.forward(x2);
+    for (std::size_t b = 0; b < kN; ++b) {
+      const cf32 d = x1[b] - x2[b];
+      const cf32 avg = 0.5F * (x1[b] + x2[b]);
+      bin_noise[b] += 0.5 * static_cast<double>(dsp::mag_sqr(d));
+      bin_sig[b] += static_cast<double>(dsp::mag_sqr(avg));
+    }
+  }
+
+  SnrEstimate out;
+  out.noise_variance = noise / static_cast<double>(n_samp);
+  out.signal_power =
+      std::max(total / static_cast<double>(n_samp) - out.noise_variance, 1e-12);
+  out.snr_db = dsp::to_db(out.signal_power / std::max(out.noise_variance, 1e-30));
+
+  out.per_bin_db.assign(kN, 0.0);
+  const auto seq = wifi::lltf_sequence();
+  for (int k = -26; k <= 26; ++k) {
+    if (seq[static_cast<std::size_t>(k + 26)] == 0.0F) continue;
+    const std::size_t b = ofdm::SubcarrierMap::logical_to_bin(k);
+    // The averaged bin keeps half the per-bin noise; subtract it from the
+    // signal term before forming the ratio.
+    const double nv = bin_noise[b];
+    const double sig = std::max(bin_sig[b] - nv / 2.0, 1e-12);
+    out.per_bin_db[b] = dsp::to_db(sig / std::max(nv, 1e-30));
+  }
+  return out;
+}
+
+EvmSnrEstimator::EvmSnrEstimator() : per_bin_(ofdm::kFftSize) {}
+
+void EvmSnrEstimator::add(cf32 observed, cf32 reference) noexcept {
+  total_.err += static_cast<double>(dsp::mag_sqr(observed - reference));
+  total_.ref += static_cast<double>(dsp::mag_sqr(reference));
+  ++total_.n;
+  ++count_;
+}
+
+void EvmSnrEstimator::add(std::size_t bin, cf32 observed, cf32 reference) noexcept {
+  add(observed, reference);
+  if (bin < per_bin_.size()) {
+    auto& acc = per_bin_[bin];
+    acc.err += static_cast<double>(dsp::mag_sqr(observed - reference));
+    acc.ref += static_cast<double>(dsp::mag_sqr(reference));
+    ++acc.n;
+  }
+}
+
+SnrEstimate EvmSnrEstimator::estimate() const {
+  SnrEstimate out;
+  if (total_.n == 0) return out;
+  out.noise_variance = total_.err / static_cast<double>(total_.n);
+  out.signal_power = total_.ref / static_cast<double>(total_.n);
+  out.snr_db =
+      dsp::to_db(std::max(out.signal_power, 1e-12) / std::max(out.noise_variance, 1e-30));
+
+  out.per_bin_db.assign(per_bin_.size(), 0.0);
+  for (std::size_t b = 0; b < per_bin_.size(); ++b) {
+    const auto& acc = per_bin_[b];
+    if (acc.n >= 2 && acc.err > 0.0) {
+      out.per_bin_db[b] = dsp::to_db((acc.ref / static_cast<double>(acc.n)) /
+                                     (acc.err / static_cast<double>(acc.n)));
+    }
+  }
+  return out;
+}
+
+void EvmSnrEstimator::reset() noexcept {
+  total_ = Acc{};
+  std::fill(per_bin_.begin(), per_bin_.end(), Acc{});
+  count_ = 0;
+}
+
+}  // namespace mimonet::chanest

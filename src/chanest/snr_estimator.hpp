@@ -1,0 +1,65 @@
+// Fine-grained SNR estimation — one of the paper's explicitly claimed
+// features. Three methods:
+//   1. L-LTF repetition method: the two identical LTF periods differ only by
+//      noise, giving an unbiased wideband (and per-subcarrier) estimate.
+//   2. Pilot-EVM method: error between observed and predicted pilot tones,
+//      accumulated over the packet.
+//   3. Decision-directed EVM on equalized data symbols.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace mimonet::chanest {
+
+using dsp::cf32;
+
+/// Result of an SNR measurement.
+struct SnrEstimate {
+  double snr_db = 0.0;
+  double signal_power = 0.0;
+  double noise_variance = 0.0;
+  /// Per-subcarrier SNR in dB (empty for wideband-only estimates), indexed
+  /// by FFT bin; unoccupied bins hold 0.
+  std::vector<double> per_bin_db;
+};
+
+/// Wideband + per-subcarrier SNR from the two L-LTF periods.
+/// @param lltf_payload per-antenna spans of the 128 samples following the
+///        L-LTF guard interval (two 64-sample periods each).
+[[nodiscard]] SnrEstimate snr_from_lltf(
+    std::span<const std::span<const cf32>> lltf_payload);
+
+/// Streaming EVM-based SNR estimator: feed (observed, reference) pairs from
+/// pilots or sliced data symbols; works per-subcarrier when bins are given.
+class EvmSnrEstimator {
+ public:
+  EvmSnrEstimator();
+
+  /// Wideband observation.
+  void add(cf32 observed, cf32 reference) noexcept;
+  /// Per-subcarrier observation (bin < 64).
+  void add(std::size_t bin, cf32 observed, cf32 reference) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+  /// Aggregate estimate; per_bin_db filled for bins with >= 2 observations.
+  [[nodiscard]] SnrEstimate estimate() const;
+
+  void reset() noexcept;
+
+ private:
+  struct Acc {
+    double err = 0.0;
+    double ref = 0.0;
+    std::size_t n = 0;
+  };
+  Acc total_;
+  std::vector<Acc> per_bin_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace mimonet::chanest

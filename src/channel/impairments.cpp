@@ -1,0 +1,52 @@
+#include "channel/impairments.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/rng.hpp"
+#include "dsp/vector_ops.hpp"
+
+namespace mimonet::channel {
+
+double apply_cfo(std::span<cf32> x, double cfo_norm, double phase0) noexcept {
+  return dsp::mix(x, phase0, dsp::two_pi_d * cfo_norm);
+}
+
+std::vector<cf32> apply_sfo(std::span<const cf32> x, double sfo_ppm) {
+  const double step = 1.0 + sfo_ppm * 1e-6;
+  std::vector<cf32> out;
+  out.reserve(x.size());
+  double pos = 0.0;
+  while (true) {
+    const auto i = static_cast<std::size_t>(pos);
+    if (i + 1 >= x.size()) break;
+    const float frac = static_cast<float>(pos - static_cast<double>(i));
+    out.push_back(x[i] * (1.0F - frac) + x[i + 1] * frac);
+    pos += step;
+  }
+  return out;
+}
+
+void quantize(std::span<cf32> x, unsigned bits, float full_scale) noexcept {
+  if (bits == 0 || bits > 24) return;
+  const float levels = static_cast<float>(1U << (bits - 1));  // per polarity
+  const float lsb = full_scale / levels;
+  const auto q = [&](float v) {
+    const float clipped = std::clamp(v, -full_scale, full_scale - lsb);
+    return std::round(clipped / lsb) * lsb;
+  };
+  for (auto& v : x) v = cf32(q(v.real()), q(v.imag()));
+}
+
+std::vector<cf32> pad_with_noise(std::span<const cf32> x, std::size_t count,
+                                 std::size_t tail, double noise_var,
+                                 std::uint64_t seed) {
+  std::vector<cf32> out(count + x.size() + tail);
+  dsp::ComplexGaussian noise(seed, noise_var);
+  noise.fill(std::span(out).first(count));
+  std::copy(x.begin(), x.end(), out.begin() + static_cast<std::ptrdiff_t>(count));
+  noise.fill(std::span(out).last(tail));
+  return out;
+}
+
+}  // namespace mimonet::channel

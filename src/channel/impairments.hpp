@@ -1,0 +1,35 @@
+// Front-end impairments the RF hardware would introduce: carrier frequency
+// offset, sampling frequency offset, timing offset, and ADC quantization.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace mimonet::channel {
+
+using dsp::cf32;
+
+/// Apply a carrier frequency offset of `cfo_norm` cycles/sample (i.e.
+/// f_off / f_s) starting at phase `phase0`; returns the phase after the last
+/// sample so multi-buffer streams stay continuous.
+double apply_cfo(std::span<cf32> x, double cfo_norm, double phase0 = 0.0) noexcept;
+
+/// Resample with a sampling frequency offset: output sample n is taken at
+/// input position n * (1 + sfo_ppm * 1e-6) by linear interpolation. Output
+/// is slightly shorter/longer than input accordingly.
+[[nodiscard]] std::vector<cf32> apply_sfo(std::span<const cf32> x, double sfo_ppm);
+
+/// Quantize to a `bits`-bit ADC with full-scale range [-full_scale,
+/// +full_scale] per I/Q rail (values beyond clip).
+void quantize(std::span<cf32> x, unsigned bits, float full_scale) noexcept;
+
+/// Prepend `count` samples drawn from CN(0, noise_var) (idle-air noise before
+/// the packet) and append `tail` more after it.
+[[nodiscard]] std::vector<cf32> pad_with_noise(std::span<const cf32> x,
+                                               std::size_t count, std::size_t tail,
+                                               double noise_var, std::uint64_t seed);
+
+}  // namespace mimonet::channel

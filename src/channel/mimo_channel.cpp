@@ -1,0 +1,172 @@
+#include "channel/mimo_channel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fir.hpp"
+
+namespace mimonet::channel {
+
+MimoChannel::MimoChannel(ChannelConfig cfg)
+    : cfg_(cfg),
+      fading_(cfg.ntx, cfg.nrx, cfg.profile, cfg.seed * 0x9E3779B97F4A7C15ULL + 1,
+              cfg.rho_tx, cfg.rho_rx),
+      noise_(cfg.seed * 0xC2B2AE3D27D4EB4FULL + 2, noise_variance()),
+      doppler_innovation_(cfg.seed * 0x27D4EB2F165667C5ULL + 5, 1.0),
+      pad_seed_(cfg.seed * 0x165667B19E3779F9ULL + 3) {
+  if (!cfg.fading && cfg.ntx != cfg.nrx) {
+    throw std::invalid_argument("MimoChannel: identity channel needs ntx == nrx");
+  }
+  if (cfg.doppler_norm < 0.0) {
+    throw std::invalid_argument("MimoChannel: negative doppler");
+  }
+  current_ = cfg.fading ? fading_.next() : identity_channel(cfg.ntx);
+}
+
+double MimoChannel::noise_variance() const noexcept {
+  // TX streams are unit power scaled by 1/sqrt(ntx) each and channel gains
+  // are unit power per rx-tx pair, so mean RX signal power per antenna is 1.
+  return dsp::from_db(-cfg_.snr_db);
+}
+
+void MimoChannel::fix_realization(ChannelRealization realization) {
+  if (realization.ntx != cfg_.ntx || realization.nrx != cfg_.nrx) {
+    throw std::invalid_argument("fix_realization: antenna count mismatch");
+  }
+  current_ = std::move(realization);
+  fixed_ = true;
+}
+
+std::vector<std::vector<cf32>> MimoChannel::transmit(
+    const std::vector<std::vector<cf32>>& tx_streams) {
+  if (tx_streams.size() != cfg_.ntx) {
+    throw std::invalid_argument("MimoChannel: wrong TX stream count");
+  }
+  const std::size_t len = tx_streams[0].size();
+  for (const auto& s : tx_streams) {
+    if (s.size() != len) throw std::invalid_argument("MimoChannel: ragged TX streams");
+  }
+
+  if (cfg_.fading && !fixed_) current_ = fading_.next();
+
+  const std::size_t n_taps = current_.taps[0][0].size();
+  const std::size_t conv_len = len + n_taps - 1;
+  const double nv = noise_variance();
+  const bool doppler = cfg_.fading && cfg_.doppler_norm > 0.0;
+
+  std::vector<std::vector<cf32>> faded;
+  if (doppler) {
+    faded = propagate_doppler(tx_streams, conv_len);
+  }
+
+  std::vector<std::vector<cf32>> rx(cfg_.nrx);
+  for (std::size_t r = 0; r < cfg_.nrx; ++r) {
+    std::vector<cf32> acc;
+    if (doppler) {
+      acc = std::move(faded[r]);
+    } else {
+      // Sum of per-TX convolutions with the static realization.
+      acc.assign(conv_len, cf32{0.0F, 0.0F});
+      for (std::size_t t = 0; t < cfg_.ntx; ++t) {
+        dsp::FirFilter fir(current_.taps[r][t]);
+        // Feed the stream plus a zero tail to flush the full convolution.
+        std::vector<cf32> padded(tx_streams[t]);
+        padded.resize(conv_len, cf32{0.0F, 0.0F});
+        const auto y = fir.process(padded);
+        for (std::size_t i = 0; i < conv_len; ++i) acc[i] += y[i];
+      }
+    }
+
+    // One local oscillator per device: the same CFO on every RX antenna.
+    if (cfg_.cfo_norm != 0.0) apply_cfo(acc, cfg_.cfo_norm);
+    if (cfg_.sfo_ppm != 0.0) acc = apply_sfo(acc, cfg_.sfo_ppm);
+
+    // Timing pad (noise-only air before/after the burst), then AWGN over
+    // the whole capture.
+    auto capture =
+        pad_with_noise(acc, cfg_.timing_pad, cfg_.tail_pad, nv, pad_seed_ + r);
+    noise_.add_to(
+        std::span(capture).subspan(cfg_.timing_pad, capture.size() - cfg_.timing_pad -
+                                                        cfg_.tail_pad));
+    if (cfg_.adc_bits != 0) quantize(capture, cfg_.adc_bits, cfg_.adc_full_scale);
+    rx[r] = std::move(capture);
+  }
+
+  truth_.realization = current_;
+  truth_.cfo_norm = cfg_.cfo_norm;
+  truth_.packet_start = cfg_.timing_pad;
+  truth_.noise_variance = nv;
+  truth_.snr_db = cfg_.snr_db;
+  return rx;
+}
+
+std::vector<std::vector<cf32>> MimoChannel::propagate_doppler(
+    const std::vector<std::vector<cf32>>& tx_streams, std::size_t conv_len) {
+  // First-order Gauss-Markov tap evolution, advanced once per block:
+  // h' = rho h + sqrt(1 - rho^2) * sqrt(p_tap) * w, preserving each tap's
+  // stationary power. One block per OFDM symbol keeps the channel constant
+  // within a symbol (no ICI) while aging across the packet.
+  constexpr std::size_t kBlock = 80;
+  const double rho = std::exp(-dsp::two_pi_d * cfg_.doppler_norm *
+                              static_cast<double>(kBlock));
+  const double innov = std::sqrt(std::max(0.0, 1.0 - rho * rho));
+  const auto powers = profile_powers(cfg_.profile);
+  const std::size_t n_taps = powers.size();
+  const std::size_t len = tx_streams[0].size();
+
+  auto taps = current_.taps;  // working copy that ages block by block
+  std::vector<std::vector<cf32>> out(
+      cfg_.nrx, std::vector<cf32>(conv_len, cf32{0.0F, 0.0F}));
+
+  for (std::size_t start = 0; start < len; start += kBlock) {
+    const std::size_t n = std::min(kBlock, len - start);
+    for (std::size_t r = 0; r < cfg_.nrx; ++r) {
+      for (std::size_t t = 0; t < cfg_.ntx; ++t) {
+        const auto& h = taps[r][t];
+        const auto& x = tx_streams[t];
+        // Direct convolution of this block (history reaches into the
+        // previous block's input, which is fine: x is fully available).
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::size_t pos = start + i;
+          dsp::cf64 acc{0.0, 0.0};
+          for (std::size_t k = 0; k < n_taps && k <= pos; ++k) {
+            acc += dsp::cf64(h[k]) * dsp::cf64(x[pos - k]);
+          }
+          out[r][pos] += cf32(static_cast<float>(acc.real()),
+                              static_cast<float>(acc.imag()));
+        }
+      }
+    }
+    // Age the taps for the next block.
+    for (std::size_t r = 0; r < cfg_.nrx; ++r) {
+      for (std::size_t t = 0; t < cfg_.ntx; ++t) {
+        for (std::size_t k = 0; k < n_taps; ++k) {
+          const cf32 w = doppler_innovation_.sample();
+          const double sigma = std::sqrt(powers[k]);
+          const dsp::cf64 aged = rho * dsp::cf64(taps[r][t][k]) +
+                                 innov * sigma * dsp::cf64(w);
+          taps[r][t][k] = cf32(static_cast<float>(aged.real()),
+                               static_cast<float>(aged.imag()));
+        }
+      }
+    }
+  }
+  // Convolution tail of the final block (last n_taps - 1 samples).
+  for (std::size_t r = 0; r < cfg_.nrx; ++r) {
+    for (std::size_t t = 0; t < cfg_.ntx; ++t) {
+      const auto& h = taps[r][t];
+      const auto& x = tx_streams[t];
+      for (std::size_t pos = len; pos < conv_len; ++pos) {
+        dsp::cf64 acc{0.0, 0.0};
+        for (std::size_t k = pos - len + 1; k < n_taps; ++k) {
+          acc += dsp::cf64(h[k]) * dsp::cf64(x[pos - k]);
+        }
+        out[r][pos] += cf32(static_cast<float>(acc.real()),
+                            static_cast<float>(acc.imag()));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mimonet::channel

@@ -1,0 +1,94 @@
+// The composed MIMO channel simulator: block fading + CFO + SFO + timing
+// offset + AWGN + ADC quantization. This stands in for the multi-antenna
+// USRP front-ends of the paper's testbed (see DESIGN.md, substitution table).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/fading.hpp"
+#include "channel/impairments.hpp"
+#include "dsp/rng.hpp"
+#include "dsp/types.hpp"
+
+namespace mimonet::channel {
+
+/// Everything the "air" does to the packet.
+struct ChannelConfig {
+  std::size_t ntx = 1;
+  std::size_t nrx = 1;
+  /// When false the channel matrix is identity (pure AWGN path; needs
+  /// ntx == nrx). When true, Rayleigh block fading with `profile`.
+  bool fading = false;
+  DelayProfile profile = DelayProfile::kFlat;
+  double rho_tx = 0.0;  ///< TX-side Kronecker correlation
+  double rho_rx = 0.0;  ///< RX-side Kronecker correlation
+  double snr_db = 30.0;
+  /// Carrier frequency offset, cycles/sample (f_off / 20 MHz). 802.11 worst
+  /// case +/-40 ppm at 2.4 GHz is about +/-5e-6 * ... ~= 4.8e-3 cycles/sample.
+  double cfo_norm = 0.0;
+  /// Normalized maximum Doppler frequency f_D / f_s. When > 0 (and fading
+  /// is on) the taps evolve *within* the packet as a first-order
+  /// Gauss-Markov process updated every OFDM-symbol-length block, so the
+  /// channel the HT-LTFs measured ages by the last data symbol. At 20 Msps,
+  /// vehicular 2.4 GHz Doppler (~200 Hz) is 1e-5; values up to ~1e-4 model
+  /// very fast fading.
+  double doppler_norm = 0.0;
+  double sfo_ppm = 0.0;       ///< sampling clock offset
+  std::size_t timing_pad = 0; ///< noise-only samples before the packet
+  std::size_t tail_pad = 0;   ///< noise-only samples after the packet
+  unsigned adc_bits = 0;      ///< 0 = ideal front end
+  float adc_full_scale = 4.0F;
+  std::uint64_t seed = 1;
+};
+
+/// Per-packet ground truth for estimator-accuracy experiments.
+struct ChannelTruth {
+  ChannelRealization realization;
+  double cfo_norm = 0.0;
+  std::size_t packet_start = 0;  ///< index of the first packet sample at RX
+  double noise_variance = 0.0;
+  double snr_db = 0.0;
+};
+
+/// Simulates one direction of a MIMO link. Each call to transmit() draws a
+/// fresh block-fading realization (unless a fixed one was pinned) and runs
+/// the full impairment chain.
+class MimoChannel {
+ public:
+  explicit MimoChannel(ChannelConfig cfg);
+
+  /// Propagate per-TX-antenna streams; returns per-RX-antenna streams.
+  /// All TX streams must be equal length. Output length is timing_pad +
+  /// len + taps - 1 + tail_pad (slightly different under SFO).
+  [[nodiscard]] std::vector<std::vector<cf32>> transmit(
+      const std::vector<std::vector<cf32>>& tx_streams);
+
+  /// Pin a specific realization; subsequent transmits reuse it.
+  void fix_realization(ChannelRealization realization);
+  /// Return to drawing a fresh realization per packet.
+  void unfix_realization() noexcept { fixed_ = false; }
+
+  /// Ground truth of the most recent transmit().
+  [[nodiscard]] const ChannelTruth& truth() const noexcept { return truth_; }
+
+  [[nodiscard]] const ChannelConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] double noise_variance() const noexcept;
+
+ private:
+  /// Time-varying propagation: block-wise convolution with taps that age
+  /// between blocks.
+  [[nodiscard]] std::vector<std::vector<cf32>> propagate_doppler(
+      const std::vector<std::vector<cf32>>& tx_streams, std::size_t conv_len);
+
+  ChannelConfig cfg_;
+  FadingGenerator fading_;
+  dsp::ComplexGaussian noise_;
+  dsp::ComplexGaussian doppler_innovation_;
+  ChannelRealization current_;
+  bool fixed_ = false;
+  ChannelTruth truth_;
+  std::uint64_t pad_seed_;
+};
+
+}  // namespace mimonet::channel

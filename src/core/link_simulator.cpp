@@ -1,0 +1,98 @@
+#include "core/link_simulator.hpp"
+
+#include <cmath>
+
+#include "wifi/bits.hpp"
+#include "wifi/psdu.hpp"
+
+namespace mimonet::core {
+
+namespace {
+
+/// Fold the link-level seed into the channel's, so varying LinkConfig::seed
+/// varies fading/noise draws too (channel.seed can still be pinned
+/// explicitly relative to it for common-random-number comparisons).
+channel::ChannelConfig seeded_channel(const LinkConfig& cfg) {
+  auto ch = cfg.channel;
+  ch.seed = ch.seed * 0x9E3779B97F4A7C15ULL + cfg.seed;
+  return ch;
+}
+
+}  // namespace
+
+LinkSimulator::LinkSimulator(LinkConfig cfg)
+    : cfg_(cfg),
+      tx_(cfg.phy),
+      chan_(seeded_channel(cfg)),
+      rx_(cfg.phy, cfg.channel.nrx),
+      payload_src_(cfg.seed * 0x2545F4914F6CDD1DULL + 7) {}
+
+LinkResult LinkSimulator::run(
+    std::size_t n_packets,
+    const std::function<void(const RxPacket&, const std::vector<std::uint8_t>&)>&
+        observer) {
+  LinkResult res;
+
+  wifi::MacHeader hdr;
+  hdr.addr1 = {0x02, 0x11, 0x22, 0x33, 0x44, 0x55};
+  hdr.addr2 = {0x02, 0xAA, 0xBB, 0xCC, 0xDD, 0xEE};
+  hdr.addr3 = hdr.addr1;
+
+  for (std::size_t p = 0; p < n_packets; ++p) {
+    hdr.sequence_control = static_cast<std::uint16_t>(p << 4U);
+    const auto payload = payload_src_.bytes(cfg_.psdu_payload_bytes);
+    const auto psdu = wifi::build_psdu(hdr, payload);
+
+    const auto tx_streams = tx_.transmit(psdu);
+    const auto capture = chan_.transmit(tx_streams);
+    const auto& truth = chan_.truth();
+
+    const auto rx_pkt = rx_.receive(capture);
+    const double airtime = tx_.layout(psdu.size()).airtime_us();
+
+    if (!rx_pkt) {
+      ++res.undetected;
+      res.per.add(false);
+      res.throughput.add_packet(0, airtime);
+      continue;
+    }
+
+    const bool ok = rx_pkt->fcs_ok;
+    res.per.add(ok);
+    res.throughput.add_packet(ok ? payload.size() : 0, airtime);
+
+    if (rx_pkt->htsig_ok && rx_pkt->psdu.size() == psdu.size()) {
+      const auto sent_bits = wifi::bytes_to_bits(psdu);
+      const auto got_bits = wifi::bytes_to_bits(rx_pkt->psdu);
+      res.ber.add(sent_bits, got_bits);
+    } else if (rx_pkt->htsig_ok) {
+      // Length corrupted: count every PSDU bit as errored.
+      res.ber.add_counts(psdu.size() * 8, psdu.size() * 8);
+    }
+
+    res.snr_est_db.add(rx_pkt->snr.snr_db);
+    if (rx_pkt->pilot_snr.noise_variance > 0.0) {
+      res.pilot_snr_db.add(rx_pkt->pilot_snr.snr_db);
+    }
+    res.timing_err.add(static_cast<double>(rx_pkt->sync.packet_start) -
+                       static_cast<double>(truth.packet_start));
+    res.cfo_err.add(rx_pkt->sync.cfo_norm - truth.cfo_norm);
+
+    if (observer) observer(*rx_pkt, psdu);
+  }
+  return res;
+}
+
+LinkConfig make_link_config(unsigned mcs, double snr_db, std::size_t nrx) {
+  LinkConfig cfg;
+  cfg.phy.mcs = mcs;
+  const auto info = wifi::mcs_info(mcs);
+  cfg.channel.ntx = info.nss;
+  cfg.channel.nrx = (nrx == 0) ? info.nss : nrx;
+  cfg.channel.snr_db = snr_db;
+  cfg.channel.timing_pad = 400;
+  cfg.channel.tail_pad = 100;
+  return cfg;
+}
+
+}  // namespace mimonet::core

@@ -1,0 +1,412 @@
+#include "core/receiver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <span>
+#include <stdexcept>
+
+#include "channel/impairments.hpp"
+#include "chanest/phase_tracker.hpp"
+#include "dsp/fft.hpp"
+#include "eq/alamouti.hpp"
+#include "eq/equalizer.hpp"
+#include "fec/ldpc.hpp"
+#include "fec/scrambler.hpp"
+#include "mod/constellation.hpp"
+#include "ofdm/pilots.hpp"
+#include "wifi/bits.hpp"
+#include "wifi/interleaver.hpp"
+#include "wifi/mcs.hpp"
+#include "wifi/preamble.hpp"
+#include "wifi/psdu.hpp"
+#include "wifi/stream_parser.hpp"
+
+namespace mimonet::core {
+
+namespace {
+
+/// All occupied HT bins (data + pilots) sorted by logical index, for
+/// frequency smoothing.
+std::vector<std::size_t> occupied_ht_bins() {
+  std::vector<std::size_t> bins;
+  for (int k = -28; k <= 28; ++k) {
+    if (k == 0) continue;
+    bins.push_back(ofdm::SubcarrierMap::logical_to_bin(k));
+  }
+  return bins;
+}
+
+/// Recover the TX scrambler seed from the 7 descrambler-sync bits at the
+/// head of the SERVICE field (which the transmitter sends as zeros, so the
+/// received bits equal the scrambler sequence itself).
+std::uint32_t recover_scrambler_seed(std::span<const std::uint8_t> first7) {
+  for (std::uint32_t seed = 1; seed < 128; ++seed) {
+    const auto seq = fec::scrambler_sequence(seed, 7);
+    bool match = true;
+    for (std::size_t i = 0; i < 7; ++i) {
+      if (seq[i] != (first7[i] & 1U)) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return seed;
+  }
+  return fec::kDefaultScramblerSeed;  // undecodable; any seed will fail FCS
+}
+
+}  // namespace
+
+Receiver::Receiver(PhyConfig cfg, std::size_t nrx)
+    : cfg_(cfg),
+      nrx_(nrx),
+      synchronizer_(sync::FrameSyncConfig{.mode = cfg.timing_mode}),
+      legacy_demod_(ofdm::CarrierPlan::kLegacy),
+      ht_demod_(ofdm::CarrierPlan::kHt) {
+  if (nrx == 0 || nrx > 4) throw std::invalid_argument("Receiver: nrx must be 1..4");
+}
+
+std::vector<float> Receiver::decode_sig_llrs(
+    const std::vector<std::vector<cf32>>& grids,
+    const std::vector<std::vector<cf32>>& h_legacy, float noise_var,
+    bool qbpsk) const {
+  const auto& data_bins = legacy_demod_.map().data_bins();
+  std::vector<cf32> mrc(data_bins.size());
+  for (std::size_t i = 0; i < data_bins.size(); ++i) {
+    const std::size_t bin = data_bins[i];
+    dsp::cf64 num{0.0, 0.0};
+    for (std::size_t r = 0; r < nrx_; ++r) {
+      num += dsp::cf64(grids[r][bin]) * std::conj(dsp::cf64(h_legacy[r][bin]));
+    }
+    // Unnormalized MRC: llr = -4 * axis(num) / nv is exact because the MRC
+    // gain cancels between numerator and effective noise variance.
+    mrc[i] = cf32(static_cast<float>(num.real()), static_cast<float>(num.imag()));
+  }
+  return wifi::demap_sig_field(mrc, noise_var, qbpsk);
+}
+
+std::optional<RxPacket> Receiver::receive(
+    const std::vector<std::vector<cf32>>& capture) const {
+  if (capture.size() != nrx_) {
+    throw std::invalid_argument("Receiver: capture antenna count mismatch");
+  }
+  const auto sync_res = synchronizer_.synchronize(capture);
+  if (!sync_res) return std::nullopt;
+
+  RxPacket pkt;
+  pkt.sync = *sync_res;
+
+  // CFO-corrected, packet-aligned copy.
+  const std::size_t start = sync_res->packet_start;
+  const std::size_t avail = capture[0].size() - start;
+  FrameLayout probe;  // nss=1 layout: offsets through HT-STF are nss-free
+  if (avail < probe.htltf_offset() + wifi::kHtLtfLen) return std::nullopt;
+
+  std::vector<std::vector<cf32>> rx(nrx_);
+  for (std::size_t a = 0; a < nrx_; ++a) {
+    rx[a].assign(capture[a].begin() + static_cast<std::ptrdiff_t>(start),
+                 capture[a].end());
+    channel::apply_cfo(rx[a], -sync_res->cfo_norm);
+  }
+
+  const dsp::FftPlan fft64(ofdm::kFftSize);
+
+  // ---- L-LTF: legacy channel estimate + SNR estimate. ----
+  const std::size_t lltf_payload = probe.lltf_offset() + 32;
+  std::vector<std::vector<std::vector<cf32>>> lltf_grids(
+      nrx_, std::vector<std::vector<cf32>>(2, std::vector<cf32>(ofdm::kFftSize)));
+  for (std::size_t a = 0; a < nrx_; ++a) {
+    for (std::size_t rep = 0; rep < 2; ++rep) {
+      fft64.forward(std::span<const cf32>(rx[a]).subspan(lltf_payload + rep * 64, 64),
+                    lltf_grids[a][rep]);
+    }
+  }
+  const auto h_legacy = chanest::LsChannelEstimator::estimate_legacy(lltf_grids);
+
+  std::vector<std::span<const cf32>> lltf_spans;
+  lltf_spans.reserve(nrx_);
+  for (const auto& a : rx) {
+    lltf_spans.emplace_back(std::span<const cf32>(a).subspan(lltf_payload, 128));
+  }
+  pkt.snr = chanest::snr_from_lltf(lltf_spans);
+  const auto nv_bin = static_cast<float>(
+      64.0 * std::max(pkt.snr.noise_variance, 1e-12));
+
+  // ---- L-SIG. ----
+  std::vector<std::vector<cf32>> sig_grid(nrx_, std::vector<cf32>(ofdm::kFftSize));
+  const auto demod_symbol_grids = [&](std::size_t offset) {
+    for (std::size_t a = 0; a < nrx_; ++a) {
+      fft64.forward(
+          std::span<const cf32>(rx[a]).subspan(offset + ofdm::kCpLen, ofdm::kFftSize),
+          sig_grid[a]);
+    }
+  };
+
+  demod_symbol_grids(probe.lsig_offset());
+  const auto lsig_llrs = decode_sig_llrs(sig_grid, h_legacy, nv_bin, /*qbpsk=*/false);
+  const auto lsig_bits = viterbi_.decode_soft(lsig_llrs, /*terminated=*/true);
+  if (const auto lsig = wifi::decode_lsig(lsig_bits)) {
+    pkt.lsig = *lsig;
+    pkt.lsig_ok = true;
+  }
+
+  // ---- HT-SIG (two symbols, one coded block). ----
+  std::vector<float> htsig_llrs;
+  for (std::size_t s = 0; s < 2; ++s) {
+    demod_symbol_grids(probe.htsig_offset() + s * ofdm::kSymLen);
+    const auto llrs = decode_sig_llrs(sig_grid, h_legacy, nv_bin, /*qbpsk=*/true);
+    htsig_llrs.insert(htsig_llrs.end(), llrs.begin(), llrs.end());
+  }
+  const auto htsig_bits = viterbi_.decode_soft(htsig_llrs, /*terminated=*/true);
+  const auto htsig = wifi::decode_htsig(htsig_bits);
+  if (!htsig) return pkt;
+  pkt.htsig = *htsig;
+  pkt.htsig_ok = true;
+
+  // ---- Frame geometry from HT-SIG. ----
+  wifi::McsInfo mcs;
+  try {
+    mcs = wifi::mcs_info(pkt.htsig.mcs);
+  } catch (const std::invalid_argument&) {
+    pkt.htsig_ok = false;  // CRC passed but the MCS is outside our support
+    return pkt;
+  }
+  const bool stbc = pkt.htsig.stbc != 0;
+  if (stbc && (pkt.htsig.stbc != 1 || mcs.nss != 1)) {
+    pkt.htsig_ok = false;  // only the 1-stream / 2-STS Alamouti mode exists
+    return pkt;
+  }
+  const std::size_t nsts = stbc ? 2 : mcs.nss;
+  // The FEC family is announced in HT-SIG, so the receiver self-configures.
+  const FecType fec_type = pkt.htsig.fec_coding ? FecType::kLdpc : FecType::kBcc;
+  FrameLayout fl;
+  fl.nss = nsts;
+  fl.n_data_symbols = data_symbol_count(mcs, pkt.htsig.length, cfg_.fec_enabled,
+                                        stbc, fec_type);
+  if (avail < fl.total_samples()) return pkt;  // truncated capture
+
+  // ---- HT-LTF channel estimation. ----
+  const std::size_t n_ltf = fl.n_ht_ltfs();
+  std::vector<std::vector<std::vector<cf32>>> ltf_grids(
+      nrx_, std::vector<std::vector<cf32>>(n_ltf, std::vector<cf32>(ofdm::kFftSize)));
+  for (std::size_t a = 0; a < nrx_; ++a) {
+    for (std::size_t n = 0; n < n_ltf; ++n) {
+      fft64.forward(std::span<const cf32>(rx[a]).subspan(
+                        fl.htltf_offset() + n * wifi::kHtLtfLen + ofdm::kCpLen, 64),
+                    ltf_grids[a][n]);
+    }
+  }
+  const chanest::LsChannelEstimator ls(nrx_, nsts);
+  auto est = ls.estimate(ltf_grids);
+  if (cfg_.smoothing) {
+    static const auto bins = occupied_ht_bins();
+    std::vector<int> csd(nsts);
+    for (std::size_t s = 0; s < nsts; ++s) {
+      csd[s] = wifi::ht_csd_samples(s, nsts);
+    }
+    chanest::smooth_frequency(est, bins, csd);
+  }
+
+  // ---- Data symbols. ----
+  const mod::Constellation constellation(mcs.modulation);
+  const unsigned bps = constellation.bits_per_symbol();
+  const auto& data_bins = ht_demod_.map().data_bins();
+  const auto& pilot_bins = ht_demod_.map().pilot_bins();
+
+  chanest::PilotPhaseTracker tracker(est);
+  chanest::EvmSnrEstimator pilot_evm;
+
+  std::unique_ptr<eq::LinearEqualizer> lin_eq;
+  std::unique_ptr<eq::MlDetector> ml_det;
+  if (!stbc) {
+    if (cfg_.equalizer == eq::EqualizerType::kMaxLikelihood && mcs.nss <= 2) {
+      ml_det = std::make_unique<eq::MlDetector>(constellation, mcs.nss);
+    } else {
+      lin_eq = std::make_unique<eq::LinearEqualizer>(
+          cfg_.equalizer == eq::EqualizerType::kMaxLikelihood
+              ? eq::EqualizerType::kMmse
+              : cfg_.equalizer);
+    }
+  }
+
+  // Pre-fetch channel matrices for the data bins.
+  std::vector<eq::CMatrix> h_at(ofdm::kFftSize);
+  for (const std::size_t b : data_bins) h_at[b] = est.at_bin(b);
+
+  std::vector<std::vector<float>> stream_llrs(mcs.nss);
+  for (auto& v : stream_llrs) {
+    v.reserve(fl.n_data_symbols * wifi::kHtDataCarriers * bps);
+  }
+
+  std::vector<std::vector<cf32>> grids(nrx_, std::vector<cf32>(ofdm::kFftSize));
+  std::vector<cf32> y(nrx_);
+  std::vector<float> llr_buf(mcs.nss * bps);
+
+  // Demodulate data symbol `n` into `out_grids`, run pilot CPE tracking and
+  // pilot-EVM accounting, and return the derotation phasor to apply.
+  const auto demod_data_symbol = [&](std::size_t n,
+                                     std::vector<std::vector<cf32>>& out_grids) {
+    const std::size_t off = fl.data_offset() + n * ofdm::kSymLen;
+    for (std::size_t a = 0; a < nrx_; ++a) {
+      fft64.forward(std::span<const cf32>(rx[a]).subspan(off + ofdm::kCpLen, 64),
+                    out_grids[a]);
+    }
+    cf32 derotate{1.0F, 0.0F};
+    std::vector<std::array<cf32, 4>> rx_pilots(nrx_);
+    for (std::size_t a = 0; a < nrx_; ++a) {
+      for (std::size_t p = 0; p < 4; ++p) {
+        rx_pilots[a][p] = out_grids[a][pilot_bins[p]];
+      }
+    }
+    if (cfg_.phase_tracking) {
+      const double raw = tracker.estimate_cpe(rx_pilots, n);
+      const double theta = tracker.track(raw);
+      derotate = dsp::phasor(static_cast<float>(-theta));
+    }
+    // Pilot EVM (after derotation) feeds the fine-grained SNR estimate.
+    for (std::size_t a = 0; a < nrx_; ++a) {
+      for (std::size_t p = 0; p < 4; ++p) {
+        dsp::cf64 expected{0.0, 0.0};
+        for (std::size_t s = 0; s < nsts; ++s) {
+          const auto pv = ofdm::ht_data_pilots(nsts, s, n);
+          expected += dsp::cf64(est.h[a][s][pilot_bins[p]]) * dsp::cf64(pv[p]);
+        }
+        pilot_evm.add(pilot_bins[p], rx_pilots[a][p] * derotate,
+                      cf32(static_cast<float>(expected.real()),
+                           static_cast<float>(expected.imag())));
+      }
+    }
+    return derotate;
+  };
+
+  // Decision-directed LMS channel update for one subcarrier: slice the
+  // equalized symbols, form the reconstruction error per antenna, and nudge
+  // H toward explaining the observation. Counters intra-packet fading.
+  const bool dd_tracking = cfg_.decision_tracking && !stbc && lin_eq != nullptr;
+  std::vector<dsp::cf64> sliced(mcs.nss);
+  const auto dd_update = [&](std::size_t bin, std::span<const cf32> y_obs,
+                             const eq::EqualizedCarrier& eqd) {
+    auto& h = h_at[bin];
+    for (std::size_t s = 0; s < mcs.nss; ++s) {
+      sliced[s] =
+          dsp::cf64(constellation.points()[constellation.hard_decision(eqd.symbols[s])]);
+    }
+    const double mu = static_cast<double>(cfg_.decision_tracking_mu) /
+                      static_cast<double>(mcs.nss);
+    for (std::size_t a = 0; a < nrx_; ++a) {
+      dsp::cf64 pred{0.0, 0.0};
+      for (std::size_t s = 0; s < mcs.nss; ++s) pred += h(a, s) * sliced[s];
+      const dsp::cf64 err = dsp::cf64(y_obs[a]) - pred;
+      for (std::size_t s = 0; s < mcs.nss; ++s) {
+        // Unit-energy constellations: |x|^2 ~ 1, so no normalizer needed.
+        h(a, s) += mu * err * std::conj(sliced[s]);
+      }
+    }
+  };
+
+  if (!stbc) {
+    for (std::size_t n = 0; n < fl.n_data_symbols; ++n) {
+      const cf32 derotate = demod_data_symbol(n, grids);
+      for (const std::size_t bin : data_bins) {
+        for (std::size_t a = 0; a < nrx_; ++a) y[a] = grids[a][bin] * derotate;
+
+        if (ml_det) {
+          ml_det->demap(h_at[bin], y, nv_bin, llr_buf);
+          for (std::size_t s = 0; s < mcs.nss; ++s) {
+            for (unsigned b = 0; b < bps; ++b) {
+              stream_llrs[s].push_back(llr_buf[s * bps + b]);
+            }
+          }
+        } else {
+          const auto eqd = lin_eq->equalize(h_at[bin], y, nv_bin);
+          for (std::size_t s = 0; s < mcs.nss; ++s) {
+            constellation.demap_soft(eqd.symbols[s], eqd.noise_vars[s],
+                                     std::span<float>(llr_buf).first(bps));
+            for (unsigned b = 0; b < bps; ++b) stream_llrs[s].push_back(llr_buf[b]);
+          }
+          if (dd_tracking) dd_update(bin, y, eqd);
+        }
+      }
+    }
+  } else {
+    // Alamouti: decode pairwise. LLRs of the pair's first symbol must land
+    // before the second's to match the transmitter's bit order.
+    std::vector<std::vector<cf32>> grids2(nrx_, std::vector<cf32>(ofdm::kFftSize));
+    std::vector<cf32> y2(nrx_);
+    std::vector<float> llrs_first(data_bins.size() * bps);
+    std::vector<float> llrs_second(data_bins.size() * bps);
+    for (std::size_t n = 0; n + 1 < fl.n_data_symbols + 1; n += 2) {
+      const cf32 derot1 = demod_data_symbol(n, grids);
+      const cf32 derot2 = demod_data_symbol(n + 1, grids2);
+      for (std::size_t i = 0; i < data_bins.size(); ++i) {
+        const std::size_t bin = data_bins[i];
+        for (std::size_t a = 0; a < nrx_; ++a) {
+          y[a] = grids[a][bin] * derot1;
+          y2[a] = grids2[a][bin] * derot2;
+        }
+        const auto dec = eq::alamouti_combine(h_at[bin], y, y2, nv_bin);
+        constellation.demap_soft(
+            dec.d1, dec.noise_var,
+            std::span<float>(llrs_first).subspan(i * bps, bps));
+        constellation.demap_soft(
+            dec.d2, dec.noise_var,
+            std::span<float>(llrs_second).subspan(i * bps, bps));
+      }
+      stream_llrs[0].insert(stream_llrs[0].end(), llrs_first.begin(),
+                            llrs_first.end());
+      stream_llrs[0].insert(stream_llrs[0].end(), llrs_second.begin(),
+                            llrs_second.end());
+    }
+  }
+
+  pkt.pilot_snr = pilot_evm.estimate();
+  pkt.residual_cfo_norm = tracker.residual_cfo_norm();
+  pkt.channel = std::move(est);
+
+  // ---- Deinterleave per stream, merge, FEC-decode, descramble. ----
+  const wifi::StreamParser parser(mcs.bits_per_subcarrier(), mcs.nss);
+  std::vector<std::vector<float>> deinterleaved(mcs.nss);
+  for (std::size_t s = 0; s < mcs.nss; ++s) {
+    const wifi::Interleaver il(mcs.bits_per_subcarrier(), s, mcs.nss);
+    deinterleaved[s] = il.deinterleave(stream_llrs[s]);
+  }
+  const auto merged = parser.merge(deinterleaved);
+
+  std::vector<std::uint8_t> scrambled;
+  if (cfg_.fec_enabled && fec_type == FecType::kLdpc) {
+    static const fec::LdpcCode code;
+    const std::size_t n_cw = ldpc_codeword_count(pkt.htsig.length);
+    if (merged.size() < n_cw * kLdpcN) return pkt;
+    scrambled.reserve(n_cw * kLdpcK);
+    for (std::size_t cw = 0; cw < n_cw; ++cw) {
+      const auto word = code.decode(
+          std::span<const float>(merged).subspan(cw * kLdpcN, kLdpcN));
+      scrambled.insert(scrambled.end(), word.begin(),
+                       word.begin() + static_cast<long>(kLdpcK));
+    }
+  } else if (cfg_.fec_enabled) {
+    const std::size_t n_info = fl.n_data_symbols * mcs.data_bits_per_symbol();
+    auto full = fec::depuncture(merged, mcs.rate);
+    full.resize(2 * n_info, 0.0F);
+    scrambled = viterbi_.decode_soft(full, /*terminated=*/false);
+  } else {
+    scrambled.resize(merged.size());
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+      scrambled[i] = (merged[i] < 0.0F) ? 1 : 0;
+    }
+  }
+
+  const std::size_t psdu_bits = 8 * static_cast<std::size_t>(pkt.htsig.length);
+  if (scrambled.size() < kServiceBits + psdu_bits) return pkt;
+
+  const std::uint32_t seed =
+      recover_scrambler_seed(std::span(scrambled).first(7));
+  fec::scramble_in_place(scrambled, seed);
+
+  pkt.psdu = wifi::bits_to_bytes(
+      std::span(scrambled).subspan(kServiceBits, psdu_bits));
+  pkt.fcs_ok = wifi::psdu_fcs_ok(pkt.psdu);
+  return pkt;
+}
+
+}  // namespace mimonet::core

@@ -1,0 +1,77 @@
+// The MIMONet receiver: synchronization, channel estimation, MIMO
+// equalization, phase tracking, demapping, FEC decoding and PSDU recovery —
+// plus the per-packet diagnostics (SNR estimate, sync state) the paper's
+// evaluation relies on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "chanest/ls_estimator.hpp"
+#include "chanest/snr_estimator.hpp"
+#include "core/phy_config.hpp"
+#include "dsp/types.hpp"
+#include "fec/viterbi.hpp"
+#include "ofdm/symbol.hpp"
+#include "sync/frame_sync.hpp"
+#include "wifi/signal_field.hpp"
+
+namespace mimonet::core {
+
+using dsp::cf32;
+
+/// Everything the receiver learned about one packet.
+struct RxPacket {
+  bool lsig_ok = false;
+  bool htsig_ok = false;
+  bool fcs_ok = false;
+  wifi::LSig lsig;
+  wifi::HtSig htsig;
+  /// Decoded PSDU bytes (present whenever HT-SIG decoded, even if the FCS
+  /// check failed — BER experiments compare it against the sent PSDU).
+  std::vector<std::uint8_t> psdu;
+
+  // Diagnostics.
+  sync::FrameSyncResult sync;
+  chanest::SnrEstimate snr;              ///< L-LTF based estimate
+  chanest::SnrEstimate pilot_snr;        ///< pilot-EVM based estimate
+  chanest::MimoChannelEstimate channel;  ///< post-smoothing HT estimate
+  double residual_cfo_norm = 0.0;        ///< from the pilot phase slope
+};
+
+/// Stateless-per-packet receiver; construct once per configuration.
+class Receiver {
+ public:
+  /// @param cfg  must agree with the transmitter on fec_enabled and the
+  ///        scrambler handling; everything else is negotiated in-band
+  ///        (MCS and length come from HT-SIG).
+  /// @param nrx  number of RX antennas the captures will carry.
+  Receiver(PhyConfig cfg, std::size_t nrx);
+
+  [[nodiscard]] const PhyConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::size_t num_antennas() const noexcept { return nrx_; }
+
+  /// Detect and decode the first packet in a multi-antenna capture.
+  /// Returns nullopt when no packet is detected or synchronization fails;
+  /// otherwise an RxPacket whose ok-flags report how far decoding got.
+  [[nodiscard]] std::optional<RxPacket> receive(
+      const std::vector<std::vector<cf32>>& capture) const;
+
+ private:
+  /// Maximal-ratio combine one legacy symbol across antennas and soft-decode
+  /// its SIG bits. Returns deinterleaved LLRs (48 per symbol).
+  [[nodiscard]] std::vector<float> decode_sig_llrs(
+      const std::vector<std::vector<cf32>>& grids,  // [rx][bin]
+      const std::vector<std::vector<cf32>>& h_legacy, float noise_var,
+      bool qbpsk) const;
+
+  PhyConfig cfg_;
+  std::size_t nrx_;
+  sync::FrameSynchronizer synchronizer_;
+  ofdm::SymbolDemodulator legacy_demod_;
+  ofdm::SymbolDemodulator ht_demod_;
+  fec::ViterbiDecoder viterbi_;
+};
+
+}  // namespace mimonet::core

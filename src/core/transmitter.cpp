@@ -1,0 +1,246 @@
+#include "core/transmitter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+#include "eq/alamouti.hpp"
+#include "fec/ldpc.hpp"
+#include "fec/scrambler.hpp"
+#include "fec/viterbi.hpp"
+#include "ofdm/pilots.hpp"
+#include "wifi/bits.hpp"
+#include "wifi/preamble.hpp"
+#include "wifi/psdu.hpp"
+
+namespace mimonet::core {
+
+Transmitter::Transmitter(PhyConfig cfg)
+    : cfg_(cfg),
+      mcs_(cfg.mcs_info()),
+      nss_(mcs_.nss),
+      nsts_(cfg.n_sts()),
+      constellation_(mcs_.modulation),
+      parser_(mcs_.bits_per_subcarrier(), nss_),
+      ht_mod_(ofdm::CarrierPlan::kHt) {
+  if (cfg.stbc && nss_ != 1) {
+    throw std::invalid_argument("Transmitter: STBC requires a 1-stream MCS (0-7)");
+  }
+  for (std::size_t iss = 0; iss < nss_; ++iss) {
+    interleavers_.emplace_back(mcs_.bits_per_subcarrier(), iss, nss_);
+  }
+}
+
+FrameLayout Transmitter::layout(std::size_t psdu_bytes) const {
+  FrameLayout fl;
+  fl.nss = nsts_;
+  fl.n_data_symbols = data_symbol_count(mcs_, psdu_bytes, cfg_.fec_enabled,
+                                        cfg_.stbc, cfg_.fec_type);
+  return fl;
+}
+
+std::vector<std::uint8_t> Transmitter::encode_data_bits(
+    std::span<const std::uint8_t> psdu) const {
+  const FrameLayout fl = layout(psdu.size());
+
+  if (cfg_.fec_enabled && cfg_.fec_type == FecType::kLdpc) {
+    // LDPC packs whole codewords: SERVICE + PSDU + zero pad to a multiple
+    // of k, scrambled, then one encode per codeword; zero filler bits top
+    // up the last OFDM symbol.
+    const std::size_t n_cw = ldpc_codeword_count(psdu.size());
+    std::vector<std::uint8_t> bits(kServiceBits, 0);
+    const auto psdu_bits = wifi::bytes_to_bits(psdu);
+    bits.insert(bits.end(), psdu_bits.begin(), psdu_bits.end());
+    bits.resize(n_cw * kLdpcK, 0);
+    fec::scramble_in_place(bits, cfg_.scrambler_seed);
+
+    static const fec::LdpcCode code;
+    std::vector<std::uint8_t> coded;
+    coded.reserve(fl.n_data_symbols * mcs_.coded_bits_per_symbol());
+    for (std::size_t cw = 0; cw < n_cw; ++cw) {
+      const auto word =
+          code.encode(std::span(bits).subspan(cw * kLdpcK, kLdpcK));
+      coded.insert(coded.end(), word.begin(), word.end());
+    }
+    coded.resize(fl.n_data_symbols * mcs_.coded_bits_per_symbol(), 0);
+    return coded;
+  }
+
+  const std::size_t n_info =
+      fl.n_data_symbols *
+      (cfg_.fec_enabled ? mcs_.data_bits_per_symbol() : mcs_.coded_bits_per_symbol());
+
+  // SERVICE (16 zero bits: 7 for scrambler init recovery + 9 reserved),
+  // PSDU bits, tail, pad — all scrambled; the tail is then re-zeroed so the
+  // BCC trellis terminates.
+  std::vector<std::uint8_t> bits(kServiceBits, 0);
+  const auto psdu_bits = wifi::bytes_to_bits(psdu);
+  bits.insert(bits.end(), psdu_bits.begin(), psdu_bits.end());
+  const std::size_t tail_pos = bits.size();
+  bits.resize(n_info, 0);  // tail + pad
+
+  fec::scramble_in_place(bits, cfg_.scrambler_seed);
+  if (cfg_.fec_enabled) {
+    for (std::size_t i = 0; i < kTailBits && tail_pos + i < bits.size(); ++i) {
+      bits[tail_pos + i] = 0;
+    }
+    const auto coded = fec::conv_encode(bits);
+    return fec::puncture(coded, mcs_.rate);
+  }
+  return bits;
+}
+
+void Transmitter::modulate_stream(std::span<const std::uint8_t> stream_bits,
+                                  std::size_t iss, std::vector<cf32>& out) const {
+  const auto interleaved = interleavers_[iss].interleave(stream_bits);
+  const auto symbols = constellation_.map_all(interleaved);
+  const std::size_t per_sym = wifi::kHtDataCarriers;
+  const std::size_t n_sym = symbols.size() / per_sym;
+  const float gain = wifi::tone_gain(ht_mod_.map().num_occupied());
+
+  const int csd = wifi::ht_csd_samples(iss, nss_);
+  for (std::size_t n = 0; n < n_sym; ++n) {
+    const auto pilots = ofdm::ht_data_pilots(nss_, iss, n);
+    const std::size_t base = out.size();
+    ht_mod_.modulate(std::span(symbols).subspan(n * per_sym, per_sym),
+                     std::span<const cf32, 4>(pilots), out, csd);
+    for (std::size_t i = base; i < out.size(); ++i) out[i] *= gain;
+  }
+}
+
+void Transmitter::modulate_stbc(std::span<const std::uint8_t> stream_bits,
+                                std::vector<cf32>& chain0,
+                                std::vector<cf32>& chain1) const {
+  const auto interleaved = interleavers_[0].interleave(stream_bits);
+  const auto symbols = constellation_.map_all(interleaved);
+  const std::size_t per_sym = wifi::kHtDataCarriers;
+  const std::size_t n_sym = symbols.size() / per_sym;
+  if (n_sym % 2 != 0) {
+    throw std::logic_error("modulate_stbc: symbol count must be even");
+  }
+  const float gain = wifi::tone_gain(ht_mod_.map().num_occupied());
+  const int csd0 = wifi::ht_csd_samples(0, 2);
+  const int csd1 = wifi::ht_csd_samples(1, 2);
+
+  std::vector<cf32> sts1_data(per_sym);
+  std::vector<cf32> sts2_data(per_sym);
+  for (std::size_t m = 0; m < n_sym; m += 2) {
+    // First symbol of the pair.
+    for (std::size_t pass = 0; pass < 2; ++pass) {
+      const std::size_t n = m + pass;
+      for (std::size_t i = 0; i < per_sym; ++i) {
+        const cf32 d1 = symbols[m * per_sym + i];
+        const cf32 d2 = symbols[(m + 1) * per_sym + i];
+        const auto mapped = eq::alamouti_map(d1, d2);
+        sts1_data[i] = (pass == 0) ? mapped.sts1_first : mapped.sts1_second;
+        sts2_data[i] = (pass == 0) ? mapped.sts2_first : mapped.sts2_second;
+      }
+      const auto p0 = ofdm::ht_data_pilots(2, 0, n);
+      const auto p1 = ofdm::ht_data_pilots(2, 1, n);
+      const std::size_t b0 = chain0.size();
+      ht_mod_.modulate(sts1_data, std::span<const cf32, 4>(p0), chain0, csd0);
+      for (std::size_t i = b0; i < chain0.size(); ++i) chain0[i] *= gain;
+      const std::size_t b1 = chain1.size();
+      ht_mod_.modulate(sts2_data, std::span<const cf32, 4>(p1), chain1, csd1);
+      for (std::size_t i = b1; i < chain1.size(); ++i) chain1[i] *= gain;
+    }
+  }
+}
+
+void Transmitter::append_legacy_symbol(std::span<const cf32> carriers48,
+                                       std::size_t polarity_index, int csd,
+                                       std::vector<cf32>& out) const {
+  if (carriers48.size() != wifi::kLegacyDataCarriers) {
+    throw std::invalid_argument("append_legacy_symbol: need 48 carriers");
+  }
+  static const ofdm::SubcarrierMap legacy_map(ofdm::CarrierPlan::kLegacy);
+  std::vector<cf32> grid(ofdm::kFftSize, cf32{0.0F, 0.0F});
+  for (std::size_t i = 0; i < carriers48.size(); ++i) {
+    grid[legacy_map.data_bins()[i]] = carriers48[i];
+  }
+  const auto pilots = ofdm::legacy_pilot_values(polarity_index);
+  for (std::size_t p = 0; p < 4; ++p) {
+    grid[legacy_map.pilot_bins()[p]] = pilots[p];
+  }
+  wifi::apply_cyclic_shift(grid, csd);
+
+  static const dsp::FftPlan plan(ofdm::kFftSize);
+  const std::size_t base = out.size();
+  ofdm::SymbolModulator::modulate_grid(plan, grid, ofdm::kCpLen, out);
+  const float gain = wifi::tone_gain(52);
+  for (std::size_t i = base; i < out.size(); ++i) out[i] *= gain;
+}
+
+std::vector<std::vector<cf32>> Transmitter::transmit(
+    std::span<const std::uint8_t> psdu) const {
+  if (psdu.size() > wifi::kMaxPsduLen) {
+    throw std::invalid_argument("Transmitter: PSDU too large");
+  }
+  const FrameLayout fl = layout(psdu.size());
+
+  // SIG field contents.
+  wifi::LSig lsig;
+  // Spoofed legacy length so 11a devices defer for the whole PPDU
+  // (802.11n eq. 20-11 shape): LENGTH = ceil((TXTIME - 20us) / 4us) * 3 - 3.
+  const double txtime_us = fl.airtime_us();
+  const auto spoof =
+      static_cast<long>(std::ceil((txtime_us - 20.0) / 4.0)) * 3 - 3;
+  lsig.length = static_cast<std::uint16_t>(std::clamp<long>(spoof, 0, 0xFFF));
+  const auto lsig_bits = wifi::encode_lsig(lsig);
+  const auto lsig_carriers = wifi::map_sig_field(lsig_bits, /*qbpsk=*/false);
+
+  wifi::HtSig htsig;
+  htsig.mcs = static_cast<std::uint8_t>(cfg_.mcs);
+  htsig.length = static_cast<std::uint16_t>(psdu.size());
+  htsig.fec_coding = cfg_.fec_enabled && cfg_.fec_type == FecType::kLdpc;
+  htsig.stbc = cfg_.stbc ? 1 : 0;  // N_STS - N_SS
+  const auto htsig_bits = wifi::encode_htsig(htsig);
+  const auto htsig_carriers = wifi::map_sig_field(htsig_bits, /*qbpsk=*/true);
+
+  // Data bits -> per-stream coded bits.
+  const auto coded = encode_data_bits(psdu);
+  const auto streams = parser_.parse(coded);
+
+  std::vector<std::vector<cf32>> out(nsts_);
+  for (std::size_t sts = 0; sts < nsts_; ++sts) {
+    auto& chain = out[sts];
+    chain.reserve(fl.total_samples());
+
+    // Legacy preamble (per-chain CSD).
+    const auto lstf = wifi::make_lstf(sts, nsts_);
+    chain.insert(chain.end(), lstf.begin(), lstf.end());
+    const auto lltf = wifi::make_lltf(sts, nsts_);
+    chain.insert(chain.end(), lltf.begin(), lltf.end());
+
+    // L-SIG (polarity index 0) and HT-SIG (indices 1, 2), legacy CSD.
+    const int csd = wifi::legacy_csd_samples(sts, nsts_);
+    append_legacy_symbol(lsig_carriers, 0, csd, chain);
+    append_legacy_symbol(std::span(htsig_carriers).first(48), 1, csd, chain);
+    append_legacy_symbol(std::span(htsig_carriers).subspan(48, 48), 2, csd, chain);
+
+    // HT preamble (per space-time-stream HT CSD + P matrix).
+    const auto htstf = wifi::make_htstf(sts, nsts_);
+    chain.insert(chain.end(), htstf.begin(), htstf.end());
+    const auto htltfs = wifi::make_htltfs(sts, nsts_);
+    chain.insert(chain.end(), htltfs.begin(), htltfs.end());
+  }
+
+  // HT data symbols.
+  if (cfg_.stbc) {
+    modulate_stbc(streams[0], out[0], out[1]);
+  } else {
+    for (std::size_t iss = 0; iss < nss_; ++iss) {
+      modulate_stream(streams[iss], iss, out[iss]);
+    }
+  }
+
+  // Keep total radiated power constant across stream counts.
+  const float norm = 1.0F / std::sqrt(static_cast<float>(nsts_));
+  for (auto& chain : out) {
+    for (auto& v : chain) v *= norm;
+  }
+  return out;
+}
+
+}  // namespace mimonet::core

@@ -1,0 +1,71 @@
+// The MIMONet transmitter: PSDU in, per-antenna baseband sample streams out,
+// following the IEEE 802.11n HT-mixed PPDU structure with BCC FEC, spatial
+// multiplexing and the full preamble.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/phy_config.hpp"
+#include "dsp/types.hpp"
+#include "mod/constellation.hpp"
+#include "ofdm/symbol.hpp"
+#include "wifi/interleaver.hpp"
+#include "wifi/signal_field.hpp"
+#include "wifi/stream_parser.hpp"
+
+namespace mimonet::core {
+
+using dsp::cf32;
+
+/// One-shot PPDU builder. Construct once per PHY configuration; transmit()
+/// is then reusable for any PSDU length.
+class Transmitter {
+ public:
+  explicit Transmitter(PhyConfig cfg);
+
+  [[nodiscard]] const PhyConfig& config() const noexcept { return cfg_; }
+  /// Number of TX chains / space-time streams (2 for STBC, else nss).
+  [[nodiscard]] std::size_t num_streams() const noexcept { return nsts_; }
+
+  /// Build the full PPDU. Returns one sample stream per TX chain, equal
+  /// length FrameLayout::total_samples(); mean per-antenna sample power is
+  /// ~1/n_sts so total radiated power is independent of the stream count.
+  [[nodiscard]] std::vector<std::vector<cf32>> transmit(
+      std::span<const std::uint8_t> psdu) const;
+
+  /// Frame layout for a PSDU of the given size under this configuration.
+  [[nodiscard]] FrameLayout layout(std::size_t psdu_bytes) const;
+
+  /// The encoded (scrambled [+ FEC] ) bit stream before spatial parsing —
+  /// exposed for white-box tests.
+  [[nodiscard]] std::vector<std::uint8_t> encode_data_bits(
+      std::span<const std::uint8_t> psdu) const;
+
+ private:
+  /// Map one stream's interleaved coded bits onto HT data symbols.
+  void modulate_stream(std::span<const std::uint8_t> stream_bits, std::size_t iss,
+                       std::vector<cf32>& out) const;
+
+  /// Alamouti path: map the single coded stream onto both space-time
+  /// streams (chains[0], chains[1]) pairwise across OFDM symbols.
+  void modulate_stbc(std::span<const std::uint8_t> stream_bits,
+                     std::vector<cf32>& chain0, std::vector<cf32>& chain1) const;
+
+  /// Legacy-plan SIG symbol with CSD, appended to `out`.
+  void append_legacy_symbol(std::span<const cf32> carriers48,
+                            std::size_t polarity_index, int csd,
+                            std::vector<cf32>& out) const;
+
+  PhyConfig cfg_;
+  wifi::McsInfo mcs_;
+  std::size_t nss_;
+  std::size_t nsts_;
+  mod::Constellation constellation_;
+  wifi::StreamParser parser_;
+  std::vector<wifi::Interleaver> interleavers_;  // one per stream
+  ofdm::SymbolModulator ht_mod_;
+};
+
+}  // namespace mimonet::core

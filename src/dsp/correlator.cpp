@@ -1,0 +1,80 @@
+#include "dsp/correlator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mimonet::dsp {
+
+MovingSum::MovingSum(std::size_t window) : buf_(window, cf64{0.0, 0.0}) {
+  if (window == 0) throw std::invalid_argument("MovingSum: zero window");
+}
+
+cf64 MovingSum::push(cf64 x) noexcept {
+  sum_ += x - buf_[head_];
+  buf_[head_] = x;
+  head_ = (head_ + 1) % buf_.size();
+  return sum_;
+}
+
+void MovingSum::reset() noexcept {
+  for (auto& v : buf_) v = cf64{0.0, 0.0};
+  sum_ = cf64{0.0, 0.0};
+  head_ = 0;
+}
+
+MovingSumReal::MovingSumReal(std::size_t window) : buf_(window, 0.0) {
+  if (window == 0) throw std::invalid_argument("MovingSumReal: zero window");
+}
+
+double MovingSumReal::push(double x) noexcept {
+  sum_ += x - buf_[head_];
+  buf_[head_] = x;
+  head_ = (head_ + 1) % buf_.size();
+  return sum_;
+}
+
+void MovingSumReal::reset() noexcept {
+  for (auto& v : buf_) v = 0.0;
+  sum_ = 0.0;
+  head_ = 0;
+}
+
+AutocorrResult lag_autocorrelate(std::span<const cf32> x, std::size_t lag,
+                                 std::size_t window) {
+  if (lag == 0 || window == 0) {
+    throw std::invalid_argument("lag_autocorrelate: lag and window must be > 0");
+  }
+  AutocorrResult res;
+  if (x.size() < lag + window) return res;
+
+  const std::size_t n_out = x.size() - lag - window + 1;
+  res.corr.resize(n_out);
+  res.power.resize(n_out);
+  res.metric.resize(n_out);
+
+  MovingSum corr_sum(window);
+  MovingSumReal pow_lead(window);
+  MovingSumReal pow_lag(window);
+
+  // Warm-up: fill the window for position 0.
+  for (std::size_t k = 0; k < window; ++k) {
+    corr_sum.push(cf64(x[k]) * std::conj(cf64(x[k + lag])));
+    pow_lead.push(static_cast<double>(mag_sqr(x[k])));
+    pow_lag.push(static_cast<double>(mag_sqr(x[k + lag])));
+  }
+  for (std::size_t n = 0;; ++n) {
+    const cf64 c = corr_sum.value();
+    const double pp = pow_lead.value() * pow_lag.value();
+    res.corr[n] = cf32(static_cast<float>(c.real()), static_cast<float>(c.imag()));
+    res.power[n] = static_cast<float>(std::sqrt(std::max(pp, 0.0)));
+    res.metric[n] = (pp > 0.0) ? static_cast<float>(mag_sqr(c) / pp) : 0.0F;
+    if (n + 1 >= n_out) break;
+    const std::size_t k = n + window;  // next sample entering the window
+    corr_sum.push(cf64(x[k]) * std::conj(cf64(x[k + lag])));
+    pow_lead.push(static_cast<double>(mag_sqr(x[k])));
+    pow_lag.push(static_cast<double>(mag_sqr(x[k + lag])));
+  }
+  return res;
+}
+
+}  // namespace mimonet::dsp

@@ -1,0 +1,60 @@
+// Sliding-window correlators: the workhorses of preamble detection.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace mimonet::dsp {
+
+/// Streaming moving sum over a fixed window (complex), O(1) per sample.
+class MovingSum {
+ public:
+  explicit MovingSum(std::size_t window);
+
+  cf64 push(cf64 x) noexcept;
+  [[nodiscard]] cf64 value() const noexcept { return sum_; }
+  [[nodiscard]] std::size_t window() const noexcept { return buf_.size(); }
+  void reset() noexcept;
+
+ private:
+  std::vector<cf64> buf_;
+  std::size_t head_ = 0;
+  cf64 sum_{0.0, 0.0};
+};
+
+/// Real-valued moving sum (for power normalization).
+class MovingSumReal {
+ public:
+  explicit MovingSumReal(std::size_t window);
+
+  double push(double x) noexcept;
+  [[nodiscard]] double value() const noexcept { return sum_; }
+  void reset() noexcept;
+
+ private:
+  std::vector<double> buf_;
+  std::size_t head_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Result of a lag autocorrelation sweep.
+struct AutocorrResult {
+  /// c_n = sum over window of x_{n+k} * conj(x_{n+k+lag})
+  std::vector<cf32> corr;
+  /// p_n = geometric-mean window power: sqrt(p_lead * p_lag), where p_lead
+  /// sums |x_{n+k}|^2 and p_lag sums |x_{n+k+lag}|^2. Normalizing by both
+  /// windows keeps the metric bounded at burst edges, where one window is
+  /// signal and the other is noise.
+  std::vector<float> power;
+  /// m_n = |c_n|^2 / (p_lead * p_lag), in [0, 1] by Cauchy-Schwarz.
+  std::vector<float> metric;
+};
+
+/// Lag-`lag` autocorrelation of x over a sliding window of `window` samples.
+/// Output length is len(x) - lag - window + 1 (empty if x is too short).
+[[nodiscard]] AutocorrResult lag_autocorrelate(std::span<const cf32> x, std::size_t lag,
+                                               std::size_t window);
+
+}  // namespace mimonet::dsp

@@ -1,0 +1,96 @@
+#include "dsp/fft.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace mimonet::dsp {
+
+FftPlan::FftPlan(std::size_t size) : size_(size) {
+  if (size < 2 || !std::has_single_bit(size)) {
+    throw std::invalid_argument("FftPlan: size must be a power of two >= 2");
+  }
+  log2_size_ = static_cast<std::size_t>(std::countr_zero(size));
+
+  bitrev_.resize(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    std::size_t rev = 0;
+    for (std::size_t b = 0; b < log2_size_; ++b) {
+      rev = (rev << 1U) | ((i >> b) & 1U);
+    }
+    bitrev_[i] = rev;
+  }
+
+  twiddle_fwd_.resize(size / 2);
+  twiddle_inv_.resize(size / 2);
+  for (std::size_t k = 0; k < size / 2; ++k) {
+    const double theta = -two_pi_d * static_cast<double>(k) / static_cast<double>(size);
+    const cf64 w = phasor_d(theta);
+    twiddle_fwd_[k] = cf32(static_cast<float>(w.real()), static_cast<float>(w.imag()));
+    twiddle_inv_[k] = std::conj(twiddle_fwd_[k]);
+  }
+}
+
+void FftPlan::transform(std::span<const cf32> in, std::span<cf32> out, bool invert) const {
+  if (in.size() != size_ || out.size() != size_) {
+    throw std::invalid_argument("FftPlan: buffer size mismatch");
+  }
+  // Bit-reversal copy. Aliasing in==out is handled by swapping pairs.
+  if (in.data() == out.data()) {
+    for (std::size_t i = 0; i < size_; ++i) {
+      const std::size_t j = bitrev_[i];
+      if (i < j) std::swap(out[i], out[j]);
+    }
+  } else {
+    for (std::size_t i = 0; i < size_; ++i) out[bitrev_[i]] = in[i];
+  }
+
+  const auto& tw = invert ? twiddle_inv_ : twiddle_fwd_;
+  for (std::size_t len = 2; len <= size_; len <<= 1U) {
+    const std::size_t half = len / 2;
+    const std::size_t stride = size_ / len;  // twiddle index step
+    for (std::size_t start = 0; start < size_; start += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const cf32 w = tw[k * stride];
+        const cf32 a = out[start + k];
+        const cf32 b = out[start + k + half] * w;
+        out[start + k] = a + b;
+        out[start + k + half] = a - b;
+      }
+    }
+  }
+
+  if (invert) {
+    const float inv_n = 1.0F / static_cast<float>(size_);
+    for (auto& x : out) x *= inv_n;
+  }
+}
+
+void FftPlan::forward(std::span<const cf32> in, std::span<cf32> out) const {
+  transform(in, out, /*invert=*/false);
+}
+
+void FftPlan::inverse(std::span<const cf32> in, std::span<cf32> out) const {
+  transform(in, out, /*invert=*/true);
+}
+
+std::vector<cf32> fft(std::span<const cf32> in) {
+  FftPlan plan(in.size());
+  std::vector<cf32> out(in.size());
+  plan.forward(in, out);
+  return out;
+}
+
+std::vector<cf32> ifft(std::span<const cf32> in) {
+  FftPlan plan(in.size());
+  std::vector<cf32> out(in.size());
+  plan.inverse(in, out);
+  return out;
+}
+
+void fftshift(std::span<cf32> buf) {
+  const std::size_t half = buf.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) std::swap(buf[i], buf[i + half]);
+}
+
+}  // namespace mimonet::dsp

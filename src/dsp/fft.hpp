@@ -1,0 +1,59 @@
+// Radix-2 decimation-in-time FFT with a cached twiddle-factor plan.
+//
+// Self-contained (no FFTW dependency): OFDM symbol sizes here are small
+// powers of two (64 for 20 MHz 802.11), where an iterative radix-2
+// butterfly with precomputed twiddles is fast enough for link simulation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace mimonet::dsp {
+
+/// FFT execution plan for a fixed power-of-two size.
+///
+/// Construction precomputes bit-reversal permutation and twiddle factors;
+/// execute() is then allocation-free and reentrant for distinct output
+/// buffers.
+class FftPlan {
+ public:
+  /// @param size transform length; must be a power of two >= 2.
+  /// @throws std::invalid_argument otherwise.
+  explicit FftPlan(std::size_t size);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Out-of-place forward DFT (engineering sign convention, e^{-j2πkn/N}).
+  /// `in` and `out` must both have size() elements; they may alias.
+  void forward(std::span<const cf32> in, std::span<cf32> out) const;
+
+  /// Out-of-place inverse DFT, scaled by 1/N so inverse(forward(x)) == x.
+  void inverse(std::span<const cf32> in, std::span<cf32> out) const;
+
+  /// In-place variants.
+  void forward(std::span<cf32> buf) const { forward(buf, buf); }
+  void inverse(std::span<cf32> buf) const { inverse(buf, buf); }
+
+ private:
+  void transform(std::span<const cf32> in, std::span<cf32> out, bool invert) const;
+
+  std::size_t size_;
+  std::size_t log2_size_;
+  std::vector<std::size_t> bitrev_;
+  std::vector<cf32> twiddle_fwd_;  // e^{-j 2π k / N}, k in [0, N/2)
+  std::vector<cf32> twiddle_inv_;  // conj of the above
+};
+
+/// Convenience one-shot forward FFT (allocates a plan; prefer FftPlan in loops).
+[[nodiscard]] std::vector<cf32> fft(std::span<const cf32> in);
+
+/// Convenience one-shot inverse FFT.
+[[nodiscard]] std::vector<cf32> ifft(std::span<const cf32> in);
+
+/// Swap the two halves of a spectrum (DC-centered <-> natural order).
+void fftshift(std::span<cf32> buf);
+
+}  // namespace mimonet::dsp

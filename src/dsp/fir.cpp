@@ -1,0 +1,78 @@
+#include "dsp/fir.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mimonet::dsp {
+
+FirFilter::FirFilter(std::vector<cf32> taps) : taps_(std::move(taps)) {
+  if (taps_.empty()) throw std::invalid_argument("FirFilter: empty taps");
+  delay_.assign(taps_.size(), cf32{0.0F, 0.0F});
+}
+
+std::vector<cf32> FirFilter::process(std::span<const cf32> in) {
+  std::vector<cf32> out(in.size());
+  const std::size_t n_taps = taps_.size();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    delay_[head_] = in[i];
+    cf64 acc{0.0, 0.0};
+    std::size_t idx = head_;
+    for (std::size_t t = 0; t < n_taps; ++t) {
+      acc += cf64(taps_[t]) * cf64(delay_[idx]);
+      idx = (idx == 0) ? n_taps - 1 : idx - 1;
+    }
+    out[i] = cf32(static_cast<float>(acc.real()), static_cast<float>(acc.imag()));
+    head_ = (head_ + 1) % n_taps;
+  }
+  return out;
+}
+
+void FirFilter::reset() noexcept {
+  for (auto& v : delay_) v = cf32{0.0F, 0.0F};
+  head_ = 0;
+}
+
+std::vector<float> design_lowpass(double cutoff, std::size_t num_taps) {
+  if (cutoff <= 0.0 || cutoff >= 0.5) {
+    throw std::invalid_argument("design_lowpass: cutoff must be in (0, 0.5)");
+  }
+  if (num_taps % 2 == 0 || num_taps == 0) {
+    throw std::invalid_argument("design_lowpass: num_taps must be odd");
+  }
+  std::vector<float> taps(num_taps);
+  const auto window = hamming_window(num_taps);
+  const auto mid = static_cast<double>(num_taps - 1) / 2.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < num_taps; ++i) {
+    const double t = static_cast<double>(i) - mid;
+    const double sinc =
+        (t == 0.0) ? 2.0 * cutoff : std::sin(two_pi_d * cutoff * t) / (pi_d * t);
+    taps[i] = static_cast<float>(sinc) * window[i];
+    sum += taps[i];
+  }
+  // Normalize to unity DC gain.
+  for (auto& t : taps) t = static_cast<float>(t / sum);
+  return taps;
+}
+
+std::vector<float> hann_window(std::size_t n) {
+  std::vector<float> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = static_cast<float>(
+        0.5 * (1.0 - std::cos(two_pi_d * static_cast<double>(i) /
+                              static_cast<double>(n == 1 ? 1 : n - 1))));
+  }
+  return w;
+}
+
+std::vector<float> hamming_window(std::size_t n) {
+  std::vector<float> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = static_cast<float>(
+        0.54 - 0.46 * std::cos(two_pi_d * static_cast<double>(i) /
+                               static_cast<double>(n == 1 ? 1 : n - 1)));
+  }
+  return w;
+}
+
+}  // namespace mimonet::dsp

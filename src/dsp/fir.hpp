@@ -1,0 +1,44 @@
+// Streaming FIR filter and windowed-sinc design helpers. Used by the channel
+// simulator (tapped-delay-line convolution) and available to block authors.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace mimonet::dsp {
+
+/// Direct-form FIR with complex taps and persistent state across calls, so a
+/// long stream can be filtered in arbitrary chunks.
+class FirFilter {
+ public:
+  explicit FirFilter(std::vector<cf32> taps);
+
+  [[nodiscard]] std::size_t num_taps() const noexcept { return taps_.size(); }
+  [[nodiscard]] const std::vector<cf32>& taps() const noexcept { return taps_; }
+
+  /// Filter a chunk; output has the same length as the input (streaming
+  /// convolution, initial state is zeros). Resets never happen implicitly.
+  [[nodiscard]] std::vector<cf32> process(std::span<const cf32> in);
+
+  /// Clear the delay line.
+  void reset() noexcept;
+
+ private:
+  std::vector<cf32> taps_;
+  std::vector<cf32> delay_;   // circular delay line, size == taps
+  std::size_t head_ = 0;
+};
+
+/// Windowed-sinc low-pass design. `cutoff` is the normalized cutoff in
+/// (0, 0.5) cycles/sample; `num_taps` must be odd for a symmetric filter.
+[[nodiscard]] std::vector<float> design_lowpass(double cutoff, std::size_t num_taps);
+
+/// Hann window of length n.
+[[nodiscard]] std::vector<float> hann_window(std::size_t n);
+
+/// Hamming window of length n.
+[[nodiscard]] std::vector<float> hamming_window(std::size_t n);
+
+}  // namespace mimonet::dsp

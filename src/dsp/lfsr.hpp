@@ -1,0 +1,51 @@
+// Fibonacci linear-feedback shift register, the primitive behind the 802.11
+// scrambler and the 802.11n pilot polarity sequence.
+#pragma once
+
+#include <cstdint>
+
+namespace mimonet::dsp {
+
+/// Fibonacci LFSR over GF(2) with an arbitrary tap mask.
+///
+/// The register is `degree` bits wide; `taps` is a bitmask where bit i set
+/// means state bit i feeds the XOR (bit 0 = oldest / output bit convention:
+/// the feedback is XOR of tapped bits, shifted in at the top; the output is
+/// the feedback bit, matching the 802.11 scrambler definition x^7 + x^4 + 1
+/// with taps = (1<<6)|(1<<3)).
+class Lfsr {
+ public:
+  constexpr Lfsr(unsigned degree, std::uint32_t taps, std::uint32_t state) noexcept
+      : degree_(degree), taps_(taps), state_(state & mask()) {}
+
+  /// Advance one step and return the generated bit (0/1).
+  constexpr std::uint8_t next() noexcept {
+    std::uint32_t fb = 0;
+    std::uint32_t tapped = state_ & taps_;
+    while (tapped != 0) {
+      fb ^= tapped & 1U;
+      tapped >>= 1U;
+    }
+    state_ = ((state_ << 1U) | fb) & mask();
+    return static_cast<std::uint8_t>(fb);
+  }
+
+  [[nodiscard]] constexpr std::uint32_t state() const noexcept { return state_; }
+  constexpr void set_state(std::uint32_t s) noexcept { state_ = s & mask(); }
+
+ private:
+  [[nodiscard]] constexpr std::uint32_t mask() const noexcept {
+    return (1U << degree_) - 1U;
+  }
+
+  unsigned degree_;
+  std::uint32_t taps_;
+  std::uint32_t state_;
+};
+
+/// The 802.11 data scrambler sequence generator: x^7 + x^4 + 1.
+[[nodiscard]] constexpr Lfsr make_dot11_scrambler_lfsr(std::uint32_t seed) noexcept {
+  return Lfsr(7, (1U << 6U) | (1U << 3U), seed);
+}
+
+}  // namespace mimonet::dsp

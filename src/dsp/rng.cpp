@@ -1,0 +1,62 @@
+#include "dsp/rng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mimonet::dsp {
+
+ComplexGaussian::ComplexGaussian(std::uint64_t seed, double variance) : rng_(seed) {
+  set_variance(variance);
+}
+
+void ComplexGaussian::set_variance(double variance) {
+  if (variance < 0.0) throw std::invalid_argument("ComplexGaussian: negative variance");
+  variance_ = variance;
+  // Each real dimension carries half the complex variance.
+  const float sigma = static_cast<float>(std::sqrt(variance / 2.0));
+  dist_ = std::normal_distribution<float>(0.0F, sigma);
+}
+
+cf32 ComplexGaussian::sample() { return {dist_(rng_), dist_(rng_)}; }
+
+void ComplexGaussian::fill(std::span<cf32> out) {
+  for (auto& v : out) v = sample();
+}
+
+void ComplexGaussian::add_to(std::span<cf32> inout) {
+  for (auto& v : inout) v += sample();
+}
+
+std::vector<std::uint8_t> BitSource::bits(std::size_t count) {
+  std::vector<std::uint8_t> out(count);
+  std::uint64_t pool = 0;
+  int avail = 0;
+  for (auto& b : out) {
+    if (avail == 0) {
+      pool = rng_();
+      avail = 64;
+    }
+    b = static_cast<std::uint8_t>(pool & 1U);
+    pool >>= 1U;
+    --avail;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> BitSource::bytes(std::size_t count) {
+  std::vector<std::uint8_t> out(count);
+  std::uint64_t pool = 0;
+  int avail = 0;
+  for (auto& b : out) {
+    if (avail == 0) {
+      pool = rng_();
+      avail = 8;
+    }
+    b = static_cast<std::uint8_t>(pool & 0xFFU);
+    pool >>= 8U;
+    --avail;
+  }
+  return out;
+}
+
+}  // namespace mimonet::dsp

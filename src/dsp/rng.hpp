@@ -1,0 +1,50 @@
+// Seeded random sources used throughout the simulator (noise, bits, fading).
+//
+// All randomness in MIMONet flows through these helpers so experiments are
+// exactly reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace mimonet::dsp {
+
+/// Circularly-symmetric complex Gaussian source, CN(0, variance) where
+/// `variance` is the *total* complex variance E[|x|^2].
+class ComplexGaussian {
+ public:
+  explicit ComplexGaussian(std::uint64_t seed, double variance = 1.0);
+
+  /// Change the variance without reseeding.
+  void set_variance(double variance);
+  [[nodiscard]] double variance() const noexcept { return variance_; }
+
+  [[nodiscard]] cf32 sample();
+  void fill(std::span<cf32> out);
+
+  /// out_i += noise_i (AWGN injection without an intermediate buffer).
+  void add_to(std::span<cf32> inout);
+
+ private:
+  std::mt19937_64 rng_;
+  std::normal_distribution<float> dist_;  // per-dimension std dev
+  double variance_ = 1.0;
+};
+
+/// Uniform random bit source.
+class BitSource {
+ public:
+  explicit BitSource(std::uint64_t seed) : rng_(seed) {}
+
+  [[nodiscard]] std::vector<std::uint8_t> bits(std::size_t count);
+  [[nodiscard]] std::vector<std::uint8_t> bytes(std::size_t count);
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+}  // namespace mimonet::dsp

@@ -1,0 +1,79 @@
+#include "dsp/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+#include "dsp/fir.hpp"
+#include "dsp/vector_ops.hpp"
+
+namespace mimonet::dsp {
+
+std::vector<double> welch_psd_db(std::span<const cf32> x, std::size_t nfft) {
+  if (x.size() < nfft) {
+    throw std::invalid_argument("welch_psd_db: input shorter than nfft");
+  }
+  const FftPlan plan(nfft);
+  const auto window = hann_window(nfft);
+  double window_power = 0.0;
+  for (const auto w : window) window_power += static_cast<double>(w) * w;
+
+  std::vector<double> acc(nfft, 0.0);
+  std::vector<cf32> seg(nfft);
+  std::size_t n_seg = 0;
+  for (std::size_t start = 0; start + nfft <= x.size(); start += nfft / 2) {
+    for (std::size_t i = 0; i < nfft; ++i) seg[i] = x[start + i] * window[i];
+    plan.forward(seg);
+    for (std::size_t i = 0; i < nfft; ++i) {
+      acc[i] += static_cast<double>(mag_sqr(seg[i]));
+    }
+    ++n_seg;
+  }
+
+  std::vector<double> psd(nfft);
+  const double norm = static_cast<double>(n_seg) * window_power;
+  for (std::size_t i = 0; i < nfft; ++i) {
+    // DC-centered: output index 0 corresponds to bin nfft/2.
+    const std::size_t bin = (i + nfft / 2) % nfft;
+    psd[i] = to_db(std::max(acc[bin] / norm, 1e-30));
+  }
+  return psd;
+}
+
+std::vector<double> papr_ccdf_db(std::span<const cf32> x,
+                                 std::span<const double> probabilities) {
+  if (x.empty()) throw std::invalid_argument("papr_ccdf_db: empty input");
+  const double avg = mean_power(x);
+  if (avg <= 0.0) throw std::invalid_argument("papr_ccdf_db: zero power");
+
+  std::vector<double> ratios(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ratios[i] = static_cast<double>(mag_sqr(x[i])) / avg;
+  }
+  std::sort(ratios.begin(), ratios.end());
+
+  std::vector<double> out;
+  out.reserve(probabilities.size());
+  for (const double p : probabilities) {
+    if (p <= 0.0 || p >= 1.0) {
+      throw std::invalid_argument("papr_ccdf_db: probability must be in (0, 1)");
+    }
+    // Threshold exceeded with probability p: the (1-p) quantile.
+    const auto idx = static_cast<std::size_t>(
+        std::min<double>(static_cast<double>(ratios.size() - 1),
+                         (1.0 - p) * static_cast<double>(ratios.size())));
+    out.push_back(to_db(std::max(ratios[idx], 1e-30)));
+  }
+  return out;
+}
+
+double papr_db(std::span<const cf32> x) {
+  if (x.empty()) return 0.0;
+  const double avg = mean_power(x);
+  double peak = 0.0;
+  for (const auto v : x) peak = std::max(peak, static_cast<double>(mag_sqr(v)));
+  return to_db(std::max(peak / std::max(avg, 1e-30), 1e-30));
+}
+
+}  // namespace mimonet::dsp

@@ -1,0 +1,29 @@
+// Spectral analysis helpers: Welch power spectral density and peak-to-
+// average power ratio statistics, used by the TX-spectrum experiment (E14).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace mimonet::dsp {
+
+/// Welch PSD estimate with a Hann window and 50% overlap.
+/// @param x        input samples
+/// @param nfft     segment/FFT length (power of two)
+/// @return nfft power values in dB, DC-centered (index 0 = -fs/2).
+[[nodiscard]] std::vector<double> welch_psd_db(std::span<const cf32> x,
+                                               std::size_t nfft);
+
+/// Complementary CDF of the instantaneous-to-average power ratio:
+/// returns PAPR thresholds (dB) such that P(papr > threshold) equals each
+/// requested probability.
+[[nodiscard]] std::vector<double> papr_ccdf_db(std::span<const cf32> x,
+                                               std::span<const double> probabilities);
+
+/// Peak-to-average power ratio of the whole span, in dB.
+[[nodiscard]] double papr_db(std::span<const cf32> x);
+
+}  // namespace mimonet::dsp

@@ -1,0 +1,53 @@
+// Streaming statistics used by the measurement and estimation layers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mimonet::dsp {
+
+/// Welford-style running mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Root mean square of the raw samples.
+  [[nodiscard]] double rms() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples land in the edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] const std::vector<std::size_t>& counts() const noexcept { return counts_; }
+  [[nodiscard]] double bin_center(std::size_t i) const noexcept;
+  /// Fraction of samples in bin i.
+  [[nodiscard]] double fraction(std::size_t i) const noexcept;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace mimonet::dsp

@@ -1,0 +1,47 @@
+// Fundamental scalar/complex types and dB helpers shared by every module.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+namespace mimonet::dsp {
+
+/// Complex baseband sample, single precision (matches GNU Radio's gr_complex).
+using cf32 = std::complex<float>;
+/// Double-precision complex, used where estimator accuracy matters.
+using cf64 = std::complex<double>;
+
+inline constexpr float pi_f = std::numbers::pi_v<float>;
+inline constexpr double pi_d = std::numbers::pi_v<double>;
+inline constexpr float two_pi_f = 2.0F * pi_f;
+inline constexpr double two_pi_d = 2.0 * pi_d;
+
+/// Power ratio -> decibels. `ratio` must be > 0.
+[[nodiscard]] inline double to_db(double ratio) { return 10.0 * std::log10(ratio); }
+
+/// Decibels -> linear power ratio.
+[[nodiscard]] inline double from_db(double db) { return std::pow(10.0, db / 10.0); }
+
+/// |x|^2 without the sqrt of std::abs.
+[[nodiscard]] inline float mag_sqr(cf32 x) noexcept {
+  return x.real() * x.real() + x.imag() * x.imag();
+}
+
+[[nodiscard]] inline double mag_sqr(cf64 x) noexcept {
+  return x.real() * x.real() + x.imag() * x.imag();
+}
+
+/// Unit phasor e^{j*theta}.
+[[nodiscard]] inline cf32 phasor(float theta) noexcept {
+  return {std::cos(theta), std::sin(theta)};
+}
+
+[[nodiscard]] inline cf64 phasor_d(double theta) noexcept {
+  return {std::cos(theta), std::sin(theta)};
+}
+
+}  // namespace mimonet::dsp

@@ -1,0 +1,78 @@
+#include "dsp/vector_ops.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mimonet::dsp {
+
+double energy(std::span<const cf32> x) noexcept {
+  double acc = 0.0;
+  for (const cf32 v : x) acc += static_cast<double>(mag_sqr(v));
+  return acc;
+}
+
+double mean_power(std::span<const cf32> x) noexcept {
+  if (x.empty()) return 0.0;
+  return energy(x) / static_cast<double>(x.size());
+}
+
+void scale(std::span<cf32> x, float gain) noexcept {
+  for (auto& v : x) v *= gain;
+}
+
+void multiply_conj(std::span<const cf32> a, std::span<const cf32> b, std::span<cf32> out) {
+  if (a.size() != b.size() || a.size() != out.size()) {
+    throw std::invalid_argument("multiply_conj: size mismatch");
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * std::conj(b[i]);
+}
+
+cf64 dot_conj(std::span<const cf32> a, std::span<const cf32> b) noexcept {
+  const std::size_t n = std::min(a.size(), b.size());
+  cf64 acc{0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += cf64(a[i]) * std::conj(cf64(b[i]));
+  }
+  return acc;
+}
+
+double mix(std::span<cf32> x, double phase0, double phase_inc) noexcept {
+  double phase = phase0;
+  for (auto& v : x) {
+    const cf64 rot = phasor_d(phase);
+    const cf64 y = cf64(v) * rot;
+    v = cf32(static_cast<float>(y.real()), static_cast<float>(y.imag()));
+    phase += phase_inc;
+    // Keep the accumulator bounded for long streams.
+    if (phase > pi_d) phase -= two_pi_d;
+    if (phase < -pi_d) phase += two_pi_d;
+  }
+  return phase;
+}
+
+std::vector<cf32> cross_correlate(std::span<const cf32> x, std::span<const cf32> ref) {
+  if (x.size() < ref.size() || ref.empty()) {
+    throw std::invalid_argument("cross_correlate: x shorter than ref or ref empty");
+  }
+  std::vector<cf32> out(x.size() - ref.size() + 1);
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    cf64 acc{0.0, 0.0};
+    for (std::size_t n = 0; n < ref.size(); ++n) {
+      acc += cf64(x[k + n]) * std::conj(cf64(ref[n]));
+    }
+    out[k] = cf32(static_cast<float>(acc.real()), static_cast<float>(acc.imag()));
+  }
+  return out;
+}
+
+double rms_error(std::span<const cf32> a, std::span<const cf32> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("rms_error: size mismatch");
+  if (a.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(mag_sqr(a[i] - b[i]));
+  }
+  return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+}  // namespace mimonet::dsp

@@ -1,0 +1,39 @@
+// Element-wise and reduction primitives on complex sample vectors.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace mimonet::dsp {
+
+/// Sum of |x_i|^2.
+[[nodiscard]] double energy(std::span<const cf32> x) noexcept;
+
+/// Mean of |x_i|^2 (0 for an empty span).
+[[nodiscard]] double mean_power(std::span<const cf32> x) noexcept;
+
+/// In-place scale by a real gain.
+void scale(std::span<cf32> x, float gain) noexcept;
+
+/// out_i = a_i * conj(b_i). All spans must have equal length.
+void multiply_conj(std::span<const cf32> a, std::span<const cf32> b, std::span<cf32> out);
+
+/// Inner product sum_i a_i * conj(b_i) over min(len(a), len(b)).
+[[nodiscard]] cf64 dot_conj(std::span<const cf32> a, std::span<const cf32> b) noexcept;
+
+/// In-place frequency shift: x_n *= e^{j*(phase0 + n*phase_inc)}.
+/// Returns the phase that the *next* sample would get, wrapped to (-pi, pi],
+/// so callers can chain shifts across buffer boundaries.
+double mix(std::span<cf32> x, double phase0, double phase_inc) noexcept;
+
+/// Full linear cross-correlation of `x` against `ref` (length len(x)-len(ref)+1),
+/// out_k = sum_n x_{k+n} * conj(ref_n). Requires len(x) >= len(ref).
+[[nodiscard]] std::vector<cf32> cross_correlate(std::span<const cf32> x,
+                                                std::span<const cf32> ref);
+
+/// Root-mean-square error between two equal-length vectors.
+[[nodiscard]] double rms_error(std::span<const cf32> a, std::span<const cf32> b);
+
+}  // namespace mimonet::dsp

@@ -1,0 +1,52 @@
+#include "eq/alamouti.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mimonet::eq {
+
+AlamoutiMapped alamouti_map(cf32 d1, cf32 d2) noexcept {
+  return AlamoutiMapped{
+      .sts1_first = d1,
+      .sts2_first = -std::conj(d2),
+      .sts1_second = d2,
+      .sts2_second = std::conj(d1),
+  };
+}
+
+AlamoutiDecoded alamouti_combine(const CMatrix& h, std::span<const cf32> y_first,
+                                 std::span<const cf32> y_second, float noise_var) {
+  const std::size_t nrx = h.rows();
+  if (h.cols() != 2 || y_first.size() != nrx || y_second.size() != nrx) {
+    throw std::invalid_argument("alamouti_combine: dimension mismatch");
+  }
+
+  // y_first_r  = h_r1 d1 - h_r2 conj(d2) + n
+  // y_second_r = h_r1 d2 + h_r2 conj(d1) + n
+  // d1_hat = sum_r conj(h_r1) y_first_r  + h_r2 conj(y_second_r)
+  // d2_hat = sum_r conj(h_r1) y_second_r - h_r2 conj(y_first_r)
+  // both scaled by 1 / sum_r (|h_r1|^2 + |h_r2|^2).
+  dsp::cf64 acc1{0.0, 0.0};
+  dsp::cf64 acc2{0.0, 0.0};
+  double gain = 0.0;
+  for (std::size_t r = 0; r < nrx; ++r) {
+    const dsp::cf64 h1 = h(r, 0);
+    const dsp::cf64 h2 = h(r, 1);
+    const dsp::cf64 y1 = dsp::cf64(y_first[r]);
+    const dsp::cf64 y2 = dsp::cf64(y_second[r]);
+    acc1 += std::conj(h1) * y1 + h2 * std::conj(y2);
+    acc2 += std::conj(h1) * y2 - h2 * std::conj(y1);
+    gain += dsp::mag_sqr(h1) + dsp::mag_sqr(h2);
+  }
+  gain = std::max(gain, 1e-30);
+
+  AlamoutiDecoded out;
+  const dsp::cf64 d1 = acc1 / gain;
+  const dsp::cf64 d2 = acc2 / gain;
+  out.d1 = cf32(static_cast<float>(d1.real()), static_cast<float>(d1.imag()));
+  out.d2 = cf32(static_cast<float>(d2.real()), static_cast<float>(d2.imag()));
+  out.noise_var = std::max(static_cast<float>(noise_var / gain), 1e-12F);
+  return out;
+}
+
+}  // namespace mimonet::eq

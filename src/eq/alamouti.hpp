@@ -1,0 +1,49 @@
+// Alamouti space-time block decoding (802.11n STBC, N_SS = 1, N_STS = 2).
+//
+// Per subcarrier, the transmitter sends over a pair of OFDM symbols:
+//   STS 1:  d1        then  d2
+//   STS 2:  -conj(d2) then  conj(d1)
+// With per-antenna channels (h1, h2) constant over the pair, linear
+// combining recovers d1 and d2 with full 2 x nrx diversity and no
+// inter-stream interference — the structural opposite of spatial
+// multiplexing, and the natural baseline for the rate-vs-diversity
+// comparison in experiment E11.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dsp/types.hpp"
+#include "eq/matrix.hpp"
+
+namespace mimonet::eq {
+
+/// Result of combining one subcarrier over one symbol pair.
+struct AlamoutiDecoded {
+  cf32 d1{};
+  cf32 d2{};
+  /// Effective post-combining noise variance (same for both symbols).
+  float noise_var = 1e-12F;
+};
+
+/// Combine received values for one subcarrier across a symbol pair.
+/// @param h  nrx x 2 channel matrix (column s = space-time stream s).
+/// @param y_first  per-antenna observations in the first symbol of the pair
+/// @param y_second per-antenna observations in the second symbol
+/// @param noise_var per-antenna noise variance
+[[nodiscard]] AlamoutiDecoded alamouti_combine(const CMatrix& h,
+                                               std::span<const cf32> y_first,
+                                               std::span<const cf32> y_second,
+                                               float noise_var);
+
+/// Map a pair of data symbols to the two space-time streams:
+/// returns {sts1_first, sts2_first, sts1_second, sts2_second}.
+struct AlamoutiMapped {
+  cf32 sts1_first;
+  cf32 sts2_first;
+  cf32 sts1_second;
+  cf32 sts2_second;
+};
+[[nodiscard]] AlamoutiMapped alamouti_map(cf32 d1, cf32 d2) noexcept;
+
+}  // namespace mimonet::eq

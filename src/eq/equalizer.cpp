@@ -1,0 +1,176 @@
+#include "eq/equalizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mimonet::eq {
+
+std::string_view equalizer_name(EqualizerType t) noexcept {
+  switch (t) {
+    case EqualizerType::kZeroForcing: return "ZF";
+    case EqualizerType::kMmse: return "MMSE";
+    case EqualizerType::kMaxLikelihood: return "ML";
+  }
+  return "?";
+}
+
+LinearEqualizer::LinearEqualizer(EqualizerType type) : type_(type) {
+  if (type == EqualizerType::kMaxLikelihood) {
+    throw std::invalid_argument("LinearEqualizer: use MlDetector for ML");
+  }
+}
+
+EqualizedCarrier LinearEqualizer::equalize(const CMatrix& h, std::span<const cf32> y,
+                                           float noise_var) const {
+  const std::size_t nss = h.cols();
+  const std::size_t nrx = h.rows();
+  if (y.size() != nrx) throw std::invalid_argument("equalize: y size != nrx");
+
+  const CMatrix hh = h.hermitian();
+  CMatrix a = hh * h;  // nss x nss Gram matrix
+  if (type_ == EqualizerType::kMmse) {
+    a.add_diagonal(cf64{static_cast<double>(noise_var), 0.0});
+  }
+  const CMatrix a_inv = a.inverse();
+  const CMatrix w = a_inv * hh;  // nss x nrx
+
+  std::vector<cf64> y64(nrx);
+  for (std::size_t r = 0; r < nrx; ++r) y64[r] = cf64(y[r]);
+  auto x_raw = w.apply(y64);
+
+  EqualizedCarrier out;
+  out.symbols.resize(nss);
+  out.noise_vars.resize(nss);
+
+  if (type_ == EqualizerType::kZeroForcing) {
+    // Unbiased; noise enhancement is nv * diag((H^H H)^-1).
+    for (std::size_t i = 0; i < nss; ++i) {
+      out.symbols[i] = cf32(static_cast<float>(x_raw[i].real()),
+                            static_cast<float>(x_raw[i].imag()));
+      out.noise_vars[i] =
+          std::max(static_cast<float>(noise_var * a_inv(i, i).real()), 1e-12F);
+    }
+    return out;
+  }
+
+  // MMSE: bias-correct by the diagonal of G = W H, and account for residual
+  // inter-stream interference plus filtered noise.
+  const CMatrix g = w * h;           // nss x nss
+  const CMatrix wwh = w * w.hermitian();
+  for (std::size_t i = 0; i < nss; ++i) {
+    const cf64 gii = g(i, i);
+    const double gain_sqr = dsp::mag_sqr(gii);
+    double interference = 0.0;
+    for (std::size_t j = 0; j < nss; ++j) {
+      if (j != i) interference += dsp::mag_sqr(g(i, j));
+    }
+    const double noise = static_cast<double>(noise_var) * wwh(i, i).real();
+    const cf64 corrected = (gain_sqr > 1e-30) ? x_raw[i] / gii : x_raw[i];
+    out.symbols[i] = cf32(static_cast<float>(corrected.real()),
+                          static_cast<float>(corrected.imag()));
+    out.noise_vars[i] = std::max(
+        static_cast<float>((interference + noise) / std::max(gain_sqr, 1e-30)), 1e-12F);
+  }
+  return out;
+}
+
+MlDetector::MlDetector(const mod::Constellation& constellation, std::size_t nss)
+    : constellation_(constellation), nss_(nss) {
+  if (nss == 0 || nss > 2) {
+    throw std::invalid_argument("MlDetector: exhaustive search supports nss 1..2");
+  }
+}
+
+void MlDetector::demap(const CMatrix& h, std::span<const cf32> y, float noise_var,
+                       std::span<float> llr_out) const {
+  const unsigned bps = constellation_.bits_per_symbol();
+  const std::size_t total_bits = nss_ * bps;
+  if (llr_out.size() != total_bits) {
+    throw std::invalid_argument("MlDetector::demap: wrong LLR span size");
+  }
+  const std::size_t nrx = h.rows();
+  if (h.cols() != nss_ || y.size() != nrx) {
+    throw std::invalid_argument("MlDetector::demap: dimension mismatch");
+  }
+
+  const auto& points = constellation_.points();
+  const std::size_t m = points.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> min0(total_bits, kInf);
+  std::vector<double> min1(total_bits, kInf);
+
+  // Enumerate all nss-tuples of constellation labels.
+  std::vector<std::size_t> labels(nss_, 0);
+  const std::size_t n_hyp = (nss_ == 1) ? m : m * m;
+  for (std::size_t hyp = 0; hyp < n_hyp; ++hyp) {
+    labels[0] = hyp % m;
+    if (nss_ == 2) labels[1] = hyp / m;
+
+    // d = |y - H s|^2
+    double d = 0.0;
+    for (std::size_t r = 0; r < nrx; ++r) {
+      cf64 pred{0.0, 0.0};
+      for (std::size_t t = 0; t < nss_; ++t) {
+        pred += h(r, t) * cf64(points[labels[t]]);
+      }
+      d += dsp::mag_sqr(cf64(y[r]) - pred);
+    }
+
+    for (std::size_t t = 0; t < nss_; ++t) {
+      for (unsigned b = 0; b < bps; ++b) {
+        const bool bit = ((labels[t] >> (bps - 1 - b)) & 1U) != 0;
+        auto& slot = bit ? min1[t * bps + b] : min0[t * bps + b];
+        if (d < slot) slot = d;
+      }
+    }
+  }
+
+  const double inv_nv = 1.0 / std::max(static_cast<double>(noise_var), 1e-12);
+  for (std::size_t i = 0; i < total_bits; ++i) {
+    llr_out[i] = static_cast<float>((min1[i] - min0[i]) * inv_nv);
+  }
+}
+
+std::vector<double> post_eq_sinr_db(const CMatrix& h, float noise_var,
+                                    EqualizerType type) {
+  const std::size_t nss = h.cols();
+  const double nv = std::max(static_cast<double>(noise_var), 1e-30);
+  const CMatrix gram = h.hermitian() * h;
+  std::vector<double> sinr(nss);
+
+  switch (type) {
+    case EqualizerType::kZeroForcing: {
+      const CMatrix inv = gram.inverse();
+      for (std::size_t i = 0; i < nss; ++i) {
+        sinr[i] = 1.0 / (nv * inv(i, i).real());
+      }
+      break;
+    }
+    case EqualizerType::kMmse: {
+      // SINR_i = 1 / [(I + H^H H / nv)^{-1}]_ii - 1.
+      CMatrix b(nss, nss);
+      for (std::size_t r = 0; r < nss; ++r) {
+        for (std::size_t c = 0; c < nss; ++c) b(r, c) = gram(r, c) / nv;
+      }
+      b.add_diagonal(cf64{1.0, 0.0});
+      const CMatrix inv = b.inverse();
+      for (std::size_t i = 0; i < nss; ++i) {
+        sinr[i] = 1.0 / inv(i, i).real() - 1.0;
+      }
+      break;
+    }
+    case EqualizerType::kMaxLikelihood: {
+      // Matched-filter bound (interference-free) — an upper bound for ML.
+      for (std::size_t i = 0; i < nss; ++i) {
+        sinr[i] = gram(i, i).real() / nv;
+      }
+      break;
+    }
+  }
+  for (auto& s : sinr) s = dsp::to_db(std::max(s, 1e-12));
+  return sinr;
+}
+
+}  // namespace mimonet::eq

@@ -1,0 +1,78 @@
+// MIMO spatial demultiplexers: zero-forcing, MMSE, and exhaustive
+// maximum-likelihood detection, applied per subcarrier.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "dsp/types.hpp"
+#include "eq/matrix.hpp"
+#include "mod/constellation.hpp"
+
+namespace mimonet::eq {
+
+using dsp::cf32;
+
+enum class EqualizerType : std::uint8_t { kZeroForcing, kMmse, kMaxLikelihood };
+
+[[nodiscard]] std::string_view equalizer_name(EqualizerType t) noexcept;
+
+/// Output of linear equalization on one subcarrier.
+struct EqualizedCarrier {
+  /// Per-stream symbol estimates, bias-corrected (unit signal gain).
+  std::vector<cf32> symbols;
+  /// Per-stream effective noise variance after equalization (noise
+  /// enhancement for ZF, residual interference + noise for MMSE) — the CSI
+  /// the soft demapper needs.
+  std::vector<float> noise_vars;
+};
+
+/// Linear MIMO equalizer (ZF or MMSE). Stateless; safe to share.
+class LinearEqualizer {
+ public:
+  explicit LinearEqualizer(EqualizerType type);
+
+  [[nodiscard]] EqualizerType type() const noexcept { return type_; }
+
+  /// Equalize one subcarrier. `h` is nrx x nss, `y` has nrx entries,
+  /// `noise_var` is the per-antenna complex noise variance.
+  [[nodiscard]] EqualizedCarrier equalize(const CMatrix& h, std::span<const cf32> y,
+                                          float noise_var) const;
+
+ private:
+  EqualizerType type_;
+};
+
+/// Exhaustive max-log ML detector: searches all |C|^nss transmit hypotheses
+/// and emits per-bit LLRs directly (no symbol-level output).
+class MlDetector {
+ public:
+  /// @param constellation shared per-stream constellation
+  /// @param nss           spatial streams; hypothesis count is |C|^nss, so
+  ///        this is practical for nss <= 2 (<= 4096 hypotheses at 64-QAM).
+  MlDetector(const mod::Constellation& constellation, std::size_t nss);
+
+  [[nodiscard]] std::size_t nss() const noexcept { return nss_; }
+  [[nodiscard]] unsigned bits_per_stream() const noexcept {
+    return constellation_.bits_per_symbol();
+  }
+
+  /// Compute LLRs for one subcarrier: llr_out must hold nss *
+  /// bits_per_stream() values, ordered stream 0 bits first.
+  void demap(const CMatrix& h, std::span<const cf32> y, float noise_var,
+             std::span<float> llr_out) const;
+
+ private:
+  const mod::Constellation& constellation_;
+  std::size_t nss_;
+};
+
+/// Post-equalization SINR (dB) per stream for a channel matrix — used by
+/// the equalizer-comparison experiment (E10).
+[[nodiscard]] std::vector<double> post_eq_sinr_db(const CMatrix& h, float noise_var,
+                                                  EqualizerType type);
+
+}  // namespace mimonet::eq

@@ -1,0 +1,126 @@
+#include "eq/matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mimonet::eq {
+
+CMatrix CMatrix::identity(std::size_t n) {
+  CMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = cf64{1.0, 0.0};
+  return m;
+}
+
+CMatrix CMatrix::hermitian() const {
+  CMatrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out(c, r) = std::conj((*this)(r, c));
+    }
+  }
+  return out;
+}
+
+CMatrix CMatrix::operator*(const CMatrix& rhs) const {
+  if (cols_ != rhs.rows_) throw std::invalid_argument("CMatrix: dim mismatch in *");
+  CMatrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const cf64 a = (*this)(r, k);
+      for (std::size_t c = 0; c < rhs.cols_; ++c) {
+        out(r, c) += a * rhs(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+CMatrix CMatrix::operator+(const CMatrix& rhs) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+    throw std::invalid_argument("CMatrix: dim mismatch in +");
+  }
+  CMatrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] + rhs.data_[i];
+  return out;
+}
+
+CMatrix& CMatrix::add_diagonal(cf64 value) {
+  const std::size_t n = std::min(rows_, cols_);
+  for (std::size_t i = 0; i < n; ++i) (*this)(i, i) += value;
+  return *this;
+}
+
+std::vector<cf64> CMatrix::apply(std::span<const cf64> x) const {
+  if (x.size() != cols_) throw std::invalid_argument("CMatrix::apply: dim mismatch");
+  std::vector<cf64> y(rows_, cf64{0.0, 0.0});
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      y[r] += (*this)(r, c) * x[c];
+    }
+  }
+  return y;
+}
+
+CMatrix CMatrix::inverse() const {
+  if (rows_ != cols_) throw std::invalid_argument("CMatrix::inverse: not square");
+  const std::size_t n = rows_;
+  CMatrix a(*this);
+  CMatrix inv = identity(n);
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot: largest magnitude in this column at or below the diagonal.
+    std::size_t pivot = col;
+    double best = dsp::mag_sqr(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double m = dsp::mag_sqr(a(r, col));
+      if (m > best) {
+        best = m;
+        pivot = r;
+      }
+    }
+    if (best < 1e-60) throw std::runtime_error("CMatrix::inverse: singular matrix");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a(col, c), a(pivot, c));
+        std::swap(inv(col, c), inv(pivot, c));
+      }
+    }
+    const cf64 d = a(col, col);
+    for (std::size_t c = 0; c < n; ++c) {
+      a(col, c) /= d;
+      inv(col, c) /= d;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const cf64 f = a(r, col);
+      if (f == cf64{0.0, 0.0}) continue;
+      for (std::size_t c = 0; c < n; ++c) {
+        a(r, c) -= f * a(col, c);
+        inv(r, c) -= f * inv(col, c);
+      }
+    }
+  }
+  return inv;
+}
+
+double CMatrix::frob_sqr() const noexcept {
+  double acc = 0.0;
+  for (const auto& v : data_) acc += dsp::mag_sqr(v);
+  return acc;
+}
+
+CMatrix from_channel(std::span<const std::vector<cf32>> h_rows) {
+  if (h_rows.empty()) throw std::invalid_argument("from_channel: empty");
+  CMatrix m(h_rows.size(), h_rows[0].size());
+  for (std::size_t r = 0; r < h_rows.size(); ++r) {
+    if (h_rows[r].size() != m.cols()) {
+      throw std::invalid_argument("from_channel: ragged rows");
+    }
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      m(r, c) = cf64(h_rows[r][c]);
+    }
+  }
+  return m;
+}
+
+}  // namespace mimonet::eq

@@ -1,0 +1,62 @@
+// Small dense complex matrices (up to 4x4 in practice) for MIMO equalization.
+// Double-precision internally: 2x2 inversions at low noise variance are
+// sensitive to cancellation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace mimonet::eq {
+
+using dsp::cf32;
+using dsp::cf64;
+
+/// Row-major dynamic complex matrix.
+class CMatrix {
+ public:
+  CMatrix() = default;
+  CMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, cf64{0.0, 0.0}) {}
+
+  [[nodiscard]] static CMatrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] cf64& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const cf64& operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Conjugate transpose.
+  [[nodiscard]] CMatrix hermitian() const;
+
+  [[nodiscard]] CMatrix operator*(const CMatrix& rhs) const;
+  [[nodiscard]] CMatrix operator+(const CMatrix& rhs) const;
+  CMatrix& add_diagonal(cf64 value);
+
+  /// Matrix-vector product (y must have rows() entries... returns rows()).
+  [[nodiscard]] std::vector<cf64> apply(std::span<const cf64> x) const;
+
+  /// Gauss-Jordan inverse with partial pivoting.
+  /// @throws std::runtime_error when singular (pivot below 1e-30).
+  [[nodiscard]] CMatrix inverse() const;
+
+  /// Frobenius norm squared.
+  [[nodiscard]] double frob_sqr() const noexcept;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<cf64> data_;
+};
+
+/// Build a CMatrix from per-subcarrier channel estimates h[rx][tx].
+[[nodiscard]] CMatrix from_channel(std::span<const std::vector<cf32>> h_rows);
+
+}  // namespace mimonet::eq

@@ -1,0 +1,99 @@
+#include "fec/convolutional.hpp"
+
+#include <array>
+#include <bit>
+#include <stdexcept>
+
+namespace mimonet::fec {
+
+namespace {
+
+// Keep-masks over rate-1/2 output bits [A1 B1 A2 B2 ...], per 802.11-2016
+// clause 17.3.5.7 (figure 17-9).
+constexpr std::array<std::uint8_t, 2> kMask12{1, 1};
+constexpr std::array<std::uint8_t, 4> kMask23{1, 1, 1, 0};
+constexpr std::array<std::uint8_t, 6> kMask34{1, 1, 1, 0, 0, 1};
+constexpr std::array<std::uint8_t, 10> kMask56{1, 1, 1, 0, 0, 1, 1, 0, 0, 1};
+
+[[nodiscard]] std::uint8_t parity(std::uint32_t x) noexcept {
+  return static_cast<std::uint8_t>(std::popcount(x) & 1);
+}
+
+}  // namespace
+
+RateFraction rate_fraction(CodeRate r) noexcept {
+  switch (r) {
+    case CodeRate::kR1_2: return {1, 2};
+    case CodeRate::kR2_3: return {2, 3};
+    case CodeRate::kR3_4: return {3, 4};
+    case CodeRate::kR5_6: return {5, 6};
+  }
+  return {1, 2};
+}
+
+const char* rate_name(CodeRate r) noexcept {
+  switch (r) {
+    case CodeRate::kR1_2: return "1/2";
+    case CodeRate::kR2_3: return "2/3";
+    case CodeRate::kR3_4: return "3/4";
+    case CodeRate::kR5_6: return "5/6";
+  }
+  return "?";
+}
+
+std::size_t coded_length(std::size_t info_bits, CodeRate r) {
+  const auto [num, den] = rate_fraction(r);
+  if (info_bits % num != 0) {
+    throw std::invalid_argument("coded_length: info bits not a multiple of rate numerator");
+  }
+  return info_bits / num * den;
+}
+
+std::vector<std::uint8_t> conv_encode(std::span<const std::uint8_t> bits) {
+  std::vector<std::uint8_t> out;
+  out.reserve(bits.size() * 2);
+  std::uint32_t shreg = 0;  // bit 0 = newest input bit
+  for (const std::uint8_t b : bits) {
+    shreg = ((shreg << 1U) | (b & 1U)) & 0x7FU;
+    out.push_back(parity(shreg & kPolyG0));
+    out.push_back(parity(shreg & kPolyG1));
+  }
+  return out;
+}
+
+std::span<const std::uint8_t> puncture_mask(CodeRate rate) noexcept {
+  switch (rate) {
+    case CodeRate::kR1_2: return kMask12;
+    case CodeRate::kR2_3: return kMask23;
+    case CodeRate::kR3_4: return kMask34;
+    case CodeRate::kR5_6: return kMask56;
+  }
+  return kMask12;
+}
+
+std::vector<std::uint8_t> puncture(std::span<const std::uint8_t> coded, CodeRate rate) {
+  const auto mask = puncture_mask(rate);
+  std::vector<std::uint8_t> out;
+  out.reserve(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    if (mask[i % mask.size()] != 0) out.push_back(coded[i]);
+  }
+  return out;
+}
+
+std::vector<float> depuncture(std::span<const float> llrs, CodeRate rate) {
+  const auto mask = puncture_mask(rate);
+  std::vector<float> out;
+  out.reserve(llrs.size() * 2);
+  std::size_t in_idx = 0;
+  for (std::size_t i = 0; in_idx < llrs.size(); ++i) {
+    if (mask[i % mask.size()] != 0) {
+      out.push_back(llrs[in_idx++]);
+    } else {
+      out.push_back(0.0F);  // erasure: no information about this bit
+    }
+  }
+  return out;
+}
+
+}  // namespace mimonet::fec

@@ -1,0 +1,56 @@
+// Rate-1/2, constraint-length-7 convolutional code with generator polynomials
+// g0 = 133 (octal), g1 = 171 (octal) — the 802.11 BCC mother code — plus the
+// standard puncturing patterns for rates 2/3, 3/4 and 5/6.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mimonet::fec {
+
+/// Supported BCC coding rates.
+enum class CodeRate : std::uint8_t { kR1_2, kR2_3, kR3_4, kR5_6 };
+
+/// Numerator/denominator of a rate.
+struct RateFraction {
+  unsigned num;
+  unsigned den;
+};
+
+[[nodiscard]] RateFraction rate_fraction(CodeRate r) noexcept;
+[[nodiscard]] const char* rate_name(CodeRate r) noexcept;
+
+/// Number of coded bits produced from `info_bits` information bits at rate
+/// `r` (info_bits must be a multiple of the puncturing period numerator).
+[[nodiscard]] std::size_t coded_length(std::size_t info_bits, CodeRate r);
+
+inline constexpr unsigned kConstraintLength = 7;
+inline constexpr unsigned kNumStates = 1U << (kConstraintLength - 1);  // 64
+
+// Generators g0 = 133 octal (1 + D^2 + D^3 + D^5 + D^6) and g1 = 171 octal
+// (1 + D + D^2 + D^3 + D^6). The shift register here keeps the *newest* bit
+// at bit 0, so the masks are the bit-reversed octal constants (0x6D / 0x4F,
+// the same values GNU Radio's 802.11 implementation uses).
+inline constexpr std::uint32_t kPolyG0 = 0x6D;
+inline constexpr std::uint32_t kPolyG1 = 0x4F;
+
+/// Encode at rate 1/2. The caller is responsible for appending the 6 zero
+/// tail bits if a terminated trellis is wanted (the 802.11n PPDU builder
+/// does). Output is interleaved (A0 B0 A1 B1 ...), one bit per byte.
+[[nodiscard]] std::vector<std::uint8_t> conv_encode(std::span<const std::uint8_t> bits);
+
+/// Puncture a rate-1/2 coded stream to the target rate. Identity for kR1_2.
+[[nodiscard]] std::vector<std::uint8_t> puncture(std::span<const std::uint8_t> coded,
+                                                 CodeRate rate);
+
+/// Inverse of puncture() for soft values: re-inserts zero-LLR erasures so the
+/// Viterbi decoder sees a full rate-1/2 stream. LLR convention: positive
+/// means bit 0 more likely.
+[[nodiscard]] std::vector<float> depuncture(std::span<const float> llrs, CodeRate rate);
+
+/// The puncturing keep-mask for a rate: 1 = bit transmitted, 0 = punctured.
+/// Pattern repeats every mask.size() rate-1/2 output bits.
+[[nodiscard]] std::span<const std::uint8_t> puncture_mask(CodeRate rate) noexcept;
+
+}  // namespace mimonet::fec

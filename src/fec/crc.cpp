@@ -1,0 +1,43 @@
+#include "fec/crc.hpp"
+
+#include <array>
+
+namespace mimonet::fec {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = ((c & 1U) != 0) ? 0xEDB88320U ^ (c >> 1U) : c >> 1U;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrc32Table = make_crc32_table();
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept {
+  std::uint32_t crc = 0xFFFFFFFFU;
+  for (const std::uint8_t b : data) {
+    crc = kCrc32Table[(crc ^ b) & 0xFFU] ^ (crc >> 8U);
+  }
+  return crc ^ 0xFFFFFFFFU;
+}
+
+std::uint8_t crc8_bits(std::span<const std::uint8_t> bits) noexcept {
+  std::uint8_t crc = 0xFF;
+  for (const std::uint8_t bit : bits) {
+    const std::uint8_t top = static_cast<std::uint8_t>((crc >> 7U) & 1U);
+    crc = static_cast<std::uint8_t>(crc << 1U);
+    if ((top ^ (bit & 1U)) != 0) crc ^= 0x07;
+  }
+  return static_cast<std::uint8_t>(crc ^ 0xFF);
+}
+
+}  // namespace mimonet::fec

@@ -1,0 +1,18 @@
+// CRC-32 (the 802.11 FCS) and CRC-8 (HT-SIG protection in 802.11n).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace mimonet::fec {
+
+/// IEEE 802.3/802.11 CRC-32 over bytes (poly 0x04C11DB7 reflected, init
+/// 0xFFFFFFFF, final XOR 0xFFFFFFFF). This is the FCS appended to every PSDU.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept;
+
+/// CRC-8 used by HT-SIG (poly x^8 + x^2 + x + 1 = 0x07, init 0xFF, final XOR
+/// 0xFF), computed over bits (one bit per byte, LSB-first order as
+/// transmitted).
+[[nodiscard]] std::uint8_t crc8_bits(std::span<const std::uint8_t> bits) noexcept;
+
+}  // namespace mimonet::fec

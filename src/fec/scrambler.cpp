@@ -1,0 +1,34 @@
+#include "fec/scrambler.hpp"
+
+#include <stdexcept>
+
+#include "dsp/lfsr.hpp"
+
+namespace mimonet::fec {
+
+void scramble_in_place(std::span<std::uint8_t> bits, std::uint32_t seed) {
+  if ((seed & 0x7FU) == 0) {
+    throw std::invalid_argument("scramble: seed must be a non-zero 7-bit value");
+  }
+  auto lfsr = dsp::make_dot11_scrambler_lfsr(seed);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(b ^ lfsr.next());
+}
+
+std::vector<std::uint8_t> scramble(std::span<const std::uint8_t> bits,
+                                   std::uint32_t seed) {
+  std::vector<std::uint8_t> out(bits.begin(), bits.end());
+  scramble_in_place(out, seed);
+  return out;
+}
+
+std::vector<std::uint8_t> scrambler_sequence(std::uint32_t seed, std::size_t length) {
+  if ((seed & 0x7FU) == 0) {
+    throw std::invalid_argument("scrambler_sequence: seed must be non-zero");
+  }
+  auto lfsr = dsp::make_dot11_scrambler_lfsr(seed);
+  std::vector<std::uint8_t> out(length);
+  for (auto& b : out) b = lfsr.next();
+  return out;
+}
+
+}  // namespace mimonet::fec

@@ -1,0 +1,53 @@
+// Viterbi decoder for the K=7 (133,171) mother code, with soft (LLR) and
+// hard inputs and full-block traceback.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fec/convolutional.hpp"
+
+namespace mimonet::fec {
+
+/// Maximum-likelihood sequence decoder for the rate-1/2 mother code.
+///
+/// Works on the *depunctured* stream: two soft values per trellis step, where
+/// punctured positions carry LLR 0 (see depuncture()). LLR sign convention:
+/// positive = bit 0 more likely, matching mod::Demapper.
+class ViterbiDecoder {
+ public:
+  ViterbiDecoder();
+
+  /// Decode a soft rate-1/2 stream (llrs.size() must be even). Returns one
+  /// decoded input bit per trellis step (including any tail bits the encoder
+  /// appended — the caller strips them).
+  ///
+  /// @param terminated if true the encoder flushed to state 0 with tail
+  ///        bits, so traceback starts at state 0; otherwise it starts at the
+  ///        best surviving state.
+  [[nodiscard]] std::vector<std::uint8_t> decode_soft(std::span<const float> llrs,
+                                                      bool terminated = true) const;
+
+  /// Decode hard bits (0/1, two per step) by mapping to +/-1 LLRs.
+  [[nodiscard]] std::vector<std::uint8_t> decode_hard(std::span<const std::uint8_t> coded,
+                                                      bool terminated = true) const;
+
+ private:
+  // out_[s][b] packs (g0_bit << 1) | g1_bit for state s and input bit b.
+  std::array<std::array<std::uint8_t, 2>, kNumStates> out_{};
+};
+
+/// End-to-end helper: encode `bits` (appending 6 tail zeros), puncture to
+/// `rate`. Used by tests and the PPDU builder.
+[[nodiscard]] std::vector<std::uint8_t> encode_with_tail(std::span<const std::uint8_t> bits,
+                                                         CodeRate rate);
+
+/// Inverse of encode_with_tail for soft input: depuncture, Viterbi-decode,
+/// strip the 6 tail bits.
+[[nodiscard]] std::vector<std::uint8_t> decode_with_tail(std::span<const float> llrs,
+                                                         CodeRate rate,
+                                                         const ViterbiDecoder& dec);
+
+}  // namespace mimonet::fec

@@ -1,0 +1,43 @@
+#include "flowgraph/block.hpp"
+
+namespace mimonet::flowgraph {
+
+void Block::bind_input(std::size_t i, std::shared_ptr<BufferBase> buf) {
+  if (i >= inputs_.size()) throw std::out_of_range(name_ + ": no such input port");
+  if (buf->item_type() != in_types_[i]) {
+    throw std::invalid_argument(name_ + ": input item type mismatch");
+  }
+  if (inputs_[i] != nullptr) {
+    throw std::logic_error(name_ + ": input port already connected");
+  }
+  inputs_[i] = std::move(buf);
+}
+
+void Block::bind_output(std::size_t i, std::shared_ptr<BufferBase> buf) {
+  if (i >= outputs_.size()) throw std::out_of_range(name_ + ": no such output port");
+  if (buf->item_type() != out_types_[i]) {
+    throw std::invalid_argument(name_ + ": output item type mismatch");
+  }
+  if (outputs_[i] != nullptr) {
+    throw std::logic_error(name_ + ": output port already connected");
+  }
+  outputs_[i] = std::move(buf);
+}
+
+bool Block::fully_connected() const noexcept {
+  for (const auto& b : inputs_) {
+    if (b == nullptr) return false;
+  }
+  for (const auto& b : outputs_) {
+    if (b == nullptr) return false;
+  }
+  return true;
+}
+
+void Block::finish_outputs() noexcept {
+  for (const auto& b : outputs_) {
+    if (b != nullptr) b->mark_done();
+  }
+}
+
+}  // namespace mimonet::flowgraph

@@ -1,0 +1,94 @@
+// The dataflow Block abstraction: typed ports, a work() callback, and
+// explicit backpressure — a compact equivalent of the GNU Radio block model
+// that the paper's transceiver blocks plug into.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <typeindex>
+#include <vector>
+
+#include "flowgraph/buffer.hpp"
+
+namespace mimonet::flowgraph {
+
+/// What a work() call accomplished.
+enum class WorkStatus {
+  kProgress,  ///< consumed or produced something; call again
+  kIdle,      ///< blocked on input data or output space
+  kDone,      ///< this block will never produce again
+};
+
+/// Base class for all stream blocks.
+///
+/// Lifecycle: construct -> declare ports (in the constructor) -> Graph
+/// binds buffers -> Scheduler calls work() until kDone.
+class Block {
+ public:
+  explicit Block(std::string name) : name_(std::move(name)) {}
+  virtual ~Block() = default;
+
+  Block(const Block&) = delete;
+  Block& operator=(const Block&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t num_inputs() const noexcept { return in_types_.size(); }
+  [[nodiscard]] std::size_t num_outputs() const noexcept { return out_types_.size(); }
+  [[nodiscard]] std::type_index input_type(std::size_t i) const { return in_types_.at(i); }
+  [[nodiscard]] std::type_index output_type(std::size_t i) const {
+    return out_types_.at(i);
+  }
+
+  /// Process available data. Must not block.
+  virtual WorkStatus work() = 0;
+
+  // -- Graph-side binding (not for block authors). --
+  void bind_input(std::size_t i, std::shared_ptr<BufferBase> buf);
+  void bind_output(std::size_t i, std::shared_ptr<BufferBase> buf);
+  [[nodiscard]] bool fully_connected() const noexcept;
+  /// Mark all output buffers as done (called when work() returns kDone).
+  void finish_outputs() noexcept;
+
+ protected:
+  template <typename T>
+  void add_input() {
+    in_types_.emplace_back(typeid(T));
+    inputs_.push_back(nullptr);
+  }
+  template <typename T>
+  void add_output() {
+    out_types_.emplace_back(typeid(T));
+    outputs_.push_back(nullptr);
+  }
+
+  template <typename T>
+  [[nodiscard]] RingBuffer<T>& in(std::size_t i) const {
+    auto* buf = dynamic_cast<RingBuffer<T>*>(inputs_.at(i).get());
+    if (buf == nullptr) throw std::logic_error(name_ + ": input type/binding error");
+    return *buf;
+  }
+  template <typename T>
+  [[nodiscard]] RingBuffer<T>& out(std::size_t i) const {
+    auto* buf = dynamic_cast<RingBuffer<T>*>(outputs_.at(i).get());
+    if (buf == nullptr) throw std::logic_error(name_ + ": output type/binding error");
+    return *buf;
+  }
+
+  /// True when every input's upstream finished and no items remain.
+  [[nodiscard]] bool all_inputs_done() const noexcept {
+    for (const auto& b : inputs_) {
+      if (b == nullptr || !b->done()) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::type_index> in_types_;
+  std::vector<std::type_index> out_types_;
+  std::vector<std::shared_ptr<BufferBase>> inputs_;
+  std::vector<std::shared_ptr<BufferBase>> outputs_;
+};
+
+}  // namespace mimonet::flowgraph

@@ -1,0 +1,55 @@
+#include "flowgraph/blocks.hpp"
+
+#include <memory>
+
+namespace mimonet::flowgraph {
+
+namespace {
+
+/// Stateful AWGN block (keeps its RNG across chunks).
+class AwgnBlock final : public Block {
+ public:
+  AwgnBlock(double noise_var, std::uint64_t seed)
+      : Block("awgn"), noise_(seed, noise_var) {
+    add_input<dsp::cf32>();
+    add_output<dsp::cf32>();
+  }
+
+  WorkStatus work() override {
+    auto& i = in<dsp::cf32>(0);
+    auto& o = out<dsp::cf32>(0);
+    bool progress = false;
+    while (true) {
+      std::vector<dsp::cf32> chunk(
+          std::min<std::size_t>({4096, i.readable(), o.writable()}));
+      if (chunk.empty()) break;
+      const std::size_t n = i.peek(chunk);
+      if (n == 0) break;
+      noise_.add_to(std::span<dsp::cf32>(chunk.data(), n));
+      const std::size_t w = o.write(std::span<const dsp::cf32>(chunk.data(), n));
+      i.consume(w);
+      progress = progress || w > 0;
+      if (w < n) break;
+    }
+    if (all_inputs_done()) return WorkStatus::kDone;
+    return progress ? WorkStatus::kProgress : WorkStatus::kIdle;
+  }
+
+ private:
+  dsp::ComplexGaussian noise_;
+};
+
+}  // namespace
+
+std::shared_ptr<Apply<dsp::cf32>> make_gain_block(float gain) {
+  return std::make_shared<Apply<dsp::cf32>>(
+      "gain", [gain](std::span<dsp::cf32> chunk) {
+        for (auto& v : chunk) v *= gain;
+      });
+}
+
+std::shared_ptr<Block> make_awgn_block(double noise_var, std::uint64_t seed) {
+  return std::make_shared<AwgnBlock>(noise_var, seed);
+}
+
+}  // namespace mimonet::flowgraph

@@ -1,0 +1,148 @@
+// Reusable stream blocks: sources, sinks, head, gain, AWGN and a generic
+// function-apply block — the utility layer a GNU Radio user expects.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "dsp/rng.hpp"
+#include "dsp/types.hpp"
+#include "flowgraph/block.hpp"
+
+namespace mimonet::flowgraph {
+
+/// Emits a fixed vector (optionally repeated `repeat` times), then finishes.
+template <typename T>
+class VectorSource final : public Block {
+ public:
+  explicit VectorSource(std::vector<T> data, std::size_t repeat = 1)
+      : Block("vector_source"), data_(std::move(data)), repeat_(repeat) {
+    add_output<T>();
+  }
+
+  WorkStatus work() override {
+    if (done_count_ >= repeat_ || data_.empty()) return WorkStatus::kDone;
+    auto& o = this->template out<T>(0);
+    bool progress = false;
+    while (done_count_ < repeat_) {
+      const std::size_t n = o.write(
+          std::span<const T>(data_).subspan(pos_, data_.size() - pos_));
+      pos_ += n;
+      progress = progress || n > 0;
+      if (pos_ < data_.size()) {
+        return progress ? WorkStatus::kProgress : WorkStatus::kIdle;
+      }
+      pos_ = 0;
+      ++done_count_;
+    }
+    return WorkStatus::kDone;
+  }
+
+ private:
+  std::vector<T> data_;
+  std::size_t repeat_;
+  std::size_t pos_ = 0;
+  std::size_t done_count_ = 0;
+};
+
+/// Collects everything into a vector.
+template <typename T>
+class VectorSink final : public Block {
+ public:
+  VectorSink() : Block("vector_sink") { add_input<T>(); }
+
+  WorkStatus work() override {
+    auto& i = this->template in<T>(0);
+    std::vector<T> chunk(4096);
+    bool progress = false;
+    while (true) {
+      const std::size_t n = i.peek(chunk);
+      if (n == 0) break;
+      data_.insert(data_.end(), chunk.begin(), chunk.begin() + static_cast<long>(n));
+      i.consume(n);
+      progress = true;
+    }
+    if (all_inputs_done()) return WorkStatus::kDone;
+    return progress ? WorkStatus::kProgress : WorkStatus::kIdle;
+  }
+
+  [[nodiscard]] const std::vector<T>& data() const noexcept { return data_; }
+
+ private:
+  std::vector<T> data_;
+};
+
+/// Passes the first `count` items, then finishes (GNU Radio's head block).
+template <typename T>
+class Head final : public Block {
+ public:
+  explicit Head(std::size_t count) : Block("head"), remaining_(count) {
+    add_input<T>();
+    add_output<T>();
+  }
+
+  WorkStatus work() override {
+    auto& i = this->template in<T>(0);
+    auto& o = this->template out<T>(0);
+    bool progress = false;
+    while (remaining_ > 0) {
+      std::vector<T> chunk(std::min<std::size_t>({4096, remaining_, o.writable()}));
+      if (chunk.empty()) break;
+      const std::size_t n = i.peek(chunk);
+      if (n == 0) break;
+      const std::size_t w = o.write(std::span<const T>(chunk.data(), n));
+      i.consume(w);
+      remaining_ -= w;
+      progress = progress || w > 0;
+      if (w < n) break;
+    }
+    if (remaining_ == 0 || all_inputs_done()) return WorkStatus::kDone;
+    return progress ? WorkStatus::kProgress : WorkStatus::kIdle;
+  }
+
+ private:
+  std::size_t remaining_;
+};
+
+/// Applies a chunk-wise function in place: void(std::span<T>).
+template <typename T>
+class Apply final : public Block {
+ public:
+  Apply(std::string name, std::function<void(std::span<T>)> fn)
+      : Block(std::move(name)), fn_(std::move(fn)) {
+    add_input<T>();
+    add_output<T>();
+  }
+
+  WorkStatus work() override {
+    auto& i = this->template in<T>(0);
+    auto& o = this->template out<T>(0);
+    bool progress = false;
+    while (true) {
+      std::vector<T> chunk(std::min<std::size_t>({4096, i.readable(), o.writable()}));
+      if (chunk.empty()) break;
+      const std::size_t n = i.peek(chunk);
+      if (n == 0) break;
+      fn_(std::span<T>(chunk.data(), n));
+      const std::size_t w = o.write(std::span<const T>(chunk.data(), n));
+      i.consume(w);
+      progress = progress || w > 0;
+      if (w < n) break;
+    }
+    if (all_inputs_done()) return WorkStatus::kDone;
+    return progress ? WorkStatus::kProgress : WorkStatus::kIdle;
+  }
+
+ private:
+  std::function<void(std::span<T>)> fn_;
+};
+
+/// Multiplies a complex stream by a constant gain.
+[[nodiscard]] std::shared_ptr<Apply<dsp::cf32>> make_gain_block(float gain);
+
+/// Adds CN(0, noise_var) noise to a complex stream.
+[[nodiscard]] std::shared_ptr<Block> make_awgn_block(double noise_var,
+                                                     std::uint64_t seed);
+
+}  // namespace mimonet::flowgraph

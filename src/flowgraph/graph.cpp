@@ -1,0 +1,89 @@
+#include "flowgraph/graph.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace mimonet::flowgraph {
+
+void Graph::add(std::shared_ptr<Block> block) {
+  if (block == nullptr) throw std::invalid_argument("Graph::add: null block");
+  blocks_.push_back(std::move(block));
+}
+
+void Graph::validate() const {
+  if (blocks_.empty()) throw std::logic_error("Graph: no blocks");
+  for (const auto& b : blocks_) {
+    if (!b->fully_connected()) {
+      throw std::logic_error("Graph: block '" + b->name() + "' has unbound ports");
+    }
+  }
+}
+
+void run_single_threaded(Graph& graph) {
+  graph.validate();
+  const auto& blocks = graph.blocks();
+  std::vector<bool> finished(blocks.size(), false);
+
+  while (true) {
+    bool progress = false;
+    bool all_done = true;
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      if (finished[i]) continue;
+      const WorkStatus st = blocks[i]->work();
+      if (st == WorkStatus::kDone) {
+        blocks[i]->finish_outputs();
+        finished[i] = true;
+        progress = true;
+      } else if (st == WorkStatus::kProgress) {
+        progress = true;
+        all_done = false;
+      } else {
+        all_done = false;
+      }
+    }
+    if (all_done) {
+      bool really_done = true;
+      for (const bool f : finished) really_done = really_done && f;
+      if (really_done) return;
+    }
+    if (!progress) {
+      bool really_done = true;
+      for (const bool f : finished) really_done = really_done && f;
+      if (really_done) return;
+      throw std::runtime_error("run_single_threaded: graph stalled (deadlock)");
+    }
+  }
+}
+
+void run_threaded(Graph& graph) {
+  graph.validate();
+  std::vector<std::jthread> threads;
+  threads.reserve(graph.blocks().size());
+  for (const auto& block : graph.blocks()) {
+    threads.emplace_back([block] {
+      unsigned idle_spins = 0;
+      while (true) {
+        const WorkStatus st = block->work();
+        if (st == WorkStatus::kDone) {
+          block->finish_outputs();
+          return;
+        }
+        if (st == WorkStatus::kProgress) {
+          idle_spins = 0;
+          continue;
+        }
+        // Idle: back off progressively to avoid burning a core.
+        ++idle_spins;
+        if (idle_spins < 64) {
+          std::this_thread::yield();
+        } else {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+      }
+    });
+  }
+  // jthreads join on destruction.
+}
+
+}  // namespace mimonet::flowgraph

@@ -1,0 +1,48 @@
+// Graph assembly and schedulers: connect blocks with typed ring buffers and
+// run them to completion, single-threaded or thread-per-block.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "flowgraph/block.hpp"
+
+namespace mimonet::flowgraph {
+
+inline constexpr std::size_t kDefaultBufferCapacity = 1 << 16;
+
+/// Owns blocks and edges; validates connectivity before running.
+class Graph {
+ public:
+  /// Register a block; the graph shares ownership.
+  void add(std::shared_ptr<Block> block);
+
+  /// Connect src's output port to dst's input port with a RingBuffer<T>.
+  template <typename T>
+  void connect(Block& src, std::size_t out_port, Block& dst, std::size_t in_port,
+               std::size_t capacity = kDefaultBufferCapacity) {
+    auto buf = std::make_shared<RingBuffer<T>>(capacity);
+    src.bind_output(out_port, buf);
+    dst.bind_input(in_port, buf);
+  }
+
+  /// @throws std::logic_error when any registered block has unbound ports.
+  void validate() const;
+
+  [[nodiscard]] const std::vector<std::shared_ptr<Block>>& blocks() const noexcept {
+    return blocks_;
+  }
+
+ private:
+  std::vector<std::shared_ptr<Block>> blocks_;
+};
+
+/// Round-robin single-threaded scheduler. Runs until every block reported
+/// kDone. @throws std::runtime_error on deadlock (a full pass with no
+/// progress while blocks remain unfinished).
+void run_single_threaded(Graph& graph);
+
+/// One OS thread per block; each spins on work() with backoff until kDone.
+void run_threaded(Graph& graph);
+
+}  // namespace mimonet::flowgraph

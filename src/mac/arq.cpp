@@ -1,0 +1,100 @@
+#include "mac/arq.hpp"
+
+#include <stdexcept>
+
+namespace mimonet::mac {
+
+namespace {
+
+ArqConfig normalize(ArqConfig cfg) {
+  // ACKs default to the most robust rate on a single stream.
+  if (cfg.ack_phy.mcs == cfg.data_phy.mcs) cfg.ack_phy.mcs = 0;
+  cfg.ack_phy.fec_enabled = true;
+  return cfg;
+}
+
+}  // namespace
+
+StopAndWaitLink::StopAndWaitLink(ArqConfig cfg)
+    : cfg_(normalize(std::move(cfg))),
+      data_tx_(cfg_.data_phy),
+      data_rx_(cfg_.data_phy, cfg_.forward.nrx),
+      ack_tx_(cfg_.ack_phy),
+      ack_rx_(cfg_.ack_phy, cfg_.reverse.nrx),
+      forward_(cfg_.forward),
+      reverse_(cfg_.reverse) {
+  if (cfg_.forward.ntx != data_tx_.num_streams()) {
+    throw std::invalid_argument("StopAndWaitLink: forward ntx != data TX chains");
+  }
+  if (cfg_.reverse.ntx != ack_tx_.num_streams()) {
+    throw std::invalid_argument("StopAndWaitLink: reverse ntx != ACK TX chains");
+  }
+}
+
+std::optional<wifi::ParsedPsdu> StopAndWaitLink::phy_exchange(
+    const core::Transmitter& tx, channel::MimoChannel& chan,
+    const core::Receiver& rx, const wifi::MacHeader& hdr,
+    std::span<const std::uint8_t> payload, double& airtime_us) {
+  const auto psdu = wifi::build_psdu(hdr, payload);
+  const auto streams = tx.transmit(psdu);
+  airtime_us += tx.layout(psdu.size()).airtime_us();
+  const auto capture = chan.transmit(streams);
+  const auto pkt = rx.receive(capture);
+  if (!pkt || !pkt->fcs_ok) return std::nullopt;
+  return wifi::parse_psdu(pkt->psdu);
+}
+
+DeliveryReport StopAndWaitLink::send(std::span<const std::uint8_t> msdu) {
+  DeliveryReport report;
+  ++stats_.msdus;
+
+  wifi::MacHeader data_hdr;
+  data_hdr.frame_control = 0x0008;  // data
+  data_hdr.sequence_control = static_cast<std::uint16_t>(seq_ << 4U);
+
+  wifi::MacHeader ack_hdr;
+  ack_hdr.frame_control = kAckFrameControl;
+
+  for (unsigned attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
+    ++report.transmissions;
+    if (attempt > 0) ++stats_.retransmissions;
+
+    const auto delivered = phy_exchange(data_tx_, forward_, data_rx_, data_hdr,
+                                        msdu, report.airtime_us);
+    bool ack_due = false;
+    if (delivered) {
+      const std::uint16_t rx_seq = delivered->header.sequence_control >> 4U;
+      if (peer_last_seq_ && *peer_last_seq_ == rx_seq) {
+        // Retransmission of a frame the peer already has (its ACK was
+        // lost): de-duplicate but still acknowledge.
+        report.duplicate_at_peer = true;
+        ++stats_.duplicates;
+      } else {
+        peer_last_seq_ = rx_seq;
+        peer_rx_log_.emplace_back(delivered->payload);
+      }
+      ack_due = true;
+    }
+
+    if (ack_due) {
+      ack_hdr.sequence_control = data_hdr.sequence_control;
+      const auto ack = phy_exchange(ack_tx_, reverse_, ack_rx_, ack_hdr, {},
+                                    report.airtime_us);
+      if (ack && ack->header.frame_control == kAckFrameControl &&
+          ack->header.sequence_control == data_hdr.sequence_control) {
+        report.delivered = true;
+        break;
+      }
+    }
+  }
+
+  seq_ = static_cast<std::uint16_t>((seq_ + 1) & 0x0FFF);
+  stats_.airtime_us += report.airtime_us;
+  if (report.delivered) {
+    ++stats_.delivered;
+    stats_.delivered_bits += static_cast<double>(msdu.size()) * 8.0;
+  }
+  return report;
+}
+
+}  // namespace mimonet::mac

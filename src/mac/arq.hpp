@@ -1,0 +1,96 @@
+// A compact stop-and-wait ARQ MAC over the MIMONet PHY: data frames one
+// way, ACK frames the other, retransmission on timeout — the network-level
+// layer the paper's "MIMONet SDR platform for network-level exploitation of
+// MIMO technology" motivates.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "channel/mimo_channel.hpp"
+#include "core/phy_config.hpp"
+#include "core/receiver.hpp"
+#include "core/transmitter.hpp"
+#include "wifi/psdu.hpp"
+
+namespace mimonet::mac {
+
+struct ArqConfig {
+  core::PhyConfig data_phy{};   ///< PHY used for data frames
+  core::PhyConfig ack_phy{};    ///< PHY for ACKs (defaults to MCS 0: robust)
+  channel::ChannelConfig forward{};  ///< station -> peer
+  channel::ChannelConfig reverse{};  ///< peer -> station (ACK path)
+  unsigned max_retries = 7;     ///< retransmissions before giving up
+  std::uint64_t seed = 1;
+};
+
+/// Outcome of one MSDU delivery attempt.
+struct DeliveryReport {
+  bool delivered = false;       ///< an ACK eventually came back
+  bool duplicate_at_peer = false;  ///< peer saw the frame more than once
+  unsigned transmissions = 0;   ///< 1 = first try succeeded
+  double airtime_us = 0.0;      ///< data + ACK air time spent, all tries
+};
+
+/// Aggregate MAC statistics.
+struct ArqStats {
+  std::size_t msdus = 0;
+  std::size_t delivered = 0;
+  std::size_t retransmissions = 0;
+  std::size_t duplicates = 0;   ///< frames the peer had to de-duplicate
+  double airtime_us = 0.0;
+  double delivered_bits = 0.0;
+
+  [[nodiscard]] double goodput_mbps() const noexcept {
+    return airtime_us > 0.0 ? delivered_bits / airtime_us : 0.0;
+  }
+  [[nodiscard]] double loss_rate() const noexcept {
+    return msdus > 0 ? 1.0 - static_cast<double>(delivered) /
+                                 static_cast<double>(msdus)
+                     : 0.0;
+  }
+};
+
+/// Simulates a bidirectional stop-and-wait link between one station and one
+/// peer, including the ACK channel. Sequence numbers de-duplicate data
+/// frames whose ACK was lost.
+class StopAndWaitLink {
+ public:
+  explicit StopAndWaitLink(ArqConfig cfg);
+
+  /// Deliver one MSDU (payload bytes); updates stats().
+  DeliveryReport send(std::span<const std::uint8_t> msdu);
+
+  /// Payloads the peer accepted, in order, de-duplicated.
+  [[nodiscard]] const std::vector<std::vector<std::uint8_t>>& received() const noexcept {
+    return peer_rx_log_;
+  }
+
+  [[nodiscard]] const ArqStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ArqConfig& config() const noexcept { return cfg_; }
+
+ private:
+  /// One PHY exchange in a direction; returns the decoded PSDU on success.
+  [[nodiscard]] std::optional<wifi::ParsedPsdu> phy_exchange(
+      const core::Transmitter& tx, channel::MimoChannel& chan,
+      const core::Receiver& rx, const wifi::MacHeader& hdr,
+      std::span<const std::uint8_t> payload, double& airtime_us);
+
+  ArqConfig cfg_;
+  core::Transmitter data_tx_;
+  core::Receiver data_rx_;
+  core::Transmitter ack_tx_;
+  core::Receiver ack_rx_;
+  channel::MimoChannel forward_;
+  channel::MimoChannel reverse_;
+  std::uint16_t seq_ = 0;
+  std::optional<std::uint16_t> peer_last_seq_;
+  std::vector<std::vector<std::uint8_t>> peer_rx_log_;
+  ArqStats stats_;
+};
+
+/// ACK frame_control marker (control frame subtype ACK, simplified).
+inline constexpr std::uint16_t kAckFrameControl = 0x00D4;
+
+}  // namespace mimonet::mac

@@ -1,0 +1,76 @@
+#include "metrics/counters.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mimonet::metrics {
+
+Interval wilson_interval(std::size_t successes, std::size_t trials) {
+  if (trials == 0) return {0.0, 1.0};
+  constexpr double z = 1.96;  // 95%
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+void BerCounter::add(std::span<const std::uint8_t> reference,
+                     std::span<const std::uint8_t> received) {
+  if (reference.size() != received.size()) {
+    throw std::invalid_argument("BerCounter: size mismatch");
+  }
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    if ((reference[i] & 1U) != (received[i] & 1U)) ++errors_;
+  }
+  bits_ += reference.size();
+}
+
+void BerCounter::add_counts(std::size_t errors, std::size_t bits) noexcept {
+  errors_ += errors;
+  bits_ += bits;
+}
+
+double BerCounter::ber() const noexcept {
+  return (bits_ > 0) ? static_cast<double>(errors_) / static_cast<double>(bits_) : 0.0;
+}
+
+void PerCounter::add(bool packet_ok) noexcept {
+  ++packets_;
+  if (!packet_ok) ++failures_;
+}
+
+double PerCounter::per() const noexcept {
+  return (packets_ > 0) ? static_cast<double>(failures_) / static_cast<double>(packets_)
+                        : 0.0;
+}
+
+void EvmMeter::add(dsp::cf32 observed, dsp::cf32 reference) noexcept {
+  err_ += static_cast<double>(dsp::mag_sqr(observed - reference));
+  ref_ += static_cast<double>(dsp::mag_sqr(reference));
+  ++n_;
+}
+
+double EvmMeter::evm_rms() const noexcept {
+  if (n_ == 0 || ref_ <= 0.0) return 0.0;
+  return std::sqrt(err_ / ref_);
+}
+
+double EvmMeter::evm_db() const noexcept {
+  const double evm = evm_rms();
+  return (evm > 0.0) ? 20.0 * std::log10(evm) : -120.0;
+}
+
+void ThroughputMeter::add_packet(std::size_t payload_bytes, double airtime_us) noexcept {
+  delivered_bits_ += static_cast<double>(payload_bytes) * 8.0;
+  airtime_us_ += airtime_us;
+}
+
+double ThroughputMeter::goodput_mbps() const noexcept {
+  return (airtime_us_ > 0.0) ? delivered_bits_ / airtime_us_ : 0.0;
+}
+
+}  // namespace mimonet::metrics

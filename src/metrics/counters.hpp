@@ -1,0 +1,89 @@
+// Link-quality bookkeeping: BER, PER, EVM and throughput counters with
+// confidence intervals — the measurement layer the paper's evaluation
+// ("bit error rate (BER) and packet error rate (PER) computations") uses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "dsp/types.hpp"
+
+namespace mimonet::metrics {
+
+/// Binomial proportion confidence interval (Wilson score, 95%).
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+[[nodiscard]] Interval wilson_interval(std::size_t successes, std::size_t trials);
+
+/// Bit-error-rate accumulator.
+class BerCounter {
+ public:
+  /// Compare two equal-length bit vectors.
+  void add(std::span<const std::uint8_t> reference, std::span<const std::uint8_t> received);
+  /// Pre-counted errors.
+  void add_counts(std::size_t errors, std::size_t bits) noexcept;
+
+  [[nodiscard]] std::size_t bits() const noexcept { return bits_; }
+  [[nodiscard]] std::size_t errors() const noexcept { return errors_; }
+  [[nodiscard]] double ber() const noexcept;
+  [[nodiscard]] Interval confidence() const { return wilson_interval(errors_, bits_); }
+  void reset() noexcept { *this = BerCounter{}; }
+
+ private:
+  std::size_t bits_ = 0;
+  std::size_t errors_ = 0;
+};
+
+/// Packet-error-rate accumulator.
+class PerCounter {
+ public:
+  void add(bool packet_ok) noexcept;
+
+  [[nodiscard]] std::size_t packets() const noexcept { return packets_; }
+  [[nodiscard]] std::size_t failures() const noexcept { return failures_; }
+  [[nodiscard]] double per() const noexcept;
+  [[nodiscard]] Interval confidence() const { return wilson_interval(failures_, packets_); }
+  void reset() noexcept { *this = PerCounter{}; }
+
+ private:
+  std::size_t packets_ = 0;
+  std::size_t failures_ = 0;
+};
+
+/// Error-vector-magnitude accumulator over equalized constellation points.
+class EvmMeter {
+ public:
+  void add(dsp::cf32 observed, dsp::cf32 reference) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  /// RMS EVM as a fraction of RMS reference magnitude.
+  [[nodiscard]] double evm_rms() const noexcept;
+  [[nodiscard]] double evm_db() const noexcept;
+  void reset() noexcept { *this = EvmMeter{}; }
+
+ private:
+  double err_ = 0.0;
+  double ref_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+/// Goodput accounting: delivered payload bits over elapsed air time.
+class ThroughputMeter {
+ public:
+  /// @param payload_bytes bytes delivered (0 for a lost packet)
+  /// @param airtime_us    time the PPDU occupied the channel
+  void add_packet(std::size_t payload_bytes, double airtime_us) noexcept;
+
+  [[nodiscard]] double goodput_mbps() const noexcept;
+  [[nodiscard]] double airtime_us() const noexcept { return airtime_us_; }
+  void reset() noexcept { *this = ThroughputMeter{}; }
+
+ private:
+  double delivered_bits_ = 0.0;
+  double airtime_us_ = 0.0;
+};
+
+}  // namespace mimonet::metrics

@@ -1,0 +1,158 @@
+#include "mod/constellation.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mimonet::mod {
+
+namespace {
+
+// 802.11 Gray mapping of bit groups to PAM levels, per axis.
+// 1 bit:  0 -> -1, 1 -> +1
+// 2 bits: 00 -> -3, 01 -> -1, 11 -> +1, 10 -> +3
+// 3 bits: 000 -> -7, 001 -> -5, 011 -> -3, 010 -> -1,
+//         110 -> +1, 111 -> +3, 101 -> +5, 100 -> +7
+constexpr std::array<float, 2> kPam2{-1.0F, 1.0F};
+constexpr std::array<float, 4> kPam4{-3.0F, -1.0F, 3.0F, 1.0F};  // index = bits b0b1
+constexpr std::array<float, 8> kPam8{-7.0F, -5.0F, -1.0F, -3.0F,
+                                     7.0F,  5.0F,  1.0F,  3.0F};  // index = b0b1b2
+
+}  // namespace
+
+unsigned bits_per_symbol(Modulation m) noexcept {
+  switch (m) {
+    case Modulation::kBpsk: return 1;
+    case Modulation::kQpsk: return 2;
+    case Modulation::kQam16: return 4;
+    case Modulation::kQam64: return 6;
+  }
+  return 1;
+}
+
+std::string_view modulation_name(Modulation m) noexcept {
+  switch (m) {
+    case Modulation::kBpsk: return "BPSK";
+    case Modulation::kQpsk: return "QPSK";
+    case Modulation::kQam16: return "16-QAM";
+    case Modulation::kQam64: return "64-QAM";
+  }
+  return "?";
+}
+
+Constellation::Constellation(Modulation m) : mod_(m), bps_(mod::bits_per_symbol(m)) {
+  const std::size_t n = std::size_t{1} << bps_;
+  points_.resize(n);
+
+  const auto pam_level = [](unsigned bits, unsigned value) -> float {
+    switch (bits) {
+      case 1: return kPam2[value];
+      case 2: return kPam4[value];
+      case 3: return kPam8[value];
+      default: return 0.0F;
+    }
+  };
+
+  // Normalization factors giving unit average symbol energy (802.11 K_MOD).
+  float norm = 1.0F;
+  switch (m) {
+    case Modulation::kBpsk: norm = 1.0F; break;
+    case Modulation::kQpsk: norm = 1.0F / std::sqrt(2.0F); break;
+    case Modulation::kQam16: norm = 1.0F / std::sqrt(10.0F); break;
+    case Modulation::kQam64: norm = 1.0F / std::sqrt(42.0F); break;
+  }
+
+  const unsigned i_bits = (bps_ + 1) / 2;  // BPSK: 1/0 split (Q absent)
+  const unsigned q_bits = bps_ / 2;
+  for (std::size_t label = 0; label < n; ++label) {
+    const auto i_val = static_cast<unsigned>(label >> q_bits);
+    const auto q_val = static_cast<unsigned>(label & ((1U << q_bits) - 1U));
+    const float i_lvl = pam_level(i_bits, i_val);
+    const float q_lvl = (q_bits == 0) ? 0.0F : pam_level(q_bits, q_val);
+    points_[label] = cf32(i_lvl * norm, q_lvl * norm);
+  }
+}
+
+cf32 Constellation::map(std::span<const std::uint8_t> bits) const {
+  if (bits.size() != bps_) throw std::invalid_argument("Constellation::map: wrong bit count");
+  std::size_t label = 0;
+  for (const std::uint8_t b : bits) label = (label << 1U) | (b & 1U);
+  return points_[label];
+}
+
+std::vector<cf32> Constellation::map_all(std::span<const std::uint8_t> bits) const {
+  if (bits.size() % bps_ != 0) {
+    throw std::invalid_argument("Constellation::map_all: bit count not a symbol multiple");
+  }
+  std::vector<cf32> out(bits.size() / bps_);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = map(bits.subspan(i * bps_, bps_));
+  }
+  return out;
+}
+
+std::size_t Constellation::hard_decision(cf32 y) const noexcept {
+  std::size_t best = 0;
+  float best_d = std::numeric_limits<float>::infinity();
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const float d = dsp::mag_sqr(y - points_[i]);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<std::uint8_t> Constellation::demap_hard(std::span<const cf32> symbols) const {
+  std::vector<std::uint8_t> bits(symbols.size() * bps_);
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    const std::size_t label = hard_decision(symbols[i]);
+    for (unsigned b = 0; b < bps_; ++b) {
+      bits[i * bps_ + b] =
+          static_cast<std::uint8_t>((label >> (bps_ - 1 - b)) & 1U);
+    }
+  }
+  return bits;
+}
+
+void Constellation::demap_soft(cf32 y, float noise_var, std::span<float> llr_out) const {
+  if (llr_out.size() != bps_) {
+    throw std::invalid_argument("Constellation::demap_soft: wrong LLR span size");
+  }
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  // min distance^2 over points whose bit b equals 0 / 1.
+  std::array<float, 6> min0{};
+  std::array<float, 6> min1{};
+  min0.fill(kInf);
+  min1.fill(kInf);
+
+  for (std::size_t label = 0; label < points_.size(); ++label) {
+    const float d = dsp::mag_sqr(y - points_[label]);
+    for (unsigned b = 0; b < bps_; ++b) {
+      const bool bit = ((label >> (bps_ - 1 - b)) & 1U) != 0;
+      auto& slot = bit ? min1[b] : min0[b];
+      if (d < slot) slot = d;
+    }
+  }
+  const float inv_nv = 1.0F / std::max(noise_var, 1e-12F);
+  for (unsigned b = 0; b < bps_; ++b) {
+    llr_out[b] = (min1[b] - min0[b]) * inv_nv;
+  }
+}
+
+std::vector<float> Constellation::demap_soft_all(std::span<const cf32> symbols,
+                                                 std::span<const float> noise_vars) const {
+  if (symbols.size() != noise_vars.size()) {
+    throw std::invalid_argument("demap_soft_all: symbol/CSI size mismatch");
+  }
+  std::vector<float> llrs(symbols.size() * bps_);
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    demap_soft(symbols[i], noise_vars[i], std::span<float>(llrs).subspan(i * bps_, bps_));
+  }
+  return llrs;
+}
+
+}  // namespace mimonet::mod

@@ -1,0 +1,62 @@
+// Gray-coded constellations of IEEE 802.11 (clause 17.3.5.8): BPSK, QPSK,
+// 16-QAM, 64-QAM, with unit average energy.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace mimonet::mod {
+
+using dsp::cf32;
+
+enum class Modulation : std::uint8_t { kBpsk, kQpsk, kQam16, kQam64 };
+
+[[nodiscard]] unsigned bits_per_symbol(Modulation m) noexcept;
+[[nodiscard]] std::string_view modulation_name(Modulation m) noexcept;
+
+/// A Gray-mapped constellation with precomputed point table.
+///
+/// Bit order convention: the first bit consumed is the MSB of the point
+/// index, matching the 802.11 tables (I bits first, then Q bits).
+class Constellation {
+ public:
+  explicit Constellation(Modulation m);
+
+  [[nodiscard]] Modulation modulation() const noexcept { return mod_; }
+  [[nodiscard]] unsigned bits_per_symbol() const noexcept { return bps_; }
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  [[nodiscard]] const std::vector<cf32>& points() const noexcept { return points_; }
+
+  /// Map `bps` bits (one per byte, MSB first) to one symbol.
+  [[nodiscard]] cf32 map(std::span<const std::uint8_t> bits) const;
+
+  /// Map a full bit stream; size must be a multiple of bits_per_symbol().
+  [[nodiscard]] std::vector<cf32> map_all(std::span<const std::uint8_t> bits) const;
+
+  /// Nearest-point hard decision; returns the point index.
+  [[nodiscard]] std::size_t hard_decision(cf32 y) const noexcept;
+
+  /// Hard-demap a symbol stream back to bits.
+  [[nodiscard]] std::vector<std::uint8_t> demap_hard(std::span<const cf32> symbols) const;
+
+  /// Max-log LLRs for one received symbol. `noise_var` is the post-
+  /// equalization complex noise variance for this symbol. Convention:
+  /// positive LLR = bit 0 more likely (matches fec::ViterbiDecoder).
+  void demap_soft(cf32 y, float noise_var, std::span<float> llr_out) const;
+
+  /// Soft-demap a stream with per-symbol noise variances (CSI). Output has
+  /// symbols.size() * bits_per_symbol() entries.
+  [[nodiscard]] std::vector<float> demap_soft_all(std::span<const cf32> symbols,
+                                                  std::span<const float> noise_vars) const;
+
+ private:
+  Modulation mod_;
+  unsigned bps_;
+  std::vector<cf32> points_;  // indexed by the bps-bit Gray label
+};
+
+}  // namespace mimonet::mod

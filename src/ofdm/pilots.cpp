@@ -1,0 +1,84 @@
+#include "ofdm/pilots.hpp"
+
+#include <stdexcept>
+
+#include "fec/scrambler.hpp"
+
+namespace mimonet::ofdm {
+
+namespace {
+
+// The polarity sequence is 127-periodic; precompute one period. Sequence
+// bit 0 -> +1, bit 1 -> -1.
+const std::array<float, 127>& polarity_table() {
+  static const std::array<float, 127> table = [] {
+    std::array<float, 127> t{};
+    const auto seq = fec::scrambler_sequence(0x7F, 127);
+    for (std::size_t i = 0; i < 127; ++i) t[i] = (seq[i] != 0) ? -1.0F : 1.0F;
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+float pilot_polarity(std::size_t symbol_index) noexcept {
+  return polarity_table()[symbol_index % 127];
+}
+
+std::array<float, 4> pilot_pattern(std::size_t nss, std::size_t iss) {
+  if (iss >= nss) throw std::invalid_argument("pilot_pattern: iss >= nss");
+  switch (nss) {
+    case 1:
+      return {1.0F, 1.0F, 1.0F, -1.0F};  // legacy/HT single stream
+    case 2:
+      // 802.11n Table 20-19, N_STS = 2, 20 MHz.
+      return (iss == 0) ? std::array<float, 4>{1.0F, 1.0F, -1.0F, -1.0F}
+                        : std::array<float, 4>{1.0F, -1.0F, -1.0F, 1.0F};
+    case 3:
+      switch (iss) {
+        case 0: return {1.0F, 1.0F, -1.0F, -1.0F};
+        case 1: return {1.0F, -1.0F, 1.0F, -1.0F};
+        default: return {-1.0F, 1.0F, 1.0F, -1.0F};
+      }
+    case 4:
+      switch (iss) {
+        case 0: return {1.0F, 1.0F, 1.0F, -1.0F};
+        case 1: return {1.0F, 1.0F, -1.0F, 1.0F};
+        case 2: return {1.0F, -1.0F, 1.0F, 1.0F};
+        default: return {-1.0F, 1.0F, 1.0F, 1.0F};
+      }
+    default:
+      throw std::invalid_argument("pilot_pattern: nss must be 1..4");
+  }
+}
+
+std::array<cf32, 4> pilot_values(std::size_t nss, std::size_t iss,
+                                 std::size_t symbol_index) {
+  const auto pattern = pilot_pattern(nss, iss);
+  const float pol = pilot_polarity(symbol_index);
+  std::array<cf32, 4> out{};
+  for (std::size_t p = 0; p < 4; ++p) {
+    // The per-stream pattern rotates across the 4 pilot tones each symbol.
+    out[p] = cf32(pol * pattern[(p + symbol_index) % 4], 0.0F);
+  }
+  return out;
+}
+
+std::array<cf32, 4> legacy_pilot_values(std::size_t symbol_index) {
+  const float pol = pilot_polarity(symbol_index);
+  return {cf32(pol, 0.0F), cf32(pol, 0.0F), cf32(pol, 0.0F), cf32(-pol, 0.0F)};
+}
+
+std::array<cf32, 4> ht_data_pilots(std::size_t nss, std::size_t iss,
+                                   std::size_t data_symbol_index) {
+  const auto pattern = pilot_pattern(nss, iss);
+  const float pol = pilot_polarity(3 + data_symbol_index);
+  std::array<cf32, 4> out{};
+  for (std::size_t p = 0; p < 4; ++p) {
+    out[p] = cf32(pol * pattern[(p + data_symbol_index) % 4], 0.0F);
+  }
+  return out;
+}
+
+}  // namespace mimonet::ofdm

@@ -1,0 +1,22 @@
+#include "ofdm/subcarriers.hpp"
+
+#include <algorithm>
+
+namespace mimonet::ofdm {
+
+SubcarrierMap::SubcarrierMap(CarrierPlan plan) : plan_(plan) {
+  const int edge = (plan == CarrierPlan::kLegacy) ? 26 : 28;
+  for (int k = -edge; k <= edge; ++k) {
+    if (k == 0) continue;  // DC null
+    const bool is_pilot =
+        std::find(kPilotCarriers.begin(), kPilotCarriers.end(), k) != kPilotCarriers.end();
+    if (is_pilot) continue;
+    data_bins_.push_back(logical_to_bin(k));
+    data_logical_.push_back(k);
+  }
+  for (const int k : kPilotCarriers) {
+    pilot_bins_.push_back(logical_to_bin(k));
+  }
+}
+
+}  // namespace mimonet::ofdm

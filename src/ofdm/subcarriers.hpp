@@ -1,0 +1,61 @@
+// Subcarrier allocation for 20 MHz 802.11 OFDM symbols.
+//
+// Legacy (11a) symbols use 52 occupied subcarriers: 48 data + 4 pilots at
+// logical indices {-21, -7, 7, 21}. HT (11n) symbols use 56: 52 data + the
+// same 4 pilot positions. Logical index 0 (DC) is always null.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace mimonet::ofdm {
+
+inline constexpr std::size_t kFftSize = 64;
+inline constexpr std::size_t kCpLen = 16;                     // 0.8 us at 20 MHz
+inline constexpr std::size_t kSymLen = kFftSize + kCpLen;     // 80 samples
+inline constexpr std::array<int, 4> kPilotCarriers{-21, -7, 7, 21};
+
+enum class CarrierPlan { kLegacy, kHt };
+
+/// Precomputed data/pilot subcarrier layout for one plan.
+class SubcarrierMap {
+ public:
+  explicit SubcarrierMap(CarrierPlan plan);
+
+  [[nodiscard]] CarrierPlan plan() const noexcept { return plan_; }
+  /// Number of data subcarriers (48 legacy, 52 HT).
+  [[nodiscard]] std::size_t num_data() const noexcept { return data_bins_.size(); }
+  [[nodiscard]] std::size_t num_pilots() const noexcept { return pilot_bins_.size(); }
+  /// Total occupied (data + pilot) subcarriers.
+  [[nodiscard]] std::size_t num_occupied() const noexcept {
+    return num_data() + num_pilots();
+  }
+
+  /// FFT bin indices (0..63) of data subcarriers, ordered by ascending
+  /// logical index (-26..26 / -28..28).
+  [[nodiscard]] const std::vector<std::size_t>& data_bins() const noexcept {
+    return data_bins_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& pilot_bins() const noexcept {
+    return pilot_bins_;
+  }
+  /// Logical indices corresponding to data_bins(), same order.
+  [[nodiscard]] const std::vector<int>& data_logical() const noexcept {
+    return data_logical_;
+  }
+
+  /// Logical subcarrier index (-32..31) -> FFT bin (0..63).
+  [[nodiscard]] static std::size_t logical_to_bin(int k) noexcept {
+    return static_cast<std::size_t>((k + static_cast<int>(kFftSize)) %
+                                    static_cast<int>(kFftSize));
+  }
+
+ private:
+  CarrierPlan plan_;
+  std::vector<std::size_t> data_bins_;
+  std::vector<std::size_t> pilot_bins_;
+  std::vector<int> data_logical_;
+};
+
+}  // namespace mimonet::ofdm

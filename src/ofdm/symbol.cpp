@@ -1,0 +1,73 @@
+#include "ofdm/symbol.hpp"
+
+#include <stdexcept>
+
+namespace mimonet::ofdm {
+
+SymbolModulator::SymbolModulator(CarrierPlan plan) : map_(plan), fft_(kFftSize) {}
+
+void SymbolModulator::modulate(std::span<const cf32> data, std::span<const cf32, 4> pilots,
+                               std::vector<cf32>& out, int csd_samples) const {
+  if (data.size() != map_.num_data()) {
+    throw std::invalid_argument("SymbolModulator: wrong data subcarrier count");
+  }
+  std::array<cf32, kFftSize> grid{};
+  for (std::size_t i = 0; i < data.size(); ++i) grid[map_.data_bins()[i]] = data[i];
+  for (std::size_t p = 0; p < pilots.size(); ++p) grid[map_.pilot_bins()[p]] = pilots[p];
+  if (csd_samples != 0) cyclic_shift_grid(grid, csd_samples);
+  modulate_grid(fft_, grid, kCpLen, out);
+}
+
+void cyclic_shift_grid(std::span<cf32> grid, int shift_samples) noexcept {
+  if (shift_samples == 0) return;
+  const auto n = static_cast<int>(grid.size());
+  for (int b = 0; b < n; ++b) {
+    const double theta = -dsp::two_pi_d * static_cast<double>(b) *
+                         static_cast<double>(shift_samples) / static_cast<double>(n);
+    const dsp::cf64 y = dsp::cf64(grid[static_cast<std::size_t>(b)]) * dsp::phasor_d(theta);
+    grid[static_cast<std::size_t>(b)] =
+        cf32(static_cast<float>(y.real()), static_cast<float>(y.imag()));
+  }
+}
+
+void SymbolModulator::modulate_grid(const dsp::FftPlan& plan, std::span<const cf32> grid,
+                                    std::size_t cp_len, std::vector<cf32>& out) {
+  std::vector<cf32> time(plan.size());
+  plan.inverse(grid, time);
+  // Scale so mean occupied-subcarrier power maps to unit-ish sample power is
+  // left to the caller; here we keep the plain 1/N IFFT convention.
+  const std::size_t base = out.size();
+  out.resize(base + cp_len + plan.size());
+  for (std::size_t i = 0; i < cp_len; ++i) {
+    out[base + i] = time[plan.size() - cp_len + i];
+  }
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    out[base + cp_len + i] = time[i];
+  }
+}
+
+SymbolDemodulator::SymbolDemodulator(CarrierPlan plan) : map_(plan), fft_(kFftSize) {}
+
+DemodSymbol SymbolDemodulator::demodulate(std::span<const cf32> symbol) const {
+  const auto grid = demodulate_grid(symbol);
+  DemodSymbol out;
+  out.data.resize(map_.num_data());
+  for (std::size_t i = 0; i < out.data.size(); ++i) {
+    out.data[i] = grid[map_.data_bins()[i]];
+  }
+  for (std::size_t p = 0; p < 4; ++p) {
+    out.pilots[p] = grid[map_.pilot_bins()[p]];
+  }
+  return out;
+}
+
+std::vector<cf32> SymbolDemodulator::demodulate_grid(std::span<const cf32> symbol) const {
+  if (symbol.size() != kSymLen) {
+    throw std::invalid_argument("SymbolDemodulator: expected 80-sample symbol");
+  }
+  std::vector<cf32> grid(kFftSize);
+  fft_.forward(symbol.subspan(kCpLen, kFftSize), grid);
+  return grid;
+}
+
+}  // namespace mimonet::ofdm

@@ -1,0 +1,71 @@
+// OFDM symbol modulator/demodulator: frequency-domain grid <-> time-domain
+// samples with cyclic prefix.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "dsp/fft.hpp"
+#include "dsp/types.hpp"
+#include "ofdm/subcarriers.hpp"
+
+namespace mimonet::ofdm {
+
+using dsp::cf32;
+
+/// Builds 80-sample time-domain OFDM symbols from data + pilot subcarrier
+/// values. One instance per transmit stream; reusable across symbols.
+class SymbolModulator {
+ public:
+  explicit SymbolModulator(CarrierPlan plan);
+
+  [[nodiscard]] const SubcarrierMap& map() const noexcept { return map_; }
+
+  /// Modulate one symbol. `data` must have map().num_data() entries ordered
+  /// by ascending logical subcarrier; `pilots` are the 4 pilot values.
+  /// `csd_samples` applies a per-stream cyclic shift (802.11n CSD).
+  /// Output is CP + 64 IFFT samples (kSymLen samples), appended to `out`.
+  void modulate(std::span<const cf32> data, std::span<const cf32, 4> pilots,
+                std::vector<cf32>& out, int csd_samples = 0) const;
+
+  /// Modulate a raw 64-bin frequency grid (used for preamble symbols whose
+  /// layout differs from the data plan). Appends cp_len + 64 samples.
+  static void modulate_grid(const dsp::FftPlan& plan, std::span<const cf32> grid,
+                            std::size_t cp_len, std::vector<cf32>& out);
+
+ private:
+  SubcarrierMap map_;
+  dsp::FftPlan fft_;
+};
+
+/// Result of demodulating one OFDM symbol.
+struct DemodSymbol {
+  std::vector<cf32> data;        // num_data() entries, ascending logical order
+  std::array<cf32, 4> pilots{};  // the 4 pilot tones
+};
+
+/// Apply a cyclic time shift of `shift_samples` to a frequency grid in
+/// place (a linear phase ramp across bins). Negative values are the 802.11
+/// CSD convention.
+void cyclic_shift_grid(std::span<cf32> grid, int shift_samples) noexcept;
+
+/// Strips the CP and FFTs received symbols back to subcarrier values.
+class SymbolDemodulator {
+ public:
+  explicit SymbolDemodulator(CarrierPlan plan);
+
+  [[nodiscard]] const SubcarrierMap& map() const noexcept { return map_; }
+
+  /// Demodulate one kSymLen-sample symbol (CP included).
+  [[nodiscard]] DemodSymbol demodulate(std::span<const cf32> symbol) const;
+
+  /// Demodulate to the full 64-bin grid (for channel estimation on LTFs).
+  [[nodiscard]] std::vector<cf32> demodulate_grid(std::span<const cf32> symbol) const;
+
+ private:
+  SubcarrierMap map_;
+  dsp::FftPlan fft_;
+};
+
+}  // namespace mimonet::ofdm

@@ -1,0 +1,56 @@
+// Full front-end synchronization: STF detection, coarse CFO, then fine
+// timing/CFO by either L-LTF cross-correlation or the paper's MIMO-extended
+// Van de Beek estimator running over the L-SIG/HT-SIG symbols.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sync/fine_sync.hpp"
+#include "sync/packet_detector.hpp"
+#include "sync/van_de_beek.hpp"
+
+namespace mimonet::sync {
+
+enum class TimingMode {
+  kLtfCrossCorr,   ///< matched-filter timing on the L-LTF
+  kVanDeBeekMimo,  ///< CP-ML timing over 3 consecutive SIG symbols
+};
+
+struct FrameSyncConfig {
+  DetectorConfig detector{};
+  TimingMode mode = TimingMode::kLtfCrossCorr;
+  /// Van de Beek metric SNR weight (rho = snr/(snr+1)).
+  double vdb_rho = 0.5;
+  /// Half-width of the Van de Beek timing search window around the expected
+  /// L-SIG position (must stay < 40 to avoid the mod-80 ambiguity).
+  std::size_t vdb_slack = 32;
+};
+
+struct FrameSyncResult {
+  /// Index of the first L-STF sample in the original capture.
+  std::size_t packet_start = 0;
+  /// Total CFO estimate (coarse + fine), cycles/sample.
+  double cfo_norm = 0.0;
+  double coarse_cfo_norm = 0.0;
+  float detect_metric = 0.0F;
+};
+
+/// One-shot packet synchronizer over a multi-antenna capture.
+class FrameSynchronizer {
+ public:
+  explicit FrameSynchronizer(FrameSyncConfig cfg);
+
+  /// @param rx per-RX-antenna captures, equal length.
+  [[nodiscard]] std::optional<FrameSyncResult> synchronize(
+      const std::vector<std::vector<cf32>>& rx) const;
+
+ private:
+  FrameSyncConfig cfg_;
+  PacketDetector detector_;
+  FineSynchronizer fine_;
+};
+
+}  // namespace mimonet::sync

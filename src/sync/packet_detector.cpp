@@ -1,0 +1,99 @@
+#include "sync/packet_detector.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/correlator.hpp"
+
+namespace mimonet::sync {
+
+PacketDetector::PacketDetector(DetectorConfig cfg) : cfg_(cfg) {
+  if (cfg.lag == 0 || cfg.window == 0 || cfg.min_plateau == 0) {
+    throw std::invalid_argument("PacketDetector: zero dimension");
+  }
+  if (cfg.threshold <= 0.0F || cfg.threshold >= 1.0F) {
+    throw std::invalid_argument("PacketDetector: threshold must be in (0, 1)");
+  }
+}
+
+std::optional<Detection> PacketDetector::detect(std::span<const cf32> rx) const {
+  const std::span<const cf32> one[] = {rx};
+  return detect_mimo(one);
+}
+
+std::optional<Detection> PacketDetector::detect_mimo(
+    std::span<const std::span<const cf32>> rx_antennas) const {
+  if (rx_antennas.empty()) throw std::invalid_argument("detect_mimo: no antennas");
+  const std::size_t len = rx_antennas[0].size();
+  for (const auto& a : rx_antennas) {
+    if (a.size() != len) throw std::invalid_argument("detect_mimo: ragged spans");
+  }
+  if (len < cfg_.lag + cfg_.window) return std::nullopt;
+
+  // Per-antenna sliding sums, combined coherently (correlations add in
+  // phase because all antennas see the same CFO-induced rotation).
+  std::vector<dsp::AutocorrResult> per_ant;
+  per_ant.reserve(rx_antennas.size());
+  for (const auto& a : rx_antennas) {
+    per_ant.push_back(dsp::lag_autocorrelate(a, cfg_.lag, cfg_.window));
+  }
+  const std::size_t n_pos = per_ant[0].metric.size();
+
+  std::size_t run = 0;
+  std::size_t run_start = 0;
+  float peak = 0.0F;
+  dsp::cf64 peak_corr{0.0, 0.0};
+
+  for (std::size_t i = 0; i < n_pos; ++i) {
+    dsp::cf64 corr{0.0, 0.0};
+    double power = 0.0;
+    for (const auto& ant : per_ant) {
+      corr += dsp::cf64(ant.corr[i]);
+      power += static_cast<double>(ant.power[i]);
+    }
+    const float metric =
+        (power > 0.0) ? static_cast<float>(dsp::mag_sqr(corr) / (power * power)) : 0.0F;
+
+    if (metric >= cfg_.threshold) {
+      if (run == 0) run_start = i;
+      ++run;
+      if (metric > peak) {
+        peak = metric;
+        peak_corr = corr;
+      }
+      if (run >= cfg_.min_plateau) {
+        // Keep scanning the plateau to refine the peak CFO, then report.
+        std::size_t j = i + 1;
+        for (; j < n_pos; ++j) {
+          dsp::cf64 c2{0.0, 0.0};
+          double p2 = 0.0;
+          for (const auto& ant : per_ant) {
+            c2 += dsp::cf64(ant.corr[j]);
+            p2 += static_cast<double>(ant.power[j]);
+          }
+          const float m2 =
+              (p2 > 0.0) ? static_cast<float>(dsp::mag_sqr(c2) / (p2 * p2)) : 0.0F;
+          if (m2 < cfg_.threshold) break;
+          if (m2 > peak) {
+            peak = m2;
+            peak_corr = c2;
+          }
+        }
+        Detection det;
+        det.start = run_start;
+        det.peak_metric = peak;
+        // angle(corr) = -2*pi*cfo*lag  =>  cfo = -angle/(2*pi*lag).
+        det.cfo_norm =
+            -std::arg(peak_corr) / (dsp::two_pi_d * static_cast<double>(cfg_.lag));
+        return det;
+      }
+    } else {
+      run = 0;
+      peak = 0.0F;
+      peak_corr = dsp::cf64{0.0, 0.0};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace mimonet::sync

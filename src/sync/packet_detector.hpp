@@ -1,0 +1,59 @@
+// STF-based packet detection: the lag-16 autocorrelation plateau of the
+// short training field (Schmidl & Cox style), summed across RX antennas.
+// This is the conventional baseline the paper's MIMO Van de Beek estimator
+// is compared against, and the coarse trigger the full receiver uses.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace mimonet::sync {
+
+using dsp::cf32;
+
+struct DetectorConfig {
+  std::size_t lag = 16;      ///< STF period at 20 Msps
+  std::size_t window = 48;   ///< correlation window (3 STF periods)
+  /// Normalized-metric trigger level. The metric approaches
+  /// (snr/(snr+1))^2, so 0.45 keeps detection alive down to ~5 dB while
+  /// random noise (metric ~ 1/window) stays far below it.
+  float threshold = 0.45F;
+  std::size_t min_plateau = 24;  ///< samples the metric must stay high
+};
+
+struct Detection {
+  /// Coarse packet-start estimate (index into the searched span). Points
+  /// near the beginning of the STF.
+  std::size_t start = 0;
+  /// Coarse CFO estimate in cycles/sample from the STF autocorrelation
+  /// angle (unambiguous to +/- 1/(2*lag) = +/- 625 kHz at 20 Msps).
+  double cfo_norm = 0.0;
+  /// Peak normalized metric, in [0, ~1].
+  float peak_metric = 0.0F;
+};
+
+/// Sliding autocorrelation detector over one or more antennas.
+class PacketDetector {
+ public:
+  explicit PacketDetector(DetectorConfig cfg);
+
+  [[nodiscard]] const DetectorConfig& config() const noexcept { return cfg_; }
+
+  /// Detect the first packet in the span; nullopt when nothing crosses the
+  /// threshold for min_plateau consecutive samples.
+  [[nodiscard]] std::optional<Detection> detect(std::span<const cf32> rx) const;
+
+  /// MIMO variant: correlation and power sums are combined across antennas
+  /// before thresholding. All spans must be equal length.
+  [[nodiscard]] std::optional<Detection> detect_mimo(
+      std::span<const std::span<const cf32>> rx_antennas) const;
+
+ private:
+  DetectorConfig cfg_;
+};
+
+}  // namespace mimonet::sync

@@ -1,0 +1,69 @@
+// The Van de Beek ML timing/CFO estimator extended to MIMO — the paper's
+// novel synchronization algorithm.
+//
+// Van de Beek, Sandell, Borjesson, "ML Estimation of Time and Frequency
+// Offset in OFDM Systems" (1997) exploits the cyclic prefix: over a window
+// of CP length L, gamma(m) = sum r(k) conj(r(k+N)) peaks where the CP
+// repeats, and the argument of gamma at the peak reveals the fractional
+// CFO. The MIMO extension sums the sufficient statistics across RX antennas
+// (all antennas share the sampling clock and LO, so timing and CFO are
+// common) and optionally accumulates across consecutive OFDM symbols.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace mimonet::sync {
+
+using dsp::cf32;
+
+struct VdbConfig {
+  std::size_t fft_len = 64;
+  std::size_t cp_len = 16;
+  /// Number of consecutive OFDM symbols whose CP statistics are accumulated
+  /// (spaced fft_len + cp_len samples apart). More symbols sharpen the peak.
+  std::size_t n_symbols = 1;
+  /// SNR-dependent weight rho = snr / (snr + 1) in the ML metric
+  /// |gamma| - rho * Phi. 0.5 is a robust default when SNR is unknown.
+  double rho = 0.5;
+};
+
+struct VdbEstimate {
+  /// Estimated symbol-start offset, relative to the start of the span
+  /// handed to estimate(). Points at the first CP sample.
+  std::size_t timing = 0;
+  /// Estimated CFO in cycles/sample (fractional part only: the CP method is
+  /// unambiguous within +/- 0.5 subcarrier spacings, i.e. +/- 1/(2*fft_len)).
+  double cfo_norm = 0.0;
+  /// Value of the ML metric at the peak (for detection thresholds).
+  double metric = 0.0;
+  /// The full metric trace Lambda(m), for the sync experiment's plots.
+  std::vector<double> trace;
+};
+
+/// CP-based ML estimator over one or more RX antennas.
+class VanDeBeekEstimator {
+ public:
+  explicit VanDeBeekEstimator(VdbConfig cfg);
+
+  [[nodiscard]] const VdbConfig& config() const noexcept { return cfg_; }
+
+  /// SISO estimate over a search span.
+  [[nodiscard]] VdbEstimate estimate(std::span<const cf32> rx) const;
+
+  /// MIMO estimate: the statistics gamma and Phi are summed across all
+  /// antennas before the metric/argmax. All spans must have equal length.
+  [[nodiscard]] VdbEstimate estimate_mimo(
+      std::span<const std::span<const cf32>> rx_antennas) const;
+
+  /// Minimum span length required for a single metric evaluation.
+  [[nodiscard]] std::size_t min_span() const noexcept;
+
+ private:
+  VdbConfig cfg_;
+};
+
+}  // namespace mimonet::sync

@@ -1,0 +1,51 @@
+#include "trace/file_blocks.hpp"
+
+namespace mimonet::trace {
+
+using flowgraph::WorkStatus;
+
+IqFileSource::IqFileSource(const std::filesystem::path& path)
+    : Block("iq_file_source"), capture_(read_iq(path)) {
+  add_output<cf32>();
+}
+
+WorkStatus IqFileSource::work() {
+  auto& o = out<cf32>(0);
+  bool progress = false;
+  while (pos_ < capture_.samples.size()) {
+    const std::size_t n = o.write(
+        std::span<const cf32>(capture_.samples).subspan(pos_));
+    if (n == 0) return progress ? WorkStatus::kProgress : WorkStatus::kIdle;
+    pos_ += n;
+    progress = true;
+  }
+  return WorkStatus::kDone;
+}
+
+IqFileSink::IqFileSink(std::filesystem::path path, std::uint32_t sample_rate_hz)
+    : Block("iq_file_sink"), path_(std::move(path)), sample_rate_hz_(sample_rate_hz) {
+  add_input<cf32>();
+}
+
+WorkStatus IqFileSink::work() {
+  auto& i = in<cf32>(0);
+  bool progress = false;
+  std::vector<cf32> chunk(4096);
+  while (true) {
+    const std::size_t n = i.peek(chunk);
+    if (n == 0) break;
+    data_.insert(data_.end(), chunk.begin(), chunk.begin() + static_cast<long>(n));
+    i.consume(n);
+    progress = true;
+  }
+  if (all_inputs_done()) {
+    if (!written_) {
+      write_iq(path_, data_, sample_rate_hz_);
+      written_ = true;
+    }
+    return WorkStatus::kDone;
+  }
+  return progress ? WorkStatus::kProgress : WorkStatus::kIdle;
+}
+
+}  // namespace mimonet::trace

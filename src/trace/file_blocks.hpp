@@ -1,0 +1,46 @@
+// Flowgraph blocks bridging streams and IQ capture files (GNU Radio's
+// file_source / file_sink equivalents).
+#pragma once
+
+#include <filesystem>
+
+#include "flowgraph/block.hpp"
+#include "trace/iq_file.hpp"
+
+namespace mimonet::trace {
+
+/// Streams a MIQ1 file's samples once, then finishes.
+class IqFileSource final : public flowgraph::Block {
+ public:
+  explicit IqFileSource(const std::filesystem::path& path);
+
+  flowgraph::WorkStatus work() override;
+
+  [[nodiscard]] std::uint32_t sample_rate_hz() const noexcept {
+    return capture_.sample_rate_hz;
+  }
+
+ private:
+  IqCapture capture_;
+  std::size_t pos_ = 0;
+};
+
+/// Accumulates a stream and writes it as a MIQ1 file when the stream ends.
+class IqFileSink final : public flowgraph::Block {
+ public:
+  IqFileSink(std::filesystem::path path,
+             std::uint32_t sample_rate_hz = kDefaultSampleRate);
+
+  flowgraph::WorkStatus work() override;
+
+  /// Samples seen so far (also available after the run).
+  [[nodiscard]] const std::vector<cf32>& samples() const noexcept { return data_; }
+
+ private:
+  std::filesystem::path path_;
+  std::uint32_t sample_rate_hz_;
+  std::vector<cf32> data_;
+  bool written_ = false;
+};
+
+}  // namespace mimonet::trace

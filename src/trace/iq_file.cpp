@@ -1,0 +1,64 @@
+#include "trace/iq_file.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+namespace mimonet::trace {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+struct Header {
+  std::uint32_t magic;
+  std::uint32_t sample_rate_hz;
+  std::uint64_t sample_count;
+};
+
+}  // namespace
+
+void write_iq(const std::filesystem::path& path, std::span<const cf32> samples,
+              std::uint32_t sample_rate_hz) {
+  const FilePtr f(std::fopen(path.string().c_str(), "wb"));
+  if (!f) throw std::runtime_error("write_iq: cannot open " + path.string());
+
+  const Header hdr{kIqMagic, sample_rate_hz, samples.size()};
+  if (std::fwrite(&hdr, sizeof hdr, 1, f.get()) != 1) {
+    throw std::runtime_error("write_iq: header write failed");
+  }
+  if (!samples.empty() &&
+      std::fwrite(samples.data(), sizeof(cf32), samples.size(), f.get()) !=
+          samples.size()) {
+    throw std::runtime_error("write_iq: sample write failed");
+  }
+}
+
+IqCapture read_iq(const std::filesystem::path& path) {
+  const FilePtr f(std::fopen(path.string().c_str(), "rb"));
+  if (!f) throw std::runtime_error("read_iq: cannot open " + path.string());
+
+  Header hdr{};
+  if (std::fread(&hdr, sizeof hdr, 1, f.get()) != 1) {
+    throw std::runtime_error("read_iq: truncated header");
+  }
+  if (hdr.magic != kIqMagic) {
+    throw std::runtime_error("read_iq: not a MIQ1 file: " + path.string());
+  }
+  IqCapture cap;
+  cap.sample_rate_hz = hdr.sample_rate_hz;
+  cap.samples.resize(hdr.sample_count);
+  if (hdr.sample_count != 0 &&
+      std::fread(cap.samples.data(), sizeof(cf32), cap.samples.size(), f.get()) !=
+          cap.samples.size()) {
+    throw std::runtime_error("read_iq: truncated samples");
+  }
+  return cap;
+}
+
+}  // namespace mimonet::trace

@@ -1,0 +1,33 @@
+// IQ capture files: the file-source/file-sink workflow GNU Radio users rely
+// on for record-and-replay debugging. A small self-describing header keeps
+// sample rate with the data.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace mimonet::trace {
+
+using dsp::cf32;
+
+inline constexpr std::uint32_t kIqMagic = 0x3151494DU;  // "MIQ1" little-endian
+inline constexpr std::uint32_t kDefaultSampleRate = 20'000'000;
+
+struct IqCapture {
+  std::uint32_t sample_rate_hz = kDefaultSampleRate;
+  std::vector<cf32> samples;
+};
+
+/// Write samples (complex float32, little-endian) with the MIQ1 header.
+/// @throws std::runtime_error on I/O failure.
+void write_iq(const std::filesystem::path& path, std::span<const cf32> samples,
+              std::uint32_t sample_rate_hz = kDefaultSampleRate);
+
+/// Read a MIQ1 file. @throws std::runtime_error on I/O or format errors.
+[[nodiscard]] IqCapture read_iq(const std::filesystem::path& path);
+
+}  // namespace mimonet::trace

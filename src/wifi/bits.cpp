@@ -1,0 +1,39 @@
+#include "wifi/bits.hpp"
+
+#include <stdexcept>
+
+namespace mimonet::wifi {
+
+std::vector<std::uint8_t> bytes_to_bits(std::span<const std::uint8_t> bytes) {
+  std::vector<std::uint8_t> bits;
+  bits.reserve(bytes.size() * 8);
+  for (const std::uint8_t byte : bytes) {
+    for (unsigned i = 0; i < 8; ++i) {
+      bits.push_back(static_cast<std::uint8_t>((byte >> i) & 1U));
+    }
+  }
+  return bits;
+}
+
+std::vector<std::uint8_t> bits_to_bytes(std::span<const std::uint8_t> bits) {
+  if (bits.size() % 8 != 0) {
+    throw std::invalid_argument("bits_to_bytes: bit count not a multiple of 8");
+  }
+  std::vector<std::uint8_t> bytes(bits.size() / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    bytes[i / 8] |= static_cast<std::uint8_t>((bits[i] & 1U) << (i % 8));
+  }
+  return bytes;
+}
+
+std::size_t hamming_distance(std::span<const std::uint8_t> a,
+                             std::span<const std::uint8_t> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("hamming_distance: size mismatch");
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if ((a[i] & 1U) != (b[i] & 1U)) ++d;
+  }
+  return d;
+}
+
+}  // namespace mimonet::wifi

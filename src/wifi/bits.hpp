@@ -1,0 +1,21 @@
+// Byte <-> bit conversions in 802.11 transmission order (LSB of each byte
+// first on the air).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mimonet::wifi {
+
+/// Expand bytes to bits, LSB first, one bit per output byte (values 0/1).
+[[nodiscard]] std::vector<std::uint8_t> bytes_to_bits(std::span<const std::uint8_t> bytes);
+
+/// Pack bits (LSB first) back into bytes. bits.size() must be a multiple of 8.
+[[nodiscard]] std::vector<std::uint8_t> bits_to_bytes(std::span<const std::uint8_t> bits);
+
+/// Count positions where two equal-length bit vectors differ.
+[[nodiscard]] std::size_t hamming_distance(std::span<const std::uint8_t> a,
+                                           std::span<const std::uint8_t> b);
+
+}  // namespace mimonet::wifi

@@ -1,0 +1,124 @@
+#include "wifi/interleaver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "wifi/mcs.hpp"
+
+namespace mimonet::wifi {
+
+namespace {
+constexpr std::size_t kNcol = 13;  // 20 MHz
+constexpr std::size_t kNrot = 11;  // 20 MHz base rotation (in subcarriers)
+}  // namespace
+
+Interleaver::Interleaver(unsigned n_bpscs, std::size_t iss, std::size_t nss) {
+  if (n_bpscs != 1 && n_bpscs != 2 && n_bpscs != 4 && n_bpscs != 6) {
+    throw std::invalid_argument("Interleaver: n_bpscs must be 1, 2, 4 or 6");
+  }
+  if (iss >= nss || nss > 4) {
+    throw std::invalid_argument("Interleaver: need iss < nss <= 4");
+  }
+  const std::size_t n_cbpss = kHtDataCarriers * n_bpscs;
+  const std::size_t n_row = 4 * n_bpscs;
+  const std::size_t s = std::max<std::size_t>(n_bpscs / 2, 1);
+
+  perm_.resize(n_cbpss);
+  for (std::size_t k = 0; k < n_cbpss; ++k) {
+    // First permutation: write row-wise, read column-wise.
+    const std::size_t i = n_row * (k % kNcol) + k / kNcol;
+    // Second permutation: rotate bits within each group of s to spread
+    // adjacent coded bits over constellation bit positions.
+    const std::size_t j =
+        s * (i / s) + (i + n_cbpss - (kNcol * i) / n_cbpss) % s;
+    // Third permutation: per-stream frequency rotation (identity for iss 0).
+    const std::size_t rot =
+        (((iss * 2) % 3) + 3 * (iss / 3)) * kNrot * n_bpscs;
+    const std::size_t r = (j + n_cbpss - (rot % n_cbpss)) % n_cbpss;
+    perm_[k] = r;
+  }
+}
+
+std::vector<std::uint8_t> Interleaver::interleave(
+    std::span<const std::uint8_t> bits) const {
+  if (bits.size() % perm_.size() != 0) {
+    throw std::invalid_argument("Interleaver: input not a multiple of block size");
+  }
+  std::vector<std::uint8_t> out(bits.size());
+  for (std::size_t base = 0; base < bits.size(); base += perm_.size()) {
+    for (std::size_t k = 0; k < perm_.size(); ++k) {
+      out[base + perm_[k]] = bits[base + k];
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> Interleaver::deinterleave(
+    std::span<const std::uint8_t> bits) const {
+  if (bits.size() % perm_.size() != 0) {
+    throw std::invalid_argument("Interleaver: input not a multiple of block size");
+  }
+  std::vector<std::uint8_t> out(bits.size());
+  for (std::size_t base = 0; base < bits.size(); base += perm_.size()) {
+    for (std::size_t k = 0; k < perm_.size(); ++k) {
+      out[base + k] = bits[base + perm_[k]];
+    }
+  }
+  return out;
+}
+
+std::vector<float> Interleaver::deinterleave(std::span<const float> llrs) const {
+  if (llrs.size() % perm_.size() != 0) {
+    throw std::invalid_argument("Interleaver: input not a multiple of block size");
+  }
+  std::vector<float> out(llrs.size());
+  for (std::size_t base = 0; base < llrs.size(); base += perm_.size()) {
+    for (std::size_t k = 0; k < perm_.size(); ++k) {
+      out[base + k] = llrs[base + perm_[k]];
+    }
+  }
+  return out;
+}
+
+LegacyInterleaver::LegacyInterleaver(unsigned n_bpsc) {
+  if (n_bpsc != 1 && n_bpsc != 2 && n_bpsc != 4 && n_bpsc != 6) {
+    throw std::invalid_argument("LegacyInterleaver: n_bpsc must be 1, 2, 4 or 6");
+  }
+  const std::size_t n_cbps = kLegacyDataCarriers * n_bpsc;
+  const std::size_t s = std::max<std::size_t>(n_bpsc / 2, 1);
+  perm_.resize(n_cbps);
+  for (std::size_t k = 0; k < n_cbps; ++k) {
+    const std::size_t i = (n_cbps / 16) * (k % 16) + k / 16;
+    const std::size_t j = s * (i / s) + (i + n_cbps - (16 * i) / n_cbps) % s;
+    perm_[k] = j;
+  }
+}
+
+std::vector<std::uint8_t> LegacyInterleaver::interleave(
+    std::span<const std::uint8_t> bits) const {
+  if (bits.size() % perm_.size() != 0) {
+    throw std::invalid_argument("LegacyInterleaver: bad input size");
+  }
+  std::vector<std::uint8_t> out(bits.size());
+  for (std::size_t base = 0; base < bits.size(); base += perm_.size()) {
+    for (std::size_t k = 0; k < perm_.size(); ++k) {
+      out[base + perm_[k]] = bits[base + k];
+    }
+  }
+  return out;
+}
+
+std::vector<float> LegacyInterleaver::deinterleave(std::span<const float> llrs) const {
+  if (llrs.size() % perm_.size() != 0) {
+    throw std::invalid_argument("LegacyInterleaver: bad input size");
+  }
+  std::vector<float> out(llrs.size());
+  for (std::size_t base = 0; base < llrs.size(); base += perm_.size()) {
+    for (std::size_t k = 0; k < perm_.size(); ++k) {
+      out[base + k] = llrs[base + perm_[k]];
+    }
+  }
+  return out;
+}
+
+}  // namespace mimonet::wifi

@@ -1,0 +1,61 @@
+// 802.11n BCC interleaver for 20 MHz (clause 20.3.11.8.3): two intra-stream
+// permutations plus the third "frequency rotation" permutation across
+// spatial streams.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mimonet::wifi {
+
+/// Bit interleaver for one spatial stream of one OFDM symbol.
+///
+/// Block size is N_CBPSS = 52 * n_bpscs coded bits. The permutation table is
+/// precomputed at construction; interleave/deinterleave are then O(n) copies.
+class Interleaver {
+ public:
+  /// @param n_bpscs coded bits per subcarrier per stream (1, 2, 4 or 6)
+  /// @param iss     0-based spatial stream index
+  /// @param nss     total spatial streams (enables the rotation for nss > 1)
+  Interleaver(unsigned n_bpscs, std::size_t iss, std::size_t nss);
+
+  [[nodiscard]] std::size_t block_size() const noexcept { return perm_.size(); }
+
+  /// TX direction: input bit k lands at output position perm[k].
+  /// Input size must be a multiple of block_size().
+  [[nodiscard]] std::vector<std::uint8_t> interleave(
+      std::span<const std::uint8_t> bits) const;
+
+  /// RX direction for hard bits.
+  [[nodiscard]] std::vector<std::uint8_t> deinterleave(
+      std::span<const std::uint8_t> bits) const;
+
+  /// RX direction for soft values (LLRs).
+  [[nodiscard]] std::vector<float> deinterleave(std::span<const float> llrs) const;
+
+  /// The permutation itself: output_position = permutation()[input_position].
+  [[nodiscard]] const std::vector<std::size_t>& permutation() const noexcept {
+    return perm_;
+  }
+
+ private:
+  std::vector<std::size_t> perm_;
+};
+
+/// The legacy 802.11a interleaver (clause 17.3.5.7), used by the L-SIG and
+/// HT-SIG symbols which ride on the 48-data-carrier legacy plan.
+class LegacyInterleaver {
+ public:
+  explicit LegacyInterleaver(unsigned n_bpsc);
+
+  [[nodiscard]] std::size_t block_size() const noexcept { return perm_.size(); }
+  [[nodiscard]] std::vector<std::uint8_t> interleave(
+      std::span<const std::uint8_t> bits) const;
+  [[nodiscard]] std::vector<float> deinterleave(std::span<const float> llrs) const;
+
+ private:
+  std::vector<std::size_t> perm_;
+};
+
+}  // namespace mimonet::wifi

@@ -1,0 +1,29 @@
+#include "wifi/mcs.hpp"
+
+namespace mimonet::wifi {
+
+McsInfo mcs_info(unsigned mcs_index) {
+  if (mcs_index > kMaxMcs) {
+    throw std::invalid_argument("mcs_info: MCS index must be 0..31");
+  }
+  using M = mod::Modulation;
+  using R = fec::CodeRate;
+  // Base pattern repeats per stream count (MCS 8-15 = MCS 0-7 with nss=2).
+  static constexpr struct {
+    M m;
+    R r;
+  } base[8] = {
+      {M::kBpsk, R::kR1_2},  {M::kQpsk, R::kR1_2},  {M::kQpsk, R::kR3_4},
+      {M::kQam16, R::kR1_2}, {M::kQam16, R::kR3_4}, {M::kQam64, R::kR2_3},
+      {M::kQam64, R::kR3_4}, {M::kQam64, R::kR5_6},
+  };
+  const auto& b = base[mcs_index % 8];
+  return McsInfo{
+      .index = static_cast<std::uint8_t>(mcs_index),
+      .modulation = b.m,
+      .rate = b.r,
+      .nss = std::size_t{mcs_index / 8 + 1},
+  };
+}
+
+}  // namespace mimonet::wifi

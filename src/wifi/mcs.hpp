@@ -1,0 +1,50 @@
+// 802.11n Modulation and Coding Scheme table, MCS 0-31 (1-4 spatial
+// streams, 20 MHz, 800 ns GI, equal modulation), plus derived per-symbol
+// bit counts.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "fec/convolutional.hpp"
+#include "mod/constellation.hpp"
+
+namespace mimonet::wifi {
+
+inline constexpr std::size_t kHtDataCarriers = 52;   // 20 MHz HT
+inline constexpr std::size_t kLegacyDataCarriers = 48;
+inline constexpr double kSymbolDurationUs = 4.0;     // 3.2 us + 0.8 us GI
+
+/// One row of the MCS table.
+struct McsInfo {
+  std::uint8_t index;          // MCS 0..31
+  mod::Modulation modulation;  // per-stream constellation
+  fec::CodeRate rate;          // BCC coding rate
+  std::size_t nss;             // spatial streams (1..4)
+
+  /// Coded bits per subcarrier per stream (N_BPSCS).
+  [[nodiscard]] unsigned bits_per_subcarrier() const noexcept {
+    return mod::bits_per_symbol(modulation);
+  }
+  /// Coded bits per OFDM symbol across all streams (N_CBPS).
+  [[nodiscard]] std::size_t coded_bits_per_symbol() const noexcept {
+    return kHtDataCarriers * bits_per_subcarrier() * nss;
+  }
+  /// Data bits per OFDM symbol (N_DBPS).
+  [[nodiscard]] std::size_t data_bits_per_symbol() const noexcept {
+    const auto [num, den] = fec::rate_fraction(rate);
+    return coded_bits_per_symbol() * num / den;
+  }
+  /// PHY data rate in Mb/s.
+  [[nodiscard]] double data_rate_mbps() const noexcept {
+    return static_cast<double>(data_bits_per_symbol()) / kSymbolDurationUs;
+  }
+};
+
+/// Look up MCS 0..31 (MCS 8k..8k+7 use k+1 spatial streams with the same
+/// modulation/rate ladder). @throws std::invalid_argument outside that range.
+[[nodiscard]] McsInfo mcs_info(unsigned mcs_index);
+
+inline constexpr unsigned kMaxMcs = 31;
+
+}  // namespace mimonet::wifi

@@ -1,0 +1,79 @@
+#include "wifi/stream_parser.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mimonet::wifi {
+
+StreamParser::StreamParser(unsigned n_bpscs, std::size_t nss)
+    : nss_(nss), s_(std::max<std::size_t>(n_bpscs / 2, 1)) {
+  if (nss == 0 || nss > 4) throw std::invalid_argument("StreamParser: nss must be 1..4");
+}
+
+std::vector<std::vector<std::uint8_t>> StreamParser::parse(
+    std::span<const std::uint8_t> coded) const {
+  if (coded.size() % (nss_ * s_) != 0) {
+    throw std::invalid_argument("StreamParser::parse: length not a multiple of nss*s");
+  }
+  std::vector<std::vector<std::uint8_t>> out(nss_);
+  const std::size_t per_stream = coded.size() / nss_;
+  for (auto& v : out) v.reserve(per_stream);
+
+  std::size_t idx = 0;
+  while (idx < coded.size()) {
+    for (std::size_t ss = 0; ss < nss_; ++ss) {
+      for (std::size_t b = 0; b < s_; ++b) {
+        out[ss].push_back(coded[idx++]);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<float> StreamParser::merge(
+    std::span<const std::vector<float>> streams) const {
+  if (streams.size() != nss_) {
+    throw std::invalid_argument("StreamParser::merge: wrong stream count");
+  }
+  const std::size_t per_stream = streams[0].size();
+  for (const auto& st : streams) {
+    if (st.size() != per_stream || per_stream % s_ != 0) {
+      throw std::invalid_argument("StreamParser::merge: ragged or misaligned streams");
+    }
+  }
+  std::vector<float> out;
+  out.reserve(per_stream * nss_);
+  for (std::size_t g = 0; g < per_stream / s_; ++g) {
+    for (std::size_t ss = 0; ss < nss_; ++ss) {
+      for (std::size_t b = 0; b < s_; ++b) {
+        out.push_back(streams[ss][g * s_ + b]);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> StreamParser::merge_bits(
+    std::span<const std::vector<std::uint8_t>> streams) const {
+  if (streams.size() != nss_) {
+    throw std::invalid_argument("StreamParser::merge_bits: wrong stream count");
+  }
+  const std::size_t per_stream = streams[0].size();
+  for (const auto& st : streams) {
+    if (st.size() != per_stream || per_stream % s_ != 0) {
+      throw std::invalid_argument("StreamParser::merge_bits: ragged or misaligned streams");
+    }
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(per_stream * nss_);
+  for (std::size_t g = 0; g < per_stream / s_; ++g) {
+    for (std::size_t ss = 0; ss < nss_; ++ss) {
+      for (std::size_t b = 0; b < s_; ++b) {
+        out.push_back(streams[ss][g * s_ + b]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mimonet::wifi

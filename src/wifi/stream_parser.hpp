@@ -1,0 +1,42 @@
+// Spatial-multiplexing stream parser (802.11n clause 20.3.11.8.2): the block
+// that splits one coded bit stream into N_SS independent streams, each
+// carried by its own antenna — the core of spatial multiplexing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mimonet::wifi {
+
+/// Round-robin parser: s = max(1, n_bpscs/2) consecutive bits go to each
+/// stream in turn.
+class StreamParser {
+ public:
+  /// @param n_bpscs coded bits per subcarrier per stream
+  /// @param nss     number of spatial streams
+  StreamParser(unsigned n_bpscs, std::size_t nss);
+
+  [[nodiscard]] std::size_t nss() const noexcept { return nss_; }
+  [[nodiscard]] std::size_t group_size() const noexcept { return s_; }
+
+  /// Split the coded stream into nss per-stream vectors. The input length
+  /// must be a multiple of nss * s.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> parse(
+      std::span<const std::uint8_t> coded) const;
+
+  /// Merge per-stream soft values back into one stream (RX direction).
+  /// All streams must have equal length, a multiple of s.
+  [[nodiscard]] std::vector<float> merge(
+      std::span<const std::vector<float>> streams) const;
+
+  /// Merge per-stream hard bits (used by loopback tests).
+  [[nodiscard]] std::vector<std::uint8_t> merge_bits(
+      std::span<const std::vector<std::uint8_t>> streams) const;
+
+ private:
+  std::size_t nss_;
+  std::size_t s_;
+};
+
+}  // namespace mimonet::wifi

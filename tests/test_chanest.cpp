@@ -1,0 +1,251 @@
+// Channel estimation, phase tracking, SNR estimation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "channel/impairments.hpp"
+#include "chanest/ls_estimator.hpp"
+#include "chanest/phase_tracker.hpp"
+#include "chanest/snr_estimator.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/rng.hpp"
+#include "dsp/stats.hpp"
+#include "ofdm/pilots.hpp"
+#include "wifi/preamble.hpp"
+
+namespace {
+
+using namespace mimonet;
+using dsp::cf32;
+using dsp::cf64;
+
+// Demodulate the HT-LTF field transmitted by `nss` streams through a flat
+// channel h[rx][ss] (complex gains), returning grids [rx][ltf][bin].
+std::vector<std::vector<std::vector<cf32>>> ltf_grids_through_flat(
+    const std::vector<std::vector<cf32>>& h, std::size_t nss, double noise_var,
+    unsigned seed) {
+  const std::size_t nrx = h.size();
+  const std::size_t n_ltf = wifi::num_ht_ltfs(nss);
+  // Per-stream LTF time samples.
+  std::vector<std::vector<cf32>> tx(nss);
+  for (std::size_t s = 0; s < nss; ++s) tx[s] = wifi::make_htltfs(s, nss);
+
+  dsp::ComplexGaussian noise(seed, noise_var);
+  const dsp::FftPlan fft(64);
+  std::vector<std::vector<std::vector<cf32>>> grids(
+      nrx, std::vector<std::vector<cf32>>(n_ltf, std::vector<cf32>(64)));
+  for (std::size_t r = 0; r < nrx; ++r) {
+    std::vector<cf32> rx(tx[0].size(), cf32{0.0F, 0.0F});
+    for (std::size_t s = 0; s < nss; ++s) {
+      for (std::size_t i = 0; i < rx.size(); ++i) rx[i] += h[r][s] * tx[s][i];
+    }
+    noise.add_to(rx);
+    for (std::size_t n = 0; n < n_ltf; ++n) {
+      fft.forward(std::span<const cf32>(rx).subspan(n * 80 + 16, 64),
+                  grids[r][n]);
+    }
+  }
+  return grids;
+}
+
+TEST(LsEstimator, RecoversFlatMimoChannel) {
+  // 2x2 flat channel with arbitrary gains; estimate must match the
+  // *effective* channel = gain x CSD phase ramp per stream.
+  const std::vector<std::vector<cf32>> h{{cf32{0.8F, 0.3F}, cf32{-0.5F, 0.6F}},
+                                         {cf32{0.2F, -0.9F}, cf32{1.1F, 0.0F}}};
+  const auto grids = ltf_grids_through_flat(h, 2, 0.0, 1);
+  const chanest::LsChannelEstimator ls(2, 2);
+  const auto est = ls.estimate(grids);
+
+  const float gain = wifi::tone_gain(56);
+  for (int k = -28; k <= 28; ++k) {
+    if (k == 0) continue;
+    const std::size_t bin = ofdm::SubcarrierMap::logical_to_bin(k);
+    for (std::size_t r = 0; r < 2; ++r) {
+      for (std::size_t s = 0; s < 2; ++s) {
+        const int csd = wifi::ht_csd_samples(s, 2);
+        const double theta = -dsp::two_pi_d * static_cast<double>(bin) * csd / 64.0;
+        const cf64 expected = cf64(h[r][s]) * static_cast<double>(gain) *
+                              dsp::phasor_d(theta);
+        EXPECT_NEAR(std::abs(cf64(est.h[r][s][bin]) - expected), 0.0, 1e-3)
+            << "rx " << r << " ss " << s << " k " << k;
+      }
+    }
+  }
+}
+
+TEST(LsEstimator, SisoEstimateMatchesGain) {
+  const std::vector<std::vector<cf32>> h{{cf32{0.5F, -0.5F}}};
+  const auto grids = ltf_grids_through_flat(h, 1, 0.0, 2);
+  const chanest::LsChannelEstimator ls(1, 1);
+  const auto est = ls.estimate(grids);
+  const float gain = wifi::tone_gain(56);
+  const std::size_t bin = ofdm::SubcarrierMap::logical_to_bin(7);
+  EXPECT_NEAR(est.h[0][0][bin].real(), 0.5F * gain, 1e-3F);
+  EXPECT_NEAR(est.h[0][0][bin].imag(), -0.5F * gain, 1e-3F);
+}
+
+TEST(LsEstimator, DimensionValidation) {
+  const chanest::LsChannelEstimator ls(2, 2);
+  EXPECT_THROW((void)ls.estimate({}), std::invalid_argument);
+  EXPECT_THROW(chanest::LsChannelEstimator(0, 1), std::invalid_argument);
+}
+
+TEST(LsEstimator, SmoothingReducesNoiseMse) {
+  const std::vector<std::vector<cf32>> h{{cf32{1.0F, 0.0F}}};
+  const chanest::LsChannelEstimator ls(1, 1);
+
+  // Reference: noiseless estimate.
+  const auto clean = ls.estimate(ltf_grids_through_flat(h, 1, 0.0, 3));
+
+  std::vector<std::size_t> bins;
+  for (int k = -28; k <= 28; ++k) {
+    if (k != 0) bins.push_back(ofdm::SubcarrierMap::logical_to_bin(k));
+  }
+
+  double mse_raw = 0.0;
+  double mse_smooth = 0.0;
+  for (unsigned trial = 0; trial < 10; ++trial) {
+    auto noisy = ls.estimate(ltf_grids_through_flat(h, 1, 0.05, 10 + trial));
+    mse_raw += noisy.mse_against(clean.h, bins);
+    chanest::smooth_frequency(noisy, bins);
+    mse_smooth += noisy.mse_against(clean.h, bins);
+  }
+  // Flat channel: smoothing averages noise without bias -> lower MSE.
+  EXPECT_LT(mse_smooth, mse_raw * 0.7);
+}
+
+TEST(LegacyEstimate, RecoversCombinedChannel) {
+  // Single antenna, single stream: estimate from two noiseless L-LTF reps.
+  const auto ltf = wifi::make_lltf(0, 1);
+  const dsp::FftPlan fft(64);
+  std::vector<std::vector<std::vector<cf32>>> grids(
+      1, std::vector<std::vector<cf32>>(2, std::vector<cf32>(64)));
+  const cf32 gain{0.3F, 0.7F};
+  std::vector<cf32> rx(ltf.size());
+  for (std::size_t i = 0; i < rx.size(); ++i) rx[i] = ltf[i] * gain;
+  fft.forward(std::span<const cf32>(rx).subspan(32, 64), grids[0][0]);
+  fft.forward(std::span<const cf32>(rx).subspan(96, 64), grids[0][1]);
+
+  const auto h = chanest::LsChannelEstimator::estimate_legacy(grids);
+  const float tone = wifi::tone_gain(52);
+  const std::size_t bin = ofdm::SubcarrierMap::logical_to_bin(-7);
+  EXPECT_NEAR(std::abs(cf64(h[0][bin]) - cf64(gain) * static_cast<double>(tone)),
+              0.0, 1e-3);
+}
+
+TEST(PhaseTracker, EstimatesKnownCpe) {
+  // Build a channel estimate of all ones, then rotate pilots by a known
+  // angle: the CPE estimate must recover it.
+  chanest::MimoChannelEstimate est;
+  est.nrx = 1;
+  est.nss = 1;
+  est.h.assign(1, std::vector<std::vector<cf32>>(1, std::vector<cf32>(64, cf32{1, 0})));
+  chanest::PilotPhaseTracker tracker(est);
+
+  const double cpe = 0.4;
+  std::vector<std::array<cf32, 4>> rx_pilots(1);
+  const auto pv = ofdm::ht_data_pilots(1, 0, 5);
+  for (std::size_t p = 0; p < 4; ++p) {
+    const cf64 rotated = cf64(pv[p]) * dsp::phasor_d(cpe);
+    rx_pilots[0][p] = cf32(static_cast<float>(rotated.real()),
+                           static_cast<float>(rotated.imag()));
+  }
+  EXPECT_NEAR(tracker.estimate_cpe(rx_pilots, 5), cpe, 1e-5);
+}
+
+TEST(PhaseTracker, TracksLinearSlopeAndUnwraps) {
+  chanest::MimoChannelEstimate est;
+  est.nrx = 1;
+  est.nss = 1;
+  est.h.assign(1, std::vector<std::vector<cf32>>(1, std::vector<cf32>(64, cf32{1, 0})));
+  chanest::PilotPhaseTracker tracker(est);
+
+  const double slope = 0.9;  // radians/symbol — wraps after ~7 symbols
+  double max_err = 0.0;
+  for (std::size_t n = 0; n < 40; ++n) {
+    const double true_phase = slope * static_cast<double>(n);
+    // Raw measurement is wrapped into (-pi, pi].
+    double wrapped = std::remainder(true_phase, dsp::two_pi_d);
+    const double tracked = tracker.track(wrapped);
+    if (n > 5) {
+      max_err = std::max(max_err, std::abs(tracked - true_phase));
+    }
+  }
+  EXPECT_LT(max_err, 0.2);
+  EXPECT_NEAR(tracker.residual_cfo_norm(), slope / (dsp::two_pi_d * 80.0), 1e-3);
+}
+
+TEST(SnrFromLltf, AccurateAcrossRange) {
+  for (const double snr_db : {0.0, 10.0, 20.0, 30.0}) {
+    const auto ltf = wifi::make_lltf(0, 1);
+    const double nv = dsp::from_db(-snr_db);
+    dsp::RunningStats est_stats;
+    for (unsigned trial = 0; trial < 20; ++trial) {
+      std::vector<cf32> rx(ltf.begin() + 32, ltf.begin() + 160);
+      dsp::ComplexGaussian noise(100 * trial + 5, nv);
+      noise.add_to(rx);
+      const std::span<const cf32> spans[] = {std::span<const cf32>(rx)};
+      est_stats.add(chanest::snr_from_lltf(spans).snr_db);
+    }
+    EXPECT_NEAR(est_stats.mean(), snr_db, 1.0) << "SNR " << snr_db;
+  }
+}
+
+TEST(SnrFromLltf, PerBinValuesPopulated) {
+  const auto ltf = wifi::make_lltf(0, 1);
+  std::vector<cf32> rx(ltf.begin() + 32, ltf.begin() + 160);
+  dsp::ComplexGaussian noise(77, 0.01);
+  noise.add_to(rx);
+  const std::span<const cf32> spans[] = {std::span<const cf32>(rx)};
+  const auto est = chanest::snr_from_lltf(spans);
+  ASSERT_EQ(est.per_bin_db.size(), 64U);
+  // Occupied bins carry estimates; DC stays 0.
+  EXPECT_NE(est.per_bin_db[ofdm::SubcarrierMap::logical_to_bin(7)], 0.0);
+  EXPECT_EQ(est.per_bin_db[0], 0.0);
+}
+
+TEST(SnrFromLltf, TooShortThrows) {
+  std::vector<cf32> rx(100);
+  const std::span<const cf32> spans[] = {std::span<const cf32>(rx)};
+  EXPECT_THROW((void)chanest::snr_from_lltf(spans), std::invalid_argument);
+}
+
+TEST(EvmSnrEstimator, MatchesConstructedSnr) {
+  chanest::EvmSnrEstimator evm;
+  dsp::ComplexGaussian noise(9, 0.01);  // 20 dB below unit signal
+  std::mt19937 rng(10);
+  std::uniform_int_distribution<int> coin(0, 1);
+  for (int i = 0; i < 20000; ++i) {
+    const cf32 ref(coin(rng) != 0 ? 1.0F : -1.0F, 0.0F);
+    evm.add(ref + noise.sample(), ref);
+  }
+  const auto est = evm.estimate();
+  EXPECT_NEAR(est.snr_db, 20.0, 0.5);
+}
+
+TEST(EvmSnrEstimator, PerBinTracksDifferentSnrs) {
+  chanest::EvmSnrEstimator evm;
+  dsp::ComplexGaussian strong(11, 0.1);
+  dsp::ComplexGaussian weak(12, 0.001);
+  for (int i = 0; i < 5000; ++i) {
+    evm.add(5, cf32{1, 0} + strong.sample(), cf32{1, 0});   // 10 dB
+    evm.add(9, cf32{1, 0} + weak.sample(), cf32{1, 0});     // 30 dB
+  }
+  const auto est = evm.estimate();
+  EXPECT_NEAR(est.per_bin_db[5], 10.0, 1.0);
+  EXPECT_NEAR(est.per_bin_db[9], 30.0, 1.0);
+  EXPECT_EQ(est.per_bin_db[20], 0.0);
+}
+
+TEST(EvmSnrEstimator, ResetClears) {
+  chanest::EvmSnrEstimator evm;
+  evm.add(cf32{1, 0}, cf32{0.5F, 0});
+  EXPECT_EQ(evm.count(), 1U);
+  evm.reset();
+  EXPECT_EQ(evm.count(), 0U);
+  EXPECT_EQ(evm.estimate().snr_db, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+// Time-varying (Doppler) fading: statistics of the tap evolution and its
+// end-to-end effect on the receiver.
+#include <gtest/gtest.h>
+
+#include "channel/mimo_channel.hpp"
+#include "core/link_simulator.hpp"
+#include "dsp/vector_ops.hpp"
+
+namespace {
+
+using namespace mimonet;
+using dsp::cf32;
+
+channel::ChannelConfig doppler_config(double doppler, std::uint64_t seed) {
+  channel::ChannelConfig cfg;
+  cfg.fading = true;
+  cfg.doppler_norm = doppler;
+  cfg.snr_db = 60.0;  // effectively noiseless: isolate the fading process
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Doppler, NegativeDopplerRejected) {
+  channel::ChannelConfig cfg;
+  cfg.doppler_norm = -1.0;
+  EXPECT_THROW(channel::MimoChannel{cfg}, std::invalid_argument);
+}
+
+TEST(Doppler, ZeroDopplerMatchesStaticPath) {
+  // doppler_norm = 0 must reproduce the static-fading result bit for bit
+  // (it routes through the original FIR path).
+  auto cfg = doppler_config(0.0, 3);
+  channel::MimoChannel a(cfg);
+  channel::MimoChannel b(cfg);
+  std::vector<std::vector<cf32>> tx(1, std::vector<cf32>(500, cf32{1.0F, 0.0F}));
+  const auto ya = a.transmit(tx);
+  const auto yb = b.transmit(tx);
+  EXPECT_LT(dsp::rms_error(ya[0], yb[0]), 1e-9);
+}
+
+TEST(Doppler, ChannelDecorrelatesAcrossThePacket) {
+  // With strong Doppler, the effective gain at the end of a long constant
+  // input differs from the start; with none, it is constant.
+  std::vector<std::vector<cf32>> tx(1, std::vector<cf32>(8000, cf32{1.0F, 0.0F}));
+
+  auto run = [&](double doppler) {
+    auto cfg = doppler_config(doppler, 7);
+    channel::MimoChannel chan(cfg);
+    const auto y = chan.transmit(tx);
+    const auto head = std::span<const cf32>(y[0]).subspan(10, 64);
+    const auto tail = std::span<const cf32>(y[0]).subspan(7800, 64);
+    // Compare mean complex gain of head vs tail (input is constant 1).
+    dsp::cf64 g1{0, 0};
+    dsp::cf64 g2{0, 0};
+    for (const auto v : head) g1 += dsp::cf64(v);
+    for (const auto v : tail) g2 += dsp::cf64(v);
+    return std::abs(g1 / 64.0 - g2 / 64.0);
+  };
+
+  const double drift_static = run(0.0);
+  const double drift_fast = run(5e-5);
+  EXPECT_LT(drift_static, 1e-3);
+  EXPECT_GT(drift_fast, 10.0 * drift_static);
+}
+
+TEST(Doppler, PowerStaysStationary) {
+  // The AR(1) evolution must preserve average channel power: long-run
+  // output power through a unit-power input stays ~1.
+  auto cfg = doppler_config(1e-4, 11);
+  channel::MimoChannel chan(cfg);
+  std::vector<std::vector<cf32>> tx(1, std::vector<cf32>(60000, cf32{1.0F, 0.0F}));
+  const auto y = chan.transmit(tx);
+  EXPECT_NEAR(dsp::mean_power(std::span<const cf32>(y[0]).subspan(100, 59000)),
+              1.0, 0.35);  // one realization: generous tolerance
+}
+
+TEST(Doppler, SlowFadingStillDecodes) {
+  auto cfg = core::make_link_config(3, 30.0);
+  cfg.channel.fading = true;
+  cfg.channel.doppler_norm = 1e-6;  // pedestrian-ish
+  cfg.psdu_payload_bytes = 800;
+  cfg.seed = 5;
+  core::LinkSimulator sim(cfg);
+  const auto res = sim.run(5);
+  EXPECT_LE(res.per.failures(), 1U);
+}
+
+TEST(Doppler, DecisionTrackingExtendsDopplerRange) {
+  // With LMS decision-directed channel updates the receiver follows the
+  // fading across the packet; at a Doppler that defeats the static LTF
+  // estimate, DD tracking must lose no more packets (typically far fewer).
+  auto base = core::make_link_config(4, 30.0);
+  base.psdu_payload_bytes = 1500;
+  base.channel.fading = true;
+  base.channel.doppler_norm = 1e-5;
+  base.seed = 3;
+  auto with_dd = base;
+  with_dd.phy.decision_tracking = true;
+
+  const auto r_off = core::LinkSimulator(base).run(15);
+  const auto r_on = core::LinkSimulator(with_dd).run(15);
+  EXPECT_LT(r_on.per.failures(), r_off.per.failures());
+}
+
+TEST(Doppler, DecisionTrackingHarmlessOnStaticChannel) {
+  auto cfg = core::make_link_config(7, 30.0);
+  cfg.phy.decision_tracking = true;
+  cfg.psdu_payload_bytes = 1000;
+  core::LinkSimulator sim(cfg);
+  const auto res = sim.run(4);
+  EXPECT_EQ(res.per.failures(), 0U);
+  EXPECT_EQ(res.ber.errors(), 0U);
+}
+
+TEST(Doppler, FastFadingHurtsLongPacketsMore) {
+  // Channel aging: the LTF estimate goes stale by the end of a long packet.
+  auto short_pkt = core::make_link_config(7, 35.0);
+  short_pkt.channel.fading = true;
+  short_pkt.channel.doppler_norm = 4e-5;
+  short_pkt.psdu_payload_bytes = 100;
+  short_pkt.seed = 8;
+  auto long_pkt = short_pkt;
+  long_pkt.psdu_payload_bytes = 3000;
+
+  const auto r_short = core::LinkSimulator(short_pkt).run(15);
+  const auto r_long = core::LinkSimulator(long_pkt).run(15);
+  EXPECT_LE(r_short.per.failures(), r_long.per.failures());
+  EXPECT_GT(r_long.per.failures(), 0U);
+}
+
+}  // namespace

@@ -1,0 +1,197 @@
+// FIR filters, filter design, and sliding correlators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "dsp/correlator.hpp"
+#include "dsp/fir.hpp"
+#include "dsp/vector_ops.hpp"
+
+namespace {
+
+using namespace mimonet::dsp;
+
+std::vector<cf32> random_signal(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> d(-1.0F, 1.0F);
+  std::vector<cf32> v(n);
+  for (auto& x : v) x = cf32(d(rng), d(rng));
+  return v;
+}
+
+std::vector<cf32> naive_convolve(std::span<const cf32> x, std::span<const cf32> taps) {
+  std::vector<cf32> y(x.size(), cf32{0.0F, 0.0F});
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    cf64 acc{0.0, 0.0};
+    for (std::size_t t = 0; t < taps.size() && t <= n; ++t) {
+      acc += cf64(taps[t]) * cf64(x[n - t]);
+    }
+    y[n] = cf32(static_cast<float>(acc.real()), static_cast<float>(acc.imag()));
+  }
+  return y;
+}
+
+TEST(FirFilter, EmptyTapsThrow) {
+  EXPECT_THROW(FirFilter({}), std::invalid_argument);
+}
+
+TEST(FirFilter, IdentityTapPassesSignal) {
+  FirFilter f({cf32{1.0F, 0.0F}});
+  const auto x = random_signal(50, 1);
+  const auto y = f.process(x);
+  EXPECT_LT(rms_error(x, y), 1e-6);
+}
+
+TEST(FirFilter, DelayTapShiftsSignal) {
+  FirFilter f({cf32{0.0F, 0.0F}, cf32{0.0F, 0.0F}, cf32{1.0F, 0.0F}});
+  const auto x = random_signal(20, 2);
+  const auto y = f.process(x);
+  for (std::size_t i = 2; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(y[i] - x[i - 2]), 0.0F, 1e-6F);
+  }
+  EXPECT_NEAR(std::abs(y[0]), 0.0F, 1e-6F);
+  EXPECT_NEAR(std::abs(y[1]), 0.0F, 1e-6F);
+}
+
+TEST(FirFilter, MatchesNaiveConvolution) {
+  const auto taps = random_signal(7, 3);
+  const auto x = random_signal(64, 4);
+  FirFilter f(taps);
+  const auto y = f.process(x);
+  const auto ref = naive_convolve(x, taps);
+  EXPECT_LT(rms_error(y, ref), 1e-5);
+}
+
+TEST(FirFilter, ChunkedProcessingMatchesWhole) {
+  const auto taps = random_signal(5, 5);
+  const auto x = random_signal(100, 6);
+  FirFilter whole(taps);
+  const auto y_whole = whole.process(x);
+
+  FirFilter chunked(taps);
+  std::vector<cf32> y_chunks;
+  for (std::size_t pos = 0; pos < x.size();) {
+    const std::size_t n = std::min<std::size_t>(13, x.size() - pos);
+    const auto part = chunked.process(std::span<const cf32>(x).subspan(pos, n));
+    y_chunks.insert(y_chunks.end(), part.begin(), part.end());
+    pos += n;
+  }
+  EXPECT_LT(rms_error(y_whole, y_chunks), 1e-6);
+}
+
+TEST(FirFilter, ResetClearsState) {
+  const auto taps = random_signal(4, 7);
+  FirFilter f(taps);
+  const auto x = random_signal(10, 8);
+  const auto y1 = f.process(x);
+  f.reset();
+  const auto y2 = f.process(x);
+  EXPECT_LT(rms_error(y1, y2), 1e-6);
+}
+
+TEST(DesignLowpass, UnitDcGain) {
+  const auto taps = design_lowpass(0.2, 31);
+  double sum = 0.0;
+  for (const auto t : taps) sum += t;
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+}
+
+TEST(DesignLowpass, AttenuatesHighFrequency) {
+  const auto taps = design_lowpass(0.1, 63);
+  std::vector<cf32> ctaps(taps.size());
+  for (std::size_t i = 0; i < taps.size(); ++i) ctaps[i] = cf32(taps[i], 0.0F);
+  FirFilter f(ctaps);
+  // High-frequency tone at 0.4 cycles/sample.
+  std::vector<cf32> x(512);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = phasor(2.0F * pi_f * 0.4F * static_cast<float>(i));
+  }
+  const auto y = f.process(x);
+  const double out_power =
+      mean_power(std::span<const cf32>(y).subspan(taps.size(), y.size() - taps.size()));
+  EXPECT_LT(out_power, 1e-3);
+}
+
+TEST(DesignLowpass, Validation) {
+  EXPECT_THROW(design_lowpass(0.0, 31), std::invalid_argument);
+  EXPECT_THROW(design_lowpass(0.6, 31), std::invalid_argument);
+  EXPECT_THROW(design_lowpass(0.2, 30), std::invalid_argument);
+}
+
+TEST(Windows, HannEndpointsAndPeak) {
+  const auto w = hann_window(9);
+  EXPECT_NEAR(w[0], 0.0F, 1e-6F);
+  EXPECT_NEAR(w[8], 0.0F, 1e-6F);
+  EXPECT_NEAR(w[4], 1.0F, 1e-6F);
+}
+
+TEST(Windows, HammingEndpoints) {
+  const auto w = hamming_window(11);
+  EXPECT_NEAR(w[0], 0.08F, 1e-5F);
+  EXPECT_NEAR(w[10], 0.08F, 1e-5F);
+}
+
+TEST(MovingSum, SlidingWindowTracksSum) {
+  MovingSum ms(3);
+  EXPECT_EQ(ms.push({1.0, 0.0}).real(), 1.0);
+  EXPECT_EQ(ms.push({2.0, 0.0}).real(), 3.0);
+  EXPECT_EQ(ms.push({3.0, 0.0}).real(), 6.0);
+  EXPECT_EQ(ms.push({4.0, 0.0}).real(), 9.0);  // 2+3+4
+  ms.reset();
+  EXPECT_EQ(ms.value().real(), 0.0);
+}
+
+TEST(MovingSum, ZeroWindowThrows) {
+  EXPECT_THROW(MovingSum(0), std::invalid_argument);
+  EXPECT_THROW(MovingSumReal(0), std::invalid_argument);
+}
+
+TEST(LagAutocorrelate, PeriodicSignalGivesUnitMetric) {
+  // 16-periodic signal: metric |c|^2/p^2 should be ~1 everywhere.
+  std::vector<cf32> x(200);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = phasor(2.0F * pi_f * static_cast<float>(i % 16) / 16.0F);
+  }
+  const auto res = lag_autocorrelate(x, 16, 32);
+  ASSERT_FALSE(res.metric.empty());
+  for (const auto m : res.metric) EXPECT_NEAR(m, 1.0F, 1e-3F);
+}
+
+TEST(LagAutocorrelate, RandomSignalGivesLowMetric) {
+  const auto x = random_signal(4000, 11);
+  const auto res = lag_autocorrelate(x, 16, 64);
+  double mean = 0.0;
+  for (const auto m : res.metric) mean += m;
+  mean /= static_cast<double>(res.metric.size());
+  EXPECT_LT(mean, 0.2);
+}
+
+TEST(LagAutocorrelate, TooShortInputGivesEmpty) {
+  std::vector<cf32> x(10);
+  const auto res = lag_autocorrelate(x, 16, 32);
+  EXPECT_TRUE(res.metric.empty());
+}
+
+TEST(LagAutocorrelate, OutputSizeIsCorrect) {
+  std::vector<cf32> x(100);
+  const auto res = lag_autocorrelate(x, 16, 32);
+  EXPECT_EQ(res.metric.size(), 100 - 16 - 32 + 1);
+  EXPECT_EQ(res.corr.size(), res.metric.size());
+  EXPECT_EQ(res.power.size(), res.metric.size());
+}
+
+TEST(LagAutocorrelate, CfoShowsUpInAngle) {
+  // Periodic signal with CFO: angle(corr) = -2*pi*cfo*lag.
+  const double cfo = 0.003;
+  std::vector<cf32> x(300);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = phasor(2.0F * pi_f * static_cast<float>(i % 16) / 16.0F);
+  }
+  mix(x, 0.0, two_pi_d * cfo);
+  const auto res = lag_autocorrelate(x, 16, 64);
+  const double est = -std::arg(res.corr[10]) / (two_pi_d * 16.0);
+  EXPECT_NEAR(est, cfo, 1e-5);
+}
+
+}  // namespace

@@ -1,0 +1,110 @@
+// Random sources and streaming statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/rng.hpp"
+#include "dsp/stats.hpp"
+#include "dsp/vector_ops.hpp"
+
+namespace {
+
+using namespace mimonet::dsp;
+
+TEST(ComplexGaussian, VarianceMatchesRequest) {
+  ComplexGaussian g(123, 2.5);
+  std::vector<cf32> v(200000);
+  g.fill(v);
+  EXPECT_NEAR(mean_power(v), 2.5, 0.05);
+}
+
+TEST(ComplexGaussian, ZeroVarianceGivesZeros) {
+  ComplexGaussian g(1, 0.0);
+  std::vector<cf32> v(16);
+  g.fill(v);
+  for (const auto& x : v) EXPECT_EQ(std::abs(x), 0.0F);
+}
+
+TEST(ComplexGaussian, NegativeVarianceThrows) {
+  EXPECT_THROW(ComplexGaussian(1, -1.0), std::invalid_argument);
+}
+
+TEST(ComplexGaussian, SeedsAreReproducible) {
+  ComplexGaussian a(7, 1.0);
+  ComplexGaussian b(7, 1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.sample(), b.sample());
+}
+
+TEST(ComplexGaussian, AddToAddsNoise) {
+  ComplexGaussian g(5, 1.0);
+  std::vector<cf32> v(100000, cf32{1.0F, 0.0F});
+  g.add_to(v);
+  // Mean should remain ~1, power ~ 1 + 1.
+  EXPECT_NEAR(mean_power(v), 2.0, 0.05);
+}
+
+TEST(BitSource, BitsAreBalancedAndBinary) {
+  BitSource src(99);
+  const auto bits = src.bits(100000);
+  std::size_t ones = 0;
+  for (const auto b : bits) {
+    ASSERT_LE(b, 1);
+    ones += b;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / bits.size(), 0.5, 0.01);
+}
+
+TEST(BitSource, BytesCoverRange) {
+  BitSource src(3);
+  const auto bytes = src.bytes(100000);
+  std::vector<std::size_t> hist(256, 0);
+  for (const auto b : bytes) ++hist[b];
+  for (const auto h : hist) EXPECT_GT(h, 0U);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8U);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, /7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, RmsOfConstant) {
+  RunningStats s;
+  for (int i = 0; i < 5; ++i) s.add(-3.0);
+  EXPECT_NEAR(s.rms(), 3.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), 0.0, 1e-12);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0U);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.rms(), 0.0);
+}
+
+TEST(Histogram, BinsAndEdges) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 9
+  h.add(-5.0);   // clamped to bin 0
+  h.add(42.0);   // clamped to bin 9
+  h.add(5.0);    // bin 5
+  EXPECT_EQ(h.total(), 5U);
+  EXPECT_EQ(h.counts()[0], 2U);
+  EXPECT_EQ(h.counts()[9], 2U);
+  EXPECT_EQ(h.counts()[5], 1U);
+  EXPECT_NEAR(h.bin_center(0), 0.5, 1e-12);
+  EXPECT_NEAR(h.fraction(5), 0.2, 1e-12);
+}
+
+TEST(Histogram, RejectsBadRange) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace

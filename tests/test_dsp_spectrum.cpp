@@ -1,0 +1,87 @@
+// Welch PSD and PAPR statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/rng.hpp"
+#include "dsp/spectrum.hpp"
+#include "dsp/vector_ops.hpp"
+
+namespace {
+
+using namespace mimonet::dsp;
+
+TEST(WelchPsd, SingleToneAppearsAtRightFrequency) {
+  // Tone at +fs/8 -> bin nfft/2 + nfft/8 in DC-centered output.
+  constexpr std::size_t kN = 4096;
+  constexpr std::size_t kNfft = 128;
+  std::vector<cf32> x(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    x[i] = phasor(two_pi_f * 0.125F * static_cast<float>(i));
+  }
+  const auto psd = welch_psd_db(x, kNfft);
+  ASSERT_EQ(psd.size(), kNfft);
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < psd.size(); ++i) {
+    if (psd[i] > psd[peak]) peak = i;
+  }
+  EXPECT_EQ(peak, kNfft / 2 + kNfft / 8);
+}
+
+TEST(WelchPsd, WhiteNoiseIsFlat) {
+  ComplexGaussian g(5, 1.0);
+  std::vector<cf32> x(1 << 16);
+  g.fill(x);
+  const auto psd = welch_psd_db(x, 64);
+  double lo = 1e9;
+  double hi = -1e9;
+  for (const auto v : psd) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_LT(hi - lo, 3.0);  // flat within 3 dB over many averages
+}
+
+TEST(WelchPsd, ShortInputThrows) {
+  std::vector<cf32> x(10);
+  EXPECT_THROW((void)welch_psd_db(x, 64), std::invalid_argument);
+}
+
+TEST(Papr, ConstantEnvelopeIsZeroDb) {
+  std::vector<cf32> x(1000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = phasor(0.1F * static_cast<float>(i));
+  }
+  EXPECT_NEAR(papr_db(x), 0.0, 0.01);
+}
+
+TEST(Papr, SinglePeakDominates) {
+  std::vector<cf32> x(100, cf32{1.0F, 0.0F});
+  x[50] = cf32{10.0F, 0.0F};
+  // avg power = (99 + 100)/100 = 1.99, peak = 100 -> ~17 dB.
+  EXPECT_NEAR(papr_db(x), 10.0 * std::log10(100.0 / 1.99), 0.01);
+}
+
+TEST(PaprCcdf, MonotoneInProbability) {
+  ComplexGaussian g(6, 1.0);
+  std::vector<cf32> x(50000);
+  g.fill(x);
+  const double probs[] = {1e-1, 1e-2, 1e-3};
+  const auto ccdf = papr_ccdf_db(x, probs);
+  ASSERT_EQ(ccdf.size(), 3U);
+  EXPECT_LT(ccdf[0], ccdf[1]);
+  EXPECT_LT(ccdf[1], ccdf[2]);
+  // Complex Gaussian: P(|x|^2/avg > t) = e^{-t}; at 1e-2, t = ln(100) = 4.6
+  // -> 6.6 dB.
+  EXPECT_NEAR(ccdf[1], 10.0 * std::log10(std::log(100.0)), 0.5);
+}
+
+TEST(PaprCcdf, Validation) {
+  std::vector<cf32> x(10, cf32{1.0F, 0.0F});
+  const double bad[] = {1.5};
+  EXPECT_THROW((void)papr_ccdf_db(x, bad), std::invalid_argument);
+  EXPECT_THROW((void)papr_ccdf_db({}, std::span<const double>{}),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Vector primitive correctness: reductions, mixing, correlation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/vector_ops.hpp"
+
+namespace {
+
+using namespace mimonet::dsp;
+
+TEST(VectorOps, EnergyAndMeanPower) {
+  std::vector<cf32> v{{3, 4}, {0, 0}, {1, 0}};
+  EXPECT_DOUBLE_EQ(energy(v), 25.0 + 0.0 + 1.0);
+  EXPECT_DOUBLE_EQ(mean_power(v), 26.0 / 3.0);
+  EXPECT_DOUBLE_EQ(mean_power(std::span<const cf32>{}), 0.0);
+}
+
+TEST(VectorOps, ScaleMultipliesInPlace) {
+  std::vector<cf32> v{{1, 2}, {-3, 0}};
+  scale(v, 2.0F);
+  EXPECT_FLOAT_EQ(v[0].real(), 2.0F);
+  EXPECT_FLOAT_EQ(v[0].imag(), 4.0F);
+  EXPECT_FLOAT_EQ(v[1].real(), -6.0F);
+}
+
+TEST(VectorOps, MultiplyConjComputesCorrectly) {
+  std::vector<cf32> a{{1, 1}};
+  std::vector<cf32> b{{0, 1}};
+  std::vector<cf32> out(1);
+  multiply_conj(a, b, out);
+  // (1+j) * conj(j) = (1+j) * (-j) = 1 - j
+  EXPECT_FLOAT_EQ(out[0].real(), 1.0F);
+  EXPECT_FLOAT_EQ(out[0].imag(), -1.0F);
+}
+
+TEST(VectorOps, MultiplyConjRejectsMismatch) {
+  std::vector<cf32> a(2);
+  std::vector<cf32> b(3);
+  std::vector<cf32> out(2);
+  EXPECT_THROW(multiply_conj(a, b, out), std::invalid_argument);
+}
+
+TEST(VectorOps, DotConjOfSelfIsEnergy) {
+  std::vector<cf32> a{{1, 2}, {3, -1}};
+  const cf64 d = dot_conj(a, a);
+  EXPECT_NEAR(d.real(), energy(a), 1e-9);
+  EXPECT_NEAR(d.imag(), 0.0, 1e-9);
+}
+
+TEST(VectorOps, MixAppliesExpectedRotation) {
+  // Constant signal mixed with phase increment pi/2 -> 1, j, -1, -j.
+  std::vector<cf32> v(4, cf32{1.0F, 0.0F});
+  mix(v, 0.0, pi_d / 2.0);
+  EXPECT_NEAR(v[0].real(), 1.0F, 1e-6F);
+  EXPECT_NEAR(v[1].imag(), 1.0F, 1e-6F);
+  EXPECT_NEAR(v[2].real(), -1.0F, 1e-6F);
+  EXPECT_NEAR(v[3].imag(), -1.0F, 1e-6F);
+}
+
+TEST(VectorOps, MixPhaseContinuesAcrossChunks) {
+  std::vector<cf32> whole(100, cf32{1.0F, 0.0F});
+  auto part1 = std::vector<cf32>(whole.begin(), whole.begin() + 37);
+  auto part2 = std::vector<cf32>(whole.begin() + 37, whole.end());
+  const double inc = 0.123;
+  mix(whole, 0.0, inc);
+  const double mid = mix(part1, 0.0, inc);
+  mix(part2, mid, inc);
+  for (std::size_t i = 0; i < 37; ++i) {
+    EXPECT_NEAR(std::abs(whole[i] - part1[i]), 0.0F, 1e-5F);
+  }
+  for (std::size_t i = 0; i < part2.size(); ++i) {
+    EXPECT_NEAR(std::abs(whole[37 + i] - part2[i]), 0.0F, 1e-5F);
+  }
+}
+
+TEST(VectorOps, MixReturnsWrappedPhase) {
+  std::vector<cf32> v(1000, cf32{1.0F, 0.0F});
+  const double phase = mix(v, 0.0, 1.0);  // would accumulate to 1000 rad
+  EXPECT_LE(phase, pi_d + 1e-9);
+  EXPECT_GE(phase, -pi_d - 1e-9);
+}
+
+TEST(VectorOps, CrossCorrelatePeaksAtEmbeddedReference) {
+  std::vector<cf32> ref{{1, 0}, {-1, 0}, {1, 0}, {1, 0}};
+  std::vector<cf32> x(20, cf32{0.0F, 0.0F});
+  for (std::size_t i = 0; i < ref.size(); ++i) x[7 + i] = ref[i];
+  const auto c = cross_correlate(x, ref);
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < c.size(); ++i) {
+    if (std::abs(c[i]) > std::abs(c[peak])) peak = i;
+  }
+  EXPECT_EQ(peak, 7U);
+  EXPECT_NEAR(std::abs(c[7]), 4.0F, 1e-5F);
+}
+
+TEST(VectorOps, CrossCorrelateRejectsBadSizes) {
+  std::vector<cf32> x(3);
+  std::vector<cf32> ref(5);
+  EXPECT_THROW(cross_correlate(x, ref), std::invalid_argument);
+  EXPECT_THROW(cross_correlate(x, std::span<const cf32>{}), std::invalid_argument);
+}
+
+TEST(VectorOps, RmsError) {
+  std::vector<cf32> a{{1, 0}, {0, 0}};
+  std::vector<cf32> b{{0, 0}, {0, 0}};
+  EXPECT_NEAR(rms_error(a, b), std::sqrt(0.5), 1e-9);
+  EXPECT_THROW((void)rms_error(a, std::vector<cf32>(3)), std::invalid_argument);
+}
+
+}  // namespace

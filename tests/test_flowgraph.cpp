@@ -1,0 +1,211 @@
+// Dataflow runtime: buffers, tags, blocks, schedulers.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dsp/vector_ops.hpp"
+#include "flowgraph/blocks.hpp"
+#include "flowgraph/graph.hpp"
+
+namespace {
+
+using namespace mimonet::flowgraph;
+using mimonet::dsp::cf32;
+
+TEST(RingBuffer, WriteReadRoundTrip) {
+  RingBuffer<int> rb(8);
+  const std::vector<int> in{1, 2, 3, 4, 5};
+  EXPECT_EQ(rb.write(in), 5U);
+  EXPECT_EQ(rb.readable(), 5U);
+  std::vector<int> out(3);
+  EXPECT_EQ(rb.peek(out), 3U);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+  rb.consume(3);
+  EXPECT_EQ(rb.readable(), 2U);
+  EXPECT_EQ(rb.read_offset(), 3U);
+}
+
+TEST(RingBuffer, RespectsCapacity) {
+  RingBuffer<int> rb(4);
+  std::vector<int> in(10, 7);
+  EXPECT_EQ(rb.write(in), 4U);
+  EXPECT_EQ(rb.writable(), 0U);
+  rb.consume(2);
+  EXPECT_EQ(rb.write(in), 2U);
+}
+
+TEST(RingBuffer, WrapAroundPreservesOrder) {
+  RingBuffer<int> rb(4);
+  std::vector<int> chunk{1, 2, 3};
+  rb.write(chunk);
+  rb.consume(2);
+  rb.write(std::vector<int>{4, 5, 6});
+  std::vector<int> out(4);
+  EXPECT_EQ(rb.peek(out), 4U);
+  EXPECT_EQ(out, (std::vector<int>{3, 4, 5, 6}));
+}
+
+TEST(RingBuffer, TagsFollowOffsets) {
+  RingBuffer<int> rb(16);
+  rb.write(std::vector<int>(5, 0));
+  Tag tag;
+  tag.offset = 3;
+  tag.key = "mark";
+  rb.add_tag(tag);
+  auto tags = rb.tags_in_next(5);
+  ASSERT_EQ(tags.size(), 1U);
+  EXPECT_EQ(tags[0].key, "mark");
+  rb.consume(4);  // passes the tag
+  EXPECT_TRUE(rb.tags_in_next(10).empty());
+}
+
+TEST(RingBuffer, DoneSemantics) {
+  RingBuffer<int> rb(4);
+  rb.write(std::vector<int>{1});
+  rb.mark_done();
+  EXPECT_TRUE(rb.writer_done());
+  EXPECT_FALSE(rb.done());  // one item still unread
+  rb.consume(1);
+  EXPECT_TRUE(rb.done());
+}
+
+TEST(Graph, SourceToSinkDeliversEverything) {
+  std::vector<cf32> data(10000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = cf32(static_cast<float>(i), 0.0F);
+  }
+  auto src = std::make_shared<VectorSource<cf32>>(data);
+  auto snk = std::make_shared<VectorSink<cf32>>();
+  Graph g;
+  g.add(src);
+  g.add(snk);
+  g.connect<cf32>(*src, 0, *snk, 0, 256);  // small buffer forces many passes
+  run_single_threaded(g);
+  ASSERT_EQ(snk->data().size(), data.size());
+  EXPECT_LT(mimonet::dsp::rms_error(snk->data(), data), 1e-9);
+}
+
+TEST(Graph, RepeatedSourceEmitsMultipleCopies) {
+  auto src = std::make_shared<VectorSource<int>>(std::vector<int>{1, 2, 3}, 4);
+  auto snk = std::make_shared<VectorSink<int>>();
+  Graph g;
+  g.add(src);
+  g.add(snk);
+  g.connect<int>(*src, 0, *snk, 0);
+  run_single_threaded(g);
+  EXPECT_EQ(snk->data().size(), 12U);
+  EXPECT_EQ(snk->data()[3], 1);
+}
+
+TEST(Graph, HeadTruncatesStream) {
+  auto src = std::make_shared<VectorSource<int>>(std::vector<int>(100, 9));
+  auto head = std::make_shared<Head<int>>(37);
+  auto snk = std::make_shared<VectorSink<int>>();
+  Graph g;
+  g.add(src);
+  g.add(head);
+  g.add(snk);
+  g.connect<int>(*src, 0, *head, 0);
+  g.connect<int>(*head, 0, *snk, 0);
+  run_single_threaded(g);
+  EXPECT_EQ(snk->data().size(), 37U);
+}
+
+TEST(Graph, GainBlockScales) {
+  auto src = std::make_shared<VectorSource<cf32>>(
+      std::vector<cf32>(50, cf32{1.0F, -1.0F}));
+  auto gain = make_gain_block(2.5F);
+  auto snk = std::make_shared<VectorSink<cf32>>();
+  Graph g;
+  g.add(src);
+  g.add(gain);
+  g.add(snk);
+  g.connect<cf32>(*src, 0, *gain, 0);
+  g.connect<cf32>(*gain, 0, *snk, 0);
+  run_single_threaded(g);
+  ASSERT_EQ(snk->data().size(), 50U);
+  EXPECT_FLOAT_EQ(snk->data()[10].real(), 2.5F);
+  EXPECT_FLOAT_EQ(snk->data()[10].imag(), -2.5F);
+}
+
+TEST(Graph, AwgnBlockAddsExpectedPower) {
+  auto src = std::make_shared<VectorSource<cf32>>(
+      std::vector<cf32>(100000, cf32{0.0F, 0.0F}));
+  auto awgn = make_awgn_block(0.25, 42);
+  auto snk = std::make_shared<VectorSink<cf32>>();
+  Graph g;
+  g.add(src);
+  g.add(awgn);
+  g.add(snk);
+  g.connect<cf32>(*src, 0, *awgn, 0);
+  g.connect<cf32>(*awgn, 0, *snk, 0);
+  run_single_threaded(g);
+  EXPECT_NEAR(mimonet::dsp::mean_power(snk->data()), 0.25, 0.01);
+}
+
+TEST(Graph, TypeMismatchIsRejectedAtConnect) {
+  auto src = std::make_shared<VectorSource<int>>(std::vector<int>{1});
+  auto snk = std::make_shared<VectorSink<cf32>>();
+  Graph g;
+  g.add(src);
+  g.add(snk);
+  EXPECT_THROW(g.connect<int>(*src, 0, *snk, 0), std::invalid_argument);
+}
+
+TEST(Graph, UnboundPortFailsValidation) {
+  auto src = std::make_shared<VectorSource<int>>(std::vector<int>{1});
+  Graph g;
+  g.add(src);
+  EXPECT_THROW(g.validate(), std::logic_error);
+  EXPECT_THROW(run_single_threaded(g), std::logic_error);
+}
+
+TEST(Graph, DoubleConnectRejected) {
+  auto src = std::make_shared<VectorSource<int>>(std::vector<int>{1});
+  auto a = std::make_shared<VectorSink<int>>();
+  auto b = std::make_shared<VectorSink<int>>();
+  Graph g;
+  g.add(src);
+  g.add(a);
+  g.add(b);
+  g.connect<int>(*src, 0, *a, 0);
+  EXPECT_THROW(g.connect<int>(*src, 0, *b, 0), std::logic_error);
+}
+
+TEST(Graph, ThreadedSchedulerMatchesSingleThreaded) {
+  std::vector<cf32> data(50000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = cf32(static_cast<float>(i % 97), static_cast<float>(i % 31));
+  }
+  auto run_with = [&](bool threaded) {
+    auto src = std::make_shared<VectorSource<cf32>>(data);
+    auto gain = make_gain_block(0.5F);
+    auto snk = std::make_shared<VectorSink<cf32>>();
+    Graph g;
+    g.add(src);
+    g.add(gain);
+    g.add(snk);
+    g.connect<cf32>(*src, 0, *gain, 0, 1024);
+    g.connect<cf32>(*gain, 0, *snk, 0, 1024);
+    if (threaded) {
+      run_threaded(g);
+    } else {
+      run_single_threaded(g);
+    }
+    return snk->data();
+  };
+  const auto a = run_with(false);
+  const auto b = run_with(true);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_LT(mimonet::dsp::rms_error(a, b), 1e-9);
+}
+
+TEST(Block, PortIntrospection) {
+  auto head = std::make_shared<Head<int>>(1);
+  EXPECT_EQ(head->num_inputs(), 1U);
+  EXPECT_EQ(head->num_outputs(), 1U);
+  EXPECT_EQ(head->input_type(0), std::type_index(typeid(int)));
+  EXPECT_EQ(head->name(), "head");
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+// Stop-and-wait ARQ over the full PHY: delivery, retransmission,
+// de-duplication, and give-up behaviour.
+#include <gtest/gtest.h>
+
+#include "mac/arq.hpp"
+
+namespace {
+
+using namespace mimonet;
+
+mac::ArqConfig link_config(double fwd_snr, double rev_snr, std::uint64_t seed) {
+  mac::ArqConfig cfg;
+  cfg.data_phy.mcs = 3;
+  cfg.ack_phy.mcs = 0;
+  cfg.forward.snr_db = fwd_snr;
+  cfg.forward.timing_pad = 300;
+  cfg.forward.tail_pad = 80;
+  cfg.forward.seed = seed;
+  cfg.reverse = cfg.forward;
+  cfg.reverse.snr_db = rev_snr;
+  cfg.reverse.seed = seed + 1;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::vector<std::uint8_t> payload_of(std::size_t n, std::uint8_t fill) {
+  return std::vector<std::uint8_t>(n, fill);
+}
+
+TEST(Arq, CleanLinkDeliversFirstTry) {
+  mac::StopAndWaitLink link(link_config(30.0, 30.0, 1));
+  for (int i = 0; i < 5; ++i) {
+    const auto rep = link.send(payload_of(400, static_cast<std::uint8_t>(i)));
+    EXPECT_TRUE(rep.delivered);
+    EXPECT_EQ(rep.transmissions, 1U);
+    EXPECT_FALSE(rep.duplicate_at_peer);
+  }
+  EXPECT_EQ(link.stats().delivered, 5U);
+  EXPECT_EQ(link.stats().retransmissions, 0U);
+  ASSERT_EQ(link.received().size(), 5U);
+  EXPECT_EQ(link.received()[3][0], 3);
+}
+
+TEST(Arq, AirtimeIncludesAckExchange) {
+  mac::StopAndWaitLink link(link_config(30.0, 30.0, 2));
+  const auto rep = link.send(payload_of(100, 0xAA));
+  ASSERT_TRUE(rep.delivered);
+  core::Transmitter data_tx(link.config().data_phy);
+  const double data_air =
+      data_tx.layout(100 + wifi::kMacHeaderLen + wifi::kFcsLen).airtime_us();
+  EXPECT_GT(rep.airtime_us, data_air);  // data + ACK > data alone
+}
+
+TEST(Arq, NoisyForwardLinkRetransmits) {
+  // Fading forward channel at marginal SNR: some frames need retries, but
+  // with 7 retries almost everything gets through.
+  auto cfg = link_config(8.0, 30.0, 3);
+  cfg.forward.fading = true;
+  mac::StopAndWaitLink link(cfg);
+  for (int i = 0; i < 25; ++i) {
+    (void)link.send(payload_of(300, static_cast<std::uint8_t>(i)));
+  }
+  EXPECT_GT(link.stats().retransmissions, 0U);
+  EXPECT_GE(link.stats().delivered, 23U);
+}
+
+TEST(Arq, HopelessLinkGivesUpAfterMaxRetries) {
+  auto cfg = link_config(-10.0, 30.0, 4);
+  cfg.max_retries = 2;
+  mac::StopAndWaitLink link(cfg);
+  const auto rep = link.send(payload_of(200, 0x55));
+  EXPECT_FALSE(rep.delivered);
+  EXPECT_EQ(rep.transmissions, 3U);  // 1 try + 2 retries
+  EXPECT_NEAR(link.stats().loss_rate(), 1.0, 1e-9);
+}
+
+TEST(Arq, LostAckCausesDuplicateThatIsSuppressed) {
+  // Forward link clean, reverse link hopeless for the first exchanges:
+  // the peer receives the data repeatedly but must log it once.
+  auto cfg = link_config(30.0, -15.0, 5);
+  cfg.max_retries = 3;
+  mac::StopAndWaitLink link(cfg);
+  const auto rep = link.send(payload_of(100, 0x77));
+  EXPECT_FALSE(rep.delivered);           // no ACK ever made it back
+  EXPECT_TRUE(rep.duplicate_at_peer);    // but the peer saw retransmissions
+  EXPECT_EQ(link.received().size(), 1U); // logged exactly once
+}
+
+TEST(Arq, StatsGoodputIsPositiveOnWorkingLink) {
+  mac::StopAndWaitLink link(link_config(25.0, 25.0, 6));
+  for (int i = 0; i < 3; ++i) (void)link.send(payload_of(1000, 1));
+  EXPECT_GT(link.stats().goodput_mbps(), 1.0);
+  EXPECT_LT(link.stats().goodput_mbps(),
+            wifi::mcs_info(link.config().data_phy.mcs).data_rate_mbps());
+}
+
+TEST(Arq, MismatchedAntennaConfigThrows) {
+  auto cfg = link_config(20.0, 20.0, 7);
+  cfg.data_phy.mcs = 9;  // 2 streams but forward channel is 1x1
+  EXPECT_THROW(mac::StopAndWaitLink{cfg}, std::invalid_argument);
+}
+
+TEST(Arq, MimoDataPlusSisoAckWorks) {
+  auto cfg = link_config(28.0, 28.0, 8);
+  cfg.data_phy.mcs = 10;
+  cfg.forward.ntx = 2;
+  cfg.forward.nrx = 2;
+  mac::StopAndWaitLink link(cfg);
+  const auto rep = link.send(payload_of(500, 0x10));
+  EXPECT_TRUE(rep.delivered);
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+// Measurement layer: BER/PER counters, EVM, throughput, confidence bounds.
+#include <gtest/gtest.h>
+
+#include "metrics/counters.hpp"
+
+namespace {
+
+using namespace mimonet::metrics;
+using mimonet::dsp::cf32;
+
+TEST(Wilson, ContainsTrueProportion) {
+  const auto iv = wilson_interval(50, 100);
+  EXPECT_LT(iv.lo, 0.5);
+  EXPECT_GT(iv.hi, 0.5);
+  EXPECT_GT(iv.lo, 0.38);
+  EXPECT_LT(iv.hi, 0.62);
+}
+
+TEST(Wilson, ZeroTrialsGivesFullRange) {
+  const auto iv = wilson_interval(0, 0);
+  EXPECT_EQ(iv.lo, 0.0);
+  EXPECT_EQ(iv.hi, 1.0);
+}
+
+TEST(Wilson, ZeroSuccessesStillAboveZeroUpper) {
+  const auto iv = wilson_interval(0, 1000);
+  EXPECT_EQ(iv.lo, 0.0);
+  EXPECT_GT(iv.hi, 0.0);
+  EXPECT_LT(iv.hi, 0.01);
+}
+
+TEST(BerCounter, CountsMismatches) {
+  BerCounter ber;
+  const std::vector<std::uint8_t> a{0, 1, 1, 0, 1};
+  const std::vector<std::uint8_t> b{0, 1, 0, 0, 0};
+  ber.add(a, b);
+  EXPECT_EQ(ber.bits(), 5U);
+  EXPECT_EQ(ber.errors(), 2U);
+  EXPECT_DOUBLE_EQ(ber.ber(), 0.4);
+}
+
+TEST(BerCounter, SizeMismatchThrows) {
+  BerCounter ber;
+  EXPECT_THROW(ber.add(std::vector<std::uint8_t>(3), std::vector<std::uint8_t>(4)),
+               std::invalid_argument);
+}
+
+TEST(BerCounter, AddCountsAndReset) {
+  BerCounter ber;
+  ber.add_counts(3, 1000);
+  EXPECT_DOUBLE_EQ(ber.ber(), 0.003);
+  ber.reset();
+  EXPECT_EQ(ber.bits(), 0U);
+  EXPECT_DOUBLE_EQ(ber.ber(), 0.0);
+}
+
+TEST(PerCounter, TracksFailures) {
+  PerCounter per;
+  per.add(true);
+  per.add(false);
+  per.add(true);
+  per.add(true);
+  EXPECT_EQ(per.packets(), 4U);
+  EXPECT_EQ(per.failures(), 1U);
+  EXPECT_DOUBLE_EQ(per.per(), 0.25);
+}
+
+TEST(EvmMeter, KnownError) {
+  EvmMeter evm;
+  evm.add(cf32{1.1F, 0.0F}, cf32{1.0F, 0.0F});
+  evm.add(cf32{0.9F, 0.0F}, cf32{1.0F, 0.0F});
+  EXPECT_NEAR(evm.evm_rms(), 0.1, 1e-6);
+  EXPECT_NEAR(evm.evm_db(), -20.0, 0.01);
+}
+
+TEST(EvmMeter, EmptyIsSafe) {
+  EvmMeter evm;
+  EXPECT_EQ(evm.evm_rms(), 0.0);
+  EXPECT_EQ(evm.count(), 0U);
+}
+
+TEST(ThroughputMeter, GoodputAccounting) {
+  ThroughputMeter tm;
+  tm.add_packet(1000, 400.0);  // 8000 bits in 400 us = 20 Mb/s
+  EXPECT_NEAR(tm.goodput_mbps(), 20.0, 1e-9);
+  tm.add_packet(0, 400.0);  // lost packet halves goodput
+  EXPECT_NEAR(tm.goodput_mbps(), 10.0, 1e-9);
+  EXPECT_NEAR(tm.airtime_us(), 800.0, 1e-9);
+}
+
+}  // namespace

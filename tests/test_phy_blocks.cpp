@@ -1,0 +1,127 @@
+// Streaming PHY blocks: the GNU-Radio-style TX -> channel -> RX pipeline.
+#include <gtest/gtest.h>
+
+#include "core/phy_blocks.hpp"
+#include "flowgraph/graph.hpp"
+#include "wifi/psdu.hpp"
+
+namespace {
+
+using namespace mimonet;
+using mimonet::dsp::cf32;
+
+std::vector<std::vector<std::uint8_t>> make_psdus(std::size_t count,
+                                                  std::size_t payload) {
+  std::vector<std::vector<std::uint8_t>> psdus;
+  for (std::size_t i = 0; i < count; ++i) {
+    wifi::MacHeader hdr;
+    hdr.sequence_control = static_cast<std::uint16_t>(i << 4U);
+    psdus.push_back(
+        wifi::build_psdu(hdr, std::vector<std::uint8_t>(payload,
+                                                        static_cast<std::uint8_t>(i))));
+  }
+  return psdus;
+}
+
+core::RxPacket run_pipeline_once(unsigned mcs, bool threaded) {
+  core::PhyConfig phy;
+  phy.mcs = mcs;
+  const auto nss = phy.mcs_info().nss;
+
+  channel::ChannelConfig ccfg;
+  ccfg.ntx = nss;
+  ccfg.nrx = nss;
+  ccfg.snr_db = 30.0;
+  ccfg.cfo_norm = 2e-4;
+
+  auto tx = std::make_shared<core::TransmitterBlock>(phy, make_psdus(1, 100), 1200);
+  auto chan = std::make_shared<core::MimoChannelBlock>(ccfg);
+  auto rx = std::make_shared<core::ReceiverBlock>(phy, nss);
+
+  flowgraph::Graph g;
+  g.add(tx);
+  g.add(chan);
+  g.add(rx);
+  for (std::size_t s = 0; s < nss; ++s) g.connect<cf32>(*tx, s, *chan, s);
+  for (std::size_t r = 0; r < nss; ++r) g.connect<cf32>(*chan, r, *rx, r);
+  if (threaded) {
+    flowgraph::run_threaded(g);
+  } else {
+    flowgraph::run_single_threaded(g);
+  }
+  EXPECT_EQ(rx->packets().size(), 1U);
+  return rx->packets().empty() ? core::RxPacket{} : rx->packets()[0];
+}
+
+TEST(PhyBlocks, SisoSinglePacketDecodes) {
+  const auto pkt = run_pipeline_once(0, false);
+  EXPECT_TRUE(pkt.fcs_ok);
+}
+
+TEST(PhyBlocks, MimoSinglePacketDecodes) {
+  const auto pkt = run_pipeline_once(9, false);
+  EXPECT_TRUE(pkt.fcs_ok);
+  EXPECT_EQ(pkt.htsig.mcs, 9);
+}
+
+TEST(PhyBlocks, ThreadedPipelineDecodes) {
+  const auto pkt = run_pipeline_once(8, true);
+  EXPECT_TRUE(pkt.fcs_ok);
+}
+
+TEST(PhyBlocks, BackToBackPacketsAllDecode) {
+  core::PhyConfig phy;
+  phy.mcs = 11;
+  constexpr std::size_t kPackets = 5;
+
+  channel::ChannelConfig ccfg;
+  ccfg.ntx = 2;
+  ccfg.nrx = 2;
+  ccfg.snr_db = 28.0;
+
+  auto tx = std::make_shared<core::TransmitterBlock>(phy, make_psdus(kPackets, 300),
+                                                     1500);
+  auto chan = std::make_shared<core::MimoChannelBlock>(ccfg);
+  auto rx = std::make_shared<core::ReceiverBlock>(phy, 2);
+
+  flowgraph::Graph g;
+  g.add(tx);
+  g.add(chan);
+  g.add(rx);
+  for (std::size_t s = 0; s < 2; ++s) g.connect<cf32>(*tx, s, *chan, s);
+  for (std::size_t r = 0; r < 2; ++r) g.connect<cf32>(*chan, r, *rx, r);
+  flowgraph::run_single_threaded(g);
+
+  ASSERT_EQ(rx->packets().size(), kPackets);
+  for (std::size_t i = 0; i < kPackets; ++i) {
+    EXPECT_TRUE(rx->packets()[i].fcs_ok) << "packet " << i;
+    const auto parsed = wifi::parse_psdu(rx->packets()[i].psdu);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->header.sequence_control, i << 4U);
+  }
+}
+
+TEST(PhyBlocks, TransmitterTagsPacketStarts) {
+  core::PhyConfig phy;
+  phy.mcs = 0;
+  auto tx = std::make_shared<core::TransmitterBlock>(phy, make_psdus(2, 50), 400);
+  auto buf = std::make_shared<flowgraph::RingBuffer<cf32>>(1U << 18U);
+  tx->bind_output(0, buf);
+  while (tx->work() != flowgraph::WorkStatus::kDone) {
+  }
+  const auto tags = buf->tags_in_next(buf->readable());
+  ASSERT_EQ(tags.size(), 2U);
+  EXPECT_EQ(tags[0].key, "packet_start");
+  EXPECT_EQ(std::get<std::int64_t>(tags[0].value), 0);
+  EXPECT_EQ(std::get<std::int64_t>(tags[1].value), 1);
+  EXPECT_GT(tags[1].offset, tags[0].offset);
+}
+
+TEST(PhyBlocks, ChannelBlockRejectsNonSquareIdentity) {
+  channel::ChannelConfig ccfg;
+  ccfg.ntx = 2;
+  ccfg.nrx = 1;
+  EXPECT_THROW(core::MimoChannelBlock{ccfg}, std::invalid_argument);
+}
+
+}  // namespace
