@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_equalizers.dir/bench_e10_equalizers.cpp.o"
+  "CMakeFiles/bench_e10_equalizers.dir/bench_e10_equalizers.cpp.o.d"
+  "bench_e10_equalizers"
+  "bench_e10_equalizers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_equalizers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_stbc_vs_sm.dir/bench_e11_stbc_vs_sm.cpp.o"
+  "CMakeFiles/bench_e11_stbc_vs_sm.dir/bench_e11_stbc_vs_sm.cpp.o.d"
+  "bench_e11_stbc_vs_sm"
+  "bench_e11_stbc_vs_sm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_stbc_vs_sm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_arq.dir/bench_e13_arq.cpp.o"
+  "CMakeFiles/bench_e13_arq.dir/bench_e13_arq.cpp.o.d"
+  "bench_e13_arq"
+  "bench_e13_arq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_arq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

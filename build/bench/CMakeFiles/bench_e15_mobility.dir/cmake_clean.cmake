@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_mobility.dir/bench_e15_mobility.cpp.o"
+  "CMakeFiles/bench_e15_mobility.dir/bench_e15_mobility.cpp.o.d"
+  "bench_e15_mobility"
+  "bench_e15_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

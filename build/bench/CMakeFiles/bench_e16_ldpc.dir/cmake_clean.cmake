@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e16_ldpc.dir/bench_e16_ldpc.cpp.o"
+  "CMakeFiles/bench_e16_ldpc.dir/bench_e16_ldpc.cpp.o.d"
+  "bench_e16_ldpc"
+  "bench_e16_ldpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e16_ldpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

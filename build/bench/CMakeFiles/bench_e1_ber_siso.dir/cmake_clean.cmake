@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_ber_siso.dir/bench_e1_ber_siso.cpp.o"
+  "CMakeFiles/bench_e1_ber_siso.dir/bench_e1_ber_siso.cpp.o.d"
+  "bench_e1_ber_siso"
+  "bench_e1_ber_siso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_ber_siso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

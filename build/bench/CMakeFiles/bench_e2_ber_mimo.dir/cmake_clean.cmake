@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_ber_mimo.dir/bench_e2_ber_mimo.cpp.o"
+  "CMakeFiles/bench_e2_ber_mimo.dir/bench_e2_ber_mimo.cpp.o.d"
+  "bench_e2_ber_mimo"
+  "bench_e2_ber_mimo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_ber_mimo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e2_ber_mimo.
+# This may be replaced when dependencies are built.

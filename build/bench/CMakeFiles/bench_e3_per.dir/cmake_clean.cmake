@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_per.dir/bench_e3_per.cpp.o"
+  "CMakeFiles/bench_e3_per.dir/bench_e3_per.cpp.o.d"
+  "bench_e3_per"
+  "bench_e3_per.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_per.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e4_sync.cpp" "bench/CMakeFiles/bench_e4_sync.dir/bench_e4_sync.cpp.o" "gcc" "bench/CMakeFiles/bench_e4_sync.dir/bench_e4_sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mimonet_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mimonet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mimonet_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mimonet_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mimonet_chanest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mimonet_wifi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mimonet_fec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mimonet_ofdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mimonet_eq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mimonet_mod.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mimonet_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mimonet_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mimonet_flowgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mimonet_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_sync.dir/bench_e4_sync.cpp.o"
+  "CMakeFiles/bench_e4_sync.dir/bench_e4_sync.cpp.o.d"
+  "bench_e4_sync"
+  "bench_e4_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

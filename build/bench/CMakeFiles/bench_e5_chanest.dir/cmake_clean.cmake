@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_chanest.dir/bench_e5_chanest.cpp.o"
+  "CMakeFiles/bench_e5_chanest.dir/bench_e5_chanest.cpp.o.d"
+  "bench_e5_chanest"
+  "bench_e5_chanest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_chanest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_snrest.dir/bench_e6_snrest.cpp.o"
+  "CMakeFiles/bench_e6_snrest.dir/bench_e6_snrest.cpp.o.d"
+  "bench_e6_snrest"
+  "bench_e6_snrest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_snrest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_mcs.dir/adaptive_mcs.cpp.o"
+  "CMakeFiles/adaptive_mcs.dir/adaptive_mcs.cpp.o.d"
+  "adaptive_mcs"
+  "adaptive_mcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_mcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snr_monitor.dir/snr_monitor.cpp.o"
+  "CMakeFiles/snr_monitor.dir/snr_monitor.cpp.o.d"
+  "snr_monitor"
+  "snr_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snr_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

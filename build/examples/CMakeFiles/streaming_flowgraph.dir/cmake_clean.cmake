@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_flowgraph.dir/streaming_flowgraph.cpp.o"
+  "CMakeFiles/streaming_flowgraph.dir/streaming_flowgraph.cpp.o.d"
+  "streaming_flowgraph"
+  "streaming_flowgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_flowgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

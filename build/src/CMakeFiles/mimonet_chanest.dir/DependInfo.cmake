@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chanest/ls_estimator.cpp" "src/CMakeFiles/mimonet_chanest.dir/chanest/ls_estimator.cpp.o" "gcc" "src/CMakeFiles/mimonet_chanest.dir/chanest/ls_estimator.cpp.o.d"
+  "/root/repo/src/chanest/phase_tracker.cpp" "src/CMakeFiles/mimonet_chanest.dir/chanest/phase_tracker.cpp.o" "gcc" "src/CMakeFiles/mimonet_chanest.dir/chanest/phase_tracker.cpp.o.d"
+  "/root/repo/src/chanest/snr_estimator.cpp" "src/CMakeFiles/mimonet_chanest.dir/chanest/snr_estimator.cpp.o" "gcc" "src/CMakeFiles/mimonet_chanest.dir/chanest/snr_estimator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mimonet_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mimonet_ofdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mimonet_wifi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mimonet_eq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mimonet_fec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mimonet_mod.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimonet_chanest.dir/chanest/ls_estimator.cpp.o"
+  "CMakeFiles/mimonet_chanest.dir/chanest/ls_estimator.cpp.o.d"
+  "CMakeFiles/mimonet_chanest.dir/chanest/phase_tracker.cpp.o"
+  "CMakeFiles/mimonet_chanest.dir/chanest/phase_tracker.cpp.o.d"
+  "CMakeFiles/mimonet_chanest.dir/chanest/snr_estimator.cpp.o"
+  "CMakeFiles/mimonet_chanest.dir/chanest/snr_estimator.cpp.o.d"
+  "libmimonet_chanest.a"
+  "libmimonet_chanest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimonet_chanest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

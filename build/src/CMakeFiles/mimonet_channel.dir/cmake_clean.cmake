@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimonet_channel.dir/channel/fading.cpp.o"
+  "CMakeFiles/mimonet_channel.dir/channel/fading.cpp.o.d"
+  "CMakeFiles/mimonet_channel.dir/channel/impairments.cpp.o"
+  "CMakeFiles/mimonet_channel.dir/channel/impairments.cpp.o.d"
+  "CMakeFiles/mimonet_channel.dir/channel/mimo_channel.cpp.o"
+  "CMakeFiles/mimonet_channel.dir/channel/mimo_channel.cpp.o.d"
+  "libmimonet_channel.a"
+  "libmimonet_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimonet_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimonet_core.dir/core/link_simulator.cpp.o"
+  "CMakeFiles/mimonet_core.dir/core/link_simulator.cpp.o.d"
+  "CMakeFiles/mimonet_core.dir/core/phy_blocks.cpp.o"
+  "CMakeFiles/mimonet_core.dir/core/phy_blocks.cpp.o.d"
+  "CMakeFiles/mimonet_core.dir/core/phy_config.cpp.o"
+  "CMakeFiles/mimonet_core.dir/core/phy_config.cpp.o.d"
+  "CMakeFiles/mimonet_core.dir/core/receiver.cpp.o"
+  "CMakeFiles/mimonet_core.dir/core/receiver.cpp.o.d"
+  "CMakeFiles/mimonet_core.dir/core/transmitter.cpp.o"
+  "CMakeFiles/mimonet_core.dir/core/transmitter.cpp.o.d"
+  "libmimonet_core.a"
+  "libmimonet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimonet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

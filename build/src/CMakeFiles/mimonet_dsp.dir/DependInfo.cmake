@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/correlator.cpp" "src/CMakeFiles/mimonet_dsp.dir/dsp/correlator.cpp.o" "gcc" "src/CMakeFiles/mimonet_dsp.dir/dsp/correlator.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/CMakeFiles/mimonet_dsp.dir/dsp/fft.cpp.o" "gcc" "src/CMakeFiles/mimonet_dsp.dir/dsp/fft.cpp.o.d"
+  "/root/repo/src/dsp/fir.cpp" "src/CMakeFiles/mimonet_dsp.dir/dsp/fir.cpp.o" "gcc" "src/CMakeFiles/mimonet_dsp.dir/dsp/fir.cpp.o.d"
+  "/root/repo/src/dsp/rng.cpp" "src/CMakeFiles/mimonet_dsp.dir/dsp/rng.cpp.o" "gcc" "src/CMakeFiles/mimonet_dsp.dir/dsp/rng.cpp.o.d"
+  "/root/repo/src/dsp/spectrum.cpp" "src/CMakeFiles/mimonet_dsp.dir/dsp/spectrum.cpp.o" "gcc" "src/CMakeFiles/mimonet_dsp.dir/dsp/spectrum.cpp.o.d"
+  "/root/repo/src/dsp/stats.cpp" "src/CMakeFiles/mimonet_dsp.dir/dsp/stats.cpp.o" "gcc" "src/CMakeFiles/mimonet_dsp.dir/dsp/stats.cpp.o.d"
+  "/root/repo/src/dsp/vector_ops.cpp" "src/CMakeFiles/mimonet_dsp.dir/dsp/vector_ops.cpp.o" "gcc" "src/CMakeFiles/mimonet_dsp.dir/dsp/vector_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

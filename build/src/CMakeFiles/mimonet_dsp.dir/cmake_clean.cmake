@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimonet_dsp.dir/dsp/correlator.cpp.o"
+  "CMakeFiles/mimonet_dsp.dir/dsp/correlator.cpp.o.d"
+  "CMakeFiles/mimonet_dsp.dir/dsp/fft.cpp.o"
+  "CMakeFiles/mimonet_dsp.dir/dsp/fft.cpp.o.d"
+  "CMakeFiles/mimonet_dsp.dir/dsp/fir.cpp.o"
+  "CMakeFiles/mimonet_dsp.dir/dsp/fir.cpp.o.d"
+  "CMakeFiles/mimonet_dsp.dir/dsp/rng.cpp.o"
+  "CMakeFiles/mimonet_dsp.dir/dsp/rng.cpp.o.d"
+  "CMakeFiles/mimonet_dsp.dir/dsp/spectrum.cpp.o"
+  "CMakeFiles/mimonet_dsp.dir/dsp/spectrum.cpp.o.d"
+  "CMakeFiles/mimonet_dsp.dir/dsp/stats.cpp.o"
+  "CMakeFiles/mimonet_dsp.dir/dsp/stats.cpp.o.d"
+  "CMakeFiles/mimonet_dsp.dir/dsp/vector_ops.cpp.o"
+  "CMakeFiles/mimonet_dsp.dir/dsp/vector_ops.cpp.o.d"
+  "libmimonet_dsp.a"
+  "libmimonet_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimonet_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimonet_eq.dir/eq/alamouti.cpp.o"
+  "CMakeFiles/mimonet_eq.dir/eq/alamouti.cpp.o.d"
+  "CMakeFiles/mimonet_eq.dir/eq/equalizer.cpp.o"
+  "CMakeFiles/mimonet_eq.dir/eq/equalizer.cpp.o.d"
+  "CMakeFiles/mimonet_eq.dir/eq/matrix.cpp.o"
+  "CMakeFiles/mimonet_eq.dir/eq/matrix.cpp.o.d"
+  "libmimonet_eq.a"
+  "libmimonet_eq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimonet_eq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

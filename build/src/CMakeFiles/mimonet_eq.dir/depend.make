@@ -1,0 +1,2 @@
+# Empty dependencies file for mimonet_eq.
+# This may be replaced when dependencies are built.

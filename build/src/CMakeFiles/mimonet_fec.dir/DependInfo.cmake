@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fec/convolutional.cpp" "src/CMakeFiles/mimonet_fec.dir/fec/convolutional.cpp.o" "gcc" "src/CMakeFiles/mimonet_fec.dir/fec/convolutional.cpp.o.d"
+  "/root/repo/src/fec/crc.cpp" "src/CMakeFiles/mimonet_fec.dir/fec/crc.cpp.o" "gcc" "src/CMakeFiles/mimonet_fec.dir/fec/crc.cpp.o.d"
+  "/root/repo/src/fec/ldpc.cpp" "src/CMakeFiles/mimonet_fec.dir/fec/ldpc.cpp.o" "gcc" "src/CMakeFiles/mimonet_fec.dir/fec/ldpc.cpp.o.d"
+  "/root/repo/src/fec/scrambler.cpp" "src/CMakeFiles/mimonet_fec.dir/fec/scrambler.cpp.o" "gcc" "src/CMakeFiles/mimonet_fec.dir/fec/scrambler.cpp.o.d"
+  "/root/repo/src/fec/viterbi.cpp" "src/CMakeFiles/mimonet_fec.dir/fec/viterbi.cpp.o" "gcc" "src/CMakeFiles/mimonet_fec.dir/fec/viterbi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mimonet_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

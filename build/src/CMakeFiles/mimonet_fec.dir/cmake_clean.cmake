@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimonet_fec.dir/fec/convolutional.cpp.o"
+  "CMakeFiles/mimonet_fec.dir/fec/convolutional.cpp.o.d"
+  "CMakeFiles/mimonet_fec.dir/fec/crc.cpp.o"
+  "CMakeFiles/mimonet_fec.dir/fec/crc.cpp.o.d"
+  "CMakeFiles/mimonet_fec.dir/fec/ldpc.cpp.o"
+  "CMakeFiles/mimonet_fec.dir/fec/ldpc.cpp.o.d"
+  "CMakeFiles/mimonet_fec.dir/fec/scrambler.cpp.o"
+  "CMakeFiles/mimonet_fec.dir/fec/scrambler.cpp.o.d"
+  "CMakeFiles/mimonet_fec.dir/fec/viterbi.cpp.o"
+  "CMakeFiles/mimonet_fec.dir/fec/viterbi.cpp.o.d"
+  "libmimonet_fec.a"
+  "libmimonet_fec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimonet_fec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

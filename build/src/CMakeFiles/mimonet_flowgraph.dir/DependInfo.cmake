@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flowgraph/block.cpp" "src/CMakeFiles/mimonet_flowgraph.dir/flowgraph/block.cpp.o" "gcc" "src/CMakeFiles/mimonet_flowgraph.dir/flowgraph/block.cpp.o.d"
+  "/root/repo/src/flowgraph/blocks.cpp" "src/CMakeFiles/mimonet_flowgraph.dir/flowgraph/blocks.cpp.o" "gcc" "src/CMakeFiles/mimonet_flowgraph.dir/flowgraph/blocks.cpp.o.d"
+  "/root/repo/src/flowgraph/graph.cpp" "src/CMakeFiles/mimonet_flowgraph.dir/flowgraph/graph.cpp.o" "gcc" "src/CMakeFiles/mimonet_flowgraph.dir/flowgraph/graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mimonet_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimonet_flowgraph.dir/flowgraph/block.cpp.o"
+  "CMakeFiles/mimonet_flowgraph.dir/flowgraph/block.cpp.o.d"
+  "CMakeFiles/mimonet_flowgraph.dir/flowgraph/blocks.cpp.o"
+  "CMakeFiles/mimonet_flowgraph.dir/flowgraph/blocks.cpp.o.d"
+  "CMakeFiles/mimonet_flowgraph.dir/flowgraph/graph.cpp.o"
+  "CMakeFiles/mimonet_flowgraph.dir/flowgraph/graph.cpp.o.d"
+  "libmimonet_flowgraph.a"
+  "libmimonet_flowgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimonet_flowgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimonet_mac.dir/mac/arq.cpp.o"
+  "CMakeFiles/mimonet_mac.dir/mac/arq.cpp.o.d"
+  "libmimonet_mac.a"
+  "libmimonet_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimonet_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimonet_metrics.dir/metrics/counters.cpp.o"
+  "CMakeFiles/mimonet_metrics.dir/metrics/counters.cpp.o.d"
+  "libmimonet_metrics.a"
+  "libmimonet_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimonet_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

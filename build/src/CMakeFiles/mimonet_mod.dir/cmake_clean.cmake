@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimonet_mod.dir/mod/constellation.cpp.o"
+  "CMakeFiles/mimonet_mod.dir/mod/constellation.cpp.o.d"
+  "libmimonet_mod.a"
+  "libmimonet_mod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimonet_mod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

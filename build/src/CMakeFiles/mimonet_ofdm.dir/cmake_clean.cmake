@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimonet_ofdm.dir/ofdm/pilots.cpp.o"
+  "CMakeFiles/mimonet_ofdm.dir/ofdm/pilots.cpp.o.d"
+  "CMakeFiles/mimonet_ofdm.dir/ofdm/subcarriers.cpp.o"
+  "CMakeFiles/mimonet_ofdm.dir/ofdm/subcarriers.cpp.o.d"
+  "CMakeFiles/mimonet_ofdm.dir/ofdm/symbol.cpp.o"
+  "CMakeFiles/mimonet_ofdm.dir/ofdm/symbol.cpp.o.d"
+  "libmimonet_ofdm.a"
+  "libmimonet_ofdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimonet_ofdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimonet_sync.dir/sync/fine_sync.cpp.o"
+  "CMakeFiles/mimonet_sync.dir/sync/fine_sync.cpp.o.d"
+  "CMakeFiles/mimonet_sync.dir/sync/frame_sync.cpp.o"
+  "CMakeFiles/mimonet_sync.dir/sync/frame_sync.cpp.o.d"
+  "CMakeFiles/mimonet_sync.dir/sync/packet_detector.cpp.o"
+  "CMakeFiles/mimonet_sync.dir/sync/packet_detector.cpp.o.d"
+  "CMakeFiles/mimonet_sync.dir/sync/van_de_beek.cpp.o"
+  "CMakeFiles/mimonet_sync.dir/sync/van_de_beek.cpp.o.d"
+  "libmimonet_sync.a"
+  "libmimonet_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimonet_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimonet_trace.dir/trace/file_blocks.cpp.o"
+  "CMakeFiles/mimonet_trace.dir/trace/file_blocks.cpp.o.d"
+  "CMakeFiles/mimonet_trace.dir/trace/iq_file.cpp.o"
+  "CMakeFiles/mimonet_trace.dir/trace/iq_file.cpp.o.d"
+  "libmimonet_trace.a"
+  "libmimonet_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimonet_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

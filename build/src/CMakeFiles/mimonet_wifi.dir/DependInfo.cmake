@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wifi/bits.cpp" "src/CMakeFiles/mimonet_wifi.dir/wifi/bits.cpp.o" "gcc" "src/CMakeFiles/mimonet_wifi.dir/wifi/bits.cpp.o.d"
+  "/root/repo/src/wifi/interleaver.cpp" "src/CMakeFiles/mimonet_wifi.dir/wifi/interleaver.cpp.o" "gcc" "src/CMakeFiles/mimonet_wifi.dir/wifi/interleaver.cpp.o.d"
+  "/root/repo/src/wifi/mcs.cpp" "src/CMakeFiles/mimonet_wifi.dir/wifi/mcs.cpp.o" "gcc" "src/CMakeFiles/mimonet_wifi.dir/wifi/mcs.cpp.o.d"
+  "/root/repo/src/wifi/preamble.cpp" "src/CMakeFiles/mimonet_wifi.dir/wifi/preamble.cpp.o" "gcc" "src/CMakeFiles/mimonet_wifi.dir/wifi/preamble.cpp.o.d"
+  "/root/repo/src/wifi/psdu.cpp" "src/CMakeFiles/mimonet_wifi.dir/wifi/psdu.cpp.o" "gcc" "src/CMakeFiles/mimonet_wifi.dir/wifi/psdu.cpp.o.d"
+  "/root/repo/src/wifi/signal_field.cpp" "src/CMakeFiles/mimonet_wifi.dir/wifi/signal_field.cpp.o" "gcc" "src/CMakeFiles/mimonet_wifi.dir/wifi/signal_field.cpp.o.d"
+  "/root/repo/src/wifi/stream_parser.cpp" "src/CMakeFiles/mimonet_wifi.dir/wifi/stream_parser.cpp.o" "gcc" "src/CMakeFiles/mimonet_wifi.dir/wifi/stream_parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mimonet_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mimonet_fec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mimonet_mod.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mimonet_ofdm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimonet_wifi.dir/wifi/bits.cpp.o"
+  "CMakeFiles/mimonet_wifi.dir/wifi/bits.cpp.o.d"
+  "CMakeFiles/mimonet_wifi.dir/wifi/interleaver.cpp.o"
+  "CMakeFiles/mimonet_wifi.dir/wifi/interleaver.cpp.o.d"
+  "CMakeFiles/mimonet_wifi.dir/wifi/mcs.cpp.o"
+  "CMakeFiles/mimonet_wifi.dir/wifi/mcs.cpp.o.d"
+  "CMakeFiles/mimonet_wifi.dir/wifi/preamble.cpp.o"
+  "CMakeFiles/mimonet_wifi.dir/wifi/preamble.cpp.o.d"
+  "CMakeFiles/mimonet_wifi.dir/wifi/psdu.cpp.o"
+  "CMakeFiles/mimonet_wifi.dir/wifi/psdu.cpp.o.d"
+  "CMakeFiles/mimonet_wifi.dir/wifi/signal_field.cpp.o"
+  "CMakeFiles/mimonet_wifi.dir/wifi/signal_field.cpp.o.d"
+  "CMakeFiles/mimonet_wifi.dir/wifi/stream_parser.cpp.o"
+  "CMakeFiles/mimonet_wifi.dir/wifi/stream_parser.cpp.o.d"
+  "libmimonet_wifi.a"
+  "libmimonet_wifi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimonet_wifi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_chanest.cpp" "tests/CMakeFiles/mimonet_tests.dir/test_chanest.cpp.o" "gcc" "tests/CMakeFiles/mimonet_tests.dir/test_chanest.cpp.o.d"
+  "/root/repo/tests/test_channel.cpp" "tests/CMakeFiles/mimonet_tests.dir/test_channel.cpp.o" "gcc" "tests/CMakeFiles/mimonet_tests.dir/test_channel.cpp.o.d"
+  "/root/repo/tests/test_core_loopback.cpp" "tests/CMakeFiles/mimonet_tests.dir/test_core_loopback.cpp.o" "gcc" "tests/CMakeFiles/mimonet_tests.dir/test_core_loopback.cpp.o.d"
+  "/root/repo/tests/test_core_stbc.cpp" "tests/CMakeFiles/mimonet_tests.dir/test_core_stbc.cpp.o" "gcc" "tests/CMakeFiles/mimonet_tests.dir/test_core_stbc.cpp.o.d"
+  "/root/repo/tests/test_doppler.cpp" "tests/CMakeFiles/mimonet_tests.dir/test_doppler.cpp.o" "gcc" "tests/CMakeFiles/mimonet_tests.dir/test_doppler.cpp.o.d"
+  "/root/repo/tests/test_dsp_fft.cpp" "tests/CMakeFiles/mimonet_tests.dir/test_dsp_fft.cpp.o" "gcc" "tests/CMakeFiles/mimonet_tests.dir/test_dsp_fft.cpp.o.d"
+  "/root/repo/tests/test_dsp_fir_correlator.cpp" "tests/CMakeFiles/mimonet_tests.dir/test_dsp_fir_correlator.cpp.o" "gcc" "tests/CMakeFiles/mimonet_tests.dir/test_dsp_fir_correlator.cpp.o.d"
+  "/root/repo/tests/test_dsp_rng_stats.cpp" "tests/CMakeFiles/mimonet_tests.dir/test_dsp_rng_stats.cpp.o" "gcc" "tests/CMakeFiles/mimonet_tests.dir/test_dsp_rng_stats.cpp.o.d"
+  "/root/repo/tests/test_dsp_spectrum.cpp" "tests/CMakeFiles/mimonet_tests.dir/test_dsp_spectrum.cpp.o" "gcc" "tests/CMakeFiles/mimonet_tests.dir/test_dsp_spectrum.cpp.o.d"
+  "/root/repo/tests/test_dsp_vector_ops.cpp" "tests/CMakeFiles/mimonet_tests.dir/test_dsp_vector_ops.cpp.o" "gcc" "tests/CMakeFiles/mimonet_tests.dir/test_dsp_vector_ops.cpp.o.d"
+  "/root/repo/tests/test_eq.cpp" "tests/CMakeFiles/mimonet_tests.dir/test_eq.cpp.o" "gcc" "tests/CMakeFiles/mimonet_tests.dir/test_eq.cpp.o.d"
+  "/root/repo/tests/test_failure_injection.cpp" "tests/CMakeFiles/mimonet_tests.dir/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/mimonet_tests.dir/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/test_fec.cpp" "tests/CMakeFiles/mimonet_tests.dir/test_fec.cpp.o" "gcc" "tests/CMakeFiles/mimonet_tests.dir/test_fec.cpp.o.d"
+  "/root/repo/tests/test_fec_ldpc.cpp" "tests/CMakeFiles/mimonet_tests.dir/test_fec_ldpc.cpp.o" "gcc" "tests/CMakeFiles/mimonet_tests.dir/test_fec_ldpc.cpp.o.d"
+  "/root/repo/tests/test_flowgraph.cpp" "tests/CMakeFiles/mimonet_tests.dir/test_flowgraph.cpp.o" "gcc" "tests/CMakeFiles/mimonet_tests.dir/test_flowgraph.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/mimonet_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/mimonet_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_mac.cpp" "tests/CMakeFiles/mimonet_tests.dir/test_mac.cpp.o" "gcc" "tests/CMakeFiles/mimonet_tests.dir/test_mac.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/mimonet_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/mimonet_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_mod_constellation.cpp" "tests/CMakeFiles/mimonet_tests.dir/test_mod_constellation.cpp.o" "gcc" "tests/CMakeFiles/mimonet_tests.dir/test_mod_constellation.cpp.o.d"
+  "/root/repo/tests/test_ofdm.cpp" "tests/CMakeFiles/mimonet_tests.dir/test_ofdm.cpp.o" "gcc" "tests/CMakeFiles/mimonet_tests.dir/test_ofdm.cpp.o.d"
+  "/root/repo/tests/test_phy_blocks.cpp" "tests/CMakeFiles/mimonet_tests.dir/test_phy_blocks.cpp.o" "gcc" "tests/CMakeFiles/mimonet_tests.dir/test_phy_blocks.cpp.o.d"
+  "/root/repo/tests/test_sync.cpp" "tests/CMakeFiles/mimonet_tests.dir/test_sync.cpp.o" "gcc" "tests/CMakeFiles/mimonet_tests.dir/test_sync.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/mimonet_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/mimonet_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_wifi_framing.cpp" "tests/CMakeFiles/mimonet_tests.dir/test_wifi_framing.cpp.o" "gcc" "tests/CMakeFiles/mimonet_tests.dir/test_wifi_framing.cpp.o.d"
+  "/root/repo/tests/test_wifi_preamble.cpp" "tests/CMakeFiles/mimonet_tests.dir/test_wifi_preamble.cpp.o" "gcc" "tests/CMakeFiles/mimonet_tests.dir/test_wifi_preamble.cpp.o.d"
+  "/root/repo/tests/test_wifi_signal_fields.cpp" "tests/CMakeFiles/mimonet_tests.dir/test_wifi_signal_fields.cpp.o" "gcc" "tests/CMakeFiles/mimonet_tests.dir/test_wifi_signal_fields.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mimonet_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mimonet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mimonet_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mimonet_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mimonet_chanest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mimonet_wifi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mimonet_fec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mimonet_ofdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mimonet_eq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mimonet_mod.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mimonet_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mimonet_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mimonet_flowgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mimonet_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
