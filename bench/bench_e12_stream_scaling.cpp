@@ -15,20 +15,19 @@ using namespace mimonet;
 
 namespace {
 
-struct Cell {
-  double goodput;
-  double per;
-};
-
-Cell run_cell(unsigned mcs, double snr, std::size_t nrx, std::size_t packets,
-              std::uint64_t seed) {
-  auto cfg = core::make_link_config(mcs, snr, nrx);
-  cfg.psdu_payload_bytes = 1500;
-  cfg.channel.fading = true;
-  cfg.seed = seed;
+core::LinkResult run_cell(unsigned mcs, double snr, std::size_t nrx,
+                          std::size_t packets, std::uint64_t seed) {
+  auto cfg = core::LinkConfig::make()
+                 .mcs(mcs)
+                 .snr_db(snr)
+                 .nrx(nrx)
+                 .fading(true)
+                 .payload_bytes(1500)
+                 .seed(seed)
+                 .build();
   core::LinkSimulator sim(cfg);
-  const auto res = sim.run(packets);
-  return {res.throughput.goodput_mbps(), res.per.per()};
+  return sim.run(
+      core::RunOptions{.n_packets = packets, .n_threads = bench::threads()});
 }
 
 }  // namespace
@@ -41,28 +40,37 @@ int main() {
 
   const unsigned family[] = {1, 9, 17, 25};
 
-  std::printf("\n  Goodput (Mb/s) vs SNR\n");
+  // One merged aggregate per stream count over the whole SNR sweep.
+  core::LinkResult totals[4];
+
+  std::printf("\n  Goodput (Mb/s) and PER vs SNR\n");
   const bench::Table t1({"SNR dB", "1 str", "2 str", "3 str", "4 str"}, 10);
+  std::vector<std::vector<std::string>> per_rows;
   for (double snr = 10.0; snr <= 35.0; snr += 5.0) {
-    std::vector<std::string> cells{bench::fix(snr, 0)};
-    for (const unsigned mcs : family) {
-      const auto c = run_cell(mcs, snr, 0, kPackets,
-                              120 + mcs);
-      cells.push_back(bench::fix(c.goodput, 1));
+    std::vector<std::string> goodput_cells{bench::fix(snr, 0)};
+    std::vector<std::string> per_cells{bench::fix(snr, 0)};
+    for (std::size_t i = 0; i < 4; ++i) {
+      const auto res = run_cell(family[i], snr, 0, kPackets, 120 + family[i]);
+      goodput_cells.push_back(bench::fix(res.throughput.goodput_mbps(), 1));
+      per_cells.push_back(bench::fix(res.per.per(), 2));
+      totals[i].merge(res);
     }
-    t1.row(cells);
+    t1.row(goodput_cells);
+    per_rows.push_back(std::move(per_cells));
   }
 
   std::printf("\n  PER vs SNR\n");
   const bench::Table t2({"SNR dB", "1 str", "2 str", "3 str", "4 str"}, 10);
-  for (double snr = 10.0; snr <= 35.0; snr += 5.0) {
-    std::vector<std::string> cells{bench::fix(snr, 0)};
-    for (const unsigned mcs : family) {
-      const auto c = run_cell(mcs, snr, 0, kPackets,
-                              120 + mcs);
-      cells.push_back(bench::fix(c.per, 2));
-    }
-    t2.row(cells);
+  for (const auto& row : per_rows) t2.row(row);
+
+  std::printf("\n  sweep aggregate per stream count (merged over all SNRs)\n");
+  std::vector<std::string> sum_headers{"streams"};
+  for (const auto& h : core::LinkResult::summary_headers()) sum_headers.push_back(h);
+  const bench::Table ts(sum_headers, 11);
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::vector<std::string> cells{std::to_string(i + 1)};
+    for (auto& c : totals[i].summary_row()) cells.push_back(std::move(c));
+    ts.row(cells);
   }
 
   std::printf("\n  Receive diversity: 2-stream PER with nrx = 2 vs 3 vs 4\n");
@@ -70,9 +78,8 @@ int main() {
   for (double snr = 8.0; snr <= 20.0; snr += 3.0) {
     std::vector<std::string> cells{bench::fix(snr, 0)};
     for (const std::size_t nrx : {2U, 3U, 4U}) {
-      const auto c = run_cell(9, snr, nrx, kPackets,
-                              320 + nrx);
-      cells.push_back(bench::fix(c.per, 2));
+      const auto res = run_cell(9, snr, nrx, kPackets, 320 + nrx);
+      cells.push_back(bench::fix(res.per.per(), 2));
     }
     t3.row(cells);
   }

@@ -27,7 +27,8 @@ int main() {
       cfg.psdu_payload_bytes = 500;
       cfg.seed = 1000 + mcs * 100;  // common random numbers across the sweep
       core::LinkSimulator sim(cfg);
-      const auto res = sim.run(30);
+      const auto res = sim.run(
+          core::RunOptions{.n_packets = 30, .n_threads = bench::threads()});
       // Packets the sync never found count as all-bits-errored for BER
       // purposes would skew the curve; report decode-path BER and mark
       // full outage with 'x'.

@@ -21,7 +21,8 @@ double run_ber(unsigned mcs, double snr, eq::EqualizerType eq_type,
   cfg.channel.profile = channel::DelayProfile::kFlat;
   cfg.seed = seed;
   core::LinkSimulator sim(cfg);
-  const auto res = sim.run(packets);
+  const auto res = sim.run(
+      core::RunOptions{.n_packets = packets, .n_threads = bench::threads()});
   // Count undecodable packets as half-errored bits so deep-fade outages
   // still show up in the curve instead of being silently dropped.
   const std::size_t lost = res.undetected;

@@ -4,6 +4,11 @@
 // waterfall is steeper than BER and shifted right (one bad bit kills the
 // FCS). Expected shape: AWGN curves fall off a cliff within ~3 dB; fading
 // curves slope gently (deep fades dominate).
+//
+// Runs on the parallel Monte-Carlo engine with confidence-driven early
+// stopping: each point stops once kTargetEvents PER failures are seen
+// (capped at kMaxPackets), so high-PER points finish fast and low-PER
+// points get more trials.
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -13,50 +18,68 @@ using namespace mimonet;
 
 namespace {
 
-double run_per(unsigned mcs, double snr, bool fading, std::size_t packets,
-               std::uint64_t seed) {
-  auto cfg = core::make_link_config(mcs, snr);
-  cfg.psdu_payload_bytes = 1000;
-  cfg.channel.fading = fading;
-  cfg.seed = seed;
+constexpr std::size_t kPackets = 40;
+constexpr std::size_t kMaxPackets = 60;
+constexpr std::size_t kTargetEvents = 20;
+
+core::LinkResult run_point(unsigned mcs, double snr, bool fading,
+                           std::uint64_t seed) {
+  auto cfg = core::LinkConfig::make()
+                 .mcs(mcs)
+                 .snr_db(snr)
+                 .fading(fading)
+                 .payload_bytes(1000)
+                 .seed(seed)
+                 .build();
   core::LinkSimulator sim(cfg);
-  return sim.run(packets).per.per();
+  return sim.run(core::RunOptions{.n_packets = kPackets,
+                                  .n_threads = bench::threads(),
+                                  .max_packets = kMaxPackets,
+                                  .target_per_events = kTargetEvents});
+}
+
+void sweep(const char* title, double snr_lo, double snr_hi,
+           const std::vector<unsigned>& mcs_list, bool fading,
+           std::uint64_t seed_base) {
+  std::printf("\n  %s\n", title);
+  std::vector<std::string> headers{"SNR dB"};
+  for (const unsigned mcs : mcs_list) headers.push_back("MCS" + std::to_string(mcs));
+  const bench::Table table(headers, 10);
+
+  // Per-MCS aggregate over the whole sweep, built with LinkResult::merge.
+  std::vector<core::LinkResult> totals(mcs_list.size());
+  for (double snr = snr_lo; snr <= snr_hi; snr += 3.0) {
+    std::vector<std::string> cells{bench::fix(snr, 0)};
+    for (std::size_t i = 0; i < mcs_list.size(); ++i) {
+      const auto res = run_point(mcs_list[i], snr, fading, seed_base + mcs_list[i]);
+      cells.push_back(bench::fix(res.per.per(), 2));
+      totals[i].merge(res);
+    }
+    table.row(cells);
+  }
+
+  std::printf("\n  sweep aggregate per MCS (merged over all SNR points)\n");
+  std::vector<std::string> sum_headers{"MCS"};
+  for (const auto& h : core::LinkResult::summary_headers()) sum_headers.push_back(h);
+  const bench::Table summary(sum_headers, 11);
+  for (std::size_t i = 0; i < mcs_list.size(); ++i) {
+    std::vector<std::string> cells{std::to_string(mcs_list[i])};
+    for (auto& c : totals[i].summary_row()) cells.push_back(std::move(c));
+    summary.row(cells);
+  }
 }
 
 }  // namespace
 
 int main() {
   bench::heading("E3", "PER vs SNR, 1000-byte packets (Fig. reconstruction)");
-  constexpr std::size_t kPackets = 40;
-  bench::note("%zu packets per point; PER includes undetected packets", kPackets);
+  bench::note("%zu packets per point, early-stop at %zu PER events, cap %zu",
+              kPackets, kTargetEvents, kMaxPackets);
 
-  std::printf("\n  SISO (1x1) AWGN\n");
-  {
-    const bench::Table table({"SNR dB", "MCS0", "MCS3", "MCS5", "MCS7"}, 10);
-    for (double snr = 0.0; snr <= 27.0; snr += 3.0) {
-      std::vector<std::string> cells{bench::fix(snr, 0)};
-      for (const unsigned mcs : {0U, 3U, 5U, 7U}) {
-        cells.push_back(bench::fix(
-            run_per(mcs, snr, false, kPackets, 300 + mcs),
-            2));
-      }
-      table.row(cells);
-    }
-  }
+  sweep("SISO (1x1) AWGN", 0.0, 27.0, {0U, 3U, 5U, 7U}, false, 300);
+  sweep("2x2 spatial multiplexing, flat Rayleigh", 6.0, 33.0, {8U, 11U, 13U, 15U},
+        true, 500);
 
-  std::printf("\n  2x2 spatial multiplexing, flat Rayleigh\n");
-  {
-    const bench::Table table({"SNR dB", "MCS8", "MCS11", "MCS13", "MCS15"}, 10);
-    for (double snr = 6.0; snr <= 33.0; snr += 3.0) {
-      std::vector<std::string> cells{bench::fix(snr, 0)};
-      for (const unsigned mcs : {8U, 11U, 13U, 15U}) {
-        cells.push_back(bench::fix(
-            run_per(mcs, snr, true, kPackets, 500 + mcs),
-            2));
-      }
-      table.row(cells);
-    }
-  }
   bench::note("AWGN: cliff within ~3 dB; Rayleigh: gentle slope from fades");
   return 0;
 }

@@ -13,18 +13,17 @@ using namespace mimonet;
 
 namespace {
 
-struct Cell {
-  double goodput = 0.0;
-  double per = 0.0;
-};
-
-Cell run_cell(unsigned mcs, double snr, std::size_t packets, std::uint64_t seed) {
-  auto cfg = core::make_link_config(mcs, snr);
-  cfg.psdu_payload_bytes = 1500;
-  cfg.seed = seed;
+core::LinkResult run_cell(unsigned mcs, double snr, std::size_t packets,
+                          std::uint64_t seed) {
+  auto cfg = core::LinkConfig::make()
+                 .mcs(mcs)
+                 .snr_db(snr)
+                 .payload_bytes(1500)
+                 .seed(seed)
+                 .build();
   core::LinkSimulator sim(cfg);
-  const auto res = sim.run(packets);
-  return {res.throughput.goodput_mbps(), res.per.per()};
+  return sim.run(
+      core::RunOptions{.n_packets = packets, .n_threads = bench::threads()});
 }
 
 }  // namespace
@@ -35,17 +34,22 @@ int main() {
   bench::note("%zu packets per cell, AWGN; goodput = delivered bits / air time",
               kPackets);
 
-  const bench::Table table({"MCS", "PHY Mb/s", "nss", "30dB Mb/s", "18dB Mb/s",
-                            "10dB Mb/s"},
-                           11);
-  for (unsigned mcs = 0; mcs <= 15; ++mcs) {
-    const auto info = wifi::mcs_info(mcs);
-    const auto high = run_cell(mcs, 30.0, kPackets, 70 + mcs);
-    const auto mid = run_cell(mcs, 18.0, kPackets, 170 + mcs);
-    const auto low = run_cell(mcs, 10.0, kPackets, 270 + mcs);
-    table.row({std::to_string(mcs), bench::fix(info.data_rate_mbps(), 1),
-               std::to_string(info.nss), bench::fix(high.goodput, 1),
-               bench::fix(mid.goodput, 1), bench::fix(low.goodput, 1)});
+  for (const double snr : {30.0, 18.0, 10.0}) {
+    std::printf("\n  SNR %.0f dB\n", snr);
+    std::vector<std::string> headers{"MCS", "PHY Mb/s", "nss"};
+    for (const auto& h : core::LinkResult::summary_headers()) headers.push_back(h);
+    const bench::Table table(headers, 11);
+    // Distinct seed family per SNR point so cells stay independent draws.
+    const std::uint64_t seed_base = snr == 30.0 ? 70 : (snr == 18.0 ? 170 : 270);
+    for (unsigned mcs = 0; mcs <= 15; ++mcs) {
+      const auto info = wifi::mcs_info(mcs);
+      const auto res = run_cell(mcs, snr, kPackets, seed_base + mcs);
+      std::vector<std::string> cells{std::to_string(mcs),
+                                     bench::fix(info.data_rate_mbps(), 1),
+                                     std::to_string(info.nss)};
+      for (auto& c : res.summary_row()) cells.push_back(std::move(c));
+      table.row(cells);
+    }
   }
   bench::note("expected: MCS k+8 goodput ~= 2x MCS k at 30 dB (spatial multiplexing");
   bench::note("doubles rate in the same 20 MHz); high MCS collapse first as SNR drops");

@@ -4,10 +4,23 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace bench {
+
+/// Worker threads for the Monte-Carlo engine: MIMONET_BENCH_THREADS wins,
+/// else 0 (= let the engine use hardware concurrency). Results are
+/// bit-identical for any value — this only changes wall-clock.
+inline std::size_t threads() {
+  if (const char* env = std::getenv("MIMONET_BENCH_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 0;
+}
 
 inline void heading(const std::string& id, const std::string& title) {
   std::printf("\n================================================================\n");

@@ -23,6 +23,20 @@ MimoChannel::MimoChannel(ChannelConfig cfg)
   current_ = cfg.fading ? fading_.next() : identity_channel(cfg.ntx);
 }
 
+void MimoChannel::reseed(std::uint64_t seed) {
+  // Mirror the constructor's sub-seed derivation exactly.
+  fading_ = FadingGenerator(cfg_.ntx, cfg_.nrx, cfg_.profile,
+                            seed * 0x9E3779B97F4A7C15ULL + 1, cfg_.rho_tx,
+                            cfg_.rho_rx);
+  noise_ = dsp::ComplexGaussian(seed * 0xC2B2AE3D27D4EB4FULL + 2, noise_variance());
+  doppler_innovation_ =
+      dsp::ComplexGaussian(seed * 0x27D4EB2F165667C5ULL + 5, 1.0);
+  pad_seed_ = seed * 0x165667B19E3779F9ULL + 3;
+  // transmit() draws a fresh realization when fading and not pinned, so
+  // current_ only needs refreshing for the static (identity) case — where
+  // it is constant anyway. Leave it be.
+}
+
 double MimoChannel::noise_variance() const noexcept {
   // TX streams are unit power scaled by 1/sqrt(ntx) each and channel gains
   // are unit power per rx-tx pair, so mean RX signal power per antenna is 1.

@@ -64,6 +64,13 @@ class MimoChannel {
   [[nodiscard]] std::vector<std::vector<cf32>> transmit(
       const std::vector<std::vector<cf32>>& tx_streams);
 
+  /// Restart every random source (fading, noise, Doppler innovation, pad
+  /// noise) from `seed`, exactly as if the channel had been constructed with
+  /// `cfg.seed = seed`. A pinned realization stays pinned. This is what
+  /// makes per-packet deterministic Monte-Carlo possible: reseed before
+  /// each packet and the draw depends only on the seed, not on history.
+  void reseed(std::uint64_t seed);
+
   /// Pin a specific realization; subsequent transmits reuse it.
   void fix_realization(ChannelRealization realization);
   /// Return to drawing a fresh realization per packet.

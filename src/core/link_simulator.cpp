@@ -1,7 +1,17 @@
 #include "core/link_simulator.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
 
+#include "dsp/rng.hpp"
 #include "wifi/bits.hpp"
 #include "wifi/psdu.hpp"
 
@@ -9,78 +19,320 @@ namespace mimonet::core {
 
 namespace {
 
+constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
+
+/// splitmix64 finalizer: full-avalanche 64-bit mixing.
+std::uint64_t mix64(std::uint64_t x) {
+  x += kGolden;
+  x = (x ^ (x >> 30U)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27U)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31U);
+}
+
+/// Every random draw for packet p flows from this value: unique per
+/// (link seed, packet index) and independent of simulation history, which
+/// is what makes the engine thread-count invariant.
+std::uint64_t packet_seed(std::uint64_t link_seed, std::size_t p) {
+  return mix64(link_seed ^ mix64(static_cast<std::uint64_t>(p) + 1));
+}
+
 /// Fold the link-level seed into the channel's, so varying LinkConfig::seed
 /// varies fading/noise draws too (channel.seed can still be pinned
 /// explicitly relative to it for common-random-number comparisons).
 channel::ChannelConfig seeded_channel(const LinkConfig& cfg) {
   auto ch = cfg.channel;
-  ch.seed = ch.seed * 0x9E3779B97F4A7C15ULL + cfg.seed;
+  ch.seed = ch.seed * kGolden + cfg.seed;
   return ch;
 }
 
-}  // namespace
+/// One packet's contribution: the mergeable partial result plus the
+/// observer payload.
+struct PacketWork {
+  LinkResult partial;
+  PacketOutcome outcome;
+};
 
-LinkSimulator::LinkSimulator(LinkConfig cfg)
-    : cfg_(cfg),
-      tx_(cfg.phy),
-      chan_(seeded_channel(cfg)),
-      rx_(cfg.phy, cfg.channel.nrx),
-      payload_src_(cfg.seed * 0x2545F4914F6CDD1DULL + 7) {}
-
-LinkResult LinkSimulator::run(
-    std::size_t n_packets,
-    const std::function<void(const RxPacket&, const std::vector<std::uint8_t>&)>&
-        observer) {
-  LinkResult res;
+PacketWork simulate_packet(const LinkConfig& cfg, const Transmitter& tx,
+                           channel::MimoChannel& chan, const Receiver& rx,
+                           std::size_t p) {
+  const std::uint64_t pkt_seed = packet_seed(cfg.seed, p);
+  // Restart the channel's random sources for this packet; offsetting by the
+  // channel's own seed keeps common-random-number comparisons working.
+  chan.reseed(cfg.channel.seed * kGolden + pkt_seed);
 
   wifi::MacHeader hdr;
   hdr.addr1 = {0x02, 0x11, 0x22, 0x33, 0x44, 0x55};
   hdr.addr2 = {0x02, 0xAA, 0xBB, 0xCC, 0xDD, 0xEE};
   hdr.addr3 = hdr.addr1;
+  hdr.sequence_control = static_cast<std::uint16_t>((p & 0xFFFU) << 4U);
 
-  for (std::size_t p = 0; p < n_packets; ++p) {
-    hdr.sequence_control = static_cast<std::uint16_t>(p << 4U);
-    const auto payload = payload_src_.bytes(cfg_.psdu_payload_bytes);
-    const auto psdu = wifi::build_psdu(hdr, payload);
+  dsp::BitSource payload_src(pkt_seed * 0x2545F4914F6CDD1DULL + 7);
+  const auto payload = payload_src.bytes(cfg.psdu_payload_bytes);
+  const auto psdu = wifi::build_psdu(hdr, payload);
 
-    const auto tx_streams = tx_.transmit(psdu);
-    const auto capture = chan_.transmit(tx_streams);
-    const auto& truth = chan_.truth();
+  const auto tx_streams = tx.transmit(psdu);
+  const auto capture = chan.transmit(tx_streams);
+  const auto& truth = chan.truth();
 
-    const auto rx_pkt = rx_.receive(capture);
-    const double airtime = tx_.layout(psdu.size()).airtime_us();
+  auto rx_pkt = rx.receive(capture);
+  const double airtime = tx.layout(psdu.size()).airtime_us();
 
-    if (!rx_pkt) {
-      ++res.undetected;
-      res.per.add(false);
-      res.throughput.add_packet(0, airtime);
-      continue;
-    }
+  PacketWork work;
+  work.outcome.index = p;
+  work.outcome.sent_psdu = psdu;
+  work.outcome.airtime_us = airtime;
+  work.outcome.truth_packet_start = truth.packet_start;
+  work.outcome.truth_cfo_norm = truth.cfo_norm;
 
-    const bool ok = rx_pkt->fcs_ok;
-    res.per.add(ok);
-    res.throughput.add_packet(ok ? payload.size() : 0, airtime);
-
-    if (rx_pkt->htsig_ok && rx_pkt->psdu.size() == psdu.size()) {
-      const auto sent_bits = wifi::bytes_to_bits(psdu);
-      const auto got_bits = wifi::bytes_to_bits(rx_pkt->psdu);
-      res.ber.add(sent_bits, got_bits);
-    } else if (rx_pkt->htsig_ok) {
-      // Length corrupted: count every PSDU bit as errored.
-      res.ber.add_counts(psdu.size() * 8, psdu.size() * 8);
-    }
-
-    res.snr_est_db.add(rx_pkt->snr.snr_db);
-    if (rx_pkt->pilot_snr.noise_variance > 0.0) {
-      res.pilot_snr_db.add(rx_pkt->pilot_snr.snr_db);
-    }
-    res.timing_err.add(static_cast<double>(rx_pkt->sync.packet_start) -
-                       static_cast<double>(truth.packet_start));
-    res.cfo_err.add(rx_pkt->sync.cfo_norm - truth.cfo_norm);
-
-    if (observer) observer(*rx_pkt, psdu);
+  LinkResult& res = work.partial;
+  if (!rx_pkt) {
+    ++res.undetected;
+    res.per.add(false);
+    res.throughput.add_packet(0, airtime);
+    return work;
   }
+
+  const bool ok = rx_pkt->fcs_ok;
+  res.per.add(ok);
+  res.throughput.add_packet(ok ? payload.size() : 0, airtime);
+
+  if (rx_pkt->htsig_ok && rx_pkt->psdu.size() == psdu.size()) {
+    const auto sent_bits = wifi::bytes_to_bits(psdu);
+    const auto got_bits = wifi::bytes_to_bits(rx_pkt->psdu);
+    res.ber.add(sent_bits, got_bits);
+  } else if (rx_pkt->htsig_ok) {
+    // Length corrupted: count every PSDU bit as errored.
+    res.ber.add_counts(psdu.size() * 8, psdu.size() * 8);
+  }
+
+  res.snr_est_db.add(rx_pkt->snr.snr_db);
+  if (rx_pkt->pilot_snr.noise_variance > 0.0) {
+    res.pilot_snr_db.add(rx_pkt->pilot_snr.snr_db);
+  }
+  res.timing_err.add(static_cast<double>(rx_pkt->sync.packet_start) -
+                     static_cast<double>(truth.packet_start));
+  res.cfo_err.add(rx_pkt->sync.cfo_norm - truth.cfo_norm);
+
+  work.outcome.detected = true;
+  work.outcome.rx = std::move(*rx_pkt);
+  return work;
+}
+
+/// Bounded single-producer queue feeding the merging (calling) thread.
+/// close() signals the producer is done; stop() aborts a blocked producer.
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t cap) : cap_(cap) {}
+
+  bool push(PacketWork&& work) {
+    std::unique_lock lk(m_);
+    cv_space_.wait(lk, [&] { return q_.size() < cap_ || stopped_; });
+    if (stopped_) return false;
+    q_.push_back(std::move(work));
+    cv_item_.notify_one();
+    return true;
+  }
+
+  void close() {
+    const std::lock_guard lk(m_);
+    closed_ = true;
+    cv_item_.notify_all();
+  }
+
+  void stop() {
+    const std::lock_guard lk(m_);
+    stopped_ = true;
+    cv_space_.notify_all();
+  }
+
+  /// Next item in production order; nullopt once the producer closed and
+  /// the queue drained (i.e. the worker exited early).
+  std::optional<PacketWork> pop() {
+    std::unique_lock lk(m_);
+    cv_item_.wait(lk, [&] { return !q_.empty() || closed_; });
+    if (q_.empty()) return std::nullopt;
+    PacketWork work = std::move(q_.front());
+    q_.pop_front();
+    cv_space_.notify_one();
+    return work;
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_item_;
+  std::condition_variable cv_space_;
+  std::deque<PacketWork> q_;
+  std::size_t cap_;
+  bool closed_ = false;
+  bool stopped_ = false;
+};
+
+class LegacyAdapter final : public PacketObserver {
+ public:
+  explicit LegacyAdapter(const LegacyObserver& fn) : fn_(fn) {}
+  void on_packet(const PacketOutcome& outcome) override {
+    if (outcome.detected && fn_) fn_(outcome.rx, outcome.sent_psdu);
+  }
+
+ private:
+  const LegacyObserver& fn_;
+};
+
+}  // namespace
+
+void LinkResult::merge(const LinkResult& other) {
+  ber.merge(other.ber);
+  per.merge(other.per);
+  throughput.merge(other.throughput);
+  undetected += other.undetected;
+  snr_est_db.merge(other.snr_est_db);
+  pilot_snr_db.merge(other.pilot_snr_db);
+  timing_err.merge(other.timing_err);
+  cfo_err.merge(other.cfo_err);
+}
+
+std::vector<std::string> LinkResult::summary_headers() {
+  return {"packets", "PER", "BER", "Mb/s", "SNRest dB"};
+}
+
+std::vector<std::string> LinkResult::summary_row() const {
+  char buf[64];
+  std::vector<std::string> row;
+  row.push_back(std::to_string(per.packets()));
+  std::snprintf(buf, sizeof buf, "%.3f", per.per());
+  row.emplace_back(buf);
+  std::snprintf(buf, sizeof buf, "%.2e", ber.ber());
+  row.emplace_back(buf);
+  std::snprintf(buf, sizeof buf, "%.1f", throughput.goodput_mbps());
+  row.emplace_back(buf);
+  std::snprintf(buf, sizeof buf, "%.1f",
+                snr_est_db.count() > 0 ? snr_est_db.mean() : 0.0);
+  row.emplace_back(buf);
+  return row;
+}
+
+LinkConfig::Builder LinkConfig::make() { return {}; }
+
+LinkConfig LinkConfig::Builder::build() const {
+  LinkConfig cfg = make_link_config(mcs_, snr_db_, nrx_);
+  if (nss_ != 0) {
+    cfg.channel.ntx = nss_;
+    if (nrx_ == 0) cfg.channel.nrx = nss_;
+  }
+  cfg.psdu_payload_bytes = payload_bytes_;
+  cfg.seed = seed_;
+  cfg.channel.fading = fading_;
+  cfg.channel.profile = profile_;
+  cfg.channel.cfo_norm = cfo_norm_;
+  cfg.channel.doppler_norm = doppler_norm_;
+  if (equalizer_) cfg.phy.equalizer = *equalizer_;
+  cfg.phy.stbc = stbc_;
+  cfg.phy.fec_enabled = fec_enabled_;
+  return cfg;
+}
+
+LinkSimulator::LinkSimulator(LinkConfig cfg)
+    : cfg_(cfg),
+      tx_(cfg.phy),
+      chan_(seeded_channel(cfg)),
+      rx_(cfg.phy, cfg.channel.nrx) {}
+
+LinkResult LinkSimulator::run(const RunOptions& opt, PacketObserver* observer) {
+  const std::size_t bound = (opt.target_per_events > 0 && opt.max_packets > 0)
+                                ? opt.max_packets
+                                : opt.n_packets;
+  LinkResult res;
+  if (bound == 0) return res;
+
+  const auto reached_target = [&] {
+    return opt.target_per_events > 0 && res.per.failures() >= opt.target_per_events;
+  };
+
+  std::size_t n_threads =
+      opt.n_threads != 0
+          ? opt.n_threads
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  n_threads = std::min(n_threads, bound);
+
+  if (n_threads <= 1) {
+    // Same per-packet path as the pool — merged in the same order — so a
+    // single-threaded run is bit-identical to any multi-threaded one.
+    for (std::size_t p = 0; p < bound; ++p) {
+      auto work = simulate_packet(cfg_, tx_, chan_, rx_, p);
+      res.merge(work.partial);
+      if (observer != nullptr) observer->on_packet(work.outcome);
+      if (reached_target()) break;
+    }
+    return res;
+  }
+
+  // Worker pool: worker w owns its own Transmitter/MimoChannel/Receiver and
+  // simulates packets p ≡ w (mod n_threads) in increasing order, feeding a
+  // bounded queue. The calling thread merges packet 0, 1, 2, ... in global
+  // order and runs the observer, so aggregates and observer semantics are
+  // exactly the single-threaded ones.
+  constexpr std::size_t kQueueDepth = 4;
+  std::vector<std::unique_ptr<BoundedQueue>> queues;
+  queues.reserve(n_threads);
+  for (std::size_t w = 0; w < n_threads; ++w) {
+    queues.push_back(std::make_unique<BoundedQueue>(kQueueDepth));
+  }
+
+  std::atomic<bool> stop{false};
+  std::mutex err_mutex;
+  std::exception_ptr worker_error;
+
+  std::vector<std::thread> workers;
+  workers.reserve(n_threads);
+  for (std::size_t w = 0; w < n_threads; ++w) {
+    workers.emplace_back([&, w] {
+      try {
+        const Transmitter tx(cfg_.phy);
+        channel::MimoChannel chan(seeded_channel(cfg_));
+        const Receiver rx(cfg_.phy, cfg_.channel.nrx);
+        for (std::size_t p = w; p < bound; p += n_threads) {
+          if (stop.load(std::memory_order_relaxed)) break;
+          auto work = simulate_packet(cfg_, tx, chan, rx, p);
+          if (!queues[w]->push(std::move(work))) break;
+        }
+      } catch (...) {
+        const std::lock_guard lk(err_mutex);
+        if (!worker_error) worker_error = std::current_exception();
+      }
+      queues[w]->close();
+    });
+  }
+
+  const auto shut_down = [&] {
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& q : queues) q->stop();
+    for (auto& t : workers) t.join();
+  };
+
+  bool worker_died = false;
+  try {
+    for (std::size_t p = 0; p < bound; ++p) {
+      auto work = queues[p % n_threads]->pop();
+      if (!work) {  // producer exited without delivering: it threw
+        worker_died = true;
+        break;
+      }
+      res.merge(work->partial);
+      if (observer != nullptr) observer->on_packet(work->outcome);
+      if (reached_target()) break;
+    }
+  } catch (...) {
+    shut_down();
+    throw;  // observer exception
+  }
+  shut_down();
+  if (worker_died && worker_error) std::rethrow_exception(worker_error);
   return res;
+}
+
+LinkResult LinkSimulator::run(std::size_t n_packets, const LegacyObserver& observer) {
+  LegacyAdapter adapter(observer);
+  return run(RunOptions{.n_packets = n_packets}, &adapter);
 }
 
 LinkConfig make_link_config(unsigned mcs, double snr_db, std::size_t nrx) {

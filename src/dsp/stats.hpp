@@ -10,6 +10,10 @@ namespace mimonet::dsp {
 class RunningStats {
  public:
   void add(double x) noexcept;
+  /// Fold another accumulator in (Chan et al. parallel combination).
+  /// merge()ing partials of a split stream matches the single-pass moments
+  /// up to floating-point rounding; counts and min/max match exactly.
+  void merge(const RunningStats& other) noexcept;
   void reset() noexcept { *this = RunningStats{}; }
 
   [[nodiscard]] std::size_t count() const noexcept { return n_; }
@@ -37,6 +41,8 @@ class Histogram {
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double x) noexcept;
+  /// Fold another histogram in; throws if the bin layouts differ.
+  void merge(const Histogram& other);
   [[nodiscard]] std::size_t total() const noexcept { return total_; }
   [[nodiscard]] const std::vector<std::size_t>& counts() const noexcept { return counts_; }
   [[nodiscard]] double bin_center(std::size_t i) const noexcept;

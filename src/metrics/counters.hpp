@@ -25,6 +25,8 @@ class BerCounter {
   void add(std::span<const std::uint8_t> reference, std::span<const std::uint8_t> received);
   /// Pre-counted errors.
   void add_counts(std::size_t errors, std::size_t bits) noexcept;
+  /// Fold another counter in (exact: pure integer sums).
+  void merge(const BerCounter& other) noexcept { add_counts(other.errors_, other.bits_); }
 
   [[nodiscard]] std::size_t bits() const noexcept { return bits_; }
   [[nodiscard]] std::size_t errors() const noexcept { return errors_; }
@@ -41,6 +43,11 @@ class BerCounter {
 class PerCounter {
  public:
   void add(bool packet_ok) noexcept;
+  /// Fold another counter in (exact: pure integer sums).
+  void merge(const PerCounter& other) noexcept {
+    packets_ += other.packets_;
+    failures_ += other.failures_;
+  }
 
   [[nodiscard]] std::size_t packets() const noexcept { return packets_; }
   [[nodiscard]] std::size_t failures() const noexcept { return failures_; }
@@ -57,6 +64,12 @@ class PerCounter {
 class EvmMeter {
  public:
   void add(dsp::cf32 observed, dsp::cf32 reference) noexcept;
+  /// Fold another meter in (error/reference energy sums).
+  void merge(const EvmMeter& other) noexcept {
+    err_ += other.err_;
+    ref_ += other.ref_;
+    n_ += other.n_;
+  }
 
   [[nodiscard]] std::size_t count() const noexcept { return n_; }
   /// RMS EVM as a fraction of RMS reference magnitude.
@@ -76,6 +89,11 @@ class ThroughputMeter {
   /// @param payload_bytes bytes delivered (0 for a lost packet)
   /// @param airtime_us    time the PPDU occupied the channel
   void add_packet(std::size_t payload_bytes, double airtime_us) noexcept;
+  /// Fold another meter in (delivered-bit and airtime sums).
+  void merge(const ThroughputMeter& other) noexcept {
+    delivered_bits_ += other.delivered_bits_;
+    airtime_us_ += other.airtime_us_;
+  }
 
   [[nodiscard]] double goodput_mbps() const noexcept;
   [[nodiscard]] double airtime_us() const noexcept { return airtime_us_; }

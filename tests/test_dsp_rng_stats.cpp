@@ -107,4 +107,59 @@ TEST(Histogram, RejectsBadRange) {
   EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
 }
 
+TEST(RunningStats, MergeMatchesSinglePassOnSplitStream) {
+  // Fill one accumulator with the whole stream, two with its halves; the
+  // merged pair must reproduce the single-pass moments.
+  RunningStats whole;
+  RunningStats lo;
+  RunningStats hi;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(0.7 * i) * (1.0 + 0.1 * i);
+    whole.add(x);
+    (i < 23 ? lo : hi).add(x);
+  }
+  lo.merge(hi);
+  EXPECT_EQ(lo.count(), whole.count());
+  EXPECT_EQ(lo.min(), whole.min());
+  EXPECT_EQ(lo.max(), whole.max());
+  EXPECT_NEAR(lo.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(lo.variance(), whole.variance(), 1e-12);
+  EXPECT_NEAR(lo.rms(), whole.rms(), 1e-12);
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats empty;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean = a.mean();
+  a.merge(empty);  // no-op
+  EXPECT_EQ(a.count(), 2U);
+  EXPECT_EQ(a.mean(), mean);
+  RunningStats b;
+  b.merge(a);  // adopt
+  EXPECT_EQ(b.count(), 2U);
+  EXPECT_EQ(b.mean(), mean);
+  EXPECT_EQ(b.min(), 1.0);
+  EXPECT_EQ(b.max(), 3.0);
+}
+
+TEST(Histogram, MergeSumsBinsAndRejectsMismatch) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 10);
+  Histogram whole(0.0, 10.0, 10);
+  for (int i = 0; i < 30; ++i) {
+    const double x = (i * 37) % 100 / 10.0;
+    whole.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.total(), whole.total());
+  EXPECT_EQ(a.counts(), whole.counts());
+  Histogram other_bins(0.0, 10.0, 5);
+  Histogram other_range(0.0, 5.0, 10);
+  EXPECT_THROW(a.merge(other_bins), std::invalid_argument);
+  EXPECT_THROW(a.merge(other_range), std::invalid_argument);
+}
+
 }  // namespace

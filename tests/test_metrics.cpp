@@ -88,4 +88,63 @@ TEST(ThroughputMeter, GoodputAccounting) {
   EXPECT_NEAR(tm.airtime_us(), 800.0, 1e-9);
 }
 
+TEST(BerCounter, MergeEqualsSinglePassOnSplitStream) {
+  BerCounter whole;
+  BerCounter a;
+  BerCounter b;
+  whole.add_counts(3, 1000);
+  whole.add_counts(7, 500);
+  a.add_counts(3, 1000);
+  b.add_counts(7, 500);
+  a.merge(b);
+  EXPECT_EQ(a.bits(), whole.bits());
+  EXPECT_EQ(a.errors(), whole.errors());
+  EXPECT_DOUBLE_EQ(a.ber(), whole.ber());
+}
+
+TEST(PerCounter, MergeEqualsSinglePassOnSplitStream) {
+  PerCounter whole;
+  PerCounter a;
+  PerCounter b;
+  const bool stream[] = {true, false, true, true, false, true, false};
+  for (std::size_t i = 0; i < std::size(stream); ++i) {
+    whole.add(stream[i]);
+    (i < 4 ? a : b).add(stream[i]);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.packets(), whole.packets());
+  EXPECT_EQ(a.failures(), whole.failures());
+  EXPECT_DOUBLE_EQ(a.per(), whole.per());
+}
+
+TEST(EvmMeter, MergeEqualsSinglePassOnSplitStream) {
+  EvmMeter whole;
+  EvmMeter a;
+  EvmMeter b;
+  for (int i = 0; i < 10; ++i) {
+    const cf32 obs{1.0F + 0.01F * static_cast<float>(i), 0.1F};
+    const cf32 ref{1.0F, 0.0F};
+    whole.add(obs, ref);
+    (i % 2 == 0 ? a : b).add(obs, ref);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_DOUBLE_EQ(a.evm_rms(), whole.evm_rms());
+}
+
+TEST(ThroughputMeter, MergeEqualsSinglePassOnSplitStream) {
+  ThroughputMeter whole;
+  ThroughputMeter a;
+  ThroughputMeter b;
+  whole.add_packet(1000, 400.0);
+  whole.add_packet(500, 300.0);
+  whole.add_packet(0, 200.0);
+  a.add_packet(1000, 400.0);
+  b.add_packet(500, 300.0);
+  b.add_packet(0, 200.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.goodput_mbps(), whole.goodput_mbps());
+  EXPECT_DOUBLE_EQ(a.airtime_us(), whole.airtime_us());
+}
+
 }  // namespace
