@@ -40,10 +40,11 @@ unsigned send_reliably(unsigned mcs, double snr, std::uint64_t seed, Tally& tall
                        double* est_snr_out) {
   constexpr unsigned kMaxTries = 10;
   for (unsigned attempt = 1; attempt <= kMaxTries; ++attempt) {
-    auto cfg = core::make_link_config(mcs, snr);
-    cfg.psdu_payload_bytes = 1200;
-    cfg.seed = seed * 16 + attempt;
-    core::LinkSimulator sim(cfg);
+    core::LinkSimulator sim(core::LinkConfig::make()
+                                .mcs(mcs)
+                                .snr_db(snr)
+                                .payload_bytes(1200)
+                                .seed(seed * 16 + attempt));
     bool got = false;
     const auto res = sim.run(1, [&](const core::RxPacket& pkt, const auto&) {
       got = true;

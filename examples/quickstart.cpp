@@ -12,10 +12,14 @@
 int main() {
   using namespace mimonet;
 
-  // MCS 8 = BPSK 1/2 over two spatial streams; 20 dB SNR, flat channel.
-  core::LinkConfig cfg = core::make_link_config(/*mcs=*/8, /*snr_db=*/20.0);
-  cfg.channel.cfo_norm = 1e-4;  // ~2 kHz-per-sample worth of CFO at 20 Msps
-  cfg.psdu_payload_bytes = 256;
+  // MCS 8 = BPSK 1/2 over two spatial streams; 20 dB SNR, flat channel,
+  // with ~2 kHz-per-sample worth of CFO at 20 Msps.
+  const core::LinkConfig cfg = core::LinkConfig::make()
+                                   .mcs(8)
+                                   .snr_db(20.0)
+                                   .cfo_norm(1e-4)
+                                   .payload_bytes(256)
+                                   .build();
 
   core::Transmitter tx(cfg.phy);
   channel::MimoChannel air(cfg.channel);
