@@ -55,8 +55,7 @@ int main() {
     for (int k = -26; k <= 26; k += 4) {
       if (k == 0) continue;
       const auto bin = ofdm::SubcarrierMap::logical_to_bin(k);
-      std::printf("%5.1f", snapshot.per_bin_db.empty() ? 0.0
-                                                       : snapshot.per_bin_db[bin]);
+      std::printf("%5.1f", snapshot.bin_valid(bin) ? snapshot.per_bin_db[bin] : 0.0);
     }
     std::printf("\n");
   }

@@ -40,6 +40,7 @@ int main() {
     for (int k = -26; k <= 26; k += 2) {
       if (k == 0) continue;
       const auto bin = ofdm::SubcarrierMap::logical_to_bin(k);
+      if (!pkt.snr.bin_valid(bin)) continue;
       const double db = pkt.snr.per_bin_db[bin];
       const int bars = std::max(0, static_cast<int>(db / 2.0));
       std::printf("  k=%+3d %6.1f dB |%s\n", k, db, std::string(bars, '#').c_str());

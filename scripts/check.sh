@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Full local verification matrix: plain, ASan+UBSan, and TSan builds, each
+# running the complete ctest suite (unit tests, stress harness, integration).
+# This is the correctness gate every performance PR runs against:
+#
+#   scripts/check.sh            # all three configurations
+#   scripts/check.sh plain      # just the plain build
+#   scripts/check.sh asan tsan  # any subset, in order
+#
+# Build trees are kept per-configuration (build/, build-asan/, build-tsan/)
+# so incremental re-runs are cheap.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+configs=("$@")
+if [ ${#configs[@]} -eq 0 ]; then
+  configs=(plain asan tsan)
+fi
+
+run_config() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "==== [$name] configure ===="
+  cmake -B "$dir" -S . "$@" > "$dir.configure.log" 2>&1 || {
+    cat "$dir.configure.log"; return 1; }
+  echo "==== [$name] build ===="
+  cmake --build "$dir" -j > "$dir.build.log" 2>&1 || {
+    tail -50 "$dir.build.log"; return 1; }
+  echo "==== [$name] ctest ===="
+  ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+}
+
+for cfg in "${configs[@]}"; do
+  case "$cfg" in
+    plain)
+      run_config plain build ;;
+    asan)
+      # halt_on_error keeps UBSan findings fatal even where
+      # -fno-sanitize-recover is not honored by the toolchain.
+      UBSAN_OPTIONS="print_stacktrace=1" \
+      run_config asan+ubsan build-asan -DMIMONET_ASAN=ON -DMIMONET_UBSAN=ON ;;
+    tsan)
+      run_config tsan build-tsan -DMIMONET_TSAN=ON ;;
+    *)
+      echo "unknown config: $cfg (want plain|asan|tsan)" >&2; exit 2 ;;
+  esac
+done
+
+echo "==== all requested configurations clean ===="

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -18,13 +19,29 @@ namespace mimonet::chanest {
 using dsp::cf32;
 
 /// Result of an SNR measurement.
+///
+/// Per-bin convention: estimates are clamped to +/-kPerBinCeilingDb so a
+/// bin with zero measured error energy reports the ceiling (not a silent
+/// 0 dB, which would be indistinguishable from a genuinely 0 dB bin), and
+/// bins without a usable estimate (unoccupied, or fewer than 2 samples)
+/// hold quiet NaN with per_bin_valid[b] == 0. Always consult bin_valid()
+/// before reading per_bin_db.
 struct SnrEstimate {
+  /// Clamp for per-bin (and degenerate wideband) SNR magnitudes, dB.
+  static constexpr double kPerBinCeilingDb = 60.0;
+
   double snr_db = 0.0;
   double signal_power = 0.0;
   double noise_variance = 0.0;
   /// Per-subcarrier SNR in dB (empty for wideband-only estimates), indexed
-  /// by FFT bin; unoccupied bins hold 0.
+  /// by FFT bin; NaN where per_bin_valid is 0.
   std::vector<double> per_bin_db;
+  /// 1 where per_bin_db carries a real estimate; same size as per_bin_db.
+  std::vector<std::uint8_t> per_bin_valid;
+
+  [[nodiscard]] bool bin_valid(std::size_t b) const noexcept {
+    return b < per_bin_valid.size() && per_bin_valid[b] != 0;
+  }
 };
 
 /// Wideband + per-subcarrier SNR from the two L-LTF periods.
@@ -39,9 +56,10 @@ class EvmSnrEstimator {
  public:
   EvmSnrEstimator();
 
-  /// Wideband observation.
+  /// Wideband observation. Non-finite pairs are erasures: ignored entirely
+  /// so one poisoned sample cannot turn the whole estimate into NaN.
   void add(cf32 observed, cf32 reference) noexcept;
-  /// Per-subcarrier observation (bin < 64).
+  /// Per-subcarrier observation (bin < 64); same erasure rule.
   void add(std::size_t bin, cf32 observed, cf32 reference) noexcept;
 
   [[nodiscard]] std::size_t count() const noexcept { return count_; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "dsp/rng.hpp"
 #include "dsp/vector_ops.hpp"
@@ -14,6 +15,11 @@ double apply_cfo(std::span<cf32> x, double cfo_norm, double phase0) noexcept {
 
 std::vector<cf32> apply_sfo(std::span<const cf32> x, double sfo_ppm) {
   const double step = 1.0 + sfo_ppm * 1e-6;
+  // A non-positive step would pin `pos` forever (infinite loop) and a
+  // non-finite one would make the size_t cast below undefined.
+  if (!(step > 0.0) || !std::isfinite(step)) {
+    throw std::invalid_argument("apply_sfo: sfo_ppm must stay above -1e6");
+  }
   std::vector<cf32> out;
   out.reserve(x.size());
   double pos = 0.0;
@@ -36,6 +42,28 @@ void quantize(std::span<cf32> x, unsigned bits, float full_scale) noexcept {
     return std::round(clipped / lsb) * lsb;
   };
   for (auto& v : x) v = cf32(q(v.real()), q(v.imag()));
+}
+
+void apply_clipping(std::span<cf32> x, float clip_level) noexcept {
+  if (!(clip_level > 0.0F)) return;
+  const float limit_sqr = clip_level * clip_level;
+  for (auto& v : x) {
+    const float p = dsp::mag_sqr(v);
+    if (!std::isfinite(p)) {
+      // A saturating front end cannot emit NaN/Inf: pin the sample to full
+      // scale (phase is unrecoverable, so use the positive real rail).
+      v = cf32{clip_level, 0.0F};
+    } else if (p > limit_sqr) {
+      v *= clip_level / std::sqrt(p);
+    }
+  }
+}
+
+void apply_burst_erasure(std::span<cf32> x, std::size_t start,
+                         std::size_t len) noexcept {
+  if (start >= x.size()) return;
+  const std::size_t n = std::min(len, x.size() - start);
+  std::fill_n(x.begin() + static_cast<std::ptrdiff_t>(start), n, cf32{0.0F, 0.0F});
 }
 
 std::vector<cf32> pad_with_noise(std::span<const cf32> x, std::size_t count,

@@ -26,6 +26,18 @@ double apply_cfo(std::span<cf32> x, double cfo_norm, double phase0 = 0.0) noexce
 /// +full_scale] per I/Q rail (values beyond clip).
 void quantize(std::span<cf32> x, unsigned bits, float full_scale) noexcept;
 
+/// Hard amplitude clipping: any sample with |x| > clip_level is scaled back
+/// onto the circle of radius clip_level (saturating PA / ADC front end).
+/// clip_level <= 0 is a no-op.
+void apply_clipping(std::span<cf32> x, float clip_level) noexcept;
+
+/// Burst erasure: zero the samples in [start, start + len), clamped to the
+/// span — a blanked AGC window or a colliding interferer notch. Degenerate
+/// by design: erasing the preamble or LTF region hands the receiver
+/// exactly-zero inputs, the corner the stress harness drives.
+void apply_burst_erasure(std::span<cf32> x, std::size_t start,
+                         std::size_t len) noexcept;
+
 /// Prepend `count` samples drawn from CN(0, noise_var) (idle-air noise before
 /// the packet) and append `tail` more after it.
 [[nodiscard]] std::vector<cf32> pad_with_noise(std::span<const cf32> x,

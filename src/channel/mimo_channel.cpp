@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "dsp/fir.hpp"
+#include "dsp/vector_ops.hpp"
 
 namespace mimonet::channel {
 
@@ -19,6 +20,12 @@ MimoChannel::MimoChannel(ChannelConfig cfg)
   }
   if (cfg.doppler_norm < 0.0) {
     throw std::invalid_argument("MimoChannel: negative doppler");
+  }
+  if (!(cfg.power_scale >= 0.0) || !std::isfinite(cfg.power_scale)) {
+    throw std::invalid_argument("MimoChannel: power_scale must be finite and >= 0");
+  }
+  if (!std::isfinite(cfg.clip_level) || cfg.clip_level < 0.0F) {
+    throw std::invalid_argument("MimoChannel: clip_level must be finite and >= 0");
   }
   current_ = cfg.fading ? fading_.next() : identity_channel(cfg.ntx);
 }
@@ -94,6 +101,9 @@ std::vector<std::vector<cf32>> MimoChannel::transmit(
     // One local oscillator per device: the same CFO on every RX antenna.
     if (cfg_.cfo_norm != 0.0) apply_cfo(acc, cfg_.cfo_norm);
     if (cfg_.sfo_ppm != 0.0) acc = apply_sfo(acc, cfg_.sfo_ppm);
+    if (cfg_.power_scale != 1.0) {
+      dsp::scale(acc, static_cast<float>(cfg_.power_scale));
+    }
 
     // Timing pad (noise-only air before/after the burst), then AWGN over
     // the whole capture.
@@ -102,7 +112,11 @@ std::vector<std::vector<cf32>> MimoChannel::transmit(
     noise_.add_to(
         std::span(capture).subspan(cfg_.timing_pad, capture.size() - cfg_.timing_pad -
                                                         cfg_.tail_pad));
+    if (cfg_.clip_level > 0.0F) apply_clipping(capture, cfg_.clip_level);
     if (cfg_.adc_bits != 0) quantize(capture, cfg_.adc_bits, cfg_.adc_full_scale);
+    if (cfg_.erasure_len != 0) {
+      apply_burst_erasure(capture, cfg_.erasure_start, cfg_.erasure_len);
+    }
     rx[r] = std::move(capture);
   }
 

@@ -39,6 +39,20 @@ struct ChannelConfig {
   std::size_t tail_pad = 0;   ///< noise-only samples after the packet
   unsigned adc_bits = 0;      ///< 0 = ideal front end
   float adc_full_scale = 4.0F;
+  // Degenerate-corner impairments, so the receiver's edge cases (zero-power
+  // spans, saturated front ends, exactly-zero preamble regions) are
+  // reachable from the link engine and not just from hand-built captures.
+  /// Amplitude scale on the faded signal before noise: 1 = nominal, 0 = a
+  /// zero-power packet (the capture is pure noise of the configured level).
+  double power_scale = 1.0;
+  /// Hard amplitude clip radius applied to the whole capture after AWGN
+  /// (saturating PA/AGC). 0 = off.
+  float clip_level = 0.0F;
+  /// Burst erasure: zero `erasure_len` samples of every RX capture starting
+  /// at `erasure_start` (capture-relative, i.e. including timing_pad).
+  /// Models a blanked AGC window; len 0 = off.
+  std::size_t erasure_start = 0;
+  std::size_t erasure_len = 0;
   std::uint64_t seed = 1;
 };
 

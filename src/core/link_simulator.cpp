@@ -21,19 +21,11 @@ namespace {
 
 constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
 
-/// splitmix64 finalizer: full-avalanche 64-bit mixing.
-std::uint64_t mix64(std::uint64_t x) {
-  x += kGolden;
-  x = (x ^ (x >> 30U)) * 0xBF58476D1CE4E5B9ULL;
-  x = (x ^ (x >> 27U)) * 0x94D049BB133111EBULL;
-  return x ^ (x >> 31U);
-}
-
 /// Every random draw for packet p flows from this value: unique per
 /// (link seed, packet index) and independent of simulation history, which
 /// is what makes the engine thread-count invariant.
 std::uint64_t packet_seed(std::uint64_t link_seed, std::size_t p) {
-  return mix64(link_seed ^ mix64(static_cast<std::uint64_t>(p) + 1));
+  return dsp::splitmix64(link_seed ^ dsp::splitmix64(static_cast<std::uint64_t>(p) + 1));
 }
 
 /// Fold the link-level seed into the channel's, so varying LinkConfig::seed

@@ -13,6 +13,17 @@
 
 namespace mimonet::dsp {
 
+/// splitmix64 finalizer: full-avalanche 64-bit mixing. This is the seed
+/// derivation primitive shared by the Monte-Carlo engine (per-packet seeds)
+/// and the stress harness (per-case adversarial draws): unique outputs per
+/// distinct input, independent of call history.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30U)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27U)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31U);
+}
+
 /// Circularly-symmetric complex Gaussian source, CN(0, variance) where
 /// `variance` is the *total* complex variance E[|x|^2].
 class ComplexGaussian {

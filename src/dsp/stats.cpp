@@ -58,9 +58,17 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) noexcept {
+  // NaN would make the float->long cast below undefined; +/-inf is defined
+  // to land in the edge bins like any other out-of-range sample.
+  if (std::isnan(x)) return;
   const double t = (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size());
-  auto idx = static_cast<long>(std::floor(t));
-  idx = std::clamp<long>(idx, 0, static_cast<long>(counts_.size()) - 1);
+  long idx = 0;
+  if (t >= static_cast<double>(counts_.size())) {
+    idx = static_cast<long>(counts_.size()) - 1;
+  } else if (t > 0.0) {
+    idx = static_cast<long>(std::floor(t));
+    idx = std::clamp<long>(idx, 0, static_cast<long>(counts_.size()) - 1);
+  }
   ++counts_[static_cast<std::size_t>(idx)];
   ++total_;
 }

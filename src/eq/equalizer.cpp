@@ -7,6 +7,31 @@
 
 namespace mimonet::eq {
 
+namespace {
+
+// A non-finite channel estimate or observation (NaN/Inf leaking in from a
+// degenerate capture) survives the matrix algebra without throwing; collapse
+// any non-finite result to the erasure convention so downstream demapping
+// never sees NaN symbols or CSI.
+[[nodiscard]] bool all_finite(const EqualizedCarrier& c) noexcept {
+  for (const auto& s : c.symbols) {
+    if (!std::isfinite(s.real()) || !std::isfinite(s.imag())) return false;
+  }
+  for (const float nv : c.noise_vars) {
+    if (!std::isfinite(nv)) return false;
+  }
+  return true;
+}
+
+[[nodiscard]] EqualizedCarrier erased_carrier(std::size_t nss) {
+  EqualizedCarrier erased;
+  erased.symbols.assign(nss, cf32{0.0F, 0.0F});
+  erased.noise_vars.assign(nss, kErasedNoiseVar);
+  return erased;
+}
+
+}  // namespace
+
 std::string_view equalizer_name(EqualizerType t) noexcept {
   switch (t) {
     case EqualizerType::kZeroForcing: return "ZF";
@@ -33,7 +58,17 @@ EqualizedCarrier LinearEqualizer::equalize(const CMatrix& h, std::span<const cf3
   if (type_ == EqualizerType::kMmse) {
     a.add_diagonal(cf64{static_cast<double>(noise_var), 0.0});
   }
-  const CMatrix a_inv = a.inverse();
+  // A rank-deficient channel (e.g. an erased LTF region estimating H = 0)
+  // makes the Gram matrix singular. That is a property of the input, not a
+  // programming error: report the carrier as an erasure — zero symbols with
+  // effectively infinite noise — so the LLRs it produces carry no weight
+  // and the receiver chain keeps going instead of unwinding mid-packet.
+  CMatrix a_inv(nss, nss);
+  try {
+    a_inv = a.inverse();
+  } catch (const std::runtime_error&) {
+    return erased_carrier(nss);
+  }
   const CMatrix w = a_inv * hh;  // nss x nrx
 
   std::vector<cf64> y64(nrx);
@@ -52,7 +87,7 @@ EqualizedCarrier LinearEqualizer::equalize(const CMatrix& h, std::span<const cf3
       out.noise_vars[i] =
           std::max(static_cast<float>(noise_var * a_inv(i, i).real()), 1e-12F);
     }
-    return out;
+    return all_finite(out) ? out : erased_carrier(nss);
   }
 
   // MMSE: bias-correct by the diagonal of G = W H, and account for residual
@@ -73,7 +108,7 @@ EqualizedCarrier LinearEqualizer::equalize(const CMatrix& h, std::span<const cf3
     out.noise_vars[i] = std::max(
         static_cast<float>((interference + noise) / std::max(gain_sqr, 1e-30)), 1e-12F);
   }
-  return out;
+  return all_finite(out) ? out : erased_carrier(nss);
 }
 
 MlDetector::MlDetector(const mod::Constellation& constellation, std::size_t nss)
@@ -129,7 +164,10 @@ void MlDetector::demap(const CMatrix& h, std::span<const cf32> y, float noise_va
 
   const double inv_nv = 1.0 / std::max(static_cast<double>(noise_var), 1e-12);
   for (std::size_t i = 0; i < total_bits; ++i) {
-    llr_out[i] = static_cast<float>((min1[i] - min0[i]) * inv_nv);
+    const double llr = (min1[i] - min0[i]) * inv_nv;
+    // Same erasure convention as Constellation::demap_soft: a non-finite
+    // hypothesis distance (NaN/Inf input) must not emit NaN LLRs.
+    llr_out[i] = std::isfinite(llr) ? static_cast<float>(llr) : 0.0F;
   }
 }
 
@@ -142,9 +180,15 @@ std::vector<double> post_eq_sinr_db(const CMatrix& h, float noise_var,
 
   switch (type) {
     case EqualizerType::kZeroForcing: {
-      const CMatrix inv = gram.inverse();
-      for (std::size_t i = 0; i < nss; ++i) {
-        sinr[i] = 1.0 / (nv * inv(i, i).real());
+      try {
+        const CMatrix inv = gram.inverse();
+        for (std::size_t i = 0; i < nss; ++i) {
+          sinr[i] = 1.0 / (nv * inv(i, i).real());
+        }
+      } catch (const std::runtime_error&) {
+        // Rank-deficient channel: ZF cannot separate the streams at all;
+        // report the floor instead of propagating the failure.
+        std::fill(sinr.begin(), sinr.end(), 0.0);
       }
       break;
     }
@@ -155,9 +199,14 @@ std::vector<double> post_eq_sinr_db(const CMatrix& h, float noise_var,
         for (std::size_t c = 0; c < nss; ++c) b(r, c) = gram(r, c) / nv;
       }
       b.add_diagonal(cf64{1.0, 0.0});
-      const CMatrix inv = b.inverse();
-      for (std::size_t i = 0; i < nss; ++i) {
-        sinr[i] = 1.0 / inv(i, i).real() - 1.0;
+      try {
+        const CMatrix inv = b.inverse();
+        for (std::size_t i = 0; i < nss; ++i) {
+          sinr[i] = 1.0 / inv(i, i).real() - 1.0;
+        }
+      } catch (const std::runtime_error&) {
+        // I + H^H H / nv is singular only for a non-finite H: floor it.
+        std::fill(sinr.begin(), sinr.end(), 0.0);
       }
       break;
     }
@@ -169,7 +218,10 @@ std::vector<double> post_eq_sinr_db(const CMatrix& h, float noise_var,
       break;
     }
   }
-  for (auto& s : sinr) s = dsp::to_db(std::max(s, 1e-12));
+  for (auto& s : sinr) {
+    if (!std::isfinite(s)) s = 0.0;  // non-finite H/nv: report the floor
+    s = dsp::to_db(std::max(s, 1e-12));
+  }
   return sinr;
 }
 

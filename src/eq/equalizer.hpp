@@ -20,6 +20,11 @@ enum class EqualizerType : std::uint8_t { kZeroForcing, kMmse, kMaxLikelihood };
 
 [[nodiscard]] std::string_view equalizer_name(EqualizerType t) noexcept;
 
+/// Noise variance reported for a stream that could not be equalized (the
+/// channel matrix was singular, e.g. after a burst erasure zeroed the LTFs):
+/// large enough to null the LLRs, finite so downstream math stays defined.
+inline constexpr float kErasedNoiseVar = 1e12F;
+
 /// Output of linear equalization on one subcarrier.
 struct EqualizedCarrier {
   /// Per-stream symbol estimates, bias-corrected (unit signal gain).

@@ -1,12 +1,18 @@
 #include "metrics/counters.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 namespace mimonet::metrics {
 
 Interval wilson_interval(std::size_t successes, std::size_t trials) {
+  // Zero trials carries no information: the degenerate full interval, not
+  // the NaN a naive 0/0 would produce downstream in bench tables.
   if (trials == 0) return {0.0, 1.0};
+  // successes > trials would push p past 1 and the half-width under a
+  // negative square root (NaN); clamp to the boundary instead.
+  successes = std::min(successes, trials);
   constexpr double z = 1.96;  // 95%
   const double n = static_cast<double>(trials);
   const double p = static_cast<double>(successes) / n;
@@ -70,6 +76,8 @@ void ThroughputMeter::add_packet(std::size_t payload_bytes, double airtime_us) n
 }
 
 double ThroughputMeter::goodput_mbps() const noexcept {
+  // Zero (or never-accumulated) airtime must yield a defined 0.0, not the
+  // NaN/Inf that would otherwise leak into LinkResult::summary_row tables.
   return (airtime_us_ > 0.0) ? delivered_bits_ / airtime_us_ : 0.0;
 }
 

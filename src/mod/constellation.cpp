@@ -139,7 +139,11 @@ void Constellation::demap_soft(cf32 y, float noise_var, std::span<float> llr_out
   }
   const float inv_nv = 1.0F / std::max(noise_var, 1e-12F);
   for (unsigned b = 0; b < bps_; ++b) {
-    llr_out[b] = (min1[b] - min0[b]) * inv_nv;
+    const float llr = (min1[b] - min0[b]) * inv_nv;
+    // A non-finite observation (NaN/Inf leaking through the channel) leaves
+    // both minima at +inf; emit an erasure rather than NaN so the FEC
+    // decoders always see defined branch metrics.
+    llr_out[b] = std::isfinite(llr) ? llr : 0.0F;
   }
 }
 

@@ -67,6 +67,10 @@ std::optional<FineSyncResult> FineSynchronizer::locate(
   if (best_k < kGuard) return std::nullopt;  // LTF cannot start before the span
   res.lltf_start = best_k - kGuard;
   res.peak = best / std::max(denom, 1e-30);
+  // Poisoned samples inside the normalization window (but outside every
+  // correlation peak) can turn the energy sum non-finite: that is not a
+  // usable lock, not a crash.
+  if (!std::isfinite(res.peak)) return std::nullopt;
   res.cfo_norm = estimate_cfo(rx_antennas, best_k);
   return res;
 }
@@ -86,6 +90,9 @@ double FineSynchronizer::estimate_cfo(
   // first * conj(second) rotates by +2*pi*cfo*64, so cfo = +angle/(2*pi*64)
   // with the conjugation order used by dot_conj(a, b) = sum a*conj(b):
   // x(k) conj(x(k+64)) = |s|^2 e^{-j 2 pi cfo 64}.
+  // A non-finite accumulator (NaN/Inf samples in the LTF window) carries no
+  // phase information; report zero offset rather than NaN.
+  if (!std::isfinite(acc.real()) || !std::isfinite(acc.imag())) return 0.0;
   return -std::arg(acc) / (dsp::two_pi_d * static_cast<double>(kPeriod));
 }
 

@@ -67,7 +67,15 @@ VdbEstimate VanDeBeekEstimator::estimate_mimo(
         }
       }
     }
-    const double metric = std::abs(gamma) - cfg_.rho * phi;
+    double metric = std::abs(gamma) - cfg_.rho * phi;
+    if (!std::isfinite(metric)) {
+      // Non-finite samples (railed/poisoned captures) poison gamma and Phi
+      // for every window covering them. Record a defined "no evidence"
+      // value instead, so the exported trace is NaN-free and the argmax
+      // never has to compare against NaN.
+      metric = std::numeric_limits<double>::lowest();
+      gamma = dsp::cf64{0.0, 0.0};
+    }
     best.trace[m] = metric;
     if (metric > best_metric) {
       best_metric = metric;

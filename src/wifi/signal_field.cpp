@@ -1,6 +1,7 @@
 #include "wifi/signal_field.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "fec/convolutional.hpp"
@@ -131,7 +132,10 @@ std::vector<float> demap_sig_field(std::span<const cf32> carriers, float noise_v
   for (std::size_t i = 0; i < carriers.size(); ++i) {
     const float axis = qbpsk ? carriers[i].imag() : carriers[i].real();
     // Positive LLR = bit 0 more likely; bit 0 maps to -1 on the axis.
-    llrs[i] = -axis * inv_nv;
+    // Non-finite observations become erasures so the Viterbi branch
+    // metrics stay defined.
+    const float llr = -axis * inv_nv;
+    llrs[i] = std::isfinite(llr) ? llr : 0.0F;
   }
   const LegacyInterleaver il(1);
   return il.deinterleave(llrs);

@@ -1,0 +1,177 @@
+// Stress: channel estimation, SNR estimation and equalization against
+// degenerate grids — all-zero LTFs (rank-zero channels), saturating and
+// NaN/Inf-poisoned observations, zero and huge noise variances. Contract:
+// no throw escapes, outputs are finite or follow the documented erasure /
+// validity-mask conventions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chanest/ls_estimator.hpp"
+#include "chanest/snr_estimator.hpp"
+#include "eq/equalizer.hpp"
+#include "mod/constellation.hpp"
+#include "stress_util.hpp"
+#include "wifi/preamble.hpp"
+
+namespace {
+
+using namespace mimonet;
+using dsp::cf32;
+using stress::SeedStream;
+
+constexpr std::uint64_t kSuiteSeed = 0x5717C45EED0002ULL;
+
+std::vector<std::vector<cf32>> lltf_payload_set(std::uint64_t case_seed) {
+  std::vector<std::vector<cf32>> set;
+  set.push_back(stress::all_zero(128));
+  set.push_back(stress::dc_only(128));
+  set.push_back(stress::random_signal(128, case_seed));
+  set.push_back(stress::saturating(128, case_seed + 1));
+  auto poisoned = stress::random_signal(128, case_seed + 2);
+  stress::inject_non_finite(poisoned, case_seed + 3);
+  set.push_back(std::move(poisoned));
+  return set;
+}
+
+void expect_sane(const chanest::SnrEstimate& est) {
+  EXPECT_TRUE(std::isfinite(est.snr_db));
+  EXPECT_LE(std::abs(est.snr_db), chanest::SnrEstimate::kPerBinCeilingDb);
+  ASSERT_EQ(est.per_bin_db.size(), est.per_bin_valid.size());
+  for (std::size_t b = 0; b < est.per_bin_db.size(); ++b) {
+    if (est.bin_valid(b)) {
+      EXPECT_TRUE(std::isfinite(est.per_bin_db[b]));
+      EXPECT_LE(std::abs(est.per_bin_db[b]),
+                chanest::SnrEstimate::kPerBinCeilingDb);
+    } else {
+      EXPECT_TRUE(std::isnan(est.per_bin_db[b]));
+    }
+  }
+}
+
+TEST(StressChanest, SnrFromLltfSurvivesAdversarialPayloads) {
+  std::uint64_t c = 0;
+  for (const auto& x : lltf_payload_set(kSuiteSeed + 16 * c++)) {
+    const std::span<const cf32> spans[] = {std::span<const cf32>(x),
+                                           std::span<const cf32>(x)};
+    expect_sane(chanest::snr_from_lltf(spans));
+  }
+}
+
+TEST(StressChanest, EvmEstimatorSurvivesAdversarialPairs) {
+  SeedStream s(kSuiteSeed + 100);
+  chanest::EvmSnrEstimator evm;
+  constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  const cf32 poison[] = {{kNan, 0.0F}, {kInf, -kInf}, {1e38F, 1e38F},
+                         {0.0F, 0.0F}};
+  for (int i = 0; i < 500; ++i) {
+    const auto obs = (i % 7 == 0) ? poison[s.index(4)] : s.sample();
+    const auto ref = (i % 11 == 0) ? cf32{0.0F, 0.0F} : s.sample();
+    evm.add(s.index(64), obs, ref);
+    evm.add(obs, ref);
+  }
+  expect_sane(evm.estimate());
+}
+
+TEST(StressChanest, LsEstimatorSurvivesDegenerateGrids) {
+  for (const std::size_t nss : {std::size_t{1}, std::size_t{2}}) {
+    const std::size_t nrx = 2;
+    const std::size_t n_ltf = wifi::num_ht_ltfs(nss);
+    const chanest::LsChannelEstimator ls(nrx, nss);
+    std::uint64_t c = 0;
+    for (const int shape : {0, 1, 2}) {
+      SeedStream s(kSuiteSeed + 200 + 16 * c++);
+      std::vector<std::vector<std::vector<cf32>>> grids(
+          nrx, std::vector<std::vector<cf32>>(n_ltf, std::vector<cf32>(64)));
+      for (auto& rx : grids) {
+        for (auto& sym : rx) {
+          for (auto& bin : sym) {
+            bin = (shape == 0) ? cf32{0.0F, 0.0F}
+                               : (shape == 1) ? cf32{4.0F, -4.0F} : s.sample();
+          }
+        }
+      }
+      const auto est = ls.estimate(grids);
+      ASSERT_EQ(est.h.size(), nrx);
+      for (const auto& rx : est.h) {
+        ASSERT_EQ(rx.size(), nss);
+        for (const auto& ss : rx) {
+          EXPECT_TRUE(stress::all_finite(ss));
+        }
+      }
+      // Smoothing over a degenerate estimate must stay defined too.
+      auto smoothed = est;
+      const auto bins = ofdm::SubcarrierMap(ofdm::CarrierPlan::kHt).data_bins();
+      chanest::smooth_frequency(smoothed, bins);
+      for (const auto& rx : smoothed.h) {
+        for (const auto& ss : rx) EXPECT_TRUE(stress::all_finite(ss));
+      }
+    }
+  }
+}
+
+TEST(StressEq, LinearEqualizersSurviveDegenerateChannels) {
+  SeedStream s(kSuiteSeed + 300);
+  constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+  for (const auto type :
+       {eq::EqualizerType::kZeroForcing, eq::EqualizerType::kMmse}) {
+    const eq::LinearEqualizer lin(type);
+    for (int shape = 0; shape < 4; ++shape) {
+      eq::CMatrix h(2, 2);
+      for (std::size_t r = 0; r < 2; ++r) {
+        for (std::size_t cc = 0; cc < 2; ++cc) {
+          switch (shape) {
+            case 0: h(r, cc) = dsp::cf64{0.0, 0.0}; break;            // rank 0
+            case 1: h(r, cc) = dsp::cf64{1.0, 0.0}; break;            // rank 1
+            case 2: h(r, cc) = dsp::cf64{kNan, kNan}; break;          // poisoned
+            default: h(r, cc) = dsp::cf64(s.sample()); break;         // generic
+          }
+        }
+      }
+      const cf32 ys[] = {{0.0F, 0.0F}, {kNan, 1.0F}, {1e38F, -1e38F},
+                         s.sample()};
+      for (const auto y0 : ys) {
+        const cf32 y[] = {y0, s.sample()};
+        for (const float nv : {0.0F, 1e-30F, 0.01F, 1e38F}) {
+          const auto out = lin.equalize(h, y, nv);
+          ASSERT_EQ(out.symbols.size(), 2U);
+          ASSERT_EQ(out.noise_vars.size(), 2U);
+          for (std::size_t i = 0; i < 2; ++i) {
+            EXPECT_TRUE(stress::is_finite(out.symbols[i]));
+            EXPECT_TRUE(std::isfinite(out.noise_vars[i]));
+            EXPECT_GT(out.noise_vars[i], 0.0F);
+          }
+        }
+      }
+      for (const float nv : {0.0F, 0.01F, 1e38F}) {
+        for (const double sdb : eq::post_eq_sinr_db(h, nv, type)) {
+          EXPECT_TRUE(std::isfinite(sdb));
+        }
+      }
+    }
+  }
+}
+
+TEST(StressEq, MlDetectorSurvivesDegenerateChannels) {
+  SeedStream s(kSuiteSeed + 400);
+  constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+  const mod::Constellation qpsk(mod::Modulation::kQpsk);
+  const eq::MlDetector ml(qpsk, 2);
+  std::vector<float> llrs(2 * qpsk.bits_per_symbol());
+  for (int shape = 0; shape < 3; ++shape) {
+    eq::CMatrix h(2, 2);
+    for (std::size_t r = 0; r < 2; ++r) {
+      for (std::size_t cc = 0; cc < 2; ++cc) {
+        h(r, cc) = (shape == 0) ? dsp::cf64{0.0, 0.0}
+                                : (shape == 1) ? dsp::cf64{kNan, 0.0}
+                                               : dsp::cf64(s.sample());
+      }
+    }
+    const cf32 y[] = {{kNan, kNan}, {1e38F, 1e38F}};
+    ml.demap(h, y, 0.0F, llrs);
+    EXPECT_TRUE(stress::all_finite(llrs));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,103 @@
+// Stress: the measurement layer against degenerate accounting — empty
+// counters, zero denominators, non-finite observations, merges of
+// degenerate halves. Contract: every reported number is finite and inside
+// its documented range.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "dsp/stats.hpp"
+#include "metrics/counters.hpp"
+#include "stress_util.hpp"
+
+namespace {
+
+using namespace mimonet;
+using stress::SeedStream;
+
+constexpr std::uint64_t kSuiteSeed = 0x5717C45EED0004ULL;
+
+TEST(StressMetrics, CountersSurviveDegenerateAccounting) {
+  SeedStream s(kSuiteSeed);
+  metrics::BerCounter ber;
+  metrics::PerCounter per;
+  metrics::ThroughputMeter tpt;
+  // Empty state first: everything must already be defined.
+  EXPECT_TRUE(std::isfinite(ber.ber()));
+  EXPECT_TRUE(std::isfinite(per.per()));
+  EXPECT_TRUE(std::isfinite(tpt.goodput_mbps()));
+
+  for (int i = 0; i < 300; ++i) {
+    ber.add_counts(s.index(5), s.index(3) * s.index(100));  // often 0 bits
+    per.add(s.index(2) != 0);
+    tpt.add_packet(s.index(2) * s.index(1500), 0.0);  // zero airtime packets
+    metrics::BerCounter other;  // merge an empty half every iteration
+    ber.merge(other);
+    EXPECT_TRUE(std::isfinite(ber.ber()));
+    EXPECT_TRUE(std::isfinite(tpt.goodput_mbps()));
+    const auto ci = ber.confidence();
+    EXPECT_TRUE(std::isfinite(ci.lo));
+    EXPECT_TRUE(std::isfinite(ci.hi));
+    EXPECT_LE(ci.lo, ci.hi);
+    EXPECT_GE(ci.lo, 0.0);
+    EXPECT_LE(ci.hi, 1.0);
+  }
+}
+
+TEST(StressMetrics, WilsonIntervalSurvivesBoundaryCounts) {
+  const std::vector<std::pair<std::size_t, std::size_t>> cases{
+      {0, 0},
+      {0, 1},
+      {1, 1},
+      {5, 3},  // merge bugs can produce successes > trials
+      {std::size_t{1} << 62, std::size_t{1} << 62}};
+  for (const auto& [succ, trials] : cases) {
+    const auto ci = metrics::wilson_interval(succ, trials);
+    EXPECT_TRUE(std::isfinite(ci.lo));
+    EXPECT_TRUE(std::isfinite(ci.hi));
+    EXPECT_GE(ci.lo, 0.0);
+    EXPECT_LE(ci.hi, 1.0);
+    EXPECT_LE(ci.lo, ci.hi);
+  }
+}
+
+TEST(StressMetrics, EvmMeterSurvivesNonFiniteObservations) {
+  SeedStream s(kSuiteSeed + 1);
+  constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+  metrics::EvmMeter evm;
+  EXPECT_TRUE(std::isfinite(evm.evm_rms()));
+  EXPECT_TRUE(std::isfinite(evm.evm_db()));
+  for (int i = 0; i < 200; ++i) {
+    const auto obs = (i % 9 == 0) ? dsp::cf32{kNan, kNan} : s.sample();
+    evm.add(obs, s.sample());
+  }
+  // The meter may have absorbed NaN energy; the reporting API must still
+  // not emit NaN for the all-zero-reference / empty edge cases, which the
+  // unit tests pin down. Here we only require no crash and a defined count.
+  EXPECT_GT(evm.count(), 0U);
+}
+
+TEST(StressMetrics, HistogramSurvivesAdversarialSamples) {
+  SeedStream s(kSuiteSeed + 2);
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  dsp::Histogram h(-10.0, 10.0, 32);
+  const double poison[] = {kNan, kInf, -kInf, 1e308, -1e308};
+  for (int i = 0; i < 1000; ++i) {
+    h.add((i % 5 == 0) ? poison[s.index(5)] : s.uniform(-50.0, 50.0));
+  }
+  EXPECT_GT(h.total(), 0U);
+  std::size_t sum = 0;
+  double frac = 0.0;
+  for (std::size_t i = 0; i < h.counts().size(); ++i) {
+    sum += h.counts()[i];
+    frac += h.fraction(i);
+    EXPECT_TRUE(std::isfinite(h.bin_center(i)));
+  }
+  EXPECT_EQ(sum, h.total());  // NaN dropped; everything else binned exactly once
+  EXPECT_NEAR(frac, 1.0, 1e-9);
+}
+
+}  // namespace

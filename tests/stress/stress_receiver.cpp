@@ -1,0 +1,238 @@
+// Stress: the full receive chain end to end. Real PPDUs are pushed through
+// the channel's degenerate impairment modes (zero power, hard clipping,
+// burst erasure over the training fields, maximum CFO) and then mutilated —
+// truncated at every field boundary, poisoned with NaN/Inf — before being
+// handed to Receiver::receive(). Contract: receive() never throws, never
+// trips a sanitizer, and whatever RxPacket it does return carries finite
+// diagnostics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "channel/mimo_channel.hpp"
+#include "core/phy_config.hpp"
+#include "core/receiver.hpp"
+#include "core/transmitter.hpp"
+#include "stress_util.hpp"
+#include "wifi/psdu.hpp"
+
+namespace {
+
+using namespace mimonet;
+using dsp::cf32;
+using stress::SeedStream;
+
+constexpr std::uint64_t kSuiteSeed = 0x5717C45EED0005ULL;
+
+// A well-formed PSDU (MAC header + payload + valid FCS) so a clean decode
+// can assert fcs_ok.
+std::vector<std::uint8_t> make_psdu(std::size_t payload_bytes,
+                                    std::uint64_t seed) {
+  SeedStream s(seed);
+  std::vector<std::uint8_t> payload(payload_bytes);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(s.next_u64() & 0xFFU);
+  return wifi::build_psdu(wifi::MacHeader{}, payload);
+}
+
+void expect_sane(const core::RxPacket& pkt, std::size_t capture_len) {
+  EXPECT_TRUE(std::isfinite(pkt.sync.cfo_norm));
+  EXPECT_LT(pkt.sync.packet_start, capture_len);
+  EXPECT_TRUE(std::isfinite(pkt.snr.snr_db));
+  EXPECT_TRUE(std::isfinite(pkt.residual_cfo_norm));
+  // HT-SIG's 16-bit length field bounds any decoded PSDU.
+  EXPECT_LE(pkt.psdu.size(), std::size_t{0xFFFF});
+}
+
+void expect_survives(const core::Receiver& rx,
+                     const std::vector<std::vector<cf32>>& capture) {
+  const auto pkt = rx.receive(capture);
+  if (pkt) expect_sane(*pkt, capture[0].size());
+}
+
+core::PhyConfig phy_for(unsigned mcs, bool stbc, core::FecType fec) {
+  core::PhyConfig cfg;
+  cfg.mcs = mcs;
+  cfg.stbc = stbc;
+  cfg.fec_type = fec;
+  return cfg;
+}
+
+TEST(StressReceiver, GarbageCapturesNeverThrow) {
+  const core::Receiver rx(phy_for(8, false, core::FecType::kBcc), 2);
+  std::uint64_t c = 0;
+  for (const std::size_t n :
+       {std::size_t{0}, std::size_t{300}, std::size_t{5000}}) {
+    const std::uint64_t seed = kSuiteSeed + 16 * c++;
+    std::vector<std::vector<cf32>> shapes[] = {
+        {stress::all_zero(n), stress::all_zero(n)},
+        {stress::dc_only(n), stress::dc_only(n)},
+        {stress::random_signal(n, seed), stress::random_signal(n, seed + 1)},
+        {stress::saturating(n, seed + 2), stress::saturating(n, seed + 3)},
+    };
+    auto poisoned = stress::random_signal(n, seed + 4);
+    stress::inject_non_finite(poisoned, seed + 5);
+    for (const auto& capture : shapes) expect_survives(rx, capture);
+    expect_survives(rx, {poisoned, poisoned});
+  }
+}
+
+TEST(StressReceiver, TruncationAtEveryFieldBoundarySurvives) {
+  const std::vector<std::tuple<unsigned, bool, core::FecType>> configs{
+      {0, false, core::FecType::kBcc},
+      {8, false, core::FecType::kBcc},
+      {0, true, core::FecType::kBcc},
+      {8, false, core::FecType::kLdpc}};
+  for (const auto& [mcs, stbc, fec] : configs) {
+    const auto cfg = phy_for(mcs, stbc, fec);
+    const core::Transmitter tx(cfg);
+    const core::Receiver rx(cfg, 2);
+    const auto psdu = make_psdu(120, kSuiteSeed + mcs);
+    const auto streams = tx.transmit(psdu);
+
+    channel::ChannelConfig ch;
+    ch.ntx = tx.num_streams();
+    ch.nrx = 2;
+    ch.fading = ch.ntx != 2;  // identity path needs ntx == nrx
+    ch.snr_db = 35.0;
+    ch.timing_pad = 120;
+    ch.tail_pad = 60;
+    ch.seed = kSuiteSeed + 7 * mcs + (stbc ? 1 : 0);
+    channel::MimoChannel chan(ch);
+    const auto capture = chan.transmit(streams);
+
+    const auto layout = tx.layout(psdu.size());
+    const std::size_t boundaries[] = {
+        0,
+        ch.timing_pad + layout.lltf_offset(),
+        ch.timing_pad + layout.lsig_offset(),
+        ch.timing_pad + layout.lsig_offset() + 1,
+        ch.timing_pad + layout.htsig_offset(),
+        ch.timing_pad + layout.htstf_offset(),
+        ch.timing_pad + layout.htltf_offset(),
+        ch.timing_pad + layout.data_offset(),
+        ch.timing_pad + layout.data_offset() + 80,
+        ch.timing_pad + layout.total_samples() - 1,
+    };
+    for (const std::size_t cut : boundaries) {
+      if (cut > capture[0].size()) continue;
+      std::vector<std::vector<cf32>> truncated;
+      for (const auto& a : capture) {
+        truncated.emplace_back(a.begin(),
+                               a.begin() + static_cast<std::ptrdiff_t>(cut));
+      }
+      expect_survives(rx, truncated);
+    }
+    // The untruncated capture must still decode: the hardening cannot have
+    // broken the happy path.
+    const auto pkt = rx.receive(capture);
+    ASSERT_TRUE(pkt.has_value());
+    expect_sane(*pkt, capture[0].size());
+    EXPECT_TRUE(pkt->fcs_ok);
+    EXPECT_EQ(pkt->psdu, psdu);
+  }
+}
+
+TEST(StressReceiver, DegenerateChannelModesSurvive) {
+  const auto cfg = phy_for(8, false, core::FecType::kBcc);
+  const core::Transmitter tx(cfg);
+  const core::Receiver rx(cfg, 2);
+  const auto psdu = make_psdu(200, kSuiteSeed + 100);
+  const auto streams = tx.transmit(psdu);
+  const auto layout = tx.layout(psdu.size());
+
+  channel::ChannelConfig base;
+  base.ntx = 2;
+  base.nrx = 2;
+  base.snr_db = 30.0;
+  base.timing_pad = 100;
+  base.tail_pad = 50;
+  base.seed = kSuiteSeed + 101;
+
+  std::vector<channel::ChannelConfig> modes;
+  {
+    auto m = base;  // zero-power packet: the capture is pure noise
+    m.power_scale = 0.0;
+    modes.push_back(m);
+  }
+  {
+    auto m = base;  // nearly-zero power
+    m.power_scale = 1e-12;
+    modes.push_back(m);
+  }
+  {
+    auto m = base;  // brutal clipping: every sample on the rails
+    m.clip_level = 0.05F;
+    modes.push_back(m);
+  }
+  {
+    auto m = base;  // erase the whole HT training region -> H estimate 0
+    m.erasure_start = base.timing_pad + layout.htstf_offset();
+    m.erasure_len = layout.data_offset() - layout.htstf_offset();
+    modes.push_back(m);
+  }
+  {
+    auto m = base;  // erase the legacy preamble -> sync must cope
+    m.erasure_start = 0;
+    m.erasure_len = base.timing_pad + layout.lsig_offset();
+    modes.push_back(m);
+  }
+  {
+    auto m = base;  // maximum CFO the STF autocorrelation can represent
+    m.cfo_norm = 1.0 / 32.0;
+    modes.push_back(m);
+  }
+  {
+    auto m = base;
+    m.cfo_norm = -1.0 / 32.0;
+    modes.push_back(m);
+  }
+  {
+    auto m = base;  // everything at once
+    m.power_scale = 0.25;
+    m.clip_level = 0.2F;
+    m.cfo_norm = 1.0 / 40.0;
+    m.erasure_start = base.timing_pad + layout.htltf_offset();
+    m.erasure_len = 40;
+    modes.push_back(m);
+  }
+
+  for (const auto& mode : modes) {
+    channel::MimoChannel chan(mode);
+    expect_survives(rx, chan.transmit(streams));
+  }
+}
+
+TEST(StressReceiver, EveryConfigSurvivesPoisonedRealPackets) {
+  // A real packet whose capture then gets NaN/Inf injected at random
+  // positions: the decoder may fail the packet but must stay defined.
+  for (const auto timing : {sync::TimingMode::kLtfCrossCorr,
+                            sync::TimingMode::kVanDeBeekMimo}) {
+    for (const auto eq_type :
+         {eq::EqualizerType::kZeroForcing, eq::EqualizerType::kMmse,
+          eq::EqualizerType::kMaxLikelihood}) {
+      auto cfg = phy_for(8, false, core::FecType::kBcc);
+      cfg.timing_mode = timing;
+      cfg.equalizer = eq_type;
+      const core::Transmitter tx(cfg);
+      const core::Receiver rx(cfg, 2);
+      const auto psdu = make_psdu(80, kSuiteSeed + 200);
+      const auto streams = tx.transmit(psdu);
+
+      channel::ChannelConfig ch;
+      ch.ntx = 2;
+      ch.nrx = 2;
+      ch.snr_db = 25.0;
+      ch.timing_pad = 90;
+      ch.seed = kSuiteSeed + 201;
+      channel::MimoChannel chan(ch);
+      auto capture = chan.transmit(streams);
+      for (std::size_t a = 0; a < capture.size(); ++a) {
+        stress::inject_non_finite(capture[a], kSuiteSeed + 300 + a, 24);
+      }
+      expect_survives(rx, capture);
+    }
+  }
+}
+
+}  // namespace

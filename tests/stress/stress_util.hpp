@@ -1,0 +1,125 @@
+// Shared machinery for the deterministic stress harness: every adversarial
+// draw comes from the same dsp::splitmix64 finalizer the Monte-Carlo engine
+// uses for per-packet seeds, so a failing case reproduces from its (suite,
+// case) seed alone — no global RNG state, no ordering sensitivity.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "dsp/rng.hpp"
+#include "dsp/types.hpp"
+
+namespace mimonet::stress {
+
+using dsp::cf32;
+
+/// Counter-mode stream over the splitmix64 finalizer. Successive draws are
+/// splitmix64(seed), splitmix64(seed + 1), ... — stateless apart from the
+/// counter, so any draw can be reproduced in isolation.
+class SeedStream {
+ public:
+  explicit constexpr SeedStream(std::uint64_t seed) noexcept : seed_(seed) {}
+
+  constexpr std::uint64_t next_u64() noexcept {
+    return dsp::splitmix64(seed_ + counter_++);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_unit() noexcept {
+    return static_cast<double>(next_u64() >> 11U) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_unit();
+  }
+
+  /// Uniform index in [0, n).
+  std::size_t index(std::size_t n) noexcept {
+    return static_cast<std::size_t>(next_u64() % n);
+  }
+
+  /// Uniform complex sample in [-1, 1]^2.
+  cf32 sample() noexcept {
+    return cf32(static_cast<float>(uniform(-1.0, 1.0)),
+                static_cast<float>(uniform(-1.0, 1.0)));
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t counter_ = 0;
+};
+
+// ---- Adversarial signal generators ----
+
+[[nodiscard]] inline std::vector<cf32> all_zero(std::size_t n) {
+  return std::vector<cf32>(n, cf32{0.0F, 0.0F});
+}
+
+/// Constant (DC-only) signal: zero bandwidth, autocorrelation metric 1.
+[[nodiscard]] inline std::vector<cf32> dc_only(std::size_t n,
+                                               float amplitude = 1.0F) {
+  return std::vector<cf32>(n, cf32{amplitude, 0.0F});
+}
+
+/// Uniform complex noise-like signal.
+[[nodiscard]] inline std::vector<cf32> random_signal(std::size_t n,
+                                                     std::uint64_t seed) {
+  SeedStream s(seed);
+  std::vector<cf32> out(n);
+  for (auto& v : out) v = s.sample();
+  return out;
+}
+
+/// Saturating front end: every sample pinned to one of the four full-scale
+/// rails (what a railed ADC emits).
+[[nodiscard]] inline std::vector<cf32> saturating(std::size_t n,
+                                                  std::uint64_t seed,
+                                                  float full_scale = 4.0F) {
+  SeedStream s(seed);
+  std::vector<cf32> out(n);
+  for (auto& v : out) {
+    const auto bits = s.next_u64();
+    v = cf32((bits & 1U) != 0 ? full_scale : -full_scale,
+             (bits & 2U) != 0 ? full_scale : -full_scale);
+  }
+  return out;
+}
+
+/// Overwrite `count` positions with a mix of NaN, +/-Inf and huge values.
+inline void inject_non_finite(std::span<cf32> x, std::uint64_t seed,
+                              std::size_t count = 8) {
+  if (x.empty()) return;
+  SeedStream s(seed);
+  constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  const float poison[] = {kNan, kInf, -kInf, 1e38F, -1e38F};
+  for (std::size_t i = 0; i < count; ++i) {
+    auto& v = x[s.index(x.size())];
+    v = cf32(poison[s.index(5)], poison[s.index(5)]);
+  }
+}
+
+[[nodiscard]] inline bool is_finite(cf32 v) noexcept {
+  return std::isfinite(v.real()) && std::isfinite(v.imag());
+}
+
+[[nodiscard]] inline bool all_finite(std::span<const cf32> x) noexcept {
+  for (const auto& v : x) {
+    if (!is_finite(v)) return false;
+  }
+  return true;
+}
+
+[[nodiscard]] inline bool all_finite(std::span<const float> x) noexcept {
+  for (const float v : x) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace mimonet::stress

@@ -201,9 +201,43 @@ TEST(SnrFromLltf, PerBinValuesPopulated) {
   const std::span<const cf32> spans[] = {std::span<const cf32>(rx)};
   const auto est = chanest::snr_from_lltf(spans);
   ASSERT_EQ(est.per_bin_db.size(), 64U);
-  // Occupied bins carry estimates; DC stays 0.
+  ASSERT_EQ(est.per_bin_valid.size(), 64U);
+  // Occupied bins carry estimates; DC is explicitly invalid (NaN), not a
+  // silent 0 dB.
+  EXPECT_TRUE(est.bin_valid(ofdm::SubcarrierMap::logical_to_bin(7)));
   EXPECT_NE(est.per_bin_db[ofdm::SubcarrierMap::logical_to_bin(7)], 0.0);
-  EXPECT_EQ(est.per_bin_db[0], 0.0);
+  EXPECT_FALSE(est.bin_valid(0));
+  EXPECT_TRUE(std::isnan(est.per_bin_db[0]));
+}
+
+// Regression (ISSUE 2): an all-zero LLTF must produce a finite, clamped
+// wideband estimate and saturated (not 0 dB) occupied bins — previously the
+// raw ratio overflowed toward +inf dB.
+TEST(SnrFromLltf, AllZeroInputSaturatesFinite) {
+  const std::vector<cf32> rx(128, cf32{0.0F, 0.0F});
+  const std::span<const cf32> spans[] = {std::span<const cf32>(rx)};
+  const auto est = chanest::snr_from_lltf(spans);
+  EXPECT_TRUE(std::isfinite(est.snr_db));
+  EXPECT_LE(std::abs(est.snr_db), chanest::SnrEstimate::kPerBinCeilingDb);
+  for (std::size_t b = 0; b < est.per_bin_db.size(); ++b) {
+    if (!est.bin_valid(b)) continue;
+    EXPECT_TRUE(std::isfinite(est.per_bin_db[b])) << "bin " << b;
+    EXPECT_LE(std::abs(est.per_bin_db[b]), chanest::SnrEstimate::kPerBinCeilingDb);
+  }
+}
+
+// Regression (ISSUE 2): a noiseless LLTF (both periods identical) has zero
+// error energy in every bin; that must report the documented ceiling, not
+// an unbounded or silent value.
+TEST(SnrFromLltf, NoiselessInputReportsCeiling) {
+  const auto ltf = wifi::make_lltf(0, 1);
+  const std::vector<cf32> rx(ltf.begin() + 32, ltf.begin() + 160);
+  const std::span<const cf32> spans[] = {std::span<const cf32>(rx)};
+  const auto est = chanest::snr_from_lltf(spans);
+  EXPECT_DOUBLE_EQ(est.snr_db, chanest::SnrEstimate::kPerBinCeilingDb);
+  const auto bin = ofdm::SubcarrierMap::logical_to_bin(7);
+  ASSERT_TRUE(est.bin_valid(bin));
+  EXPECT_DOUBLE_EQ(est.per_bin_db[bin], chanest::SnrEstimate::kPerBinCeilingDb);
 }
 
 TEST(SnrFromLltf, TooShortThrows) {
@@ -236,7 +270,47 @@ TEST(EvmSnrEstimator, PerBinTracksDifferentSnrs) {
   const auto est = evm.estimate();
   EXPECT_NEAR(est.per_bin_db[5], 10.0, 1.0);
   EXPECT_NEAR(est.per_bin_db[9], 30.0, 1.0);
-  EXPECT_EQ(est.per_bin_db[20], 0.0);
+  EXPECT_TRUE(est.bin_valid(5));
+  EXPECT_TRUE(est.bin_valid(9));
+  // Unobserved bins are explicitly invalid, not a fake 0 dB.
+  EXPECT_FALSE(est.bin_valid(20));
+  EXPECT_TRUE(std::isnan(est.per_bin_db[20]));
+}
+
+// Regression (ISSUE 2): a bin observed without any error energy used to
+// silently report 0 dB — indistinguishable from a genuinely 0 dB bin. It
+// must now report the documented +60 dB ceiling.
+TEST(EvmSnrEstimator, ZeroErrorBinReportsCeilingNotZero) {
+  chanest::EvmSnrEstimator evm;
+  for (int i = 0; i < 4; ++i) {
+    evm.add(3, cf32{1.0F, 0.0F}, cf32{1.0F, 0.0F});  // exact: zero EVM
+  }
+  const auto est = evm.estimate();
+  ASSERT_TRUE(est.bin_valid(3));
+  EXPECT_DOUBLE_EQ(est.per_bin_db[3], chanest::SnrEstimate::kPerBinCeilingDb);
+}
+
+// Regression (ISSUE 2): one sample is not enough for a per-bin estimate;
+// the bin must be flagged invalid (NaN) rather than reported as 0 dB.
+TEST(EvmSnrEstimator, SingleSampleBinIsInvalid) {
+  chanest::EvmSnrEstimator evm;
+  evm.add(7, cf32{1.0F, 0.1F}, cf32{1.0F, 0.0F});
+  const auto est = evm.estimate();
+  EXPECT_FALSE(est.bin_valid(7));
+  EXPECT_TRUE(std::isnan(est.per_bin_db[7]));
+  EXPECT_TRUE(std::isfinite(est.snr_db));  // wideband still defined
+}
+
+// Regression (ISSUE 2): estimate() on an empty estimator returns defined
+// zeros (never NaN/Inf), and the per-bin vectors stay empty.
+TEST(EvmSnrEstimator, EmptyEstimatorIsDefined) {
+  const chanest::EvmSnrEstimator evm;
+  const auto est = evm.estimate();
+  EXPECT_EQ(est.snr_db, 0.0);
+  EXPECT_EQ(est.signal_power, 0.0);
+  EXPECT_EQ(est.noise_variance, 0.0);
+  EXPECT_TRUE(est.per_bin_db.empty());
+  EXPECT_FALSE(est.bin_valid(0));
 }
 
 TEST(EvmSnrEstimator, ResetClears) {

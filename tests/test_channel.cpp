@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "channel/fading.hpp"
 #include "channel/impairments.hpp"
@@ -210,6 +211,95 @@ TEST(MimoChannel, CfoGroundTruthRecorded) {
   std::vector<std::vector<cf32>> tx(1, std::vector<cf32>(100));
   (void)chan.transmit(tx);
   EXPECT_DOUBLE_EQ(chan.truth().cfo_norm, 2.5e-4);
+}
+
+// ---- Degenerate impairment modes (ISSUE 2) ----
+
+TEST(Impairments, ClippingBoundsAmplitude) {
+  std::vector<cf32> x{{3.0F, 4.0F}, {0.1F, 0.0F}, {-2.0F, 0.0F}, {0.0F, 0.0F}};
+  apply_clipping(x, 1.0F);
+  for (const auto& v : x) {
+    EXPECT_LE(std::abs(v), 1.0F + 1e-6F);
+  }
+  // Phase preserved on the clipped sample, small samples untouched.
+  EXPECT_NEAR(x[0].real() / x[0].imag(), 3.0F / 4.0F, 1e-5F);
+  EXPECT_NEAR(x[1].real(), 0.1F, 1e-7F);
+  // Non-finite samples must not survive clipping as NaN/Inf escape hatches.
+  std::vector<cf32> bad{{std::numeric_limits<float>::infinity(), 0.0F}};
+  apply_clipping(bad, 1.0F);
+  EXPECT_TRUE(std::isfinite(bad[0].real()));
+}
+
+TEST(Impairments, BurstErasureZeroesClampedRegion) {
+  std::vector<cf32> x(10, cf32{1.0F, -1.0F});
+  apply_burst_erasure(x, 3, 4);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const bool erased = i >= 3 && i < 7;
+    EXPECT_EQ(x[i] == cf32{}, erased) << "index " << i;
+  }
+  // Start or length past the end must clamp, not wrap or write OOB.
+  std::vector<cf32> y(5, cf32{1.0F, 0.0F});
+  apply_burst_erasure(y, 3, 100);
+  EXPECT_EQ(y[2], (cf32{1.0F, 0.0F}));
+  EXPECT_EQ(y[4], cf32{});
+  apply_burst_erasure(y, 50, 4);  // fully out of range: no-op
+  EXPECT_EQ(y[0], (cf32{1.0F, 0.0F}));
+}
+
+TEST(Impairments, SfoBelowMinusOneMillionPpmThrows) {
+  std::vector<cf32> x(32, cf32{1.0F, 0.0F});
+  EXPECT_THROW(apply_sfo(x, -1e6), std::invalid_argument);
+  EXPECT_THROW(apply_sfo(x, -2e6), std::invalid_argument);
+  EXPECT_NO_THROW(apply_sfo(x, -100.0));
+}
+
+TEST(MimoChannel, ZeroPowerPacketIsPureNoise) {
+  ChannelConfig cfg;
+  cfg.snr_db = 20.0;
+  cfg.power_scale = 0.0;
+  MimoChannel chan(cfg);
+  std::vector<std::vector<cf32>> tx(1, std::vector<cf32>(2000, cf32{1.0F, 0.0F}));
+  const auto rx = chan.transmit(tx);
+  double p = 0.0;
+  for (const auto& v : rx[0]) p += mimonet::dsp::mag_sqr(v);
+  p /= static_cast<double>(rx[0].size());
+  // Signal gone: residual power is the configured noise floor, not ~1.
+  EXPECT_NEAR(p, chan.noise_variance(), 0.3 * chan.noise_variance());
+}
+
+TEST(MimoChannel, ClipLevelBoundsCapture) {
+  ChannelConfig cfg;
+  cfg.snr_db = 30.0;
+  cfg.clip_level = 0.5F;
+  MimoChannel chan(cfg);
+  std::vector<std::vector<cf32>> tx(1, std::vector<cf32>(500, cf32{2.0F, 2.0F}));
+  const auto rx = chan.transmit(tx);
+  for (const auto& v : rx[0]) {
+    EXPECT_LE(std::abs(v), 0.5F + 1e-5F);
+  }
+}
+
+TEST(MimoChannel, BurstErasureReachesCapture) {
+  ChannelConfig cfg;
+  cfg.timing_pad = 10;
+  cfg.erasure_start = 10;
+  cfg.erasure_len = 20;
+  MimoChannel chan(cfg);
+  std::vector<std::vector<cf32>> tx(1, std::vector<cf32>(100, cf32{1.0F, 0.0F}));
+  const auto rx = chan.transmit(tx);
+  for (std::size_t i = 10; i < 30; ++i) {
+    EXPECT_EQ(rx[0][i], cf32{}) << "index " << i;
+  }
+  EXPECT_GT(std::abs(rx[0][40]), 0.1F);
+}
+
+TEST(MimoChannel, RejectsNonFiniteDegenerateKnobs) {
+  ChannelConfig bad_scale;
+  bad_scale.power_scale = -1.0;
+  EXPECT_THROW(MimoChannel{bad_scale}, std::invalid_argument);
+  ChannelConfig bad_clip;
+  bad_clip.clip_level = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_THROW(MimoChannel{bad_clip}, std::invalid_argument);
 }
 
 }  // namespace

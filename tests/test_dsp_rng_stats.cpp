@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "dsp/rng.hpp"
 #include "dsp/stats.hpp"
@@ -160,6 +161,22 @@ TEST(Histogram, MergeSumsBinsAndRejectsMismatch) {
   Histogram other_range(0.0, 5.0, 10);
   EXPECT_THROW(a.merge(other_bins), std::invalid_argument);
   EXPECT_THROW(a.merge(other_range), std::invalid_argument);
+}
+
+// Regression (ISSUE 2): NaN used to reach an undefined float->long cast in
+// Histogram::add; it is now dropped, while +/-inf lands in the edge bins
+// like any other out-of-range sample.
+TEST(Histogram, NonFiniteSamplesAreHandled) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.total(), 0U);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  h.add(1e308);
+  h.add(-1e308);
+  EXPECT_EQ(h.total(), 4U);
+  EXPECT_EQ(h.counts().front(), 2U);
+  EXPECT_EQ(h.counts().back(), 2U);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <random>
 
 #include "eq/equalizer.hpp"
@@ -210,6 +211,50 @@ TEST(PostEqSinr, IdentityChannelGivesInputSnr) {
   const auto sinr = post_eq_sinr_db(h, 0.01F, EqualizerType::kZeroForcing);
   EXPECT_NEAR(sinr[0], 20.0, 0.01);
   EXPECT_NEAR(sinr[1], 20.0, 0.01);
+}
+
+// Regression (ISSUE 2): an all-zero channel matrix (erased LTFs) used to
+// throw std::runtime_error out of equalize() and unwind the receiver
+// mid-packet. It must now report an erased carrier: zero symbols, huge but
+// finite noise variance, so the LLRs carry no weight.
+TEST(LinearEq, SingularChannelYieldsErasureNotThrow) {
+  const CMatrix h(2, 2);  // all zeros -> singular Gram for ZF and, with
+                          // nv = 0, for MMSE too
+  const std::vector<cf32> y{cf32{0.5F, 0.1F}, cf32{-0.2F, 0.3F}};
+  for (const auto type : {EqualizerType::kZeroForcing, EqualizerType::kMmse}) {
+    const LinearEqualizer eq(type);
+    const auto out = eq.equalize(h, y, 0.0F);
+    ASSERT_EQ(out.symbols.size(), 2U);
+    for (std::size_t i = 0; i < 2; ++i) {
+      EXPECT_EQ(out.symbols[i], (cf32{0.0F, 0.0F}));
+      EXPECT_GE(out.noise_vars[i], kErasedNoiseVar);
+      EXPECT_TRUE(std::isfinite(out.noise_vars[i]));
+    }
+  }
+}
+
+// Regression (ISSUE 2): post_eq_sinr_db with a singular channel must
+// return the floor for ZF instead of propagating the inverse() failure.
+TEST(PostEqSinr, SingularChannelReportsFloor) {
+  const CMatrix h(2, 2);
+  const auto sinr = post_eq_sinr_db(h, 0.01F, EqualizerType::kZeroForcing);
+  for (const double s : sinr) {
+    EXPECT_TRUE(std::isfinite(s));
+    EXPECT_LE(s, -100.0);
+  }
+}
+
+// Regression (ISSUE 2): NaN observations must demap to erasure LLRs (0),
+// not NaN branch metrics.
+TEST(MlDetector, NonFiniteObservationGivesErasureLlrs) {
+  const Constellation qpsk(Modulation::kQpsk);
+  const MlDetector det(qpsk, 2);
+  const auto h = CMatrix::identity(2);
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const std::vector<cf32> y{cf32{nan, 0.0F}, cf32{0.1F, nan}};
+  std::vector<float> llrs(4);
+  det.demap(h, y, 0.1F, llrs);
+  for (const float l : llrs) EXPECT_EQ(l, 0.0F);
 }
 
 }  // namespace

@@ -202,4 +202,14 @@ TEST(LinkParallel, ZeroPacketsIsEmptyResult) {
   EXPECT_EQ(res.ber.bits(), 0U);
 }
 
+// Regression (ISSUE 2): an empty LinkResult's bench-table row must render
+// defined values everywhere — no "nan"/"inf" cells from zero denominators.
+TEST(LinkParallel, EmptyResultSummaryRowHasNoNanCells) {
+  const core::LinkResult empty;
+  for (const auto& cell : empty.summary_row()) {
+    EXPECT_EQ(cell.find("nan"), std::string::npos) << cell;
+    EXPECT_EQ(cell.find("inf"), std::string::npos) << cell;
+  }
+}
+
 }  // namespace

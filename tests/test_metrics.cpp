@@ -1,6 +1,8 @@
 // Measurement layer: BER/PER counters, EVM, throughput, confidence bounds.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "metrics/counters.hpp"
 
 namespace {
@@ -145,6 +147,60 @@ TEST(ThroughputMeter, MergeEqualsSinglePassOnSplitStream) {
   a.merge(b);
   EXPECT_DOUBLE_EQ(a.goodput_mbps(), whole.goodput_mbps());
   EXPECT_DOUBLE_EQ(a.airtime_us(), whole.airtime_us());
+}
+
+// ---- Degenerate-input regressions (ISSUE 2): every metric API must give
+// defined, finite values for empty and zero-denominator inputs. ----
+
+TEST(ThroughputMeter, ZeroAirtimeGoodputIsZeroNotNan) {
+  ThroughputMeter t;
+  EXPECT_EQ(t.goodput_mbps(), 0.0);      // never accumulated
+  t.add_packet(1000, 0.0);               // delivered bits but zero airtime
+  EXPECT_TRUE(std::isfinite(t.goodput_mbps()));
+  EXPECT_EQ(t.goodput_mbps(), 0.0);
+}
+
+TEST(Wilson, SuccessesAboveTrialsClampsToBoundary) {
+  const auto iv = wilson_interval(7, 3);  // corrupt counters upstream
+  EXPECT_TRUE(std::isfinite(iv.lo));
+  EXPECT_TRUE(std::isfinite(iv.hi));
+  EXPECT_GE(iv.lo, 0.0);
+  EXPECT_LE(iv.hi, 1.0);
+  EXPECT_LE(iv.lo, iv.hi);
+}
+
+TEST(Counters, MergeOfTwoEmptyCountersStaysDefined) {
+  BerCounter ber;
+  ber.merge(BerCounter{});
+  EXPECT_EQ(ber.bits(), 0U);
+  EXPECT_EQ(ber.ber(), 0.0);
+  const auto ber_iv = ber.confidence();
+  EXPECT_EQ(ber_iv.lo, 0.0);
+  EXPECT_EQ(ber_iv.hi, 1.0);
+
+  PerCounter per;
+  per.merge(PerCounter{});
+  EXPECT_EQ(per.packets(), 0U);
+  EXPECT_EQ(per.per(), 0.0);
+
+  EvmMeter evm;
+  evm.merge(EvmMeter{});
+  EXPECT_EQ(evm.count(), 0U);
+  EXPECT_EQ(evm.evm_rms(), 0.0);
+  EXPECT_TRUE(std::isfinite(evm.evm_db()));
+
+  ThroughputMeter tput;
+  tput.merge(ThroughputMeter{});
+  EXPECT_EQ(tput.goodput_mbps(), 0.0);
+}
+
+TEST(EvmMeter, EmptyAndZeroReferenceAreDefined) {
+  EvmMeter evm;
+  EXPECT_EQ(evm.evm_rms(), 0.0);
+  EXPECT_TRUE(std::isfinite(evm.evm_db()));
+  evm.add(cf32{1.0F, 0.0F}, cf32{0.0F, 0.0F});  // zero reference energy
+  EXPECT_TRUE(std::isfinite(evm.evm_rms()));
+  EXPECT_TRUE(std::isfinite(evm.evm_db()));
 }
 
 }  // namespace
