@@ -41,15 +41,23 @@ int main() {
 
   std::printf("\n  PER vs correlation coefficient rho (both link ends)\n");
   const bench::Table table({"rho", "ZF", "MMSE", "ML"}, 10);
+  std::string pts = "[";
+  bool first = true;
   for (const double rho : {0.0, 0.3, 0.5, 0.7, 0.85, 0.95}) {
     std::vector<std::string> cells{bench::fix(rho, 2)};
     for (const auto type :
          {eq::EqualizerType::kZeroForcing, eq::EqualizerType::kMmse,
           eq::EqualizerType::kMaxLikelihood}) {
-      cells.push_back(bench::fix(
-          run_per(rho, type, kSnr, kPackets,
-                  100 + static_cast<std::uint64_t>(rho * 100)),
-          2));
+      const double per = run_per(rho, type, kSnr, kPackets,
+                                 100 + static_cast<std::uint64_t>(rho * 100));
+      cells.push_back(bench::fix(per, 2));
+      char obj[160];
+      std::snprintf(obj, sizeof obj,
+                    "%s{\"rho\": %g, \"eq\": \"%s\", \"per\": %.6g}",
+                    first ? "" : ", ", rho,
+                    std::string(eq::equalizer_name(type)).c_str(), per);
+      pts += obj;
+      first = false;
     }
     table.row(cells);
   }
@@ -84,5 +92,11 @@ int main() {
   }
   bench::note("expected: ZF PER rises steeply past rho ~0.7; ML stays lowest;");
   bench::note("SINR gap ZF->MMSE widens with rho");
+
+  bench::JsonReport report("e10_equalizers");
+  report.field("packets_per_point", kPackets)
+      .field("snr_db", kSnr)
+      .raw("points", pts + "]")
+      .emit();
   return 0;
 }

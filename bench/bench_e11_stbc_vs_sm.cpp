@@ -46,17 +46,34 @@ int main() {
       {"52 Mb/s", 5, 11},   // 64-QAM 2/3 + STBC vs 16-QAM 1/2 x2
   };
 
+  std::string pts = "[";
+  bool first = true;
   for (const auto& p : pairs) {
     std::printf("\n  %s: STBC MCS %u vs SM MCS %u\n", p.rate, p.stbc_mcs, p.sm_mcs);
     const bench::Table table({"SNR dB", "PER STBC", "PER SM"}, 12);
     for (double snr = 4.0; snr <= 26.0; snr += 2.0) {
       const auto seed = 800 + p.sm_mcs;  // paired across the sweep
-      table.row({bench::fix(snr, 0),
-                 bench::fix(run_per(p.stbc_mcs, true, snr, kPackets, seed), 2),
-                 bench::fix(run_per(p.sm_mcs, false, snr, kPackets, seed), 2)});
+      const double per_stbc = run_per(p.stbc_mcs, true, snr, kPackets, seed);
+      const double per_sm = run_per(p.sm_mcs, false, snr, kPackets, seed);
+      table.row({bench::fix(snr, 0), bench::fix(per_stbc, 2),
+                 bench::fix(per_sm, 2)});
+      char obj[224];
+      std::snprintf(obj, sizeof obj,
+                    "%s{\"rate\": \"%s\", \"snr_db\": %g, \"stbc_mcs\": %u, "
+                    "\"sm_mcs\": %u, \"per_stbc\": %.6g, \"per_sm\": %.6g}",
+                    first ? "" : ", ", p.rate, snr, p.stbc_mcs, p.sm_mcs,
+                    per_stbc, per_sm);
+      pts += obj;
+      first = false;
     }
   }
   bench::note("expected: STBC's PER falls faster (diversity order 4 vs 2) and");
   bench::note("wins at low SNR; the gap narrows as the STBC constellation grows");
+
+  bench::JsonReport report("e11_stbc_vs_sm");
+  report.field("packets_per_point", kPackets)
+      .field("payload_bytes", std::size_t{700})
+      .raw("points", pts + "]")
+      .emit();
   return 0;
 }

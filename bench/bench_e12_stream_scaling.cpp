@@ -46,6 +46,8 @@ int main() {
   std::printf("\n  Goodput (Mb/s) and PER vs SNR\n");
   const bench::Table t1({"SNR dB", "1 str", "2 str", "3 str", "4 str"}, 10);
   std::vector<std::vector<std::string>> per_rows;
+  std::string pts = "[";
+  bool first = true;
   for (double snr = 10.0; snr <= 35.0; snr += 5.0) {
     std::vector<std::string> goodput_cells{bench::fix(snr, 0)};
     std::vector<std::string> per_cells{bench::fix(snr, 0)};
@@ -54,6 +56,14 @@ int main() {
       goodput_cells.push_back(bench::fix(res.throughput.goodput_mbps(), 1));
       per_cells.push_back(bench::fix(res.per.per(), 2));
       totals[i].merge(res);
+      char obj[192];
+      std::snprintf(obj, sizeof obj,
+                    "%s{\"snr_db\": %g, \"nss\": %zu, \"goodput_mbps\": %.6g, "
+                    "\"per\": %.6g}",
+                    first ? "" : ", ", snr, i + 1,
+                    res.throughput.goodput_mbps(), res.per.per());
+      pts += obj;
+      first = false;
     }
     t1.row(goodput_cells);
     per_rows.push_back(std::move(per_cells));
@@ -85,5 +95,11 @@ int main() {
   }
   bench::note("expected: ~nss x goodput at 35 dB; PER curves shift right with");
   bench::note("nss; each extra RX antenna shifts the 2-stream curve left");
+
+  bench::JsonReport report("e12_stream_scaling");
+  report.field("packets_per_point", kPackets)
+      .field("payload_bytes", std::size_t{1500})
+      .raw("points", pts + "]")
+      .emit();
   return 0;
 }

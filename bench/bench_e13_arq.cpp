@@ -67,13 +67,29 @@ int main() {
 
   const bench::Table table(
       {"SNR dB", "raw loss", "ARQ loss", "goodput", "retx/MSDU"}, 12);
+  std::string pts = "[";
+  bool first = true;
   for (double snr = 6.0; snr <= 24.0; snr += 3.0) {
     const auto row = run_point(snr, 7, kMsdus, 130);
     table.row({bench::fix(snr, 0), bench::fix(row.per_raw, 2),
                bench::fix(row.loss_arq, 2), bench::fix(row.goodput_arq, 1),
                bench::fix(row.retx_per_msdu, 2)});
+    char obj[224];
+    std::snprintf(obj, sizeof obj,
+                  "%s{\"snr_db\": %g, \"raw_loss\": %.6g, \"arq_loss\": %.6g, "
+                  "\"goodput_mbps\": %.6g, \"retx_per_msdu\": %.6g}",
+                  first ? "" : ", ", snr, row.per_raw, row.loss_arq,
+                  row.goodput_arq, row.retx_per_msdu);
+    pts += obj;
+    first = false;
   }
   bench::note("expected: ARQ loss ~0 while raw loss climbs; goodput degrades");
   bench::note("gracefully with retx/MSDU before collapsing");
+
+  bench::JsonReport report("e13_arq");
+  report.field("msdus_per_point", kMsdus)
+      .field("max_retries", 7)
+      .raw("points", pts + "]")
+      .emit();
   return 0;
 }

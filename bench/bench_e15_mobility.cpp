@@ -38,20 +38,34 @@ int main() {
   bench::note("MCS 4, 30 dB, Rayleigh + Gauss-Markov tap evolution,");
   bench::note("%zu packets per point; fD/fs of 1e-5 ~ 200 Hz at 20 Msps", kPackets);
 
+  std::string pts = "[";
+  bool first = true;
   for (const std::size_t payload : {500U, 3000U}) {
     std::printf("\n  %zu-byte payloads (%zu data symbols)\n", payload,
                 core::data_symbol_count(wifi::mcs_info(4), payload, true));
     const bench::Table table({"fD/fs", "no-trk", "CPE trk", "CPE+DD"}, 12);
     for (const double doppler : {0.0, 1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4}) {
       const auto seed = 150 + static_cast<std::uint64_t>(doppler * 1e7);
-      table.row({bench::sci(doppler),
-                 bench::fix(run_per(doppler, false, false, payload, kPackets, seed), 2),
-                 bench::fix(run_per(doppler, true, false, payload, kPackets, seed), 2),
-                 bench::fix(run_per(doppler, true, true, payload, kPackets, seed), 2)});
+      const double no_trk = run_per(doppler, false, false, payload, kPackets, seed);
+      const double cpe = run_per(doppler, true, false, payload, kPackets, seed);
+      const double cpe_dd = run_per(doppler, true, true, payload, kPackets, seed);
+      table.row({bench::sci(doppler), bench::fix(no_trk, 2), bench::fix(cpe, 2),
+                 bench::fix(cpe_dd, 2)});
+      char obj[224];
+      std::snprintf(obj, sizeof obj,
+                    "%s{\"payload_bytes\": %zu, \"doppler_norm\": %g, "
+                    "\"per_no_tracking\": %.6g, \"per_cpe\": %.6g, "
+                    "\"per_cpe_dd\": %.6g}",
+                    first ? "" : ", ", payload, doppler, no_trk, cpe, cpe_dd);
+      pts += obj;
+      first = false;
     }
   }
   bench::note("expected: CPE tracking shifts the PER knee ~10x right; adding");
   bench::note("decision-directed channel tracking extends it further; long");
   bench::note("packets hit the knee at lower Doppler (more aging time)");
+
+  bench::JsonReport report("e15_mobility");
+  report.field("packets_per_point", kPackets).raw("points", pts + "]").emit();
   return 0;
 }

@@ -40,6 +40,8 @@ int main() {
   const bench::Table table({"SNR dB", "BER BCC", "BER LDPC", "PER BCC",
                             "PER LDPC"},
                            12);
+  std::string pts = "[";
+  bool first = true;
   for (double snr = 2.0; snr <= 8.0; snr += 0.5) {
     const auto seed = 160;  // paired across the sweep
     const auto bcc = run_point(1, snr, core::FecType::kBcc, kPackets, seed);
@@ -48,6 +50,13 @@ int main() {
                bcc.ber > 0 ? bench::sci(bcc.ber) : std::string("-"),
                ldpc.ber > 0 ? bench::sci(ldpc.ber) : std::string("-"),
                bench::fix(bcc.per, 2), bench::fix(ldpc.per, 2)});
+    char obj[224];
+    std::snprintf(obj, sizeof obj,
+                  "%s{\"snr_db\": %g, \"mcs\": 1, \"ber_bcc\": %.6g, "
+                  "\"ber_ldpc\": %.6g, \"per_bcc\": %.6g, \"per_ldpc\": %.6g}",
+                  first ? "" : ", ", snr, bcc.ber, ldpc.ber, bcc.per, ldpc.per);
+    pts += obj;
+    first = false;
   }
   bench::note("expected: crossover ~4-4.5 dB; LDPC column reaches '-' first");
 
@@ -55,9 +64,22 @@ int main() {
   const bench::Table t2({"SNR dB", "PER BCC", "PER LDPC"}, 12);
   for (double snr = 8.0; snr <= 14.0; snr += 1.0) {
     const auto seed = 260;
-    t2.row({bench::fix(snr, 0),
-            bench::fix(run_point(3, snr, core::FecType::kBcc, kPackets, seed).per, 2),
-            bench::fix(run_point(3, snr, core::FecType::kLdpc, kPackets, seed).per, 2)});
+    const auto bcc = run_point(3, snr, core::FecType::kBcc, kPackets, seed);
+    const auto ldpc = run_point(3, snr, core::FecType::kLdpc, kPackets, seed);
+    t2.row({bench::fix(snr, 0), bench::fix(bcc.per, 2),
+            bench::fix(ldpc.per, 2)});
+    char obj[224];
+    std::snprintf(obj, sizeof obj,
+                  ", {\"snr_db\": %g, \"mcs\": 3, \"ber_bcc\": %.6g, "
+                  "\"ber_ldpc\": %.6g, \"per_bcc\": %.6g, \"per_ldpc\": %.6g}",
+                  snr, bcc.ber, ldpc.ber, bcc.per, ldpc.per);
+    pts += obj;
   }
+
+  bench::JsonReport report("e16_ldpc");
+  report.field("packets_per_point", kPackets)
+      .field("payload_bytes", std::size_t{1000})
+      .raw("points", pts + "]")
+      .emit();
   return 0;
 }

@@ -1,0 +1,147 @@
+// E17 — hot-path throughput: end-to-end samples/sec and packets/sec.
+//
+// The repo's perf baseline. Times the full chain (Transmitter -> MimoChannel
+// -> Receiver, single worker thread so numbers are comparable across
+// machines' core counts) at high SNR where every packet decodes, for the
+// 1x1 and 2x2 top-rate BCC configurations. Emits BENCH_hotpath.json with the
+// live numbers next to the recorded pre-refactor baseline so every later PR
+// has a trajectory to beat.
+//
+// MIMONET_BENCH_PACKETS overrides the timed packet count (check.sh's
+// bench-smoke step uses a small value).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/link_simulator.hpp"
+#include "wifi/psdu.hpp"
+
+using namespace mimonet;
+
+namespace {
+
+// Pre-refactor reference (commit 22a1573, the chain before the span/workspace
+// sample plane), measured on this machine with this same harness:
+// 64 timed packets, 1000-byte payload, 30 dB AWGN, one worker thread.
+struct Baseline {
+  double samples_per_sec;
+  double packets_per_sec;
+};
+constexpr Baseline kBaseline1x1Mcs7{5.43e5, 143.6};
+constexpr Baseline kBaseline2x2Mcs15{3.47e5, 134.6};
+constexpr const char* kBaselineCommit = "22a1573";
+
+struct Case {
+  const char* name;
+  unsigned mcs;
+  Baseline baseline;
+};
+
+struct Measurement {
+  double samples_per_sec = 0.0;
+  double packets_per_sec = 0.0;
+  std::size_t samples_per_packet = 0;
+  std::size_t packets = 0;
+  std::size_t failures = 0;
+};
+
+Measurement run_case(unsigned mcs, std::size_t n_packets) {
+  constexpr std::size_t kPayloadBytes = 1000;
+  const auto cfg = core::LinkConfig::make()
+                       .mcs(mcs)
+                       .snr_db(30.0)
+                       .payload_bytes(kPayloadBytes)
+                       .seed(17)
+                       .build();
+  core::LinkSimulator sim(cfg);
+
+  // Per-packet capture length: frame plus the channel's noise-only pads
+  // (flat AWGN channel: a single tap adds no convolution tail).
+  const std::size_t psdu_bytes = kPayloadBytes + wifi::kMacHeaderLen + 4;
+  const std::size_t samples_per_packet =
+      sim.transmitter().layout(psdu_bytes).total_samples() +
+      cfg.channel.timing_pad + cfg.channel.tail_pad;
+
+  // Warm up allocator pools, plan caches, and branch predictors.
+  (void)sim.run(core::RunOptions{.n_packets = 4, .n_threads = 1});
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto res =
+      sim.run(core::RunOptions{.n_packets = n_packets, .n_threads = 1});
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+
+  Measurement m;
+  m.samples_per_packet = samples_per_packet;
+  m.packets = n_packets;
+  m.failures = res.per.failures() + res.undetected;
+  m.packets_per_sec = static_cast<double>(n_packets) / secs;
+  m.samples_per_sec =
+      static_cast<double>(n_packets * samples_per_packet) / secs;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("E17", "Hot-path throughput: samples/sec, packets/sec");
+
+  std::size_t n_packets = 64;
+  if (const char* env = std::getenv("MIMONET_BENCH_PACKETS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) n_packets = static_cast<std::size_t>(v);
+  }
+  bench::note("%zu timed packets per case, 1000-byte payload, 30 dB AWGN, "
+              "1 worker thread", n_packets);
+  bench::note("baseline: pre-refactor chain at commit %s", kBaselineCommit);
+
+  const std::vector<Case> cases{
+      {"1x1_mcs7", 7, kBaseline1x1Mcs7},
+      {"2x2_mcs15", 15, kBaseline2x2Mcs15},
+  };
+
+  const bench::Table table(
+      {"case", "Msamp/s", "pkt/s", "base Msamp/s", "speedup", "fail"}, 14);
+
+  bench::JsonReport report("hotpath");
+  report.field("baseline_commit", kBaselineCommit);
+  report.field("timed_packets", n_packets);
+  report.field("payload_bytes", std::size_t{1000});
+  report.field("snr_db", 30.0);
+  report.field("n_threads", std::size_t{1});
+
+  std::string cases_json = "[";
+  bool all_decoded = true;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto& c = cases[i];
+    const auto m = run_case(c.mcs, n_packets);
+    all_decoded = all_decoded && (m.failures == 0);
+    const double speedup = c.baseline.samples_per_sec > 0.0
+                               ? m.samples_per_sec / c.baseline.samples_per_sec
+                               : 0.0;
+    table.row({c.name, bench::fix(m.samples_per_sec / 1e6, 3),
+               bench::fix(m.packets_per_sec, 1),
+               bench::fix(c.baseline.samples_per_sec / 1e6, 3),
+               bench::fix(speedup, 2) + "x", std::to_string(m.failures)});
+
+    bench::JsonReport cj(c.name);
+    cj.field("mcs", c.mcs);
+    cj.field("samples_per_packet", m.samples_per_packet);
+    cj.field("samples_per_sec", m.samples_per_sec);
+    cj.field("packets_per_sec", m.packets_per_sec);
+    cj.field("baseline_samples_per_sec", c.baseline.samples_per_sec);
+    cj.field("baseline_packets_per_sec", c.baseline.packets_per_sec);
+    cj.field("speedup_vs_baseline", speedup);
+    cj.field("decode_failures", m.failures);
+    if (i != 0) cases_json += ", ";
+    cases_json += cj.to_json();
+  }
+  cases_json += "]";
+  report.raw("cases", cases_json);
+  report.field("all_packets_decoded", all_decoded);
+  report.emit();
+  return all_decoded ? 0 : 1;
+}

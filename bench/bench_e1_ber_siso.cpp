@@ -20,6 +20,8 @@ int main() {
   for (unsigned mcs = 0; mcs <= 7; ++mcs) headers.push_back("MCS" + std::to_string(mcs));
   const bench::Table table(headers, 11);
 
+  std::string pts = "[";
+  bool first = true;
   for (double snr = 0.0; snr <= 27.0; snr += 3.0) {
     std::vector<std::string> cells{bench::fix(snr, 0)};
     for (unsigned mcs = 0; mcs <= 7; ++mcs) {
@@ -40,9 +42,21 @@ int main() {
       } else {
         cells.push_back(bench::sci(res.ber.ber()));
       }
+      char obj[160];
+      std::snprintf(obj, sizeof obj,
+                    "%s{\"snr_db\": %g, \"mcs\": %u, \"ber\": %.6g, \"bits\": %zu}",
+                    first ? "" : ", ", snr, mcs, res.ber.ber(), res.ber.bits());
+      pts += obj;
+      first = false;
     }
     table.row(cells);
   }
   bench::note("x = nothing decoded at this SNR, - = zero errors observed");
+
+  bench::JsonReport report("e1_ber_siso");
+  report.field("packets_per_point", std::size_t{30})
+      .field("payload_bytes", std::size_t{500})
+      .raw("points", pts + "]")
+      .emit();
   return 0;
 }

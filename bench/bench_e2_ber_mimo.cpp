@@ -39,6 +39,8 @@ int main() {
   constexpr std::size_t kPackets = 25;
   bench::note("%zu packets x 400 bytes per point, flat Rayleigh block fading", kPackets);
 
+  std::string pts = "[";
+  bool first = true;
   for (const unsigned mcs : {8U, 11U, 13U}) {
     // Exhaustive ML over 64-QAM pairs (4096 hypotheses/carrier) is too slow
     // for a sweep; report it for BPSK/16-QAM and mark n/a for 64-QAM.
@@ -59,10 +61,23 @@ int main() {
         const double ber =
             run_ber(mcs, snr, type, kPackets, 7000 + mcs);
         cells.push_back(ber > 0.0 ? bench::sci(ber) : std::string("-"));
+        char obj[192];
+        std::snprintf(obj, sizeof obj,
+                      "%s{\"snr_db\": %g, \"mcs\": %u, \"eq\": \"%s\", \"ber\": %.6g}",
+                      first ? "" : ", ", snr, mcs,
+                      std::string(eq::equalizer_name(type)).c_str(), ber);
+        pts += obj;
+        first = false;
       }
       table.row(cells);
     }
   }
   bench::note("expected ordering at every SNR: ML <= MMSE <= ZF");
+
+  bench::JsonReport report("e2_ber_mimo");
+  report.field("packets_per_point", kPackets)
+      .field("payload_bytes", std::size_t{400})
+      .raw("points", pts + "]")
+      .emit();
   return 0;
 }

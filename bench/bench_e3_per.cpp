@@ -22,6 +22,9 @@ constexpr std::size_t kPackets = 40;
 constexpr std::size_t kMaxPackets = 60;
 constexpr std::size_t kTargetEvents = 20;
 
+std::string g_pts = "[";  // JSON points accumulated across both sweeps
+bool g_first = true;
+
 core::LinkResult run_point(unsigned mcs, double snr, bool fading,
                            std::uint64_t seed) {
   auto cfg = core::LinkConfig::make()
@@ -54,6 +57,14 @@ void sweep(const char* title, double snr_lo, double snr_hi,
       const auto res = run_point(mcs_list[i], snr, fading, seed_base + mcs_list[i]);
       cells.push_back(bench::fix(res.per.per(), 2));
       totals[i].merge(res);
+      char obj[192];
+      std::snprintf(obj, sizeof obj,
+                    "%s{\"snr_db\": %g, \"mcs\": %u, \"fading\": %s, "
+                    "\"per\": %.6g, \"packets\": %zu}",
+                    g_first ? "" : ", ", snr, mcs_list[i],
+                    fading ? "true" : "false", res.per.per(), res.per.packets());
+      g_pts += obj;
+      g_first = false;
     }
     table.row(cells);
   }
@@ -81,5 +92,11 @@ int main() {
         true, 500);
 
   bench::note("AWGN: cliff within ~3 dB; Rayleigh: gentle slope from fades");
+
+  bench::JsonReport report("e3_per");
+  report.field("packets_per_point", kPackets)
+      .field("target_per_events", kTargetEvents)
+      .raw("points", g_pts + "]")
+      .emit();
   return 0;
 }

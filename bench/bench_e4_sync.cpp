@@ -121,5 +121,26 @@ int main() {
             cfo_cell(row.vdb1)});
   }
   bench::note("expected: VdB-MIMO timing stddev <= VdB-1ant, gap widest at low SNR");
+
+  std::string pts = "[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    const auto stat = [](const SyncStats& st) {
+      char buf[192];
+      std::snprintf(buf, sizeof buf,
+                    "{\"timing_stddev\": %.6g, \"cfo_rmse\": %.6g, \"missed\": %zu}",
+                    st.timing.count() > 0 ? st.timing.stddev() : -1.0,
+                    st.cfo.count() > 0 ? st.cfo.rms() : -1.0, st.missed);
+      return std::string(buf);
+    };
+    char head[64];
+    std::snprintf(head, sizeof head, "%s{\"snr_db\": %g, ", i == 0 ? "" : ", ",
+                  row.snr);
+    pts += std::string(head) + "\"xcorr\": " + stat(row.xc) +
+           ", \"vdb_mimo\": " + stat(row.vdb2) +
+           ", \"vdb_1ant\": " + stat(row.vdb1) + "}";
+  }
+  bench::JsonReport report("e4_sync");
+  report.field("trials_per_point", kTrials).raw("points", pts + "]").emit();
   return 0;
 }

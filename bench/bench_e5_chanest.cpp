@@ -121,6 +121,8 @@ int main() {
 
   const bench::Table table(
       {"SNR dB", "flat raw", "flat smth", "long raw", "long smth"}, 12);
+  std::string pts = "[";
+  bool first = true;
   for (double snr = 0.0; snr <= 30.0; snr += 5.0) {
     const auto flat = run_point(snr, channel::DelayProfile::kFlat, kTrials,
                                 900 + static_cast<std::uint64_t>(snr));
@@ -130,7 +132,19 @@ int main() {
                bench::fix(dsp::to_db(flat.smooth), 1),
                bench::fix(dsp::to_db(sel.raw), 1),
                bench::fix(dsp::to_db(sel.smooth), 1)});
+    char obj[256];
+    std::snprintf(obj, sizeof obj,
+                  "%s{\"snr_db\": %g, \"flat_raw_db\": %.4g, \"flat_smooth_db\": %.4g, "
+                  "\"long_raw_db\": %.4g, \"long_smooth_db\": %.4g}",
+                  first ? "" : ", ", snr, dsp::to_db(flat.raw),
+                  dsp::to_db(flat.smooth), dsp::to_db(sel.raw),
+                  dsp::to_db(sel.smooth));
+    pts += obj;
+    first = false;
   }
   bench::note("expected: raw NMSE ~ -(SNR+const); smoothing helps flat, floors long");
+
+  bench::JsonReport report("e5_chanest");
+  report.field("trials_per_point", kTrials).raw("points", pts + "]").emit();
   return 0;
 }

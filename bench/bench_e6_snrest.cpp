@@ -20,6 +20,8 @@ int main() {
 
   const bench::Table table(
       {"true dB", "LTF mean", "LTF sd", "pilot mean", "pilot sd", "bias"}, 11);
+  std::string pts = "[";
+  bool first = true;
   for (double snr = 0.0; snr <= 30.0; snr += 3.0) {
     auto cfg = core::make_link_config(0, snr);
     cfg.psdu_payload_bytes = 800;
@@ -35,6 +37,16 @@ int main() {
                bench::fix(res.pilot_snr_db.mean(), 1),
                bench::fix(res.pilot_snr_db.stddev(), 2),
                bench::fix(res.snr_est_db.mean() - snr, 2)});
+    char obj[224];
+    std::snprintf(obj, sizeof obj,
+                  "%s{\"true_snr_db\": %g, \"ltf_mean_db\": %.4g, "
+                  "\"ltf_stddev_db\": %.4g, \"pilot_mean_db\": %.4g, "
+                  "\"pilot_stddev_db\": %.4g}",
+                  first ? "" : ", ", snr, res.snr_est_db.mean(),
+                  res.snr_est_db.stddev(), res.pilot_snr_db.mean(),
+                  res.pilot_snr_db.stddev());
+    pts += obj;
+    first = false;
   }
 
   bench::note("per-subcarrier view at 20 dB (one packet, LTF method):");
@@ -60,5 +72,8 @@ int main() {
     std::printf("\n");
   }
   bench::note("expected: means within ~1 dB of truth across the range");
+
+  bench::JsonReport report("e6_snrest");
+  report.field("packets_per_point", kPackets).raw("points", pts + "]").emit();
   return 0;
 }

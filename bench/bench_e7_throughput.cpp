@@ -34,6 +34,8 @@ int main() {
   bench::note("%zu packets per cell, AWGN; goodput = delivered bits / air time",
               kPackets);
 
+  std::string pts = "[";
+  bool first = true;
   for (const double snr : {30.0, 18.0, 10.0}) {
     std::printf("\n  SNR %.0f dB\n", snr);
     std::vector<std::string> headers{"MCS", "PHY Mb/s", "nss"};
@@ -49,9 +51,24 @@ int main() {
                                      std::to_string(info.nss)};
       for (auto& c : res.summary_row()) cells.push_back(std::move(c));
       table.row(cells);
+      char obj[224];
+      std::snprintf(obj, sizeof obj,
+                    "%s{\"snr_db\": %g, \"mcs\": %u, \"nss\": %u, "
+                    "\"phy_mbps\": %.4g, \"goodput_mbps\": %.4g, \"per\": %.4g}",
+                    first ? "" : ", ", snr, mcs, info.nss,
+                    info.data_rate_mbps(), res.throughput.goodput_mbps(),
+                    res.per.per());
+      pts += obj;
+      first = false;
     }
   }
   bench::note("expected: MCS k+8 goodput ~= 2x MCS k at 30 dB (spatial multiplexing");
   bench::note("doubles rate in the same 20 MHz); high MCS collapse first as SNR drops");
+
+  bench::JsonReport report("e7_throughput");
+  report.field("packets_per_point", kPackets)
+      .field("payload_bytes", std::size_t{1500})
+      .raw("points", pts + "]")
+      .emit();
   return 0;
 }

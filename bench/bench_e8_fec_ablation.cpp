@@ -41,6 +41,8 @@ int main() {
   const bench::Table table({"SNR dB", "PER coded", "PER raw", "BER coded",
                             "BER raw"},
                            12);
+  std::string pts = "[";
+  bool first = true;
   for (double snr = 0.0; snr <= 16.0; snr += 2.0) {
     const auto coded = run_point(snr, true, fec::CodeRate::kR1_2, 1, kPackets,
                                  80 + static_cast<std::uint64_t>(snr));
@@ -49,6 +51,13 @@ int main() {
     table.row({bench::fix(snr, 0), bench::fix(coded.per, 2), bench::fix(raw.per, 2),
                coded.ber > 0 ? bench::sci(coded.ber) : std::string("-"),
                raw.ber > 0 ? bench::sci(raw.ber) : std::string("-")});
+    char obj[224];
+    std::snprintf(obj, sizeof obj,
+                  "%s{\"snr_db\": %g, \"per_coded\": %.6g, \"per_raw\": %.6g, "
+                  "\"ber_coded\": %.6g, \"ber_raw\": %.6g}",
+                  first ? "" : ", ", snr, coded.per, raw.per, coded.ber, raw.ber);
+    pts += obj;
+    first = false;
   }
 
   std::printf("\n  Coding-rate sweep at fixed SNR (64-QAM family, 14 dB)\n");
@@ -61,5 +70,11 @@ int main() {
   }
   bench::note("expected: coded PER cliff sits several dB left of uncoded;");
   bench::note("at fixed SNR, higher puncturing rate -> higher PER");
+
+  bench::JsonReport report("e8_fec_ablation");
+  report.field("packets_per_point", kPackets)
+      .field("payload_bytes", std::size_t{500})
+      .raw("points", pts + "]")
+      .emit();
   return 0;
 }

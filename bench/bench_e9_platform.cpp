@@ -6,8 +6,10 @@
 // samples/s for stream stages, packets/s for the full chains.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <random>
 
+#include "bench_util.hpp"
 #include "channel/mimo_channel.hpp"
 #include "core/receiver.hpp"
 #include "core/transmitter.hpp"
@@ -159,6 +161,43 @@ void BM_RxChain(benchmark::State& state) {
 }
 BENCHMARK(BM_RxChain)->Arg(0)->Arg(7)->Arg(15);
 
+// Console output as usual, plus one JSON point per benchmark run so the
+// suite-level BENCH_*.json collection covers the platform numbers too.
+class JsonCollector : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const auto& run : runs) {
+      if (run.error_occurred) continue;
+      double ips = -1.0;
+      if (const auto it = run.counters.find("items_per_second");
+          it != run.counters.end()) {
+        ips = it->second.value;
+      }
+      char obj[256];
+      std::snprintf(obj, sizeof obj,
+                    "%s{\"name\": \"%s\", \"items_per_second\": %.6g, "
+                    "\"real_time_ns\": %.6g}",
+                    first_ ? "" : ", ", run.benchmark_name().c_str(), ips,
+                    run.GetAdjustedRealTime());
+      points += obj;
+      first_ = false;
+    }
+  }
+  std::string points = "[";
+
+ private:
+  bool first_ = true;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCollector collector;
+  benchmark::RunSpecifiedBenchmarks(&collector);
+  bench::JsonReport report("e9_platform");
+  report.raw("points", collector.points + "]").emit();
+  return 0;
+}

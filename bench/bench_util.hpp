@@ -74,4 +74,83 @@ inline std::string fix(double v, int digits = 2) {
   return fmt(f, v);
 }
 
+/// Machine-readable bench output. Each harness fills one JsonReport and
+/// calls emit(), which prints a single `BENCH_JSON {...}` line on stdout and
+/// writes the same object to BENCH_<id>.json — into $MIMONET_BENCH_JSON_DIR
+/// when set (scripts/bench.sh points it at the repo root), else the cwd.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string id) : id_(std::move(id)) {
+    field("bench", id_);
+  }
+
+  JsonReport& field(const std::string& key, const std::string& v) {
+    return raw(key, "\"" + escape(v) + "\"");
+  }
+  JsonReport& field(const std::string& key, const char* v) {
+    return field(key, std::string(v));
+  }
+  JsonReport& field(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return raw(key, buf);
+  }
+  JsonReport& field(const std::string& key, std::size_t v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonReport& field(const std::string& key, unsigned v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonReport& field(const std::string& key, int v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonReport& field(const std::string& key, bool v) {
+    return raw(key, v ? "true" : "false");
+  }
+  /// Pre-encoded JSON value (nested object/array composed by the caller).
+  JsonReport& raw(const std::string& key, const std::string& json_value) {
+    kv_.emplace_back(key, json_value);
+    return *this;
+  }
+
+  [[nodiscard]] std::string to_json() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < kv_.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += "\"" + escape(kv_[i].first) + "\": " + kv_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+  /// Print the BENCH_JSON line and write BENCH_<id>.json.
+  void emit() const {
+    const std::string json = to_json();
+    std::printf("\nBENCH_JSON %s\n", json.c_str());
+    std::string dir = ".";
+    if (const char* env = std::getenv("MIMONET_BENCH_JSON_DIR")) dir = env;
+    const std::string path = dir + "/BENCH_" + id_ + ".json";
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      std::fprintf(f, "%s\n", json.c_str());
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    }
+  }
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+ private:
+  std::string id_;
+  std::vector<std::pair<std::string, std::string>> kv_;
+};
+
 }  // namespace bench

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs the experiment suite and collects machine-readable results at the
+# repo root as BENCH_<id>.json (one file per harness, same object as the
+# BENCH_JSON stdout line).
+#
+#   scripts/bench.sh                          # every bench_e* harness
+#   scripts/bench.sh bench_e17_hotpath        # any subset, by target name
+#
+# Environment:
+#   MIMONET_BENCH_BUILD_DIR  build tree to use (default: build)
+#   MIMONET_BENCH_THREADS    Monte-Carlo worker threads (default: hardware)
+#   MIMONET_BENCH_PACKETS    timed packets for bench_e17_hotpath
+#
+# For publication-grade perf numbers use a host-tuned tree:
+#   cmake -B build-native -S . -DCMAKE_BUILD_TYPE=Release -DMIMONET_NATIVE=ON
+#   MIMONET_BENCH_BUILD_DIR=build-native scripts/bench.sh bench_e17_hotpath
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${MIMONET_BENCH_BUILD_DIR:-build}"
+
+targets=("$@")
+if [ ${#targets[@]} -eq 0 ]; then
+  for src in bench/bench_e*.cpp; do
+    targets+=("$(basename "$src" .cpp)")
+  done
+fi
+
+cmake -B "$build_dir" -S . > /dev/null
+cmake --build "$build_dir" -j --target "${targets[@]}" > /dev/null
+
+export MIMONET_BENCH_JSON_DIR="$PWD"
+status=0
+for t in "${targets[@]}"; do
+  echo "==== $t ===="
+  if ! "$build_dir/bench/$t"; then
+    echo "bench: $t exited non-zero" >&2
+    status=1
+  fi
+done
+
+echo
+echo "==== $(ls BENCH_*.json 2>/dev/null | wc -l) BENCH_*.json files at repo root ===="
+exit "$status"

@@ -3,9 +3,10 @@
 # running the complete ctest suite (unit tests, stress harness, integration).
 # This is the correctness gate every performance PR runs against:
 #
-#   scripts/check.sh            # all three configurations
+#   scripts/check.sh            # all three configurations + bench smoke
 #   scripts/check.sh plain      # just the plain build
 #   scripts/check.sh asan tsan  # any subset, in order
+#   scripts/check.sh bench-smoke  # hot-path bench on 4 packets + JSON schema
 #
 # Build trees are kept per-configuration (build/, build-asan/, build-tsan/)
 # so incremental re-runs are cheap.
@@ -15,7 +16,7 @@ cd "$(dirname "$0")/.."
 
 configs=("$@")
 if [ ${#configs[@]} -eq 0 ]; then
-  configs=(plain asan tsan)
+  configs=(plain asan tsan bench-smoke)
 fi
 
 run_config() {
@@ -31,6 +32,46 @@ run_config() {
   ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
 }
 
+# Hot-path bench smoke: a handful of packets through bench_e17_hotpath, then
+# a schema check on the emitted BENCH_hotpath.json. Catches both a broken
+# hot path (the bench fails if any packet fails to decode) and a broken
+# JSON emitter before a real perf run wastes an hour on it.
+run_bench_smoke() {
+  echo "==== [bench-smoke] build ===="
+  cmake -B build -S . > build.configure.log 2>&1 || {
+    cat build.configure.log; return 1; }
+  cmake --build build -j --target bench_e17_hotpath > build.build.log 2>&1 || {
+    tail -50 build.build.log; return 1; }
+  echo "==== [bench-smoke] run (4 packets) ===="
+  local tmp
+  tmp="$(mktemp -d)"
+  MIMONET_BENCH_PACKETS=4 MIMONET_BENCH_JSON_DIR="$tmp" \
+    ./build/bench/bench_e17_hotpath || { rm -rf "$tmp"; return 1; }
+  echo "==== [bench-smoke] validate BENCH_hotpath.json ===="
+  python3 - "$tmp/BENCH_hotpath.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+for key in ("bench", "baseline_commit", "timed_packets", "payload_bytes",
+            "n_threads", "cases", "all_packets_decoded"):
+    assert key in d, f"missing key: {key}"
+assert d["bench"] == "hotpath"
+assert isinstance(d["cases"], list) and len(d["cases"]) == 2, "want 2 cases"
+for c in d["cases"]:
+    for key in ("bench", "mcs", "samples_per_sec", "packets_per_sec",
+                "baseline_samples_per_sec", "speedup_vs_baseline",
+                "decode_failures"):
+        assert key in c, f"missing case key: {key}"
+    assert c["samples_per_sec"] > 0, "non-positive sample rate"
+    assert c["decode_failures"] == 0, "decode failures in smoke run"
+print("BENCH_hotpath.json schema OK")
+EOF
+  local rc=$?
+  rm -rf "$tmp"
+  return "$rc"
+}
+
 for cfg in "${configs[@]}"; do
   case "$cfg" in
     plain)
@@ -42,8 +83,10 @@ for cfg in "${configs[@]}"; do
       run_config asan+ubsan build-asan -DMIMONET_ASAN=ON -DMIMONET_UBSAN=ON ;;
     tsan)
       run_config tsan build-tsan -DMIMONET_TSAN=ON ;;
+    bench-smoke)
+      run_bench_smoke ;;
     *)
-      echo "unknown config: $cfg (want plain|asan|tsan)" >&2; exit 2 ;;
+      echo "unknown config: $cfg (want plain|asan|tsan|bench-smoke)" >&2; exit 2 ;;
   esac
 done
 

@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "dsp/sample_grid.hpp"
 #include "dsp/types.hpp"
 #include "eq/matrix.hpp"
 #include "ofdm/subcarriers.hpp"
@@ -20,8 +21,15 @@ struct MimoChannelEstimate {
   std::size_t nss = 0;
   std::vector<std::vector<std::vector<cf32>>> h;
 
+  /// Resize to nrx x nss x 64 zeroed bins, reusing existing nested storage
+  /// (no temporaries, so a warm workspace stays allocation-free).
+  void resize_zeroed(std::size_t nrx_in, std::size_t nss_in);
+
   /// Channel matrix (nrx x nss) at one FFT bin, for the equalizer.
   [[nodiscard]] eq::CMatrix at_bin(std::size_t bin) const;
+
+  /// at_bin without the return-value copy.
+  void at_bin_into(std::size_t bin, eq::CMatrix& m) const;
 
   /// Mean squared error against a reference channel over the given bins.
   [[nodiscard]] double mse_against(
@@ -41,12 +49,29 @@ class LsChannelEstimator {
   [[nodiscard]] MimoChannelEstimate estimate(
       const std::vector<std::vector<std::vector<cf32>>>& ltf_grids) const;
 
+  /// estimate into caller storage (nested vectors reused, capacity kept).
+  void estimate_into(const std::vector<std::vector<std::vector<cf32>>>& ltf_grids,
+                     MimoChannelEstimate& est) const;
+
+  /// estimate from a contiguous [rx][ltf_symbol][bin] tensor (the hot path:
+  /// the receiver FFTs HT-LTF symbols straight into tensor rows).
+  void estimate_into(const dsp::IqTensor& ltf_grids, MimoChannelEstimate& est) const;
+
   /// Legacy (combined) channel estimate per RX antenna from the two L-LTF
   /// periods: grids[rx][rep][bin] with rep in {0, 1}. Returns h[rx][bin].
   /// This combined response includes the CSD of all TX chains and is what
   /// the L-SIG/HT-SIG decoder equalizes with.
   [[nodiscard]] static std::vector<std::vector<cf32>> estimate_legacy(
       const std::vector<std::vector<std::vector<cf32>>>& grids);
+
+  /// estimate_legacy into caller storage (rows reused, capacity kept).
+  static void estimate_legacy_into(
+      const std::vector<std::vector<std::vector<cf32>>>& grids,
+      std::vector<std::vector<cf32>>& h);
+
+  /// estimate_legacy from a contiguous [rx][rep][bin] tensor.
+  static void estimate_legacy_into(const dsp::IqTensor& grids,
+                                   std::vector<std::vector<cf32>>& h);
 
  private:
   std::size_t nrx_;

@@ -1,11 +1,13 @@
 #include "chanest/snr_estimator.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
 
 #include "dsp/fft.hpp"
+#include "dsp/fft_cache.hpp"
 #include "ofdm/subcarriers.hpp"
 #include "wifi/preamble.hpp"
 
@@ -32,7 +34,8 @@ cf32 erase_non_finite(cf32 v) noexcept {
 
 }  // namespace
 
-SnrEstimate snr_from_lltf(std::span<const std::span<const cf32>> lltf_payload) {
+void snr_from_lltf_into(std::span<const std::span<const cf32>> lltf_payload,
+                        SnrEstimate& out) {
   if (lltf_payload.empty()) throw std::invalid_argument("snr_from_lltf: no antennas");
   constexpr std::size_t kN = 64;
 
@@ -41,9 +44,9 @@ SnrEstimate snr_from_lltf(std::span<const std::span<const cf32>> lltf_payload) {
   std::size_t n_samp = 0;
 
   // Per-subcarrier accumulation across antennas.
-  std::vector<double> bin_noise(kN, 0.0);
-  std::vector<double> bin_sig(kN, 0.0);
-  const dsp::FftPlan plan(kN);
+  std::array<double, kN> bin_noise{};
+  std::array<double, kN> bin_sig{};
+  const dsp::FftPlan& plan = dsp::shared_fft_plan(kN);
 
   for (const auto& ant : lltf_payload) {
     if (ant.size() < 2 * kN) {
@@ -60,8 +63,8 @@ SnrEstimate snr_from_lltf(std::span<const std::span<const cf32>> lltf_payload) {
     }
     // Frequency-domain per-subcarrier estimate (on the erased copies: one
     // poisoned sample must not turn the whole spectrum into NaN).
-    std::vector<cf32> x1(kN);
-    std::vector<cf32> x2(kN);
+    std::array<cf32, kN> x1;
+    std::array<cf32, kN> x2;
     for (std::size_t k = 0; k < kN; ++k) {
       x1[k] = erase_non_finite(ant[k]);
       x2[k] = erase_non_finite(ant[k + kN]);
@@ -76,7 +79,6 @@ SnrEstimate snr_from_lltf(std::span<const std::span<const cf32>> lltf_payload) {
     }
   }
 
-  SnrEstimate out;
   out.noise_variance = noise / static_cast<double>(n_samp);
   out.signal_power =
       std::max(total / static_cast<double>(n_samp) - out.noise_variance, 1e-12);
@@ -102,6 +104,11 @@ SnrEstimate snr_from_lltf(std::span<const std::span<const cf32>> lltf_payload) {
     out.per_bin_db[b] = clamp_db(dsp::to_db(sig / std::max(nv, 1e-30)));
     out.per_bin_valid[b] = 1;
   }
+}
+
+SnrEstimate snr_from_lltf(std::span<const std::span<const cf32>> lltf_payload) {
+  SnrEstimate out;
+  snr_from_lltf_into(lltf_payload, out);
   return out;
 }
 
@@ -147,9 +154,13 @@ void EvmSnrEstimator::add(std::size_t bin, cf32 observed, cf32 reference) noexce
   }
 }
 
-SnrEstimate EvmSnrEstimator::estimate() const {
-  SnrEstimate out;
-  if (total_.n == 0) return out;  // defined zeros; count() tells callers why
+void EvmSnrEstimator::estimate_into(SnrEstimate& out) const {
+  out.snr_db = 0.0;
+  out.signal_power = 0.0;
+  out.noise_variance = 0.0;
+  out.per_bin_db.clear();
+  out.per_bin_valid.clear();
+  if (total_.n == 0) return;  // defined zeros; count() tells callers why
   out.noise_variance = total_.err / static_cast<double>(total_.n);
   out.signal_power = total_.ref / static_cast<double>(total_.n);
   out.snr_db = clamp_db(dsp::to_db(std::max(out.signal_power, 1e-12) /
@@ -167,6 +178,11 @@ SnrEstimate EvmSnrEstimator::estimate() const {
     out.per_bin_db[b] = clamp_db(dsp::to_db(ratio));
     out.per_bin_valid[b] = 1;
   }
+}
+
+SnrEstimate EvmSnrEstimator::estimate() const {
+  SnrEstimate out;
+  estimate_into(out);
   return out;
 }
 

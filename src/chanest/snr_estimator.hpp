@@ -50,6 +50,11 @@ struct SnrEstimate {
 [[nodiscard]] SnrEstimate snr_from_lltf(
     std::span<const std::span<const cf32>> lltf_payload);
 
+/// snr_from_lltf into caller storage (per-bin vectors reused, capacity
+/// kept). Uses the shared FFT plan cache internally.
+void snr_from_lltf_into(std::span<const std::span<const cf32>> lltf_payload,
+                        SnrEstimate& out);
+
 /// Streaming EVM-based SNR estimator: feed (observed, reference) pairs from
 /// pilots or sliced data symbols; works per-subcarrier when bins are given.
 class EvmSnrEstimator {
@@ -66,6 +71,9 @@ class EvmSnrEstimator {
 
   /// Aggregate estimate; per_bin_db filled for bins with >= 2 observations.
   [[nodiscard]] SnrEstimate estimate() const;
+
+  /// estimate into caller storage (per-bin vectors reused, capacity kept).
+  void estimate_into(SnrEstimate& out) const;
 
   void reset() noexcept;
 

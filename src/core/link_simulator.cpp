@@ -11,6 +11,7 @@
 #include <mutex>
 #include <thread>
 
+#include "core/workspace.hpp"
 #include "dsp/rng.hpp"
 #include "wifi/bits.hpp"
 #include "wifi/psdu.hpp"
@@ -44,9 +45,13 @@ struct PacketWork {
   PacketOutcome outcome;
 };
 
+/// @param want_rx copy the decoded RxPacket into the outcome (needed only
+///        when an observer consumes it — skipping the copy keeps the
+///        no-observer hot path free of per-packet RxPacket duplication).
 PacketWork simulate_packet(const LinkConfig& cfg, const Transmitter& tx,
                            channel::MimoChannel& chan, const Receiver& rx,
-                           std::size_t p) {
+                           std::size_t p, TxWorkspace& tws, RxWorkspace& rws,
+                           bool want_rx) {
   const std::uint64_t pkt_seed = packet_seed(cfg.seed, p);
   // Restart the channel's random sources for this packet; offsetting by the
   // channel's own seed keeps common-random-number comparisons working.
@@ -62,11 +67,11 @@ PacketWork simulate_packet(const LinkConfig& cfg, const Transmitter& tx,
   const auto payload = payload_src.bytes(cfg.psdu_payload_bytes);
   const auto psdu = wifi::build_psdu(hdr, payload);
 
-  const auto tx_streams = tx.transmit(psdu);
-  const auto capture = chan.transmit(tx_streams);
+  tx.transmit_into(psdu, tws);
+  const auto capture = chan.transmit(tws.chains);
   const auto& truth = chan.truth();
 
-  auto rx_pkt = rx.receive(capture);
+  const bool detected = rx.receive(capture, rws);
   const double airtime = tx.layout(psdu.size()).airtime_us();
 
   PacketWork work;
@@ -77,36 +82,37 @@ PacketWork simulate_packet(const LinkConfig& cfg, const Transmitter& tx,
   work.outcome.truth_cfo_norm = truth.cfo_norm;
 
   LinkResult& res = work.partial;
-  if (!rx_pkt) {
+  if (!detected) {
     ++res.undetected;
     res.per.add(false);
     res.throughput.add_packet(0, airtime);
     return work;
   }
+  const RxPacket& rx_pkt = rws.packet;
 
-  const bool ok = rx_pkt->fcs_ok;
+  const bool ok = rx_pkt.fcs_ok;
   res.per.add(ok);
   res.throughput.add_packet(ok ? payload.size() : 0, airtime);
 
-  if (rx_pkt->htsig_ok && rx_pkt->psdu.size() == psdu.size()) {
+  if (rx_pkt.htsig_ok && rx_pkt.psdu.size() == psdu.size()) {
     const auto sent_bits = wifi::bytes_to_bits(psdu);
-    const auto got_bits = wifi::bytes_to_bits(rx_pkt->psdu);
+    const auto got_bits = wifi::bytes_to_bits(rx_pkt.psdu);
     res.ber.add(sent_bits, got_bits);
-  } else if (rx_pkt->htsig_ok) {
+  } else if (rx_pkt.htsig_ok) {
     // Length corrupted: count every PSDU bit as errored.
     res.ber.add_counts(psdu.size() * 8, psdu.size() * 8);
   }
 
-  res.snr_est_db.add(rx_pkt->snr.snr_db);
-  if (rx_pkt->pilot_snr.noise_variance > 0.0) {
-    res.pilot_snr_db.add(rx_pkt->pilot_snr.snr_db);
+  res.snr_est_db.add(rx_pkt.snr.snr_db);
+  if (rx_pkt.pilot_snr.noise_variance > 0.0) {
+    res.pilot_snr_db.add(rx_pkt.pilot_snr.snr_db);
   }
-  res.timing_err.add(static_cast<double>(rx_pkt->sync.packet_start) -
+  res.timing_err.add(static_cast<double>(rx_pkt.sync.packet_start) -
                      static_cast<double>(truth.packet_start));
-  res.cfo_err.add(rx_pkt->sync.cfo_norm - truth.cfo_norm);
+  res.cfo_err.add(rx_pkt.sync.cfo_norm - truth.cfo_norm);
 
   work.outcome.detected = true;
-  work.outcome.rx = std::move(*rx_pkt);
+  if (want_rx) work.outcome.rx = rx_pkt;
   return work;
 }
 
@@ -246,11 +252,17 @@ LinkResult LinkSimulator::run(const RunOptions& opt, PacketObserver* observer) {
           : std::max<std::size_t>(1, std::thread::hardware_concurrency());
   n_threads = std::min(n_threads, bound);
 
+  const bool want_rx = observer != nullptr;
+
   if (n_threads <= 1) {
     // Same per-packet path as the pool — merged in the same order — so a
-    // single-threaded run is bit-identical to any multi-threaded one.
+    // single-threaded run is bit-identical to any multi-threaded one. The
+    // loop owns one workspace pair; after the first packet warms it, the
+    // transmit/receive chain runs allocation-free.
+    TxWorkspace tws;
+    RxWorkspace rws;
     for (std::size_t p = 0; p < bound; ++p) {
-      auto work = simulate_packet(cfg_, tx_, chan_, rx_, p);
+      auto work = simulate_packet(cfg_, tx_, chan_, rx_, p, tws, rws, want_rx);
       res.merge(work.partial);
       if (observer != nullptr) observer->on_packet(work.outcome);
       if (reached_target()) break;
@@ -282,9 +294,13 @@ LinkResult LinkSimulator::run(const RunOptions& opt, PacketObserver* observer) {
         const Transmitter tx(cfg_.phy);
         channel::MimoChannel chan(seeded_channel(cfg_));
         const Receiver rx(cfg_.phy, cfg_.channel.nrx);
+        // Worker-owned arenas: no allocation or sharing across threads in
+        // the steady-state transmit/receive chain.
+        TxWorkspace tws;
+        RxWorkspace rws;
         for (std::size_t p = w; p < bound; p += n_threads) {
           if (stop.load(std::memory_order_relaxed)) break;
-          auto work = simulate_packet(cfg_, tx, chan, rx, p);
+          auto work = simulate_packet(cfg_, tx, chan, rx, p, tws, rws, want_rx);
           if (!queues[w]->push(std::move(work))) break;
         }
       } catch (...) {

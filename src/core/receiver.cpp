@@ -1,13 +1,15 @@
 #include "core/receiver.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
-#include <memory>
+#include <optional>
 #include <span>
 #include <stdexcept>
 
 #include "channel/impairments.hpp"
 #include "chanest/phase_tracker.hpp"
+#include "core/workspace.hpp"
 #include "dsp/fft.hpp"
 #include "eq/alamouti.hpp"
 #include "eq/equalizer.hpp"
@@ -41,8 +43,9 @@ std::vector<std::size_t> occupied_ht_bins() {
 /// head of the SERVICE field (which the transmitter sends as zeros, so the
 /// received bits equal the scrambler sequence itself).
 std::uint32_t recover_scrambler_seed(std::span<const std::uint8_t> first7) {
+  std::array<std::uint8_t, 7> seq{};
   for (std::uint32_t seed = 1; seed < 128; ++seed) {
-    const auto seq = fec::scrambler_sequence(seed, 7);
+    fec::scrambler_sequence_into(seed, seq);
     bool match = true;
     for (std::size_t i = 0; i < 7; ++i) {
       if (seq[i] != (first7[i] & 1U)) {
@@ -53,6 +56,32 @@ std::uint32_t recover_scrambler_seed(std::span<const std::uint8_t> first7) {
     if (match) return seed;
   }
   return fec::kDefaultScramblerSeed;  // undecodable; any seed will fail FCS
+}
+
+/// Reset a reused SnrEstimate without releasing its per-bin storage.
+void reset_snr(chanest::SnrEstimate& s) {
+  s.snr_db = 0.0;
+  s.signal_power = 0.0;
+  s.noise_variance = 0.0;
+  s.per_bin_db.clear();
+  s.per_bin_valid.clear();
+}
+
+/// Reset the reused packet result. Nested buffers keep their capacity; the
+/// channel estimate is marked absent via nrx == nss == 0.
+void reset_packet(RxPacket& pkt) {
+  pkt.lsig_ok = false;
+  pkt.htsig_ok = false;
+  pkt.fcs_ok = false;
+  pkt.lsig = {};
+  pkt.htsig = {};
+  pkt.psdu.clear();
+  pkt.sync = {};
+  reset_snr(pkt.snr);
+  reset_snr(pkt.pilot_snr);
+  pkt.channel.nrx = 0;
+  pkt.channel.nss = 0;
+  pkt.residual_cfo_norm = 0.0;
 }
 
 }  // namespace
@@ -66,100 +95,108 @@ Receiver::Receiver(PhyConfig cfg, std::size_t nrx)
   if (nrx == 0 || nrx > 4) throw std::invalid_argument("Receiver: nrx must be 1..4");
 }
 
-std::vector<float> Receiver::decode_sig_llrs(
-    const std::vector<std::vector<cf32>>& grids,
-    const std::vector<std::vector<cf32>>& h_legacy, float noise_var,
-    bool qbpsk) const {
+void Receiver::decode_sig_llrs(const dsp::SampleGrid& grids,
+                               const std::vector<std::vector<cf32>>& h_legacy,
+                               float noise_var, bool qbpsk, RxWorkspace& ws,
+                               std::vector<float>& out) const {
   const auto& data_bins = legacy_demod_.map().data_bins();
-  std::vector<cf32> mrc(data_bins.size());
+  ws.mrc.resize(data_bins.size());
   for (std::size_t i = 0; i < data_bins.size(); ++i) {
     const std::size_t bin = data_bins[i];
     dsp::cf64 num{0.0, 0.0};
     for (std::size_t r = 0; r < nrx_; ++r) {
-      num += dsp::cf64(grids[r][bin]) * std::conj(dsp::cf64(h_legacy[r][bin]));
+      num += dsp::cf64(grids(r, bin)) * std::conj(dsp::cf64(h_legacy[r][bin]));
     }
     // Unnormalized MRC: llr = -4 * axis(num) / nv is exact because the MRC
     // gain cancels between numerator and effective noise variance.
-    mrc[i] = cf32(static_cast<float>(num.real()), static_cast<float>(num.imag()));
+    ws.mrc[i] = cf32(static_cast<float>(num.real()), static_cast<float>(num.imag()));
   }
-  return wifi::demap_sig_field(mrc, noise_var, qbpsk);
+  wifi::demap_sig_field_into(ws.mrc, noise_var, qbpsk, ws.sig_axis_llrs, out);
 }
 
 std::optional<RxPacket> Receiver::receive(
     const std::vector<std::vector<cf32>>& capture) const {
+  RxWorkspace ws;
+  if (!receive(capture, ws)) return std::nullopt;
+  return std::move(ws.packet);
+}
+
+bool Receiver::receive(const std::vector<std::vector<cf32>>& capture,
+                       RxWorkspace& ws) const {
   if (capture.size() != nrx_) {
     throw std::invalid_argument("Receiver: capture antenna count mismatch");
   }
-  const auto sync_res = synchronizer_.synchronize(capture);
-  if (!sync_res) return std::nullopt;
+  RxPacket& pkt = ws.packet;
+  reset_packet(pkt);
 
-  RxPacket pkt;
+  const auto sync_res = synchronizer_.synchronize(capture, ws.sync);
+  if (!sync_res) return false;
   pkt.sync = *sync_res;
 
   // CFO-corrected, packet-aligned copy.
   const std::size_t start = sync_res->packet_start;
   const std::size_t avail = capture[0].size() - start;
   FrameLayout probe;  // nss=1 layout: offsets through HT-STF are nss-free
-  if (avail < probe.htltf_offset() + wifi::kHtLtfLen) return std::nullopt;
+  if (avail < probe.htltf_offset() + wifi::kHtLtfLen) return false;
 
-  std::vector<std::vector<cf32>> rx(nrx_);
+  ws.rx.resize(nrx_);
   for (std::size_t a = 0; a < nrx_; ++a) {
-    rx[a].assign(capture[a].begin() + static_cast<std::ptrdiff_t>(start),
-                 capture[a].end());
-    channel::apply_cfo(rx[a], -sync_res->cfo_norm);
+    ws.rx[a].assign(capture[a].begin() + static_cast<std::ptrdiff_t>(start),
+                    capture[a].end());
+    channel::apply_cfo(ws.rx[a], -sync_res->cfo_norm);
   }
 
-  const dsp::FftPlan fft64(ofdm::kFftSize);
+  const dsp::FftPlan& fft64 = ws.fft_cache.plan(ofdm::kFftSize);
 
   // ---- L-LTF: legacy channel estimate + SNR estimate. ----
   const std::size_t lltf_payload = probe.lltf_offset() + 32;
-  std::vector<std::vector<std::vector<cf32>>> lltf_grids(
-      nrx_, std::vector<std::vector<cf32>>(2, std::vector<cf32>(ofdm::kFftSize)));
+  ws.lltf_grids.resize(nrx_, 2, ofdm::kFftSize);
   for (std::size_t a = 0; a < nrx_; ++a) {
     for (std::size_t rep = 0; rep < 2; ++rep) {
-      fft64.forward(std::span<const cf32>(rx[a]).subspan(lltf_payload + rep * 64, 64),
-                    lltf_grids[a][rep]);
+      fft64.forward(
+          std::span<const cf32>(ws.rx[a]).subspan(lltf_payload + rep * 64, 64),
+          ws.lltf_grids.row(a, rep));
     }
   }
-  const auto h_legacy = chanest::LsChannelEstimator::estimate_legacy(lltf_grids);
+  chanest::LsChannelEstimator::estimate_legacy_into(ws.lltf_grids, ws.h_legacy);
 
-  std::vector<std::span<const cf32>> lltf_spans;
-  lltf_spans.reserve(nrx_);
-  for (const auto& a : rx) {
-    lltf_spans.emplace_back(std::span<const cf32>(a).subspan(lltf_payload, 128));
+  ws.spans.clear();
+  for (const auto& a : ws.rx) {
+    ws.spans.emplace_back(std::span<const cf32>(a).subspan(lltf_payload, 128));
   }
-  pkt.snr = chanest::snr_from_lltf(lltf_spans);
+  chanest::snr_from_lltf_into(ws.spans, pkt.snr);
   const auto nv_bin = static_cast<float>(
       64.0 * std::max(pkt.snr.noise_variance, 1e-12));
 
   // ---- L-SIG. ----
-  std::vector<std::vector<cf32>> sig_grid(nrx_, std::vector<cf32>(ofdm::kFftSize));
+  ws.sig_grid.resize(nrx_, ofdm::kFftSize);
   const auto demod_symbol_grids = [&](std::size_t offset) {
     for (std::size_t a = 0; a < nrx_; ++a) {
-      fft64.forward(
-          std::span<const cf32>(rx[a]).subspan(offset + ofdm::kCpLen, ofdm::kFftSize),
-          sig_grid[a]);
+      fft64.forward(std::span<const cf32>(ws.rx[a])
+                        .subspan(offset + ofdm::kCpLen, ofdm::kFftSize),
+                    ws.sig_grid.row(a));
     }
   };
 
   demod_symbol_grids(probe.lsig_offset());
-  const auto lsig_llrs = decode_sig_llrs(sig_grid, h_legacy, nv_bin, /*qbpsk=*/false);
-  const auto lsig_bits = viterbi_.decode_soft(lsig_llrs, /*terminated=*/true);
-  if (const auto lsig = wifi::decode_lsig(lsig_bits)) {
+  decode_sig_llrs(ws.sig_grid, ws.h_legacy, nv_bin, /*qbpsk=*/false, ws, ws.sig_llrs);
+  viterbi_.decode_soft_into(ws.sig_llrs, /*terminated=*/true, ws.sig_bits, ws.viterbi);
+  if (const auto lsig = wifi::decode_lsig(ws.sig_bits)) {
     pkt.lsig = *lsig;
     pkt.lsig_ok = true;
   }
 
   // ---- HT-SIG (two symbols, one coded block). ----
-  std::vector<float> htsig_llrs;
+  ws.htsig_llrs.clear();
   for (std::size_t s = 0; s < 2; ++s) {
     demod_symbol_grids(probe.htsig_offset() + s * ofdm::kSymLen);
-    const auto llrs = decode_sig_llrs(sig_grid, h_legacy, nv_bin, /*qbpsk=*/true);
-    htsig_llrs.insert(htsig_llrs.end(), llrs.begin(), llrs.end());
+    decode_sig_llrs(ws.sig_grid, ws.h_legacy, nv_bin, /*qbpsk=*/true, ws, ws.sig_llrs);
+    ws.htsig_llrs.insert(ws.htsig_llrs.end(), ws.sig_llrs.begin(), ws.sig_llrs.end());
   }
-  const auto htsig_bits = viterbi_.decode_soft(htsig_llrs, /*terminated=*/true);
-  const auto htsig = wifi::decode_htsig(htsig_bits);
-  if (!htsig) return pkt;
+  viterbi_.decode_soft_into(ws.htsig_llrs, /*terminated=*/true, ws.sig_bits,
+                            ws.viterbi);
+  const auto htsig = wifi::decode_htsig(ws.sig_bits);
+  if (!htsig) return true;
   pkt.htsig = *htsig;
   pkt.htsig_ok = true;
 
@@ -169,12 +206,12 @@ std::optional<RxPacket> Receiver::receive(
     mcs = wifi::mcs_info(pkt.htsig.mcs);
   } catch (const std::invalid_argument&) {
     pkt.htsig_ok = false;  // CRC passed but the MCS is outside our support
-    return pkt;
+    return true;
   }
   const bool stbc = pkt.htsig.stbc != 0;
   if (stbc && (pkt.htsig.stbc != 1 || mcs.nss != 1)) {
     pkt.htsig_ok = false;  // only the 1-stream / 2-STS Alamouti mode exists
-    return pkt;
+    return true;
   }
   const std::size_t nsts = stbc ? 2 : mcs.nss;
   // The FEC family is announced in HT-SIG, so the receiver self-configures.
@@ -183,83 +220,92 @@ std::optional<RxPacket> Receiver::receive(
   fl.nss = nsts;
   fl.n_data_symbols = data_symbol_count(mcs, pkt.htsig.length, cfg_.fec_enabled,
                                         stbc, fec_type);
-  if (avail < fl.total_samples()) return pkt;  // truncated capture
+  if (avail < fl.total_samples()) return true;  // truncated capture
 
   // ---- HT-LTF channel estimation. ----
   const std::size_t n_ltf = fl.n_ht_ltfs();
-  std::vector<std::vector<std::vector<cf32>>> ltf_grids(
-      nrx_, std::vector<std::vector<cf32>>(n_ltf, std::vector<cf32>(ofdm::kFftSize)));
+  ws.ltf_grids.resize(nrx_, n_ltf, ofdm::kFftSize);
   for (std::size_t a = 0; a < nrx_; ++a) {
     for (std::size_t n = 0; n < n_ltf; ++n) {
-      fft64.forward(std::span<const cf32>(rx[a]).subspan(
+      fft64.forward(std::span<const cf32>(ws.rx[a]).subspan(
                         fl.htltf_offset() + n * wifi::kHtLtfLen + ofdm::kCpLen, 64),
-                    ltf_grids[a][n]);
+                    ws.ltf_grids.row(a, n));
     }
   }
   const chanest::LsChannelEstimator ls(nrx_, nsts);
-  auto est = ls.estimate(ltf_grids);
+  chanest::MimoChannelEstimate& est = pkt.channel;
+  ls.estimate_into(ws.ltf_grids, est);
   if (cfg_.smoothing) {
     static const auto bins = occupied_ht_bins();
-    std::vector<int> csd(nsts);
+    ws.csd.resize(nsts);
     for (std::size_t s = 0; s < nsts; ++s) {
-      csd[s] = wifi::ht_csd_samples(s, nsts);
+      ws.csd[s] = wifi::ht_csd_samples(s, nsts);
     }
-    chanest::smooth_frequency(est, bins, csd);
+    chanest::smooth_frequency(est, bins, ws.csd);
   }
 
   // ---- Data symbols. ----
-  const mod::Constellation constellation(mcs.modulation);
+  const mod::Constellation& constellation = mod::constellation_for(mcs.modulation);
   const unsigned bps = constellation.bits_per_symbol();
   const auto& data_bins = ht_demod_.map().data_bins();
   const auto& pilot_bins = ht_demod_.map().pilot_bins();
 
   chanest::PilotPhaseTracker tracker(est);
-  chanest::EvmSnrEstimator pilot_evm;
+  ws.pilot_evm.reset();
 
-  std::unique_ptr<eq::LinearEqualizer> lin_eq;
-  std::unique_ptr<eq::MlDetector> ml_det;
+  std::optional<eq::LinearEqualizer> lin_eq;
+  std::optional<eq::MlDetector> ml_det;
   if (!stbc) {
     if (cfg_.equalizer == eq::EqualizerType::kMaxLikelihood && mcs.nss <= 2) {
-      ml_det = std::make_unique<eq::MlDetector>(constellation, mcs.nss);
+      ml_det.emplace(constellation, mcs.nss);
     } else {
-      lin_eq = std::make_unique<eq::LinearEqualizer>(
-          cfg_.equalizer == eq::EqualizerType::kMaxLikelihood
-              ? eq::EqualizerType::kMmse
-              : cfg_.equalizer);
+      lin_eq.emplace(cfg_.equalizer == eq::EqualizerType::kMaxLikelihood
+                         ? eq::EqualizerType::kMmse
+                         : cfg_.equalizer);
     }
   }
 
-  // Pre-fetch channel matrices for the data bins.
-  std::vector<eq::CMatrix> h_at(ofdm::kFftSize);
-  for (const std::size_t b : data_bins) h_at[b] = est.at_bin(b);
+  // Pre-fetch channel matrices for the data bins, and — for the linear
+  // equalizer — prepare the per-bin coefficients once. The channel is
+  // constant across symbols unless decision tracking rewrites it, in which
+  // case the bin is re-prepared right after the update (bit-identical to
+  // equalizing with the updated matrix each symbol).
+  ws.h_at.resize(ofdm::kFftSize);
+  for (const std::size_t b : data_bins) est.at_bin_into(b, ws.h_at[b]);
+  if (lin_eq) {
+    ws.coeffs.resize(ofdm::kFftSize);
+    for (const std::size_t b : data_bins) {
+      lin_eq->prepare(ws.h_at[b], nv_bin, ws.coeffs[b]);
+    }
+  }
 
-  std::vector<std::vector<float>> stream_llrs(mcs.nss);
-  for (auto& v : stream_llrs) {
+  ws.stream_llrs.resize(mcs.nss);
+  for (auto& v : ws.stream_llrs) {
+    v.clear();
     v.reserve(fl.n_data_symbols * wifi::kHtDataCarriers * bps);
   }
 
-  std::vector<std::vector<cf32>> grids(nrx_, std::vector<cf32>(ofdm::kFftSize));
-  std::vector<cf32> y(nrx_);
-  std::vector<float> llr_buf(mcs.nss * bps);
+  ws.data_grid.resize(nrx_, ofdm::kFftSize);
+  ws.y.resize(nrx_);
+  ws.llr_buf.resize(mcs.nss * bps);
+  ws.rx_pilots.resize(nrx_);
 
   // Demodulate data symbol `n` into `out_grids`, run pilot CPE tracking and
   // pilot-EVM accounting, and return the derotation phasor to apply.
-  const auto demod_data_symbol = [&](std::size_t n,
-                                     std::vector<std::vector<cf32>>& out_grids) {
+  const auto demod_data_symbol = [&](std::size_t n, dsp::SampleGrid& out_grids) {
     const std::size_t off = fl.data_offset() + n * ofdm::kSymLen;
     for (std::size_t a = 0; a < nrx_; ++a) {
-      fft64.forward(std::span<const cf32>(rx[a]).subspan(off + ofdm::kCpLen, 64),
-                    out_grids[a]);
+      fft64.forward(std::span<const cf32>(ws.rx[a]).subspan(off + ofdm::kCpLen, 64),
+                    out_grids.row(a));
     }
     cf32 derotate{1.0F, 0.0F};
-    std::vector<std::array<cf32, 4>> rx_pilots(nrx_);
     for (std::size_t a = 0; a < nrx_; ++a) {
       for (std::size_t p = 0; p < 4; ++p) {
-        rx_pilots[a][p] = out_grids[a][pilot_bins[p]];
+        ws.rx_pilots[a][p] = out_grids(a, pilot_bins[p]);
       }
     }
     if (cfg_.phase_tracking) {
-      const double raw = tracker.estimate_cpe(rx_pilots, n);
+      const double raw = tracker.estimate_cpe(ws.rx_pilots, n);
       const double theta = tracker.track(raw);
       derotate = dsp::phasor(static_cast<float>(-theta));
     }
@@ -271,9 +317,9 @@ std::optional<RxPacket> Receiver::receive(
           const auto pv = ofdm::ht_data_pilots(nsts, s, n);
           expected += dsp::cf64(est.h[a][s][pilot_bins[p]]) * dsp::cf64(pv[p]);
         }
-        pilot_evm.add(pilot_bins[p], rx_pilots[a][p] * derotate,
-                      cf32(static_cast<float>(expected.real()),
-                           static_cast<float>(expected.imag())));
+        ws.pilot_evm.add(pilot_bins[p], ws.rx_pilots[a][p] * derotate,
+                         cf32(static_cast<float>(expected.real()),
+                              static_cast<float>(expected.imag())));
       }
     }
     return derotate;
@@ -282,131 +328,145 @@ std::optional<RxPacket> Receiver::receive(
   // Decision-directed LMS channel update for one subcarrier: slice the
   // equalized symbols, form the reconstruction error per antenna, and nudge
   // H toward explaining the observation. Counters intra-packet fading.
-  const bool dd_tracking = cfg_.decision_tracking && !stbc && lin_eq != nullptr;
-  std::vector<dsp::cf64> sliced(mcs.nss);
+  const bool dd_tracking = cfg_.decision_tracking && !stbc && lin_eq.has_value();
+  ws.sliced.resize(mcs.nss);
   const auto dd_update = [&](std::size_t bin, std::span<const cf32> y_obs,
-                             const eq::EqualizedCarrier& eqd) {
-    auto& h = h_at[bin];
+                             std::span<const cf32> eq_symbols) {
+    auto& h = ws.h_at[bin];
     for (std::size_t s = 0; s < mcs.nss; ++s) {
-      sliced[s] =
-          dsp::cf64(constellation.points()[constellation.hard_decision(eqd.symbols[s])]);
+      ws.sliced[s] = dsp::cf64(
+          constellation.points()[constellation.hard_decision(eq_symbols[s])]);
     }
     const double mu = static_cast<double>(cfg_.decision_tracking_mu) /
                       static_cast<double>(mcs.nss);
     for (std::size_t a = 0; a < nrx_; ++a) {
       dsp::cf64 pred{0.0, 0.0};
-      for (std::size_t s = 0; s < mcs.nss; ++s) pred += h(a, s) * sliced[s];
+      for (std::size_t s = 0; s < mcs.nss; ++s) pred += h(a, s) * ws.sliced[s];
       const dsp::cf64 err = dsp::cf64(y_obs[a]) - pred;
       for (std::size_t s = 0; s < mcs.nss; ++s) {
         // Unit-energy constellations: |x|^2 ~ 1, so no normalizer needed.
-        h(a, s) += mu * err * std::conj(sliced[s]);
+        h(a, s) += mu * err * std::conj(ws.sliced[s]);
       }
     }
   };
 
   if (!stbc) {
+    std::array<cf32, eq::CMatrix::kMaxDim> eq_syms{};
+    std::array<float, eq::CMatrix::kMaxDim> eq_nvars{};
     for (std::size_t n = 0; n < fl.n_data_symbols; ++n) {
-      const cf32 derotate = demod_data_symbol(n, grids);
+      const cf32 derotate = demod_data_symbol(n, ws.data_grid);
       for (const std::size_t bin : data_bins) {
-        for (std::size_t a = 0; a < nrx_; ++a) y[a] = grids[a][bin] * derotate;
+        for (std::size_t a = 0; a < nrx_; ++a) {
+          ws.y[a] = ws.data_grid(a, bin) * derotate;
+        }
 
         if (ml_det) {
-          ml_det->demap(h_at[bin], y, nv_bin, llr_buf);
+          ml_det->demap(ws.h_at[bin], ws.y, nv_bin, ws.llr_buf);
           for (std::size_t s = 0; s < mcs.nss; ++s) {
             for (unsigned b = 0; b < bps; ++b) {
-              stream_llrs[s].push_back(llr_buf[s * bps + b]);
+              ws.stream_llrs[s].push_back(ws.llr_buf[s * bps + b]);
             }
           }
         } else {
-          const auto eqd = lin_eq->equalize(h_at[bin], y, nv_bin);
+          eq::LinearEqualizer::apply(
+              ws.coeffs[bin], ws.y, std::span<cf32>(eq_syms).first(mcs.nss),
+              std::span<float>(eq_nvars).first(mcs.nss));
           for (std::size_t s = 0; s < mcs.nss; ++s) {
-            constellation.demap_soft(eqd.symbols[s], eqd.noise_vars[s],
-                                     std::span<float>(llr_buf).first(bps));
-            for (unsigned b = 0; b < bps; ++b) stream_llrs[s].push_back(llr_buf[b]);
+            constellation.demap_soft(eq_syms[s], eq_nvars[s],
+                                     std::span<float>(ws.llr_buf).first(bps));
+            for (unsigned b = 0; b < bps; ++b) {
+              ws.stream_llrs[s].push_back(ws.llr_buf[b]);
+            }
           }
-          if (dd_tracking) dd_update(bin, y, eqd);
+          if (dd_tracking) {
+            dd_update(bin, ws.y,
+                      std::span<const cf32>(eq_syms).first(mcs.nss));
+            lin_eq->prepare(ws.h_at[bin], nv_bin, ws.coeffs[bin]);
+          }
         }
       }
     }
   } else {
     // Alamouti: decode pairwise. LLRs of the pair's first symbol must land
     // before the second's to match the transmitter's bit order.
-    std::vector<std::vector<cf32>> grids2(nrx_, std::vector<cf32>(ofdm::kFftSize));
-    std::vector<cf32> y2(nrx_);
-    std::vector<float> llrs_first(data_bins.size() * bps);
-    std::vector<float> llrs_second(data_bins.size() * bps);
+    ws.data_grid2.resize(nrx_, ofdm::kFftSize);
+    ws.y2.resize(nrx_);
+    ws.llrs_first.resize(data_bins.size() * bps);
+    ws.llrs_second.resize(data_bins.size() * bps);
     for (std::size_t n = 0; n + 1 < fl.n_data_symbols + 1; n += 2) {
-      const cf32 derot1 = demod_data_symbol(n, grids);
-      const cf32 derot2 = demod_data_symbol(n + 1, grids2);
+      const cf32 derot1 = demod_data_symbol(n, ws.data_grid);
+      const cf32 derot2 = demod_data_symbol(n + 1, ws.data_grid2);
       for (std::size_t i = 0; i < data_bins.size(); ++i) {
         const std::size_t bin = data_bins[i];
         for (std::size_t a = 0; a < nrx_; ++a) {
-          y[a] = grids[a][bin] * derot1;
-          y2[a] = grids2[a][bin] * derot2;
+          ws.y[a] = ws.data_grid(a, bin) * derot1;
+          ws.y2[a] = ws.data_grid2(a, bin) * derot2;
         }
-        const auto dec = eq::alamouti_combine(h_at[bin], y, y2, nv_bin);
+        const auto dec = eq::alamouti_combine(ws.h_at[bin], ws.y, ws.y2, nv_bin);
         constellation.demap_soft(
             dec.d1, dec.noise_var,
-            std::span<float>(llrs_first).subspan(i * bps, bps));
+            std::span<float>(ws.llrs_first).subspan(i * bps, bps));
         constellation.demap_soft(
             dec.d2, dec.noise_var,
-            std::span<float>(llrs_second).subspan(i * bps, bps));
+            std::span<float>(ws.llrs_second).subspan(i * bps, bps));
       }
-      stream_llrs[0].insert(stream_llrs[0].end(), llrs_first.begin(),
-                            llrs_first.end());
-      stream_llrs[0].insert(stream_llrs[0].end(), llrs_second.begin(),
-                            llrs_second.end());
+      ws.stream_llrs[0].insert(ws.stream_llrs[0].end(), ws.llrs_first.begin(),
+                               ws.llrs_first.end());
+      ws.stream_llrs[0].insert(ws.stream_llrs[0].end(), ws.llrs_second.begin(),
+                               ws.llrs_second.end());
     }
   }
 
-  pkt.pilot_snr = pilot_evm.estimate();
+  ws.pilot_evm.estimate_into(pkt.pilot_snr);
   pkt.residual_cfo_norm = tracker.residual_cfo_norm();
-  pkt.channel = std::move(est);
 
   // ---- Deinterleave per stream, merge, FEC-decode, descramble. ----
   const wifi::StreamParser parser(mcs.bits_per_subcarrier(), mcs.nss);
-  std::vector<std::vector<float>> deinterleaved(mcs.nss);
+  ws.deinterleaved.resize(mcs.nss);
   for (std::size_t s = 0; s < mcs.nss; ++s) {
-    const wifi::Interleaver il(mcs.bits_per_subcarrier(), s, mcs.nss);
-    deinterleaved[s] = il.deinterleave(stream_llrs[s]);
+    const wifi::Interleaver& il =
+        wifi::cached_interleaver(mcs.bits_per_subcarrier(), s, mcs.nss);
+    il.deinterleave_into(ws.stream_llrs[s], ws.deinterleaved[s]);
   }
-  const auto merged = parser.merge(deinterleaved);
+  parser.merge_into(ws.deinterleaved, ws.merged);
 
-  std::vector<std::uint8_t> scrambled;
   if (cfg_.fec_enabled && fec_type == FecType::kLdpc) {
     static const fec::LdpcCode code;
     const std::size_t n_cw = ldpc_codeword_count(pkt.htsig.length);
-    if (merged.size() < n_cw * kLdpcN) return pkt;
-    scrambled.reserve(n_cw * kLdpcK);
+    if (ws.merged.size() < n_cw * kLdpcN) return true;
+    ws.scrambled.clear();
+    ws.scrambled.reserve(n_cw * kLdpcK);
     for (std::size_t cw = 0; cw < n_cw; ++cw) {
       const auto word = code.decode(
-          std::span<const float>(merged).subspan(cw * kLdpcN, kLdpcN));
-      scrambled.insert(scrambled.end(), word.begin(),
-                       word.begin() + static_cast<long>(kLdpcK));
+          std::span<const float>(ws.merged).subspan(cw * kLdpcN, kLdpcN));
+      ws.scrambled.insert(ws.scrambled.end(), word.begin(),
+                          word.begin() + static_cast<long>(kLdpcK));
     }
   } else if (cfg_.fec_enabled) {
     const std::size_t n_info = fl.n_data_symbols * mcs.data_bits_per_symbol();
-    auto full = fec::depuncture(merged, mcs.rate);
-    full.resize(2 * n_info, 0.0F);
-    scrambled = viterbi_.decode_soft(full, /*terminated=*/false);
+    fec::depuncture_into(ws.merged, mcs.rate, ws.depunctured);
+    ws.depunctured.resize(2 * n_info, 0.0F);
+    viterbi_.decode_soft_into(ws.depunctured, /*terminated=*/false, ws.scrambled,
+                              ws.viterbi);
   } else {
-    scrambled.resize(merged.size());
-    for (std::size_t i = 0; i < merged.size(); ++i) {
-      scrambled[i] = (merged[i] < 0.0F) ? 1 : 0;
+    ws.scrambled.resize(ws.merged.size());
+    for (std::size_t i = 0; i < ws.merged.size(); ++i) {
+      ws.scrambled[i] = (ws.merged[i] < 0.0F) ? 1 : 0;
     }
   }
 
   const std::size_t psdu_bits = 8 * static_cast<std::size_t>(pkt.htsig.length);
-  if (scrambled.size() < kServiceBits + psdu_bits) return pkt;
+  if (ws.scrambled.size() < kServiceBits + psdu_bits) return true;
 
   const std::uint32_t seed =
-      recover_scrambler_seed(std::span(scrambled).first(7));
-  fec::scramble_in_place(scrambled, seed);
+      recover_scrambler_seed(std::span(ws.scrambled).first(7));
+  fec::scramble_in_place(ws.scrambled, seed);
 
-  pkt.psdu = wifi::bits_to_bytes(
-      std::span(scrambled).subspan(kServiceBits, psdu_bits));
+  wifi::bits_to_bytes_into(
+      std::span<const std::uint8_t>(ws.scrambled).subspan(kServiceBits, psdu_bits),
+      pkt.psdu);
   pkt.fcs_ok = wifi::psdu_fcs_ok(pkt.psdu);
-  return pkt;
+  return true;
 }
 
 }  // namespace mimonet::core

@@ -11,6 +11,7 @@
 #include "chanest/ls_estimator.hpp"
 #include "chanest/snr_estimator.hpp"
 #include "core/phy_config.hpp"
+#include "dsp/sample_grid.hpp"
 #include "dsp/types.hpp"
 #include "fec/viterbi.hpp"
 #include "ofdm/symbol.hpp"
@@ -20,6 +21,8 @@
 namespace mimonet::core {
 
 using dsp::cf32;
+
+struct RxWorkspace;  // core/workspace.hpp
 
 /// Everything the receiver learned about one packet.
 struct RxPacket {
@@ -58,13 +61,20 @@ class Receiver {
   [[nodiscard]] std::optional<RxPacket> receive(
       const std::vector<std::vector<cf32>>& capture) const;
 
+  /// Workspace form of receive: all scratch (and the result, ws.packet)
+  /// lives in `ws`, so a warm call performs no heap allocation. Returns
+  /// false where the legacy overload returns nullopt; on true, ws.packet
+  /// holds exactly what the legacy overload would have returned.
+  [[nodiscard]] bool receive(const std::vector<std::vector<cf32>>& capture,
+                             RxWorkspace& ws) const;
+
  private:
   /// Maximal-ratio combine one legacy symbol across antennas and soft-decode
-  /// its SIG bits. Returns deinterleaved LLRs (48 per symbol).
-  [[nodiscard]] std::vector<float> decode_sig_llrs(
-      const std::vector<std::vector<cf32>>& grids,  // [rx][bin]
-      const std::vector<std::vector<cf32>>& h_legacy, float noise_var,
-      bool qbpsk) const;
+  /// its SIG bits into `out` (48 deinterleaved LLRs per symbol).
+  void decode_sig_llrs(const dsp::SampleGrid& grids,  // [rx][bin]
+                       const std::vector<std::vector<cf32>>& h_legacy,
+                       float noise_var, bool qbpsk, RxWorkspace& ws,
+                       std::vector<float>& out) const;
 
   PhyConfig cfg_;
   std::size_t nrx_;

@@ -1,9 +1,11 @@
 #include "core/transmitter.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
 
+#include "core/workspace.hpp"
 #include "dsp/fft.hpp"
 #include "eq/alamouti.hpp"
 #include "fec/ldpc.hpp"
@@ -30,6 +32,12 @@ Transmitter::Transmitter(PhyConfig cfg)
   for (std::size_t iss = 0; iss < nss_; ++iss) {
     interleavers_.emplace_back(mcs_.bits_per_subcarrier(), iss, nss_);
   }
+  for (std::size_t sts = 0; sts < nsts_; ++sts) {
+    lstf_.push_back(wifi::make_lstf(sts, nsts_));
+    lltf_.push_back(wifi::make_lltf(sts, nsts_));
+    htstf_.push_back(wifi::make_htstf(sts, nsts_));
+    htltfs_.push_back(wifi::make_htltfs(sts, nsts_));
+  }
 }
 
 FrameLayout Transmitter::layout(std::size_t psdu_bytes) const {
@@ -40,8 +48,8 @@ FrameLayout Transmitter::layout(std::size_t psdu_bytes) const {
   return fl;
 }
 
-std::vector<std::uint8_t> Transmitter::encode_data_bits(
-    std::span<const std::uint8_t> psdu) const {
+std::span<const std::uint8_t> Transmitter::encode_data_bits_into(
+    std::span<const std::uint8_t> psdu, TxWorkspace& ws) const {
   const FrameLayout fl = layout(psdu.size());
 
   if (cfg_.fec_enabled && cfg_.fec_type == FecType::kLdpc) {
@@ -49,22 +57,22 @@ std::vector<std::uint8_t> Transmitter::encode_data_bits(
     // of k, scrambled, then one encode per codeword; zero filler bits top
     // up the last OFDM symbol.
     const std::size_t n_cw = ldpc_codeword_count(psdu.size());
-    std::vector<std::uint8_t> bits(kServiceBits, 0);
-    const auto psdu_bits = wifi::bytes_to_bits(psdu);
-    bits.insert(bits.end(), psdu_bits.begin(), psdu_bits.end());
-    bits.resize(n_cw * kLdpcK, 0);
-    fec::scramble_in_place(bits, cfg_.scrambler_seed);
+    ws.bits.assign(kServiceBits, 0);
+    wifi::bytes_to_bits_into(psdu, ws.psdu_bits);
+    ws.bits.insert(ws.bits.end(), ws.psdu_bits.begin(), ws.psdu_bits.end());
+    ws.bits.resize(n_cw * kLdpcK, 0);
+    fec::scramble_in_place(ws.bits, cfg_.scrambler_seed);
 
     static const fec::LdpcCode code;
-    std::vector<std::uint8_t> coded;
-    coded.reserve(fl.n_data_symbols * mcs_.coded_bits_per_symbol());
+    ws.coded.clear();
+    ws.coded.reserve(fl.n_data_symbols * mcs_.coded_bits_per_symbol());
     for (std::size_t cw = 0; cw < n_cw; ++cw) {
       const auto word =
-          code.encode(std::span(bits).subspan(cw * kLdpcK, kLdpcK));
-      coded.insert(coded.end(), word.begin(), word.end());
+          code.encode(std::span(ws.bits).subspan(cw * kLdpcK, kLdpcK));
+      ws.coded.insert(ws.coded.end(), word.begin(), word.end());
     }
-    coded.resize(fl.n_data_symbols * mcs_.coded_bits_per_symbol(), 0);
-    return coded;
+    ws.coded.resize(fl.n_data_symbols * mcs_.coded_bits_per_symbol(), 0);
+    return ws.coded;
   }
 
   const std::size_t n_info =
@@ -74,48 +82,57 @@ std::vector<std::uint8_t> Transmitter::encode_data_bits(
   // SERVICE (16 zero bits: 7 for scrambler init recovery + 9 reserved),
   // PSDU bits, tail, pad — all scrambled; the tail is then re-zeroed so the
   // BCC trellis terminates.
-  std::vector<std::uint8_t> bits(kServiceBits, 0);
-  const auto psdu_bits = wifi::bytes_to_bits(psdu);
-  bits.insert(bits.end(), psdu_bits.begin(), psdu_bits.end());
-  const std::size_t tail_pos = bits.size();
-  bits.resize(n_info, 0);  // tail + pad
+  ws.bits.assign(kServiceBits, 0);
+  wifi::bytes_to_bits_into(psdu, ws.psdu_bits);
+  ws.bits.insert(ws.bits.end(), ws.psdu_bits.begin(), ws.psdu_bits.end());
+  const std::size_t tail_pos = ws.bits.size();
+  ws.bits.resize(n_info, 0);  // tail + pad
 
-  fec::scramble_in_place(bits, cfg_.scrambler_seed);
+  fec::scramble_in_place(ws.bits, cfg_.scrambler_seed);
   if (cfg_.fec_enabled) {
-    for (std::size_t i = 0; i < kTailBits && tail_pos + i < bits.size(); ++i) {
-      bits[tail_pos + i] = 0;
+    for (std::size_t i = 0; i < kTailBits && tail_pos + i < ws.bits.size(); ++i) {
+      ws.bits[tail_pos + i] = 0;
     }
-    const auto coded = fec::conv_encode(bits);
-    return fec::puncture(coded, mcs_.rate);
+    fec::conv_encode_into(ws.bits, ws.coded);
+    fec::puncture_into(ws.coded, mcs_.rate, ws.punctured);
+    return ws.punctured;
   }
-  return bits;
+  return ws.bits;
+}
+
+std::vector<std::uint8_t> Transmitter::encode_data_bits(
+    std::span<const std::uint8_t> psdu) const {
+  TxWorkspace ws;
+  const auto bits = encode_data_bits_into(psdu, ws);
+  return {bits.begin(), bits.end()};
 }
 
 void Transmitter::modulate_stream(std::span<const std::uint8_t> stream_bits,
-                                  std::size_t iss, std::vector<cf32>& out) const {
-  const auto interleaved = interleavers_[iss].interleave(stream_bits);
-  const auto symbols = constellation_.map_all(interleaved);
+                                  std::size_t iss, std::vector<cf32>& out,
+                                  TxWorkspace& ws) const {
+  interleavers_[iss].interleave_into(stream_bits, ws.interleaved);
+  constellation_.map_all_into(ws.interleaved, ws.symbols);
   const std::size_t per_sym = wifi::kHtDataCarriers;
-  const std::size_t n_sym = symbols.size() / per_sym;
+  const std::size_t n_sym = ws.symbols.size() / per_sym;
   const float gain = wifi::tone_gain(ht_mod_.map().num_occupied());
 
   const int csd = wifi::ht_csd_samples(iss, nss_);
   for (std::size_t n = 0; n < n_sym; ++n) {
     const auto pilots = ofdm::ht_data_pilots(nss_, iss, n);
     const std::size_t base = out.size();
-    ht_mod_.modulate(std::span(symbols).subspan(n * per_sym, per_sym),
-                     std::span<const cf32, 4>(pilots), out, csd);
+    ht_mod_.modulate(std::span(ws.symbols).subspan(n * per_sym, per_sym),
+                     std::span<const cf32, 4>(pilots), out, csd, ws.time_scratch);
     for (std::size_t i = base; i < out.size(); ++i) out[i] *= gain;
   }
 }
 
 void Transmitter::modulate_stbc(std::span<const std::uint8_t> stream_bits,
                                 std::vector<cf32>& chain0,
-                                std::vector<cf32>& chain1) const {
-  const auto interleaved = interleavers_[0].interleave(stream_bits);
-  const auto symbols = constellation_.map_all(interleaved);
+                                std::vector<cf32>& chain1, TxWorkspace& ws) const {
+  interleavers_[0].interleave_into(stream_bits, ws.interleaved);
+  constellation_.map_all_into(ws.interleaved, ws.symbols);
   const std::size_t per_sym = wifi::kHtDataCarriers;
-  const std::size_t n_sym = symbols.size() / per_sym;
+  const std::size_t n_sym = ws.symbols.size() / per_sym;
   if (n_sym % 2 != 0) {
     throw std::logic_error("modulate_stbc: symbol count must be even");
   }
@@ -123,15 +140,15 @@ void Transmitter::modulate_stbc(std::span<const std::uint8_t> stream_bits,
   const int csd0 = wifi::ht_csd_samples(0, 2);
   const int csd1 = wifi::ht_csd_samples(1, 2);
 
-  std::vector<cf32> sts1_data(per_sym);
-  std::vector<cf32> sts2_data(per_sym);
+  std::array<cf32, wifi::kHtDataCarriers> sts1_data;
+  std::array<cf32, wifi::kHtDataCarriers> sts2_data;
   for (std::size_t m = 0; m < n_sym; m += 2) {
     // First symbol of the pair.
     for (std::size_t pass = 0; pass < 2; ++pass) {
       const std::size_t n = m + pass;
       for (std::size_t i = 0; i < per_sym; ++i) {
-        const cf32 d1 = symbols[m * per_sym + i];
-        const cf32 d2 = symbols[(m + 1) * per_sym + i];
+        const cf32 d1 = ws.symbols[m * per_sym + i];
+        const cf32 d2 = ws.symbols[(m + 1) * per_sym + i];
         const auto mapped = eq::alamouti_map(d1, d2);
         sts1_data[i] = (pass == 0) ? mapped.sts1_first : mapped.sts1_second;
         sts2_data[i] = (pass == 0) ? mapped.sts2_first : mapped.sts2_second;
@@ -139,10 +156,12 @@ void Transmitter::modulate_stbc(std::span<const std::uint8_t> stream_bits,
       const auto p0 = ofdm::ht_data_pilots(2, 0, n);
       const auto p1 = ofdm::ht_data_pilots(2, 1, n);
       const std::size_t b0 = chain0.size();
-      ht_mod_.modulate(sts1_data, std::span<const cf32, 4>(p0), chain0, csd0);
+      ht_mod_.modulate(sts1_data, std::span<const cf32, 4>(p0), chain0, csd0,
+                       ws.time_scratch);
       for (std::size_t i = b0; i < chain0.size(); ++i) chain0[i] *= gain;
       const std::size_t b1 = chain1.size();
-      ht_mod_.modulate(sts2_data, std::span<const cf32, 4>(p1), chain1, csd1);
+      ht_mod_.modulate(sts2_data, std::span<const cf32, 4>(p1), chain1, csd1,
+                       ws.time_scratch);
       for (std::size_t i = b1; i < chain1.size(); ++i) chain1[i] *= gain;
     }
   }
@@ -150,12 +169,13 @@ void Transmitter::modulate_stbc(std::span<const std::uint8_t> stream_bits,
 
 void Transmitter::append_legacy_symbol(std::span<const cf32> carriers48,
                                        std::size_t polarity_index, int csd,
-                                       std::vector<cf32>& out) const {
+                                       std::vector<cf32>& out,
+                                       std::vector<cf32>& time_scratch) const {
   if (carriers48.size() != wifi::kLegacyDataCarriers) {
     throw std::invalid_argument("append_legacy_symbol: need 48 carriers");
   }
   static const ofdm::SubcarrierMap legacy_map(ofdm::CarrierPlan::kLegacy);
-  std::vector<cf32> grid(ofdm::kFftSize, cf32{0.0F, 0.0F});
+  std::array<cf32, ofdm::kFftSize> grid{};
   for (std::size_t i = 0; i < carriers48.size(); ++i) {
     grid[legacy_map.data_bins()[i]] = carriers48[i];
   }
@@ -167,80 +187,92 @@ void Transmitter::append_legacy_symbol(std::span<const cf32> carriers48,
 
   static const dsp::FftPlan plan(ofdm::kFftSize);
   const std::size_t base = out.size();
-  ofdm::SymbolModulator::modulate_grid(plan, grid, ofdm::kCpLen, out);
+  ofdm::SymbolModulator::modulate_grid(plan, grid, ofdm::kCpLen, out, time_scratch);
   const float gain = wifi::tone_gain(52);
   for (std::size_t i = base; i < out.size(); ++i) out[i] *= gain;
 }
 
 std::vector<std::vector<cf32>> Transmitter::transmit(
     std::span<const std::uint8_t> psdu) const {
+  TxWorkspace ws;
+  transmit_into(psdu, ws);
+  return std::move(ws.chains);
+}
+
+void Transmitter::transmit_into(std::span<const std::uint8_t> psdu,
+                                TxWorkspace& ws) const {
   if (psdu.size() > wifi::kMaxPsduLen) {
     throw std::invalid_argument("Transmitter: PSDU too large");
   }
   const FrameLayout fl = layout(psdu.size());
 
-  // SIG field contents.
-  wifi::LSig lsig;
-  // Spoofed legacy length so 11a devices defer for the whole PPDU
-  // (802.11n eq. 20-11 shape): LENGTH = ceil((TXTIME - 20us) / 4us) * 3 - 3.
-  const double txtime_us = fl.airtime_us();
-  const auto spoof =
-      static_cast<long>(std::ceil((txtime_us - 20.0) / 4.0)) * 3 - 3;
-  lsig.length = static_cast<std::uint16_t>(std::clamp<long>(spoof, 0, 0xFFF));
-  const auto lsig_bits = wifi::encode_lsig(lsig);
-  const auto lsig_carriers = wifi::map_sig_field(lsig_bits, /*qbpsk=*/false);
+  // SIG field contents depend only on the PSDU length under a fixed config,
+  // so the mapped carriers are cached in the workspace.
+  const TxWorkspace::SigKey key{psdu.size(), static_cast<int>(cfg_.mcs),
+                                cfg_.fec_enabled && cfg_.fec_type == FecType::kLdpc,
+                                cfg_.stbc};
+  if (!(ws.sig_key == key)) {
+    wifi::LSig lsig;
+    // Spoofed legacy length so 11a devices defer for the whole PPDU
+    // (802.11n eq. 20-11 shape): LENGTH = ceil((TXTIME - 20us) / 4us) * 3 - 3.
+    const double txtime_us = fl.airtime_us();
+    const auto spoof =
+        static_cast<long>(std::ceil((txtime_us - 20.0) / 4.0)) * 3 - 3;
+    lsig.length = static_cast<std::uint16_t>(std::clamp<long>(spoof, 0, 0xFFF));
+    const auto lsig_bits = wifi::encode_lsig(lsig);
+    ws.lsig_carriers = wifi::map_sig_field(lsig_bits, /*qbpsk=*/false);
 
-  wifi::HtSig htsig;
-  htsig.mcs = static_cast<std::uint8_t>(cfg_.mcs);
-  htsig.length = static_cast<std::uint16_t>(psdu.size());
-  htsig.fec_coding = cfg_.fec_enabled && cfg_.fec_type == FecType::kLdpc;
-  htsig.stbc = cfg_.stbc ? 1 : 0;  // N_STS - N_SS
-  const auto htsig_bits = wifi::encode_htsig(htsig);
-  const auto htsig_carriers = wifi::map_sig_field(htsig_bits, /*qbpsk=*/true);
+    wifi::HtSig htsig;
+    htsig.mcs = static_cast<std::uint8_t>(cfg_.mcs);
+    htsig.length = static_cast<std::uint16_t>(psdu.size());
+    htsig.fec_coding = key.ldpc;
+    htsig.stbc = cfg_.stbc ? 1 : 0;  // N_STS - N_SS
+    const auto htsig_bits = wifi::encode_htsig(htsig);
+    ws.htsig_carriers = wifi::map_sig_field(htsig_bits, /*qbpsk=*/true);
+    ws.sig_key = key;
+  }
 
   // Data bits -> per-stream coded bits.
-  const auto coded = encode_data_bits(psdu);
-  const auto streams = parser_.parse(coded);
+  const auto coded = encode_data_bits_into(psdu, ws);
+  parser_.parse_into(coded, ws.streams);
 
-  std::vector<std::vector<cf32>> out(nsts_);
+  ws.chains.resize(nsts_);
   for (std::size_t sts = 0; sts < nsts_; ++sts) {
-    auto& chain = out[sts];
+    auto& chain = ws.chains[sts];
+    chain.clear();
     chain.reserve(fl.total_samples());
 
     // Legacy preamble (per-chain CSD).
-    const auto lstf = wifi::make_lstf(sts, nsts_);
-    chain.insert(chain.end(), lstf.begin(), lstf.end());
-    const auto lltf = wifi::make_lltf(sts, nsts_);
-    chain.insert(chain.end(), lltf.begin(), lltf.end());
+    chain.insert(chain.end(), lstf_[sts].begin(), lstf_[sts].end());
+    chain.insert(chain.end(), lltf_[sts].begin(), lltf_[sts].end());
 
     // L-SIG (polarity index 0) and HT-SIG (indices 1, 2), legacy CSD.
     const int csd = wifi::legacy_csd_samples(sts, nsts_);
-    append_legacy_symbol(lsig_carriers, 0, csd, chain);
-    append_legacy_symbol(std::span(htsig_carriers).first(48), 1, csd, chain);
-    append_legacy_symbol(std::span(htsig_carriers).subspan(48, 48), 2, csd, chain);
+    append_legacy_symbol(ws.lsig_carriers, 0, csd, chain, ws.time_scratch);
+    append_legacy_symbol(std::span(ws.htsig_carriers).first(48), 1, csd, chain,
+                         ws.time_scratch);
+    append_legacy_symbol(std::span(ws.htsig_carriers).subspan(48, 48), 2, csd,
+                         chain, ws.time_scratch);
 
     // HT preamble (per space-time-stream HT CSD + P matrix).
-    const auto htstf = wifi::make_htstf(sts, nsts_);
-    chain.insert(chain.end(), htstf.begin(), htstf.end());
-    const auto htltfs = wifi::make_htltfs(sts, nsts_);
-    chain.insert(chain.end(), htltfs.begin(), htltfs.end());
+    chain.insert(chain.end(), htstf_[sts].begin(), htstf_[sts].end());
+    chain.insert(chain.end(), htltfs_[sts].begin(), htltfs_[sts].end());
   }
 
   // HT data symbols.
   if (cfg_.stbc) {
-    modulate_stbc(streams[0], out[0], out[1]);
+    modulate_stbc(ws.streams[0], ws.chains[0], ws.chains[1], ws);
   } else {
     for (std::size_t iss = 0; iss < nss_; ++iss) {
-      modulate_stream(streams[iss], iss, out[iss]);
+      modulate_stream(ws.streams[iss], iss, ws.chains[iss], ws);
     }
   }
 
   // Keep total radiated power constant across stream counts.
   const float norm = 1.0F / std::sqrt(static_cast<float>(nsts_));
-  for (auto& chain : out) {
+  for (auto& chain : ws.chains) {
     for (auto& v : chain) v *= norm;
   }
-  return out;
 }
 
 }  // namespace mimonet::core

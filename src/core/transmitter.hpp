@@ -19,6 +19,8 @@ namespace mimonet::core {
 
 using dsp::cf32;
 
+struct TxWorkspace;  // core/workspace.hpp
+
 /// One-shot PPDU builder. Construct once per PHY configuration; transmit()
 /// is then reusable for any PSDU length.
 class Transmitter {
@@ -35,6 +37,11 @@ class Transmitter {
   [[nodiscard]] std::vector<std::vector<cf32>> transmit(
       std::span<const std::uint8_t> psdu) const;
 
+  /// Workspace form of transmit: the PPDU lands in ws.chains and all
+  /// intermediate buffers live in `ws`, so a warm call (same PSDU size)
+  /// performs no heap allocation. Output is bit-identical to transmit().
+  void transmit_into(std::span<const std::uint8_t> psdu, TxWorkspace& ws) const;
+
   /// Frame layout for a PSDU of the given size under this configuration.
   [[nodiscard]] FrameLayout layout(std::size_t psdu_bytes) const;
 
@@ -44,19 +51,26 @@ class Transmitter {
       std::span<const std::uint8_t> psdu) const;
 
  private:
+  /// encode_data_bits into workspace buffers; the returned span aliases
+  /// workspace storage and stays valid until the next encode.
+  std::span<const std::uint8_t> encode_data_bits_into(
+      std::span<const std::uint8_t> psdu, TxWorkspace& ws) const;
+
   /// Map one stream's interleaved coded bits onto HT data symbols.
   void modulate_stream(std::span<const std::uint8_t> stream_bits, std::size_t iss,
-                       std::vector<cf32>& out) const;
+                       std::vector<cf32>& out, TxWorkspace& ws) const;
 
   /// Alamouti path: map the single coded stream onto both space-time
   /// streams (chains[0], chains[1]) pairwise across OFDM symbols.
   void modulate_stbc(std::span<const std::uint8_t> stream_bits,
-                     std::vector<cf32>& chain0, std::vector<cf32>& chain1) const;
+                     std::vector<cf32>& chain0, std::vector<cf32>& chain1,
+                     TxWorkspace& ws) const;
 
   /// Legacy-plan SIG symbol with CSD, appended to `out`.
   void append_legacy_symbol(std::span<const cf32> carriers48,
                             std::size_t polarity_index, int csd,
-                            std::vector<cf32>& out) const;
+                            std::vector<cf32>& out,
+                            std::vector<cf32>& time_scratch) const;
 
   PhyConfig cfg_;
   wifi::McsInfo mcs_;
@@ -66,6 +80,11 @@ class Transmitter {
   wifi::StreamParser parser_;
   std::vector<wifi::Interleaver> interleavers_;  // one per stream
   ofdm::SymbolModulator ht_mod_;
+  // Preamble fields depend only on (sts, nsts): built once per Transmitter.
+  std::vector<std::vector<cf32>> lstf_;    // [sts]
+  std::vector<std::vector<cf32>> lltf_;    // [sts]
+  std::vector<std::vector<cf32>> htstf_;   // [sts]
+  std::vector<std::vector<cf32>> htltfs_;  // [sts]
 };
 
 }  // namespace mimonet::core

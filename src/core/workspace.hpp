@@ -1,0 +1,107 @@
+// Per-worker scratch arenas for the allocation-free sample plane.
+//
+// A TxWorkspace/RxWorkspace pair is owned by each Monte-Carlo worker (or any
+// other caller that processes packets in a loop). Every buffer is resized,
+// never reallocated once warm, so the steady-state transmit/receive path
+// performs no heap allocation. Workspaces are NOT thread-safe: one workspace
+// per thread.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "chanest/snr_estimator.hpp"
+#include "core/receiver.hpp"
+#include "dsp/fft_cache.hpp"
+#include "dsp/sample_grid.hpp"
+#include "dsp/types.hpp"
+#include "eq/equalizer.hpp"
+#include "eq/matrix.hpp"
+#include "fec/viterbi.hpp"
+#include "sync/frame_sync.hpp"
+
+namespace mimonet::core {
+
+/// Transmit-side arena: staging buffers for the encode -> parse ->
+/// interleave -> map -> modulate pipeline plus the per-chain output samples.
+struct TxWorkspace {
+  std::vector<std::uint8_t> bits;        ///< SERVICE + PSDU + tail, scrambled
+  std::vector<std::uint8_t> psdu_bits;   ///< PSDU expanded to bits
+  std::vector<std::uint8_t> coded;       ///< rate-1/2 encoder output
+  std::vector<std::uint8_t> punctured;   ///< after puncturing
+  std::vector<std::vector<std::uint8_t>> streams;  ///< per-stream coded bits
+  std::vector<std::uint8_t> interleaved; ///< one stream, interleaved
+  std::vector<dsp::cf32> symbols;        ///< mapped constellation points
+  std::vector<dsp::cf32> time_scratch;   ///< IFFT staging
+
+  /// Cache key for the SIG-field carriers below: they depend only on the
+  /// PSDU length and the transmitter's (mcs, fec, stbc) configuration, all
+  /// constant across a Monte-Carlo run, so they are built once per key.
+  struct SigKey {
+    std::size_t psdu_len = static_cast<std::size_t>(-1);
+    int mcs = -1;
+    bool ldpc = false;
+    bool stbc = false;
+    bool operator==(const SigKey&) const = default;
+  };
+  SigKey sig_key;
+  std::vector<dsp::cf32> lsig_carriers;   ///< 48 L-SIG carriers
+  std::vector<dsp::cf32> htsig_carriers;  ///< 96 HT-SIG carriers
+
+  /// The built PPDU, one sample vector per TX chain. Valid after
+  /// Transmitter::transmit_into returns.
+  std::vector<std::vector<dsp::cf32>> chains;
+};
+
+/// Receive-side arena: everything Receiver::receive needs between packets.
+/// After Receiver::receive(capture, ws) returns true, `packet` holds the
+/// decoded packet; its nested buffers (psdu, channel.h, snr.per_bin_*) are
+/// reused across packets. When receive returned before channel estimation,
+/// packet.channel.nrx == 0 marks the estimate as absent (the storage may
+/// still hold the previous packet's values).
+struct RxWorkspace {
+  dsp::FftPlanCache fft_cache;           ///< size-keyed FFT plans
+  sync::SyncScratch sync;                ///< frame-sync scratch
+
+  std::vector<std::vector<dsp::cf32>> rx;  ///< aligned, CFO-corrected capture
+  std::vector<std::span<const dsp::cf32>> spans;  ///< span staging
+
+  dsp::IqTensor lltf_grids;              ///< [rx][rep][bin] L-LTF FFTs
+  std::vector<std::vector<dsp::cf32>> h_legacy;  ///< [rx][bin]
+
+  dsp::SampleGrid sig_grid;              ///< [rx][bin] one legacy symbol
+  std::vector<dsp::cf32> mrc;            ///< MRC-combined SIG carriers
+  std::vector<float> sig_axis_llrs;      ///< pre-deinterleave SIG LLRs
+  std::vector<float> sig_llrs;           ///< one SIG symbol's LLRs
+  std::vector<float> htsig_llrs;         ///< both HT-SIG symbols
+  std::vector<std::uint8_t> sig_bits;    ///< Viterbi-decoded SIG bits
+  fec::ViterbiDecoder::Scratch viterbi;  ///< survivor decision words
+
+  dsp::IqTensor ltf_grids;               ///< [rx][ltf][bin] HT-LTF FFTs
+  std::vector<int> csd;                  ///< per-stream CSD for smoothing
+
+  std::vector<eq::CMatrix> h_at;         ///< per-bin channel matrices
+  std::vector<eq::EqCoeffs> coeffs;      ///< per-bin prepared equalizer
+  std::vector<std::vector<float>> stream_llrs;  ///< per-stream soft bits
+  dsp::SampleGrid data_grid;             ///< [rx][bin] one data symbol
+  dsp::SampleGrid data_grid2;            ///< second symbol of an STBC pair
+  std::vector<dsp::cf32> y;              ///< per-antenna observation
+  std::vector<dsp::cf32> y2;
+  std::vector<float> llr_buf;
+  std::vector<float> llrs_first;         ///< STBC pair staging
+  std::vector<float> llrs_second;
+  std::vector<std::array<dsp::cf32, 4>> rx_pilots;  ///< [rx][pilot]
+  std::vector<dsp::cf64> sliced;         ///< decision-tracking slicer output
+  chanest::EvmSnrEstimator pilot_evm;    ///< pilot-EVM accumulator
+
+  std::vector<std::vector<float>> deinterleaved;  ///< per-stream LLRs
+  std::vector<float> merged;             ///< stream-merged LLRs
+  std::vector<float> depunctured;        ///< full rate-1/2 LLR stream
+  std::vector<std::uint8_t> scrambled;   ///< decoded, still-scrambled bits
+
+  RxPacket packet;                       ///< the result of the last receive
+};
+
+}  // namespace mimonet::core

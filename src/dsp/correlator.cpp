@@ -39,41 +39,60 @@ void MovingSumReal::reset() noexcept {
   head_ = 0;
 }
 
-AutocorrResult lag_autocorrelate(std::span<const cf32> x, std::size_t lag,
-                                 std::size_t window) {
+void lag_autocorrelate_into(std::span<const cf32> x, std::size_t lag,
+                            std::size_t window, AutocorrResult& res) {
   if (lag == 0 || window == 0) {
     throw std::invalid_argument("lag_autocorrelate: lag and window must be > 0");
   }
-  AutocorrResult res;
-  if (x.size() < lag + window) return res;
+  if (x.size() < lag + window) {
+    res.corr.clear();
+    res.power.clear();
+    res.metric.clear();
+    return;
+  }
 
   const std::size_t n_out = x.size() - lag - window + 1;
   res.corr.resize(n_out);
   res.power.resize(n_out);
   res.metric.resize(n_out);
 
-  MovingSum corr_sum(window);
-  MovingSumReal pow_lead(window);
-  MovingSumReal pow_lag(window);
+  // Sliding sums updated as sum += entering - leaving, the exact MovingSum
+  // ring-buffer recurrence; the leaving term is recomputed from x instead of
+  // stored, which yields the same bits (same operands, same ops).
+  const auto prod = [&](std::size_t k) {
+    return cf64(x[k]) * std::conj(cf64(x[k + lag]));
+  };
+  const auto lead = [&](std::size_t k) { return static_cast<double>(mag_sqr(x[k])); };
+  const auto lagp = [&](std::size_t k) {
+    return static_cast<double>(mag_sqr(x[k + lag]));
+  };
 
-  // Warm-up: fill the window for position 0.
+  cf64 corr_sum{0.0, 0.0};
+  double pow_lead = 0.0;
+  double pow_lag = 0.0;
   for (std::size_t k = 0; k < window; ++k) {
-    corr_sum.push(cf64(x[k]) * std::conj(cf64(x[k + lag])));
-    pow_lead.push(static_cast<double>(mag_sqr(x[k])));
-    pow_lag.push(static_cast<double>(mag_sqr(x[k + lag])));
+    corr_sum += prod(k) - cf64{0.0, 0.0};
+    pow_lead += lead(k) - 0.0;
+    pow_lag += lagp(k) - 0.0;
   }
   for (std::size_t n = 0;; ++n) {
-    const cf64 c = corr_sum.value();
-    const double pp = pow_lead.value() * pow_lag.value();
+    const cf64 c = corr_sum;
+    const double pp = pow_lead * pow_lag;
     res.corr[n] = cf32(static_cast<float>(c.real()), static_cast<float>(c.imag()));
     res.power[n] = static_cast<float>(std::sqrt(std::max(pp, 0.0)));
     res.metric[n] = (pp > 0.0) ? static_cast<float>(mag_sqr(c) / pp) : 0.0F;
     if (n + 1 >= n_out) break;
     const std::size_t k = n + window;  // next sample entering the window
-    corr_sum.push(cf64(x[k]) * std::conj(cf64(x[k + lag])));
-    pow_lead.push(static_cast<double>(mag_sqr(x[k])));
-    pow_lag.push(static_cast<double>(mag_sqr(x[k + lag])));
+    corr_sum += prod(k) - prod(n);
+    pow_lead += lead(k) - lead(n);
+    pow_lag += lagp(k) - lagp(n);
   }
+}
+
+AutocorrResult lag_autocorrelate(std::span<const cf32> x, std::size_t lag,
+                                 std::size_t window) {
+  AutocorrResult res;
+  lag_autocorrelate_into(x, lag, window, res);
   return res;
 }
 

@@ -57,4 +57,10 @@ struct AutocorrResult {
 [[nodiscard]] AutocorrResult lag_autocorrelate(std::span<const cf32> x, std::size_t lag,
                                                std::size_t window);
 
+/// Same sweep writing into caller-owned storage: `out`'s vectors are resized
+/// (capacity kept), so a workspace-owned result never allocates in steady
+/// state. Bit-identical to lag_autocorrelate().
+void lag_autocorrelate_into(std::span<const cf32> x, std::size_t lag,
+                            std::size_t window, AutocorrResult& out);
+
 }  // namespace mimonet::dsp

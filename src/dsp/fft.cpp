@@ -1,4 +1,5 @@
 #include "dsp/fft.hpp"
+#include "dsp/fft_cache.hpp"
 
 #include <algorithm>
 #include <bit>
@@ -75,16 +76,14 @@ void FftPlan::inverse(std::span<const cf32> in, std::span<cf32> out) const {
 }
 
 std::vector<cf32> fft(std::span<const cf32> in) {
-  FftPlan plan(in.size());
   std::vector<cf32> out(in.size());
-  plan.forward(in, out);
+  shared_fft_plan(in.size()).forward(in, out);
   return out;
 }
 
 std::vector<cf32> ifft(std::span<const cf32> in) {
-  FftPlan plan(in.size());
   std::vector<cf32> out(in.size());
-  plan.inverse(in, out);
+  shared_fft_plan(in.size()).inverse(in, out);
   return out;
 }
 

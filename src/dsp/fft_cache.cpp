@@ -1,0 +1,18 @@
+#include "dsp/fft_cache.hpp"
+
+#include <mutex>
+
+namespace mimonet::dsp {
+
+const FftPlan& shared_fft_plan(std::size_t size) {
+  static std::mutex mu;
+  static std::vector<std::unique_ptr<FftPlan>> plans;
+  const std::scoped_lock lock(mu);
+  for (const auto& p : plans) {
+    if (p->size() == size) return *p;
+  }
+  plans.push_back(std::make_unique<FftPlan>(size));
+  return *plans.back();
+}
+
+}  // namespace mimonet::dsp

@@ -1,0 +1,46 @@
+// Size-keyed FftPlan caches.
+//
+// An FftPlan's construction (bit-reversal + twiddle tables) costs far more
+// than the transform it performs at OFDM sizes, so no stage should ever
+// build one per call. Two flavors:
+//
+//  - FftPlanCache: lock-free, owned by a workspace (one per Monte-Carlo
+//    worker). Use this inside the hot path.
+//  - shared_fft_plan(): process-wide, mutex-guarded. Backs the one-shot
+//    dsp::fft()/ifft() conveniences and legacy value-returning APIs that
+//    have no workspace to borrow from.
+//
+// Plans are immutable once built and never evicted, so references returned
+// by either cache stay valid for the cache's lifetime (the process, for
+// shared_fft_plan).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "dsp/fft.hpp"
+
+namespace mimonet::dsp {
+
+/// Unsynchronized plan cache for single-owner (per-worker) use.
+class FftPlanCache {
+ public:
+  /// Plan for `size`, built on first request. The reference stays valid for
+  /// the cache's lifetime.
+  const FftPlan& plan(std::size_t size) {
+    for (const auto& p : plans_) {
+      if (p->size() == size) return *p;
+    }
+    plans_.push_back(std::make_unique<FftPlan>(size));
+    return *plans_.back();
+  }
+
+ private:
+  std::vector<std::unique_ptr<FftPlan>> plans_;
+};
+
+/// Process-wide plan cache; thread-safe, never evicts.
+[[nodiscard]] const FftPlan& shared_fft_plan(std::size_t size);
+
+}  // namespace mimonet::dsp

@@ -1,0 +1,116 @@
+// Contiguous sample containers for the allocation-free sample plane.
+//
+// The receive/transmit chains used to pass std::vector<std::vector<cf32>>
+// grids by value between stages; every stage boundary was an allocation.
+// SampleGrid (2-D) and IqTensor (3-D, [stream][symbol][bin]) keep one flat
+// buffer and hand out std::span row views instead. resize() only touches the
+// heap when capacity grows, so a workspace-owned grid reaches a steady state
+// after the first packet and never allocates again.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace mimonet::dsp {
+
+/// 2-D grid of IQ samples: `rows` independent lanes (antennas, streams, or
+/// OFDM symbols) of `cols` samples each, in one flat buffer.
+class SampleGrid {
+ public:
+  SampleGrid() = default;
+  SampleGrid(std::size_t rows, std::size_t cols) { resize(rows, cols); }
+
+  /// Reshape. Existing contents are unspecified afterwards; capacity is
+  /// kept, so steady-state reshaping never allocates.
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
+  void fill(cf32 v) { std::fill(data_.begin(), data_.end(), v); }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] std::span<cf32> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const cf32> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] cf32& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] cf32 operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] cf32* data() noexcept { return data_.data(); }
+  [[nodiscard]] const cf32* data() const noexcept { return data_.data(); }
+  [[nodiscard]] std::size_t size() const noexcept { return rows_ * cols_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<cf32> data_;
+};
+
+/// 3-D IQ tensor with [stream][symbol][bin] indexing — the canonical shape
+/// of an OFDM frequency-domain burst (or any streams x symbols x bins
+/// stack). One flat buffer; row() hands out the innermost lane as a span.
+class IqTensor {
+ public:
+  IqTensor() = default;
+  IqTensor(std::size_t streams, std::size_t symbols, std::size_t bins) {
+    resize(streams, symbols, bins);
+  }
+
+  /// Reshape; contents unspecified, capacity kept.
+  void resize(std::size_t streams, std::size_t symbols, std::size_t bins) {
+    streams_ = streams;
+    symbols_ = symbols;
+    bins_ = bins;
+    data_.resize(streams * symbols * bins);
+  }
+
+  void fill(cf32 v) { std::fill(data_.begin(), data_.end(), v); }
+
+  [[nodiscard]] std::size_t streams() const noexcept { return streams_; }
+  [[nodiscard]] std::size_t symbols() const noexcept { return symbols_; }
+  [[nodiscard]] std::size_t bins() const noexcept { return bins_; }
+
+  [[nodiscard]] std::span<cf32> row(std::size_t stream, std::size_t symbol) noexcept {
+    return {data_.data() + (stream * symbols_ + symbol) * bins_, bins_};
+  }
+  [[nodiscard]] std::span<const cf32> row(std::size_t stream,
+                                          std::size_t symbol) const noexcept {
+    return {data_.data() + (stream * symbols_ + symbol) * bins_, bins_};
+  }
+
+  [[nodiscard]] cf32& operator()(std::size_t stream, std::size_t symbol,
+                                 std::size_t bin) noexcept {
+    return data_[(stream * symbols_ + symbol) * bins_ + bin];
+  }
+  [[nodiscard]] cf32 operator()(std::size_t stream, std::size_t symbol,
+                                std::size_t bin) const noexcept {
+    return data_[(stream * symbols_ + symbol) * bins_ + bin];
+  }
+
+  [[nodiscard]] cf32* data() noexcept { return data_.data(); }
+  [[nodiscard]] const cf32* data() const noexcept { return data_.data(); }
+  [[nodiscard]] std::size_t size() const noexcept { return streams_ * symbols_ * bins_; }
+
+ private:
+  std::size_t streams_ = 0;
+  std::size_t symbols_ = 0;
+  std::size_t bins_ = 0;
+  std::vector<cf32> data_;
+};
+
+}  // namespace mimonet::dsp

@@ -50,11 +50,12 @@ double mix(std::span<cf32> x, double phase0, double phase_inc) noexcept {
   return phase;
 }
 
-std::vector<cf32> cross_correlate(std::span<const cf32> x, std::span<const cf32> ref) {
+void cross_correlate_into(std::span<const cf32> x, std::span<const cf32> ref,
+                          std::vector<cf32>& out) {
   if (x.size() < ref.size() || ref.empty()) {
     throw std::invalid_argument("cross_correlate: x shorter than ref or ref empty");
   }
-  std::vector<cf32> out(x.size() - ref.size() + 1);
+  out.resize(x.size() - ref.size() + 1);
   for (std::size_t k = 0; k < out.size(); ++k) {
     cf64 acc{0.0, 0.0};
     for (std::size_t n = 0; n < ref.size(); ++n) {
@@ -62,6 +63,11 @@ std::vector<cf32> cross_correlate(std::span<const cf32> x, std::span<const cf32>
     }
     out[k] = cf32(static_cast<float>(acc.real()), static_cast<float>(acc.imag()));
   }
+}
+
+std::vector<cf32> cross_correlate(std::span<const cf32> x, std::span<const cf32> ref) {
+  std::vector<cf32> out;
+  cross_correlate_into(x, ref, out);
   return out;
 }
 

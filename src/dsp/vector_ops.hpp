@@ -33,6 +33,10 @@ double mix(std::span<cf32> x, double phase0, double phase_inc) noexcept;
 [[nodiscard]] std::vector<cf32> cross_correlate(std::span<const cf32> x,
                                                 std::span<const cf32> ref);
 
+/// Same correlation into caller-owned storage (resized, capacity kept).
+void cross_correlate_into(std::span<const cf32> x, std::span<const cf32> ref,
+                          std::vector<cf32>& out);
+
 /// Root-mean-square error between two equal-length vectors.
 [[nodiscard]] double rms_error(std::span<const cf32> a, std::span<const cf32> b);
 

@@ -7,31 +7,6 @@
 
 namespace mimonet::eq {
 
-namespace {
-
-// A non-finite channel estimate or observation (NaN/Inf leaking in from a
-// degenerate capture) survives the matrix algebra without throwing; collapse
-// any non-finite result to the erasure convention so downstream demapping
-// never sees NaN symbols or CSI.
-[[nodiscard]] bool all_finite(const EqualizedCarrier& c) noexcept {
-  for (const auto& s : c.symbols) {
-    if (!std::isfinite(s.real()) || !std::isfinite(s.imag())) return false;
-  }
-  for (const float nv : c.noise_vars) {
-    if (!std::isfinite(nv)) return false;
-  }
-  return true;
-}
-
-[[nodiscard]] EqualizedCarrier erased_carrier(std::size_t nss) {
-  EqualizedCarrier erased;
-  erased.symbols.assign(nss, cf32{0.0F, 0.0F});
-  erased.noise_vars.assign(nss, kErasedNoiseVar);
-  return erased;
-}
-
-}  // namespace
-
 std::string_view equalizer_name(EqualizerType t) noexcept {
   switch (t) {
     case EqualizerType::kZeroForcing: return "ZF";
@@ -47,11 +22,13 @@ LinearEqualizer::LinearEqualizer(EqualizerType type) : type_(type) {
   }
 }
 
-EqualizedCarrier LinearEqualizer::equalize(const CMatrix& h, std::span<const cf32> y,
-                                           float noise_var) const {
+void LinearEqualizer::prepare(const CMatrix& h, float noise_var, EqCoeffs& out) const {
   const std::size_t nss = h.cols();
   const std::size_t nrx = h.rows();
-  if (y.size() != nrx) throw std::invalid_argument("equalize: y size != nrx");
+  out.nss = nss;
+  out.nrx = nrx;
+  out.mmse = (type_ == EqualizerType::kMmse);
+  out.erased = false;
 
   const CMatrix hh = h.hermitian();
   CMatrix a = hh * h;  // nss x nss Gram matrix
@@ -67,48 +44,93 @@ EqualizedCarrier LinearEqualizer::equalize(const CMatrix& h, std::span<const cf3
   try {
     a_inv = a.inverse();
   } catch (const std::runtime_error&) {
-    return erased_carrier(nss);
+    out.erased = true;
+    return;
   }
-  const CMatrix w = a_inv * hh;  // nss x nrx
+  out.w = a_inv * hh;  // nss x nrx
 
-  std::vector<cf64> y64(nrx);
-  for (std::size_t r = 0; r < nrx; ++r) y64[r] = cf64(y[r]);
-  auto x_raw = w.apply(y64);
-
-  EqualizedCarrier out;
-  out.symbols.resize(nss);
-  out.noise_vars.resize(nss);
-
+  bool nv_finite = true;
   if (type_ == EqualizerType::kZeroForcing) {
     // Unbiased; noise enhancement is nv * diag((H^H H)^-1).
     for (std::size_t i = 0; i < nss; ++i) {
-      out.symbols[i] = cf32(static_cast<float>(x_raw[i].real()),
-                            static_cast<float>(x_raw[i].imag()));
       out.noise_vars[i] =
           std::max(static_cast<float>(noise_var * a_inv(i, i).real()), 1e-12F);
+      nv_finite = nv_finite && std::isfinite(out.noise_vars[i]);
     }
-    return all_finite(out) ? out : erased_carrier(nss);
+  } else {
+    // MMSE: bias-correct by the diagonal of G = W H, and account for
+    // residual inter-stream interference plus filtered noise.
+    const CMatrix g = out.w * h;  // nss x nss
+    const CMatrix wwh = out.w * out.w.hermitian();
+    for (std::size_t i = 0; i < nss; ++i) {
+      const cf64 gii = g(i, i);
+      const double gain_sqr = dsp::mag_sqr(gii);
+      double interference = 0.0;
+      for (std::size_t j = 0; j < nss; ++j) {
+        if (j != i) interference += dsp::mag_sqr(g(i, j));
+      }
+      const double noise = static_cast<double>(noise_var) * wwh(i, i).real();
+      out.g_diag[i] = gii;
+      out.gain_sqr[i] = gain_sqr;
+      out.noise_vars[i] = std::max(
+          static_cast<float>((interference + noise) / std::max(gain_sqr, 1e-30)),
+          1e-12F);
+      nv_finite = nv_finite && std::isfinite(out.noise_vars[i]);
+    }
   }
+  // Non-finite CSI erases the carrier no matter what symbols arrive.
+  if (!nv_finite) out.erased = true;
+}
 
-  // MMSE: bias-correct by the diagonal of G = W H, and account for residual
-  // inter-stream interference plus filtered noise.
-  const CMatrix g = w * h;           // nss x nss
-  const CMatrix wwh = w * w.hermitian();
-  for (std::size_t i = 0; i < nss; ++i) {
-    const cf64 gii = g(i, i);
-    const double gain_sqr = dsp::mag_sqr(gii);
-    double interference = 0.0;
-    for (std::size_t j = 0; j < nss; ++j) {
-      if (j != i) interference += dsp::mag_sqr(g(i, j));
-    }
-    const double noise = static_cast<double>(noise_var) * wwh(i, i).real();
-    const cf64 corrected = (gain_sqr > 1e-30) ? x_raw[i] / gii : x_raw[i];
-    out.symbols[i] = cf32(static_cast<float>(corrected.real()),
-                          static_cast<float>(corrected.imag()));
-    out.noise_vars[i] = std::max(
-        static_cast<float>((interference + noise) / std::max(gain_sqr, 1e-30)), 1e-12F);
+void LinearEqualizer::apply(const EqCoeffs& coeffs, std::span<const cf32> y,
+                            std::span<cf32> symbols, std::span<float> noise_vars) {
+  const std::size_t nss = coeffs.nss;
+  if (symbols.size() != nss || noise_vars.size() != nss) {
+    throw std::invalid_argument("LinearEqualizer::apply: wrong output span size");
   }
-  return all_finite(out) ? out : erased_carrier(nss);
+  const auto erase = [&] {
+    for (std::size_t i = 0; i < nss; ++i) {
+      symbols[i] = cf32{0.0F, 0.0F};
+      noise_vars[i] = kErasedNoiseVar;
+    }
+  };
+  if (coeffs.erased) {
+    erase();
+    return;
+  }
+  const std::size_t nrx = coeffs.nrx;
+  if (y.size() != nrx) throw std::invalid_argument("equalize: y size != nrx");
+
+  std::array<cf64, CMatrix::kMaxDim> y64;
+  std::array<cf64, CMatrix::kMaxDim> x_raw;
+  for (std::size_t r = 0; r < nrx; ++r) y64[r] = cf64(y[r]);
+  coeffs.w.apply_into(std::span(y64).first(nrx), std::span(x_raw).first(nss));
+
+  bool finite = true;
+  for (std::size_t i = 0; i < nss; ++i) {
+    const cf64 corrected =
+        coeffs.mmse && (coeffs.gain_sqr[i] > 1e-30) ? x_raw[i] / coeffs.g_diag[i]
+                                                    : x_raw[i];
+    symbols[i] = cf32(static_cast<float>(corrected.real()),
+                      static_cast<float>(corrected.imag()));
+    noise_vars[i] = coeffs.noise_vars[i];
+    finite = finite && std::isfinite(symbols[i].real()) &&
+             std::isfinite(symbols[i].imag());
+  }
+  if (!finite) erase();
+}
+
+EqualizedCarrier LinearEqualizer::equalize(const CMatrix& h, std::span<const cf32> y,
+                                           float noise_var) const {
+  const std::size_t nrx = h.rows();
+  if (y.size() != nrx) throw std::invalid_argument("equalize: y size != nrx");
+  EqCoeffs coeffs;
+  prepare(h, noise_var, coeffs);
+  EqualizedCarrier out;
+  out.symbols.resize(coeffs.nss);
+  out.noise_vars.resize(coeffs.nss);
+  apply(coeffs, y, out.symbols, out.noise_vars);
+  return out;
 }
 
 MlDetector::MlDetector(const mod::Constellation& constellation, std::size_t nss)
@@ -133,11 +155,14 @@ void MlDetector::demap(const CMatrix& h, std::span<const cf32> y, float noise_va
   const auto& points = constellation_.points();
   const std::size_t m = points.size();
   constexpr double kInf = std::numeric_limits<double>::infinity();
-  std::vector<double> min0(total_bits, kInf);
-  std::vector<double> min1(total_bits, kInf);
+  // nss <= 2 and bps <= 6, so the hypothesis minima fit on the stack.
+  std::array<double, 12> min0;
+  std::array<double, 12> min1;
+  min0.fill(kInf);
+  min1.fill(kInf);
 
   // Enumerate all nss-tuples of constellation labels.
-  std::vector<std::size_t> labels(nss_, 0);
+  std::array<std::size_t, 2> labels{0, 0};
   const std::size_t n_hyp = (nss_ == 1) ? m : m * m;
   for (std::size_t hyp = 0; hyp < n_hyp; ++hyp) {
     labels[0] = hyp % m;

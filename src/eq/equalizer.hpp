@@ -2,6 +2,7 @@
 // maximum-likelihood detection, applied per subcarrier.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -35,6 +36,21 @@ struct EqualizedCarrier {
   std::vector<float> noise_vars;
 };
 
+/// Precomputed equalizer coefficients for one subcarrier. The channel is
+/// constant across a packet's data symbols, so the Gram matrix, inverse,
+/// bias terms, and CSI are computed once per packet (prepare) and each
+/// symbol is one matrix-vector product (apply). Heap-free.
+struct EqCoeffs {
+  CMatrix w;                              ///< nss x nrx combining weights
+  std::array<cf64, CMatrix::kMaxDim> g_diag{};     ///< MMSE bias g_ii
+  std::array<double, CMatrix::kMaxDim> gain_sqr{}; ///< |g_ii|^2
+  std::array<float, CMatrix::kMaxDim> noise_vars{};///< post-eq CSI per stream
+  std::size_t nss = 0;
+  std::size_t nrx = 0;
+  bool mmse = false;
+  bool erased = false;  ///< singular / non-finite channel: emit erasures
+};
+
 /// Linear MIMO equalizer (ZF or MMSE). Stateless; safe to share.
 class LinearEqualizer {
  public:
@@ -43,9 +59,21 @@ class LinearEqualizer {
   [[nodiscard]] EqualizerType type() const noexcept { return type_; }
 
   /// Equalize one subcarrier. `h` is nrx x nss, `y` has nrx entries,
-  /// `noise_var` is the per-antenna complex noise variance.
+  /// `noise_var` is the per-antenna complex noise variance. Allocates the
+  /// result; the hot path uses prepare() + apply() instead.
   [[nodiscard]] EqualizedCarrier equalize(const CMatrix& h, std::span<const cf32> y,
                                           float noise_var) const;
+
+  /// Precompute the per-subcarrier coefficients for `h`. Bit-identical to
+  /// what equalize() would derive internally.
+  void prepare(const CMatrix& h, float noise_var, EqCoeffs& out) const;
+
+  /// Apply prepared coefficients to one received symbol vector. `symbols`
+  /// and `noise_vars` must each hold coeffs.nss entries. A non-finite
+  /// result (or coeffs.erased) yields the erasure convention: zero symbols
+  /// with kErasedNoiseVar.
+  static void apply(const EqCoeffs& coeffs, std::span<const cf32> y,
+                    std::span<cf32> symbols, std::span<float> noise_vars);
 
  private:
   EqualizerType type_;

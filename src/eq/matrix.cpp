@@ -40,7 +40,7 @@ CMatrix CMatrix::operator+(const CMatrix& rhs) const {
     throw std::invalid_argument("CMatrix: dim mismatch in +");
   }
   CMatrix out(rows_, cols_);
-  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] + rhs.data_[i];
+  for (std::size_t i = 0; i < rows_ * cols_; ++i) out.data_[i] = data_[i] + rhs.data_[i];
   return out;
 }
 
@@ -50,14 +50,22 @@ CMatrix& CMatrix::add_diagonal(cf64 value) {
   return *this;
 }
 
-std::vector<cf64> CMatrix::apply(std::span<const cf64> x) const {
-  if (x.size() != cols_) throw std::invalid_argument("CMatrix::apply: dim mismatch");
-  std::vector<cf64> y(rows_, cf64{0.0, 0.0});
-  for (std::size_t r = 0; r < rows_; ++r) {
-    for (std::size_t c = 0; c < cols_; ++c) {
-      y[r] += (*this)(r, c) * x[c];
-    }
+void CMatrix::apply_into(std::span<const cf64> x, std::span<cf64> y) const {
+  if (x.size() != cols_ || y.size() != rows_) {
+    throw std::invalid_argument("CMatrix::apply: dim mismatch");
   }
+  for (std::size_t r = 0; r < rows_; ++r) {
+    cf64 acc{0.0, 0.0};
+    for (std::size_t c = 0; c < cols_; ++c) {
+      acc += (*this)(r, c) * x[c];
+    }
+    y[r] = acc;
+  }
+}
+
+std::vector<cf64> CMatrix::apply(std::span<const cf64> x) const {
+  std::vector<cf64> y(rows_, cf64{0.0, 0.0});
+  apply_into(x, y);
   return y;
 }
 
@@ -105,7 +113,7 @@ CMatrix CMatrix::inverse() const {
 
 double CMatrix::frob_sqr() const noexcept {
   double acc = 0.0;
-  for (const auto& v : data_) acc += dsp::mag_sqr(v);
+  for (std::size_t i = 0; i < rows_ * cols_; ++i) acc += dsp::mag_sqr(data_[i]);
   return acc;
 }
 

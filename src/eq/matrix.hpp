@@ -3,8 +3,10 @@
 // sensitive to cancellation.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "dsp/types.hpp"
@@ -14,12 +16,21 @@ namespace mimonet::eq {
 using dsp::cf32;
 using dsp::cf64;
 
-/// Row-major dynamic complex matrix.
+/// Row-major complex matrix with inline storage (no heap): the equalizer
+/// builds and tears down several of these per subcarrier, so they must be
+/// stack-only. Dimensions are capped at kMaxDim x kMaxDim (4 antennas is
+/// the architectural limit of this PHY).
 class CMatrix {
  public:
+  static constexpr std::size_t kMaxDim = 4;
+
   CMatrix() = default;
-  CMatrix(std::size_t rows, std::size_t cols)
-      : rows_(rows), cols_(cols), data_(rows * cols, cf64{0.0, 0.0}) {}
+  CMatrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {
+    if (rows > kMaxDim || cols > kMaxDim) {
+      throw std::invalid_argument("CMatrix: dimensions exceed kMaxDim");
+    }
+    data_.fill(cf64{0.0, 0.0});
+  }
 
   [[nodiscard]] static CMatrix identity(std::size_t n);
 
@@ -40,8 +51,11 @@ class CMatrix {
   [[nodiscard]] CMatrix operator+(const CMatrix& rhs) const;
   CMatrix& add_diagonal(cf64 value);
 
-  /// Matrix-vector product (y must have rows() entries... returns rows()).
+  /// Matrix-vector product (allocates the result; prefer apply_into in loops).
   [[nodiscard]] std::vector<cf64> apply(std::span<const cf64> x) const;
+
+  /// Matrix-vector product into caller storage: y must have rows() entries.
+  void apply_into(std::span<const cf64> x, std::span<cf64> y) const;
 
   /// Gauss-Jordan inverse with partial pivoting.
   /// @throws std::runtime_error when singular (pivot below 1e-30).
@@ -53,7 +67,7 @@ class CMatrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<cf64> data_;
+  std::array<cf64, kMaxDim * kMaxDim> data_{};
 };
 
 /// Build a CMatrix from per-subcarrier channel estimates h[rx][tx].

@@ -49,15 +49,20 @@ std::size_t coded_length(std::size_t info_bits, CodeRate r) {
   return info_bits / num * den;
 }
 
-std::vector<std::uint8_t> conv_encode(std::span<const std::uint8_t> bits) {
-  std::vector<std::uint8_t> out;
-  out.reserve(bits.size() * 2);
+void conv_encode_into(std::span<const std::uint8_t> bits, std::vector<std::uint8_t>& out) {
+  out.resize(bits.size() * 2);
   std::uint32_t shreg = 0;  // bit 0 = newest input bit
+  std::size_t o = 0;
   for (const std::uint8_t b : bits) {
     shreg = ((shreg << 1U) | (b & 1U)) & 0x7FU;
-    out.push_back(parity(shreg & kPolyG0));
-    out.push_back(parity(shreg & kPolyG1));
+    out[o++] = parity(shreg & kPolyG0);
+    out[o++] = parity(shreg & kPolyG1);
   }
+}
+
+std::vector<std::uint8_t> conv_encode(std::span<const std::uint8_t> bits) {
+  std::vector<std::uint8_t> out;
+  conv_encode_into(bits, out);
   return out;
 }
 
@@ -71,28 +76,63 @@ std::span<const std::uint8_t> puncture_mask(CodeRate rate) noexcept {
   return kMask12;
 }
 
-std::vector<std::uint8_t> puncture(std::span<const std::uint8_t> coded, CodeRate rate) {
+void puncture_into(std::span<const std::uint8_t> coded, CodeRate rate,
+                   std::vector<std::uint8_t>& out) {
   const auto mask = puncture_mask(rate);
-  std::vector<std::uint8_t> out;
+  out.clear();
   out.reserve(coded.size());
-  for (std::size_t i = 0; i < coded.size(); ++i) {
-    if (mask[i % mask.size()] != 0) out.push_back(coded[i]);
+  std::size_t i = 0;
+  while (i < coded.size()) {
+    for (std::size_t mi = 0; mi < mask.size() && i < coded.size(); ++mi, ++i) {
+      if (mask[mi] != 0) out.push_back(coded[i]);
+    }
   }
+}
+
+std::vector<std::uint8_t> puncture(std::span<const std::uint8_t> coded, CodeRate rate) {
+  std::vector<std::uint8_t> out;
+  puncture_into(coded, rate, out);
   return out;
 }
 
-std::vector<float> depuncture(std::span<const float> llrs, CodeRate rate) {
+void depuncture_into(std::span<const float> llrs, CodeRate rate, std::vector<float>& out) {
   const auto mask = puncture_mask(rate);
-  std::vector<float> out;
-  out.reserve(llrs.size() * 2);
-  std::size_t in_idx = 0;
-  for (std::size_t i = 0; in_idx < llrs.size(); ++i) {
-    if (mask[i % mask.size()] != 0) {
-      out.push_back(llrs[in_idx++]);
-    } else {
-      out.push_back(0.0F);  // erasure: no information about this bit
+  // Output covers every mask position up to and including the one that
+  // consumes the last input LLR; trailing punctured positions are not
+  // regenerated (the caller pads to an even count if needed).
+  std::size_t keeps_per_period = 0;
+  for (const auto m : mask) keeps_per_period += (m != 0) ? 1 : 0;
+  std::size_t full_periods = llrs.size() / keeps_per_period;
+  std::size_t rem = llrs.size() % keeps_per_period;
+  if (rem == 0 && full_periods > 0) {
+    // The output ends at the position consuming the last LLR, so the final
+    // period is truncated after its last keep position (matters for the 2/3
+    // mask, whose trailing position is punctured).
+    --full_periods;
+    rem = keeps_per_period;
+  }
+  std::size_t tail = 0;
+  if (rem != 0) {
+    std::size_t seen = 0;
+    while (seen < rem) {
+      if (mask[tail] != 0) ++seen;
+      ++tail;
     }
   }
+  out.resize(full_periods * mask.size() + tail);
+
+  std::size_t o = 0;
+  std::size_t in_idx = 0;
+  while (o < out.size()) {
+    for (std::size_t mi = 0; mi < mask.size() && o < out.size(); ++mi, ++o) {
+      out[o] = (mask[mi] != 0) ? llrs[in_idx++] : 0.0F;
+    }
+  }
+}
+
+std::vector<float> depuncture(std::span<const float> llrs, CodeRate rate) {
+  std::vector<float> out;
+  depuncture_into(llrs, rate, out);
   return out;
 }
 

@@ -40,14 +40,24 @@ inline constexpr std::uint32_t kPolyG1 = 0x4F;
 /// does). Output is interleaved (A0 B0 A1 B1 ...), one bit per byte.
 [[nodiscard]] std::vector<std::uint8_t> conv_encode(std::span<const std::uint8_t> bits);
 
+/// conv_encode into caller storage (resized, capacity kept).
+void conv_encode_into(std::span<const std::uint8_t> bits, std::vector<std::uint8_t>& out);
+
 /// Puncture a rate-1/2 coded stream to the target rate. Identity for kR1_2.
 [[nodiscard]] std::vector<std::uint8_t> puncture(std::span<const std::uint8_t> coded,
                                                  CodeRate rate);
+
+/// puncture into caller storage (resized, capacity kept).
+void puncture_into(std::span<const std::uint8_t> coded, CodeRate rate,
+                   std::vector<std::uint8_t>& out);
 
 /// Inverse of puncture() for soft values: re-inserts zero-LLR erasures so the
 /// Viterbi decoder sees a full rate-1/2 stream. LLR convention: positive
 /// means bit 0 more likely.
 [[nodiscard]] std::vector<float> depuncture(std::span<const float> llrs, CodeRate rate);
+
+/// depuncture into caller storage (resized, capacity kept).
+void depuncture_into(std::span<const float> llrs, CodeRate rate, std::vector<float>& out);
 
 /// The puncturing keep-mask for a rate: 1 = bit transmitted, 0 = punctured.
 /// Pattern repeats every mask.size() rate-1/2 output bits.

@@ -21,13 +21,17 @@ std::vector<std::uint8_t> scramble(std::span<const std::uint8_t> bits,
   return out;
 }
 
-std::vector<std::uint8_t> scrambler_sequence(std::uint32_t seed, std::size_t length) {
+void scrambler_sequence_into(std::uint32_t seed, std::span<std::uint8_t> out) {
   if ((seed & 0x7FU) == 0) {
     throw std::invalid_argument("scrambler_sequence: seed must be non-zero");
   }
   auto lfsr = dsp::make_dot11_scrambler_lfsr(seed);
-  std::vector<std::uint8_t> out(length);
   for (auto& b : out) b = lfsr.next();
+}
+
+std::vector<std::uint8_t> scrambler_sequence(std::uint32_t seed, std::size_t length) {
+  std::vector<std::uint8_t> out(length);
+  scrambler_sequence_into(seed, out);
   return out;
 }
 

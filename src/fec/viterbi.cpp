@@ -5,12 +5,74 @@
 #include <limits>
 #include <stdexcept>
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#define MIMONET_VITERBI_X86_DISPATCH 1
+#include <immintrin.h>
+#endif
+
 namespace mimonet::fec {
 
 namespace {
 [[nodiscard]] std::uint8_t parity(std::uint32_t x) noexcept {
   return static_cast<std::uint8_t>(std::popcount(x) & 1);
 }
+
+#ifdef MIMONET_VITERBI_X86_DISPATCH
+// Vectorized add-compare-select, 8 butterflies per lane group. Bit-identical
+// to the scalar loop: same additions in the same order, the same ordered
+// `cand_hi > cand_lo` comparison (NaN selects the low branch in both), and
+// IEEE subtraction a - b is exactly a + (-b). Runtime-dispatched so the
+// portable build still runs on pre-AVX2 hardware.
+__attribute__((target("avx2,bmi2"))) void acs_step_avx2(
+    const float* metric, float* next_metric, const float* bm,
+    const std::uint32_t* sel_lo, const std::uint32_t* sel_hi,
+    std::uint64_t& dec_word_out) {
+  const __m256 bm_vec = _mm256_set_ps(bm[3], bm[2], bm[1], bm[0], bm[3], bm[2],
+                                      bm[1], bm[0]);
+  std::uint64_t dec_word = 0;
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    const __m256 m_lo = _mm256_loadu_ps(metric + 8 * c);
+    const __m256 m_hi = _mm256_loadu_ps(metric + 8 * c + 32);
+    // b = 0 and b = 1 branch metrics for this chunk of predecessors.
+    const __m256 bmv0 = _mm256_permutevar8x32_ps(
+        bm_vec, _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(sel_lo + 8 * c)));
+    const __m256 bmv1 = _mm256_permutevar8x32_ps(
+        bm_vec, _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(sel_hi + 8 * c)));
+
+    const __m256 lo0 = _mm256_add_ps(m_lo, bmv0);
+    const __m256 hi0 = _mm256_sub_ps(m_hi, bmv0);
+    const __m256 lo1 = _mm256_add_ps(m_lo, bmv1);
+    const __m256 hi1 = _mm256_sub_ps(m_hi, bmv1);
+    const __m256 take0 = _mm256_cmp_ps(hi0, lo0, _CMP_GT_OQ);
+    const __m256 take1 = _mm256_cmp_ps(hi1, lo1, _CMP_GT_OQ);
+    const __m256 w0 = _mm256_blendv_ps(lo0, hi0, take0);
+    const __m256 w1 = _mm256_blendv_ps(lo1, hi1, take1);
+
+    // Interleave winners: next states are 2p (b=0) and 2p+1 (b=1).
+    const __m256 il = _mm256_unpacklo_ps(w0, w1);
+    const __m256 ih = _mm256_unpackhi_ps(w0, w1);
+    _mm256_storeu_ps(next_metric + 16 * c,
+                     _mm256_permute2f128_ps(il, ih, 0x20));
+    _mm256_storeu_ps(next_metric + 16 * c + 8,
+                     _mm256_permute2f128_ps(il, ih, 0x31));
+
+    const auto m0 = static_cast<std::uint64_t>(
+        static_cast<std::uint32_t>(_mm256_movemask_ps(take0)));
+    const auto m1 = static_cast<std::uint64_t>(
+        static_cast<std::uint32_t>(_mm256_movemask_ps(take1)));
+    const std::uint64_t bits =
+        _pdep_u64(m0, 0x5555ULL) | _pdep_u64(m1, 0xAAAAULL);
+    dec_word |= bits << (16 * c);
+  }
+  dec_word_out = dec_word;
+}
+
+[[nodiscard]] bool have_avx2_bmi2() noexcept {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("bmi2");
+}
+#endif  // MIMONET_VITERBI_X86_DISPATCH
 }  // namespace
 
 ViterbiDecoder::ViterbiDecoder() {
@@ -22,69 +84,102 @@ ViterbiDecoder::ViterbiDecoder() {
       out_[s][b] = static_cast<std::uint8_t>((o0 << 1U) | o1);
     }
   }
+  for (std::uint32_t p = 0; p < kNumStates / 2; ++p) {
+    for (std::uint32_t b = 0; b < 2; ++b) {
+      bm_sel_[p][b] = out_[p][b];
+    }
+    sel0_[p] = bm_sel_[p][0];
+    sel1_[p] = bm_sel_[p][1];
+  }
 }
 
-std::vector<std::uint8_t> ViterbiDecoder::decode_soft(std::span<const float> llrs,
-                                                      bool terminated) const {
+void ViterbiDecoder::decode_soft_into(std::span<const float> llrs, bool terminated,
+                                      std::vector<std::uint8_t>& decoded,
+                                      Scratch& scratch) const {
   if (llrs.size() % 2 != 0) {
     throw std::invalid_argument("ViterbiDecoder: LLR count must be even");
   }
   const std::size_t n_steps = llrs.size() / 2;
-  std::vector<std::uint8_t> decoded(n_steps);
-  if (n_steps == 0) return decoded;
+  decoded.resize(n_steps);
+  if (n_steps == 0) return;
 
   constexpr float kNegInf = -std::numeric_limits<float>::infinity();
-  std::array<float, kNumStates> metric{};
-  std::array<float, kNumStates> next_metric{};
-  metric.fill(kNegInf);
-  metric[0] = 0.0F;  // encoder starts in the all-zero state
+  std::array<float, kNumStates> buf_a{};
+  std::array<float, kNumStates> buf_b{};
+  buf_a.fill(kNegInf);
+  buf_a[0] = 0.0F;  // encoder starts in the all-zero state
+  float* metric = buf_a.data();
+  float* next_metric = buf_b.data();
 
   // decisions[t] bit s: which predecessor (0 = low, 1 = high) won for state s.
-  std::vector<std::uint64_t> decisions(n_steps, 0);
+  auto& decisions = scratch.decisions;
+  decisions.resize(n_steps);
 
+  constexpr std::uint32_t kHalf = kNumStates / 2;
+
+#ifdef MIMONET_VITERBI_X86_DISPATCH
+  static const bool use_avx2 = have_avx2_bmi2();
+  if (use_avx2) {
+    for (std::size_t t = 0; t < n_steps; ++t) {
+      const float l0 = llrs[2 * t];
+      const float l1 = llrs[2 * t + 1];
+      const std::array<float, 4> bm{l0 + l1, l0 + -l1, -l0 + l1, -l0 + -l1};
+      acs_step_avx2(metric, next_metric, bm.data(), sel0_.data(), sel1_.data(),
+                    decisions[t]);
+      std::swap(metric, next_metric);
+    }
+  } else
+#endif
   for (std::size_t t = 0; t < n_steps; ++t) {
     const float l0 = llrs[2 * t];      // LLR of first coded bit (g0)
     const float l1 = llrs[2 * t + 1];  // LLR of second coded bit (g1)
-    next_metric.fill(kNegInf);
+    // Branch metric per output pair o: +LLR when the transmitted coded bit
+    // is 0, -LLR when 1 — four possible values per step.
+    const std::array<float, 4> bm{l0 + l1, l0 + -l1, -l0 + l1, -l0 + -l1};
     std::uint64_t dec_word = 0;
 
-    for (std::uint32_t next = 0; next < kNumStates; ++next) {
-      const std::uint32_t b = next & 1U;  // the input bit is the new LSB
-      const std::uint32_t pred_lo = next >> 1U;
-      const std::uint32_t pred_hi = pred_lo | (kNumStates >> 1U);
-
-      // Branch metric: +LLR when the transmitted coded bit is 0, -LLR when 1.
-      const auto branch = [&](std::uint32_t pred) {
-        const std::uint8_t o = out_[pred][b];
-        const float m0 = ((o & 2U) != 0) ? -l0 : l0;
-        const float m1 = ((o & 1U) != 0) ? -l1 : l1;
-        return m0 + m1;
-      };
-
-      const float cand_lo = metric[pred_lo] + branch(pred_lo);
-      const float cand_hi = metric[pred_hi] + branch(pred_hi);
-      if (cand_hi > cand_lo) {
-        next_metric[next] = cand_hi;
-        dec_word |= (std::uint64_t{1} << next);
-      } else {
-        next_metric[next] = cand_lo;
+    // Butterfly update: predecessors p and p | 32 both feed next states 2p
+    // and 2p+1, and the high predecessor's branch metric is the exact
+    // negation of the low one's (both generators tap x^6). Identical
+    // arithmetic to the per-next-state form, half the metric loads.
+    for (std::uint32_t p = 0; p < kHalf; ++p) {
+      const float m_lo = metric[p];
+      const float m_hi = metric[p + kHalf];
+      for (std::uint32_t b = 0; b < 2; ++b) {
+        const float bmv = bm[bm_sel_[p][b]];
+        const float cand_lo = m_lo + bmv;
+        const float cand_hi = m_hi + -bmv;
+        const std::uint32_t next = (p << 1U) | b;
+        if (cand_hi > cand_lo) {
+          next_metric[next] = cand_hi;
+          dec_word |= (std::uint64_t{1} << next);
+        } else {
+          next_metric[next] = cand_lo;
+        }
       }
     }
     decisions[t] = dec_word;
-    metric = next_metric;
+    std::swap(metric, next_metric);
   }
 
   // Traceback.
   std::uint32_t state = 0;
   if (!terminated) {
     state = static_cast<std::uint32_t>(
-        std::distance(metric.begin(), std::max_element(metric.begin(), metric.end())));
+        std::distance(metric, std::max_element(metric, metric + kNumStates)));
   }
   for (std::size_t t = n_steps; t-- > 0;) {
     decoded[t] = static_cast<std::uint8_t>(state & 1U);
     const bool took_hi = ((decisions[t] >> state) & 1U) != 0;
     state = (state >> 1U) | (took_hi ? (kNumStates >> 1U) : 0U);
   }
+}
+
+std::vector<std::uint8_t> ViterbiDecoder::decode_soft(std::span<const float> llrs,
+                                                      bool terminated) const {
+  std::vector<std::uint8_t> decoded;
+  Scratch scratch;
+  decode_soft_into(llrs, terminated, decoded, scratch);
   return decoded;
 }
 

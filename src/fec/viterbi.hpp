@@ -20,6 +20,12 @@ class ViterbiDecoder {
  public:
   ViterbiDecoder();
 
+  /// Reusable decode scratch: the per-step survivor decision words. Owned by
+  /// the caller (workspace) so steady-state decoding never allocates.
+  struct Scratch {
+    std::vector<std::uint64_t> decisions;
+  };
+
   /// Decode a soft rate-1/2 stream (llrs.size() must be even). Returns one
   /// decoded input bit per trellis step (including any tail bits the encoder
   /// appended — the caller strips them).
@@ -30,6 +36,11 @@ class ViterbiDecoder {
   [[nodiscard]] std::vector<std::uint8_t> decode_soft(std::span<const float> llrs,
                                                       bool terminated = true) const;
 
+  /// decode_soft into caller storage: `decoded` is resized to one bit per
+  /// trellis step (capacity kept); `scratch` holds the survivor words.
+  void decode_soft_into(std::span<const float> llrs, bool terminated,
+                        std::vector<std::uint8_t>& decoded, Scratch& scratch) const;
+
   /// Decode hard bits (0/1, two per step) by mapping to +/-1 LLRs.
   [[nodiscard]] std::vector<std::uint8_t> decode_hard(std::span<const std::uint8_t> coded,
                                                       bool terminated = true) const;
@@ -37,6 +48,16 @@ class ViterbiDecoder {
  private:
   // out_[s][b] packs (g0_bit << 1) | g1_bit for state s and input bit b.
   std::array<std::array<std::uint8_t, 2>, kNumStates> out_{};
+  // Butterfly branch-metric selectors: for predecessor pair (p, p+32) and
+  // input bit b, bm_sel_[p][b] indexes the step's 4 branch-metric values for
+  // the low predecessor. Both generator polynomials have the x^6 tap set, so
+  // the high predecessor's output bits are the complement and its branch
+  // metric is the exact negation.
+  std::array<std::array<std::uint8_t, 2>, kNumStates / 2> bm_sel_{};
+  // The same selectors widened to 32 bits, split by input bit, in predecessor
+  // order — the permute-index layout the vectorized ACS path consumes.
+  std::array<std::uint32_t, kNumStates / 2> sel0_{};
+  std::array<std::uint32_t, kNumStates / 2> sel1_{};
 };
 
 /// End-to-end helper: encode `bits` (appending 6 tail zeros), puncture to

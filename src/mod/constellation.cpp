@@ -66,12 +66,20 @@ Constellation::Constellation(Modulation m) : mod_(m), bps_(mod::bits_per_symbol(
 
   const unsigned i_bits = (bps_ + 1) / 2;  // BPSK: 1/0 split (Q absent)
   const unsigned q_bits = bps_ / 2;
+  i_bits_ = i_bits;
+  q_bits_ = q_bits;
   for (std::size_t label = 0; label < n; ++label) {
     const auto i_val = static_cast<unsigned>(label >> q_bits);
     const auto q_val = static_cast<unsigned>(label & ((1U << q_bits) - 1U));
     const float i_lvl = pam_level(i_bits, i_val);
     const float q_lvl = (q_bits == 0) ? 0.0F : pam_level(q_bits, q_val);
     points_[label] = cf32(i_lvl * norm, q_lvl * norm);
+  }
+  for (unsigned v = 0; v < (1U << i_bits); ++v) {
+    i_levels_[v] = pam_level(i_bits, v) * norm;
+  }
+  for (unsigned v = 0; v < (1U << q_bits); ++v) {
+    q_levels_[v] = ((q_bits == 0) ? 0.0F : pam_level(q_bits, v)) * norm;
   }
 }
 
@@ -82,14 +90,20 @@ cf32 Constellation::map(std::span<const std::uint8_t> bits) const {
   return points_[label];
 }
 
-std::vector<cf32> Constellation::map_all(std::span<const std::uint8_t> bits) const {
+void Constellation::map_all_into(std::span<const std::uint8_t> bits,
+                                 std::vector<cf32>& out) const {
   if (bits.size() % bps_ != 0) {
     throw std::invalid_argument("Constellation::map_all: bit count not a symbol multiple");
   }
-  std::vector<cf32> out(bits.size() / bps_);
+  out.resize(bits.size() / bps_);
   for (std::size_t i = 0; i < out.size(); ++i) {
     out[i] = map(bits.subspan(i * bps_, bps_));
   }
+}
+
+std::vector<cf32> Constellation::map_all(std::span<const std::uint8_t> bits) const {
+  std::vector<cf32> out;
+  map_all_into(bits, out);
   return out;
 }
 
@@ -123,28 +137,85 @@ void Constellation::demap_soft(cf32 y, float noise_var, std::span<float> llr_out
     throw std::invalid_argument("Constellation::demap_soft: wrong LLR span size");
   }
   constexpr float kInf = std::numeric_limits<float>::infinity();
-  // min distance^2 over points whose bit b equals 0 / 1.
-  std::array<float, 6> min0{};
-  std::array<float, 6> min1{};
-  min0.fill(kInf);
-  min1.fill(kInf);
+  // The grid factorizes into independent I/Q PAM axes (labels are I bits
+  // then Q bits), so min over the M points of dI^2 + dQ^2 equals the
+  // per-axis minimum of each term. Rounding is monotone, so this is
+  // bit-identical to scanning all M points — at 2*sqrt(M) distance
+  // evaluations instead of M.
+  const std::size_t ni = std::size_t{1} << i_bits_;
+  const std::size_t nq = std::size_t{1} << q_bits_;
+  std::array<float, 8> di2;
+  std::array<float, 8> dq2;
+  for (std::size_t v = 0; v < ni; ++v) {
+    const float d = y.real() - i_levels_[v];
+    di2[v] = d * d;
+  }
+  for (std::size_t v = 0; v < nq; ++v) {
+    const float d = y.imag() - q_levels_[v];
+    dq2[v] = d * d;
+  }
 
-  for (std::size_t label = 0; label < points_.size(); ++label) {
-    const float d = dsp::mag_sqr(y - points_[label]);
-    for (unsigned b = 0; b < bps_; ++b) {
-      const bool bit = ((label >> (bps_ - 1 - b)) & 1U) != 0;
-      auto& slot = bit ? min1[b] : min0[b];
+  // Per-axis minima, overall and conditioned on each axis bit.
+  std::array<float, 4> i_min0;
+  std::array<float, 4> i_min1;
+  std::array<float, 4> q_min0;
+  std::array<float, 4> q_min1;
+  i_min0.fill(kInf);
+  i_min1.fill(kInf);
+  q_min0.fill(kInf);
+  q_min1.fill(kInf);
+  float i_min = kInf;
+  float q_min = kInf;
+  for (std::size_t v = 0; v < ni; ++v) {
+    const float d = di2[v];
+    if (d < i_min) i_min = d;
+    for (unsigned b = 0; b < i_bits_; ++b) {
+      const bool bit = ((v >> (i_bits_ - 1 - b)) & 1U) != 0;
+      auto& slot = bit ? i_min1[b] : i_min0[b];
       if (d < slot) slot = d;
     }
   }
+  for (std::size_t v = 0; v < nq; ++v) {
+    const float d = dq2[v];
+    if (d < q_min) q_min = d;
+    for (unsigned b = 0; b < q_bits_; ++b) {
+      const bool bit = ((v >> (q_bits_ - 1 - b)) & 1U) != 0;
+      auto& slot = bit ? q_min1[b] : q_min0[b];
+      if (d < slot) slot = d;
+    }
+  }
+
   const float inv_nv = 1.0F / std::max(noise_var, 1e-12F);
   for (unsigned b = 0; b < bps_; ++b) {
-    const float llr = (min1[b] - min0[b]) * inv_nv;
+    float min0;
+    float min1;
+    if (b < i_bits_) {
+      min0 = i_min0[b] + q_min;
+      min1 = i_min1[b] + q_min;
+    } else {
+      min0 = i_min + q_min0[b - i_bits_];
+      min1 = i_min + q_min1[b - i_bits_];
+    }
+    const float llr = (min1 - min0) * inv_nv;
     // A non-finite observation (NaN/Inf leaking through the channel) leaves
     // both minima at +inf; emit an erasure rather than NaN so the FEC
     // decoders always see defined branch metrics.
     llr_out[b] = std::isfinite(llr) ? llr : 0.0F;
   }
+}
+
+const Constellation& constellation_for(Modulation m) {
+  static const Constellation bpsk(Modulation::kBpsk);
+  static const Constellation qpsk(Modulation::kQpsk);
+  static const Constellation qam16(Modulation::kQam16);
+  static const Constellation qam64(Modulation::kQam64);
+  switch (m) {
+    case Modulation::kBpsk: return bpsk;
+    case Modulation::kQpsk: return qpsk;
+    case Modulation::kQam16: return qam16;
+    case Modulation::kQam64: return qam64;
+  }
+  return bpsk;
 }
 
 std::vector<float> Constellation::demap_soft_all(std::span<const cf32> symbols,

@@ -2,6 +2,7 @@
 // 16-QAM, 64-QAM, with unit average energy.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <string_view>
@@ -37,6 +38,9 @@ class Constellation {
   /// Map a full bit stream; size must be a multiple of bits_per_symbol().
   [[nodiscard]] std::vector<cf32> map_all(std::span<const std::uint8_t> bits) const;
 
+  /// map_all into caller storage (resized, capacity kept).
+  void map_all_into(std::span<const std::uint8_t> bits, std::vector<cf32>& out) const;
+
   /// Nearest-point hard decision; returns the point index.
   [[nodiscard]] std::size_t hard_decision(cf32 y) const noexcept;
 
@@ -56,7 +60,18 @@ class Constellation {
  private:
   Modulation mod_;
   unsigned bps_;
+  unsigned i_bits_;
+  unsigned q_bits_;
   std::vector<cf32> points_;  // indexed by the bps-bit Gray label
+  // Per-axis PAM levels (normalized), indexed by the axis bit group: the
+  // square-QAM grid factorizes, so soft demapping scans 2*sqrt(M) axis
+  // points instead of M grid points.
+  std::array<float, 8> i_levels_{};
+  std::array<float, 8> q_levels_{};
 };
+
+/// Process-wide immutable Constellation per modulation, built on first use —
+/// the receive path must not construct (allocate) one per packet.
+[[nodiscard]] const Constellation& constellation_for(Modulation m);
 
 }  // namespace mimonet::mod

@@ -8,6 +8,13 @@ SymbolModulator::SymbolModulator(CarrierPlan plan) : map_(plan), fft_(kFftSize) 
 
 void SymbolModulator::modulate(std::span<const cf32> data, std::span<const cf32, 4> pilots,
                                std::vector<cf32>& out, int csd_samples) const {
+  std::vector<cf32> time_scratch;
+  modulate(data, pilots, out, csd_samples, time_scratch);
+}
+
+void SymbolModulator::modulate(std::span<const cf32> data, std::span<const cf32, 4> pilots,
+                               std::vector<cf32>& out, int csd_samples,
+                               std::vector<cf32>& time_scratch) const {
   if (data.size() != map_.num_data()) {
     throw std::invalid_argument("SymbolModulator: wrong data subcarrier count");
   }
@@ -15,7 +22,7 @@ void SymbolModulator::modulate(std::span<const cf32> data, std::span<const cf32,
   for (std::size_t i = 0; i < data.size(); ++i) grid[map_.data_bins()[i]] = data[i];
   for (std::size_t p = 0; p < pilots.size(); ++p) grid[map_.pilot_bins()[p]] = pilots[p];
   if (csd_samples != 0) cyclic_shift_grid(grid, csd_samples);
-  modulate_grid(fft_, grid, kCpLen, out);
+  modulate_grid(fft_, grid, kCpLen, out, time_scratch);
 }
 
 void cyclic_shift_grid(std::span<cf32> grid, int shift_samples) noexcept {
@@ -32,7 +39,15 @@ void cyclic_shift_grid(std::span<cf32> grid, int shift_samples) noexcept {
 
 void SymbolModulator::modulate_grid(const dsp::FftPlan& plan, std::span<const cf32> grid,
                                     std::size_t cp_len, std::vector<cf32>& out) {
-  std::vector<cf32> time(plan.size());
+  std::vector<cf32> time_scratch;
+  modulate_grid(plan, grid, cp_len, out, time_scratch);
+}
+
+void SymbolModulator::modulate_grid(const dsp::FftPlan& plan, std::span<const cf32> grid,
+                                    std::size_t cp_len, std::vector<cf32>& out,
+                                    std::vector<cf32>& time_scratch) {
+  auto& time = time_scratch;
+  time.resize(plan.size());
   plan.inverse(grid, time);
   // Scale so mean occupied-subcarrier power maps to unit-ish sample power is
   // left to the caller; here we keep the plain 1/N IFFT convention.
@@ -48,25 +63,37 @@ void SymbolModulator::modulate_grid(const dsp::FftPlan& plan, std::span<const cf
 
 SymbolDemodulator::SymbolDemodulator(CarrierPlan plan) : map_(plan), fft_(kFftSize) {}
 
-DemodSymbol SymbolDemodulator::demodulate(std::span<const cf32> symbol) const {
-  const auto grid = demodulate_grid(symbol);
-  DemodSymbol out;
+void SymbolDemodulator::demodulate_into(std::span<const cf32> symbol, DemodSymbol& out,
+                                        std::vector<cf32>& grid_scratch) const {
+  demodulate_grid_into(symbol, grid_scratch);
   out.data.resize(map_.num_data());
   for (std::size_t i = 0; i < out.data.size(); ++i) {
-    out.data[i] = grid[map_.data_bins()[i]];
+    out.data[i] = grid_scratch[map_.data_bins()[i]];
   }
   for (std::size_t p = 0; p < 4; ++p) {
-    out.pilots[p] = grid[map_.pilot_bins()[p]];
+    out.pilots[p] = grid_scratch[map_.pilot_bins()[p]];
   }
+}
+
+DemodSymbol SymbolDemodulator::demodulate(std::span<const cf32> symbol) const {
+  DemodSymbol out;
+  std::vector<cf32> grid_scratch;
+  demodulate_into(symbol, out, grid_scratch);
   return out;
 }
 
-std::vector<cf32> SymbolDemodulator::demodulate_grid(std::span<const cf32> symbol) const {
+void SymbolDemodulator::demodulate_grid_into(std::span<const cf32> symbol,
+                                             std::vector<cf32>& grid) const {
   if (symbol.size() != kSymLen) {
     throw std::invalid_argument("SymbolDemodulator: expected 80-sample symbol");
   }
-  std::vector<cf32> grid(kFftSize);
+  grid.resize(kFftSize);
   fft_.forward(symbol.subspan(kCpLen, kFftSize), grid);
+}
+
+std::vector<cf32> SymbolDemodulator::demodulate_grid(std::span<const cf32> symbol) const {
+  std::vector<cf32> grid;
+  demodulate_grid_into(symbol, grid);
   return grid;
 }
 

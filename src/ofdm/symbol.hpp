@@ -34,6 +34,17 @@ class SymbolModulator {
   static void modulate_grid(const dsp::FftPlan& plan, std::span<const cf32> grid,
                             std::size_t cp_len, std::vector<cf32>& out);
 
+  /// modulate_grid with caller-provided time-domain scratch (resized,
+  /// capacity kept).
+  static void modulate_grid(const dsp::FftPlan& plan, std::span<const cf32> grid,
+                            std::size_t cp_len, std::vector<cf32>& out,
+                            std::vector<cf32>& time_scratch);
+
+  /// modulate with caller-provided time-domain scratch.
+  void modulate(std::span<const cf32> data, std::span<const cf32, 4> pilots,
+                std::vector<cf32>& out, int csd_samples,
+                std::vector<cf32>& time_scratch) const;
+
  private:
   SubcarrierMap map_;
   dsp::FftPlan fft_;
@@ -62,6 +73,14 @@ class SymbolDemodulator {
 
   /// Demodulate to the full 64-bin grid (for channel estimation on LTFs).
   [[nodiscard]] std::vector<cf32> demodulate_grid(std::span<const cf32> symbol) const;
+
+  /// demodulate_grid into caller storage (resized, capacity kept).
+  void demodulate_grid_into(std::span<const cf32> symbol,
+                            std::vector<cf32>& grid) const;
+
+  /// demodulate into caller storage; `grid_scratch` holds the 64-bin FFT.
+  void demodulate_into(std::span<const cf32> symbol, DemodSymbol& out,
+                       std::vector<cf32>& grid_scratch) const;
 
  private:
   SubcarrierMap map_;

@@ -21,6 +21,13 @@ FineSynchronizer::FineSynchronizer() {
 
 std::optional<FineSyncResult> FineSynchronizer::locate(
     std::span<const std::span<const cf32>> rx_antennas) const {
+  std::vector<std::vector<cf32>> xcorr_scratch;
+  return locate(rx_antennas, xcorr_scratch);
+}
+
+std::optional<FineSyncResult> FineSynchronizer::locate(
+    std::span<const std::span<const cf32>> rx_antennas,
+    std::vector<std::vector<cf32>>& xcorr_scratch) const {
   if (rx_antennas.empty()) throw std::invalid_argument("locate: no antennas");
   const std::size_t len = rx_antennas[0].size();
   for (const auto& a : rx_antennas) {
@@ -30,10 +37,10 @@ std::optional<FineSyncResult> FineSynchronizer::locate(
 
   // Cross-correlate each antenna against the LTF period; combine the two
   // repetition peaks non-coherently: m(k) = sum_ant |c(k)| + |c(k + 64)|.
-  std::vector<std::vector<cf32>> xc;
-  xc.reserve(rx_antennas.size());
-  for (const auto& a : rx_antennas) {
-    xc.push_back(dsp::cross_correlate(a, reference_));
+  xcorr_scratch.resize(rx_antennas.size());
+  auto& xc = xcorr_scratch;
+  for (std::size_t a = 0; a < rx_antennas.size(); ++a) {
+    dsp::cross_correlate_into(rx_antennas[a], reference_, xc[a]);
   }
   const std::size_t n_xc = xc[0].size();
   if (n_xc < kPeriod + 1) return std::nullopt;

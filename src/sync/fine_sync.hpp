@@ -37,6 +37,12 @@ class FineSynchronizer {
   [[nodiscard]] std::optional<FineSyncResult> locate(
       std::span<const std::span<const cf32>> rx_antennas) const;
 
+  /// locate with caller-provided per-antenna cross-correlation scratch
+  /// (resized, capacity kept).
+  [[nodiscard]] std::optional<FineSyncResult> locate(
+      std::span<const std::span<const cf32>> rx_antennas,
+      std::vector<std::vector<cf32>>& xcorr_scratch) const;
+
   /// Estimate the residual CFO from the two 64-sample LTF periods starting
   /// at `ltf_payload_start` (= lltf_start + 32). Spans must reach 128
   /// samples past that offset.

@@ -24,14 +24,21 @@ FrameSynchronizer::FrameSynchronizer(FrameSyncConfig cfg)
 
 std::optional<FrameSyncResult> FrameSynchronizer::synchronize(
     const std::vector<std::vector<cf32>>& rx) const {
+  SyncScratch scratch;
+  return synchronize(rx, scratch);
+}
+
+std::optional<FrameSyncResult> FrameSynchronizer::synchronize(
+    const std::vector<std::vector<cf32>>& rx, SyncScratch& scratch) const {
   if (rx.empty()) throw std::invalid_argument("synchronize: no antennas");
   const std::size_t len = rx[0].size();
   for (const auto& a : rx) {
     if (a.size() != len) throw std::invalid_argument("synchronize: ragged captures");
   }
 
-  std::vector<std::span<const cf32>> spans(rx.begin(), rx.end());
-  const auto det = detector_.detect_mimo(spans);
+  auto& spans = scratch.spans;
+  spans.assign(rx.begin(), rx.end());
+  const auto det = detector_.detect_mimo(spans, scratch.autocorr);
   if (!det) return std::nullopt;
 
   // Work on a coarse-CFO-corrected copy of the region from the detection
@@ -40,20 +47,22 @@ std::optional<FrameSyncResult> FrameSynchronizer::synchronize(
       kLsigOffset + 3 * 80 + cfg_.vdb_slack + 80 + 64;  // through HT-SIG2 + margin
   if (det->start + region_len > len) return std::nullopt;
 
-  std::vector<std::vector<cf32>> corrected(rx.size());
+  auto& corrected = scratch.corrected;
+  corrected.resize(rx.size());
   for (std::size_t a = 0; a < rx.size(); ++a) {
     corrected[a].assign(rx[a].begin() + static_cast<std::ptrdiff_t>(det->start),
                         rx[a].begin() + static_cast<std::ptrdiff_t>(det->start + region_len));
     channel::apply_cfo(corrected[a], -det->cfo_norm);
   }
-  std::vector<std::span<const cf32>> cspans(corrected.begin(), corrected.end());
+  spans.assign(corrected.begin(), corrected.end());
+  auto& cspans = spans;
 
   FrameSyncResult res;
   res.coarse_cfo_norm = det->cfo_norm;
   res.detect_metric = det->peak_metric;
 
   if (cfg_.mode == TimingMode::kLtfCrossCorr) {
-    const auto fine = fine_.locate(cspans);
+    const auto fine = fine_.locate(cspans, scratch.xcorr);
     if (!fine) return std::nullopt;
     if (det->start + fine->lltf_start < kLltfOffset) return std::nullopt;
     res.packet_start = det->start + fine->lltf_start - kLltfOffset;
@@ -75,12 +84,11 @@ std::optional<FrameSyncResult> FrameSynchronizer::synchronize(
   const std::size_t span_len = 2 * cfg_.vdb_slack + vdb.min_span();
   if (search_from + span_len > region_len) return std::nullopt;
 
-  std::vector<std::span<const cf32>> windows;
-  windows.reserve(corrected.size());
+  spans.clear();
   for (const auto& c : corrected) {
-    windows.emplace_back(std::span<const cf32>(c).subspan(search_from, span_len));
+    spans.emplace_back(std::span<const cf32>(c).subspan(search_from, span_len));
   }
-  const auto est = vdb.estimate_mimo(windows);
+  const auto est = vdb.estimate_mimo(spans);
 
   const std::size_t lsig_pos = det->start + search_from + est.timing;
   if (lsig_pos < kLsigOffset) return std::nullopt;

@@ -38,6 +38,15 @@ struct FrameSyncResult {
   float detect_metric = 0.0F;
 };
 
+/// Reusable synchronization scratch, owned by the caller's workspace so a
+/// warm synchronize() call performs no heap allocation.
+struct SyncScratch {
+  std::vector<dsp::AutocorrResult> autocorr;   ///< detector per-antenna sums
+  std::vector<std::vector<cf32>> corrected;    ///< CFO-corrected sync region
+  std::vector<std::span<const cf32>> spans;    ///< span staging
+  std::vector<std::vector<cf32>> xcorr;        ///< fine-sync cross-correlations
+};
+
 /// One-shot packet synchronizer over a multi-antenna capture.
 class FrameSynchronizer {
  public:
@@ -46,6 +55,10 @@ class FrameSynchronizer {
   /// @param rx per-RX-antenna captures, equal length.
   [[nodiscard]] std::optional<FrameSyncResult> synchronize(
       const std::vector<std::vector<cf32>>& rx) const;
+
+  /// synchronize with caller-provided scratch (resized, capacity kept).
+  [[nodiscard]] std::optional<FrameSyncResult> synchronize(
+      const std::vector<std::vector<cf32>>& rx, SyncScratch& scratch) const;
 
  private:
   FrameSyncConfig cfg_;

@@ -23,6 +23,13 @@ std::optional<Detection> PacketDetector::detect(std::span<const cf32> rx) const 
 
 std::optional<Detection> PacketDetector::detect_mimo(
     std::span<const std::span<const cf32>> rx_antennas) const {
+  std::vector<dsp::AutocorrResult> scratch;
+  return detect_mimo(rx_antennas, scratch);
+}
+
+std::optional<Detection> PacketDetector::detect_mimo(
+    std::span<const std::span<const cf32>> rx_antennas,
+    std::vector<dsp::AutocorrResult>& scratch) const {
   if (rx_antennas.empty()) throw std::invalid_argument("detect_mimo: no antennas");
   const std::size_t len = rx_antennas[0].size();
   for (const auto& a : rx_antennas) {
@@ -32,10 +39,10 @@ std::optional<Detection> PacketDetector::detect_mimo(
 
   // Per-antenna sliding sums, combined coherently (correlations add in
   // phase because all antennas see the same CFO-induced rotation).
-  std::vector<dsp::AutocorrResult> per_ant;
-  per_ant.reserve(rx_antennas.size());
-  for (const auto& a : rx_antennas) {
-    per_ant.push_back(dsp::lag_autocorrelate(a, cfg_.lag, cfg_.window));
+  scratch.resize(rx_antennas.size());
+  auto& per_ant = scratch;
+  for (std::size_t a = 0; a < rx_antennas.size(); ++a) {
+    dsp::lag_autocorrelate_into(rx_antennas[a], cfg_.lag, cfg_.window, per_ant[a]);
   }
   const std::size_t n_pos = per_ant[0].metric.size();
 

@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "dsp/correlator.hpp"
 #include "dsp/types.hpp"
 
 namespace mimonet::sync {
@@ -51,6 +52,12 @@ class PacketDetector {
   /// before thresholding. All spans must be equal length.
   [[nodiscard]] std::optional<Detection> detect_mimo(
       std::span<const std::span<const cf32>> rx_antennas) const;
+
+  /// detect_mimo with caller-provided per-antenna correlation scratch
+  /// (resized, capacity kept) so a warm workspace detects without allocating.
+  [[nodiscard]] std::optional<Detection> detect_mimo(
+      std::span<const std::span<const cf32>> rx_antennas,
+      std::vector<dsp::AutocorrResult>& scratch) const;
 
  private:
   DetectorConfig cfg_;

@@ -4,25 +4,37 @@
 
 namespace mimonet::wifi {
 
-std::vector<std::uint8_t> bytes_to_bits(std::span<const std::uint8_t> bytes) {
-  std::vector<std::uint8_t> bits;
-  bits.reserve(bytes.size() * 8);
+void bytes_to_bits_into(std::span<const std::uint8_t> bytes,
+                        std::vector<std::uint8_t>& out) {
+  out.resize(bytes.size() * 8);
+  std::size_t o = 0;
   for (const std::uint8_t byte : bytes) {
     for (unsigned i = 0; i < 8; ++i) {
-      bits.push_back(static_cast<std::uint8_t>((byte >> i) & 1U));
+      out[o++] = static_cast<std::uint8_t>((byte >> i) & 1U);
     }
   }
+}
+
+std::vector<std::uint8_t> bytes_to_bits(std::span<const std::uint8_t> bytes) {
+  std::vector<std::uint8_t> bits;
+  bytes_to_bits_into(bytes, bits);
   return bits;
 }
 
-std::vector<std::uint8_t> bits_to_bytes(std::span<const std::uint8_t> bits) {
+void bits_to_bytes_into(std::span<const std::uint8_t> bits,
+                        std::vector<std::uint8_t>& out) {
   if (bits.size() % 8 != 0) {
     throw std::invalid_argument("bits_to_bytes: bit count not a multiple of 8");
   }
-  std::vector<std::uint8_t> bytes(bits.size() / 8, 0);
+  out.assign(bits.size() / 8, 0);
   for (std::size_t i = 0; i < bits.size(); ++i) {
-    bytes[i / 8] |= static_cast<std::uint8_t>((bits[i] & 1U) << (i % 8));
+    out[i / 8] |= static_cast<std::uint8_t>((bits[i] & 1U) << (i % 8));
   }
+}
+
+std::vector<std::uint8_t> bits_to_bytes(std::span<const std::uint8_t> bits) {
+  std::vector<std::uint8_t> bytes;
+  bits_to_bytes_into(bits, bytes);
   return bytes;
 }
 

@@ -14,6 +14,14 @@ namespace mimonet::wifi {
 /// Pack bits (LSB first) back into bytes. bits.size() must be a multiple of 8.
 [[nodiscard]] std::vector<std::uint8_t> bits_to_bytes(std::span<const std::uint8_t> bits);
 
+/// bytes_to_bits into caller storage (resized, capacity kept).
+void bytes_to_bits_into(std::span<const std::uint8_t> bytes,
+                        std::vector<std::uint8_t>& out);
+
+/// bits_to_bytes into caller storage (resized, capacity kept).
+void bits_to_bytes_into(std::span<const std::uint8_t> bits,
+                        std::vector<std::uint8_t>& out);
+
 /// Count positions where two equal-length bit vectors differ.
 [[nodiscard]] std::size_t hamming_distance(std::span<const std::uint8_t> a,
                                            std::span<const std::uint8_t> b);

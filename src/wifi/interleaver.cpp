@@ -1,7 +1,10 @@
 #include "wifi/interleaver.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
 
 #include "wifi/mcs.hpp"
 
@@ -39,17 +42,23 @@ Interleaver::Interleaver(unsigned n_bpscs, std::size_t iss, std::size_t nss) {
   }
 }
 
-std::vector<std::uint8_t> Interleaver::interleave(
-    std::span<const std::uint8_t> bits) const {
+void Interleaver::interleave_into(std::span<const std::uint8_t> bits,
+                                  std::vector<std::uint8_t>& out) const {
   if (bits.size() % perm_.size() != 0) {
     throw std::invalid_argument("Interleaver: input not a multiple of block size");
   }
-  std::vector<std::uint8_t> out(bits.size());
+  out.resize(bits.size());
   for (std::size_t base = 0; base < bits.size(); base += perm_.size()) {
     for (std::size_t k = 0; k < perm_.size(); ++k) {
       out[base + perm_[k]] = bits[base + k];
     }
   }
+}
+
+std::vector<std::uint8_t> Interleaver::interleave(
+    std::span<const std::uint8_t> bits) const {
+  std::vector<std::uint8_t> out;
+  interleave_into(bits, out);
   return out;
 }
 
@@ -67,16 +76,22 @@ std::vector<std::uint8_t> Interleaver::deinterleave(
   return out;
 }
 
-std::vector<float> Interleaver::deinterleave(std::span<const float> llrs) const {
+void Interleaver::deinterleave_into(std::span<const float> llrs,
+                                    std::vector<float>& out) const {
   if (llrs.size() % perm_.size() != 0) {
     throw std::invalid_argument("Interleaver: input not a multiple of block size");
   }
-  std::vector<float> out(llrs.size());
+  out.resize(llrs.size());
   for (std::size_t base = 0; base < llrs.size(); base += perm_.size()) {
     for (std::size_t k = 0; k < perm_.size(); ++k) {
       out[base + k] = llrs[base + perm_[k]];
     }
   }
+}
+
+std::vector<float> Interleaver::deinterleave(std::span<const float> llrs) const {
+  std::vector<float> out;
+  deinterleave_into(llrs, out);
   return out;
 }
 
@@ -108,17 +123,65 @@ std::vector<std::uint8_t> LegacyInterleaver::interleave(
   return out;
 }
 
-std::vector<float> LegacyInterleaver::deinterleave(std::span<const float> llrs) const {
+void LegacyInterleaver::interleave_into(std::span<const std::uint8_t> bits,
+                                        std::vector<std::uint8_t>& out) const {
+  if (bits.size() % perm_.size() != 0) {
+    throw std::invalid_argument("LegacyInterleaver: bad input size");
+  }
+  out.resize(bits.size());
+  for (std::size_t base = 0; base < bits.size(); base += perm_.size()) {
+    for (std::size_t k = 0; k < perm_.size(); ++k) {
+      out[base + perm_[k]] = bits[base + k];
+    }
+  }
+}
+
+void LegacyInterleaver::deinterleave_into(std::span<const float> llrs,
+                                          std::vector<float>& out) const {
   if (llrs.size() % perm_.size() != 0) {
     throw std::invalid_argument("LegacyInterleaver: bad input size");
   }
-  std::vector<float> out(llrs.size());
+  out.resize(llrs.size());
   for (std::size_t base = 0; base < llrs.size(); base += perm_.size()) {
     for (std::size_t k = 0; k < perm_.size(); ++k) {
       out[base + k] = llrs[base + perm_[k]];
     }
   }
+}
+
+std::vector<float> LegacyInterleaver::deinterleave(std::span<const float> llrs) const {
+  std::vector<float> out;
+  deinterleave_into(llrs, out);
   return out;
+}
+
+const Interleaver& cached_interleaver(unsigned n_bpscs, std::size_t iss,
+                                      std::size_t nss) {
+  struct Key {
+    unsigned n_bpscs;
+    std::size_t iss;
+    std::size_t nss;
+  };
+  static std::mutex mu;
+  static std::vector<std::pair<Key, std::unique_ptr<Interleaver>>> cache;
+  const std::scoped_lock lock(mu);
+  for (const auto& [key, ptr] : cache) {
+    if (key.n_bpscs == n_bpscs && key.iss == iss && key.nss == nss) return *ptr;
+  }
+  cache.emplace_back(Key{n_bpscs, iss, nss},
+                     std::make_unique<Interleaver>(n_bpscs, iss, nss));
+  return *cache.back().second;
+}
+
+const LegacyInterleaver& cached_legacy_interleaver(unsigned n_bpsc) {
+  static std::mutex mu;
+  static std::vector<std::pair<unsigned, std::unique_ptr<LegacyInterleaver>>> cache;
+  const std::scoped_lock lock(mu);
+  for (const auto& [key, ptr] : cache) {
+    if (key == n_bpsc) return *ptr;
+  }
+  cache.emplace_back(n_bpsc, std::make_unique<LegacyInterleaver>(n_bpsc));
+  return *cache.back().second;
 }
 
 }  // namespace mimonet::wifi

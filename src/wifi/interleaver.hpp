@@ -34,6 +34,13 @@ class Interleaver {
   /// RX direction for soft values (LLRs).
   [[nodiscard]] std::vector<float> deinterleave(std::span<const float> llrs) const;
 
+  /// interleave into caller storage (resized, capacity kept).
+  void interleave_into(std::span<const std::uint8_t> bits,
+                       std::vector<std::uint8_t>& out) const;
+
+  /// deinterleave (soft) into caller storage (resized, capacity kept).
+  void deinterleave_into(std::span<const float> llrs, std::vector<float>& out) const;
+
   /// The permutation itself: output_position = permutation()[input_position].
   [[nodiscard]] const std::vector<std::size_t>& permutation() const noexcept {
     return perm_;
@@ -54,8 +61,24 @@ class LegacyInterleaver {
       std::span<const std::uint8_t> bits) const;
   [[nodiscard]] std::vector<float> deinterleave(std::span<const float> llrs) const;
 
+  /// interleave into caller storage (resized, capacity kept).
+  void interleave_into(std::span<const std::uint8_t> bits,
+                       std::vector<std::uint8_t>& out) const;
+
+  /// deinterleave (soft) into caller storage (resized, capacity kept).
+  void deinterleave_into(std::span<const float> llrs, std::vector<float>& out) const;
+
  private:
   std::vector<std::size_t> perm_;
 };
+
+/// Process-wide cache of HT interleavers keyed by (n_bpscs, iss, nss).
+/// Construction is synchronized; the returned reference is immutable and
+/// safe to use concurrently.
+[[nodiscard]] const Interleaver& cached_interleaver(unsigned n_bpscs, std::size_t iss,
+                                                    std::size_t nss);
+
+/// Process-wide cache of legacy interleavers keyed by n_bpsc.
+[[nodiscard]] const LegacyInterleaver& cached_legacy_interleaver(unsigned n_bpsc);
 
 }  // namespace mimonet::wifi

@@ -112,7 +112,7 @@ std::vector<cf32> map_sig_field(std::span<const std::uint8_t> bits, bool qbpsk) 
     throw std::invalid_argument("map_sig_field: bit count must be a multiple of 24");
   }
   const auto coded = fec::conv_encode(bits);  // rate 1/2 -> 48 bits per symbol
-  const LegacyInterleaver il(1);
+  const LegacyInterleaver& il = cached_legacy_interleaver(1);
   const auto interleaved = il.interleave(coded);
   std::vector<cf32> out(interleaved.size());
   for (std::size_t i = 0; i < interleaved.size(); ++i) {
@@ -122,23 +122,30 @@ std::vector<cf32> map_sig_field(std::span<const std::uint8_t> bits, bool qbpsk) 
   return out;
 }
 
-std::vector<float> demap_sig_field(std::span<const cf32> carriers, float noise_var,
-                                   bool qbpsk) {
+void demap_sig_field_into(std::span<const cf32> carriers, float noise_var, bool qbpsk,
+                          std::vector<float>& scratch_llrs, std::vector<float>& out) {
   if (carriers.empty() || carriers.size() % 48 != 0) {
     throw std::invalid_argument("demap_sig_field: carrier count must be a multiple of 48");
   }
   const float inv_nv = 4.0F / std::max(noise_var, 1e-12F);
-  std::vector<float> llrs(carriers.size());
+  scratch_llrs.resize(carriers.size());
   for (std::size_t i = 0; i < carriers.size(); ++i) {
     const float axis = qbpsk ? carriers[i].imag() : carriers[i].real();
     // Positive LLR = bit 0 more likely; bit 0 maps to -1 on the axis.
     // Non-finite observations become erasures so the Viterbi branch
     // metrics stay defined.
     const float llr = -axis * inv_nv;
-    llrs[i] = std::isfinite(llr) ? llr : 0.0F;
+    scratch_llrs[i] = std::isfinite(llr) ? llr : 0.0F;
   }
-  const LegacyInterleaver il(1);
-  return il.deinterleave(llrs);
+  cached_legacy_interleaver(1).deinterleave_into(scratch_llrs, out);
+}
+
+std::vector<float> demap_sig_field(std::span<const cf32> carriers, float noise_var,
+                                   bool qbpsk) {
+  std::vector<float> scratch;
+  std::vector<float> out;
+  demap_sig_field_into(carriers, noise_var, qbpsk, scratch, out);
+  return out;
 }
 
 }  // namespace mimonet::wifi

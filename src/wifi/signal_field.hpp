@@ -68,4 +68,10 @@ struct HtSig {
 [[nodiscard]] std::vector<float> demap_sig_field(std::span<const cf32> carriers,
                                                  float noise_var, bool qbpsk);
 
+/// demap_sig_field into caller storage. `scratch_llrs` holds the
+/// pre-deinterleave LLRs; `out` receives the result (both resized, capacity
+/// kept).
+void demap_sig_field_into(std::span<const cf32> carriers, float noise_var, bool qbpsk,
+                          std::vector<float>& scratch_llrs, std::vector<float>& out);
+
 }  // namespace mimonet::wifi

@@ -10,28 +10,34 @@ StreamParser::StreamParser(unsigned n_bpscs, std::size_t nss)
   if (nss == 0 || nss > 4) throw std::invalid_argument("StreamParser: nss must be 1..4");
 }
 
-std::vector<std::vector<std::uint8_t>> StreamParser::parse(
-    std::span<const std::uint8_t> coded) const {
+void StreamParser::parse_into(std::span<const std::uint8_t> coded,
+                              std::vector<std::vector<std::uint8_t>>& out) const {
   if (coded.size() % (nss_ * s_) != 0) {
     throw std::invalid_argument("StreamParser::parse: length not a multiple of nss*s");
   }
-  std::vector<std::vector<std::uint8_t>> out(nss_);
+  out.resize(nss_);
   const std::size_t per_stream = coded.size() / nss_;
-  for (auto& v : out) v.reserve(per_stream);
+  for (auto& v : out) v.resize(per_stream);
 
   std::size_t idx = 0;
-  while (idx < coded.size()) {
+  for (std::size_t g = 0; g < per_stream / s_; ++g) {
     for (std::size_t ss = 0; ss < nss_; ++ss) {
       for (std::size_t b = 0; b < s_; ++b) {
-        out[ss].push_back(coded[idx++]);
+        out[ss][g * s_ + b] = coded[idx++];
       }
     }
   }
+}
+
+std::vector<std::vector<std::uint8_t>> StreamParser::parse(
+    std::span<const std::uint8_t> coded) const {
+  std::vector<std::vector<std::uint8_t>> out;
+  parse_into(coded, out);
   return out;
 }
 
-std::vector<float> StreamParser::merge(
-    std::span<const std::vector<float>> streams) const {
+void StreamParser::merge_into(std::span<const std::vector<float>> streams,
+                              std::vector<float>& out) const {
   if (streams.size() != nss_) {
     throw std::invalid_argument("StreamParser::merge: wrong stream count");
   }
@@ -41,15 +47,21 @@ std::vector<float> StreamParser::merge(
       throw std::invalid_argument("StreamParser::merge: ragged or misaligned streams");
     }
   }
-  std::vector<float> out;
-  out.reserve(per_stream * nss_);
+  out.resize(per_stream * nss_);
+  std::size_t o = 0;
   for (std::size_t g = 0; g < per_stream / s_; ++g) {
     for (std::size_t ss = 0; ss < nss_; ++ss) {
       for (std::size_t b = 0; b < s_; ++b) {
-        out.push_back(streams[ss][g * s_ + b]);
+        out[o++] = streams[ss][g * s_ + b];
       }
     }
   }
+}
+
+std::vector<float> StreamParser::merge(
+    std::span<const std::vector<float>> streams) const {
+  std::vector<float> out;
+  merge_into(streams, out);
   return out;
 }
 

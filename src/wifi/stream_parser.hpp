@@ -34,6 +34,15 @@ class StreamParser {
   [[nodiscard]] std::vector<std::uint8_t> merge_bits(
       std::span<const std::vector<std::uint8_t>> streams) const;
 
+  /// parse into caller storage: `out` must hold nss vectors (resized, capacity
+  /// kept).
+  void parse_into(std::span<const std::uint8_t> coded,
+                  std::vector<std::vector<std::uint8_t>>& out) const;
+
+  /// merge into caller storage (resized, capacity kept).
+  void merge_into(std::span<const std::vector<float>> streams,
+                  std::vector<float>& out) const;
+
  private:
   std::size_t nss_;
   std::size_t s_;

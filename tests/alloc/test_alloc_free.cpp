@@ -1,0 +1,138 @@
+// Allocation-count regression test for the hot path.
+//
+// A global operator new hook counts heap allocations while armed. After one
+// warm-up pass through Receiver::receive (which sizes every workspace buffer
+// and populates the process-wide plan/interleaver/constellation caches), a
+// steady-state pass over the same capture must perform ZERO allocations.
+// This is the contract that keeps the Monte-Carlo engine's per-packet cost
+// flat: all scratch lives in TxWorkspace/RxWorkspace and is reused.
+//
+// Kept in its own executable so the hook cannot distort the main unit suite.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "channel/mimo_channel.hpp"
+#include "core/receiver.hpp"
+#include "core/transmitter.hpp"
+#include "core/workspace.hpp"
+#include "wifi/psdu.hpp"
+
+namespace {
+
+std::atomic<bool> g_armed{false};
+std::atomic<std::size_t> g_allocs{0};
+
+struct AllocGuard {
+  AllocGuard() {
+    g_allocs.store(0, std::memory_order_relaxed);
+    g_armed.store(true, std::memory_order_relaxed);
+  }
+  ~AllocGuard() { g_armed.store(false, std::memory_order_relaxed); }
+  [[nodiscard]] static std::size_t count() {
+    return g_allocs.load(std::memory_order_relaxed);
+  }
+};
+
+void* counted_alloc(std::size_t size) {
+  if (g_armed.load(std::memory_order_relaxed)) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return std::malloc(size != 0 ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return std::malloc(size != 0 ? size : 1);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace mimonet;
+
+struct Scenario {
+  unsigned mcs;
+  std::size_t nrx;
+  eq::EqualizerType eq_type;
+  const char* name;
+};
+
+std::vector<std::vector<dsp::cf32>> make_capture(const core::Transmitter& tx,
+                                                 std::size_t nss,
+                                                 std::size_t nrx) {
+  const auto psdu =
+      wifi::build_psdu(wifi::MacHeader{}, std::vector<std::uint8_t>(300, 0x5A));
+  channel::ChannelConfig ccfg;
+  ccfg.ntx = nss;
+  ccfg.nrx = nrx;
+  ccfg.snr_db = 30.0;
+  ccfg.timing_pad = 200;
+  ccfg.tail_pad = 80;
+  ccfg.seed = 99;
+  channel::MimoChannel chan(ccfg);
+  return chan.transmit(tx.transmit(psdu));
+}
+
+void expect_zero_steady_state(const Scenario& sc) {
+  SCOPED_TRACE(sc.name);
+  core::PhyConfig phy;
+  phy.mcs = sc.mcs;
+  phy.equalizer = sc.eq_type;
+  const core::Transmitter tx(phy);
+  const auto nss = phy.mcs_info().nss;
+  const core::Receiver rx(phy, sc.nrx);
+  const auto capture = make_capture(tx, nss, sc.nrx);
+
+  core::RxWorkspace ws;
+  // Warm-up: size every workspace buffer and populate process-wide caches.
+  ASSERT_TRUE(rx.receive(capture, ws));
+  ASSERT_TRUE(ws.packet.fcs_ok);
+  const auto reference = ws.packet.psdu;
+
+  {
+    const AllocGuard guard;
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(rx.receive(capture, ws));
+    }
+    EXPECT_EQ(AllocGuard::count(), 0U)
+        << "steady-state Receiver::receive allocated";
+  }
+  EXPECT_EQ(ws.packet.psdu, reference);
+}
+
+TEST(AllocFree, SisoBcc) {
+  expect_zero_steady_state({7, 1, eq::EqualizerType::kMmse, "1x1 MCS7 MMSE"});
+  expect_zero_steady_state({0, 1, eq::EqualizerType::kZeroForcing,
+                            "1x1 MCS0 ZF"});
+}
+
+TEST(AllocFree, MimoBcc) {
+  expect_zero_steady_state({15, 2, eq::EqualizerType::kMmse, "2x2 MCS15 MMSE"});
+  expect_zero_steady_state({8, 2, eq::EqualizerType::kZeroForcing,
+                            "2x2 MCS8 ZF"});
+}
+
+TEST(AllocFree, MimoMlDetector) {
+  expect_zero_steady_state({11, 2, eq::EqualizerType::kMaxLikelihood,
+                            "2x2 MCS11 ML"});
+}
+
+}  // namespace

@@ -1,0 +1,169 @@
+// Equivalence pins for the span/workspace block APIs: the allocation-free
+// paths must stay bit-identical to the legacy value-returning APIs for every
+// configuration the link engine exercises.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "channel/mimo_channel.hpp"
+#include "core/receiver.hpp"
+#include "core/transmitter.hpp"
+#include "core/workspace.hpp"
+#include "wifi/mcs.hpp"
+#include "wifi/psdu.hpp"
+
+namespace {
+
+using namespace mimonet;
+
+std::vector<std::uint8_t> make_payload(std::size_t n, std::uint8_t tag) {
+  std::vector<std::uint8_t> payload(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    payload[i] = static_cast<std::uint8_t>(tag + i * 31);
+  }
+  return payload;
+}
+
+TEST(SpanEquivalence, TransmitIntoMatchesLegacyAllMcs) {
+  core::TxWorkspace ws;  // shared across MCS: SigKey cache must not leak state
+  for (unsigned mcs = 0; mcs <= 15; ++mcs) {
+    SCOPED_TRACE(mcs);
+    core::PhyConfig phy;
+    phy.mcs = mcs;
+    const core::Transmitter tx(phy);
+    const auto psdu = wifi::build_psdu(
+        wifi::MacHeader{}, make_payload(257, static_cast<std::uint8_t>(mcs)));
+
+    const auto legacy = tx.transmit(psdu);
+    tx.transmit_into(psdu, ws);
+    ASSERT_EQ(ws.chains.size(), legacy.size());
+    for (std::size_t c = 0; c < legacy.size(); ++c) {
+      ASSERT_EQ(ws.chains[c].size(), legacy[c].size());
+      for (std::size_t i = 0; i < legacy[c].size(); ++i) {
+        ASSERT_EQ(ws.chains[c][i], legacy[c][i]) << "chain " << c << " sample "
+                                                 << i;
+      }
+    }
+  }
+}
+
+TEST(SpanEquivalence, TransmitIntoReusedWorkspaceVariedLength) {
+  // Same workspace across payload lengths: the cached SIG fields must be
+  // rebuilt whenever the (length, mcs) key changes.
+  core::PhyConfig phy;
+  phy.mcs = 5;
+  const core::Transmitter tx(phy);
+  core::TxWorkspace ws;
+  for (const std::size_t len : {20U, 700U, 20U, 1432U}) {
+    SCOPED_TRACE(len);
+    const auto psdu = wifi::build_psdu(wifi::MacHeader{}, make_payload(len, 3));
+    const auto legacy = tx.transmit(psdu);
+    tx.transmit_into(psdu, ws);
+    ASSERT_EQ(ws.chains, legacy);
+  }
+}
+
+struct RxCase {
+  unsigned mcs;
+  eq::EqualizerType eq_type;
+  bool fading;
+};
+
+void expect_receive_equivalent(const RxCase& rc) {
+  core::PhyConfig phy;
+  phy.mcs = rc.mcs;
+  phy.equalizer = rc.eq_type;
+  const core::Transmitter tx(phy);
+  const auto nss = phy.mcs_info().nss;
+  const core::Receiver rx(phy, nss);
+  core::RxWorkspace ws;
+
+  for (int pkt_idx = 0; pkt_idx < 3; ++pkt_idx) {
+    SCOPED_TRACE(pkt_idx);
+    const auto psdu = wifi::build_psdu(
+        wifi::MacHeader{},
+        make_payload(180 + static_cast<std::size_t>(pkt_idx) * 97,
+                     static_cast<std::uint8_t>(pkt_idx)));
+    channel::ChannelConfig ccfg;
+    ccfg.ntx = nss;
+    ccfg.nrx = nss;
+    ccfg.snr_db = 18.0;
+    ccfg.fading = rc.fading;
+    ccfg.cfo_norm = 2e-5;
+    ccfg.timing_pad = 250;
+    ccfg.tail_pad = 60;
+    ccfg.seed = 1234 + static_cast<std::uint64_t>(pkt_idx);
+    channel::MimoChannel chan(ccfg);
+    const auto capture = chan.transmit(tx.transmit(psdu));
+
+    const auto legacy = rx.receive(capture);
+    const bool detected = rx.receive(capture, ws);
+    ASSERT_EQ(detected, legacy.has_value());
+    if (!detected) continue;
+    EXPECT_EQ(ws.packet.lsig_ok, legacy->lsig_ok);
+    EXPECT_EQ(ws.packet.htsig_ok, legacy->htsig_ok);
+    EXPECT_EQ(ws.packet.fcs_ok, legacy->fcs_ok);
+    EXPECT_EQ(ws.packet.psdu, legacy->psdu);
+    EXPECT_EQ(ws.packet.htsig.mcs, legacy->htsig.mcs);
+    EXPECT_EQ(ws.packet.snr.snr_db, legacy->snr.snr_db);
+    // Invalid bins are quiet-NaN by contract; compare only valid ones.
+    ASSERT_EQ(ws.packet.snr.per_bin_valid, legacy->snr.per_bin_valid);
+    ASSERT_EQ(ws.packet.snr.per_bin_db.size(), legacy->snr.per_bin_db.size());
+    for (std::size_t b = 0; b < legacy->snr.per_bin_db.size(); ++b) {
+      if (legacy->snr.bin_valid(b)) {
+        EXPECT_EQ(ws.packet.snr.per_bin_db[b], legacy->snr.per_bin_db[b]) << b;
+      }
+    }
+    EXPECT_EQ(ws.packet.channel.nrx, legacy->channel.nrx);
+    EXPECT_EQ(ws.packet.channel.nss, legacy->channel.nss);
+  }
+}
+
+TEST(SpanEquivalence, ReceiveSisoAllMcsZf) {
+  for (unsigned mcs = 0; mcs <= 7; ++mcs) {
+    SCOPED_TRACE(mcs);
+    expect_receive_equivalent({mcs, eq::EqualizerType::kZeroForcing, false});
+  }
+}
+
+TEST(SpanEquivalence, ReceiveMimoZfAndMmse) {
+  for (unsigned mcs = 8; mcs <= 15; ++mcs) {
+    SCOPED_TRACE(mcs);
+    expect_receive_equivalent({mcs, eq::EqualizerType::kZeroForcing, false});
+    expect_receive_equivalent({mcs, eq::EqualizerType::kMmse, true});
+  }
+}
+
+TEST(SpanEquivalence, ReceiveWorkspaceReuseAcrossConfigs) {
+  // One workspace dragged across wildly different configurations must not
+  // leak state between packets.
+  core::RxWorkspace ws;
+  for (const unsigned mcs : {15U, 0U, 11U, 7U}) {
+    SCOPED_TRACE(mcs);
+    core::PhyConfig phy;
+    phy.mcs = mcs;
+    const core::Transmitter tx(phy);
+    const auto nss = phy.mcs_info().nss;
+    const core::Receiver rx(phy, nss);
+    const auto psdu =
+        wifi::build_psdu(wifi::MacHeader{}, make_payload(333, 7));
+    channel::ChannelConfig ccfg;
+    ccfg.ntx = nss;
+    ccfg.nrx = nss;
+    ccfg.snr_db = 25.0;
+    ccfg.timing_pad = 180;
+    ccfg.tail_pad = 50;
+    ccfg.seed = 555 + mcs;
+    channel::MimoChannel chan(ccfg);
+    const auto capture = chan.transmit(tx.transmit(psdu));
+
+    const auto legacy = rx.receive(capture);
+    const bool detected = rx.receive(capture, ws);
+    ASSERT_EQ(detected, legacy.has_value());
+    ASSERT_TRUE(detected);
+    EXPECT_EQ(ws.packet.fcs_ok, legacy->fcs_ok);
+    EXPECT_EQ(ws.packet.psdu, legacy->psdu);
+  }
+}
+
+}  // namespace
