@@ -1,0 +1,133 @@
+#include "channel/fault_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "channel/impairments.hpp"
+#include "dsp/rng.hpp"
+#include "dsp/vector_ops.hpp"
+
+namespace mimonet::channel {
+
+const char* fault_kind_name(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::kToneBurst: return "tone_burst";
+    case FaultKind::kNoiseBurst: return "noise_burst";
+    case FaultKind::kGainStep: return "gain_step";
+    case FaultKind::kSampleDrop: return "sample_drop";
+    case FaultKind::kSampleInsert: return "sample_insert";
+    case FaultKind::kPhaseJump: return "phase_jump";
+    case FaultKind::kErasure: return "erasure";
+  }
+  return "unknown";
+}
+
+FaultPlan& FaultPlan::tone_burst(std::size_t start, std::size_t len,
+                                 double amplitude, double freq_norm) {
+  events.push_back({FaultKind::kToneBurst, start, len, amplitude, freq_norm});
+  return *this;
+}
+FaultPlan& FaultPlan::noise_burst(std::size_t start, std::size_t len,
+                                  double variance) {
+  events.push_back({FaultKind::kNoiseBurst, start, len, variance, 0.0});
+  return *this;
+}
+FaultPlan& FaultPlan::gain_step(std::size_t start, std::size_t len, double gain) {
+  events.push_back({FaultKind::kGainStep, start, len, gain, 0.0});
+  return *this;
+}
+FaultPlan& FaultPlan::sample_drop(std::size_t start, std::size_t count) {
+  events.push_back({FaultKind::kSampleDrop, start, count, 0.0, 0.0});
+  return *this;
+}
+FaultPlan& FaultPlan::sample_insert(std::size_t start, std::size_t count) {
+  events.push_back({FaultKind::kSampleInsert, start, count, 0.0, 0.0});
+  return *this;
+}
+FaultPlan& FaultPlan::phase_jump(std::size_t start, double radians) {
+  events.push_back({FaultKind::kPhaseJump, start, 0, radians, 0.0});
+  return *this;
+}
+FaultPlan& FaultPlan::erasure(std::size_t start, std::size_t len) {
+  events.push_back({FaultKind::kErasure, start, len, 0.0, 0.0});
+  return *this;
+}
+
+namespace {
+
+/// [start, start + len) clamped to the capture; len 0 = to the end for the
+/// kinds that define it that way.
+std::size_t clamped_len(const std::vector<cf32>& x, std::size_t start,
+                        std::size_t len, bool zero_means_rest) {
+  if (start >= x.size()) return 0;
+  const std::size_t rest = x.size() - start;
+  if (len == 0) return zero_means_rest ? rest : 0;
+  return std::min(len, rest);
+}
+
+void apply_event(std::vector<cf32>& x, const FaultEvent& ev, std::uint64_t seed,
+                 std::size_t event_index) {
+  switch (ev.kind) {
+    case FaultKind::kToneBurst: {
+      const std::size_t n = clamped_len(x, ev.start, ev.length, false);
+      const auto amp = static_cast<float>(ev.magnitude);
+      for (std::size_t i = 0; i < n; ++i) {
+        x[ev.start + i] += amp * dsp::phasor(static_cast<float>(
+                                     dsp::two_pi_d * ev.freq_norm *
+                                     static_cast<double>(i)));
+      }
+      break;
+    }
+    case FaultKind::kNoiseBurst: {
+      const std::size_t n = clamped_len(x, ev.start, ev.length, false);
+      if (n == 0 || !(ev.magnitude > 0.0)) break;
+      dsp::ComplexGaussian noise(dsp::splitmix64(seed + event_index), ev.magnitude);
+      noise.add_to(std::span(x).subspan(ev.start, n));
+      break;
+    }
+    case FaultKind::kGainStep: {
+      const std::size_t n = clamped_len(x, ev.start, ev.length, true);
+      const auto g = static_cast<float>(ev.magnitude);
+      for (std::size_t i = 0; i < n; ++i) x[ev.start + i] *= g;
+      break;
+    }
+    case FaultKind::kSampleDrop: {
+      if (ev.start >= x.size()) break;
+      const std::size_t n = std::min(ev.length, x.size() - ev.start);
+      x.erase(x.begin() + static_cast<std::ptrdiff_t>(ev.start),
+              x.begin() + static_cast<std::ptrdiff_t>(ev.start + n));
+      break;
+    }
+    case FaultKind::kSampleInsert: {
+      if (ev.start >= x.size() || ev.length == 0) break;
+      x.insert(x.begin() + static_cast<std::ptrdiff_t>(ev.start), ev.length,
+               x[ev.start]);
+      break;
+    }
+    case FaultKind::kPhaseJump: {
+      if (ev.start >= x.size()) break;
+      const auto rot = dsp::phasor(static_cast<float>(ev.magnitude));
+      for (std::size_t i = ev.start; i < x.size(); ++i) x[i] *= rot;
+      break;
+    }
+    case FaultKind::kErasure:
+      apply_burst_erasure(x, ev.start, ev.length);
+      break;
+  }
+}
+
+}  // namespace
+
+void apply_fault_plan(std::vector<cf32>& capture, const FaultPlan& plan,
+                      std::uint64_t seed) {
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    const FaultEvent& ev = plan.events[i];
+    if (!std::isfinite(ev.magnitude) || !std::isfinite(ev.freq_norm)) {
+      throw std::invalid_argument("apply_fault_plan: non-finite event parameter");
+    }
+    apply_event(capture, ev, seed, i);
+  }
+}
+
+}  // namespace mimonet::channel

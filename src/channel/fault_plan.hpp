@@ -1,0 +1,82 @@
+// Scriptable mid-capture fault injection: a timed list of the things real
+// air does to a streaming receiver between (and on top of) packets —
+// interferer bursts, AGC gain steps, sampling-clock slips, oscillator phase
+// jumps, blanked windows. Generalizes the one-shot erasure_start/len knobs
+// to a campaign plan the stress tests sweep.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace mimonet::channel {
+
+using dsp::cf32;
+
+enum class FaultKind : std::uint8_t {
+  /// Additive CW tone of amplitude `magnitude` at `freq_norm` cycles/sample
+  /// over [start, start + length) — a narrowband interferer burst.
+  kToneBurst,
+  /// Additive CN(0, magnitude) noise over [start, start + length) — a
+  /// wideband interferer burst (magnitude is the total complex variance).
+  kNoiseBurst,
+  /// Multiply samples in [start, start + length) by `magnitude` (linear
+  /// amplitude); length 0 means "to the end of the capture" — an AGC gain
+  /// step that never recovers.
+  kGainStep,
+  /// Remove `length` samples at `start` — the RX sampling clock ran fast
+  /// (capture gets shorter).
+  kSampleDrop,
+  /// Insert `length` copies of the sample at `start` (sample-and-hold) —
+  /// the RX sampling clock ran slow (capture gets longer).
+  kSampleInsert,
+  /// Rotate every sample from `start` onward by `magnitude` radians — an
+  /// oscillator phase jump.
+  kPhaseJump,
+  /// Zero samples in [start, start + length) — a blanked AGC window, the
+  /// FaultPlan form of the legacy erasure_start/len knobs.
+  kErasure,
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind k) noexcept;
+
+/// One timed fault. `start` is capture-relative (i.e. including the
+/// channel's timing_pad) *at the moment the event is applied*: events are
+/// applied in list order, so an earlier kSampleDrop/kSampleInsert shifts
+/// the samples later events operate on.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kErasure;
+  std::size_t start = 0;
+  std::size_t length = 0;
+  double magnitude = 0.0;   ///< tone amplitude / noise variance / gain / radians
+  double freq_norm = 0.0;   ///< kToneBurst frequency, cycles/sample
+};
+
+/// A timed list of faults, applied in order to each RX antenna's capture.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  [[nodiscard]] bool empty() const noexcept { return events.empty(); }
+
+  // Fluent builders, so tests read like the campaign matrix they sweep.
+  FaultPlan& tone_burst(std::size_t start, std::size_t len, double amplitude,
+                        double freq_norm);
+  FaultPlan& noise_burst(std::size_t start, std::size_t len, double variance);
+  FaultPlan& gain_step(std::size_t start, std::size_t len, double gain);
+  FaultPlan& sample_drop(std::size_t start, std::size_t count);
+  FaultPlan& sample_insert(std::size_t start, std::size_t count);
+  FaultPlan& phase_jump(std::size_t start, double radians);
+  FaultPlan& erasure(std::size_t start, std::size_t len);
+};
+
+/// Apply every event of `plan`, in order, to one antenna's capture.
+/// Deterministic: noise bursts draw from `seed` only (callers pass a
+/// per-antenna seed so antennas see independent interferer noise but the
+/// same deterministic plan). Sample drops/inserts resize the capture —
+/// identically for every antenna, as a shared sampling clock would.
+void apply_fault_plan(std::vector<cf32>& capture, const FaultPlan& plan,
+                      std::uint64_t seed);
+
+}  // namespace mimonet::channel

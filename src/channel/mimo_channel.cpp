@@ -50,6 +50,13 @@ double MimoChannel::noise_variance() const noexcept {
   return dsp::from_db(-cfg_.snr_db);
 }
 
+void MimoChannel::set_power_scale(double scale) {
+  if (!(scale >= 0.0) || !std::isfinite(scale)) {
+    throw std::invalid_argument("set_power_scale: scale must be finite and >= 0");
+  }
+  cfg_.power_scale = scale;
+}
+
 void MimoChannel::fix_realization(ChannelRealization realization) {
   if (realization.ntx != cfg_.ntx || realization.nrx != cfg_.nrx) {
     throw std::invalid_argument("fix_realization: antenna count mismatch");
@@ -117,6 +124,12 @@ std::vector<std::vector<cf32>> MimoChannel::transmit(
     if (cfg_.erasure_len != 0) {
       apply_burst_erasure(capture, cfg_.erasure_start, cfg_.erasure_len);
     }
+    if (!cfg_.faults.empty()) {
+      // Per-antenna seed: independent interferer noise per RX chain, but
+      // the same deterministic plan (and identical clock-slip resizes).
+      apply_fault_plan(capture, cfg_.faults,
+                       pad_seed_ * 0x9E3779B97F4A7C15ULL + 11 + r);
+    }
     rx[r] = std::move(capture);
   }
 
@@ -125,6 +138,7 @@ std::vector<std::vector<cf32>> MimoChannel::transmit(
   truth_.packet_start = cfg_.timing_pad;
   truth_.noise_variance = nv;
   truth_.snr_db = cfg_.snr_db;
+  truth_.faults = cfg_.faults;
   return rx;
 }
 

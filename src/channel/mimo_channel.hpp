@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "channel/fading.hpp"
+#include "channel/fault_plan.hpp"
 #include "channel/impairments.hpp"
 #include "dsp/rng.hpp"
 #include "dsp/types.hpp"
@@ -53,6 +54,11 @@ struct ChannelConfig {
   /// Models a blanked AGC window; len 0 = off.
   std::size_t erasure_start = 0;
   std::size_t erasure_len = 0;
+  /// Timed mid-capture fault campaign (interferer bursts, gain steps, clock
+  /// slips, phase jumps, erasures), applied after the one-shot knobs above.
+  /// Event starts are capture-relative (include timing_pad). The applied
+  /// plan is echoed into ChannelTruth as ground truth for campaign tests.
+  FaultPlan faults{};
   std::uint64_t seed = 1;
 };
 
@@ -63,6 +69,9 @@ struct ChannelTruth {
   std::size_t packet_start = 0;  ///< index of the first packet sample at RX
   double noise_variance = 0.0;
   double snr_db = 0.0;
+  /// The fault campaign applied to the most recent transmit() (empty when
+  /// none): ground-truth fault timestamps for resync-distance assertions.
+  FaultPlan faults{};
 };
 
 /// Simulates one direction of a MIMO link. Each call to transmit() draws a
@@ -89,6 +98,14 @@ class MimoChannel {
   void fix_realization(ChannelRealization realization);
   /// Return to drawing a fresh realization per packet.
   void unfix_realization() noexcept { fixed_ = false; }
+
+  /// Change the signal amplitude scale mid-link (an externally scheduled
+  /// fade): subsequent transmits see the new scale; noise level and every
+  /// random stream are untouched, so SNR drops by 20*log10(scale).
+  void set_power_scale(double scale);
+
+  /// Replace the fault campaign applied to subsequent transmits.
+  void set_fault_plan(FaultPlan plan) { cfg_.faults = std::move(plan); }
 
   /// Ground truth of the most recent transmit().
   [[nodiscard]] const ChannelTruth& truth() const noexcept { return truth_; }

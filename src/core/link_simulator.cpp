@@ -86,9 +86,11 @@ PacketWork simulate_packet(const LinkConfig& cfg, const Transmitter& tx,
     ++res.undetected;
     res.per.add(false);
     res.throughput.add_packet(0, airtime);
+    res.rx_errors.add(rws.packet.error);  // kNoSync or kTruncated
     return work;
   }
   const RxPacket& rx_pkt = rws.packet;
+  res.rx_errors.add(rx_pkt.error);
 
   const bool ok = rx_pkt.fcs_ok;
   res.per.add(ok);
@@ -182,6 +184,7 @@ void LinkResult::merge(const LinkResult& other) {
   ber.merge(other.ber);
   per.merge(other.per);
   throughput.merge(other.throughput);
+  rx_errors.merge(other.rx_errors);
   undetected += other.undetected;
   snr_est_db.merge(other.snr_est_db);
   pilot_snr_db.merge(other.pilot_snr_db);

@@ -20,6 +20,7 @@
 #include "core/receiver.hpp"
 #include "core/transmitter.hpp"
 #include "metrics/counters.hpp"
+#include "metrics/rx_error.hpp"
 
 namespace mimonet::core {
 
@@ -87,6 +88,10 @@ struct LinkResult {
   metrics::BerCounter ber;        ///< over PSDU bits of packets that decoded
   metrics::PerCounter per;        ///< FCS failures + undetected packets
   metrics::ThroughputMeter throughput;
+  /// Structured classification of every packet's receive outcome (kOk for
+  /// clean decodes, kNoSync for undetected, kFcsFail/kTruncated/... for the
+  /// failure stages) — the taxonomy behind the scalar counters above.
+  metrics::RxErrorCounter rx_errors;
   std::size_t undetected = 0;     ///< sync never found the packet
   dsp::RunningStats snr_est_db;   ///< receiver's L-LTF SNR estimates
   dsp::RunningStats pilot_snr_db; ///< receiver's pilot-EVM SNR estimates

@@ -73,6 +73,7 @@ void reset_packet(RxPacket& pkt) {
   pkt.lsig_ok = false;
   pkt.htsig_ok = false;
   pkt.fcs_ok = false;
+  pkt.error = metrics::RxError::kNoSync;
   pkt.lsig = {};
   pkt.htsig = {};
   pkt.psdu.clear();
@@ -123,6 +124,12 @@ std::optional<RxPacket> Receiver::receive(
 
 bool Receiver::receive(const std::vector<std::vector<cf32>>& capture,
                        RxWorkspace& ws) const {
+  ws.capture_spans.assign(capture.begin(), capture.end());
+  return receive(std::span<const std::span<const cf32>>(ws.capture_spans), ws);
+}
+
+bool Receiver::receive(std::span<const std::span<const cf32>> capture,
+                       RxWorkspace& ws) const {
   if (capture.size() != nrx_) {
     throw std::invalid_argument("Receiver: capture antenna count mismatch");
   }
@@ -130,19 +137,32 @@ bool Receiver::receive(const std::vector<std::vector<cf32>>& capture,
   reset_packet(pkt);
 
   const auto sync_res = synchronizer_.synchronize(capture, ws.sync);
-  if (!sync_res) return false;
+  if (!sync_res) {
+    if (ws.sync.rejected_candidate) {
+      // A detector candidate fired but synchronization rejected it. Report
+      // its position so a streaming scanner can hop past it instead of
+      // declaring the whole remainder idle.
+      pkt.sync.packet_start = *ws.sync.rejected_candidate;
+      pkt.error = ws.sync.rejected_truncated ? metrics::RxError::kTruncated
+                                             : metrics::RxError::kFalseSync;
+    }
+    return false;  // else pkt.error == kNoSync from the reset
+  }
   pkt.sync = *sync_res;
 
   // CFO-corrected, packet-aligned copy.
   const std::size_t start = sync_res->packet_start;
   const std::size_t avail = capture[0].size() - start;
   FrameLayout probe;  // nss=1 layout: offsets through HT-STF are nss-free
-  if (avail < probe.htltf_offset() + wifi::kHtLtfLen) return false;
+  if (avail < probe.htltf_offset() + wifi::kHtLtfLen) {
+    pkt.error = metrics::RxError::kTruncated;
+    return false;
+  }
 
   ws.rx.resize(nrx_);
   for (std::size_t a = 0; a < nrx_; ++a) {
-    ws.rx[a].assign(capture[a].begin() + static_cast<std::ptrdiff_t>(start),
-                    capture[a].end());
+    const auto tail = capture[a].subspan(start);
+    ws.rx[a].assign(tail.begin(), tail.end());
     channel::apply_cfo(ws.rx[a], -sync_res->cfo_norm);
   }
 
@@ -196,7 +216,13 @@ bool Receiver::receive(const std::vector<std::vector<cf32>>& capture,
   viterbi_.decode_soft_into(ws.htsig_llrs, /*terminated=*/true, ws.sig_bits,
                             ws.viterbi);
   const auto htsig = wifi::decode_htsig(ws.sig_bits);
-  if (!htsig) return true;
+  if (!htsig) {
+    // With both SIG decodes down there is no evidence a packet ever started
+    // here — classify the candidate itself as false, not the HT-SIG stage.
+    pkt.error = pkt.lsig_ok ? metrics::RxError::kHtsigFail
+                            : metrics::RxError::kFalseSync;
+    return true;
+  }
   pkt.htsig = *htsig;
   pkt.htsig_ok = true;
 
@@ -206,11 +232,13 @@ bool Receiver::receive(const std::vector<std::vector<cf32>>& capture,
     mcs = wifi::mcs_info(pkt.htsig.mcs);
   } catch (const std::invalid_argument&) {
     pkt.htsig_ok = false;  // CRC passed but the MCS is outside our support
+    pkt.error = metrics::RxError::kUnsupportedMcs;
     return true;
   }
   const bool stbc = pkt.htsig.stbc != 0;
   if (stbc && (pkt.htsig.stbc != 1 || mcs.nss != 1)) {
     pkt.htsig_ok = false;  // only the 1-stream / 2-STS Alamouti mode exists
+    pkt.error = metrics::RxError::kUnsupportedMcs;
     return true;
   }
   const std::size_t nsts = stbc ? 2 : mcs.nss;
@@ -220,7 +248,10 @@ bool Receiver::receive(const std::vector<std::vector<cf32>>& capture,
   fl.nss = nsts;
   fl.n_data_symbols = data_symbol_count(mcs, pkt.htsig.length, cfg_.fec_enabled,
                                         stbc, fec_type);
-  if (avail < fl.total_samples()) return true;  // truncated capture
+  if (avail < fl.total_samples()) {  // truncated capture
+    pkt.error = metrics::RxError::kTruncated;
+    return true;
+  }
 
   // ---- HT-LTF channel estimation. ----
   const std::size_t n_ltf = fl.n_ht_ltfs();
@@ -433,7 +464,10 @@ bool Receiver::receive(const std::vector<std::vector<cf32>>& capture,
   if (cfg_.fec_enabled && fec_type == FecType::kLdpc) {
     static const fec::LdpcCode code;
     const std::size_t n_cw = ldpc_codeword_count(pkt.htsig.length);
-    if (ws.merged.size() < n_cw * kLdpcN) return true;
+    if (ws.merged.size() < n_cw * kLdpcN) {
+      pkt.error = metrics::RxError::kTruncated;
+      return true;
+    }
     ws.scrambled.clear();
     ws.scrambled.reserve(n_cw * kLdpcK);
     for (std::size_t cw = 0; cw < n_cw; ++cw) {
@@ -456,7 +490,10 @@ bool Receiver::receive(const std::vector<std::vector<cf32>>& capture,
   }
 
   const std::size_t psdu_bits = 8 * static_cast<std::size_t>(pkt.htsig.length);
-  if (ws.scrambled.size() < kServiceBits + psdu_bits) return true;
+  if (ws.scrambled.size() < kServiceBits + psdu_bits) {
+    pkt.error = metrics::RxError::kTruncated;
+    return true;
+  }
 
   const std::uint32_t seed =
       recover_scrambler_seed(std::span(ws.scrambled).first(7));
@@ -466,7 +503,25 @@ bool Receiver::receive(const std::vector<std::vector<cf32>>& capture,
       std::span<const std::uint8_t>(ws.scrambled).subspan(kServiceBits, psdu_bits),
       pkt.psdu);
   pkt.fcs_ok = wifi::psdu_fcs_ok(pkt.psdu);
+  // A frame delivered past a failed L-SIG still reports the anomaly; a
+  // failed FCS is the terminal data-stage classification either way.
+  pkt.error = !pkt.fcs_ok ? metrics::RxError::kFcsFail
+              : pkt.lsig_ok ? metrics::RxError::kOk
+                            : metrics::RxError::kLsigFail;
   return true;
+}
+
+std::optional<std::size_t> decoded_frame_samples(const RxPacket& pkt,
+                                                 const PhyConfig& cfg) {
+  if (!pkt.htsig_ok) return std::nullopt;
+  const wifi::McsInfo mcs = wifi::mcs_info(pkt.htsig.mcs);
+  const bool stbc = pkt.htsig.stbc != 0;
+  const FecType fec_type = pkt.htsig.fec_coding ? FecType::kLdpc : FecType::kBcc;
+  FrameLayout fl;
+  fl.nss = stbc ? 2 : mcs.nss;
+  fl.n_data_symbols = data_symbol_count(mcs, pkt.htsig.length, cfg.fec_enabled,
+                                        stbc, fec_type);
+  return fl.total_samples();
 }
 
 }  // namespace mimonet::core

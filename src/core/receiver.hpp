@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "chanest/ls_estimator.hpp"
@@ -14,6 +15,7 @@
 #include "dsp/sample_grid.hpp"
 #include "dsp/types.hpp"
 #include "fec/viterbi.hpp"
+#include "metrics/rx_error.hpp"
 #include "ofdm/symbol.hpp"
 #include "sync/frame_sync.hpp"
 #include "wifi/signal_field.hpp"
@@ -29,6 +31,13 @@ struct RxPacket {
   bool lsig_ok = false;
   bool htsig_ok = false;
   bool fcs_ok = false;
+  /// Structured classification of how far decoding got (kOk on a clean
+  /// frame). Set on every receive() path, including the false-returning
+  /// ones — after a failed receive(capture, ws), ws.packet.error says why
+  /// (kNoSync, kFalseSync for a rejected sync candidate — whose position is
+  /// left in sync.packet_start — or kTruncated), which is what the
+  /// streaming scan loop keys its resync policy on.
+  metrics::RxError error = metrics::RxError::kNoSync;
   wifi::LSig lsig;
   wifi::HtSig htsig;
   /// Decoded PSDU bytes (present whenever HT-SIG decoded, even if the FCS
@@ -68,6 +77,13 @@ class Receiver {
   [[nodiscard]] bool receive(const std::vector<std::vector<cf32>>& capture,
                              RxWorkspace& ws) const;
 
+  /// Span form, the primitive the streaming receive path is built on: the
+  /// spans may window any region of a longer capture, and
+  /// ws.packet.sync.packet_start is relative to the window. Bit-identical
+  /// to the vector overloads on a whole capture.
+  [[nodiscard]] bool receive(std::span<const std::span<const cf32>> capture,
+                             RxWorkspace& ws) const;
+
  private:
   /// Maximal-ratio combine one legacy symbol across antennas and soft-decode
   /// its SIG bits into `out` (48 deinterleaved LLRs per symbol).
@@ -83,5 +99,12 @@ class Receiver {
   ofdm::SymbolDemodulator ht_demod_;
   fec::ViterbiDecoder viterbi_;
 };
+
+/// Total samples (preamble + data) of the frame a decoded HT-SIG announces,
+/// computed with the same geometry the receiver's data decode used — what a
+/// streaming scanner must advance by to skip the frame. nullopt when
+/// pkt.htsig_ok is false (the frame extent is unknown).
+[[nodiscard]] std::optional<std::size_t> decoded_frame_samples(
+    const RxPacket& pkt, const PhyConfig& cfg);
 
 }  // namespace mimonet::core

@@ -1,0 +1,151 @@
+#include "core/stream_receiver.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+#include "core/workspace.hpp"
+
+namespace mimonet::core {
+
+void StreamStats::merge(const StreamStats& other) noexcept {
+  frames += other.frames;
+  delivered += other.delivered;
+  resync_events += other.resync_events;
+  budget_exhaustions += other.budget_exhaustions;
+  samples_scanned += other.samples_scanned;
+  errors.merge(other.errors);
+}
+
+StreamReceiver::StreamReceiver(PhyConfig cfg, std::size_t nrx,
+                               StreamReceiverConfig scfg)
+    : scfg_(scfg), rx_(std::move(cfg), nrx), nrx_(nrx) {
+  if (scfg_.min_advance == 0) {
+    throw std::invalid_argument("StreamReceiver: min_advance must be >= 1");
+  }
+  if (scfg_.resync_advance == 0) {
+    throw std::invalid_argument("StreamReceiver: resync_advance must be >= 1");
+  }
+}
+
+std::vector<StreamRecord> StreamReceiver::receive_all(
+    const std::vector<std::vector<cf32>>& capture) const {
+  RxWorkspace ws;
+  StreamStats stats;
+  std::vector<StreamRecord> out;
+  std::vector<std::span<const cf32>> spans(capture.begin(), capture.end());
+  scan(spans, ws, stats, [&out](const StreamEvent& ev) {
+    StreamRecord rec;
+    rec.offset = ev.offset;
+    rec.error = ev.error;
+    if (ev.packet != nullptr) {
+      rec.has_packet = true;
+      rec.packet = *ev.packet;
+    }
+    out.push_back(std::move(rec));
+  });
+  return out;
+}
+
+void StreamReceiver::scan(std::span<const std::span<const cf32>> capture,
+                          RxWorkspace& ws, StreamStats& stats,
+                          const EventFn& on_event) const {
+  if (capture.size() != nrx_) {
+    throw std::invalid_argument("StreamReceiver::scan: antenna count mismatch");
+  }
+  const std::size_t len = capture[0].size();
+  for (const auto& s : capture) {
+    if (s.size() != len) {
+      throw std::invalid_argument("StreamReceiver::scan: ragged capture");
+    }
+  }
+  stats.samples_scanned += len;
+
+  // The scan window lives on the stack (Receiver caps nrx at 4), so the
+  // loop stays allocation-free regardless of how `capture` was staged.
+  std::array<std::span<const cf32>, 4> window{};
+  std::size_t pos = 0;
+  std::size_t failed_candidates = 0;  // since the last consumed frame
+  std::size_t frames_this_scan = 0;
+  // Rewind targets must strictly increase across the scan, so backward
+  // hops (below) cannot loop: at most `len` rewinds ever happen.
+  std::size_t rewind_barrier = 0;
+
+  while (pos < len) {
+    for (std::size_t a = 0; a < nrx_; ++a) window[a] = capture[a].subspan(pos);
+    const bool got = rx_.receive(
+        std::span<const std::span<const cf32>>(window.data(), nrx_), ws);
+    const RxPacket& pkt = ws.packet;
+    const metrics::RxError err = pkt.error;
+
+    if (!got && err == metrics::RxError::kNoSync) {
+      // Nothing detectable in the remainder — the normal end of a scan, so
+      // the trailing idle air is not counted as an error.
+      break;
+    }
+
+    // Every other classification comes with a synchronized candidate.
+    const std::size_t frame_start = pos + pkt.sync.packet_start;
+    stats.errors.add(err);
+    on_event(StreamEvent{frame_start, err, &pkt});
+
+    if (err == metrics::RxError::kTruncated) {
+      // The frame provably extends past the end of the capture (either its
+      // preamble or its HT-SIG-announced extent), so no later packet can
+      // complete either: the scan is done.
+      if (pkt.htsig_ok) ++stats.frames;
+      break;
+    }
+
+    std::size_t next;
+    if (pkt.htsig_ok) {
+      // A consumed frame (kOk / kLsigFail / kFcsFail): skip its announced
+      // extent. mcs_info succeeded during decode, so the geometry is known.
+      ++stats.frames;
+      ++frames_this_scan;
+      if (pkt.fcs_ok) ++stats.delivered;
+      failed_candidates = 0;
+      next = frame_start + *decoded_frame_samples(pkt, rx_.config());
+      if (scfg_.max_packets != 0 && frames_this_scan >= scfg_.max_packets) break;
+    } else {
+      // Failed candidate (kFalseSync / kHtsigFail / kUnsupportedMcs): hop
+      // past its start and rescan.
+      ++stats.resync_events;
+      ++failed_candidates;
+      // When fine sync reports that the candidate's L-LTF implies a packet
+      // starting *before* this window, a previous resync hop overshot a real
+      // packet's L-STF: rewind onto the implied start instead of hopping
+      // forward over the rest of the packet. The barrier keeps rewind
+      // targets strictly increasing, so this cannot loop.
+      bool rewound = false;
+      const std::size_t deficit =
+          !got ? ws.sync.rejected_start_deficit : std::size_t{0};
+      if (deficit != 0 && pos >= deficit && pos - deficit >= rewind_barrier) {
+        next = pos - deficit;
+        rewind_barrier = next + 1;
+        rewound = true;
+      } else {
+        next = frame_start + scfg_.resync_advance;
+      }
+      if (scfg_.max_failed_candidates != 0 &&
+          failed_candidates > scfg_.max_failed_candidates) {
+        // Watchdog: a pathological capture keeps producing candidates that
+        // never decode. Report the exhaustion and abandon the capture
+        // rather than grinding through it one resync hop at a time.
+        stats.errors.add(metrics::RxError::kBudgetExceeded);
+        ++stats.budget_exhaustions;
+        on_event(StreamEvent{next, metrics::RxError::kBudgetExceeded, nullptr});
+        break;
+      }
+      if (rewound) {
+        pos = next;
+        continue;
+      }
+    }
+    // Monotonic-advance floor: termination in at most len / min_advance
+    // iterations no matter what the candidates looked like.
+    pos = std::max(next, pos + scfg_.min_advance);
+  }
+}
+
+}  // namespace mimonet::core

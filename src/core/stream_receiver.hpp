@@ -1,0 +1,106 @@
+// Resilient streaming receive path: scan an arbitrarily long multi-packet
+// capture, decode every packet in it, and resynchronize after any failure —
+// a bad sync candidate, a SIG parse failure, an FCS failure, a truncated
+// tail — by advancing past the failed region. A watchdog budget bounds the
+// work a pathological capture (e.g. a long 16-periodic interferer that
+// triggers the detector everywhere) can extract, and every iteration
+// advances the scan position by at least StreamReceiverConfig::min_advance
+// samples, so the scan loop can never wedge.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/phy_config.hpp"
+#include "core/receiver.hpp"
+#include "metrics/rx_error.hpp"
+
+namespace mimonet::core {
+
+struct RxWorkspace;  // core/workspace.hpp
+
+/// Scan-loop policy knobs.
+struct StreamReceiverConfig {
+  /// Floor on the per-iteration scan advance. Termination guarantee: a scan
+  /// over N samples runs at most N / min_advance candidate attempts.
+  std::size_t min_advance = 16;
+  /// How far to advance past a failed candidate's start before rescanning
+  /// (one OFDM symbol by default — far enough to fall off a short false
+  /// plateau, close enough not to skip a packet queued right behind it).
+  std::size_t resync_advance = 80;
+  /// Watchdog: failed candidates tolerated since the last delivered frame
+  /// before the scanner reports kBudgetExceeded and abandons the capture.
+  /// 0 = no budget (the min_advance bound still guarantees termination).
+  std::size_t max_failed_candidates = 4096;
+  /// Stop after this many decoded frames (0 = no cap).
+  std::size_t max_packets = 0;
+};
+
+/// One scan event, delivered to the scan() callback in stream order.
+struct StreamEvent {
+  /// Absolute sample index (into the scanned capture) of the candidate's
+  /// frame start; for kBudgetExceeded, of the abandoned scan position.
+  std::size_t offset = 0;
+  metrics::RxError error = metrics::RxError::kOk;
+  /// Null for kBudgetExceeded; otherwise points at the scan workspace's
+  /// packet and is valid only during the callback (copy it to keep it).
+  const RxPacket* packet = nullptr;
+};
+
+/// Owned form of a StreamEvent, what receive_all() returns.
+struct StreamRecord {
+  std::size_t offset = 0;
+  metrics::RxError error = metrics::RxError::kOk;
+  bool has_packet = false;
+  RxPacket packet;
+};
+
+/// Mergeable scan statistics.
+struct StreamStats {
+  std::size_t frames = 0;             ///< candidates that decoded an HT-SIG
+  std::size_t delivered = 0;          ///< frames with fcs_ok
+  std::size_t resync_events = 0;      ///< failed candidates advanced past
+  std::size_t budget_exhaustions = 0; ///< scans abandoned by the watchdog
+  std::size_t samples_scanned = 0;
+  metrics::RxErrorCounter errors;     ///< every candidate's classification
+
+  void merge(const StreamStats& other) noexcept;
+  void reset() noexcept { *this = StreamStats{}; }
+};
+
+/// Multi-packet scanning receiver. Construct once per configuration; scans
+/// are const and share nothing, so one instance may serve many threads each
+/// holding its own RxWorkspace.
+class StreamReceiver {
+ public:
+  using EventFn = std::function<void(const StreamEvent&)>;
+
+  StreamReceiver(PhyConfig cfg, std::size_t nrx, StreamReceiverConfig scfg = {});
+
+  [[nodiscard]] const PhyConfig& config() const noexcept { return rx_.config(); }
+  [[nodiscard]] const StreamReceiverConfig& stream_config() const noexcept {
+    return scfg_;
+  }
+  [[nodiscard]] const Receiver& receiver() const noexcept { return rx_; }
+
+  /// Scan the whole capture; returns every event in stream order. On a
+  /// capture holding a single clean packet the one returned record's packet
+  /// is bit-identical to what Receiver::receive would have produced.
+  [[nodiscard]] std::vector<StreamRecord> receive_all(
+      const std::vector<std::vector<cf32>>& capture) const;
+
+  /// Workspace/callback form: the hot loop. Stats accumulate into `stats`
+  /// (not reset here, so multi-capture sessions aggregate). A warm
+  /// workspace scans without steady-state heap allocation.
+  void scan(std::span<const std::span<const cf32>> capture, RxWorkspace& ws,
+            StreamStats& stats, const EventFn& on_event) const;
+
+ private:
+  StreamReceiverConfig scfg_;
+  Receiver rx_;
+  std::size_t nrx_;
+};
+
+}  // namespace mimonet::core

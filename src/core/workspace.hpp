@@ -67,6 +67,8 @@ struct RxWorkspace {
 
   std::vector<std::vector<dsp::cf32>> rx;  ///< aligned, CFO-corrected capture
   std::vector<std::span<const dsp::cf32>> spans;  ///< span staging
+  /// Staging for the vector->span receive adapter and the stream scan loop.
+  std::vector<std::span<const dsp::cf32>> capture_spans;
 
   dsp::IqTensor lltf_grids;              ///< [rx][rep][bin] L-LTF FFTs
   std::vector<std::vector<dsp::cf32>> h_legacy;  ///< [rx][bin]

@@ -1,6 +1,9 @@
 #include "mac/arq.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "dsp/rng.hpp"
 
 namespace mimonet::mac {
 
@@ -13,7 +16,34 @@ ArqConfig normalize(ArqConfig cfg) {
   return cfg;
 }
 
+/// Uniform double in [0, 1) from a mixed 64-bit key.
+double unit_uniform(std::uint64_t key) noexcept {
+  return static_cast<double>(dsp::splitmix64(key) >> 11U) * 0x1.0p-53;
+}
+
 }  // namespace
+
+double backoff_delay_us(const BackoffConfig& cfg, unsigned retry,
+                        std::uint64_t key) noexcept {
+  double base = cfg.initial_timeout_us;
+  for (unsigned i = 0; i < retry && base < cfg.max_backoff_us; ++i) {
+    base *= cfg.multiplier;
+  }
+  base = std::min(base, cfg.max_backoff_us);
+  if (cfg.jitter_frac > 0.0) {
+    base *= 1.0 + cfg.jitter_frac * (2.0 * unit_uniform(key) - 1.0);
+  }
+  return base;
+}
+
+double fade_scale_at(std::span<const FadeSegment> fades, double t_us,
+                     double nominal) noexcept {
+  double scale = nominal;
+  for (const auto& f : fades) {
+    if (t_us >= f.start_us && t_us < f.end_us) scale = f.power_scale;
+  }
+  return scale;
+}
 
 StopAndWaitLink::StopAndWaitLink(ArqConfig cfg)
     : cfg_(normalize(std::move(cfg))),
@@ -34,10 +64,14 @@ StopAndWaitLink::StopAndWaitLink(ArqConfig cfg)
 std::optional<wifi::ParsedPsdu> StopAndWaitLink::phy_exchange(
     const core::Transmitter& tx, channel::MimoChannel& chan,
     const core::Receiver& rx, const wifi::MacHeader& hdr,
-    std::span<const std::uint8_t> payload, double& airtime_us) {
+    std::span<const std::uint8_t> payload, double nominal_scale,
+    double& airtime_us) {
+  chan.set_power_scale(fade_scale_at(cfg_.fades, clock_us_, nominal_scale));
   const auto psdu = wifi::build_psdu(hdr, payload);
   const auto streams = tx.transmit(psdu);
-  airtime_us += tx.layout(psdu.size()).airtime_us();
+  const double t = tx.layout(psdu.size()).airtime_us();
+  airtime_us += t;
+  clock_us_ += t;
   const auto capture = chan.transmit(streams);
   const auto pkt = rx.receive(capture);
   if (!pkt || !pkt->fcs_ok) return std::nullopt;
@@ -59,8 +93,9 @@ DeliveryReport StopAndWaitLink::send(std::span<const std::uint8_t> msdu) {
     ++report.transmissions;
     if (attempt > 0) ++stats_.retransmissions;
 
-    const auto delivered = phy_exchange(data_tx_, forward_, data_rx_, data_hdr,
-                                        msdu, report.airtime_us);
+    const auto delivered =
+        phy_exchange(data_tx_, forward_, data_rx_, data_hdr, msdu,
+                     cfg_.forward.power_scale, report.airtime_us);
     bool ack_due = false;
     if (delivered) {
       const std::uint16_t rx_seq = delivered->header.sequence_control >> 4U;
@@ -78,23 +113,245 @@ DeliveryReport StopAndWaitLink::send(std::span<const std::uint8_t> msdu) {
 
     if (ack_due) {
       ack_hdr.sequence_control = data_hdr.sequence_control;
-      const auto ack = phy_exchange(ack_tx_, reverse_, ack_rx_, ack_hdr, {},
-                                    report.airtime_us);
+      const auto ack =
+          phy_exchange(ack_tx_, reverse_, ack_rx_, ack_hdr, {},
+                       cfg_.reverse.power_scale, report.airtime_us);
       if (ack && ack->header.frame_control == kAckFrameControl &&
           ack->header.sequence_control == data_hdr.sequence_control) {
         report.delivered = true;
         break;
       }
     }
+
+    // Wait out the retransmission timeout before the next try: exponential
+    // with jitter under the backoff policy, the legacy fixed interval
+    // otherwise. Time passing is what lets a scheduled fade end.
+    if (attempt < cfg_.max_retries) {
+      const std::uint64_t key = dsp::splitmix64(
+          cfg_.seed ^ (static_cast<std::uint64_t>(seq_) << 20U) ^ attempt);
+      const double d = cfg_.backoff.enabled
+                           ? backoff_delay_us(cfg_.backoff, attempt, key)
+                           : cfg_.backoff.initial_timeout_us;
+      report.wait_us += d;
+      clock_us_ += d;
+    }
   }
 
   seq_ = static_cast<std::uint16_t>((seq_ + 1) & 0x0FFF);
   stats_.airtime_us += report.airtime_us;
+  stats_.wait_us += report.wait_us;
   if (report.delivered) {
     ++stats_.delivered;
     stats_.delivered_bits += static_cast<double>(msdu.size()) * 8.0;
   }
   return report;
+}
+
+SelectiveRepeatLink::SelectiveRepeatLink(SrConfig cfg)
+    : cfg_(SrConfig{normalize(std::move(cfg.arq)), cfg.window,
+                    cfg.fallback_after, cfg.recover_after, cfg.min_mcs}),
+      current_mcs_(cfg_.arq.data_phy.mcs),
+      min_mcs_(0),
+      data_rx_(cfg_.arq.data_phy, cfg_.arq.forward.nrx),
+      ack_tx_(cfg_.arq.ack_phy),
+      ack_rx_(cfg_.arq.ack_phy, cfg_.arq.reverse.nrx),
+      forward_(cfg_.arq.forward),
+      reverse_(cfg_.arq.reverse) {
+  if (cfg_.window == 0 || cfg_.window >= 2048) {
+    throw std::invalid_argument("SelectiveRepeatLink: window must be 1..2047");
+  }
+  const unsigned group_floor = (current_mcs_ / 8U) * 8U;
+  if (cfg_.min_mcs < 0) {
+    min_mcs_ = group_floor;
+  } else {
+    min_mcs_ = static_cast<unsigned>(cfg_.min_mcs);
+    if (min_mcs_ > current_mcs_ || min_mcs_ / 8U != current_mcs_ / 8U) {
+      throw std::invalid_argument(
+          "SelectiveRepeatLink: min_mcs must be in the configured MCS's "
+          "spatial-stream group and <= it");
+    }
+  }
+  data_tx_.emplace(cfg_.arq.data_phy);
+  if (cfg_.arq.forward.ntx != data_tx_->num_streams()) {
+    throw std::invalid_argument(
+        "SelectiveRepeatLink: forward ntx != data TX chains");
+  }
+  if (cfg_.arq.reverse.ntx != ack_tx_.num_streams()) {
+    throw std::invalid_argument(
+        "SelectiveRepeatLink: reverse ntx != ACK TX chains");
+  }
+}
+
+std::optional<wifi::ParsedPsdu> SelectiveRepeatLink::phy_exchange(
+    const core::Transmitter& tx, channel::MimoChannel& chan,
+    const core::Receiver& rx, const wifi::MacHeader& hdr,
+    std::span<const std::uint8_t> payload, double nominal_scale,
+    double& airtime_us) {
+  chan.set_power_scale(fade_scale_at(cfg_.arq.fades, clock_us_, nominal_scale));
+  const auto psdu = wifi::build_psdu(hdr, payload);
+  const auto streams = tx.transmit(psdu);
+  const double t = tx.layout(psdu.size()).airtime_us();
+  airtime_us += t;
+  clock_us_ += t;
+  const auto capture = chan.transmit(streams);
+  const auto pkt = rx.receive(capture);
+  if (!pkt || !pkt->fcs_ok) return std::nullopt;
+  return wifi::parse_psdu(pkt->psdu);
+}
+
+void SelectiveRepeatLink::queue(std::span<const std::uint8_t> msdu) {
+  Slot slot;
+  slot.msdu.assign(msdu.begin(), msdu.end());
+  slot.abs = frames_.size();
+  frames_.push_back(std::move(slot));
+  ++stats_.msdus;
+}
+
+const SrStats& SelectiveRepeatLink::run() {
+  while (base_ < frames_.size()) {
+    // Slide the window base past finished frames.
+    while (base_ < frames_.size() &&
+           (frames_[base_].acked || frames_[base_].abandoned)) {
+      ++base_;
+    }
+    if (base_ >= frames_.size()) break;
+
+    // Earliest-due outstanding slot in the window (the base slot is always
+    // outstanding here, so one exists).
+    const std::size_t hi = std::min(base_ + cfg_.window, frames_.size());
+    Slot* due = nullptr;
+    for (std::size_t i = base_; i < hi; ++i) {
+      Slot& s = frames_[i];
+      if (s.acked || s.abandoned) continue;
+      if (due == nullptr || s.next_tx_us < due->next_tx_us) due = &s;
+    }
+    if (due->next_tx_us > clock_us_) {
+      stats_.wait_us += due->next_tx_us - clock_us_;
+      clock_us_ = due->next_tx_us;
+    }
+    transmit_slot(*due);
+  }
+  return stats_;
+}
+
+void SelectiveRepeatLink::transmit_slot(Slot& slot) {
+  if (slot.attempts > 0) ++stats_.retransmissions;
+
+  wifi::MacHeader hdr;
+  hdr.frame_control = 0x0008;  // data
+  hdr.sequence_control = static_cast<std::uint16_t>((slot.abs & 0x0FFFU) << 4U);
+
+  double airtime = 0.0;
+  const auto delivered =
+      phy_exchange(*data_tx_, forward_, data_rx_, hdr, slot.msdu,
+                   cfg_.arq.forward.power_scale, airtime);
+  bool acked = false;
+  if (delivered) {
+    note_data_success();
+    peer_accept(*delivered);
+    wifi::MacHeader ack_hdr;
+    ack_hdr.frame_control = kAckFrameControl;
+    ack_hdr.sequence_control = hdr.sequence_control;
+    const auto ack = phy_exchange(ack_tx_, reverse_, ack_rx_, ack_hdr, {},
+                                  cfg_.arq.reverse.power_scale, airtime);
+    acked = ack && ack->header.frame_control == kAckFrameControl &&
+            ack->header.sequence_control == hdr.sequence_control;
+  } else {
+    note_data_failure();
+  }
+  stats_.airtime_us += airtime;
+  ++slot.attempts;
+
+  if (acked) {
+    slot.acked = true;
+    ++stats_.delivered;
+    stats_.delivered_bits += static_cast<double>(slot.msdu.size()) * 8.0;
+  } else if (slot.attempts > cfg_.arq.max_retries) {
+    slot.abandoned = true;
+    ++stats_.lost;
+    // The peer will never see this frame: let in-order release skip it, as
+    // a higher layer's reassembly timeout would.
+    abandoned_abs_.push_back(slot.abs);
+    release_in_order();
+  } else {
+    const std::uint64_t key =
+        dsp::splitmix64(cfg_.arq.seed ^ (slot.abs * 0x9E3779B97F4A7C15ULL) ^
+                        slot.attempts);
+    const double d =
+        cfg_.arq.backoff.enabled
+            ? backoff_delay_us(cfg_.arq.backoff, slot.attempts - 1, key)
+            : cfg_.arq.backoff.initial_timeout_us;
+    slot.next_tx_us = clock_us_ + d;
+  }
+}
+
+void SelectiveRepeatLink::peer_accept(const wifi::ParsedPsdu& frame) {
+  const auto seq12 =
+      static_cast<std::uint16_t>(frame.header.sequence_control >> 4U);
+  const auto exp12 = static_cast<std::uint16_t>(peer_next_abs_ & 0x0FFFU);
+  // Sign-extend the 12-bit sequence difference: frames at most a window
+  // behind (duplicates) or ahead (out-of-order) of the expected index.
+  const auto diff12 = static_cast<std::uint16_t>((seq12 - exp12) & 0x0FFFU);
+  const int delta = (diff12 & 0x0800U) != 0 ? static_cast<int>(diff12) - 4096
+                                            : static_cast<int>(diff12);
+  const auto abs_idx =
+      static_cast<long long>(peer_next_abs_) + static_cast<long long>(delta);
+  if (abs_idx < static_cast<long long>(peer_next_abs_)) {
+    // Already released (or skipped): a retransmission whose ACK was lost.
+    ++stats_.duplicates;
+    return;
+  }
+  const auto [it, inserted] =
+      peer_reorder_.emplace(static_cast<std::size_t>(abs_idx), frame.payload);
+  if (!inserted) {
+    ++stats_.duplicates;
+    return;
+  }
+  release_in_order();
+}
+
+void SelectiveRepeatLink::release_in_order() {
+  while (true) {
+    if (std::find(abandoned_abs_.begin(), abandoned_abs_.end(),
+                  peer_next_abs_) != abandoned_abs_.end()) {
+      ++peer_next_abs_;
+      continue;
+    }
+    const auto it = peer_reorder_.find(peer_next_abs_);
+    if (it == peer_reorder_.end()) break;
+    peer_rx_log_.push_back(std::move(it->second));
+    peer_reorder_.erase(it);
+    ++peer_next_abs_;
+  }
+}
+
+void SelectiveRepeatLink::note_data_success() {
+  consecutive_fail_ = 0;
+  if (cfg_.recover_after == 0 || current_mcs_ >= cfg_.arq.data_phy.mcs) return;
+  if (++consecutive_ok_ < cfg_.recover_after) return;
+  consecutive_ok_ = 0;
+  set_mcs(current_mcs_ + 1);
+  ++stats_.mcs_recoveries;
+}
+
+void SelectiveRepeatLink::note_data_failure() {
+  consecutive_ok_ = 0;
+  if (cfg_.fallback_after == 0) return;
+  if (++consecutive_fail_ < cfg_.fallback_after) return;
+  consecutive_fail_ = 0;
+  if (current_mcs_ > min_mcs_) {
+    set_mcs(current_mcs_ - 1);
+    ++stats_.mcs_fallbacks;
+  }
+}
+
+void SelectiveRepeatLink::set_mcs(unsigned mcs) {
+  // Same spatial-stream group, so the TX chain count is invariant and the
+  // receiver (which reads MCS from HT-SIG in-band) needs no rebuild.
+  current_mcs_ = mcs;
+  core::PhyConfig phy = cfg_.arq.data_phy;
+  phy.mcs = mcs;
+  data_tx_.emplace(phy);
 }
 
 }  // namespace mimonet::mac

@@ -1,11 +1,21 @@
-// A compact stop-and-wait ARQ MAC over the MIMONet PHY: data frames one
-// way, ACK frames the other, retransmission on timeout — the network-level
-// layer the paper's "MIMONet SDR platform for network-level exploitation of
-// MIMO technology" motivates.
+// ARQ MACs over the MIMONet PHY: a stop-and-wait link (data frames one way,
+// ACK frames the other, retransmission on timeout) and a selective-repeat
+// window ARQ with exponential-backoff retransmission pacing and automatic
+// MCS fallback — the network-level layer the paper's "MIMONet SDR platform
+// for network-level exploitation of MIMO technology" motivates.
+//
+// Time is simulated: each link keeps a microsecond clock advanced by frame
+// airtime and retransmission waits, and an externally scheduled fade
+// (FadeSegment list) scales the channel as a function of that clock. That
+// gives backoff something real to trade against: a fixed-interval
+// retransmission policy burns every retry inside a long fade, while
+// exponential backoff stretches the retry window past it.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "channel/mimo_channel.hpp"
@@ -16,12 +26,48 @@
 
 namespace mimonet::mac {
 
+/// Retransmission pacing. Enabled (the default) = exponential backoff with
+/// deterministic jitter; disabled = the legacy fixed interval
+/// (initial_timeout_us between every retry).
+struct BackoffConfig {
+  bool enabled = true;
+  double initial_timeout_us = 50.0;  ///< wait before the first retransmission
+  double multiplier = 2.0;           ///< growth per retry
+  double max_backoff_us = 20000.0;   ///< cap on a single wait
+  /// Deterministic +/- fractional jitter on each wait (decorrelates
+  /// stations that collided; here it mostly exercises the code path).
+  double jitter_frac = 0.1;
+};
+
+/// The wait before retransmission number `retry + 1` (retry is 0-based).
+/// Pure function of its arguments: `key` seeds the jitter draw, so a fixed
+/// (seed, frame, retry) triple always waits the same time.
+[[nodiscard]] double backoff_delay_us(const BackoffConfig& cfg, unsigned retry,
+                                      std::uint64_t key) noexcept;
+
+/// One scheduled fade: while now_us is in [start_us, end_us) the channel's
+/// power scale becomes `power_scale` (later segments override earlier ones
+/// where they overlap). Outside every segment the nominal scale applies.
+struct FadeSegment {
+  double start_us = 0.0;
+  double end_us = 0.0;
+  double power_scale = 1.0;
+};
+
+/// The power scale in effect at `t_us` under `fades` (nominal otherwise).
+[[nodiscard]] double fade_scale_at(std::span<const FadeSegment> fades,
+                                   double t_us, double nominal) noexcept;
+
 struct ArqConfig {
   core::PhyConfig data_phy{};   ///< PHY used for data frames
   core::PhyConfig ack_phy{};    ///< PHY for ACKs (defaults to MCS 0: robust)
   channel::ChannelConfig forward{};  ///< station -> peer
   channel::ChannelConfig reverse{};  ///< peer -> station (ACK path)
   unsigned max_retries = 7;     ///< retransmissions before giving up
+  BackoffConfig backoff{};      ///< retransmission pacing policy
+  /// Scheduled fades, applied to both directions as a function of the
+  /// link's simulated clock (a physical obstruction shadows both paths).
+  std::vector<FadeSegment> fades{};
   std::uint64_t seed = 1;
 };
 
@@ -31,6 +77,7 @@ struct DeliveryReport {
   bool duplicate_at_peer = false;  ///< peer saw the frame more than once
   unsigned transmissions = 0;   ///< 1 = first try succeeded
   double airtime_us = 0.0;      ///< data + ACK air time spent, all tries
+  double wait_us = 0.0;         ///< time spent waiting between retries
 };
 
 /// Aggregate MAC statistics.
@@ -40,6 +87,7 @@ struct ArqStats {
   std::size_t retransmissions = 0;
   std::size_t duplicates = 0;   ///< frames the peer had to de-duplicate
   double airtime_us = 0.0;
+  double wait_us = 0.0;         ///< backoff/timeout waits (not airtime)
   double delivered_bits = 0.0;
 
   [[nodiscard]] double goodput_mbps() const noexcept {
@@ -69,13 +117,19 @@ class StopAndWaitLink {
 
   [[nodiscard]] const ArqStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const ArqConfig& config() const noexcept { return cfg_; }
+  /// Simulated clock: total airtime plus retransmission waits so far.
+  [[nodiscard]] double now_us() const noexcept { return clock_us_; }
 
  private:
   /// One PHY exchange in a direction; returns the decoded PSDU on success.
+  /// Applies the fade schedule at the current clock (against `nominal_scale`,
+  /// that direction's configured power scale) and advances the clock by the
+  /// frame's airtime.
   [[nodiscard]] std::optional<wifi::ParsedPsdu> phy_exchange(
       const core::Transmitter& tx, channel::MimoChannel& chan,
       const core::Receiver& rx, const wifi::MacHeader& hdr,
-      std::span<const std::uint8_t> payload, double& airtime_us);
+      std::span<const std::uint8_t> payload, double nominal_scale,
+      double& airtime_us);
 
   ArqConfig cfg_;
   core::Transmitter data_tx_;
@@ -88,9 +142,121 @@ class StopAndWaitLink {
   std::optional<std::uint16_t> peer_last_seq_;
   std::vector<std::vector<std::uint8_t>> peer_rx_log_;
   ArqStats stats_;
+  double clock_us_ = 0.0;
 };
 
 /// ACK frame_control marker (control frame subtype ACK, simplified).
 inline constexpr std::uint16_t kAckFrameControl = 0x00D4;
+
+/// Selective-repeat window ARQ configuration.
+struct SrConfig {
+  ArqConfig arq{};          ///< PHYs, channels, retry/backoff/fade policy
+  std::size_t window = 4;   ///< outstanding frames (must be < 2048)
+  /// MCS fallback: after this many consecutive failed data exchanges, step
+  /// the data MCS down one rate within its spatial-stream group. 0 = never.
+  unsigned fallback_after = 3;
+  /// Recovery: after this many consecutive successful data exchanges below
+  /// the configured MCS, step one rate back up. 0 = never recover.
+  unsigned recover_after = 8;
+  /// Floor for fallback; -1 = the lowest rate of the configured MCS's
+  /// spatial-stream group (nss never changes — antenna counts are fixed).
+  int min_mcs = -1;
+};
+
+/// Aggregate selective-repeat statistics.
+struct SrStats {
+  std::size_t msdus = 0;
+  std::size_t delivered = 0;
+  std::size_t lost = 0;            ///< abandoned after max_retries
+  std::size_t retransmissions = 0;
+  std::size_t duplicates = 0;
+  std::size_t mcs_fallbacks = 0;   ///< downward MCS steps taken
+  std::size_t mcs_recoveries = 0;  ///< upward steps after the channel improved
+  double airtime_us = 0.0;
+  double wait_us = 0.0;
+  double delivered_bits = 0.0;
+
+  [[nodiscard]] double goodput_mbps() const noexcept {
+    return airtime_us > 0.0 ? delivered_bits / airtime_us : 0.0;
+  }
+  [[nodiscard]] double loss_rate() const noexcept {
+    return msdus > 0 ? static_cast<double>(lost) / static_cast<double>(msdus)
+                     : 0.0;
+  }
+};
+
+/// Selective-repeat window ARQ with per-frame retransmission state,
+/// exponential-backoff pacing, in-order de-duplicated delivery at the peer,
+/// and automatic MCS fallback after consecutive delivery failures (stepping
+/// back up when the channel improves). Queue MSDUs, then run() to drain.
+class SelectiveRepeatLink {
+ public:
+  explicit SelectiveRepeatLink(SrConfig cfg);
+
+  /// Enqueue one MSDU for delivery.
+  void queue(std::span<const std::uint8_t> msdu);
+
+  /// Drive the link until every queued frame is ACKed or abandoned.
+  const SrStats& run();
+
+  /// Payloads the peer released, in order, de-duplicated. In-order release
+  /// skips abandoned frames (a higher layer's loss, reported in stats().lost).
+  [[nodiscard]] const std::vector<std::vector<std::uint8_t>>& received() const noexcept {
+    return peer_rx_log_;
+  }
+
+  [[nodiscard]] const SrStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const SrConfig& config() const noexcept { return cfg_; }
+  /// The data MCS currently in use (differs from the configured one while
+  /// fallback is active).
+  [[nodiscard]] unsigned current_mcs() const noexcept { return current_mcs_; }
+  [[nodiscard]] double now_us() const noexcept { return clock_us_; }
+
+ private:
+  struct Slot {
+    std::vector<std::uint8_t> msdu;
+    std::size_t abs = 0;       ///< absolute frame index (seq = abs & 0xFFF)
+    unsigned attempts = 0;
+    double next_tx_us = 0.0;
+    bool acked = false;
+    bool abandoned = false;
+  };
+
+  [[nodiscard]] std::optional<wifi::ParsedPsdu> phy_exchange(
+      const core::Transmitter& tx, channel::MimoChannel& chan,
+      const core::Receiver& rx, const wifi::MacHeader& hdr,
+      std::span<const std::uint8_t> payload, double nominal_scale,
+      double& airtime_us);
+  void transmit_slot(Slot& slot);
+  void peer_accept(const wifi::ParsedPsdu& frame);
+  void release_in_order();
+  void note_data_success();
+  void note_data_failure();
+  void set_mcs(unsigned mcs);
+
+  SrConfig cfg_;
+  unsigned current_mcs_;
+  unsigned min_mcs_;
+  std::optional<core::Transmitter> data_tx_;  ///< rebuilt on MCS change
+  core::Receiver data_rx_;                    ///< self-configures from HT-SIG
+  core::Transmitter ack_tx_;
+  core::Receiver ack_rx_;
+  channel::MimoChannel forward_;
+  channel::MimoChannel reverse_;
+  double clock_us_ = 0.0;
+  unsigned consecutive_fail_ = 0;
+  unsigned consecutive_ok_ = 0;
+
+  std::vector<Slot> frames_;
+  std::size_t base_ = 0;  ///< first not-yet-finished frame
+
+  // Peer-side state.
+  std::size_t peer_next_abs_ = 0;                      ///< next in-order release
+  std::map<std::size_t, std::vector<std::uint8_t>> peer_reorder_;
+  std::vector<std::size_t> abandoned_abs_;             ///< skipped by release
+  std::vector<std::vector<std::uint8_t>> peer_rx_log_;
+
+  SrStats stats_;
+};
 
 }  // namespace mimonet::mac

@@ -1,0 +1,26 @@
+#include "metrics/rx_error.hpp"
+
+namespace mimonet::metrics {
+
+const char* rx_error_name(RxError e) noexcept {
+  switch (e) {
+    case RxError::kOk: return "ok";
+    case RxError::kNoSync: return "no_sync";
+    case RxError::kFalseSync: return "false_sync";
+    case RxError::kLsigFail: return "lsig_fail";
+    case RxError::kHtsigFail: return "htsig_fail";
+    case RxError::kUnsupportedMcs: return "unsupported_mcs";
+    case RxError::kFcsFail: return "fcs_fail";
+    case RxError::kTruncated: return "truncated";
+    case RxError::kBudgetExceeded: return "budget_exceeded";
+  }
+  return "unknown";
+}
+
+std::size_t RxErrorCounter::total() const noexcept {
+  std::size_t n = 0;
+  for (const std::size_t c : counts_) n += c;
+  return n;
+}
+
+}  // namespace mimonet::metrics

@@ -1,0 +1,76 @@
+// Structured receive-failure taxonomy. Every packet attempt — from the
+// one-shot Receiver to the streaming scan loop — classifies how far decoding
+// got instead of silently returning nullopt, so fault-injection campaigns
+// can assert that the *right* stage failed and long-running links can
+// account for where their packets go.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace mimonet::metrics {
+
+/// Why a packet attempt did not produce a clean frame (or kOk when it did).
+/// Classification precedence, checked upstream-first except that a frame
+/// delivered despite an L-SIG failure reports kLsigFail (the furthest-
+/// upstream anomaly) rather than kOk:
+///   kNoSync          no detection candidate anywhere in the searched region
+///   kTruncated       the capture ends inside the frame (preamble or the
+///                    HT-SIG-announced data field)
+///   kFalseSync       a sync candidate fired but fine synchronization
+///                    rejected it or neither SIG field decoded — the plateau
+///                    was noise or an interferer, not a packet
+///   kHtsigFail       L-SIG decoded but the HT-SIG CRC failed
+///   kUnsupportedMcs  HT-SIG decoded but announces a mode we don't implement
+///   kFcsFail         the data field decoded but the FCS check failed
+///   kLsigFail        everything else succeeded but L-SIG did not decode
+///   kBudgetExceeded  the streaming watchdog gave up on a pathological
+///                    region (only StreamReceiver emits this)
+enum class RxError : std::uint8_t {
+  kOk = 0,
+  kNoSync,
+  kFalseSync,
+  kLsigFail,
+  kHtsigFail,
+  kUnsupportedMcs,
+  kFcsFail,
+  kTruncated,
+  kBudgetExceeded,
+};
+
+inline constexpr std::size_t kRxErrorCount =
+    static_cast<std::size_t>(RxError::kBudgetExceeded) + 1;
+
+/// Short stable name for tables and JSON ("ok", "no_sync", ...).
+[[nodiscard]] const char* rx_error_name(RxError e) noexcept;
+
+/// Per-category attempt counter. Mergeable (pure integer sums), so partial
+/// results from Monte-Carlo workers, sweep points or separate stream scans
+/// fold together losslessly.
+class RxErrorCounter {
+ public:
+  void add(RxError e) noexcept {
+    ++counts_[static_cast<std::size_t>(e) < kRxErrorCount
+                  ? static_cast<std::size_t>(e)
+                  : 0];
+  }
+  void merge(const RxErrorCounter& other) noexcept {
+    for (std::size_t i = 0; i < kRxErrorCount; ++i) counts_[i] += other.counts_[i];
+  }
+
+  [[nodiscard]] std::size_t count(RxError e) const noexcept {
+    return counts_[static_cast<std::size_t>(e)];
+  }
+  /// All attempts, every category including kOk.
+  [[nodiscard]] std::size_t total() const noexcept;
+  /// Attempts in any non-kOk category.
+  [[nodiscard]] std::size_t errors() const noexcept { return total() - count(RxError::kOk); }
+
+  void reset() noexcept { *this = RxErrorCounter{}; }
+
+ private:
+  std::array<std::size_t, kRxErrorCount> counts_{};
+};
+
+}  // namespace mimonet::metrics

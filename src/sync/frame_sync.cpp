@@ -30,22 +30,33 @@ std::optional<FrameSyncResult> FrameSynchronizer::synchronize(
 
 std::optional<FrameSyncResult> FrameSynchronizer::synchronize(
     const std::vector<std::vector<cf32>>& rx, SyncScratch& scratch) const {
+  scratch.capture_spans.assign(rx.begin(), rx.end());
+  return synchronize(scratch.capture_spans, scratch);
+}
+
+std::optional<FrameSyncResult> FrameSynchronizer::synchronize(
+    std::span<const std::span<const cf32>> rx, SyncScratch& scratch) const {
   if (rx.empty()) throw std::invalid_argument("synchronize: no antennas");
   const std::size_t len = rx[0].size();
   for (const auto& a : rx) {
     if (a.size() != len) throw std::invalid_argument("synchronize: ragged captures");
   }
+  scratch.rejected_candidate.reset();
+  scratch.rejected_truncated = false;
+  scratch.rejected_start_deficit = 0;
 
-  auto& spans = scratch.spans;
-  spans.assign(rx.begin(), rx.end());
-  const auto det = detector_.detect_mimo(spans, scratch.autocorr);
+  const auto det = detector_.detect_mimo(rx, scratch.autocorr);
   if (!det) return std::nullopt;
 
   // Work on a coarse-CFO-corrected copy of the region from the detection
   // point through the SIG fields (plus slack).
   const std::size_t region_len =
       kLsigOffset + 3 * 80 + cfg_.vdb_slack + 80 + 64;  // through HT-SIG2 + margin
-  if (det->start + region_len > len) return std::nullopt;
+  if (det->start + region_len > len) {
+    scratch.rejected_candidate = det->start;
+    scratch.rejected_truncated = true;
+    return std::nullopt;
+  }
 
   auto& corrected = scratch.corrected;
   corrected.resize(rx.size());
@@ -54,8 +65,8 @@ std::optional<FrameSyncResult> FrameSynchronizer::synchronize(
                         rx[a].begin() + static_cast<std::ptrdiff_t>(det->start + region_len));
     channel::apply_cfo(corrected[a], -det->cfo_norm);
   }
-  spans.assign(corrected.begin(), corrected.end());
-  auto& cspans = spans;
+  auto& cspans = scratch.spans;
+  cspans.assign(corrected.begin(), corrected.end());
 
   FrameSyncResult res;
   res.coarse_cfo_norm = det->cfo_norm;
@@ -63,8 +74,16 @@ std::optional<FrameSyncResult> FrameSynchronizer::synchronize(
 
   if (cfg_.mode == TimingMode::kLtfCrossCorr) {
     const auto fine = fine_.locate(cspans, scratch.xcorr);
-    if (!fine) return std::nullopt;
-    if (det->start + fine->lltf_start < kLltfOffset) return std::nullopt;
+    if (!fine) {
+      scratch.rejected_candidate = det->start;  // plateau without an L-LTF
+      return std::nullopt;
+    }
+    if (det->start + fine->lltf_start < kLltfOffset) {
+      scratch.rejected_candidate = det->start;
+      scratch.rejected_start_deficit =
+          kLltfOffset - (det->start + fine->lltf_start);
+      return std::nullopt;
+    }
     res.packet_start = det->start + fine->lltf_start - kLltfOffset;
     res.cfo_norm = det->cfo_norm + fine->cfo_norm;
     return res;
@@ -82,16 +101,22 @@ std::optional<FrameSyncResult> FrameSynchronizer::synchronize(
   const std::size_t search_from =
       (kLsigOffset > cfg_.vdb_slack) ? kLsigOffset - cfg_.vdb_slack : 0;
   const std::size_t span_len = 2 * cfg_.vdb_slack + vdb.min_span();
-  if (search_from + span_len > region_len) return std::nullopt;
-
-  spans.clear();
-  for (const auto& c : corrected) {
-    spans.emplace_back(std::span<const cf32>(c).subspan(search_from, span_len));
+  if (search_from + span_len > region_len) {
+    scratch.rejected_candidate = det->start;
+    return std::nullopt;
   }
-  const auto est = vdb.estimate_mimo(spans);
+
+  cspans.clear();
+  for (const auto& c : corrected) {
+    cspans.emplace_back(std::span<const cf32>(c).subspan(search_from, span_len));
+  }
+  const auto est = vdb.estimate_mimo(cspans);
 
   const std::size_t lsig_pos = det->start + search_from + est.timing;
-  if (lsig_pos < kLsigOffset) return std::nullopt;
+  if (lsig_pos < kLsigOffset) {
+    scratch.rejected_candidate = det->start;
+    return std::nullopt;
+  }
   res.packet_start = lsig_pos - kLsigOffset;
   res.cfo_norm = det->cfo_norm + est.cfo_norm;
   return res;

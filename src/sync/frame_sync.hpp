@@ -44,7 +44,21 @@ struct SyncScratch {
   std::vector<dsp::AutocorrResult> autocorr;   ///< detector per-antenna sums
   std::vector<std::vector<cf32>> corrected;    ///< CFO-corrected sync region
   std::vector<std::span<const cf32>> spans;    ///< span staging
+  std::vector<std::span<const cf32>> capture_spans;  ///< vector-overload staging
   std::vector<std::vector<cf32>> xcorr;        ///< fine-sync cross-correlations
+
+  // Diagnostics for the last synchronize() call that found a detector
+  // candidate but rejected it (fine sync failed, implausible timing, or the
+  // capture ended inside the candidate's sync region). A streaming scanner
+  // uses the position to hop past the bad candidate instead of abandoning
+  // the rest of the capture.
+  std::optional<std::size_t> rejected_candidate;  ///< detector start estimate
+  bool rejected_truncated = false;  ///< rejection was a capture-end truncation
+  /// When > 0 the rejection was an L-LTF located so early that the implied
+  /// L-STF begins this many samples *before* the window — the scanner
+  /// overshot a real packet's start (e.g. a resync hop landed inside its
+  /// STF). Rewinding the window by the deficit re-centres it on the packet.
+  std::size_t rejected_start_deficit = 0;
 };
 
 /// One-shot packet synchronizer over a multi-antenna capture.
@@ -59,6 +73,12 @@ class FrameSynchronizer {
   /// synchronize with caller-provided scratch (resized, capacity kept).
   [[nodiscard]] std::optional<FrameSyncResult> synchronize(
       const std::vector<std::vector<cf32>>& rx, SyncScratch& scratch) const;
+
+  /// Span form, the primitive the streaming receive path scans with: the
+  /// spans may window any region of a larger capture; packet_start in the
+  /// result is relative to the window.
+  [[nodiscard]] std::optional<FrameSyncResult> synchronize(
+      std::span<const std::span<const cf32>> rx, SyncScratch& scratch) const;
 
  private:
   FrameSyncConfig cfg_;

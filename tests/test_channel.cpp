@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "channel/fading.hpp"
+#include "channel/fault_plan.hpp"
 #include "channel/impairments.hpp"
 #include "channel/mimo_channel.hpp"
 #include "dsp/vector_ops.hpp"
@@ -300,6 +301,113 @@ TEST(MimoChannel, RejectsNonFiniteDegenerateKnobs) {
   ChannelConfig bad_clip;
   bad_clip.clip_level = std::numeric_limits<float>::quiet_NaN();
   EXPECT_THROW(MimoChannel{bad_clip}, std::invalid_argument);
+}
+
+// ---- FaultPlan unit behavior ----
+
+std::vector<cf32> ones(std::size_t n) {
+  return std::vector<cf32>(n, cf32{1.0F, 0.0F});
+}
+
+TEST(FaultPlan, BuildersRecordEventsInOrder) {
+  FaultPlan plan;
+  plan.tone_burst(10, 20, 2.0, 0.1)
+      .noise_burst(30, 5, 0.5)
+      .gain_step(40, 0, 0.25)
+      .sample_drop(50, 4)
+      .sample_insert(60, 4)
+      .phase_jump(70, 1.5)
+      .erasure(80, 8);
+  ASSERT_EQ(plan.events.size(), 7U);
+  EXPECT_FALSE(plan.empty());
+  EXPECT_EQ(plan.events[0].kind, FaultKind::kToneBurst);
+  EXPECT_EQ(plan.events[3].kind, FaultKind::kSampleDrop);
+  EXPECT_EQ(plan.events[6].kind, FaultKind::kErasure);
+  EXPECT_DOUBLE_EQ(plan.events[0].freq_norm, 0.1);
+  EXPECT_DOUBLE_EQ(plan.events[2].magnitude, 0.25);
+}
+
+TEST(FaultPlan, ClockSlipsResizeTheCapture) {
+  auto x = ones(100);
+  FaultPlan drop;
+  drop.sample_drop(10, 30);
+  apply_fault_plan(x, drop, 1);
+  EXPECT_EQ(x.size(), 70U);
+
+  auto y = ones(100);
+  y[20] = cf32{0.5F, -0.5F};
+  FaultPlan ins;
+  ins.sample_insert(20, 7);
+  apply_fault_plan(y, ins, 1);
+  ASSERT_EQ(y.size(), 107U);
+  // Sample-and-hold: the inserted run repeats the sample at the slip point.
+  for (std::size_t i = 20; i < 28; ++i) {
+    EXPECT_EQ(y[i], (cf32{0.5F, -0.5F})) << i;
+  }
+}
+
+TEST(FaultPlan, GainStepZeroLengthRunsToTheEnd) {
+  auto x = ones(50);
+  FaultPlan plan;
+  plan.gain_step(30, 0, 0.5);
+  apply_fault_plan(x, plan, 1);
+  EXPECT_FLOAT_EQ(x[29].real(), 1.0F);
+  for (std::size_t i = 30; i < 50; ++i) EXPECT_FLOAT_EQ(x[i].real(), 0.5F);
+}
+
+TEST(FaultPlan, EventsPastTheEndAreClampedNotUb) {
+  auto x = ones(20);
+  FaultPlan plan;
+  plan.tone_burst(15, 100, 1.0, 0.05)
+      .noise_burst(200, 10, 1.0)
+      .erasure(18, 100)
+      .sample_drop(19, 50)
+      .phase_jump(500, 1.0)
+      .sample_insert(500, 3);
+  apply_fault_plan(x, plan, 7);
+  EXPECT_EQ(x.size(), 19U);  // only the in-range tail of the drop happened
+  EXPECT_EQ(x[18], (cf32{0.0F, 0.0F}));  // erased before the drop
+}
+
+TEST(FaultPlan, NoiseBurstIsSeedDeterministic) {
+  auto a = ones(64), b = ones(64), c = ones(64);
+  FaultPlan plan;
+  plan.noise_burst(8, 32, 2.0);
+  apply_fault_plan(a, plan, 11);
+  apply_fault_plan(b, plan, 11);
+  apply_fault_plan(c, plan, 12);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // Samples outside the burst are untouched either way.
+  EXPECT_EQ(a[0], (cf32{1.0F, 0.0F}));
+  EXPECT_EQ(a[63], (cf32{1.0F, 0.0F}));
+}
+
+TEST(FaultPlan, NonFiniteParametersThrow) {
+  auto x = ones(16);
+  FaultPlan plan;
+  plan.phase_jump(0, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_THROW(apply_fault_plan(x, plan, 1), std::invalid_argument);
+}
+
+TEST(MimoChannel, FaultPlanAppliedAndEchoedAsTruth) {
+  ChannelConfig cfg;
+  cfg.ntx = 1;
+  cfg.nrx = 1;
+  cfg.snr_db = 100.0;  // effectively noiseless: the erasure dominates
+  cfg.timing_pad = 10;
+  cfg.seed = 5;
+  cfg.faults.erasure(20, 30);
+  MimoChannel chan(cfg);
+  const auto rx = chan.transmit({std::vector<cf32>(100, cf32{1.0F, 0.0F})});
+  ASSERT_EQ(rx.size(), 1U);
+  ASSERT_EQ(chan.truth().faults.events.size(), 1U);
+  EXPECT_EQ(chan.truth().faults.events[0].kind, FaultKind::kErasure);
+  EXPECT_EQ(chan.truth().faults.events[0].start, 20U);
+  for (std::size_t i = 20; i < 50; ++i) {
+    EXPECT_EQ(rx[0][i], (cf32{0.0F, 0.0F})) << i;
+  }
+  EXPECT_GT(std::abs(rx[0][55].real()), 0.5F);
 }
 
 }  // namespace

@@ -110,4 +110,155 @@ TEST(Arq, MimoDataPlusSisoAckWorks) {
   EXPECT_TRUE(rep.delivered);
 }
 
+TEST(ArqBackoff, DelayIsDeterministicGrowsAndCaps) {
+  mac::BackoffConfig b;  // 50us initial, x2, 20ms cap, 10% jitter
+  EXPECT_DOUBLE_EQ(mac::backoff_delay_us(b, 0, 42),
+                   mac::backoff_delay_us(b, 0, 42));
+  EXPECT_NE(mac::backoff_delay_us(b, 0, 42), mac::backoff_delay_us(b, 0, 43));
+  double nominal = b.initial_timeout_us;
+  for (unsigned retry = 0; retry < 5; ++retry) {
+    const double d = mac::backoff_delay_us(b, retry, 7 + retry);
+    EXPECT_GE(d, nominal * (1.0 - b.jitter_frac));
+    EXPECT_LE(d, nominal * (1.0 + b.jitter_frac));
+    nominal *= b.multiplier;
+  }
+  EXPECT_LE(mac::backoff_delay_us(b, 30, 9),
+            b.max_backoff_us * (1.0 + b.jitter_frac));
+}
+
+TEST(ArqBackoff, FadeScaleLookup) {
+  const std::vector<mac::FadeSegment> fades{{100.0, 200.0, 0.1},
+                                            {150.0, 300.0, 0.5}};
+  EXPECT_DOUBLE_EQ(mac::fade_scale_at(fades, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(mac::fade_scale_at(fades, 120.0, 1.0), 0.1);
+  EXPECT_DOUBLE_EQ(mac::fade_scale_at(fades, 160.0, 1.0), 0.5);  // later wins
+  EXPECT_DOUBLE_EQ(mac::fade_scale_at(fades, 250.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(mac::fade_scale_at(fades, 300.0, 2.0), 2.0);  // end exclusive
+}
+
+TEST(ArqBackoff, OutlastsFadeThatKillsFixedIntervalRetries) {
+  // A deep fade longer than the fixed-interval policy's entire retry window:
+  // every fixed-interval transmission lands inside it, while exponential
+  // backoff stretches the retry schedule past the fade and delivers.
+  auto base = link_config(30.0, 30.0, 11);
+  base.max_retries = 7;
+  core::Transmitter probe(base.data_phy);
+  const double air =
+      probe.layout(100 + wifi::kMacHeaderLen + wifi::kFcsLen).airtime_us();
+  const double fixed_window =
+      8.0 * air + 7.0 * base.backoff.initial_timeout_us;
+  const double fade_end = fixed_window * 1.3;
+  // Exponential waits alone exceed 0.9 * 50us * (2^7 - 1) = 5715us, so the
+  // fade must end well before that for the backoff link to recover.
+  ASSERT_LT(fade_end, 4000.0);
+  base.fades.push_back({0.0, fade_end, 0.01});  // -40 dB: nothing decodes
+
+  auto fixed_cfg = base;
+  fixed_cfg.backoff.enabled = false;
+  mac::StopAndWaitLink fixed_link(fixed_cfg);
+  const auto fixed_rep = fixed_link.send(payload_of(100, 0xAB));
+  EXPECT_FALSE(fixed_rep.delivered);
+  EXPECT_EQ(fixed_rep.transmissions, 8U);
+  EXPECT_LT(fixed_link.now_us(), fade_end);  // it never saw the fade end
+
+  mac::StopAndWaitLink backoff_link(base);
+  const auto rep = backoff_link.send(payload_of(100, 0xAB));
+  EXPECT_TRUE(rep.delivered);
+  EXPECT_GT(rep.transmissions, 1U);
+  EXPECT_GT(rep.wait_us, 0.0);
+  EXPECT_GT(backoff_link.now_us(), fade_end);
+}
+
+mac::SrConfig sr_config(double fwd_snr, double rev_snr, std::uint64_t seed) {
+  mac::SrConfig cfg;
+  cfg.arq = link_config(fwd_snr, rev_snr, seed);
+  return cfg;
+}
+
+TEST(SelectiveRepeat, CleanLinkDeliversAllInOrder) {
+  mac::SelectiveRepeatLink link(sr_config(30.0, 30.0, 21));
+  for (int i = 0; i < 6; ++i) {
+    link.queue(payload_of(200, static_cast<std::uint8_t>(i)));
+  }
+  const auto& stats = link.run();
+  EXPECT_EQ(stats.delivered, 6U);
+  EXPECT_EQ(stats.lost, 0U);
+  EXPECT_EQ(stats.retransmissions, 0U);
+  ASSERT_EQ(link.received().size(), 6U);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(link.received()[static_cast<std::size_t>(i)][0], i);
+  }
+  EXPECT_EQ(link.current_mcs(), link.config().arq.data_phy.mcs);
+}
+
+TEST(SelectiveRepeat, NoisyLinkRetransmitsButReleasesInOrder) {
+  auto cfg = sr_config(8.0, 30.0, 22);
+  cfg.arq.forward.fading = true;
+  cfg.arq.max_retries = 10;
+  cfg.fallback_after = 0;  // isolate the window/reorder logic
+  mac::SelectiveRepeatLink link(cfg);
+  for (int i = 0; i < 20; ++i) {
+    link.queue(payload_of(300, static_cast<std::uint8_t>(i)));
+  }
+  const auto& stats = link.run();
+  EXPECT_GT(stats.retransmissions, 0U);
+  EXPECT_GE(stats.delivered, 18U);
+  // Whatever was released came out in queue order.
+  int prev = -1;
+  for (const auto& p : link.received()) {
+    EXPECT_GT(static_cast<int>(p[0]), prev);
+    prev = p[0];
+  }
+}
+
+TEST(SelectiveRepeat, LostAcksAreDeduplicatedAtPeer) {
+  auto cfg = sr_config(30.0, -15.0, 23);  // ACK path hopeless
+  cfg.arq.max_retries = 2;
+  cfg.fallback_after = 0;
+  mac::SelectiveRepeatLink link(cfg);
+  link.queue(payload_of(100, 0x31));
+  link.queue(payload_of(100, 0x32));
+  const auto& stats = link.run();
+  EXPECT_EQ(stats.delivered, 0U);   // no ACK ever came back
+  EXPECT_EQ(stats.lost, 2U);
+  EXPECT_GT(stats.duplicates, 0U);  // peer saw the retransmissions
+  ASSERT_EQ(link.received().size(), 2U);  // but released each payload once
+  EXPECT_EQ(link.received()[0][0], 0x31);
+  EXPECT_EQ(link.received()[1][0], 0x32);
+}
+
+TEST(SelectiveRepeat, McsFallsBackInFadeAndRecoversAfter) {
+  auto cfg = sr_config(30.0, 30.0, 24);
+  cfg.arq.max_retries = 12;
+  cfg.arq.fades.push_back({0.0, 1500.0, 0.01});  // deep fade, then clean air
+  cfg.fallback_after = 2;
+  cfg.recover_after = 2;
+  mac::SelectiveRepeatLink link(cfg);
+  for (int i = 0; i < 10; ++i) {
+    link.queue(payload_of(150, static_cast<std::uint8_t>(i)));
+  }
+  const auto& stats = link.run();
+  EXPECT_GT(stats.mcs_fallbacks, 0U);      // degraded during the fade
+  EXPECT_GT(stats.mcs_recoveries, 0U);     // climbed back once it cleared
+  EXPECT_EQ(link.current_mcs(), cfg.arq.data_phy.mcs);
+  EXPECT_EQ(stats.delivered, 10U);
+  EXPECT_EQ(stats.lost, 0U);
+  ASSERT_EQ(link.received().size(), 10U);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(link.received()[static_cast<std::size_t>(i)][0], i);
+  }
+}
+
+TEST(SelectiveRepeat, InvalidConfigThrows) {
+  auto cfg = sr_config(20.0, 20.0, 25);
+  cfg.window = 0;
+  EXPECT_THROW(mac::SelectiveRepeatLink{cfg}, std::invalid_argument);
+  cfg = sr_config(20.0, 20.0, 25);
+  cfg.arq.data_phy.mcs = 11;
+  cfg.arq.forward.ntx = 2;
+  cfg.arq.forward.nrx = 2;
+  cfg.min_mcs = 3;  // wrong spatial-stream group for MCS 11
+  EXPECT_THROW(mac::SelectiveRepeatLink{cfg}, std::invalid_argument);
+}
+
 }  // namespace

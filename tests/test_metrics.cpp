@@ -2,8 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string_view>
 
 #include "metrics/counters.hpp"
+#include "metrics/rx_error.hpp"
 
 namespace {
 
@@ -201,6 +203,52 @@ TEST(EvmMeter, EmptyAndZeroReferenceAreDefined) {
   evm.add(cf32{1.0F, 0.0F}, cf32{0.0F, 0.0F});  // zero reference energy
   EXPECT_TRUE(std::isfinite(evm.evm_rms()));
   EXPECT_TRUE(std::isfinite(evm.evm_db()));
+}
+
+TEST(RxErrorCounter, CountsAndClassifiesEveryCategory) {
+  RxErrorCounter c;
+  EXPECT_EQ(c.total(), 0U);
+  EXPECT_EQ(c.errors(), 0U);
+
+  c.add(RxError::kOk);
+  c.add(RxError::kOk);
+  c.add(RxError::kFcsFail);
+  c.add(RxError::kFalseSync);
+  c.add(RxError::kBudgetExceeded);
+  EXPECT_EQ(c.total(), 5U);
+  EXPECT_EQ(c.errors(), 3U);
+  EXPECT_EQ(c.count(RxError::kOk), 2U);
+  EXPECT_EQ(c.count(RxError::kFcsFail), 1U);
+  EXPECT_EQ(c.count(RxError::kNoSync), 0U);
+
+  c.reset();
+  EXPECT_EQ(c.total(), 0U);
+}
+
+TEST(RxErrorCounter, MergeIsALosslessSum) {
+  RxErrorCounter a, b;
+  a.add(RxError::kOk);
+  a.add(RxError::kHtsigFail);
+  b.add(RxError::kHtsigFail);
+  b.add(RxError::kTruncated);
+  b.merge(a);
+  EXPECT_EQ(b.total(), 4U);
+  EXPECT_EQ(b.count(RxError::kHtsigFail), 2U);
+  EXPECT_EQ(b.count(RxError::kOk), 1U);
+  EXPECT_EQ(b.count(RxError::kTruncated), 1U);
+  // Merging an empty counter changes nothing.
+  b.merge(RxErrorCounter{});
+  EXPECT_EQ(b.total(), 4U);
+}
+
+TEST(RxErrorCounter, EveryCategoryHasAStableName) {
+  for (std::size_t i = 0; i < kRxErrorCount; ++i) {
+    const char* name = rx_error_name(static_cast<RxError>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::string_view(name).size(), 0U);
+  }
+  EXPECT_EQ(std::string_view(rx_error_name(RxError::kOk)), "ok");
+  EXPECT_EQ(std::string_view(rx_error_name(RxError::kFcsFail)), "fcs_fail");
 }
 
 }  // namespace
