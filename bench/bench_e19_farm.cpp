@@ -1,0 +1,270 @@
+// E19 — receiver farm: saturation table, aggregate packets/sec vs workers.
+//
+// Two shapes, both over core::ReceiverFarm's persistent worker pool:
+//   sharded       one long multi-packet capture split across N workers with
+//                 overlap-save seams (results bit-identical to the
+//                 single-threaded scan — asserted here, not assumed)
+//   base_station  many independent per-user streams multiplexed over the
+//                 pool via the fair work-stealing deques
+//
+// Wall-clock scaling tracks the machine: on a 1-CPU container every worker
+// count measures the same core and the speedup column sits near 1.0; on a
+// multicore runner the 4-worker rows show the pool's parallel headroom. The
+// table reports whatever the hardware gave, plus hardware_concurrency, so
+// readers can judge the speedup column against the cores that produced it.
+//
+// MIMONET_BENCH_PACKETS overrides the per-capture packet count and
+// MIMONET_BENCH_STREAMS the base-station stream count (check.sh's
+// farm-smoke step uses small values). Results merge into BENCH_stream.json
+// under the "farm" key, alongside E18's single-thread scan cases.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "channel/mimo_channel.hpp"
+#include "core/receive_session.hpp"
+#include "core/receiver_farm.hpp"
+#include "core/stream_receiver.hpp"
+#include "core/transmitter.hpp"
+#include "core/workspace.hpp"
+#include "wifi/psdu.hpp"
+
+using namespace mimonet;
+using dsp::cf32;
+
+namespace {
+
+constexpr std::size_t kPayloadBytes = 500;
+constexpr std::size_t kGapLen = 500;
+
+struct Stream {
+  core::PhyConfig phy;
+  std::vector<std::vector<cf32>> capture;
+  std::size_t n_packets = 0;
+  std::size_t frame_len = 0;
+};
+
+Stream make_stream(unsigned mcs, std::size_t n_packets, std::uint64_t seed) {
+  Stream s;
+  s.phy.mcs = mcs;
+  s.n_packets = n_packets;
+  const core::Transmitter tx(s.phy);
+  const std::size_t nss = tx.num_streams();
+
+  std::vector<std::uint8_t> payload(kPayloadBytes);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 17 + seed);
+  }
+  const auto psdu = wifi::build_psdu(wifi::MacHeader{}, payload);
+  const auto streams = tx.transmit(psdu);
+  s.frame_len = streams[0].size();
+
+  std::vector<std::vector<cf32>> concat(nss);
+  for (std::size_t p = 0; p < n_packets; ++p) {
+    for (std::size_t c = 0; c < nss; ++c) {
+      concat[c].insert(concat[c].end(), streams[c].begin(), streams[c].end());
+      if (p + 1 < n_packets) concat[c].resize(concat[c].size() + kGapLen);
+    }
+  }
+
+  channel::ChannelConfig ccfg;
+  ccfg.ntx = nss;
+  ccfg.nrx = nss;
+  ccfg.snr_db = 30.0;
+  ccfg.timing_pad = 200;
+  ccfg.tail_pad = 120;
+  ccfg.seed = 0xE190 + seed;
+  channel::MimoChannel chan(ccfg);
+  s.capture = chan.transmit(concat);
+  return s;
+}
+
+std::vector<std::span<const cf32>> as_spans(
+    const std::vector<std::vector<cf32>>& capture) {
+  return {capture.begin(), capture.end()};
+}
+
+core::ReceiveSessionConfig farm_cfg(const Stream& s, std::size_t workers) {
+  return core::ReceiveSessionConfig::make()
+      .workers(workers)
+      .seam(s.frame_len + 2048)
+      .build();
+}
+
+struct Measurement {
+  double packets_per_sec = 0.0;
+  double speedup = 1.0;
+  std::size_t delivered = 0;
+  bool exact = true;
+};
+
+/// Sharded scan of one long capture, timed over `passes`, checked
+/// bit-identical (delivered/frames/resyncs/samples) against the
+/// single-thread baseline.
+Measurement run_sharded(const Stream& s, std::size_t workers,
+                        std::size_t passes, double base_pps) {
+  core::ReceiverFarm farm(s.phy, s.capture.size(), farm_cfg(s, workers));
+  const auto spans = as_spans(s.capture);
+
+  core::StreamStats base;
+  {
+    const core::StreamReceiver srx(s.phy, s.capture.size());
+    core::RxWorkspace ws;
+    srx.scan(spans, ws, base, [](const core::StreamEvent&) {});
+  }
+
+  core::StreamStats warm;
+  farm.scan(spans, warm, [](const core::StreamEvent&) {});
+
+  core::StreamStats stats;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < passes; ++i) {
+    farm.scan(spans, stats, [](const core::StreamEvent&) {});
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+
+  Measurement m;
+  m.delivered = stats.delivered / passes;
+  m.packets_per_sec = static_cast<double>(stats.delivered) / secs;
+  m.speedup = base_pps > 0.0 ? m.packets_per_sec / base_pps : 1.0;
+  m.exact = stats.delivered == passes * base.delivered &&
+            stats.frames == passes * base.frames &&
+            stats.resync_events == passes * base.resync_events &&
+            stats.samples_scanned == passes * base.samples_scanned;
+  return m;
+}
+
+/// Base-station run over `streams` independent captures, timed per pass.
+Measurement run_base_station(const std::vector<Stream>& users,
+                             std::size_t workers, std::size_t passes,
+                             double base_pps) {
+  core::ReceiverFarm farm(users[0].phy, users[0].capture.size(),
+                          farm_cfg(users[0], workers));
+  std::vector<std::vector<std::span<const cf32>>> spans;
+  spans.reserve(users.size());
+  for (const auto& u : users) spans.push_back(as_spans(u.capture));
+  std::vector<core::StreamJob> jobs;
+  jobs.reserve(users.size());
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    jobs.push_back(core::StreamJob{
+        u, std::span<const std::span<const cf32>>(spans[u])});
+  }
+  std::vector<core::StreamStats> per_stream(users.size());
+  farm.run(jobs, per_stream);  // warm pass
+
+  for (auto& st : per_stream) st.reset();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < passes; ++i) farm.run(jobs, per_stream);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+
+  std::size_t delivered = 0;
+  std::size_t expected = 0;
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    delivered += per_stream[u].delivered;
+    expected += passes * users[u].n_packets;
+  }
+  Measurement m;
+  m.delivered = delivered / passes;
+  m.packets_per_sec = static_cast<double>(delivered) / secs;
+  m.speedup = base_pps > 0.0 ? m.packets_per_sec / base_pps : 1.0;
+  m.exact = delivered == expected;
+  return m;
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("E19", "Receiver farm: saturation vs worker count");
+
+  const std::size_t n_packets = env_size("MIMONET_BENCH_PACKETS", 24);
+  const std::size_t n_streams = env_size("MIMONET_BENCH_STREAMS", 8);
+  constexpr std::size_t kPasses = 2;
+  const std::vector<std::size_t> worker_counts{1, 2, 4};
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  bench::note("%zu packets/capture, %zu streams, %zu-byte payload, "
+              "hardware_concurrency=%u, %zu timed passes",
+              n_packets, n_streams, kPayloadBytes, hw, kPasses);
+
+  const bench::Table table(
+      {"mode", "workers", "pkt/s", "speedup", "delivered"}, 14);
+
+  bool ok = true;
+  std::string shard_json = "[";
+  std::string bs_json = "[";
+
+  // Sharded: one long capture (all streams' packets worth of samples).
+  const Stream longcap = make_stream(7, n_packets, 1);
+  double shard_base = 0.0;
+  for (std::size_t i = 0; i < worker_counts.size(); ++i) {
+    const std::size_t w = worker_counts[i];
+    const auto m = run_sharded(longcap, w, kPasses, shard_base);
+    if (w == 1) shard_base = m.packets_per_sec;
+    ok = ok && m.exact && m.delivered == longcap.n_packets;
+    table.row({"sharded", std::to_string(w), bench::fix(m.packets_per_sec, 1),
+               bench::fix(w == 1 ? 1.0 : m.speedup, 2),
+               std::to_string(m.delivered) + "/" +
+                   std::to_string(longcap.n_packets)});
+    if (i != 0) shard_json += ", ";
+    shard_json += "{\"workers\": " + std::to_string(w) +
+                  ", \"packets_per_sec\": " + bench::fix(m.packets_per_sec, 3) +
+                  ", \"speedup_vs_1\": " +
+                  bench::fix(w == 1 ? 1.0 : m.speedup, 4) +
+                  ", \"bit_identical\": " + (m.exact ? "true" : "false") + "}";
+  }
+  shard_json += "]";
+
+  // Base station: n_streams independent users, a few packets each.
+  std::vector<Stream> users;
+  const std::size_t per_user =
+      std::max<std::size_t>(2, n_packets / n_streams + 1);
+  for (std::size_t u = 0; u < n_streams; ++u) {
+    users.push_back(make_stream(7, per_user, 10 + u));
+  }
+  double bs_base = 0.0;
+  for (std::size_t i = 0; i < worker_counts.size(); ++i) {
+    const std::size_t w = worker_counts[i];
+    const auto m = run_base_station(users, w, kPasses, bs_base);
+    if (w == 1) bs_base = m.packets_per_sec;
+    ok = ok && m.exact;
+    table.row({"base_station", std::to_string(w),
+               bench::fix(m.packets_per_sec, 1),
+               bench::fix(w == 1 ? 1.0 : m.speedup, 2),
+               std::to_string(m.delivered) + "/" +
+                   std::to_string(n_streams * per_user)});
+    if (i != 0) bs_json += ", ";
+    bs_json += "{\"workers\": " + std::to_string(w) +
+               ", \"streams\": " + std::to_string(n_streams) +
+               ", \"packets_per_sec\": " + bench::fix(m.packets_per_sec, 3) +
+               ", \"speedup_vs_1\": " +
+               bench::fix(w == 1 ? 1.0 : m.speedup, 4) +
+               ", \"all_delivered\": " + (m.exact ? "true" : "false") + "}";
+  }
+  bs_json += "]";
+
+  bench::JsonReport report("stream");
+  const std::string farm_obj =
+      "{\"hardware_concurrency\": " + std::to_string(hw) +
+      ", \"packets_per_capture\": " + std::to_string(n_packets) +
+      ", \"streams\": " + std::to_string(n_streams) +
+      ", \"sharded\": " + shard_json +
+      ", \"base_station\": " + bs_json +
+      ", \"all_exact\": " + (ok ? "true" : "false") + "}";
+  report.raw("farm", farm_obj);
+  report.emit_merged();  // preserve E18's scan cases in BENCH_stream.json
+  return ok ? 0 : 1;
+}

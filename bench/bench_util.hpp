@@ -138,6 +138,105 @@ class JsonReport {
     }
   }
 
+  /// Like emit(), but first folds in any top-level keys already present in
+  /// BENCH_<id>.json that this report does not set itself — so two
+  /// harnesses can share one report file (E18's scan cases and E19's "farm"
+  /// table both live in BENCH_stream.json) without clobbering each other.
+  void emit_merged() {
+    std::string dir = ".";
+    if (const char* env = std::getenv("MIMONET_BENCH_JSON_DIR")) dir = env;
+    const std::string path = dir + "/BENCH_" + id_ + ".json";
+    if (std::FILE* f = std::fopen(path.c_str(), "r")) {
+      std::string existing;
+      char buf[4096];
+      std::size_t n = 0;
+      while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+        existing.append(buf, n);
+      }
+      std::fclose(f);
+      for (auto& kv : parse_top_level(existing)) {
+        bool have = false;
+        for (const auto& mine : kv_) {
+          if (mine.first == kv.first) {
+            have = true;
+            break;
+          }
+        }
+        if (!have) kv_.emplace_back(std::move(kv));
+      }
+    }
+    emit();
+  }
+
+  /// Split one JSON object into (key, raw-value-text) pairs, tracking
+  /// string/brace/bracket nesting — just enough structure for emit_merged's
+  /// key-level merge; values pass through verbatim.
+  static std::vector<std::pair<std::string, std::string>> parse_top_level(
+      const std::string& json) {
+    std::vector<std::pair<std::string, std::string>> out;
+    std::size_t i = 0;
+    const auto skip_ws = [&] {
+      while (i < json.size() && (json[i] == ' ' || json[i] == '\t' ||
+                                 json[i] == '\n' || json[i] == '\r')) {
+        ++i;
+      }
+    };
+    skip_ws();
+    if (i >= json.size() || json[i] != '{') return out;
+    ++i;
+    while (true) {
+      skip_ws();
+      if (i >= json.size() || json[i] == '}') break;
+      if (json[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (json[i] != '"') break;  // malformed: stop rather than guess
+      ++i;
+      std::string key;
+      while (i < json.size() && json[i] != '"') {
+        if (json[i] == '\\' && i + 1 < json.size()) ++i;
+        key += json[i++];
+      }
+      ++i;  // closing quote
+      skip_ws();
+      if (i >= json.size() || json[i] != ':') break;
+      ++i;
+      skip_ws();
+      const std::size_t vstart = i;
+      int depth = 0;
+      bool in_str = false;
+      while (i < json.size()) {
+        const char c = json[i];
+        if (in_str) {
+          if (c == '\\') {
+            ++i;
+          } else if (c == '"') {
+            in_str = false;
+          }
+        } else if (c == '"') {
+          in_str = true;
+        } else if (c == '{' || c == '[') {
+          ++depth;
+        } else if (c == '}' || c == ']') {
+          if (depth == 0) break;
+          --depth;
+        } else if (c == ',' && depth == 0) {
+          break;
+        }
+        ++i;
+      }
+      std::string value = json.substr(vstart, i - vstart);
+      while (!value.empty() &&
+             (value.back() == ' ' || value.back() == '\n' ||
+              value.back() == '\t' || value.back() == '\r')) {
+        value.pop_back();
+      }
+      out.emplace_back(std::move(key), std::move(value));
+    }
+    return out;
+  }
+
   static std::string escape(const std::string& s) {
     std::string out;
     out.reserve(s.size());

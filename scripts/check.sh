@@ -3,10 +3,11 @@
 # running the complete ctest suite (unit tests, stress harness, integration).
 # This is the correctness gate every performance PR runs against:
 #
-#   scripts/check.sh            # all three configurations + bench smoke
+#   scripts/check.sh            # all three configurations + bench smokes
 #   scripts/check.sh plain      # just the plain build
 #   scripts/check.sh asan tsan  # any subset, in order
 #   scripts/check.sh bench-smoke  # hot-path bench on 4 packets + JSON schema
+#   scripts/check.sh farm-smoke   # E19 receiver-farm bench + "farm" schema
 #
 # Build trees are kept per-configuration (build/, build-asan/, build-tsan/)
 # so incremental re-runs are cheap.
@@ -16,7 +17,7 @@ cd "$(dirname "$0")/.."
 
 configs=("$@")
 if [ ${#configs[@]} -eq 0 ]; then
-  configs=(plain asan tsan bench-smoke)
+  configs=(plain asan tsan bench-smoke farm-smoke)
 fi
 
 run_config() {
@@ -72,6 +73,48 @@ EOF
   return "$rc"
 }
 
+# Receiver-farm smoke: a few packets through bench_e19_farm (which asserts
+# sharded scans stay bit-identical to the sequential baseline), then a
+# schema check on the "farm" saturation table merged into BENCH_stream.json.
+run_farm_smoke() {
+  echo "==== [farm-smoke] build ===="
+  cmake -B build -S . > build.configure.log 2>&1 || {
+    cat build.configure.log; return 1; }
+  cmake --build build -j --target bench_e19_farm > build.build.log 2>&1 || {
+    tail -50 build.build.log; return 1; }
+  echo "==== [farm-smoke] run (6 packets, 4 streams) ===="
+  local tmp
+  tmp="$(mktemp -d)"
+  MIMONET_BENCH_PACKETS=6 MIMONET_BENCH_STREAMS=4 MIMONET_BENCH_JSON_DIR="$tmp" \
+    ./build/bench/bench_e19_farm || { rm -rf "$tmp"; return 1; }
+  echo "==== [farm-smoke] validate BENCH_stream.json farm table ===="
+  python3 - "$tmp/BENCH_stream.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+assert d["bench"] == "stream"
+farm = d["farm"]
+for key in ("hardware_concurrency", "packets_per_capture", "streams",
+            "sharded", "base_station", "all_exact"):
+    assert key in farm, f"missing farm key: {key}"
+assert farm["all_exact"] is True, "farm results diverged from baseline"
+for mode in ("sharded", "base_station"):
+    rows = farm[mode]
+    assert isinstance(rows, list) and len(rows) >= 2, f"want {mode} rows"
+    for r in rows:
+        assert r["workers"] >= 1
+        assert r["packets_per_sec"] > 0, "non-positive rate"
+    assert rows[0]["workers"] == 1, "first row must be the 1-worker baseline"
+for r in farm["sharded"]:
+    assert r["bit_identical"] is True, "sharded scan not bit-identical"
+print("BENCH_stream.json farm schema OK")
+EOF
+  local rc=$?
+  rm -rf "$tmp"
+  return "$rc"
+}
+
 for cfg in "${configs[@]}"; do
   case "$cfg" in
     plain)
@@ -85,8 +128,11 @@ for cfg in "${configs[@]}"; do
       run_config tsan build-tsan -DMIMONET_TSAN=ON ;;
     bench-smoke)
       run_bench_smoke ;;
+    farm-smoke)
+      run_farm_smoke ;;
     *)
-      echo "unknown config: $cfg (want plain|asan|tsan|bench-smoke)" >&2; exit 2 ;;
+      echo "unknown config: $cfg (want plain|asan|tsan|bench-smoke|farm-smoke)" >&2
+      exit 2 ;;
   esac
 done
 

@@ -214,6 +214,8 @@ std::vector<std::string> LinkResult::summary_row() const {
 
 LinkConfig::Builder LinkConfig::make() { return {}; }
 
+RunOptions::Builder RunOptions::make() { return {}; }
+
 LinkConfig LinkConfig::Builder::build() const {
   LinkConfig cfg = make_link_config(mcs_, snr_db_, nrx_);
   if (nss_ != 0) {

@@ -142,6 +142,28 @@ struct RunOptions {
   /// points don't starve. The stop decision is taken in packet order, so it
   /// is deterministic across thread counts.
   std::size_t target_per_events = 0;
+
+  class Builder;
+  /// Fluent builder, the session-config convention (DESIGN.md "API
+  /// conventions"): RunOptions::make().n_packets(500).n_threads(0).build().
+  [[nodiscard]] static Builder make();
+};
+
+class RunOptions::Builder {
+ public:
+  Builder& n_packets(std::size_t n) { opt_.n_packets = n; return *this; }
+  Builder& n_threads(std::size_t n) { opt_.n_threads = n; return *this; }
+  Builder& max_packets(std::size_t n) { opt_.max_packets = n; return *this; }
+  Builder& target_per_events(std::size_t n) {
+    opt_.target_per_events = n;
+    return *this;
+  }
+
+  [[nodiscard]] RunOptions build() const { return opt_; }
+  operator RunOptions() const { return opt_; }  // NOLINT(google-explicit-constructor)
+
+ private:
+  RunOptions opt_;
 };
 
 /// Legacy observer form, kept as a thin adapter: called only for detected

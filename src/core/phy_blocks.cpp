@@ -138,33 +138,74 @@ WorkStatus MimoChannelBlock::work() {
 // ---------------------------------------------------------------- RX block
 
 ReceiverBlock::ReceiverBlock(PhyConfig cfg, std::size_t nrx, std::size_t attempt_window)
-    : Block("mimonet_rx"), rx_(cfg, nrx), nrx_(nrx), attempt_window_(attempt_window) {
+    : Block("mimonet_rx"), srx_(cfg, nrx), nrx_(nrx), attempt_window_(attempt_window) {
   for (std::size_t r = 0; r < nrx; ++r) add_input<cf32>();
   window_.resize(nrx);
 }
 
-std::size_t ReceiverBlock::attempt_decode(bool flush) {
+std::size_t ReceiverBlock::process_window(bool flush) {
   const std::size_t len = window_[0].size();
-  constexpr std::size_t kOverlap = 700;  // > preamble, kept across attempts
-  const auto pkt = rx_.receive(window_);
-  if (!pkt) {
-    if (flush) return len;
-    return (len > kOverlap) ? len - kOverlap : 0;
+  // Retained past every consume so an undetected partial preamble at the
+  // window tail survives into the next scan (> full HT preamble).
+  constexpr std::size_t kOverlap = 700;
+
+  scan_events_.clear();
+  spans_.assign(window_.begin(), window_.end());
+  StreamStats scratch;  // rebuilt from committed events instead (below)
+  srx_.scan(spans_, ws_, scratch, [this](const StreamEvent& ev) {
+    StreamRecord rec;
+    rec.offset = ev.offset;
+    rec.error = ev.error;
+    if (ev.packet != nullptr) {
+      rec.has_packet = true;
+      rec.packet = *ev.packet;
+    }
+    scan_events_.push_back(std::move(rec));
+  });
+
+  // Pick the consume point. A scan ending in a truncated candidate means
+  // that frame is still streaming in: hold the window at its start and
+  // wait. Otherwise drop everything but the overlap tail, extended past
+  // the last decoded frame's extent.
+  const bool ends_truncated =
+      !scan_events_.empty() &&
+      scan_events_.back().error == metrics::RxError::kTruncated;
+  std::size_t consume;
+  if (flush) {
+    consume = len;
+  } else if (ends_truncated) {
+    consume = scan_events_.back().offset;
+  } else {
+    consume = len > kOverlap ? len - kOverlap : 0;
+    for (const auto& rec : scan_events_) {
+      if (rec.has_packet && rec.packet.htsig_ok) {
+        if (const auto ext = decoded_frame_samples(rec.packet, srx_.config())) {
+          consume = std::max(consume, std::min(len, rec.offset + *ext));
+        }
+      }
+    }
   }
-  if (!pkt->htsig_ok) {
-    // Detected something undecodable; skip past its preamble.
-    packets_.push_back(*pkt);
-    return pkt->sync.packet_start + FrameLayout{}.htltf_offset();
+
+  // Commit events the consume point covers; deferred ones keep their
+  // samples in the window and are re-scanned (and committed exactly once)
+  // later. On flush everything commits.
+  for (auto& rec : scan_events_) {
+    if (!flush && rec.offset >= consume) continue;
+    stats_.errors.add(rec.error);
+    if (rec.error == metrics::RxError::kBudgetExceeded) {
+      ++stats_.budget_exhaustions;
+      continue;
+    }
+    if (rec.has_packet && rec.packet.htsig_ok) {
+      ++stats_.frames;
+      if (rec.packet.fcs_ok) ++stats_.delivered;
+    } else {
+      ++stats_.resync_events;
+    }
+    if (rec.has_packet) packets_.push_back(std::move(rec.packet));
   }
-  FrameLayout fl;
-  fl.nss = wifi::mcs_info(pkt->htsig.mcs).nss;
-  fl.n_data_symbols =
-      data_symbol_count(wifi::mcs_info(pkt->htsig.mcs), pkt->htsig.length,
-                        rx_.config().fec_enabled);
-  const std::size_t extent = pkt->sync.packet_start + fl.total_samples();
-  if (extent > len && !flush) return 0;  // packet still streaming in; wait
-  packets_.push_back(*pkt);
-  return std::min(extent, len);
+  stats_.samples_scanned += consume;
+  return consume;
 }
 
 WorkStatus ReceiverBlock::work() {
@@ -185,18 +226,18 @@ WorkStatus ReceiverBlock::work() {
 
   const bool inputs_done = all_inputs_done();
   while (window_[0].size() >= attempt_window_ ||
-         (inputs_done && window_[0].size() > 1000)) {
-    const std::size_t drop = attempt_decode(inputs_done);
+         (inputs_done && !window_[0].empty())) {
+    const std::size_t drop = process_window(inputs_done);
     if (drop == 0) break;
     for (auto& w : window_) {
       w.erase(w.begin(), w.begin() + static_cast<std::ptrdiff_t>(
                              std::min(drop, w.size())));
     }
     progress = true;
-    if (inputs_done && window_[0].empty()) break;
+    if (window_[0].empty()) break;
   }
 
-  if (inputs_done && (window_[0].size() <= 1000)) return WorkStatus::kDone;
+  if (inputs_done && window_[0].empty()) return WorkStatus::kDone;
   return progress ? WorkStatus::kProgress : WorkStatus::kIdle;
 }
 

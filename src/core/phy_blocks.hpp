@@ -11,7 +11,9 @@
 #include "core/phy_config.hpp"
 #include "dsp/fir.hpp"
 #include "core/receiver.hpp"
+#include "core/stream_receiver.hpp"
 #include "core/transmitter.hpp"
+#include "core/workspace.hpp"
 #include "flowgraph/block.hpp"
 
 namespace mimonet::core {
@@ -59,8 +61,12 @@ class MimoChannelBlock final : public flowgraph::Block {
   double cfo_phase_ = 0.0;
 };
 
-/// Sink block: accumulates nrx streams and runs packet reception on a
-/// sliding window; decoded packets pile up in packets().
+/// Sink block: accumulates nrx streams and runs the streaming scan engine
+/// over a sliding window; decoded packets pile up in packets() and the
+/// block keeps session-style StreamStats with the full RxError taxonomy.
+/// Every committed scan event contributes a packet record (including failed
+/// candidates — their error field says why), so packets() doubles as the
+/// block's event log.
 class ReceiverBlock final : public flowgraph::Block {
  public:
   ReceiverBlock(PhyConfig cfg, std::size_t nrx,
@@ -71,15 +77,23 @@ class ReceiverBlock final : public flowgraph::Block {
   [[nodiscard]] const std::vector<RxPacket>& packets() const noexcept {
     return packets_;
   }
+  /// Receive statistics over everything the block has committed so far.
+  [[nodiscard]] const StreamStats& stats() const noexcept { return stats_; }
 
  private:
-  /// Try to decode from the head of the window; returns samples to drop.
-  std::size_t attempt_decode(bool flush);
+  /// Scan the buffered window, commit the events the consume point covers
+  /// (deferred ones stay buffered and are re-scanned once complete);
+  /// returns the samples to drop from the window head.
+  std::size_t process_window(bool flush);
 
-  Receiver rx_;
+  StreamReceiver srx_;
   std::size_t nrx_;
   std::size_t attempt_window_;
   std::vector<std::vector<cf32>> window_;  // per antenna
+  RxWorkspace ws_;
+  StreamStats stats_;
+  std::vector<StreamRecord> scan_events_;        // per-scan scratch
+  std::vector<std::span<const cf32>> spans_;     // per-scan scratch
   std::vector<RxPacket> packets_;
 };
 

@@ -64,24 +64,29 @@ class Receiver {
   [[nodiscard]] const PhyConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] std::size_t num_antennas() const noexcept { return nrx_; }
 
-  /// Detect and decode the first packet in a multi-antenna capture.
-  /// Returns nullopt when no packet is detected or synchronization fails;
-  /// otherwise an RxPacket whose ok-flags report how far decoding got.
+  /// THE receive entry point: detect and decode the first packet in a
+  /// multi-antenna capture (one span per antenna; the spans may window any
+  /// region of a longer capture, and ws.packet.sync.packet_start is
+  /// relative to the window). All scratch — and the result, ws.packet —
+  /// lives in `ws`, so a warm call performs no heap allocation. Returns
+  /// true when a frame was delivered (fcs_ok); either way ws.packet.error
+  /// classifies the outcome. Everything above this — the deprecated
+  /// overloads below, StreamReceiver's scan loop, the farm, ReceiveSession
+  /// — is a wrapper over this call.
+  [[nodiscard]] bool receive(std::span<const std::span<const cf32>> capture,
+                             RxWorkspace& ws) const;
+
+  /// DEPRECATED shim (one-release removal, see DESIGN.md "API
+  /// conventions"): value-returning form that allocates a workspace per
+  /// call. Returns nullopt where the entry point returns false. Migrate to
+  /// ReceiveSession::receive_one or the workspace entry point.
   [[nodiscard]] std::optional<RxPacket> receive(
       const std::vector<std::vector<cf32>>& capture) const;
 
-  /// Workspace form of receive: all scratch (and the result, ws.packet)
-  /// lives in `ws`, so a warm call performs no heap allocation. Returns
-  /// false where the legacy overload returns nullopt; on true, ws.packet
-  /// holds exactly what the legacy overload would have returned.
+  /// DEPRECATED shim (one-release removal): vector-staging form; stages
+  /// spans in ws.capture_spans and forwards to the entry point, returning
+  /// exactly its result.
   [[nodiscard]] bool receive(const std::vector<std::vector<cf32>>& capture,
-                             RxWorkspace& ws) const;
-
-  /// Span form, the primitive the streaming receive path is built on: the
-  /// spans may window any region of a longer capture, and
-  /// ws.packet.sync.packet_start is relative to the window. Bit-identical
-  /// to the vector overloads on a whole capture.
-  [[nodiscard]] bool receive(std::span<const std::span<const cf32>> capture,
                              RxWorkspace& ws) const;
 
  private:

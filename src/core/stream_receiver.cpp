@@ -8,14 +8,7 @@
 
 namespace mimonet::core {
 
-void StreamStats::merge(const StreamStats& other) noexcept {
-  frames += other.frames;
-  delivered += other.delivered;
-  resync_events += other.resync_events;
-  budget_exhaustions += other.budget_exhaustions;
-  samples_scanned += other.samples_scanned;
-  errors.merge(other.errors);
-}
+StreamReceiverConfig::Builder StreamReceiverConfig::make() { return {}; }
 
 StreamReceiver::StreamReceiver(PhyConfig cfg, std::size_t nrx,
                                StreamReceiverConfig scfg)
@@ -50,6 +43,13 @@ std::vector<StreamRecord> StreamReceiver::receive_all(
 void StreamReceiver::scan(std::span<const std::span<const cf32>> capture,
                           RxWorkspace& ws, StreamStats& stats,
                           const EventFn& on_event) const {
+  scan_window(capture, ws, stats, on_event, ScanWindow{});
+}
+
+void StreamReceiver::scan_window(std::span<const std::span<const cf32>> capture,
+                                 RxWorkspace& ws, StreamStats& stats,
+                                 const EventFn& on_event,
+                                 const ScanWindow& window) const {
   if (capture.size() != nrx_) {
     throw std::invalid_argument("StreamReceiver::scan: antenna count mismatch");
   }
@@ -59,22 +59,35 @@ void StreamReceiver::scan(std::span<const std::span<const cf32>> capture,
       throw std::invalid_argument("StreamReceiver::scan: ragged capture");
     }
   }
-  stats.samples_scanned += len;
+  const std::size_t vis_end = std::min(window.visible_end, len);
+  const std::size_t stop = std::min(window.stop, vis_end);
+  if (window.count_samples) {
+    stats.samples_scanned += vis_end - std::min(window.begin, vis_end);
+  }
+  if (window.begin >= stop) return;
+
+  const auto owned = [&](std::size_t offset) {
+    return offset >= window.own_begin && offset < window.own_end;
+  };
 
   // The scan window lives on the stack (Receiver caps nrx at 4), so the
   // loop stays allocation-free regardless of how `capture` was staged.
-  std::array<std::span<const cf32>, 4> window{};
-  std::size_t pos = 0;
-  std::size_t failed_candidates = 0;  // since the last consumed frame
+  std::array<std::span<const cf32>, 4> view{};
+  std::size_t pos = window.begin;
+  std::size_t failed_candidates = 0;  // owned failures since the last frame
   std::size_t frames_this_scan = 0;
   // Rewind targets must strictly increase across the scan, so backward
-  // hops (below) cannot loop: at most `len` rewinds ever happen.
-  std::size_t rewind_barrier = 0;
+  // hops (below) cannot loop: at most `len` rewinds ever happen. They are
+  // additionally floored at the window start — a windowed scan never backs
+  // into samples it was not given to own or align on.
+  std::size_t rewind_barrier = window.begin;
 
-  while (pos < len) {
-    for (std::size_t a = 0; a < nrx_; ++a) window[a] = capture[a].subspan(pos);
+  while (pos < stop) {
+    for (std::size_t a = 0; a < nrx_; ++a) {
+      view[a] = capture[a].subspan(pos, vis_end - pos);
+    }
     const bool got = rx_.receive(
-        std::span<const std::span<const cf32>>(window.data(), nrx_), ws);
+        std::span<const std::span<const cf32>>(view.data(), nrx_), ws);
     const RxPacket& pkt = ws.packet;
     const metrics::RxError err = pkt.error;
 
@@ -86,14 +99,19 @@ void StreamReceiver::scan(std::span<const std::span<const cf32>> capture,
 
     // Every other classification comes with a synchronized candidate.
     const std::size_t frame_start = pos + pkt.sync.packet_start;
-    stats.errors.add(err);
-    on_event(StreamEvent{frame_start, err, &pkt});
+    const bool ours = owned(frame_start);
+    if (ours) {
+      stats.errors.add(err);
+      on_event(StreamEvent{frame_start, err, &pkt});
+    }
 
     if (err == metrics::RxError::kTruncated) {
-      // The frame provably extends past the end of the capture (either its
-      // preamble or its HT-SIG-announced extent), so no later packet can
-      // complete either: the scan is done.
-      if (pkt.htsig_ok) ++stats.frames;
+      // The frame provably extends past the end of the visible window
+      // (either its preamble or its HT-SIG-announced extent), so no later
+      // packet can complete either: this window's scan is done. Against the
+      // true capture end this is the genuine truncation classification; in
+      // a farm shard the seam is sized so an owned frame never hits it.
+      if (ours && pkt.htsig_ok) ++stats.frames;
       break;
     }
 
@@ -101,17 +119,21 @@ void StreamReceiver::scan(std::span<const std::span<const cf32>> capture,
     if (pkt.htsig_ok) {
       // A consumed frame (kOk / kLsigFail / kFcsFail): skip its announced
       // extent. mcs_info succeeded during decode, so the geometry is known.
-      ++stats.frames;
-      ++frames_this_scan;
-      if (pkt.fcs_ok) ++stats.delivered;
+      if (ours) {
+        ++stats.frames;
+        ++frames_this_scan;
+        if (pkt.fcs_ok) ++stats.delivered;
+      }
       failed_candidates = 0;
       next = frame_start + *decoded_frame_samples(pkt, rx_.config());
       if (scfg_.max_packets != 0 && frames_this_scan >= scfg_.max_packets) break;
     } else {
       // Failed candidate (kFalseSync / kHtsigFail / kUnsupportedMcs): hop
       // past its start and rescan.
-      ++stats.resync_events;
-      ++failed_candidates;
+      if (ours) {
+        ++stats.resync_events;
+        ++failed_candidates;
+      }
       // When fine sync reports that the candidate's L-LTF implies a packet
       // starting *before* this window, a previous resync hop overshot a real
       // packet's L-STF: rewind onto the implied start instead of hopping
@@ -127,8 +149,8 @@ void StreamReceiver::scan(std::span<const std::span<const cf32>> capture,
       } else {
         next = frame_start + scfg_.resync_advance;
       }
-      if (scfg_.max_failed_candidates != 0 &&
-          failed_candidates > scfg_.max_failed_candidates) {
+      if (scfg_.candidate_budget != 0 &&
+          failed_candidates > scfg_.candidate_budget) {
         // Watchdog: a pathological capture keeps producing candidates that
         // never decode. Report the exhaustion and abandon the capture
         // rather than grinding through it one resync hop at a time.

@@ -6,6 +6,11 @@
 // triggers the detector everywhere) can extract, and every iteration
 // advances the scan position by at least StreamReceiverConfig::min_advance
 // samples, so the scan loop can never wedge.
+//
+// StreamReceiver is the single-worker scan engine. ReceiverFarm
+// (core/receiver_farm.hpp) parallelizes it across shards and streams, and
+// ReceiveSession (core/receive_session.hpp) is the session API most callers
+// should use instead of talking to this class directly.
 #pragma once
 
 #include <cstddef>
@@ -16,12 +21,19 @@
 #include "core/phy_config.hpp"
 #include "core/receiver.hpp"
 #include "metrics/rx_error.hpp"
+#include "metrics/stream_stats.hpp"
 
 namespace mimonet::core {
 
 struct RxWorkspace;  // core/workspace.hpp
 
-/// Scan-loop policy knobs.
+/// Scan statistics live in metrics so every layer (stream scan, farm shard,
+/// base-station per-user stream) shares one mergeable type.
+using StreamStats = metrics::StreamStats;
+
+/// Scan-loop policy knobs. Follows the session-config conventions
+/// (aggregate with defaults + fluent builder, see DESIGN.md "API
+/// conventions"): StreamReceiverConfig::make().resync_advance(64).build().
 struct StreamReceiverConfig {
   /// Floor on the per-iteration scan advance. Termination guarantee: a scan
   /// over N samples runs at most N / min_advance candidate attempts.
@@ -33,9 +45,26 @@ struct StreamReceiverConfig {
   /// Watchdog: failed candidates tolerated since the last delivered frame
   /// before the scanner reports kBudgetExceeded and abandons the capture.
   /// 0 = no budget (the min_advance bound still guarantees termination).
-  std::size_t max_failed_candidates = 4096;
+  std::size_t candidate_budget = 4096;
   /// Stop after this many decoded frames (0 = no cap).
   std::size_t max_packets = 0;
+
+  class Builder;
+  [[nodiscard]] static Builder make();
+};
+
+class StreamReceiverConfig::Builder {
+ public:
+  Builder& min_advance(std::size_t n) { cfg_.min_advance = n; return *this; }
+  Builder& resync_advance(std::size_t n) { cfg_.resync_advance = n; return *this; }
+  Builder& candidate_budget(std::size_t n) { cfg_.candidate_budget = n; return *this; }
+  Builder& max_packets(std::size_t n) { cfg_.max_packets = n; return *this; }
+
+  [[nodiscard]] StreamReceiverConfig build() const { return cfg_; }
+  operator StreamReceiverConfig() const { return cfg_; }  // NOLINT(google-explicit-constructor)
+
+ private:
+  StreamReceiverConfig cfg_;
 };
 
 /// One scan event, delivered to the scan() callback in stream order.
@@ -57,17 +86,24 @@ struct StreamRecord {
   RxPacket packet;
 };
 
-/// Mergeable scan statistics.
-struct StreamStats {
-  std::size_t frames = 0;             ///< candidates that decoded an HT-SIG
-  std::size_t delivered = 0;          ///< frames with fcs_ok
-  std::size_t resync_events = 0;      ///< failed candidates advanced past
-  std::size_t budget_exhaustions = 0; ///< scans abandoned by the watchdog
-  std::size_t samples_scanned = 0;
-  metrics::RxErrorCounter errors;     ///< every candidate's classification
-
-  void merge(const StreamStats& other) noexcept;
-  void reset() noexcept { *this = StreamStats{}; }
+/// Restriction of a scan to a window of the capture — the overlap-save
+/// primitive the sharded farm is built on. The scan iterates from `begin`
+/// while its position stays below `stop`, sees no samples at or beyond
+/// `visible_end`, and delivers events (and counts stats) only for
+/// candidates whose frame start lies in [own_begin, own_end). Everything
+/// outside the ownership range is still *decoded* when encountered — that
+/// is what re-aligns a scan that entered mid-packet — but is someone else's
+/// to report.
+struct ScanWindow {
+  std::size_t begin = 0;
+  std::size_t stop = static_cast<std::size_t>(-1);
+  std::size_t visible_end = static_cast<std::size_t>(-1);
+  std::size_t own_begin = 0;
+  std::size_t own_end = static_cast<std::size_t>(-1);
+  /// Add the window's sample count to stats.samples_scanned (the farm
+  /// counts the capture once at merge instead of once per overlapping
+  /// window).
+  bool count_samples = true;
 };
 
 /// Multi-packet scanning receiver. Construct once per configuration; scans
@@ -96,6 +132,12 @@ class StreamReceiver {
   /// workspace scans without steady-state heap allocation.
   void scan(std::span<const std::span<const cf32>> capture, RxWorkspace& ws,
             StreamStats& stats, const EventFn& on_event) const;
+
+  /// Windowed scan over a region of the capture (see ScanWindow). scan() is
+  /// exactly scan_window() with the default all-of-it window.
+  void scan_window(std::span<const std::span<const cf32>> capture,
+                   RxWorkspace& ws, StreamStats& stats, const EventFn& on_event,
+                   const ScanWindow& window) const;
 
  private:
   StreamReceiverConfig scfg_;

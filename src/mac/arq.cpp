@@ -73,9 +73,10 @@ std::optional<wifi::ParsedPsdu> StopAndWaitLink::phy_exchange(
   airtime_us += t;
   clock_us_ += t;
   const auto capture = chan.transmit(streams);
-  const auto pkt = rx.receive(capture);
-  if (!pkt || !pkt->fcs_ok) return std::nullopt;
-  return wifi::parse_psdu(pkt->psdu);
+  if (!rx.receive(capture, rx_ws_) || !rx_ws_.packet.fcs_ok) {
+    return std::nullopt;
+  }
+  return wifi::parse_psdu(rx_ws_.packet.psdu);
 }
 
 DeliveryReport StopAndWaitLink::send(std::span<const std::uint8_t> msdu) {
@@ -194,9 +195,10 @@ std::optional<wifi::ParsedPsdu> SelectiveRepeatLink::phy_exchange(
   airtime_us += t;
   clock_us_ += t;
   const auto capture = chan.transmit(streams);
-  const auto pkt = rx.receive(capture);
-  if (!pkt || !pkt->fcs_ok) return std::nullopt;
-  return wifi::parse_psdu(pkt->psdu);
+  if (!rx.receive(capture, rx_ws_) || !rx_ws_.packet.fcs_ok) {
+    return std::nullopt;
+  }
+  return wifi::parse_psdu(rx_ws_.packet.psdu);
 }
 
 void SelectiveRepeatLink::queue(std::span<const std::uint8_t> msdu) {

@@ -22,6 +22,7 @@
 #include "core/phy_config.hpp"
 #include "core/receiver.hpp"
 #include "core/transmitter.hpp"
+#include "core/workspace.hpp"
 #include "wifi/psdu.hpp"
 
 namespace mimonet::mac {
@@ -138,6 +139,7 @@ class StopAndWaitLink {
   core::Receiver ack_rx_;
   channel::MimoChannel forward_;
   channel::MimoChannel reverse_;
+  core::RxWorkspace rx_ws_;  ///< warm workspace shared by both directions
   std::uint16_t seq_ = 0;
   std::optional<std::uint16_t> peer_last_seq_;
   std::vector<std::vector<std::uint8_t>> peer_rx_log_;
@@ -243,6 +245,7 @@ class SelectiveRepeatLink {
   core::Receiver ack_rx_;
   channel::MimoChannel forward_;
   channel::MimoChannel reverse_;
+  core::RxWorkspace rx_ws_;  ///< warm workspace shared by both directions
   double clock_us_ = 0.0;
   unsigned consecutive_fail_ = 0;
   unsigned consecutive_ok_ = 0;

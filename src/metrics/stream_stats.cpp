@@ -1,0 +1,23 @@
+#include "metrics/stream_stats.hpp"
+
+namespace mimonet::metrics {
+
+void StreamStats::merge(const StreamStats& other) noexcept {
+  frames += other.frames;
+  delivered += other.delivered;
+  resync_events += other.resync_events;
+  budget_exhaustions += other.budget_exhaustions;
+  samples_scanned += other.samples_scanned;
+  errors.merge(other.errors);
+}
+
+void StreamStats::reset() noexcept {
+  frames = 0;
+  delivered = 0;
+  resync_events = 0;
+  budget_exhaustions = 0;
+  samples_scanned = 0;
+  errors.reset();
+}
+
+}  // namespace mimonet::metrics

@@ -1,0 +1,31 @@
+// Mergeable per-stream scan statistics. One StreamStats describes everything
+// a scanning receiver did over one stream (or one shard of one): frames
+// found, frames delivered, resync work, watchdog exhaustions and the full
+// RxError classification of every candidate. Pure integer sums, so partial
+// results — per worker, per shard, per stream, per capture — fold together
+// losslessly in any order.
+#pragma once
+
+#include <cstddef>
+
+#include "metrics/rx_error.hpp"
+
+namespace mimonet::metrics {
+
+struct StreamStats {
+  std::size_t frames = 0;             ///< candidates that decoded an HT-SIG
+  std::size_t delivered = 0;          ///< frames with fcs_ok
+  std::size_t resync_events = 0;      ///< failed candidates advanced past
+  std::size_t budget_exhaustions = 0; ///< scans abandoned by the watchdog
+  std::size_t samples_scanned = 0;
+  RxErrorCounter errors;              ///< every candidate's classification
+
+  void merge(const StreamStats& other) noexcept;
+
+  /// Explicit member-by-member reset (not `*this = StreamStats{}`), so the
+  /// type stays cheap to clear and trivially correct if a non-trivial
+  /// member (a histogram, a timestamp ring) is added later.
+  void reset() noexcept;
+};
+
+}  // namespace mimonet::metrics

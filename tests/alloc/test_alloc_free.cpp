@@ -16,7 +16,9 @@
 #include <vector>
 
 #include "channel/mimo_channel.hpp"
+#include "core/receive_session.hpp"
 #include "core/receiver.hpp"
+#include "core/receiver_farm.hpp"
 #include "core/transmitter.hpp"
 #include "core/workspace.hpp"
 #include "wifi/psdu.hpp"
@@ -133,6 +135,68 @@ TEST(AllocFree, MimoBcc) {
 TEST(AllocFree, MimoMlDetector) {
   expect_zero_steady_state({11, 2, eq::EqualizerType::kMaxLikelihood,
                             "2x2 MCS11 ML"});
+}
+
+// The farm's contract: after the pool's workspaces, deques and record
+// buffers are warm, a sharded scan and a base-station run over the same
+// shapes perform zero heap allocations across every thread (the hook is
+// global, so worker-thread allocations count too).
+TEST(AllocFree, FarmSteadyStateShardedScan) {
+  core::PhyConfig phy;
+  const core::Transmitter tx(phy);
+  const auto capture = make_capture(tx, 1, 1);
+  const auto cfg = core::ReceiveSessionConfig::make()
+                       .workers(2)
+                       .shards(3)
+                       .seam(capture[0].size())
+                       .build();
+  core::ReceiverFarm farm(phy, 1, cfg);
+  const std::vector<std::span<const dsp::cf32>> spans(capture.begin(),
+                                                      capture.end());
+
+  core::StreamStats warm;
+  std::size_t events = 0;
+  const auto on_event = [&events](const core::StreamEvent&) { ++events; };
+  // Two warm-up scans: the first sizes worker workspaces and shard buffers,
+  // the second confirms the shapes are stable before arming the hook.
+  for (int i = 0; i < 2; ++i) farm.scan(spans, warm, on_event);
+  ASSERT_EQ(warm.delivered, 2U);
+  ASSERT_EQ(events, 2U);
+
+  {
+    const AllocGuard guard;
+    core::StreamStats stats;
+    for (int i = 0; i < 4; ++i) farm.scan(spans, stats, on_event);
+    EXPECT_EQ(AllocGuard::count(), 0U)
+        << "steady-state ReceiverFarm::scan allocated";
+    EXPECT_EQ(stats.delivered, 4U);
+  }
+}
+
+TEST(AllocFree, FarmSteadyStateBaseStationRun) {
+  core::PhyConfig phy;
+  const core::Transmitter tx(phy);
+  const auto capture = make_capture(tx, 1, 1);
+  core::ReceiverFarm farm(phy, 1,
+                          core::ReceiveSessionConfig::make().workers(2));
+  const std::vector<std::span<const dsp::cf32>> spans(capture.begin(),
+                                                      capture.end());
+  const core::StreamJob jobs[] = {
+      {0, std::span<const std::span<const dsp::cf32>>(spans)},
+      {1, std::span<const std::span<const dsp::cf32>>(spans)},
+      {0, std::span<const std::span<const dsp::cf32>>(spans)},
+  };
+  std::vector<core::StreamStats> per_stream(2);
+  for (int i = 0; i < 2; ++i) farm.run(jobs, per_stream);
+  ASSERT_EQ(per_stream[1].delivered, 2U);
+
+  {
+    const AllocGuard guard;
+    for (int i = 0; i < 4; ++i) farm.run(jobs, per_stream);
+    EXPECT_EQ(AllocGuard::count(), 0U)
+        << "steady-state ReceiverFarm::run allocated";
+  }
+  EXPECT_EQ(per_stream[1].delivered, 6U);
 }
 
 }  // namespace

@@ -199,8 +199,8 @@ TEST(StreamReceiver, WatchdogAbandonsPathologicalCapture) {
   dsp::ComplexGaussian noise(9, 1e-4);
   for (auto& x : capture[0]) x += noise.sample();
 
-  core::StreamReceiverConfig scfg;
-  scfg.max_failed_candidates = 8;
+  const core::StreamReceiverConfig scfg =
+      core::StreamReceiverConfig::make().candidate_budget(8).build();
   const core::StreamReceiver srx(core::PhyConfig{}, 1, scfg);
   core::RxWorkspace ws;
   core::StreamStats stats;
