@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Front-end scan throughput regression gate.
+
+Compares the "scan" table of a freshly emitted BENCH_stream.json against the
+committed baseline at the repo root and fails (exit 1) when any per-case scan
+throughput figure regressed by more than the threshold (default 20%).
+
+Only the scan-stage figures are gated — the decimated coarse pass and the
+full-rate correlation kernel, which are what ISSUE 7's real-time budget is
+about. The end-to-end figures are decode-dominated (covered by the E17
+hot-path bench and its own baseline) and are reported but not gated.
+
+Usage:
+    scripts/bench_diff.py NEW.json [--baseline BENCH_stream.json]
+                          [--threshold 0.20]
+
+Exit codes: 0 ok / nothing to compare against, 1 regression, 2 bad input.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+GATED_KEYS = ("coarse_msamp_s", "full_kernel_msamp_s")
+REPORTED_KEYS = ("e2e_exhaustive_msamp_s", "e2e_twopass_msamp_s")
+
+
+def scan_cases(path):
+    """Return {case_name: case_dict} from BENCH_stream.json's scan table."""
+    with open(path) as f:
+        doc = json.load(f)
+    scan = doc.get("scan")
+    if scan is None:
+        return None
+    return {c["bench"]: c for c in scan.get("cases", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("new", help="freshly emitted BENCH_stream.json")
+    ap.add_argument(
+        "--baseline",
+        default=os.path.join(os.path.dirname(__file__), "..",
+                             "BENCH_stream.json"),
+        help="committed baseline (default: repo-root BENCH_stream.json)")
+    ap.add_argument(
+        "--threshold", type=float,
+        default=float(os.environ.get("MIMONET_SCAN_DIFF_THRESHOLD", "0.20")),
+        help="allowed fractional regression (default 0.20 = 20%%)")
+    args = ap.parse_args()
+
+    try:
+        new = scan_cases(args.new)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"bench_diff: cannot read {args.new}: {e}", file=sys.stderr)
+        return 2
+    if new is None:
+        print(f"bench_diff: {args.new} has no scan table", file=sys.stderr)
+        return 2
+
+    if not os.path.exists(args.baseline):
+        print(f"bench_diff: no baseline at {args.baseline}; nothing to gate")
+        return 0
+    try:
+        base = scan_cases(args.baseline)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"bench_diff: cannot read baseline {args.baseline}: {e}",
+              file=sys.stderr)
+        return 2
+    if base is None:
+        print(f"bench_diff: baseline {args.baseline} has no scan table; "
+              "nothing to gate")
+        return 0
+
+    failures = []
+    for name, base_case in sorted(base.items()):
+        new_case = new.get(name)
+        if new_case is None:
+            failures.append(f"{name}: case missing from new results")
+            continue
+        if not new_case.get("records_identical", False):
+            failures.append(f"{name}: two-pass records diverged from the "
+                            "exhaustive scan")
+        for key in GATED_KEYS:
+            b, n = base_case.get(key), new_case.get(key)
+            if b is None or n is None or b <= 0:
+                continue
+            ratio = n / b
+            status = "ok"
+            if ratio < 1.0 - args.threshold:
+                status = "REGRESSION"
+                failures.append(
+                    f"{name}.{key}: {n:.1f} vs baseline {b:.1f} Msamp/s "
+                    f"({(1.0 - ratio) * 100.0:.1f}% slower, "
+                    f"threshold {args.threshold * 100.0:.0f}%)")
+            print(f"  {name:.<28s} {key:.<28s} {n:10.1f} / {b:10.1f} "
+                  f"Msamp/s  {status}")
+        for key in REPORTED_KEYS:
+            b, n = base_case.get(key), new_case.get(key)
+            if b is None or n is None or b <= 0:
+                continue
+            print(f"  {name:.<28s} {key:.<28s} {n:10.2f} / {b:10.2f} "
+                  f"Msamp/s  (not gated)")
+
+    if failures:
+        print("bench_diff: scan throughput regressed:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("bench_diff: scan throughput within "
+          f"{args.threshold * 100.0:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@
 #   scripts/check.sh asan tsan  # any subset, in order
 #   scripts/check.sh bench-smoke  # hot-path bench on 4 packets + JSON schema
 #   scripts/check.sh farm-smoke   # E19 receiver-farm bench + "farm" schema
+#   scripts/check.sh scan-smoke   # E20 scan bench + "scan" schema + regression diff
 #
 # Build trees are kept per-configuration (build/, build-asan/, build-tsan/)
 # so incremental re-runs are cheap.
@@ -17,7 +18,7 @@ cd "$(dirname "$0")/.."
 
 configs=("$@")
 if [ ${#configs[@]} -eq 0 ]; then
-  configs=(plain asan tsan bench-smoke farm-smoke)
+  configs=(plain asan tsan bench-smoke farm-smoke scan-smoke)
 fi
 
 run_config() {
@@ -115,6 +116,54 @@ EOF
   return "$rc"
 }
 
+# Front-end scan smoke: a few packets through bench_e20_scan (which asserts
+# the two-pass scan's records match the exhaustive scan and that the coarse
+# pass clears the 20 Msamp/s real-time bar), a schema check on the "scan"
+# table merged into BENCH_stream.json, then scripts/bench_diff.py against
+# the committed baseline — >20% scan-throughput regression fails the job.
+run_scan_smoke() {
+  echo "==== [scan-smoke] build ===="
+  cmake -B build -S . > build.configure.log 2>&1 || {
+    cat build.configure.log; return 1; }
+  cmake --build build -j --target bench_e20_scan > build.build.log 2>&1 || {
+    tail -50 build.build.log; return 1; }
+  echo "==== [scan-smoke] run (4 packets) ===="
+  local tmp
+  tmp="$(mktemp -d)"
+  MIMONET_BENCH_PACKETS=4 MIMONET_BENCH_JSON_DIR="$tmp" \
+    ./build/bench/bench_e20_scan || { rm -rf "$tmp"; return 1; }
+  echo "==== [scan-smoke] validate BENCH_stream.json scan table ===="
+  python3 - "$tmp/BENCH_stream.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+assert d["bench"] == "stream"
+scan = d["scan"]
+for key in ("packets_per_capture", "decimation", "simd_active", "cases",
+            "coarse_2x2_clean_msamp_s", "meets_20msps_bar"):
+    assert key in scan, f"missing scan key: {key}"
+assert scan["meets_20msps_bar"] is True, "coarse pass below 20 Msamp/s"
+cases = scan["cases"]
+assert isinstance(cases, list) and len(cases) == 3, "want 3 scan cases"
+for c in cases:
+    for key in ("bench", "mcs", "coarse_msamp_s", "full_kernel_msamp_s",
+                "full_kernel_scalar_msamp_s", "e2e_exhaustive_msamp_s",
+                "e2e_twopass_msamp_s", "delivered", "records_identical"):
+        assert key in c, f"missing scan case key: {key}"
+    assert c["coarse_msamp_s"] > 0, "non-positive coarse rate"
+    assert c["records_identical"] is True, "two-pass records diverged"
+print("BENCH_stream.json scan schema OK")
+EOF
+  local rc=$?
+  if [ "$rc" -ne 0 ]; then rm -rf "$tmp"; return "$rc"; fi
+  echo "==== [scan-smoke] diff vs committed baseline ===="
+  python3 scripts/bench_diff.py "$tmp/BENCH_stream.json"
+  rc=$?
+  rm -rf "$tmp"
+  return "$rc"
+}
+
 for cfg in "${configs[@]}"; do
   case "$cfg" in
     plain)
@@ -130,8 +179,10 @@ for cfg in "${configs[@]}"; do
       run_bench_smoke ;;
     farm-smoke)
       run_farm_smoke ;;
+    scan-smoke)
+      run_scan_smoke ;;
     *)
-      echo "unknown config: $cfg (want plain|asan|tsan|bench-smoke|farm-smoke)" >&2
+      echo "unknown config: $cfg (want plain|asan|tsan|bench-smoke|farm-smoke|scan-smoke)" >&2
       exit 2 ;;
   esac
 done

@@ -35,6 +35,13 @@ struct ReceiveSessionConfig {
   std::size_t candidate_budget = 4096;
   std::size_t max_packets = 0;
 
+  // Two-pass front-end scan (see StreamReceiverConfig / sync::ScanMode);
+  // the farm's sharded and base-station modes inherit these through
+  // scan_config().
+  std::size_t scan_decimation = 1;
+  float coarse_threshold_scale = 0.6F;
+  std::size_t coarse_min_run = 3;
+
   /// Worker threads for the farm modes. 1 = everything runs on the calling
   /// thread (no pool); 0 = hardware concurrency.
   std::size_t workers = 1;
@@ -55,8 +62,15 @@ struct ReceiveSessionConfig {
 
   /// Projection onto the single-worker scan engine's config.
   [[nodiscard]] StreamReceiverConfig scan_config() const noexcept {
-    return StreamReceiverConfig{min_advance, resync_advance, candidate_budget,
-                                max_packets};
+    StreamReceiverConfig scfg;
+    scfg.min_advance = min_advance;
+    scfg.resync_advance = resync_advance;
+    scfg.candidate_budget = candidate_budget;
+    scfg.max_packets = max_packets;
+    scfg.scan_decimation = scan_decimation;
+    scfg.coarse_threshold_scale = coarse_threshold_scale;
+    scfg.coarse_min_run = coarse_min_run;
+    return scfg;
   }
   /// workers with 0 resolved to hardware concurrency (at least 1).
   [[nodiscard]] std::size_t resolved_workers() const;
@@ -75,6 +89,9 @@ class ReceiveSessionConfig::Builder {
   Builder& resync_advance(std::size_t n) { cfg_.resync_advance = n; return *this; }
   Builder& candidate_budget(std::size_t n) { cfg_.candidate_budget = n; return *this; }
   Builder& max_packets(std::size_t n) { cfg_.max_packets = n; return *this; }
+  Builder& scan_decimation(std::size_t d) { cfg_.scan_decimation = d; return *this; }
+  Builder& coarse_threshold_scale(float s) { cfg_.coarse_threshold_scale = s; return *this; }
+  Builder& coarse_min_run(std::size_t n) { cfg_.coarse_min_run = n; return *this; }
   Builder& workers(std::size_t n) { cfg_.workers = n; return *this; }
   Builder& shards(std::size_t n) { cfg_.shards = n; return *this; }
   Builder& seam(std::size_t samples) { cfg_.seam_samples = samples; return *this; }

@@ -88,9 +88,12 @@ void reset_packet(RxPacket& pkt) {
 }  // namespace
 
 Receiver::Receiver(PhyConfig cfg, std::size_t nrx)
+    : Receiver(std::move(cfg), nrx, sync::ScanMode{}) {}
+
+Receiver::Receiver(PhyConfig cfg, std::size_t nrx, const sync::ScanMode& scan)
     : cfg_(cfg),
       nrx_(nrx),
-      synchronizer_(sync::FrameSyncConfig{.mode = cfg.timing_mode}),
+      synchronizer_(sync::FrameSyncConfig{.scan = scan, .mode = cfg.timing_mode}),
       legacy_demod_(ofdm::CarrierPlan::kLegacy),
       ht_demod_(ofdm::CarrierPlan::kHt) {
   if (nrx == 0 || nrx > 4) throw std::invalid_argument("Receiver: nrx must be 1..4");

@@ -61,6 +61,12 @@ class Receiver {
   /// @param nrx  number of RX antennas the captures will carry.
   Receiver(PhyConfig cfg, std::size_t nrx);
 
+  /// As above with an explicit front-end scan policy: the default ScanMode
+  /// is the exhaustive full-rate scan; decimation > 1 enables the two-pass
+  /// decimated scan (see sync::ScanMode). The streaming layers surface
+  /// these knobs through StreamReceiverConfig.
+  Receiver(PhyConfig cfg, std::size_t nrx, const sync::ScanMode& scan);
+
   [[nodiscard]] const PhyConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] std::size_t num_antennas() const noexcept { return nrx_; }
 

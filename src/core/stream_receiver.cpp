@@ -12,13 +12,15 @@ StreamReceiverConfig::Builder StreamReceiverConfig::make() { return {}; }
 
 StreamReceiver::StreamReceiver(PhyConfig cfg, std::size_t nrx,
                                StreamReceiverConfig scfg)
-    : scfg_(scfg), rx_(std::move(cfg), nrx), nrx_(nrx) {
+    : scfg_(scfg), rx_(std::move(cfg), nrx, scfg.scan_mode()), nrx_(nrx) {
   if (scfg_.min_advance == 0) {
     throw std::invalid_argument("StreamReceiver: min_advance must be >= 1");
   }
   if (scfg_.resync_advance == 0) {
     throw std::invalid_argument("StreamReceiver: resync_advance must be >= 1");
   }
+  // scan_decimation / coarse knobs are validated by the PacketDetector the
+  // Receiver ctor just built from scan_mode().
 }
 
 std::vector<StreamRecord> StreamReceiver::receive_all(

@@ -49,8 +49,28 @@ struct StreamReceiverConfig {
   /// Stop after this many decoded frames (0 = no cap).
   std::size_t max_packets = 0;
 
+  // Two-pass front-end scan (see sync::ScanMode). The default, decimation
+  // 1, is the exhaustive full-rate scan — bit-identical to Receiver's
+  // default path. Decimation D > 1 (must divide the detector lag, 16) runs
+  // the decimated coarse pass at 1/D of the correlation work and full-rate
+  // detection only inside flagged candidate regions.
+  std::size_t scan_decimation = 1;
+  /// Coarse trigger = detector threshold * this scale (in (0, 1]).
+  float coarse_threshold_scale = 0.6F;
+  /// Decimated positions the coarse metric must stay high to open a region.
+  std::size_t coarse_min_run = 3;
+
   class Builder;
   [[nodiscard]] static Builder make();
+
+  /// Projection onto the detector's scan policy.
+  [[nodiscard]] sync::ScanMode scan_mode() const noexcept {
+    sync::ScanMode m;
+    m.decimation = scan_decimation;
+    m.coarse_threshold_scale = coarse_threshold_scale;
+    m.coarse_min_run = coarse_min_run;
+    return m;
+  }
 };
 
 class StreamReceiverConfig::Builder {
@@ -59,6 +79,9 @@ class StreamReceiverConfig::Builder {
   Builder& resync_advance(std::size_t n) { cfg_.resync_advance = n; return *this; }
   Builder& candidate_budget(std::size_t n) { cfg_.candidate_budget = n; return *this; }
   Builder& max_packets(std::size_t n) { cfg_.max_packets = n; return *this; }
+  Builder& scan_decimation(std::size_t d) { cfg_.scan_decimation = d; return *this; }
+  Builder& coarse_threshold_scale(float s) { cfg_.coarse_threshold_scale = s; return *this; }
+  Builder& coarse_min_run(std::size_t n) { cfg_.coarse_min_run = n; return *this; }
 
   [[nodiscard]] StreamReceiverConfig build() const { return cfg_; }
   operator StreamReceiverConfig() const { return cfg_; }  // NOLINT(google-explicit-constructor)

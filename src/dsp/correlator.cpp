@@ -3,6 +3,11 @@
 #include <cmath>
 #include <stdexcept>
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#define MIMONET_AUTOCORR_X86_DISPATCH 1
+#include <immintrin.h>
+#endif
+
 namespace mimonet::dsp {
 
 MovingSum::MovingSum(std::size_t window) : buf_(window, cf64{0.0, 0.0}) {
@@ -39,54 +44,226 @@ void MovingSumReal::reset() noexcept {
   head_ = 0;
 }
 
+namespace {
+
+bool g_force_scalar = false;
+
+// Scalar product fill, the dispatch fallback and the reference the AVX2
+// kernel must match bit for bit: the conj product uses the naive complex
+// formula with one rounding per multiply and per add, and the magnitude is
+// computed in float (like mag_sqr) before widening. fp-contract is pinned
+// off so a native build cannot fuse the multiply-adds into FMAs the vector
+// kernel does not use.
+#if defined(__GNUC__) && !defined(__clang__)
+__attribute__((optimize("-ffp-contract=off")))
+#endif
+void products_scalar(const cf32* x, std::size_t lag, std::size_t n_prod,
+                     std::size_t n_mag, double* re, double* im, double* mag) {
+  for (std::size_t i = 0; i < n_prod; ++i) {
+    const double ar = static_cast<double>(x[i].real());
+    const double ai = static_cast<double>(x[i].imag());
+    const double br = static_cast<double>(x[i + lag].real());
+    const double bi = static_cast<double>(x[i + lag].imag());
+    re[i] = ar * br + ai * bi;  // x_i * conj(x_{i+lag})
+    im[i] = ai * br - ar * bi;
+  }
+  for (std::size_t i = 0; i < n_mag; ++i) {
+    const float m = x[i].real() * x[i].real() + x[i].imag() * x[i].imag();
+    mag[i] = static_cast<double>(m);
+  }
+}
+
+#ifdef MIMONET_AUTOCORR_X86_DISPATCH
+// AVX2 product fill, 4 complex samples per iteration. Bit-identical to
+// products_scalar: the same float squares/adds for the magnitudes and the
+// same double multiplies/adds for the conj products, no FMA contraction
+// (intrinsics emit the separate mul/add the scalar reference pins).
+__attribute__((target("avx2"))) void products_avx2(
+    const cf32* x, std::size_t lag, std::size_t n_prod, std::size_t n_mag,
+    double* re, double* im, double* mag) {
+  const float* xf = reinterpret_cast<const float*>(x);
+  const __m256i deinterleave = _mm256_setr_epi32(0, 2, 4, 6, 1, 3, 5, 7);
+
+  std::size_t i = 0;
+  for (; i + 4 <= n_prod; i += 4) {
+    // [r0 i0 r1 i1 r2 i2 r3 i3] -> [r0 r1 r2 r3 | i0 i1 i2 i3]
+    const __m256 a =
+        _mm256_permutevar8x32_ps(_mm256_loadu_ps(xf + 2 * i), deinterleave);
+    const __m256 b = _mm256_permutevar8x32_ps(
+        _mm256_loadu_ps(xf + 2 * (i + lag)), deinterleave);
+    const __m256d ar = _mm256_cvtps_pd(_mm256_castps256_ps128(a));
+    const __m256d ai = _mm256_cvtps_pd(_mm256_extractf128_ps(a, 1));
+    const __m256d br = _mm256_cvtps_pd(_mm256_castps256_ps128(b));
+    const __m256d bi = _mm256_cvtps_pd(_mm256_extractf128_ps(b, 1));
+    _mm256_storeu_pd(re + i, _mm256_add_pd(_mm256_mul_pd(ar, br),
+                                           _mm256_mul_pd(ai, bi)));
+    _mm256_storeu_pd(im + i, _mm256_sub_pd(_mm256_mul_pd(ai, br),
+                                           _mm256_mul_pd(ar, bi)));
+  }
+  for (; i < n_prod; ++i) {
+    const double ar = static_cast<double>(x[i].real());
+    const double ai = static_cast<double>(x[i].imag());
+    const double br = static_cast<double>(x[i + lag].real());
+    const double bi = static_cast<double>(x[i + lag].imag());
+    const double pr = ar * br;
+    const double qi = ai * bi;
+    re[i] = pr + qi;
+    const double pi2 = ai * br;
+    const double qr = ar * bi;
+    im[i] = pi2 - qr;
+  }
+
+  i = 0;
+  for (; i + 4 <= n_mag; i += 4) {
+    const __m256 v =
+        _mm256_permutevar8x32_ps(_mm256_loadu_ps(xf + 2 * i), deinterleave);
+    const __m128 r = _mm256_castps256_ps128(v);
+    const __m128 im4 = _mm256_extractf128_ps(v, 1);
+    // |x|^2 in float (one mul per part, one add), exactly mag_sqr's ops.
+    const __m128 m = _mm_add_ps(_mm_mul_ps(r, r), _mm_mul_ps(im4, im4));
+    _mm256_storeu_pd(mag + i, _mm256_cvtps_pd(m));
+  }
+  for (; i < n_mag; ++i) {
+    const float rr = x[i].real() * x[i].real();
+    const float ii = x[i].imag() * x[i].imag();
+    mag[i] = static_cast<double>(rr + ii);
+  }
+}
+
+[[nodiscard]] bool have_avx2() noexcept {
+  return __builtin_cpu_supports("avx2");
+}
+#endif  // MIMONET_AUTOCORR_X86_DISPATCH
+
+void fill_products(const cf32* x, std::size_t lag, std::size_t n_prod,
+                   std::size_t n_mag, AutocorrResult::Scratch& s) {
+  s.prod_re.resize(n_prod);
+  s.prod_im.resize(n_prod);
+  s.mag.resize(n_mag);
+#ifdef MIMONET_AUTOCORR_X86_DISPATCH
+  static const bool use_avx2 = have_avx2();
+  if (use_avx2 && !g_force_scalar) {
+    products_avx2(x, lag, n_prod, n_mag, s.prod_re.data(), s.prod_im.data(),
+                  s.mag.data());
+    return;
+  }
+#endif
+  products_scalar(x, lag, n_prod, n_mag, s.prod_re.data(), s.prod_im.data(),
+                  s.mag.data());
+}
+
+/// Shared sweep core over a contiguous sample array. `scale` maps output
+/// slots back to positions of the caller's original signal (1 for the
+/// full-rate sweep, the stride for decimated sweeps) — it only sizes the
+/// result vectors, the arithmetic is identical.
+void autocorr_core(const cf32* x, std::size_t len, std::size_t lag,
+                   std::size_t window, AutocorrResult& res) {
+  const std::size_t n_out = len - lag - window + 1;
+  res.corr.resize(n_out);
+  res.pow_lead.resize(n_out);
+  res.pow_lag.resize(n_out);
+  res.metric.resize(n_out);
+
+  // Element-wise conj products and magnitudes first (vectorizable), then
+  // the sequential sliding sums: sum += entering - leaving, the exact
+  // MovingSum ring-buffer recurrence, which yields the same bits as
+  // recomputing each term (same operands, same ops).
+  const std::size_t n_prod = n_out + window - 1;
+  fill_products(x, lag, n_prod, len, res.scratch);
+  const double* pre = res.scratch.prod_re.data();
+  const double* pim = res.scratch.prod_im.data();
+  const double* mag = res.scratch.mag.data();
+
+  cf64 corr_sum{0.0, 0.0};
+  double pow_lead = 0.0;
+  double pow_lag = 0.0;
+  for (std::size_t k = 0; k < window; ++k) {
+    corr_sum += cf64{pre[k], pim[k]} - cf64{0.0, 0.0};
+    pow_lead += mag[k] - 0.0;
+    pow_lag += mag[k + lag] - 0.0;
+  }
+  for (std::size_t n = 0;; ++n) {
+    const cf64 c = corr_sum;
+    const double pp = pow_lead * pow_lag;
+    res.corr[n] = cf32(static_cast<float>(c.real()), static_cast<float>(c.imag()));
+    res.pow_lead[n] = static_cast<float>(pow_lead);
+    res.pow_lag[n] = static_cast<float>(pow_lag);
+    res.metric[n] = (pp > 0.0) ? static_cast<float>(mag_sqr(c) / pp) : 0.0F;
+    if (n + 1 >= n_out) break;
+    const std::size_t k = n + window;  // next sample entering the window
+    corr_sum += cf64{pre[k], pim[k]} - cf64{pre[n], pim[n]};
+    pow_lead += mag[k] - mag[n];
+    pow_lag += mag[k + lag] - mag[n + lag];
+  }
+}
+
+void clear_result(AutocorrResult& res) {
+  res.corr.clear();
+  res.pow_lead.clear();
+  res.pow_lag.clear();
+  res.metric.clear();
+}
+
+}  // namespace
+
+namespace detail {
+void force_scalar_autocorr(bool force) noexcept { g_force_scalar = force; }
+bool autocorr_simd_active() noexcept {
+#ifdef MIMONET_AUTOCORR_X86_DISPATCH
+  return have_avx2() && !g_force_scalar;
+#else
+  return false;
+#endif
+}
+}  // namespace detail
+
 void lag_autocorrelate_into(std::span<const cf32> x, std::size_t lag,
                             std::size_t window, AutocorrResult& res) {
   if (lag == 0 || window == 0) {
     throw std::invalid_argument("lag_autocorrelate: lag and window must be > 0");
   }
   if (x.size() < lag + window) {
-    res.corr.clear();
-    res.power.clear();
-    res.metric.clear();
+    clear_result(res);
     return;
   }
+  autocorr_core(x.data(), x.size(), lag, window, res);
+}
 
-  const std::size_t n_out = x.size() - lag - window + 1;
-  res.corr.resize(n_out);
-  res.power.resize(n_out);
-  res.metric.resize(n_out);
-
-  // Sliding sums updated as sum += entering - leaving, the exact MovingSum
-  // ring-buffer recurrence; the leaving term is recomputed from x instead of
-  // stored, which yields the same bits (same operands, same ops).
-  const auto prod = [&](std::size_t k) {
-    return cf64(x[k]) * std::conj(cf64(x[k + lag]));
-  };
-  const auto lead = [&](std::size_t k) { return static_cast<double>(mag_sqr(x[k])); };
-  const auto lagp = [&](std::size_t k) {
-    return static_cast<double>(mag_sqr(x[k + lag]));
-  };
-
-  cf64 corr_sum{0.0, 0.0};
-  double pow_lead = 0.0;
-  double pow_lag = 0.0;
-  for (std::size_t k = 0; k < window; ++k) {
-    corr_sum += prod(k) - cf64{0.0, 0.0};
-    pow_lead += lead(k) - 0.0;
-    pow_lag += lagp(k) - 0.0;
+void lag_autocorrelate_strided_into(std::span<const cf32> x, std::size_t lag,
+                                    std::size_t window, std::size_t stride,
+                                    AutocorrResult& res) {
+  if (stride == 0) {
+    throw std::invalid_argument("lag_autocorrelate_strided: zero stride");
   }
-  for (std::size_t n = 0;; ++n) {
-    const cf64 c = corr_sum;
-    const double pp = pow_lead * pow_lag;
-    res.corr[n] = cf32(static_cast<float>(c.real()), static_cast<float>(c.imag()));
-    res.power[n] = static_cast<float>(std::sqrt(std::max(pp, 0.0)));
-    res.metric[n] = (pp > 0.0) ? static_cast<float>(mag_sqr(c) / pp) : 0.0F;
-    if (n + 1 >= n_out) break;
-    const std::size_t k = n + window;  // next sample entering the window
-    corr_sum += prod(k) - prod(n);
-    pow_lead += lead(k) - lead(n);
-    pow_lag += lagp(k) - lagp(n);
+  if (lag == 0 || window == 0) {
+    throw std::invalid_argument("lag_autocorrelate: lag and window must be > 0");
   }
+  if (lag % stride != 0 || window % stride != 0) {
+    throw std::invalid_argument(
+        "lag_autocorrelate_strided: lag and window must be multiples of stride");
+  }
+  if (stride == 1) {
+    lag_autocorrelate_into(x, lag, window, res);
+    return;
+  }
+  if (x.size() < lag + window) {
+    clear_result(res);
+    return;
+  }
+  // Pack every stride-th sample, then sweep the packed sequence at the
+  // decimated lag/window — position i of the result is position i*stride of
+  // x, and the decimated sequence still correlates at the same absolute lag.
+  auto& y = res.scratch.packed;
+  const std::size_t n_y = (x.size() + stride - 1) / stride;
+  y.resize(n_y);
+  for (std::size_t i = 0; i < n_y; ++i) y[i] = x[i * stride];
+  const std::size_t lag_d = lag / stride;
+  const std::size_t win_d = window / stride;
+  if (n_y < lag_d + win_d) {
+    clear_result(res);
+    return;
+  }
+  autocorr_core(y.data(), n_y, lag_d, win_d, res);
 }
 
 AutocorrResult lag_autocorrelate(std::span<const cf32> x, std::size_t lag,

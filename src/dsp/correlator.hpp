@@ -43,13 +43,29 @@ class MovingSumReal {
 struct AutocorrResult {
   /// c_n = sum over window of x_{n+k} * conj(x_{n+k+lag})
   std::vector<cf32> corr;
-  /// p_n = geometric-mean window power: sqrt(p_lead * p_lag), where p_lead
-  /// sums |x_{n+k}|^2 and p_lag sums |x_{n+k+lag}|^2. Normalizing by both
-  /// windows keeps the metric bounded at burst edges, where one window is
-  /// signal and the other is noise.
-  std::vector<float> power;
+  /// Lead-window power sum: p_lead,n = sum_k |x_{n+k}|^2. Exposed (rather
+  /// than the old pre-combined sqrt(p_lead*p_lag) "power") so multi-antenna
+  /// callers can normalize by the summed window powers,
+  /// |sum_a c_a|^2 / ((sum_a p_lead,a) * (sum_a p_lag,a)) — summing the
+  /// per-antenna geometric means and squaring is NOT equivalent and
+  /// inflates the metric when antennas see different lead/lag ratios.
+  std::vector<float> pow_lead;
+  /// Lag-window power sum: p_lag,n = sum_k |x_{n+k+lag}|^2. Normalizing by
+  /// both windows keeps the metric bounded at burst edges, where one window
+  /// is signal and the other is noise.
+  std::vector<float> pow_lag;
   /// m_n = |c_n|^2 / (p_lead * p_lag), in [0, 1] by Cauchy-Schwarz.
   std::vector<float> metric;
+
+  /// Internal staging for the product kernel and the strided pack — kept
+  /// here so a workspace-owned result sweeps without steady-state
+  /// allocation. Contents are unspecified between calls.
+  struct Scratch {
+    std::vector<double> prod_re;  ///< Re(x_k * conj(x_{k+lag}))
+    std::vector<double> prod_im;  ///< Im(x_k * conj(x_{k+lag}))
+    std::vector<double> mag;      ///< |x_k|^2 widened to double
+    std::vector<cf32> packed;     ///< decimated samples (strided sweeps)
+  } scratch;
 };
 
 /// Lag-`lag` autocorrelation of x over a sliding window of `window` samples.
@@ -59,8 +75,30 @@ struct AutocorrResult {
 
 /// Same sweep writing into caller-owned storage: `out`'s vectors are resized
 /// (capacity kept), so a workspace-owned result never allocates in steady
-/// state. Bit-identical to lag_autocorrelate().
+/// state. Bit-identical to lag_autocorrelate(). The element-wise products
+/// are computed by an AVX2 kernel when the CPU supports it (runtime
+/// dispatch); the scalar fallback is bit-compatible — same IEEE operations
+/// in the same order.
 void lag_autocorrelate_into(std::span<const cf32> x, std::size_t lag,
                             std::size_t window, AutocorrResult& out);
+
+/// Decimated sweep: output positions n = 0, stride, 2*stride, ... of x, each
+/// correlating only every stride-th sample inside the window — out index i
+/// corresponds to position i*stride of x and sums window/stride terms.
+/// Requires lag % stride == 0 and window % stride == 0 (the decimated
+/// sequence then still autocorrelates at the same absolute lag). This is
+/// the coarse-pass primitive: 1/stride of the full-rate work.
+void lag_autocorrelate_strided_into(std::span<const cf32> x, std::size_t lag,
+                                    std::size_t window, std::size_t stride,
+                                    AutocorrResult& out);
+
+namespace detail {
+/// Test/bench hook: force the product kernel onto the scalar path (true) or
+/// restore runtime dispatch (false). Not thread-safe; flip only in
+/// single-threaded harness code.
+void force_scalar_autocorr(bool force) noexcept;
+/// Whether the runtime dispatch would pick the AVX2 kernel right now.
+[[nodiscard]] bool autocorr_simd_active() noexcept;
+}  // namespace detail
 
 }  // namespace mimonet::dsp

@@ -15,7 +15,7 @@ constexpr std::size_t kLsigOffset = kLltfOffset + wifi::kLltfLen;     // 320
 }  // namespace
 
 FrameSynchronizer::FrameSynchronizer(FrameSyncConfig cfg)
-    : cfg_(cfg), detector_(cfg.detector) {
+    : cfg_(cfg), detector_(cfg.detector, cfg.scan) {
   if (cfg.vdb_slack >= 40) {
     throw std::invalid_argument(
         "FrameSynchronizer: vdb_slack must be < 40 (mod-80 timing ambiguity)");
@@ -45,7 +45,7 @@ std::optional<FrameSyncResult> FrameSynchronizer::synchronize(
   scratch.rejected_truncated = false;
   scratch.rejected_start_deficit = 0;
 
-  const auto det = detector_.detect_mimo(rx, scratch.autocorr);
+  const auto det = detector_.detect_mimo(rx, scratch.detect);
   if (!det) return std::nullopt;
 
   // Work on a coarse-CFO-corrected copy of the region from the detection

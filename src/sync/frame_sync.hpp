@@ -21,6 +21,9 @@ enum class TimingMode {
 
 struct FrameSyncConfig {
   DetectorConfig detector{};
+  /// Front-end scan policy for the detector: exhaustive by default,
+  /// two-pass decimated when scan.decimation > 1.
+  ScanMode scan{};
   TimingMode mode = TimingMode::kLtfCrossCorr;
   /// Van de Beek metric SNR weight (rho = snr/(snr+1)).
   double vdb_rho = 0.5;
@@ -41,7 +44,7 @@ struct FrameSyncResult {
 /// Reusable synchronization scratch, owned by the caller's workspace so a
 /// warm synchronize() call performs no heap allocation.
 struct SyncScratch {
-  std::vector<dsp::AutocorrResult> autocorr;   ///< detector per-antenna sums
+  DetectScratch detect;                        ///< detector per-antenna sums
   std::vector<std::vector<cf32>> corrected;    ///< CFO-corrected sync region
   std::vector<std::span<const cf32>> spans;    ///< span staging
   std::vector<std::span<const cf32>> capture_spans;  ///< vector-overload staging

@@ -137,6 +137,33 @@ TEST(AllocFree, MimoMlDetector) {
                             "2x2 MCS11 ML"});
 }
 
+// The two-pass decimated scan must keep the allocation-free steady state:
+// its coarse/full-rate chunk scratch lives in the workspace's DetectScratch
+// and is re-sized (capacity kept) per chunk, never re-allocated once warm.
+TEST(AllocFree, TwoPassScanSteadyState) {
+  core::PhyConfig phy;
+  const core::Transmitter tx(phy);
+  const auto capture = make_capture(tx, 1, 1);
+  const auto scfg = core::StreamReceiverConfig::make().scan_decimation(8).build();
+  const core::StreamReceiver srx(phy, 1, scfg);
+  const std::vector<std::span<const dsp::cf32>> spans(capture.begin(),
+                                                      capture.end());
+  core::RxWorkspace ws;
+  core::StreamStats warm;
+  const auto on_event = [](const core::StreamEvent&) {};
+  for (int i = 0; i < 2; ++i) srx.scan(spans, ws, warm, on_event);
+  ASSERT_EQ(warm.delivered, 2U);
+
+  {
+    const AllocGuard guard;
+    core::StreamStats stats;
+    for (int i = 0; i < 4; ++i) srx.scan(spans, ws, stats, on_event);
+    EXPECT_EQ(AllocGuard::count(), 0U)
+        << "steady-state two-pass StreamReceiver::scan allocated";
+    EXPECT_EQ(stats.delivered, 4U);
+  }
+}
+
 // The farm's contract: after the pool's workspaces, deques and record
 // buffers are warm, a sharded scan and a base-station run over the same
 // shapes perform zero heap allocations across every thread (the hook is

@@ -178,7 +178,136 @@ TEST(LagAutocorrelate, OutputSizeIsCorrect) {
   const auto res = lag_autocorrelate(x, 16, 32);
   EXPECT_EQ(res.metric.size(), 100 - 16 - 32 + 1);
   EXPECT_EQ(res.corr.size(), res.metric.size());
-  EXPECT_EQ(res.power.size(), res.metric.size());
+  EXPECT_EQ(res.pow_lead.size(), res.metric.size());
+  EXPECT_EQ(res.pow_lag.size(), res.metric.size());
+}
+
+TEST(LagAutocorrelate, PowerSumsMatchDirectComputation) {
+  const auto x = random_signal(300, 21);
+  const std::size_t lag = 16;
+  const std::size_t window = 48;
+  const auto res = lag_autocorrelate(x, lag, window);
+  ASSERT_FALSE(res.metric.empty());
+  for (std::size_t n = 0; n < res.metric.size(); n += 17) {
+    double lead = 0.0;
+    double lagp = 0.0;
+    cf64 corr{0.0, 0.0};
+    for (std::size_t k = 0; k < window; ++k) {
+      lead += static_cast<double>(mag_sqr(x[n + k]));
+      lagp += static_cast<double>(mag_sqr(x[n + k + lag]));
+      corr += cf64(x[n + k]) * std::conj(cf64(x[n + k + lag]));
+    }
+    EXPECT_NEAR(res.pow_lead[n], static_cast<float>(lead), 1e-4F * static_cast<float>(lead));
+    EXPECT_NEAR(res.pow_lag[n], static_cast<float>(lagp), 1e-4F * static_cast<float>(lagp));
+    // Metric recomputed from the exposed sums must agree with the stored one.
+    const double pp = static_cast<double>(res.pow_lead[n]) *
+                      static_cast<double>(res.pow_lag[n]);
+    EXPECT_NEAR(res.metric[n],
+                static_cast<float>(mag_sqr(cf64(res.corr[n])) / pp), 2e-4F);
+  }
+}
+
+TEST(LagAutocorrelate, SimdAndScalarPathsAreBitIdentical) {
+  if (!detail::autocorr_simd_active()) {
+    GTEST_SKIP() << "no AVX2 at runtime; scalar path is the only path";
+  }
+  // Odd length exercises the vector tails; the signal mixes a plateau-like
+  // periodic head with noise so both high- and low-metric regions appear.
+  auto x = random_signal(1237, 31);
+  for (std::size_t i = 100; i < 400; ++i) {
+    x[i] = phasor(2.0F * pi_f * static_cast<float>(i % 16) / 16.0F);
+  }
+  AutocorrResult simd;
+  lag_autocorrelate_into(x, 16, 48, simd);
+
+  detail::force_scalar_autocorr(true);
+  AutocorrResult scalar;
+  lag_autocorrelate_into(x, 16, 48, scalar);
+  detail::force_scalar_autocorr(false);
+
+  ASSERT_EQ(simd.metric.size(), scalar.metric.size());
+  for (std::size_t i = 0; i < simd.metric.size(); ++i) {
+    ASSERT_EQ(simd.corr[i], scalar.corr[i]) << "corr diverges at " << i;
+    ASSERT_EQ(simd.pow_lead[i], scalar.pow_lead[i]) << "pow_lead at " << i;
+    ASSERT_EQ(simd.pow_lag[i], scalar.pow_lag[i]) << "pow_lag at " << i;
+    ASSERT_EQ(simd.metric[i], scalar.metric[i]) << "metric at " << i;
+  }
+}
+
+TEST(LagAutocorrelateStrided, StrideOneMatchesFullRate) {
+  const auto x = random_signal(500, 41);
+  AutocorrResult full;
+  lag_autocorrelate_into(x, 16, 48, full);
+  AutocorrResult strided;
+  lag_autocorrelate_strided_into(x, 16, 48, 1, strided);
+  ASSERT_EQ(full.metric.size(), strided.metric.size());
+  for (std::size_t i = 0; i < full.metric.size(); ++i) {
+    EXPECT_EQ(full.metric[i], strided.metric[i]);
+  }
+}
+
+TEST(LagAutocorrelateStrided, MatchesDecimatedReference) {
+  // Stride-D output position i must equal a full-rate sweep of the manually
+  // decimated sequence at position i.
+  const auto x = random_signal(1000, 43);
+  const std::size_t lag = 16;
+  const std::size_t window = 96;
+  for (const std::size_t d : {2U, 4U, 8U}) {
+    AutocorrResult strided;
+    lag_autocorrelate_strided_into(x, lag, window, d, strided);
+
+    std::vector<cf32> dec;
+    for (std::size_t i = 0; i < x.size(); i += d) dec.push_back(x[i]);
+    AutocorrResult ref;
+    lag_autocorrelate_into(dec, lag / d, window / d, ref);
+
+    ASSERT_EQ(strided.metric.size(), ref.metric.size()) << "stride " << d;
+    for (std::size_t i = 0; i < ref.metric.size(); ++i) {
+      ASSERT_EQ(strided.metric[i], ref.metric[i]) << "stride " << d << " pos " << i;
+      ASSERT_EQ(strided.corr[i], ref.corr[i]);
+    }
+  }
+}
+
+TEST(LagAutocorrelateStrided, DetectsDecimatedPlateau) {
+  // A 16-periodic burst must still produce a near-unit metric when scanned
+  // at stride 8 (the decimated sequence is 2-periodic).
+  std::vector<cf32> x(1600, cf32{0.0F, 0.0F});
+  std::mt19937 rng(47);
+  std::uniform_real_distribution<float> dist(-0.1F, 0.1F);
+  for (auto& v : x) v = cf32(dist(rng), dist(rng));
+  for (std::size_t i = 400; i < 720; ++i) {
+    x[i] += phasor(2.0F * pi_f * static_cast<float>(i % 16) / 16.0F);
+  }
+  AutocorrResult res;
+  lag_autocorrelate_strided_into(x, 16, 96, 8, res);
+  ASSERT_FALSE(res.metric.empty());
+  // Position 416 samples in = decimated index 52: fully inside the burst.
+  EXPECT_GT(res.metric[52], 0.9F);
+  // Far outside the burst: noise-level metric.
+  EXPECT_LT(res.metric[10], 0.4F);
+}
+
+TEST(LagAutocorrelateStrided, ValidatesStrideDivisibility) {
+  std::vector<cf32> x(200);
+  AutocorrResult res;
+  EXPECT_THROW(lag_autocorrelate_strided_into(x, 16, 48, 0, res),
+               std::invalid_argument);
+  EXPECT_THROW(lag_autocorrelate_strided_into(x, 16, 48, 5, res),
+               std::invalid_argument);  // 16 % 5 != 0
+  EXPECT_THROW(lag_autocorrelate_strided_into(x, 16, 50, 4, res),
+               std::invalid_argument);  // window 50 % stride 4 != 0
+}
+
+TEST(LagAutocorrelate, IntoReusesCapacityWithoutAllocation) {
+  const auto x = random_signal(2000, 53);
+  AutocorrResult res;
+  lag_autocorrelate_into(x, 16, 48, res);  // warm: capacity established
+  const auto* corr_data = res.corr.data();
+  const auto* lead_data = res.pow_lead.data();
+  lag_autocorrelate_into(x, 16, 48, res);  // same size: no reallocation
+  EXPECT_EQ(res.corr.data(), corr_data);
+  EXPECT_EQ(res.pow_lead.data(), lead_data);
 }
 
 TEST(LagAutocorrelate, CfoShowsUpInAngle) {

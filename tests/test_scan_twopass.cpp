@@ -1,0 +1,253 @@
+// Scan-equivalence suite for the two-pass decimated front-end scan
+// (ISSUE 7 tentpole): for decimation factors {1, 2, 4, 8}, a StreamReceiver
+// running the decimated coarse pass + candidate-region full-rate detection
+// must produce packet records identical to the exhaustive full-rate scan —
+// same offsets, same error classifications, same MCS, same payload bytes —
+// across clean captures, fault-campaign captures (CW interferer bursts in
+// the gaps, the E18 shape), truncated tails, sharded farm scans whose
+// packets straddle shard seams, and the watchdog path.
+//
+// The coarse pass is a recall gate: its threshold is scaled down and its
+// window keeps >= 12 decimated terms, so a real STF plateau cannot slip
+// through, while coarse false alarms only cost bounded full-rate work.
+// These fixtures are the empirical proof of that equivalence claim.
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "channel/fault_plan.hpp"
+#include "channel/mimo_channel.hpp"
+#include "core/receive_session.hpp"
+#include "core/stream_receiver.hpp"
+#include "core/transmitter.hpp"
+#include "core/workspace.hpp"
+#include "dsp/rng.hpp"
+#include "wifi/psdu.hpp"
+
+namespace {
+
+using namespace mimonet;
+using dsp::cf32;
+
+constexpr std::size_t kDecimations[] = {1, 2, 4, 8};
+
+struct Scenario {
+  core::PhyConfig phy;
+  std::vector<std::vector<std::uint8_t>> psdus;
+  std::vector<std::vector<cf32>> capture;
+};
+
+/// `n_packets` PPDUs with idle gaps through a clean flat channel; when
+/// `faulted`, a CW tone burst (which autocorrelates like an STF plateau, the
+/// E18 fault-campaign shape) lands in every other gap.
+Scenario make_stream(unsigned mcs, std::size_t n_packets, bool faulted,
+                     std::size_t gap = 600, double snr_db = 30.0) {
+  Scenario s;
+  s.phy.mcs = mcs;
+  const core::Transmitter tx(s.phy);
+  const std::size_t nss = tx.num_streams();
+  constexpr std::size_t kPad = 200;
+
+  channel::FaultPlan plan;
+  std::vector<std::vector<cf32>> concat(nss);
+  for (std::size_t p = 0; p < n_packets; ++p) {
+    s.psdus.push_back(wifi::build_psdu(
+        wifi::MacHeader{},
+        std::vector<std::uint8_t>(160 + 13 * p,
+                                  static_cast<std::uint8_t>(0x40 + p))));
+    const auto streams = tx.transmit(s.psdus.back());
+    if (faulted && p + 1 < n_packets && p % 2 == 0) {
+      plan.tone_burst(kPad + concat[0].size() + streams[0].size() + 150, 240,
+                      3.0, 0.07);
+    }
+    for (std::size_t c = 0; c < nss; ++c) {
+      concat[c].insert(concat[c].end(), streams[c].begin(), streams[c].end());
+      if (p + 1 < n_packets) concat[c].resize(concat[c].size() + gap, cf32{});
+    }
+  }
+
+  channel::ChannelConfig ccfg;
+  ccfg.ntx = nss;
+  ccfg.nrx = nss;
+  ccfg.snr_db = snr_db;
+  ccfg.timing_pad = kPad;
+  ccfg.tail_pad = 150;
+  ccfg.seed = 0xE20;
+  ccfg.faults = plan;
+  channel::MimoChannel chan(ccfg);
+  s.capture = chan.transmit(concat);
+  return s;
+}
+
+core::StreamReceiverConfig scan_cfg(std::size_t decimation) {
+  return core::StreamReceiverConfig::make().scan_decimation(decimation).build();
+}
+
+/// The equivalence contract: the packet RECORD streams must be identical —
+/// candidate position, classification, negotiated MCS, recovered payload.
+/// (Float diagnostics like cfo/snr may differ by ulps: a candidate-region
+/// sweep warms its sliding sums at the region edge, not the span start.)
+void expect_identical_records(const std::vector<core::StreamRecord>& ref,
+                              const std::vector<core::StreamRecord>& got,
+                              std::size_t decimation) {
+  SCOPED_TRACE("decimation " + std::to_string(decimation));
+  ASSERT_EQ(ref.size(), got.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    SCOPED_TRACE("record " + std::to_string(i));
+    EXPECT_EQ(got[i].offset, ref[i].offset);
+    EXPECT_EQ(got[i].error, ref[i].error);
+    ASSERT_EQ(got[i].has_packet, ref[i].has_packet);
+    if (!ref[i].has_packet) continue;
+    EXPECT_EQ(got[i].packet.fcs_ok, ref[i].packet.fcs_ok);
+    EXPECT_EQ(got[i].packet.htsig_ok, ref[i].packet.htsig_ok);
+    if (ref[i].packet.htsig_ok) {
+      EXPECT_EQ(got[i].packet.htsig.mcs, ref[i].packet.htsig.mcs);
+    }
+    EXPECT_EQ(got[i].packet.psdu, ref[i].packet.psdu);
+    EXPECT_EQ(got[i].packet.sync.packet_start, ref[i].packet.sync.packet_start);
+  }
+}
+
+class TwoPassCaptures
+    : public ::testing::TestWithParam<std::tuple<unsigned, bool>> {};
+
+TEST_P(TwoPassCaptures, RecordsMatchExhaustiveScan) {
+  const auto [mcs, faulted] = GetParam();
+  const auto s = make_stream(mcs, 6, faulted);
+  const core::StreamReceiver ref_rx(s.phy, s.capture.size(), scan_cfg(1));
+  const auto ref = ref_rx.receive_all(s.capture);
+  // Sanity: all packets deliver even through the faulted gaps.
+  std::size_t delivered = 0;
+  for (const auto& r : ref) delivered += (r.error == metrics::RxError::kOk);
+  ASSERT_EQ(delivered, s.psdus.size());
+
+  for (const std::size_t d : kDecimations) {
+    const core::StreamReceiver srx(s.phy, s.capture.size(), scan_cfg(d));
+    expect_identical_records(ref, srx.receive_all(s.capture), d);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TwoPassCaptures,
+    ::testing::Values(std::make_tuple(0U, false),   // 1x1 clean
+                      std::make_tuple(0U, true),    // 1x1 faulted gaps
+                      std::make_tuple(15U, false),  // 2x2 clean
+                      std::make_tuple(15U, true))); // 2x2 faulted gaps
+
+TEST(TwoPassScan, TruncatedTailClassifiedIdentically) {
+  auto s = make_stream(0, 3, false);
+  // Cut the capture inside the last packet's data region.
+  for (auto& a : s.capture) a.resize(a.size() - 900);
+  const core::StreamReceiver ref_rx(s.phy, s.capture.size(), scan_cfg(1));
+  const auto ref = ref_rx.receive_all(s.capture);
+  bool saw_truncated = false;
+  for (const auto& r : ref) {
+    saw_truncated = saw_truncated || r.error == metrics::RxError::kTruncated;
+  }
+  ASSERT_TRUE(saw_truncated);
+
+  for (const std::size_t d : kDecimations) {
+    const core::StreamReceiver srx(s.phy, s.capture.size(), scan_cfg(d));
+    expect_identical_records(ref, srx.receive_all(s.capture), d);
+  }
+}
+
+TEST(TwoPassScan, WatchdogBudgetFiresIdentically) {
+  // A long 16-periodic CW tone is one giant STF-like plateau: every
+  // candidate fails fine sync, and the budget must trip in both modes.
+  core::PhyConfig phy;
+  std::vector<std::vector<cf32>> capture(1, std::vector<cf32>(60000));
+  dsp::ComplexGaussian noise(51, 0.01);
+  noise.fill(capture[0]);
+  channel::FaultPlan plan;
+  plan.tone_burst(1000, 58000, 2.0, 1.0 / 16.0);
+  channel::apply_fault_plan(capture[0], plan, 52);
+
+  for (const std::size_t d : kDecimations) {
+    const auto scfg = core::StreamReceiverConfig::make()
+                          .scan_decimation(d)
+                          .candidate_budget(8)
+                          .build();
+    const core::StreamReceiver srx(phy, 1, scfg);
+    core::RxWorkspace ws;
+    core::StreamStats stats;
+    std::vector<std::span<const cf32>> spans(capture.begin(), capture.end());
+    bool budget_event = false;
+    srx.scan(spans, ws, stats, [&](const core::StreamEvent& ev) {
+      budget_event =
+          budget_event || ev.error == metrics::RxError::kBudgetExceeded;
+    });
+    EXPECT_TRUE(budget_event) << "decimation " << d;
+    EXPECT_EQ(stats.budget_exhaustions, 1U) << "decimation " << d;
+    EXPECT_EQ(stats.delivered, 0U) << "decimation " << d;
+  }
+}
+
+TEST(TwoPassScan, ShardedFarmScanMatchesSingleThreadExhaustive) {
+  // Boundary-straddle fixture: more shards than packets guarantees shard
+  // seams land inside packets; the seam re-alignment plus the two-pass
+  // region logic must still reproduce the exhaustive single-thread records.
+  const auto s = make_stream(0, 5, true, 400);
+  const core::StreamReceiver ref_rx(s.phy, s.capture.size(), scan_cfg(1));
+  const auto ref = ref_rx.receive_all(s.capture);
+
+  for (const std::size_t d : {std::size_t{4}, std::size_t{8}}) {
+    const auto cfg = core::ReceiveSessionConfig::make()
+                         .scan_decimation(d)
+                         .workers(3)
+                         .shards(7)
+                         .build();
+    core::ReceiveSession session(s.phy, s.capture.size(), cfg);
+    const auto got = session.receive_all(s.capture);
+    expect_identical_records(ref, got, d);
+  }
+}
+
+TEST(TwoPassScan, BaseStationStreamsMatchExhaustive) {
+  const auto siso = make_stream(0, 3, false);
+  const auto mimo = make_stream(15, 3, true);
+  const core::StreamReceiver ref1(siso.phy, 1, scan_cfg(1));
+  const core::StreamReceiver ref2(mimo.phy, 2, scan_cfg(1));
+  core::RxWorkspace ws;
+  core::StreamStats ref_stats1;
+  core::StreamStats ref_stats2;
+  std::vector<std::span<const cf32>> sp1(siso.capture.begin(),
+                                         siso.capture.end());
+  std::vector<std::span<const cf32>> sp2(mimo.capture.begin(),
+                                         mimo.capture.end());
+  ref1.scan(sp1, ws, ref_stats1, [](const core::StreamEvent&) {});
+  {
+    core::RxWorkspace ws2;
+    ref2.scan(sp2, ws2, ref_stats2, [](const core::StreamEvent&) {});
+  }
+
+  // Two-pass per-user streams over the farm's worker pool: the per-stream
+  // stats must match what the exhaustive single scans produced.
+  for (const auto& [phy, nrx, spans, ref_stats] :
+       {std::tuple<const core::PhyConfig&, std::size_t,
+                   const std::vector<std::span<const cf32>>&,
+                   const core::StreamStats&>{siso.phy, 1, sp1, ref_stats1},
+        std::tuple<const core::PhyConfig&, std::size_t,
+                   const std::vector<std::span<const cf32>>&,
+                   const core::StreamStats&>{mimo.phy, 2, sp2, ref_stats2}}) {
+    const auto cfg = core::ReceiveSessionConfig::make()
+                         .scan_decimation(8)
+                         .workers(2)
+                         .build();
+    core::ReceiveSession session(phy, nrx, cfg);
+    std::vector<core::StreamStats> per_stream(2);
+    const core::StreamJob jobs[] = {
+        {0, std::span<const std::span<const cf32>>(spans)},
+        {1, std::span<const std::span<const cf32>>(spans)},
+    };
+    session.run_streams(jobs, per_stream);
+    for (const auto& st : per_stream) {
+      EXPECT_EQ(st.delivered, ref_stats.delivered);
+      EXPECT_EQ(st.frames, ref_stats.frames);
+      EXPECT_EQ(st.resync_events, ref_stats.resync_events);
+    }
+  }
+}
+
+}  // namespace

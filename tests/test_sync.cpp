@@ -301,6 +301,200 @@ TEST(FineSync, SpanAtAndBelowMinimumLength) {
   }
 }
 
+// ---- Multi-antenna metric normalization (ISSUE 7 headline bugfix). The
+// old combine summed per-antenna sqrt(P_lead*P_lag) and squared the sum;
+// when antennas see different lead/lag power ratios that denominator is
+// strictly smaller than (sum P_lead)*(sum P_lag) (AM-GM), inflating the
+// metric past the Cauchy-Schwarz bound and firing where it should not. ----
+
+// Two antennas observing the same 32-periodic pseudo-noise, with opposite
+// 10 dB amplitude steps at the lag boundary. The span is sized so every
+// correlation position has its lead window entirely in the pre-step region
+// and its lag window entirely in the post-step region: per antenna the
+// windows are perfectly correlated, but the correct combined metric is
+// 4*eps/(1+eps)^2 ~= 0.33 (eps = 0.1) while the old formula evaluates to
+// exactly 1.0 — the two sides of the detection threshold.
+TEST(PacketDetector, MimoNormalizationRejectsImbalancedGainStep) {
+  sync::DetectorConfig cfg;
+  cfg.lag = 32;
+  cfg.window = 16;
+  cfg.threshold = 0.45F;
+  cfg.min_plateau = 4;
+  const sync::PacketDetector det(cfg);
+
+  constexpr std::size_t kLen = 64;  // every position straddles the step
+  constexpr float kLow = 0.316228F;  // -10 dB amplitude
+  std::mt19937 rng(97);
+  std::uniform_real_distribution<float> dist(-1.0F, 1.0F);
+  std::vector<cf32> base(cfg.lag);
+  for (auto& v : base) v = cf32(dist(rng), dist(rng));
+
+  std::vector<cf32> x1(kLen);
+  std::vector<cf32> x2(kLen);
+  for (std::size_t k = 0; k < kLen; ++k) {
+    const float g1 = (k < cfg.lag) ? 1.0F : kLow;
+    const float g2 = (k < cfg.lag) ? kLow : 1.0F;
+    x1[k] = g1 * base[k % cfg.lag];
+    x2[k] = g2 * base[k % cfg.lag];
+  }
+  const std::span<const cf32> spans[] = {std::span<const cf32>(x1),
+                                         std::span<const cf32>(x2)};
+
+  // Fixed normalization: nothing crosses the threshold, no detection.
+  EXPECT_FALSE(det.detect_mimo(spans).has_value());
+
+  // Regression oracle: recompute both formulas from the exposed per-antenna
+  // power sums and show the old one would have fired on every position —
+  // i.e. this test fails against the pre-fix metric.
+  const auto r1 = dsp::lag_autocorrelate(x1, cfg.lag, cfg.window);
+  const auto r2 = dsp::lag_autocorrelate(x2, cfg.lag, cfg.window);
+  ASSERT_GE(r1.metric.size(), cfg.min_plateau);
+  for (std::size_t i = 0; i < r1.metric.size(); ++i) {
+    const dsp::cf64 c = dsp::cf64(r1.corr[i]) + dsp::cf64(r2.corr[i]);
+    const double old_denom =
+        std::sqrt(static_cast<double>(r1.pow_lead[i]) * r1.pow_lag[i]) +
+        std::sqrt(static_cast<double>(r2.pow_lead[i]) * r2.pow_lag[i]);
+    const double old_metric = dsp::mag_sqr(c) / (old_denom * old_denom);
+    const double new_denom =
+        (static_cast<double>(r1.pow_lead[i]) + r2.pow_lead[i]) *
+        (static_cast<double>(r1.pow_lag[i]) + r2.pow_lag[i]);
+    const double new_metric = dsp::mag_sqr(c) / new_denom;
+    EXPECT_GT(old_metric, cfg.threshold) << "position " << i;
+    EXPECT_NEAR(old_metric, 1.0, 1e-3) << "position " << i;
+    EXPECT_LT(new_metric, cfg.threshold) << "position " << i;
+    EXPECT_NEAR(new_metric, 4.0 * 0.1 / (1.1 * 1.1), 1e-3) << "position " << i;
+  }
+}
+
+// Flat (position-independent) antenna gain imbalance leaves each antenna's
+// lead/lag ratio intact, so the fix must not cost detection of a real
+// packet heard 10 dB weaker on one antenna.
+TEST(PacketDetector, MimoStillDetectsUnderFlatGainImbalance) {
+  const auto stf = wifi::make_lstf(0, 1);
+  const double nv = dsp::from_db(-15.0);
+  auto a1 = channel::pad_with_noise(stf, 500, 500, nv, 31);
+  dsp::ComplexGaussian n1(32, nv);
+  n1.add_to(std::span<cf32>(a1).subspan(500, stf.size()));
+  // Antenna 2: same burst 10 dB down, independent noise at the same floor.
+  std::vector<cf32> weak(stf.begin(), stf.end());
+  for (auto& v : weak) v *= 0.316228F;
+  auto a2 = channel::pad_with_noise(weak, 500, 500, nv, 33);
+  dsp::ComplexGaussian n2(34, nv);
+  n2.add_to(std::span<cf32>(a2).subspan(500, stf.size()));
+
+  const sync::PacketDetector det(sync::DetectorConfig{});
+  const std::span<const cf32> spans[] = {std::span<const cf32>(a1),
+                                         std::span<const cf32>(a2)};
+  const auto d = det.detect_mimo(spans);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NEAR(static_cast<double>(d->start), 500.0, 40.0);
+}
+
+// A plateau still above threshold at the last correlation position must
+// report (deferred-report scanner flushes at end of data).
+TEST(PacketDetector, PlateauReachingEndOfDataStillReports) {
+  const sync::DetectorConfig cfg{};
+  std::vector<cf32> rx(1200);
+  dsp::ComplexGaussian noise(35, dsp::from_db(-20.0));
+  noise.fill(rx);
+  // 16-periodic signal from sample 600 through the very end: the metric
+  // never drops below threshold again, so only an end-of-data flush can
+  // report the run.
+  for (std::size_t i = 600; i < rx.size(); ++i) {
+    rx[i] += dsp::phasor(2.0F * dsp::pi_f * static_cast<float>(i % 16) / 16.0F);
+  }
+  const sync::PacketDetector det(cfg);
+  const auto d = det.detect(rx);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NEAR(static_cast<double>(d->start), 600.0, 40.0);
+}
+
+// ---- Two-pass decimated scan (ISSUE 7 tentpole, detector level). ----
+
+TEST(PacketDetector, ScanModeValidation) {
+  sync::ScanMode scan;
+  scan.decimation = 5;  // does not divide lag 16
+  EXPECT_THROW(sync::PacketDetector(sync::DetectorConfig{}, scan),
+               std::invalid_argument);
+  scan.decimation = 0;
+  EXPECT_THROW(sync::PacketDetector(sync::DetectorConfig{}, scan),
+               std::invalid_argument);
+  scan.decimation = 4;
+  scan.coarse_threshold_scale = 1.5F;
+  EXPECT_THROW(sync::PacketDetector(sync::DetectorConfig{}, scan),
+               std::invalid_argument);
+  scan.coarse_threshold_scale = 0.6F;
+  scan.coarse_min_run = 0;
+  EXPECT_THROW(sync::PacketDetector(sync::DetectorConfig{}, scan),
+               std::invalid_argument);
+}
+
+TEST(PacketDetector, TwoPassMatchesExhaustiveOnStfBurst) {
+  const auto stf = wifi::make_lstf(0, 1);
+  std::vector<cf32> sig;
+  for (int i = 0; i < 2; ++i) sig.insert(sig.end(), stf.begin(), stf.end());
+  const double cfo = 2e-3;
+  channel::apply_cfo(sig, cfo);
+  auto rx = channel::pad_with_noise(sig, 3000, 2000, dsp::from_db(-20.0), 36);
+
+  const sync::PacketDetector exhaustive(sync::DetectorConfig{});
+  const auto ref = exhaustive.detect(rx);
+  ASSERT_TRUE(ref.has_value());
+
+  for (const std::size_t d : {2U, 4U, 8U}) {
+    sync::ScanMode scan;
+    scan.decimation = d;
+    const sync::PacketDetector twopass(sync::DetectorConfig{}, scan);
+    const auto det = twopass.detect(rx);
+    ASSERT_TRUE(det.has_value()) << "decimation " << d;
+    // The candidate-region full sweep warms its sliding sums at the region
+    // edge instead of the span start, so per-position float rounding can
+    // differ by ulps; the detection itself must agree.
+    EXPECT_EQ(det->start, ref->start) << "decimation " << d;
+    EXPECT_NEAR(det->cfo_norm, ref->cfo_norm, 1e-6) << "decimation " << d;
+    EXPECT_NEAR(det->peak_metric, ref->peak_metric, 1e-4F) << "decimation " << d;
+  }
+}
+
+TEST(PacketDetector, TwoPassQuietSpanHasNoDetection) {
+  std::vector<cf32> rx(100000);
+  dsp::ComplexGaussian noise(37, 1.0);
+  noise.fill(rx);
+  sync::ScanMode scan;
+  scan.decimation = 8;
+  const sync::PacketDetector det(sync::DetectorConfig{}, scan);
+  EXPECT_FALSE(det.detect(rx).has_value());
+}
+
+TEST(PacketDetector, ScanCoarseFlagsBurstRegions) {
+  const auto stf = wifi::make_lstf(0, 1);
+  std::vector<cf32> rx(20000);
+  dsp::ComplexGaussian noise(38, dsp::from_db(-20.0));
+  noise.fill(rx);
+  const std::size_t starts[] = {4000, 12000};
+  for (const auto s : starts) {
+    for (std::size_t i = 0; i < stf.size(); ++i) rx[s + i] += stf[i];
+  }
+
+  sync::ScanMode scan;
+  scan.decimation = 8;
+  const sync::PacketDetector det(sync::DetectorConfig{}, scan);
+  sync::DetectScratch scratch;
+  std::vector<sync::CoarseRegion> regions;
+  const std::span<const cf32> spans[] = {std::span<const cf32>(rx)};
+  const std::size_t n_pos = det.scan_coarse(spans, scratch, regions);
+  EXPECT_GT(n_pos, 0U);
+  // The coarse pass is a recall gate: noise may open spurious regions
+  // (bounded full-rate work), but every burst MUST be covered by one.
+  for (const auto s : starts) {
+    bool covered = false;
+    for (const auto& r : regions) {
+      covered = covered || (r.begin < s + stf.size() && r.end > s);
+    }
+    EXPECT_TRUE(covered) << "burst at " << s << " not flagged";
+  }
+}
+
 TEST(FrameSync, AllZeroCaptureIsNoDetect) {
   const std::vector<std::vector<cf32>> rx(2, std::vector<cf32>(4000));
   for (const auto mode :
