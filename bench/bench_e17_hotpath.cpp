@@ -142,6 +142,8 @@ int main() {
   cases_json += "]";
   report.raw("cases", cases_json);
   report.field("all_packets_decoded", all_decoded);
-  report.emit();
+  // Merge so E21's "decode" table in the same BENCH_hotpath.json survives
+  // re-runs of this bench, whichever order the two run in.
+  report.emit_merged();
   return all_decoded ? 0 : 1;
 }

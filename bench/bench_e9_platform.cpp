@@ -8,10 +8,13 @@
 
 #include <cstdio>
 #include <random>
+#include <span>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "channel/mimo_channel.hpp"
 #include "core/receiver.hpp"
+#include "core/workspace.hpp"
 #include "core/transmitter.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/rng.hpp"
@@ -150,9 +153,13 @@ void BM_RxChain(benchmark::State& state) {
   const auto psdu = wifi::build_psdu(wifi::MacHeader{},
                                      std::vector<std::uint8_t>(1500, 0xA5));
   const auto capture = chan.transmit(tx.transmit(psdu));
+  const std::vector<std::span<const dsp::cf32>> spans(capture.begin(),
+                                                      capture.end());
+  core::RxWorkspace ws;
   for (auto _ : state) {
-    auto pkt = rx.receive(capture);
-    benchmark::DoNotOptimize(&pkt);
+    const bool got = rx.receive(spans, ws);
+    benchmark::DoNotOptimize(&got);
+    benchmark::DoNotOptimize(&ws.packet);
   }
   state.SetItemsProcessed(state.iterations() * capture[0].size());  // samples/s
   state.counters["mbit/s"] = benchmark::Counter(

@@ -4,9 +4,12 @@
 // Build & run:  cmake -B build -G Ninja && cmake --build build
 //               ./build/examples/quickstart
 #include <cstdio>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/link_simulator.hpp"
+#include "core/workspace.hpp"
 #include "wifi/psdu.hpp"
 
 int main() {
@@ -39,25 +42,30 @@ int main() {
               streams[0].size(), cfg.phy.mcs, cfg.phy.mcs_info().data_rate_mbps());
 
   const auto capture = air.transmit(streams);
-  const auto pkt = rx.receive(capture);
-  if (!pkt) {
+  // The canonical receive entry point: spans over the capture plus a reusable
+  // workspace; the decoded packet lands in ws.packet.
+  core::RxWorkspace ws;
+  const std::vector<std::span<const dsp::cf32>> spans(capture.begin(),
+                                                      capture.end());
+  if (!rx.receive(spans, ws)) {
     std::printf("RX: no packet detected\n");
     return 1;
   }
+  const core::RxPacket& pkt = ws.packet;
 
   std::printf("RX: packet at sample %zu (true %zu), CFO est %.2e (true %.2e)\n",
-              pkt->sync.packet_start, air.truth().packet_start, pkt->sync.cfo_norm,
+              pkt.sync.packet_start, air.truth().packet_start, pkt.sync.cfo_norm,
               air.truth().cfo_norm);
   std::printf("RX: L-SIG %s, HT-SIG %s (MCS %u, %u bytes), FCS %s\n",
-              pkt->lsig_ok ? "ok" : "BAD", pkt->htsig_ok ? "ok" : "BAD",
-              pkt->htsig.mcs, pkt->htsig.length, pkt->fcs_ok ? "ok" : "BAD");
+              pkt.lsig_ok ? "ok" : "BAD", pkt.htsig_ok ? "ok" : "BAD",
+              pkt.htsig.mcs, pkt.htsig.length, pkt.fcs_ok ? "ok" : "BAD");
   std::printf("RX: SNR estimate %.1f dB (LTF), %.1f dB (pilots); true %.1f dB\n",
-              pkt->snr.snr_db, pkt->pilot_snr.snr_db, cfg.channel.snr_db);
+              pkt.snr.snr_db, pkt.pilot_snr.snr_db, cfg.channel.snr_db);
 
-  if (pkt->fcs_ok) {
-    const auto parsed = wifi::parse_psdu(pkt->psdu);
+  if (pkt.fcs_ok) {
+    const auto parsed = wifi::parse_psdu(pkt.psdu);
     std::printf("RX: payload: \"%.*s\"\n", static_cast<int>(parsed->payload.size()),
                 reinterpret_cast<const char*>(parsed->payload.data()));
   }
-  return pkt->fcs_ok ? 0 : 1;
+  return pkt.fcs_ok ? 0 : 1;
 }

@@ -1,12 +1,15 @@
 // Record-and-replay: capture a corrupted over-the-air burst to an IQ file,
 // then decode it offline from disk — the debugging workflow SDR developers
 // use when a receiver bug only shows up with real captures.
+#include <array>
 #include <cstdio>
 #include <filesystem>
+#include <span>
 
 #include "channel/mimo_channel.hpp"
 #include "core/receiver.hpp"
 #include "core/transmitter.hpp"
+#include "core/workspace.hpp"
 #include "trace/iq_file.hpp"
 #include "wifi/psdu.hpp"
 
@@ -45,14 +48,15 @@ int main() {
   std::printf("replaying at %.0f Msps\n", replay.sample_rate_hz / 1e6);
 
   core::Receiver rx(phy, 1);
-  const auto pkt = rx.receive({replay.samples});
-  if (!pkt || !pkt->fcs_ok) {
+  core::RxWorkspace ws;
+  const std::array<std::span<const dsp::cf32>, 1> spans{replay.samples};
+  if (!rx.receive(spans, ws) || !ws.packet.fcs_ok) {
     std::printf("offline decode FAILED\n");
     std::filesystem::remove(path);
     return 1;
   }
-  const auto parsed = wifi::parse_psdu(pkt->psdu);
-  std::printf("offline decode ok: snr %.1f dB, payload \"%.*s\"\n", pkt->snr.snr_db,
+  const auto parsed = wifi::parse_psdu(ws.packet.psdu);
+  std::printf("offline decode ok: snr %.1f dB, payload \"%.*s\"\n", ws.packet.snr.snr_db,
               static_cast<int>(parsed->payload.size()),
               reinterpret_cast<const char*>(parsed->payload.data()));
   std::filesystem::remove(path);

@@ -1,17 +1,24 @@
 #!/usr/bin/env python3
-"""Front-end scan throughput regression gate.
+"""Bench throughput regression gate.
 
-Compares the "scan" table of a freshly emitted BENCH_stream.json against the
-committed baseline at the repo root and fails (exit 1) when any per-case scan
-throughput figure regressed by more than the threshold (default 20%).
+Compares a freshly emitted bench JSON against the committed baseline at the
+repo root and fails (exit 1) when any gated per-case throughput figure
+regressed by more than the threshold (default 20%).
 
-Only the scan-stage figures are gated — the decimated coarse pass and the
-full-rate correlation kernel, which are what ISSUE 7's real-time budget is
-about. The end-to-end figures are decode-dominated (covered by the E17
-hot-path bench and its own baseline) and are reported but not gated.
+Two bench families are understood, auto-detected from the top-level "bench"
+key of the new results:
+
+  stream  (BENCH_stream.json)  — gates the "scan" table's decimated coarse
+      pass and full-rate correlation kernel, ISSUE 7's real-time budget.
+      End-to-end figures are decode-dominated and reported but not gated.
+
+  hotpath (BENCH_hotpath.json) — gates the E17 e2e samples/sec cases and the
+      E21 "decode" table's batched decode-only samples/sec, plus the
+      batched-vs-per-symbol record-identity flags. Stage kernel figures are
+      informational (the bench binary itself asserts the kernel bar).
 
 Usage:
-    scripts/bench_diff.py NEW.json [--baseline BENCH_stream.json]
+    scripts/bench_diff.py NEW.json [--baseline BASELINE.json]
                           [--threshold 0.20]
 
 Exit codes: 0 ok / nothing to compare against, 1 regression, 2 bad input.
@@ -22,56 +29,50 @@ import json
 import os
 import sys
 
-GATED_KEYS = ("coarse_msamp_s", "full_kernel_msamp_s")
-REPORTED_KEYS = ("e2e_exhaustive_msamp_s", "e2e_twopass_msamp_s")
+SCAN_GATED_KEYS = ("coarse_msamp_s", "full_kernel_msamp_s")
+SCAN_REPORTED_KEYS = ("e2e_exhaustive_msamp_s", "e2e_twopass_msamp_s")
+
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..")
 
 
-def scan_cases(path):
-    """Return {case_name: case_dict} from BENCH_stream.json's scan table."""
+def load_doc(path):
     with open(path) as f:
-        doc = json.load(f)
-    scan = doc.get("scan")
-    if scan is None:
-        return None
-    return {c["bench"]: c for c in scan.get("cases", [])}
+        return json.load(f)
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("new", help="freshly emitted BENCH_stream.json")
-    ap.add_argument(
-        "--baseline",
-        default=os.path.join(os.path.dirname(__file__), "..",
-                             "BENCH_stream.json"),
-        help="committed baseline (default: repo-root BENCH_stream.json)")
-    ap.add_argument(
-        "--threshold", type=float,
-        default=float(os.environ.get("MIMONET_SCAN_DIFF_THRESHOLD", "0.20")),
-        help="allowed fractional regression (default 0.20 = 20%%)")
-    args = ap.parse_args()
+def cases_by_name(table):
+    return {c["bench"]: c for c in table.get("cases", [])}
 
-    try:
-        new = scan_cases(args.new)
-    except (OSError, ValueError, KeyError) as e:
-        print(f"bench_diff: cannot read {args.new}: {e}", file=sys.stderr)
-        return 2
-    if new is None:
-        print(f"bench_diff: {args.new} has no scan table", file=sys.stderr)
-        return 2
 
-    if not os.path.exists(args.baseline):
-        print(f"bench_diff: no baseline at {args.baseline}; nothing to gate")
-        return 0
-    try:
-        base = scan_cases(args.baseline)
-    except (OSError, ValueError, KeyError) as e:
-        print(f"bench_diff: cannot read baseline {args.baseline}: {e}",
-              file=sys.stderr)
-        return 2
-    if base is None:
-        print(f"bench_diff: baseline {args.baseline} has no scan table; "
-              "nothing to gate")
-        return 0
+def gate_ratio(failures, name, key, base_case, new_case, threshold,
+               unit="Msamp/s"):
+    """Print one gated figure and record a failure if it regressed."""
+    b, n = base_case.get(key), new_case.get(key)
+    if b is None or n is None or b <= 0:
+        return
+    ratio = n / b
+    status = "ok"
+    if ratio < 1.0 - threshold:
+        status = "REGRESSION"
+        failures.append(
+            f"{name}.{key}: {n:.3g} vs baseline {b:.3g} {unit} "
+            f"({(1.0 - ratio) * 100.0:.1f}% slower, "
+            f"threshold {threshold * 100.0:.0f}%)")
+    print(f"  {name:.<28s} {key:.<28s} {n:12.4g} / {b:12.4g} "
+          f"{unit}  {status}")
+
+
+def diff_scan(new_doc, base_doc, threshold):
+    """Gate BENCH_stream.json's scan table. Returns (failures, gated_any)."""
+    new_scan = new_doc.get("scan")
+    base_scan = base_doc.get("scan")
+    if new_scan is None:
+        print("bench_diff: new results have no scan table", file=sys.stderr)
+        return None, False
+    if base_scan is None:
+        print("bench_diff: baseline has no scan table; nothing to gate")
+        return [], False
+    new, base = cases_by_name(new_scan), cases_by_name(base_scan)
 
     failures = []
     for name, base_case in sorted(base.items()):
@@ -82,34 +83,113 @@ def main():
         if not new_case.get("records_identical", False):
             failures.append(f"{name}: two-pass records diverged from the "
                             "exhaustive scan")
-        for key in GATED_KEYS:
+        for key in SCAN_GATED_KEYS:
+            gate_ratio(failures, name, key, base_case, new_case, threshold)
+        for key in SCAN_REPORTED_KEYS:
             b, n = base_case.get(key), new_case.get(key)
             if b is None or n is None or b <= 0:
                 continue
-            ratio = n / b
-            status = "ok"
-            if ratio < 1.0 - args.threshold:
-                status = "REGRESSION"
-                failures.append(
-                    f"{name}.{key}: {n:.1f} vs baseline {b:.1f} Msamp/s "
-                    f"({(1.0 - ratio) * 100.0:.1f}% slower, "
-                    f"threshold {args.threshold * 100.0:.0f}%)")
-            print(f"  {name:.<28s} {key:.<28s} {n:10.1f} / {b:10.1f} "
-                  f"Msamp/s  {status}")
-        for key in REPORTED_KEYS:
-            b, n = base_case.get(key), new_case.get(key)
-            if b is None or n is None or b <= 0:
-                continue
-            print(f"  {name:.<28s} {key:.<28s} {n:10.2f} / {b:10.2f} "
+            print(f"  {name:.<28s} {key:.<28s} {n:12.4g} / {b:12.4g} "
                   f"Msamp/s  (not gated)")
+    return failures, True
 
+
+def diff_hotpath(new_doc, base_doc, threshold):
+    """Gate BENCH_hotpath.json: E17 e2e cases + E21 decode table."""
+    failures = []
+    gated_any = False
+
+    # E17 e2e cases: samples/sec through the full receive chain. A file
+    # emitted by E21 alone has no e2e table — skip it rather than flag every
+    # baseline case as missing (each smoke gates only what its bench ran).
+    if "cases" in new_doc:
+        new, base = cases_by_name(new_doc), cases_by_name(base_doc)
+        for name, base_case in sorted(base.items()):
+            new_case = new.get(name)
+            if new_case is None:
+                failures.append(f"{name}: e2e case missing from new results")
+                continue
+            gated_any = True
+            gate_ratio(failures, name, "samples_per_sec", base_case, new_case,
+                       threshold, unit="samp/s")
+        if not new_doc.get("all_packets_decoded", True):
+            failures.append("e2e: not all packets decoded")
+
+    # E21 decode table: batched decode-only throughput + record identity.
+    new_dec = new_doc.get("decode")
+    base_dec = base_doc.get("decode")
+    if new_dec is not None:
+        if not new_dec.get("all_records_identical", False):
+            failures.append("decode: batched records diverged from the "
+                            "per-symbol path")
+        new_cases = cases_by_name(new_dec)
+        base_cases = cases_by_name(base_dec) if base_dec is not None else {}
+        for name, new_case in sorted(new_cases.items()):
+            if not new_case.get("records_identical", False):
+                failures.append(f"decode.{name}: batched record diverged "
+                                "from the per-symbol path")
+            base_case = base_cases.get(name)
+            if base_case is None:
+                continue
+            gated_any = True
+            gate_ratio(failures, f"decode.{name}", "batched_samples_per_sec",
+                       base_case, new_case, threshold, unit="samp/s")
+    return failures, gated_any
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("new", help="freshly emitted bench JSON")
+    ap.add_argument(
+        "--baseline", default=None,
+        help="committed baseline (default: repo-root file matching the "
+        "new results' bench family)")
+    ap.add_argument(
+        "--threshold", type=float,
+        default=float(os.environ.get("MIMONET_SCAN_DIFF_THRESHOLD", "0.20")),
+        help="allowed fractional regression (default 0.20 = 20%%)")
+    args = ap.parse_args()
+
+    try:
+        new_doc = load_doc(args.new)
+    except (OSError, ValueError) as e:
+        print(f"bench_diff: cannot read {args.new}: {e}", file=sys.stderr)
+        return 2
+
+    family = new_doc.get("bench")
+    if family == "hotpath":
+        default_baseline = os.path.join(REPO_ROOT, "BENCH_hotpath.json")
+        diff = diff_hotpath
+    elif family == "stream":
+        default_baseline = os.path.join(REPO_ROOT, "BENCH_stream.json")
+        diff = diff_scan
+    else:
+        print(f"bench_diff: unknown bench family {family!r} in {args.new}",
+              file=sys.stderr)
+        return 2
+    baseline = args.baseline or default_baseline
+
+    if not os.path.exists(baseline):
+        print(f"bench_diff: no baseline at {baseline}; nothing to gate")
+        return 0
+    try:
+        base_doc = load_doc(baseline)
+    except (OSError, ValueError) as e:
+        print(f"bench_diff: cannot read baseline {baseline}: {e}",
+              file=sys.stderr)
+        return 2
+
+    failures, gated_any = diff(new_doc, base_doc, args.threshold)
+    if failures is None:
+        return 2
     if failures:
-        print("bench_diff: scan throughput regressed:", file=sys.stderr)
+        print(f"bench_diff: {family} throughput regressed:", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
-    print("bench_diff: scan throughput within "
-          f"{args.threshold * 100.0:.0f}% of baseline")
+    if gated_any:
+        print(f"bench_diff: {family} throughput within "
+              f"{args.threshold * 100.0:.0f}% of baseline")
     return 0
 
 

@@ -6,9 +6,10 @@
 #   scripts/check.sh            # all three configurations + bench smokes
 #   scripts/check.sh plain      # just the plain build
 #   scripts/check.sh asan tsan  # any subset, in order
-#   scripts/check.sh bench-smoke  # hot-path bench on 4 packets + JSON schema
+#   scripts/check.sh bench-smoke  # hot-path bench on 4 packets + JSON schema + diff
 #   scripts/check.sh farm-smoke   # E19 receiver-farm bench + "farm" schema
 #   scripts/check.sh scan-smoke   # E20 scan bench + "scan" schema + regression diff
+#   scripts/check.sh decode-smoke # E21 batched-decode bench + "decode" schema + diff
 #
 # Build trees are kept per-configuration (build/, build-asan/, build-tsan/)
 # so incremental re-runs are cheap.
@@ -18,7 +19,7 @@ cd "$(dirname "$0")/.."
 
 configs=("$@")
 if [ ${#configs[@]} -eq 0 ]; then
-  configs=(plain asan tsan bench-smoke farm-smoke scan-smoke)
+  configs=(plain asan tsan bench-smoke farm-smoke scan-smoke decode-smoke)
 fi
 
 run_config() {
@@ -70,6 +71,13 @@ for c in d["cases"]:
 print("BENCH_hotpath.json schema OK")
 EOF
   local rc=$?
+  if [ "$rc" -ne 0 ]; then rm -rf "$tmp"; return "$rc"; fi
+  echo "==== [bench-smoke] diff vs committed baseline ===="
+  # 4-packet e2e timings are noisy; the loose threshold only catches a
+  # catastrophic hot-path regression, the committed baseline tracks real runs.
+  python3 scripts/bench_diff.py "$tmp/BENCH_hotpath.json" \
+    --threshold "${MIMONET_HOTPATH_SMOKE_THRESHOLD:-0.5}"
+  rc=$?
   rm -rf "$tmp"
   return "$rc"
 }
@@ -164,6 +172,65 @@ EOF
   return "$rc"
 }
 
+# Batched-decode smoke: a few receives through bench_e21_decode, which
+# itself asserts (a) the batched symbol-plane decode stays record-identical
+# to the per-symbol reference path and (b) the batched eq/demap/deinterleave
+# kernels clear the 20 Msamp/s-equivalent bar (MIMONET_DECODE_KERNEL_MSPS
+# overrides the bar for slow CI hardware). Then a schema check on the
+# "decode" table merged into BENCH_hotpath.json and a loose regression diff.
+run_decode_smoke() {
+  echo "==== [decode-smoke] build ===="
+  cmake -B build -S . > build.configure.log 2>&1 || {
+    cat build.configure.log; return 1; }
+  cmake --build build -j --target bench_e21_decode > build.build.log 2>&1 || {
+    tail -50 build.build.log; return 1; }
+  echo "==== [decode-smoke] run (4 receives) ===="
+  local tmp
+  tmp="$(mktemp -d)"
+  MIMONET_BENCH_PACKETS=4 MIMONET_BENCH_JSON_DIR="$tmp" \
+    ./build/bench/bench_e21_decode || { rm -rf "$tmp"; return 1; }
+  echo "==== [decode-smoke] validate BENCH_hotpath.json decode table ===="
+  python3 - "$tmp/BENCH_hotpath.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+assert d["bench"] == "hotpath"
+dec = d["decode"]
+for key in ("timed_receives", "payload_bytes", "chunk_symbols", "demap_simd",
+            "deint_simd", "cases", "stages", "kernel_bar_msamp_s",
+            "kernels_meet_bar", "all_records_identical"):
+    assert key in dec, f"missing decode key: {key}"
+assert dec["kernels_meet_bar"] is True, "batched kernels below the bar"
+assert dec["all_records_identical"] is True, \
+    "batched decode diverged from the per-symbol path"
+cases = dec["cases"]
+assert isinstance(cases, list) and len(cases) == 2, "want 2 decode cases"
+for c in cases:
+    for key in ("bench", "mcs", "batched_samples_per_sec",
+                "per_symbol_samples_per_sec", "batched_over_per_symbol",
+                "speedup_vs_baseline", "records_identical",
+                "decode_failures"):
+        assert key in c, f"missing decode case key: {key}"
+    assert c["batched_samples_per_sec"] > 0, "non-positive decode rate"
+    assert c["records_identical"] is True, "decode record diverged"
+    assert c["decode_failures"] == 0, "decode failures in smoke run"
+stages = dec["stages"]
+for key in ("fft_msamp_s", "eq_msamp_s", "demap_msamp_s", "deint_msamp_s",
+            "viterbi_msamp_s"):
+    assert key in stages and stages[key] > 0, f"bad stage figure: {key}"
+print("BENCH_hotpath.json decode schema OK")
+EOF
+  local rc=$?
+  if [ "$rc" -ne 0 ]; then rm -rf "$tmp"; return "$rc"; fi
+  echo "==== [decode-smoke] diff vs committed baseline ===="
+  python3 scripts/bench_diff.py "$tmp/BENCH_hotpath.json" \
+    --threshold "${MIMONET_HOTPATH_SMOKE_THRESHOLD:-0.5}"
+  rc=$?
+  rm -rf "$tmp"
+  return "$rc"
+}
+
 for cfg in "${configs[@]}"; do
   case "$cfg" in
     plain)
@@ -181,8 +248,10 @@ for cfg in "${configs[@]}"; do
       run_farm_smoke ;;
     scan-smoke)
       run_scan_smoke ;;
+    decode-smoke)
+      run_decode_smoke ;;
     *)
-      echo "unknown config: $cfg (want plain|asan|tsan|bench-smoke|farm-smoke|scan-smoke)" >&2
+      echo "unknown config: $cfg (want plain|asan|tsan|bench-smoke|farm-smoke|scan-smoke|decode-smoke)" >&2
       exit 2 ;;
   esac
 done

@@ -71,7 +71,9 @@ PacketWork simulate_packet(const LinkConfig& cfg, const Transmitter& tx,
   const auto capture = chan.transmit(tws.chains);
   const auto& truth = chan.truth();
 
-  const bool detected = rx.receive(capture, rws);
+  rws.capture_spans.assign(capture.begin(), capture.end());
+  const bool detected = rx.receive(
+      std::span<const std::span<const cf32>>(rws.capture_spans), rws);
   const double airtime = tx.layout(psdu.size()).airtime_us();
 
   PacketWork work;

@@ -49,6 +49,13 @@ struct PhyConfig {
   bool decision_tracking = false;
   float decision_tracking_mu = 0.25F;  ///< LMS step size in (0, 1]
   sync::TimingMode timing_mode = sync::TimingMode::kLtfCrossCorr;
+  /// Batched symbol-plane decode: run the payload through stage-wise passes
+  /// over chunks of OFDM symbols (batch FFT -> batch equalize -> SIMD demap
+  /// + deinterleave -> streaming Viterbi) instead of one symbol at a time
+  /// through every layer. Bit-identical results either way (the equivalence
+  /// suite pins it); `false` selects the reference per-symbol path. Applies
+  /// to the non-STBC payload loop.
+  bool batched_decode = true;
 
   [[nodiscard]] wifi::McsInfo mcs_info() const { return wifi::mcs_info(mcs); }
   /// Space-time streams actually radiated (2 for STBC, else nss).

@@ -118,19 +118,6 @@ void Receiver::decode_sig_llrs(const dsp::SampleGrid& grids,
   wifi::demap_sig_field_into(ws.mrc, noise_var, qbpsk, ws.sig_axis_llrs, out);
 }
 
-std::optional<RxPacket> Receiver::receive(
-    const std::vector<std::vector<cf32>>& capture) const {
-  RxWorkspace ws;
-  if (!receive(capture, ws)) return std::nullopt;
-  return std::move(ws.packet);
-}
-
-bool Receiver::receive(const std::vector<std::vector<cf32>>& capture,
-                       RxWorkspace& ws) const {
-  ws.capture_spans.assign(capture.begin(), capture.end());
-  return receive(std::span<const std::span<const cf32>>(ws.capture_spans), ws);
-}
-
 bool Receiver::receive(std::span<const std::span<const cf32>> capture,
                        RxWorkspace& ws) const {
   if (capture.size() != nrx_) {
@@ -313,14 +300,19 @@ bool Receiver::receive(std::span<const std::span<const cf32>> capture,
     }
   }
 
-  ws.stream_llrs.resize(mcs.nss);
-  for (auto& v : ws.stream_llrs) {
-    v.clear();
-    v.reserve(fl.n_data_symbols * wifi::kHtDataCarriers * bps);
-  }
+  // The batched symbol-plane pipeline replaces the per-symbol layer walk for
+  // the spatial-multiplexing payload; STBC keeps the pairwise path.
+  const bool batched = cfg_.batched_decode && !stbc;
 
-  ws.data_grid.resize(nrx_, ofdm::kFftSize);
-  ws.y.resize(nrx_);
+  if (!batched) {
+    ws.stream_llrs.resize(mcs.nss);
+    for (auto& v : ws.stream_llrs) {
+      v.clear();
+      v.reserve(fl.n_data_symbols * wifi::kHtDataCarriers * bps);
+    }
+    ws.data_grid.resize(nrx_, ofdm::kFftSize);
+    ws.y.resize(nrx_);
+  }
   ws.llr_buf.resize(mcs.nss * bps);
   ws.rx_pilots.resize(nrx_);
 
@@ -384,7 +376,177 @@ bool Receiver::receive(std::span<const std::span<const cf32>> capture,
     }
   };
 
-  if (!stbc) {
+  const wifi::StreamParser parser(mcs.bits_per_subcarrier(), mcs.nss);
+  const std::size_t n_info_bits = fl.n_data_symbols * mcs.data_bits_per_symbol();
+  // Batched BCC streams depunctured LLRs straight into the Viterbi ACS as
+  // each chunk lands; everything else accumulates ws.merged for the tail.
+  const bool bcc_stream = batched && cfg_.fec_enabled && fec_type == FecType::kBcc;
+  std::size_t llrs_fed = 0;
+
+  if (batched) {
+    // ---- Batched symbol-plane decode: stage-wise passes over chunks of
+    // kDecodeBatchSymbols OFDM symbols. Per-(symbol, bin) operations are
+    // independent, so the symbol-major -> bin-major reorder inside a chunk
+    // is bit-exact; decision tracking's only cross-symbol dependency is
+    // per-bin, which the bin-major walk preserves in sequence. ----
+    const std::size_t n_bins = data_bins.size();
+    const std::size_t block = n_bins * bps;  // coded bits/symbol/stream
+    if (bcc_stream) {
+      ws.depunct_stream.reset(mcs.rate);
+      viterbi_.stream_begin(ws.viterbi_stream, ws.viterbi, n_info_bits);
+    } else {
+      ws.merged.clear();
+      ws.merged.reserve(fl.n_data_symbols * block * mcs.nss);
+    }
+    ws.eq_out.resize(mcs.nss);
+    ws.nv_out.resize(mcs.nss);
+    ws.chunk_llrs.resize(mcs.nss);
+    ws.chunk_deint.resize(mcs.nss);
+    ws.merge_views.resize(mcs.nss);
+    std::array<cf32, eq::CMatrix::kMaxDim> eq_syms{};
+    std::array<float, eq::CMatrix::kMaxDim> eq_nvars{};
+
+    for (std::size_t n0 = 0; n0 < fl.n_data_symbols; n0 += kDecodeBatchSymbols) {
+      const std::size_t chunk =
+          std::min<std::size_t>(kDecodeBatchSymbols, fl.n_data_symbols - n0);
+
+      // Stage 1: one batched FFT pass per antenna over the chunk.
+      ws.batch_grids.resize(nrx_, chunk, ofdm::kFftSize);
+      const std::size_t off = fl.data_offset() + n0 * ofdm::kSymLen;
+      for (std::size_t a = 0; a < nrx_; ++a) {
+        ht_demod_.demodulate_grids_into(
+            std::span<const cf32>(ws.rx[a]).subspan(off, chunk * ofdm::kSymLen),
+            chunk,
+            std::span<cf32>(ws.batch_grids.data() + a * chunk * ofdm::kFftSize,
+                            chunk * ofdm::kFftSize));
+      }
+
+      // Stage 2: pilot CPE tracking + EVM, sequential in symbol order (the
+      // tracker state and EVM accumulation see the per-symbol sequence).
+      ws.derotate.resize(chunk);
+      for (std::size_t j = 0; j < chunk; ++j) {
+        const std::size_t n = n0 + j;
+        for (std::size_t a = 0; a < nrx_; ++a) {
+          for (std::size_t p = 0; p < 4; ++p) {
+            ws.rx_pilots[a][p] = ws.batch_grids(a, j, pilot_bins[p]);
+          }
+        }
+        cf32 derotate{1.0F, 0.0F};
+        if (cfg_.phase_tracking) {
+          const double raw = tracker.estimate_cpe(ws.rx_pilots, n);
+          const double theta = tracker.track(raw);
+          derotate = dsp::phasor(static_cast<float>(-theta));
+        }
+        for (std::size_t a = 0; a < nrx_; ++a) {
+          for (std::size_t p = 0; p < 4; ++p) {
+            dsp::cf64 expected{0.0, 0.0};
+            for (std::size_t s = 0; s < nsts; ++s) {
+              const auto pv = ofdm::ht_data_pilots(nsts, s, n);
+              expected += dsp::cf64(est.h[a][s][pilot_bins[p]]) * dsp::cf64(pv[p]);
+            }
+            ws.pilot_evm.add(pilot_bins[p], ws.rx_pilots[a][p] * derotate,
+                             cf32(static_cast<float>(expected.real()),
+                                  static_cast<float>(expected.imag())));
+          }
+        }
+        ws.derotate[j] = derotate;
+      }
+
+      // Stage 3: equalize bin-major across the chunk, scattering the
+      // per-stream outputs symbol-major so the demap input is already in
+      // stream-LLR order.
+      for (std::size_t s = 0; s < mcs.nss; ++s) {
+        ws.eq_out[s].resize(chunk * n_bins);
+        ws.nv_out[s].resize(chunk * n_bins);
+        ws.chunk_llrs[s].resize(chunk * block);
+      }
+      ws.y_batch.resize(chunk * nrx_);
+      ws.eq_slab.resize(chunk * mcs.nss);
+      ws.nv_slab.resize(chunk * mcs.nss);
+      for (std::size_t i = 0; i < n_bins; ++i) {
+        const std::size_t bin = data_bins[i];
+        for (std::size_t j = 0; j < chunk; ++j) {
+          for (std::size_t a = 0; a < nrx_; ++a) {
+            ws.y_batch[j * nrx_ + a] = ws.batch_grids(a, j, bin) * ws.derotate[j];
+          }
+        }
+        if (ml_det) {
+          for (std::size_t j = 0; j < chunk; ++j) {
+            ml_det->demap(
+                ws.h_at[bin],
+                std::span<const cf32>(ws.y_batch).subspan(j * nrx_, nrx_), nv_bin,
+                ws.llr_buf);
+            for (std::size_t s = 0; s < mcs.nss; ++s) {
+              for (unsigned b = 0; b < bps; ++b) {
+                ws.chunk_llrs[s][(j * n_bins + i) * bps + b] =
+                    ws.llr_buf[s * bps + b];
+              }
+            }
+          }
+        } else if (dd_tracking) {
+          // Per-bin LMS updates force a sequential walk over the chunk's
+          // symbols for this bin — the exact update sequence the per-symbol
+          // path produces.
+          for (std::size_t j = 0; j < chunk; ++j) {
+            const auto y =
+                std::span<const cf32>(ws.y_batch).subspan(j * nrx_, nrx_);
+            eq::LinearEqualizer::apply(
+                ws.coeffs[bin], y, std::span<cf32>(eq_syms).first(mcs.nss),
+                std::span<float>(eq_nvars).first(mcs.nss));
+            for (std::size_t s = 0; s < mcs.nss; ++s) {
+              ws.eq_out[s][j * n_bins + i] = eq_syms[s];
+              ws.nv_out[s][j * n_bins + i] = eq_nvars[s];
+            }
+            dd_update(bin, y, std::span<const cf32>(eq_syms).first(mcs.nss));
+            lin_eq->prepare(ws.h_at[bin], nv_bin, ws.coeffs[bin]);
+          }
+        } else {
+          eq::LinearEqualizer::apply_run(ws.coeffs[bin], ws.y_batch, chunk,
+                                         ws.eq_slab, ws.nv_slab);
+          for (std::size_t j = 0; j < chunk; ++j) {
+            for (std::size_t s = 0; s < mcs.nss; ++s) {
+              ws.eq_out[s][j * n_bins + i] = ws.eq_slab[j * mcs.nss + s];
+              ws.nv_out[s][j * n_bins + i] = ws.nv_slab[j * mcs.nss + s];
+            }
+          }
+        }
+      }
+
+      // Stage 4: SIMD demap + deinterleave per stream, then merge. The
+      // interleaver block is one symbol per stream and the parser group
+      // divides the block, so chunk-wise passes concatenate to the
+      // whole-payload result exactly.
+      for (std::size_t s = 0; s < mcs.nss; ++s) {
+        if (!ml_det) {
+          constellation.demap_soft_run(ws.eq_out[s], ws.nv_out[s],
+                                       ws.chunk_llrs[s]);
+        }
+        const wifi::Interleaver& il =
+            wifi::cached_interleaver(mcs.bits_per_subcarrier(), s, mcs.nss);
+        ws.chunk_deint[s].resize(chunk * block);
+        il.deinterleave_into(ws.chunk_llrs[s], std::span<float>(ws.chunk_deint[s]));
+        ws.merge_views[s] = ws.chunk_deint[s];
+      }
+      ws.chunk_merged.resize(chunk * block * mcs.nss);
+      parser.merge_into(std::span<const std::span<const float>>(ws.merge_views),
+                        std::span<float>(ws.chunk_merged));
+
+      // Stage 5: stream the chunk into the FEC consumer — Viterbi ACS runs
+      // while later chunks are still in flight.
+      if (bcc_stream) {
+        ws.depunct_stream.consume(ws.chunk_merged, ws.chunk_depunct);
+        const std::size_t take =
+            std::min(ws.chunk_depunct.size(), 2 * n_info_bits - llrs_fed);
+        viterbi_.stream_consume(
+            ws.viterbi_stream, ws.viterbi,
+            std::span<const float>(ws.chunk_depunct).first(take));
+        llrs_fed += take;
+      } else {
+        ws.merged.insert(ws.merged.end(), ws.chunk_merged.begin(),
+                         ws.chunk_merged.end());
+      }
+    }
+  } else if (!stbc) {
     std::array<cf32, eq::CMatrix::kMaxDim> eq_syms{};
     std::array<float, eq::CMatrix::kMaxDim> eq_nvars{};
     for (std::size_t n = 0; n < fl.n_data_symbols; ++n) {
@@ -454,15 +616,18 @@ bool Receiver::receive(std::span<const std::span<const cf32>> capture,
   ws.pilot_evm.estimate_into(pkt.pilot_snr);
   pkt.residual_cfo_norm = tracker.residual_cfo_norm();
 
-  // ---- Deinterleave per stream, merge, FEC-decode, descramble. ----
-  const wifi::StreamParser parser(mcs.bits_per_subcarrier(), mcs.nss);
-  ws.deinterleaved.resize(mcs.nss);
-  for (std::size_t s = 0; s < mcs.nss; ++s) {
-    const wifi::Interleaver& il =
-        wifi::cached_interleaver(mcs.bits_per_subcarrier(), s, mcs.nss);
-    il.deinterleave_into(ws.stream_llrs[s], ws.deinterleaved[s]);
+  // ---- Deinterleave per stream, merge, FEC-decode, descramble. The
+  // batched pipeline already deinterleaved, merged, and (for BCC) fed the
+  // streaming Viterbi chunk by chunk. ----
+  if (!batched) {
+    ws.deinterleaved.resize(mcs.nss);
+    for (std::size_t s = 0; s < mcs.nss; ++s) {
+      const wifi::Interleaver& il =
+          wifi::cached_interleaver(mcs.bits_per_subcarrier(), s, mcs.nss);
+      il.deinterleave_into(ws.stream_llrs[s], ws.deinterleaved[s]);
+    }
+    parser.merge_into(ws.deinterleaved, ws.merged);
   }
-  parser.merge_into(ws.deinterleaved, ws.merged);
 
   if (cfg_.fec_enabled && fec_type == FecType::kLdpc) {
     static const fec::LdpcCode code;
@@ -480,11 +645,25 @@ bool Receiver::receive(std::span<const std::span<const cf32>> capture,
                           word.begin() + static_cast<long>(kLdpcK));
     }
   } else if (cfg_.fec_enabled) {
-    const std::size_t n_info = fl.n_data_symbols * mcs.data_bits_per_symbol();
-    fec::depuncture_into(ws.merged, mcs.rate, ws.depunctured);
-    ws.depunctured.resize(2 * n_info, 0.0F);
-    viterbi_.decode_soft_into(ws.depunctured, /*terminated=*/false, ws.scrambled,
-                              ws.viterbi);
+    if (bcc_stream) {
+      // Pad the trellis with zero-LLR erasures up to the 2 * n_info budget
+      // (the one-shot path's resize does the same), then trace back.
+      std::array<float, 128> zeros{};
+      while (llrs_fed < 2 * n_info_bits) {
+        const std::size_t take =
+            std::min(zeros.size(), 2 * n_info_bits - llrs_fed);
+        viterbi_.stream_consume(ws.viterbi_stream, ws.viterbi,
+                                std::span<const float>(zeros).first(take));
+        llrs_fed += take;
+      }
+      viterbi_.stream_finish(ws.viterbi_stream, ws.viterbi,
+                             /*terminated=*/false, ws.scrambled);
+    } else {
+      fec::depuncture_into(ws.merged, mcs.rate, ws.depunctured);
+      ws.depunctured.resize(2 * n_info_bits, 0.0F);
+      viterbi_.decode_soft_into(ws.depunctured, /*terminated=*/false,
+                                ws.scrambled, ws.viterbi);
+    }
   } else {
     ws.scrambled.resize(ws.merged.size());
     for (std::size_t i = 0; i < ws.merged.size(); ++i) {

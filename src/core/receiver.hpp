@@ -26,6 +26,12 @@ using dsp::cf32;
 
 struct RxWorkspace;  // core/workspace.hpp
 
+/// OFDM symbols per chunk of the batched symbol-plane decode pipeline: large
+/// enough to amortize per-stage dispatch and fill the SIMD kernels, small
+/// enough that the chunk slabs stay cache-resident and bounded (keeping
+/// RxWorkspace allocation-free regardless of payload length).
+inline constexpr std::size_t kDecodeBatchSymbols = 32;
+
 /// Everything the receiver learned about one packet.
 struct RxPacket {
   bool lsig_ok = false;
@@ -76,23 +82,12 @@ class Receiver {
   /// relative to the window). All scratch — and the result, ws.packet —
   /// lives in `ws`, so a warm call performs no heap allocation. Returns
   /// true when a frame was delivered (fcs_ok); either way ws.packet.error
-  /// classifies the outcome. Everything above this — the deprecated
-  /// overloads below, StreamReceiver's scan loop, the farm, ReceiveSession
-  /// — is a wrapper over this call.
+  /// classifies the outcome. Everything above this — StreamReceiver's scan
+  /// loop, the farm, ReceiveSession — is a wrapper over this call. (The
+  /// PR 6 vector-overload shims completed their one-release deprecation
+  /// window and are gone; ReceiveSession::receive_one covers the
+  /// convenience cases.)
   [[nodiscard]] bool receive(std::span<const std::span<const cf32>> capture,
-                             RxWorkspace& ws) const;
-
-  /// DEPRECATED shim (one-release removal, see DESIGN.md "API
-  /// conventions"): value-returning form that allocates a workspace per
-  /// call. Returns nullopt where the entry point returns false. Migrate to
-  /// ReceiveSession::receive_one or the workspace entry point.
-  [[nodiscard]] std::optional<RxPacket> receive(
-      const std::vector<std::vector<cf32>>& capture) const;
-
-  /// DEPRECATED shim (one-release removal): vector-staging form; stages
-  /// spans in ws.capture_spans and forwards to the entry point, returning
-  /// exactly its result.
-  [[nodiscard]] bool receive(const std::vector<std::vector<cf32>>& capture,
                              RxWorkspace& ws) const;
 
  private:

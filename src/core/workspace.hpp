@@ -103,6 +103,25 @@ struct RxWorkspace {
   std::vector<float> depunctured;        ///< full rate-1/2 LLR stream
   std::vector<std::uint8_t> scrambled;   ///< decoded, still-scrambled bits
 
+  // ---- Batched symbol-plane decode slabs (chunks of kDecodeBatchSymbols
+  // OFDM symbols move through the stage-wise pipeline together; every slab
+  // is resized per chunk with capacity kept, so the steady state stays
+  // allocation-free). ----
+  dsp::IqTensor batch_grids;             ///< [rx][sym][bin] chunk FFT outputs
+  std::vector<dsp::cf32> derotate;       ///< per-symbol CPE derotation phasor
+  std::vector<dsp::cf32> y_batch;        ///< [sym][rx] one bin across a chunk
+  std::vector<dsp::cf32> eq_slab;        ///< [sym][ss] apply_run staging
+  std::vector<float> nv_slab;            ///< [sym][ss] apply_run staging
+  std::vector<std::vector<dsp::cf32>> eq_out;  ///< per-stream [sym*52+bin_i]
+  std::vector<std::vector<float>> nv_out;      ///< per-stream CSI, same shape
+  std::vector<std::vector<float>> chunk_llrs;  ///< per-stream demapped chunk
+  std::vector<std::vector<float>> chunk_deint; ///< per-stream deinterleaved
+  std::vector<std::span<const float>> merge_views;  ///< span staging for merge
+  std::vector<float> chunk_merged;       ///< stream-merged chunk LLRs
+  std::vector<float> chunk_depunct;      ///< depunctured chunk LLRs
+  fec::StreamingDepuncturer depunct_stream;      ///< mask phase across chunks
+  fec::ViterbiDecoder::StreamState viterbi_stream;  ///< live path metrics
+
   RxPacket packet;                       ///< the result of the last receive
 };
 

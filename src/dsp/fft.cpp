@@ -36,8 +36,12 @@ void FftPlan::transform(std::span<const cf32> in, std::span<cf32> out, bool inve
   if (in.size() != size_ || out.size() != size_) {
     throw std::invalid_argument("FftPlan: buffer size mismatch");
   }
+  transform_one(in.data(), out.data(), invert);
+}
+
+void FftPlan::transform_one(const cf32* in, cf32* out, bool invert) const noexcept {
   // Bit-reversal copy. Aliasing in==out is handled by swapping pairs.
-  if (in.data() == out.data()) {
+  if (in == out) {
     for (std::size_t i = 0; i < size_; ++i) {
       const std::size_t j = bitrev_[i];
       if (i < j) std::swap(out[i], out[j]);
@@ -63,12 +67,36 @@ void FftPlan::transform(std::span<const cf32> in, std::span<cf32> out, bool inve
 
   if (invert) {
     const float inv_n = 1.0F / static_cast<float>(size_);
-    for (auto& x : out) x *= inv_n;
+    for (std::size_t i = 0; i < size_; ++i) out[i] *= inv_n;
   }
 }
 
 void FftPlan::forward(std::span<const cf32> in, std::span<cf32> out) const {
   transform(in, out, /*invert=*/false);
+}
+
+void FftPlan::forward_batch(std::span<const cf32> in, std::span<cf32> out) const {
+  if (in.size() != out.size() || in.size() % size_ != 0) {
+    throw std::invalid_argument("FftPlan::forward_batch: slab size mismatch");
+  }
+  const std::size_t n = in.size() / size_;
+  for (std::size_t i = 0; i < n; ++i) {
+    transform_one(in.data() + i * size_, out.data() + i * size_, /*invert=*/false);
+  }
+}
+
+void FftPlan::forward_batch_strided(std::span<const cf32> in, std::size_t n,
+                                    std::size_t in_stride, std::size_t window_offset,
+                                    std::span<cf32> out) const {
+  if (n == 0) return;
+  if (in.size() < (n - 1) * in_stride + window_offset + size_ ||
+      out.size() != n * size_) {
+    throw std::invalid_argument("FftPlan::forward_batch_strided: size mismatch");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    transform_one(in.data() + i * in_stride + window_offset,
+                  out.data() + i * size_, /*invert=*/false);
+  }
 }
 
 void FftPlan::inverse(std::span<const cf32> in, std::span<cf32> out) const {

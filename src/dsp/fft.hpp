@@ -37,8 +37,26 @@ class FftPlan {
   void forward(std::span<cf32> buf) const { forward(buf, buf); }
   void inverse(std::span<cf32> buf) const { inverse(buf, buf); }
 
+  /// Batched forward DFT over a contiguous slab: `in` and `out` hold
+  /// n * size() samples; transform i reads/writes [i*size(), (i+1)*size()).
+  /// One argument check for the whole batch, then a tight loop over the
+  /// same butterfly kernel — bit-identical to n forward() calls.
+  void forward_batch(std::span<const cf32> in, std::span<cf32> out) const;
+
+  /// Batched forward DFT over strided windows: transform i reads the
+  /// size() samples at in[i * in_stride + window_offset] (e.g. OFDM
+  /// symbols of in_stride = CP + N samples, window_offset = CP) and writes
+  /// out[i * size()]. `in` must cover (n-1) * in_stride + window_offset +
+  /// size() samples; `out` holds n * size(). Bit-identical to per-symbol
+  /// forward() on each window.
+  void forward_batch_strided(std::span<const cf32> in, std::size_t n,
+                             std::size_t in_stride, std::size_t window_offset,
+                             std::span<cf32> out) const;
+
  private:
   void transform(std::span<const cf32> in, std::span<cf32> out, bool invert) const;
+  /// Unchecked single transform (in != out), the batch-loop body.
+  void transform_one(const cf32* in, cf32* out, bool invert) const noexcept;
 
   std::size_t size_;
   std::size_t log2_size_;

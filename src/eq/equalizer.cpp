@@ -120,6 +120,21 @@ void LinearEqualizer::apply(const EqCoeffs& coeffs, std::span<const cf32> y,
   if (!finite) erase();
 }
 
+void LinearEqualizer::apply_run(const EqCoeffs& coeffs, std::span<const cf32> y_batch,
+                                std::size_t n, std::span<cf32> symbols,
+                                std::span<float> noise_vars) {
+  const std::size_t nss = coeffs.nss;
+  const std::size_t nrx = coeffs.nrx;
+  if (y_batch.size() != n * nrx || symbols.size() != n * nss ||
+      noise_vars.size() != n * nss) {
+    throw std::invalid_argument("LinearEqualizer::apply_run: slab size mismatch");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    apply(coeffs, y_batch.subspan(i * nrx, nrx), symbols.subspan(i * nss, nss),
+          noise_vars.subspan(i * nss, nss));
+  }
+}
+
 EqualizedCarrier LinearEqualizer::equalize(const CMatrix& h, std::span<const cf32> y,
                                            float noise_var) const {
   const std::size_t nrx = h.rows();

@@ -75,6 +75,15 @@ class LinearEqualizer {
   static void apply(const EqCoeffs& coeffs, std::span<const cf32> y,
                     std::span<cf32> symbols, std::span<float> noise_vars);
 
+  /// Apply prepared coefficients across a batch of OFDM symbols on one
+  /// subcarrier: `y_batch` holds n contiguous nrx-entry received vectors
+  /// (symbol-major), `symbols` / `noise_vars` hold n contiguous nss-entry
+  /// outputs. One argument check, then the same per-vector arithmetic —
+  /// bit-identical to n apply() calls.
+  static void apply_run(const EqCoeffs& coeffs, std::span<const cf32> y_batch,
+                        std::size_t n, std::span<cf32> symbols,
+                        std::span<float> noise_vars);
+
  private:
   EqualizerType type_;
 };

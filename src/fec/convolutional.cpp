@@ -136,4 +136,16 @@ std::vector<float> depuncture(std::span<const float> llrs, CodeRate rate) {
   return out;
 }
 
+void StreamingDepuncturer::consume(std::span<const float> in, std::vector<float>& out) {
+  out.clear();
+  for (const float v : in) {
+    while (mask_[pos_] == 0) {
+      out.push_back(0.0F);
+      pos_ = (pos_ + 1) % mask_.size();
+    }
+    out.push_back(v);
+    pos_ = (pos_ + 1) % mask_.size();
+  }
+}
+
 }  // namespace mimonet::fec

@@ -63,4 +63,29 @@ void depuncture_into(std::span<const float> llrs, CodeRate rate, std::vector<flo
 /// Pattern repeats every mask.size() rate-1/2 output bits.
 [[nodiscard]] std::span<const std::uint8_t> puncture_mask(CodeRate rate) noexcept;
 
+/// Stateful depuncture for chunked LLR streams: feeding the punctured stream
+/// through consume() in arbitrary chunks appends exactly the depuncture_into()
+/// output across the concatenation — each input LLR is preceded by the zero
+/// erasures of the punctured mask positions before it, and trailing punctured
+/// positions after the last input are not regenerated (one-shot semantics).
+/// The batched decode path feeds each per-chunk merged stream straight into
+/// the streaming Viterbi consumer through one of these.
+class StreamingDepuncturer {
+ public:
+  explicit StreamingDepuncturer(CodeRate rate = CodeRate::kR1_2) { reset(rate); }
+
+  /// Restart the mask phase for a new stream.
+  void reset(CodeRate rate) noexcept {
+    mask_ = puncture_mask(rate);
+    pos_ = 0;
+  }
+
+  /// Depuncture `in` into `out` (resized, capacity kept across calls).
+  void consume(std::span<const float> in, std::vector<float>& out);
+
+ private:
+  std::span<const std::uint8_t> mask_;
+  std::size_t pos_ = 0;  // current position in the repeating mask
+};
+
 }  // namespace mimonet::fec

@@ -93,28 +93,8 @@ ViterbiDecoder::ViterbiDecoder() {
   }
 }
 
-void ViterbiDecoder::decode_soft_into(std::span<const float> llrs, bool terminated,
-                                      std::vector<std::uint8_t>& decoded,
-                                      Scratch& scratch) const {
-  if (llrs.size() % 2 != 0) {
-    throw std::invalid_argument("ViterbiDecoder: LLR count must be even");
-  }
-  const std::size_t n_steps = llrs.size() / 2;
-  decoded.resize(n_steps);
-  if (n_steps == 0) return;
-
-  constexpr float kNegInf = -std::numeric_limits<float>::infinity();
-  std::array<float, kNumStates> buf_a{};
-  std::array<float, kNumStates> buf_b{};
-  buf_a.fill(kNegInf);
-  buf_a[0] = 0.0F;  // encoder starts in the all-zero state
-  float* metric = buf_a.data();
-  float* next_metric = buf_b.data();
-
-  // decisions[t] bit s: which predecessor (0 = low, 1 = high) won for state s.
-  auto& decisions = scratch.decisions;
-  decisions.resize(n_steps);
-
+void ViterbiDecoder::acs_run(const float* llrs, std::size_t n_steps, float*& metric,
+                             float*& next_metric, std::uint64_t* decisions) const {
   constexpr std::uint32_t kHalf = kNumStates / 2;
 
 #ifdef MIMONET_VITERBI_X86_DISPATCH
@@ -128,7 +108,8 @@ void ViterbiDecoder::decode_soft_into(std::span<const float> llrs, bool terminat
                     decisions[t]);
       std::swap(metric, next_metric);
     }
-  } else
+    return;
+  }
 #endif
   for (std::size_t t = 0; t < n_steps; ++t) {
     const float l0 = llrs[2 * t];      // LLR of first coded bit (g0)
@@ -161,8 +142,101 @@ void ViterbiDecoder::decode_soft_into(std::span<const float> llrs, bool terminat
     decisions[t] = dec_word;
     std::swap(metric, next_metric);
   }
+}
+
+void ViterbiDecoder::decode_soft_into(std::span<const float> llrs, bool terminated,
+                                      std::vector<std::uint8_t>& decoded,
+                                      Scratch& scratch) const {
+  if (llrs.size() % 2 != 0) {
+    throw std::invalid_argument("ViterbiDecoder: LLR count must be even");
+  }
+  const std::size_t n_steps = llrs.size() / 2;
+  decoded.resize(n_steps);
+  if (n_steps == 0) return;
+
+  constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+  std::array<float, kNumStates> buf_a{};
+  std::array<float, kNumStates> buf_b{};
+  buf_a.fill(kNegInf);
+  buf_a[0] = 0.0F;  // encoder starts in the all-zero state
+  float* metric = buf_a.data();
+  float* next_metric = buf_b.data();
+
+  // decisions[t] bit s: which predecessor (0 = low, 1 = high) won for state s.
+  auto& decisions = scratch.decisions;
+  decisions.resize(n_steps);
+
+  acs_run(llrs.data(), n_steps, metric, next_metric, decisions.data());
 
   // Traceback.
+  std::uint32_t state = 0;
+  if (!terminated) {
+    state = static_cast<std::uint32_t>(
+        std::distance(metric, std::max_element(metric, metric + kNumStates)));
+  }
+  for (std::size_t t = n_steps; t-- > 0;) {
+    decoded[t] = static_cast<std::uint8_t>(state & 1U);
+    const bool took_hi = ((decisions[t] >> state) & 1U) != 0;
+    state = (state >> 1U) | (took_hi ? (kNumStates >> 1U) : 0U);
+  }
+}
+
+void ViterbiDecoder::stream_begin(StreamState& st, Scratch& scratch,
+                                  std::size_t max_steps) const {
+  constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+  st.metric_a.fill(kNegInf);
+  st.metric_a[0] = 0.0F;  // encoder starts in the all-zero state
+  st.metric_b.fill(0.0F);
+  st.current_is_a = true;
+  st.steps = 0;
+  st.carry = 0.0F;
+  st.have_carry = false;
+  scratch.decisions.resize(max_steps);
+}
+
+void ViterbiDecoder::stream_consume(StreamState& st, Scratch& scratch,
+                                    std::span<const float> llrs) const {
+  auto& decisions = scratch.decisions;
+  float* metric = st.current_is_a ? st.metric_a.data() : st.metric_b.data();
+  float* next_metric = st.current_is_a ? st.metric_b.data() : st.metric_a.data();
+
+  std::size_t i = 0;
+  if (st.have_carry && !llrs.empty()) {
+    if (st.steps + 1 > decisions.size()) {
+      throw std::length_error("ViterbiDecoder::stream_consume: past max_steps");
+    }
+    const std::array<float, 2> pair{st.carry, llrs[0]};
+    acs_run(pair.data(), 1, metric, next_metric, decisions.data() + st.steps);
+    ++st.steps;
+    st.have_carry = false;
+    i = 1;
+  }
+  const std::size_t n_pairs = (llrs.size() - i) / 2;
+  if (st.steps + n_pairs > decisions.size()) {
+    throw std::length_error("ViterbiDecoder::stream_consume: past max_steps");
+  }
+  acs_run(llrs.data() + i, n_pairs, metric, next_metric,
+          decisions.data() + st.steps);
+  st.steps += n_pairs;
+  i += 2 * n_pairs;
+  if (i < llrs.size()) {
+    st.carry = llrs[i];
+    st.have_carry = true;
+  }
+  st.current_is_a = (metric == st.metric_a.data());
+}
+
+void ViterbiDecoder::stream_finish(StreamState& st, Scratch& scratch, bool terminated,
+                                   std::vector<std::uint8_t>& decoded) const {
+  if (st.have_carry) {
+    throw std::invalid_argument("ViterbiDecoder::stream_finish: odd LLR count");
+  }
+  const std::size_t n_steps = st.steps;
+  decoded.resize(n_steps);
+  if (n_steps == 0) return;
+
+  const float* metric = st.current_is_a ? st.metric_a.data() : st.metric_b.data();
+  const auto& decisions = scratch.decisions;
   std::uint32_t state = 0;
   if (!terminated) {
     state = static_cast<std::uint32_t>(

@@ -45,7 +45,42 @@ class ViterbiDecoder {
   [[nodiscard]] std::vector<std::uint8_t> decode_hard(std::span<const std::uint8_t> coded,
                                                       bool terminated = true) const;
 
+  /// Incremental-decode state for chunked LLR streams: the live path-metric
+  /// double buffer plus a carry slot for a dangling half trellis step when a
+  /// chunk ends on an odd LLR. Owned by the caller (workspace) so streaming
+  /// decode never allocates.
+  struct StreamState {
+    std::array<float, kNumStates> metric_a{};
+    std::array<float, kNumStates> metric_b{};
+    bool current_is_a = true;
+    std::size_t steps = 0;   // trellis steps consumed so far
+    float carry = 0.0F;      // dangling first LLR of a split step
+    bool have_carry = false;
+  };
+
+  /// Start a streaming decode. Sizes `scratch.decisions` for `max_steps`
+  /// trellis steps up front (capacity kept) so stream_consume never grows it.
+  void stream_begin(StreamState& st, Scratch& scratch, std::size_t max_steps) const;
+
+  /// Run ACS over one chunk of the depunctured LLR stream. Chunk boundaries
+  /// do not affect the result: the ACS recursion is per trellis step, so
+  /// consuming in chunks is bit-identical to one decode_soft_into over the
+  /// concatenated stream. Throws std::length_error past max_steps.
+  void stream_consume(StreamState& st, Scratch& scratch,
+                      std::span<const float> llrs) const;
+
+  /// Traceback over everything consumed; `decoded` is resized to the step
+  /// count (capacity kept). The total LLR count must have been even.
+  void stream_finish(StreamState& st, Scratch& scratch, bool terminated,
+                     std::vector<std::uint8_t>& decoded) const;
+
  private:
+  /// Shared ACS loop (runtime AVX2 dispatch inside): advances `metric` /
+  /// `next_metric` through n_steps LLR pairs, writing one survivor word per
+  /// step. Both entry points funnel here so batch and streaming decodes run
+  /// the identical kernel.
+  void acs_run(const float* llrs, std::size_t n_steps, float*& metric,
+               float*& next_metric, std::uint64_t* decisions) const;
   // out_[s][b] packs (g0_bit << 1) | g1_bit for state s and input bit b.
   std::array<std::array<std::uint8_t, 2>, kNumStates> out_{};
   // Butterfly branch-metric selectors: for predecessor pair (p, p+32) and

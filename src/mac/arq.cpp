@@ -1,6 +1,7 @@
 #include "mac/arq.hpp"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
 
 #include "dsp/rng.hpp"
@@ -73,7 +74,11 @@ std::optional<wifi::ParsedPsdu> StopAndWaitLink::phy_exchange(
   airtime_us += t;
   clock_us_ += t;
   const auto capture = chan.transmit(streams);
-  if (!rx.receive(capture, rx_ws_) || !rx_ws_.packet.fcs_ok) {
+  rx_ws_.capture_spans.assign(capture.begin(), capture.end());
+  const bool got = rx.receive(
+      std::span<const std::span<const dsp::cf32>>(rx_ws_.capture_spans),
+      rx_ws_);
+  if (!got || !rx_ws_.packet.fcs_ok) {
     return std::nullopt;
   }
   return wifi::parse_psdu(rx_ws_.packet.psdu);
@@ -195,7 +200,11 @@ std::optional<wifi::ParsedPsdu> SelectiveRepeatLink::phy_exchange(
   airtime_us += t;
   clock_us_ += t;
   const auto capture = chan.transmit(streams);
-  if (!rx.receive(capture, rx_ws_) || !rx_ws_.packet.fcs_ok) {
+  rx_ws_.capture_spans.assign(capture.begin(), capture.end());
+  const bool got = rx.receive(
+      std::span<const std::span<const dsp::cf32>>(rx_ws_.capture_spans),
+      rx_ws_);
+  if (!got || !rx_ws_.packet.fcs_ok) {
     return std::nullopt;
   }
   return wifi::parse_psdu(rx_ws_.packet.psdu);

@@ -6,9 +6,115 @@
 #include <limits>
 #include <stdexcept>
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#define MIMONET_DEMAP_X86_DISPATCH 1
+#include <immintrin.h>
+#endif
+
 namespace mimonet::mod {
 
 namespace {
+
+bool g_force_scalar_demap = false;
+
+#ifdef MIMONET_DEMAP_X86_DISPATCH
+
+// AVX2 max-log demap, 8 symbols per iteration with the symbols in lanes.
+// Bit-identical to demap_soft: the per-axis conditional minima use
+// _mm256_min_ps(d, slot), whose "keep slot unless d < slot" semantics
+// (including NaN d keeping slot) match the scalar `if (d < slot)` update;
+// the noise floor uses _mm256_max_ps(1e-12, nv), matching
+// std::max(noise_var, 1e-12F) including NaN propagation; the division is
+// IEEE-exact; and non-finite LLRs are zeroed through an |llr| < inf mask
+// exactly where the scalar path emits 0.0F erasures. Returns the number of
+// symbols handled (n rounded down to a multiple of 8); the caller finishes
+// the tail with demap_soft.
+__attribute__((target("avx2"))) std::size_t demap_run_avx2(
+    const float* i_levels, const float* q_levels, unsigned i_bits, unsigned q_bits,
+    unsigned bps, const cf32* y, const float* nv, std::size_t n, float* out) {
+  const __m256i deinterleave = _mm256_setr_epi32(0, 2, 4, 6, 1, 3, 5, 7);
+  const __m256 inf = _mm256_set1_ps(std::numeric_limits<float>::infinity());
+  const __m256 one = _mm256_set1_ps(1.0F);
+  const __m256 nv_floor = _mm256_set1_ps(1e-12F);
+  const __m256 abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  const float* yf = reinterpret_cast<const float*>(y);
+  const std::size_t ni = std::size_t{1} << i_bits;
+  const std::size_t nq = std::size_t{1} << q_bits;
+
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // [r0 i0 r1 i1 ...] -> yr = [r0..r7], yi = [i0..i7]
+    const __m256 lo =
+        _mm256_permutevar8x32_ps(_mm256_loadu_ps(yf + 2 * i), deinterleave);
+    const __m256 hi =
+        _mm256_permutevar8x32_ps(_mm256_loadu_ps(yf + 2 * i + 8), deinterleave);
+    const __m256 yr = _mm256_permute2f128_ps(lo, hi, 0x20);
+    const __m256 yi = _mm256_permute2f128_ps(lo, hi, 0x31);
+
+    __m256 i_min = inf;
+    __m256 q_min = inf;
+    __m256 i_min0[4];
+    __m256 i_min1[4];
+    __m256 q_min0[4];
+    __m256 q_min1[4];
+    for (unsigned b = 0; b < 4; ++b) {
+      i_min0[b] = inf;
+      i_min1[b] = inf;
+      q_min0[b] = inf;
+      q_min1[b] = inf;
+    }
+    for (std::size_t v = 0; v < ni; ++v) {
+      const __m256 d1 = _mm256_sub_ps(yr, _mm256_set1_ps(i_levels[v]));
+      const __m256 d = _mm256_mul_ps(d1, d1);
+      i_min = _mm256_min_ps(d, i_min);
+      for (unsigned b = 0; b < i_bits; ++b) {
+        const bool bit = ((v >> (i_bits - 1 - b)) & 1U) != 0;
+        __m256& slot = bit ? i_min1[b] : i_min0[b];
+        slot = _mm256_min_ps(d, slot);
+      }
+    }
+    for (std::size_t v = 0; v < nq; ++v) {
+      const __m256 d1 = _mm256_sub_ps(yi, _mm256_set1_ps(q_levels[v]));
+      const __m256 d = _mm256_mul_ps(d1, d1);
+      q_min = _mm256_min_ps(d, q_min);
+      for (unsigned b = 0; b < q_bits; ++b) {
+        const bool bit = ((v >> (q_bits - 1 - b)) & 1U) != 0;
+        __m256& slot = bit ? q_min1[b] : q_min0[b];
+        slot = _mm256_min_ps(d, slot);
+      }
+    }
+
+    const __m256 inv_nv =
+        _mm256_div_ps(one, _mm256_max_ps(nv_floor, _mm256_loadu_ps(nv + i)));
+    float tile[6][8];
+    for (unsigned b = 0; b < bps; ++b) {
+      __m256 min0;
+      __m256 min1;
+      if (b < i_bits) {
+        min0 = _mm256_add_ps(i_min0[b], q_min);
+        min1 = _mm256_add_ps(i_min1[b], q_min);
+      } else {
+        min0 = _mm256_add_ps(i_min, q_min0[b - i_bits]);
+        min1 = _mm256_add_ps(i_min, q_min1[b - i_bits]);
+      }
+      const __m256 llr = _mm256_mul_ps(_mm256_sub_ps(min1, min0), inv_nv);
+      const __m256 finite =
+          _mm256_cmp_ps(_mm256_and_ps(llr, abs_mask), inf, _CMP_LT_OQ);
+      _mm256_storeu_ps(tile[b], _mm256_and_ps(llr, finite));
+    }
+    for (std::size_t lane = 0; lane < 8; ++lane) {
+      for (unsigned b = 0; b < bps; ++b) {
+        out[(i + lane) * bps + b] = tile[b][lane];
+      }
+    }
+  }
+  return i;
+}
+
+[[nodiscard]] bool have_avx2_demap() noexcept {
+  return __builtin_cpu_supports("avx2");
+}
+#endif  // MIMONET_DEMAP_X86_DISPATCH
 
 // 802.11 Gray mapping of bit groups to PAM levels, per axis.
 // 1 bit:  0 -> -1, 1 -> +1
@@ -224,10 +330,40 @@ std::vector<float> Constellation::demap_soft_all(std::span<const cf32> symbols,
     throw std::invalid_argument("demap_soft_all: symbol/CSI size mismatch");
   }
   std::vector<float> llrs(symbols.size() * bps_);
-  for (std::size_t i = 0; i < symbols.size(); ++i) {
-    demap_soft(symbols[i], noise_vars[i], std::span<float>(llrs).subspan(i * bps_, bps_));
-  }
+  demap_soft_run(symbols, noise_vars, llrs);
   return llrs;
 }
+
+void Constellation::demap_soft_run(std::span<const cf32> symbols,
+                                   std::span<const float> noise_vars,
+                                   std::span<float> llr_out) const {
+  if (symbols.size() != noise_vars.size() ||
+      llr_out.size() != symbols.size() * bps_) {
+    throw std::invalid_argument("Constellation::demap_soft_run: size mismatch");
+  }
+  std::size_t done = 0;
+#ifdef MIMONET_DEMAP_X86_DISPATCH
+  static const bool use_avx2 = have_avx2_demap();
+  if (use_avx2 && !g_force_scalar_demap) {
+    done = demap_run_avx2(i_levels_.data(), q_levels_.data(), i_bits_, q_bits_,
+                          bps_, symbols.data(), noise_vars.data(), symbols.size(),
+                          llr_out.data());
+  }
+#endif
+  for (std::size_t i = done; i < symbols.size(); ++i) {
+    demap_soft(symbols[i], noise_vars[i], llr_out.subspan(i * bps_, bps_));
+  }
+}
+
+namespace detail {
+void force_scalar_demap(bool force) noexcept { g_force_scalar_demap = force; }
+bool demap_simd_active() noexcept {
+#ifdef MIMONET_DEMAP_X86_DISPATCH
+  return have_avx2_demap() && !g_force_scalar_demap;
+#else
+  return false;
+#endif
+}
+}  // namespace detail
 
 }  // namespace mimonet::mod

@@ -57,6 +57,15 @@ class Constellation {
   [[nodiscard]] std::vector<float> demap_soft_all(std::span<const cf32> symbols,
                                                   std::span<const float> noise_vars) const;
 
+  /// Batched max-log demap into caller storage: `llr_out` must hold
+  /// symbols.size() * bits_per_symbol() floats and is written symbol-major
+  /// (all LLRs of symbol i before symbol i+1). Runtime-dispatches to an
+  /// AVX2 kernel handling 8 symbols per iteration when available; the
+  /// scalar fallback (and remainder tail) is per-symbol demap_soft, and
+  /// the two are bit-identical — see detail::force_scalar_demap.
+  void demap_soft_run(std::span<const cf32> symbols, std::span<const float> noise_vars,
+                      std::span<float> llr_out) const;
+
  private:
   Modulation mod_;
   unsigned bps_;
@@ -73,5 +82,13 @@ class Constellation {
 /// Process-wide immutable Constellation per modulation, built on first use —
 /// the receive path must not construct (allocate) one per packet.
 [[nodiscard]] const Constellation& constellation_for(Modulation m);
+
+namespace detail {
+/// Test hook: pin Constellation::demap_soft_run to the scalar fallback so
+/// SIMD-vs-scalar bit identity can be asserted on AVX2 hosts.
+void force_scalar_demap(bool force) noexcept;
+/// True when the AVX2 demap kernel would actually run on this host.
+[[nodiscard]] bool demap_simd_active() noexcept;
+}  // namespace detail
 
 }  // namespace mimonet::mod

@@ -91,6 +91,12 @@ void SymbolDemodulator::demodulate_grid_into(std::span<const cf32> symbol,
   fft_.forward(symbol.subspan(kCpLen, kFftSize), grid);
 }
 
+void SymbolDemodulator::demodulate_grids_into(std::span<const cf32> samples,
+                                              std::size_t n,
+                                              std::span<cf32> grids) const {
+  fft_.forward_batch_strided(samples, n, kSymLen, kCpLen, grids);
+}
+
 std::vector<cf32> SymbolDemodulator::demodulate_grid(std::span<const cf32> symbol) const {
   std::vector<cf32> grid;
   demodulate_grid_into(symbol, grid);

@@ -8,12 +8,50 @@
 
 #include "wifi/mcs.hpp"
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#define MIMONET_DEINT_X86_DISPATCH 1
+#include <immintrin.h>
+#endif
+
 namespace mimonet::wifi {
 
 namespace {
 constexpr std::size_t kNcol = 13;  // 20 MHz
 constexpr std::size_t kNrot = 11;  // 20 MHz base rotation (in subcarriers)
+
+bool g_force_scalar_deint = false;
+
+#ifdef MIMONET_DEINT_X86_DISPATCH
+// Gathered permutation copy, 8 outputs per iteration. A deinterleave is a
+// pure data movement, so the gather is trivially bit-identical to the
+// scalar indexed copy.
+__attribute__((target("avx2"))) void deinterleave_block_avx2(
+    const float* in, const std::int32_t* perm, std::size_t n, float* out) {
+  std::size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(perm + k));
+    _mm256_storeu_ps(out + k, _mm256_i32gather_ps(in, idx, 4));
+  }
+  for (; k < n; ++k) out[k] = in[perm[k]];
+}
+
+[[nodiscard]] bool have_avx2_deint() noexcept {
+  return __builtin_cpu_supports("avx2");
+}
+#endif  // MIMONET_DEINT_X86_DISPATCH
 }  // namespace
+
+namespace detail {
+void force_scalar_deinterleave(bool force) noexcept { g_force_scalar_deint = force; }
+bool deinterleave_simd_active() noexcept {
+#ifdef MIMONET_DEINT_X86_DISPATCH
+  return have_avx2_deint() && !g_force_scalar_deint;
+#else
+  return false;
+#endif
+}
+}  // namespace detail
 
 Interleaver::Interleaver(unsigned n_bpscs, std::size_t iss, std::size_t nss) {
   if (n_bpscs != 1 && n_bpscs != 2 && n_bpscs != 4 && n_bpscs != 6) {
@@ -39,6 +77,10 @@ Interleaver::Interleaver(unsigned n_bpscs, std::size_t iss, std::size_t nss) {
         (((iss * 2) % 3) + 3 * (iss / 3)) * kNrot * n_bpscs;
     const std::size_t r = (j + n_cbpss - (rot % n_cbpss)) % n_cbpss;
     perm_[k] = r;
+  }
+  perm32_.resize(n_cbpss);
+  for (std::size_t k = 0; k < n_cbpss; ++k) {
+    perm32_[k] = static_cast<std::int32_t>(perm_[k]);
   }
 }
 
@@ -78,10 +120,28 @@ std::vector<std::uint8_t> Interleaver::deinterleave(
 
 void Interleaver::deinterleave_into(std::span<const float> llrs,
                                     std::vector<float>& out) const {
+  out.resize(llrs.size());
+  deinterleave_into(llrs, std::span<float>(out));
+}
+
+void Interleaver::deinterleave_into(std::span<const float> llrs,
+                                    std::span<float> out) const {
   if (llrs.size() % perm_.size() != 0) {
     throw std::invalid_argument("Interleaver: input not a multiple of block size");
   }
-  out.resize(llrs.size());
+  if (out.size() != llrs.size()) {
+    throw std::invalid_argument("Interleaver: output span size mismatch");
+  }
+#ifdef MIMONET_DEINT_X86_DISPATCH
+  static const bool use_avx2 = have_avx2_deint();
+  if (use_avx2 && !g_force_scalar_deint) {
+    for (std::size_t base = 0; base < llrs.size(); base += perm_.size()) {
+      deinterleave_block_avx2(llrs.data() + base, perm32_.data(), perm_.size(),
+                              out.data() + base);
+    }
+    return;
+  }
+#endif
   for (std::size_t base = 0; base < llrs.size(); base += perm_.size()) {
     for (std::size_t k = 0; k < perm_.size(); ++k) {
       out[base + k] = llrs[base + perm_[k]];

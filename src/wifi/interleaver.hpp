@@ -41,6 +41,12 @@ class Interleaver {
   /// deinterleave (soft) into caller storage (resized, capacity kept).
   void deinterleave_into(std::span<const float> llrs, std::vector<float>& out) const;
 
+  /// deinterleave (soft) into a caller span of exactly llrs.size() floats.
+  /// Runtime-dispatches to an AVX2 i32-gather kernel when available; the
+  /// scalar fallback is the same permutation copy and bit-identical — see
+  /// detail::force_scalar_deinterleave.
+  void deinterleave_into(std::span<const float> llrs, std::span<float> out) const;
+
   /// The permutation itself: output_position = permutation()[input_position].
   [[nodiscard]] const std::vector<std::size_t>& permutation() const noexcept {
     return perm_;
@@ -48,6 +54,7 @@ class Interleaver {
 
  private:
   std::vector<std::size_t> perm_;
+  std::vector<std::int32_t> perm32_;  // perm_ as i32 gather indices
 };
 
 /// The legacy 802.11a interleaver (clause 17.3.5.7), used by the L-SIG and
@@ -80,5 +87,13 @@ class LegacyInterleaver {
 
 /// Process-wide cache of legacy interleavers keyed by n_bpsc.
 [[nodiscard]] const LegacyInterleaver& cached_legacy_interleaver(unsigned n_bpsc);
+
+namespace detail {
+/// Test hook: pin Interleaver soft deinterleaving to the scalar copy so
+/// SIMD-vs-scalar bit identity can be asserted on AVX2 hosts.
+void force_scalar_deinterleave(bool force) noexcept;
+/// True when the AVX2 gather kernel would actually run on this host.
+[[nodiscard]] bool deinterleave_simd_active() noexcept;
+}  // namespace detail
 
 }  // namespace mimonet::wifi

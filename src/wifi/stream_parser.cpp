@@ -58,6 +58,30 @@ void StreamParser::merge_into(std::span<const std::vector<float>> streams,
   }
 }
 
+void StreamParser::merge_into(std::span<const std::span<const float>> streams,
+                              std::span<float> out) const {
+  if (streams.size() != nss_) {
+    throw std::invalid_argument("StreamParser::merge: wrong stream count");
+  }
+  const std::size_t per_stream = streams[0].size();
+  for (const auto& st : streams) {
+    if (st.size() != per_stream || per_stream % s_ != 0) {
+      throw std::invalid_argument("StreamParser::merge: ragged or misaligned streams");
+    }
+  }
+  if (out.size() != per_stream * nss_) {
+    throw std::invalid_argument("StreamParser::merge: output span size mismatch");
+  }
+  std::size_t o = 0;
+  for (std::size_t g = 0; g < per_stream / s_; ++g) {
+    for (std::size_t ss = 0; ss < nss_; ++ss) {
+      for (std::size_t b = 0; b < s_; ++b) {
+        out[o++] = streams[ss][g * s_ + b];
+      }
+    }
+  }
+}
+
 std::vector<float> StreamParser::merge(
     std::span<const std::vector<float>> streams) const {
   std::vector<float> out;

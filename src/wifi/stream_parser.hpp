@@ -43,6 +43,12 @@ class StreamParser {
   void merge_into(std::span<const std::vector<float>> streams,
                   std::vector<float>& out) const;
 
+  /// merge from per-stream spans into a caller span of exactly
+  /// nss * streams[0].size() floats — the chunked batched decode path merges
+  /// slab views without materializing per-stream vectors.
+  void merge_into(std::span<const std::span<const float>> streams,
+                  std::span<float> out) const;
+
  private:
   std::size_t nss_;
   std::size_t s_;

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <new>
+#include <span>
 #include <vector>
 
 #include "channel/mimo_channel.hpp"
@@ -75,6 +76,7 @@ struct Scenario {
   std::size_t nrx;
   eq::EqualizerType eq_type;
   const char* name;
+  bool batched = true;  ///< exercise the batched symbol-plane pipeline
 };
 
 std::vector<std::vector<dsp::cf32>> make_capture(const core::Transmitter& tx,
@@ -98,21 +100,25 @@ void expect_zero_steady_state(const Scenario& sc) {
   core::PhyConfig phy;
   phy.mcs = sc.mcs;
   phy.equalizer = sc.eq_type;
+  phy.batched_decode = sc.batched;
   const core::Transmitter tx(phy);
   const auto nss = phy.mcs_info().nss;
   const core::Receiver rx(phy, sc.nrx);
   const auto capture = make_capture(tx, nss, sc.nrx);
+  const std::vector<std::span<const dsp::cf32>> spans(capture.begin(),
+                                                      capture.end());
+  const std::span<const std::span<const dsp::cf32>> cap(spans);
 
   core::RxWorkspace ws;
   // Warm-up: size every workspace buffer and populate process-wide caches.
-  ASSERT_TRUE(rx.receive(capture, ws));
+  ASSERT_TRUE(rx.receive(cap, ws));
   ASSERT_TRUE(ws.packet.fcs_ok);
   const auto reference = ws.packet.psdu;
 
   {
     const AllocGuard guard;
     for (int i = 0; i < 4; ++i) {
-      ASSERT_TRUE(rx.receive(capture, ws));
+      ASSERT_TRUE(rx.receive(cap, ws));
     }
     EXPECT_EQ(AllocGuard::count(), 0U)
         << "steady-state Receiver::receive allocated";
@@ -135,6 +141,16 @@ TEST(AllocFree, MimoBcc) {
 TEST(AllocFree, MimoMlDetector) {
   expect_zero_steady_state({11, 2, eq::EqualizerType::kMaxLikelihood,
                             "2x2 MCS11 ML"});
+}
+
+// The reference per-symbol path must stay allocation-free too: the batched
+// pipeline's slabs are additive, not a replacement for the per-symbol
+// scratch.
+TEST(AllocFree, PerSymbolReferencePath) {
+  expect_zero_steady_state({15, 2, eq::EqualizerType::kMmse,
+                            "2x2 MCS15 MMSE per-symbol", /*batched=*/false});
+  expect_zero_steady_state({7, 1, eq::EqualizerType::kZeroForcing,
+                            "1x1 MCS7 ZF per-symbol", /*batched=*/false});
 }
 
 // The two-pass decimated scan must keep the allocation-free steady state:

@@ -1,0 +1,30 @@
+// One-shot receive convenience for tests: wraps the canonical span+workspace
+// Receiver::receive entry point (the PR 6 vector-overload shims are gone).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/receiver.hpp"
+#include "core/workspace.hpp"
+
+namespace mimonet::testutil {
+
+/// Decode the first packet of a vector-of-vectors capture, returning the
+/// packet whenever synchronization locked (the retired value-returning
+/// overload's contract). Builds a fresh workspace per call — fine for tests;
+/// hot paths keep a persistent RxWorkspace and call receive() directly.
+inline std::optional<core::RxPacket> receive_once(
+    const core::Receiver& rx,
+    const std::vector<std::vector<dsp::cf32>>& capture) {
+  core::RxWorkspace ws;
+  std::vector<std::span<const dsp::cf32>> spans(capture.begin(), capture.end());
+  if (!rx.receive(std::span<const std::span<const dsp::cf32>>(spans), ws)) {
+    return std::nullopt;
+  }
+  return std::move(ws.packet);
+}
+
+}  // namespace mimonet::testutil

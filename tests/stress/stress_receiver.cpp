@@ -14,6 +14,7 @@
 #include "core/phy_config.hpp"
 #include "core/receiver.hpp"
 #include "core/transmitter.hpp"
+#include "../receive_util.hpp"
 #include "stress_util.hpp"
 #include "wifi/psdu.hpp"
 
@@ -46,7 +47,7 @@ void expect_sane(const core::RxPacket& pkt, std::size_t capture_len) {
 
 void expect_survives(const core::Receiver& rx,
                      const std::vector<std::vector<cf32>>& capture) {
-  const auto pkt = rx.receive(capture);
+  const auto pkt = testutil::receive_once(rx, capture);
   if (pkt) expect_sane(*pkt, capture[0].size());
 }
 
@@ -125,7 +126,7 @@ TEST(StressReceiver, TruncationAtEveryFieldBoundarySurvives) {
     }
     // The untruncated capture must still decode: the hardening cannot have
     // broken the happy path.
-    const auto pkt = rx.receive(capture);
+    const auto pkt = testutil::receive_once(rx, capture);
     ASSERT_TRUE(pkt.has_value());
     expect_sane(*pkt, capture[0].size());
     EXPECT_TRUE(pkt->fcs_ok);

@@ -4,6 +4,7 @@
 
 #include "core/link_simulator.hpp"
 #include "dsp/vector_ops.hpp"
+#include "receive_util.hpp"
 #include "wifi/psdu.hpp"
 
 namespace {
@@ -220,7 +221,8 @@ TEST(Loopback, AsymmetricArrayMoreRxHelps) {
 TEST(Receiver, WrongAntennaCountThrows) {
   core::Receiver rx(core::PhyConfig{}, 2);
   std::vector<std::vector<dsp::cf32>> capture(1, std::vector<dsp::cf32>(1000));
-  EXPECT_THROW((void)rx.receive(capture), std::invalid_argument);
+  EXPECT_THROW((void)testutil::receive_once(rx, capture),
+               std::invalid_argument);
 }
 
 TEST(Receiver, TruncatedCaptureIsSafe) {
@@ -239,7 +241,7 @@ TEST(Receiver, TruncatedCaptureIsSafe) {
   channel::MimoChannel chan(ccfg);
   const auto capture = chan.transmit(streams);
   core::Receiver rx(phy, 1);
-  const auto pkt = rx.receive(capture);
+  const auto pkt = testutil::receive_once(rx, capture);
   if (pkt) EXPECT_FALSE(pkt->fcs_ok);
 }
 

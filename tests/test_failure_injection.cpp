@@ -7,6 +7,7 @@
 #include "core/receiver.hpp"
 #include "core/transmitter.hpp"
 #include "dsp/rng.hpp"
+#include "receive_util.hpp"
 #include "wifi/preamble.hpp"
 #include "wifi/psdu.hpp"
 
@@ -53,7 +54,7 @@ void obliterate(std::vector<cf32>& stream, std::size_t from, std::size_t len,
 TEST(FailureInjection, CleanBaselineDecodes) {
   auto s = make_clean_capture();
   core::Receiver rx(s.phy, 1);
-  const auto pkt = rx.receive(s.capture);
+  const auto pkt = testutil::receive_once(rx, s.capture);
   ASSERT_TRUE(pkt.has_value());
   EXPECT_TRUE(pkt->lsig_ok);
   EXPECT_TRUE(pkt->htsig_ok);
@@ -66,7 +67,7 @@ TEST(FailureInjection, DestroyedStfIsNeverDetected) {
   core::Receiver rx(s.phy, 1);
   // Without the STF plateau the detector has nothing to trigger on (the
   // rest of the packet is not 16-periodic).
-  const auto pkt = rx.receive(s.capture);
+  const auto pkt = testutil::receive_once(rx, s.capture);
   if (pkt) {
     EXPECT_FALSE(pkt->fcs_ok);
   }
@@ -76,7 +77,7 @@ TEST(FailureInjection, DestroyedLsigFlagsButContinues) {
   auto s = make_clean_capture();
   obliterate(s.capture[0], s.start + s.layout.lsig_offset(), wifi::kLsigLen, 2);
   core::Receiver rx(s.phy, 1);
-  const auto pkt = rx.receive(s.capture);
+  const auto pkt = testutil::receive_once(rx, s.capture);
   ASSERT_TRUE(pkt.has_value());
   EXPECT_FALSE(pkt->lsig_ok);      // parity or tail check must fail
   EXPECT_TRUE(pkt->htsig_ok);      // HT-SIG is independent
@@ -87,7 +88,7 @@ TEST(FailureInjection, DestroyedHtSigStopsDecoding) {
   auto s = make_clean_capture();
   obliterate(s.capture[0], s.start + s.layout.htsig_offset(), wifi::kHtSigLen, 3);
   core::Receiver rx(s.phy, 1);
-  const auto pkt = rx.receive(s.capture);
+  const auto pkt = testutil::receive_once(rx, s.capture);
   ASSERT_TRUE(pkt.has_value());
   EXPECT_FALSE(pkt->htsig_ok);
   EXPECT_FALSE(pkt->fcs_ok);
@@ -98,7 +99,7 @@ TEST(FailureInjection, DestroyedHtLtfKillsPayloadNotSig) {
   auto s = make_clean_capture();
   obliterate(s.capture[0], s.start + s.layout.htltf_offset(), wifi::kHtLtfLen, 4);
   core::Receiver rx(s.phy, 1);
-  const auto pkt = rx.receive(s.capture);
+  const auto pkt = testutil::receive_once(rx, s.capture);
   ASSERT_TRUE(pkt.has_value());
   EXPECT_TRUE(pkt->htsig_ok);
   EXPECT_FALSE(pkt->fcs_ok);  // garbage channel estimate garbles the data
@@ -110,7 +111,7 @@ TEST(FailureInjection, SingleDataSymbolBurstIsCorrectedByFec) {
   auto s = make_clean_capture();
   obliterate(s.capture[0], s.start + s.layout.data_offset() + 30, 8, 5);
   core::Receiver rx(s.phy, 1);
-  const auto pkt = rx.receive(s.capture);
+  const auto pkt = testutil::receive_once(rx, s.capture);
   ASSERT_TRUE(pkt.has_value());
   EXPECT_TRUE(pkt->fcs_ok);
   EXPECT_EQ(pkt->psdu, s.psdu);
@@ -120,7 +121,7 @@ TEST(FailureInjection, WholeDataSymbolLossBreaksFcsOnly) {
   auto s = make_clean_capture();
   obliterate(s.capture[0], s.start + s.layout.data_offset(), ofdm::kSymLen, 6);
   core::Receiver rx(s.phy, 1);
-  const auto pkt = rx.receive(s.capture);
+  const auto pkt = testutil::receive_once(rx, s.capture);
   ASSERT_TRUE(pkt.has_value());
   EXPECT_TRUE(pkt->htsig_ok);
   EXPECT_FALSE(pkt->fcs_ok);
@@ -140,7 +141,7 @@ TEST(FailureInjection, OneDeadRxAntennaFailsCleanlyOnMimo) {
   auto s = make_clean_capture(15);
   std::fill(s.capture[1].begin(), s.capture[1].end(), cf32{0.0F, 0.0F});
   core::Receiver rx(s.phy, 2);
-  const auto pkt = rx.receive(s.capture);
+  const auto pkt = testutil::receive_once(rx, s.capture);
   ASSERT_TRUE(pkt.has_value());
   EXPECT_TRUE(pkt->htsig_ok);
   EXPECT_FALSE(pkt->fcs_ok);
@@ -153,7 +154,7 @@ TEST(FailureInjection, LostParityStreamIsRecoveredByInvertibleCode) {
   auto s = make_clean_capture(8);
   std::fill(s.capture[1].begin(), s.capture[1].end(), cf32{0.0F, 0.0F});
   core::Receiver rx(s.phy, 2);
-  const auto pkt = rx.receive(s.capture);
+  const auto pkt = testutil::receive_once(rx, s.capture);
   ASSERT_TRUE(pkt.has_value());
   EXPECT_TRUE(pkt->fcs_ok);
   EXPECT_EQ(pkt->psdu, s.psdu);
@@ -165,7 +166,7 @@ TEST(FailureInjection, TruncatedRightAfterHtSigReportsGracefully) {
     c.resize(s.start + s.layout.htstf_offset() + 20);
   }
   core::Receiver rx(s.phy, 1);
-  const auto pkt = rx.receive(s.capture);
+  const auto pkt = testutil::receive_once(rx, s.capture);
   if (pkt) {
     EXPECT_FALSE(pkt->fcs_ok);
     EXPECT_TRUE(pkt->psdu.empty());
@@ -178,7 +179,7 @@ TEST(FailureInjection, BackToBackGarbageBeforePacketStillDecodes) {
   auto s = make_clean_capture();
   obliterate(s.capture[0], 50, 150, 8);
   core::Receiver rx(s.phy, 1);
-  const auto pkt = rx.receive(s.capture);
+  const auto pkt = testutil::receive_once(rx, s.capture);
   ASSERT_TRUE(pkt.has_value());
   EXPECT_TRUE(pkt->fcs_ok);
 }
@@ -196,7 +197,7 @@ TEST(FailureInjection, CwToneInterfererDegradesOnlyItsSubcarriers) {
                                    static_cast<double>(i - s.start)));
   }
   core::Receiver rx(s.phy, 1);
-  const auto pkt = rx.receive(s.capture);
+  const auto pkt = testutil::receive_once(rx, s.capture);
   ASSERT_TRUE(pkt.has_value());
   ASSERT_TRUE(pkt->htsig_ok);
   // The tone leaks mostly into bins 10 and 11; the harder-hit of the two

@@ -12,6 +12,7 @@
 #include "core/transmitter.hpp"
 #include "core/workspace.hpp"
 #include "dsp/rng.hpp"
+#include "receive_util.hpp"
 #include "wifi/psdu.hpp"
 
 namespace {
@@ -71,7 +72,7 @@ std::vector<std::span<const cf32>> as_spans(
 TEST(StreamReceiver, SingleCleanPacketMatchesReceiverBitExact) {
   const auto s = make_multi_capture(1, 0);
   const core::Receiver ref_rx(s.phy, s.capture.size());
-  const auto ref = ref_rx.receive(s.capture);
+  const auto ref = testutil::receive_once(ref_rx, s.capture);
   ASSERT_TRUE(ref.has_value());
   ASSERT_TRUE(ref->fcs_ok);
 

@@ -9,6 +9,7 @@
 #include "core/transmitter.hpp"
 #include "channel/mimo_channel.hpp"
 #include "flowgraph/blocks.hpp"
+#include "receive_util.hpp"
 #include "flowgraph/graph.hpp"
 #include "trace/file_blocks.hpp"
 #include "trace/iq_file.hpp"
@@ -110,7 +111,7 @@ TEST_F(TraceTest, RecordedPpduReplaysAndDecodes) {
   const auto replay = trace::read_iq(path_);
 
   core::Receiver rx(phy, 1);
-  const auto pkt = rx.receive({replay.samples});
+  const auto pkt = testutil::receive_once(rx, {replay.samples});
   ASSERT_TRUE(pkt.has_value());
   EXPECT_TRUE(pkt->fcs_ok);
   EXPECT_EQ(pkt->psdu, psdu);
