@@ -17,6 +17,12 @@ key of the new results:
       batched-vs-per-symbol record-identity flags. Stage kernel figures are
       informational (the bench binary itself asserts the kernel bar).
 
+  mu      (BENCH_mu.json) — gates the E22 multi-user sum-throughput figures:
+      fresh-CSI downlink points (stale_symbols == 0) and every uplink point.
+      Stale-CSI rows are the impairment sweep — small-sample PER noise
+      dominates them, so they are reported but not gated (the bench binary
+      itself asserts their monotonic degradation).
+
 Usage:
     scripts/bench_diff.py NEW.json [--baseline BASELINE.json]
                           [--threshold 0.20]
@@ -137,6 +143,42 @@ def diff_hotpath(new_doc, base_doc, threshold):
     return failures, gated_any
 
 
+def diff_mu(new_doc, base_doc, threshold):
+    """Gate BENCH_mu.json: fresh-CSI downlink + uplink sum throughput."""
+    failures = []
+    gated_any = False
+
+    def points_by_key(doc, table):
+        out = {}
+        for p in doc.get(table, []):
+            out[(p["users"], p.get("stale_symbols", 0))] = p
+        return out
+
+    for table in ("downlink", "uplink"):
+        new, base = points_by_key(new_doc, table), points_by_key(base_doc, table)
+        for key, base_pt in sorted(base.items()):
+            users, stale = key
+            new_pt = new.get(key)
+            name = f"{table}.u{users}.stale{stale}"
+            if new_pt is None:
+                failures.append(f"{name}: point missing from new results")
+                continue
+            if table == "downlink" and stale != 0:
+                # Stale rows are the impairment sweep: small-sample PER noise
+                # dominates, and the bench binary itself asserts their
+                # monotonic degradation. Report, don't gate.
+                b = base_pt.get("sum_throughput_mbps")
+                n = new_pt.get("sum_throughput_mbps")
+                if b is not None and n is not None and b > 0:
+                    print(f"  {name:.<28s} {'sum_throughput_mbps':.<28s} "
+                          f"{n:12.4g} / {b:12.4g} Mb/s  (not gated)")
+                continue
+            gated_any = True
+            gate_ratio(failures, name, "sum_throughput_mbps", base_pt, new_pt,
+                       threshold, unit="Mb/s")
+    return failures, gated_any
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("new", help="freshly emitted bench JSON")
@@ -163,6 +205,9 @@ def main():
     elif family == "stream":
         default_baseline = os.path.join(REPO_ROOT, "BENCH_stream.json")
         diff = diff_scan
+    elif family == "mu":
+        default_baseline = os.path.join(REPO_ROOT, "BENCH_mu.json")
+        diff = diff_mu
     else:
         print(f"bench_diff: unknown bench family {family!r} in {args.new}",
               file=sys.stderr)

@@ -10,6 +10,7 @@
 #   scripts/check.sh farm-smoke   # E19 receiver-farm bench + "farm" schema
 #   scripts/check.sh scan-smoke   # E20 scan bench + "scan" schema + regression diff
 #   scripts/check.sh decode-smoke # E21 batched-decode bench + "decode" schema + diff
+#   scripts/check.sh mu-smoke     # E22 multi-user bench + "mu" schema + diff
 #
 # Build trees are kept per-configuration (build/, build-asan/, build-tsan/)
 # so incremental re-runs are cheap.
@@ -19,7 +20,7 @@ cd "$(dirname "$0")/.."
 
 configs=("$@")
 if [ ${#configs[@]} -eq 0 ]; then
-  configs=(plain asan tsan bench-smoke farm-smoke scan-smoke decode-smoke)
+  configs=(plain asan tsan bench-smoke farm-smoke scan-smoke decode-smoke mu-smoke)
 fi
 
 run_config() {
@@ -231,6 +232,64 @@ EOF
   return "$rc"
 }
 
+# Multi-user smoke: a reduced-packet run of bench_e22_mu, which itself
+# asserts the MU acceptance shape (fresh-CSI 2-user per-user throughput
+# >= 80% of single-link, monotonic sum-throughput degradation with CSI
+# staleness). Then a schema check on BENCH_mu.json and a regression diff
+# against the committed baseline — >20% fresh-CSI sum-throughput loss fails
+# full runs; the reduced smoke run gets a looser, env-overridable bar since
+# its per-point PER is quantized to a handful of packets.
+run_mu_smoke() {
+  echo "==== [mu-smoke] build ===="
+  cmake -B build -S . > build.configure.log 2>&1 || {
+    cat build.configure.log; return 1; }
+  cmake --build build -j --target bench_e22_mu > build.build.log 2>&1 || {
+    tail -50 build.build.log; return 1; }
+  echo "==== [mu-smoke] run (12 packets per point) ===="
+  local tmp
+  tmp="$(mktemp -d)"
+  MIMONET_BENCH_PACKETS=12 MIMONET_BENCH_JSON_DIR="$tmp" \
+    ./build/bench/bench_e22_mu || { rm -rf "$tmp"; return 1; }
+  echo "==== [mu-smoke] validate BENCH_mu.json ===="
+  python3 - "$tmp/BENCH_mu.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+for key in ("bench", "packets_per_point", "mcs", "snr_db", "doppler_norm",
+            "downlink", "uplink"):
+    assert key in d, f"missing key: {key}"
+assert d["bench"] == "mu"
+dl = d["downlink"]
+assert isinstance(dl, list) and len(dl) == 9, "want 3 users x 3 staleness"
+for p in dl:
+    for key in ("users", "stale_symbols", "sum_throughput_mbps", "per",
+                "sinr_db"):
+        assert key in p, f"missing downlink key: {key}"
+    assert p["users"] in (1, 2, 4)
+    assert p["stale_symbols"] in (0, 4, 16)
+    assert 0.0 <= p["per"] <= 1.0
+fresh = {p["users"]: p for p in dl if p["stale_symbols"] == 0}
+assert fresh[2]["sum_throughput_mbps"] > fresh[1]["sum_throughput_mbps"], \
+    "2-user fresh-CSI sum throughput below single-link"
+ul = d["uplink"]
+assert isinstance(ul, list) and len(ul) == 3, "want 3 uplink points"
+for p in ul:
+    for key in ("users", "sum_throughput_mbps", "per", "sinr_db"):
+        assert key in p, f"missing uplink key: {key}"
+    assert p["sum_throughput_mbps"] > 0, "non-positive uplink throughput"
+print("BENCH_mu.json schema OK")
+EOF
+  local rc=$?
+  if [ "$rc" -ne 0 ]; then rm -rf "$tmp"; return "$rc"; fi
+  echo "==== [mu-smoke] diff vs committed baseline ===="
+  python3 scripts/bench_diff.py "$tmp/BENCH_mu.json" \
+    --threshold "${MIMONET_MU_SMOKE_THRESHOLD:-0.4}"
+  rc=$?
+  rm -rf "$tmp"
+  return "$rc"
+}
+
 for cfg in "${configs[@]}"; do
   case "$cfg" in
     plain)
@@ -250,8 +309,10 @@ for cfg in "${configs[@]}"; do
       run_scan_smoke ;;
     decode-smoke)
       run_decode_smoke ;;
+    mu-smoke)
+      run_mu_smoke ;;
     *)
-      echo "unknown config: $cfg (want plain|asan|tsan|bench-smoke|farm-smoke|scan-smoke|decode-smoke)" >&2
+      echo "unknown config: $cfg (want plain|asan|tsan|bench-smoke|farm-smoke|scan-smoke|decode-smoke|mu-smoke)" >&2
       exit 2 ;;
   esac
 done

@@ -19,6 +19,7 @@ const char* fault_kind_name(FaultKind k) noexcept {
     case FaultKind::kSampleInsert: return "sample_insert";
     case FaultKind::kPhaseJump: return "phase_jump";
     case FaultKind::kErasure: return "erasure";
+    case FaultKind::kCsiStale: return "csi_stale";
   }
   return "unknown";
 }
@@ -52,6 +53,18 @@ FaultPlan& FaultPlan::phase_jump(std::size_t start, double radians) {
 FaultPlan& FaultPlan::erasure(std::size_t start, std::size_t len) {
   events.push_back({FaultKind::kErasure, start, len, 0.0, 0.0});
   return *this;
+}
+FaultPlan& FaultPlan::csi_stale(std::size_t symbols) {
+  events.push_back({FaultKind::kCsiStale, 0, symbols, 0.0, 0.0});
+  return *this;
+}
+
+std::size_t FaultPlan::csi_stale_symbols() const noexcept {
+  std::size_t total = 0;
+  for (const auto& ev : events) {
+    if (ev.kind == FaultKind::kCsiStale) total += ev.length;
+  }
+  return total;
 }
 
 namespace {
@@ -113,6 +126,10 @@ void apply_event(std::vector<cf32>& x, const FaultEvent& ev, std::uint64_t seed,
     }
     case FaultKind::kErasure:
       apply_burst_erasure(x, ev.start, ev.length);
+      break;
+    case FaultKind::kCsiStale:
+      // Interpreted at sounding time by MultiUserChannel, not here: CSI
+      // staleness is a feedback-loop property, not a sample-domain fault.
       break;
   }
 }

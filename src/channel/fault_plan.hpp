@@ -38,6 +38,12 @@ enum class FaultKind : std::uint8_t {
   /// Zero samples in [start, start + length) — a blanked AGC window, the
   /// FaultPlan form of the legacy erasure_start/len knobs.
   kErasure,
+  /// CSI-feedback staleness (multi-user links): the precoder for this
+  /// packet is computed from a channel snapshot `length` OFDM-symbol blocks
+  /// older than the channel the data actually crosses. Not a sample-domain
+  /// effect — apply_fault_plan skips it; MultiUserChannel interprets it at
+  /// sounding time (see channel/multi_user_channel.hpp). `start` is unused.
+  kCsiStale,
 };
 
 [[nodiscard]] const char* fault_kind_name(FaultKind k) noexcept;
@@ -69,6 +75,11 @@ struct FaultPlan {
   FaultPlan& sample_insert(std::size_t start, std::size_t count);
   FaultPlan& phase_jump(std::size_t start, double radians);
   FaultPlan& erasure(std::size_t start, std::size_t len);
+  FaultPlan& csi_stale(std::size_t symbols);
+
+  /// Total CSI-feedback staleness scheduled by this plan, in OFDM-symbol
+  /// blocks (sum over kCsiStale events; 0 = fresh CSI).
+  [[nodiscard]] std::size_t csi_stale_symbols() const noexcept;
 };
 
 /// Apply every event of `plan`, in order, to one antenna's capture.

@@ -67,6 +67,11 @@ void MimoChannel::fix_realization(ChannelRealization realization) {
 
 std::vector<std::vector<cf32>> MimoChannel::transmit(
     const std::vector<std::vector<cf32>>& tx_streams) {
+  return finalize(propagate(tx_streams));
+}
+
+std::vector<std::vector<cf32>> MimoChannel::propagate(
+    const std::vector<std::vector<cf32>>& tx_streams) {
   if (tx_streams.size() != cfg_.ntx) {
     throw std::invalid_argument("MimoChannel: wrong TX stream count");
   }
@@ -79,43 +84,53 @@ std::vector<std::vector<cf32>> MimoChannel::transmit(
 
   const std::size_t n_taps = current_.taps[0][0].size();
   const std::size_t conv_len = len + n_taps - 1;
-  const double nv = noise_variance();
   const bool doppler = cfg_.fading && cfg_.doppler_norm > 0.0;
 
-  std::vector<std::vector<cf32>> faded;
-  if (doppler) {
-    faded = propagate_doppler(tx_streams, conv_len);
-  }
-
   std::vector<std::vector<cf32>> rx(cfg_.nrx);
-  for (std::size_t r = 0; r < cfg_.nrx; ++r) {
-    std::vector<cf32> acc;
-    if (doppler) {
-      acc = std::move(faded[r]);
-    } else {
+  if (doppler) {
+    rx = propagate_doppler(tx_streams, conv_len);
+  } else {
+    for (std::size_t r = 0; r < cfg_.nrx; ++r) {
       // Sum of per-TX convolutions with the static realization.
-      acc.assign(conv_len, cf32{0.0F, 0.0F});
+      rx[r].assign(conv_len, cf32{0.0F, 0.0F});
       for (std::size_t t = 0; t < cfg_.ntx; ++t) {
         dsp::FirFilter fir(current_.taps[r][t]);
         // Feed the stream plus a zero tail to flush the full convolution.
         std::vector<cf32> padded(tx_streams[t]);
         padded.resize(conv_len, cf32{0.0F, 0.0F});
         const auto y = fir.process(padded);
-        for (std::size_t i = 0; i < conv_len; ++i) acc[i] += y[i];
+        for (std::size_t i = 0; i < conv_len; ++i) rx[r][i] += y[i];
       }
     }
+  }
 
+  for (std::size_t r = 0; r < cfg_.nrx; ++r) {
     // One local oscillator per device: the same CFO on every RX antenna.
-    if (cfg_.cfo_norm != 0.0) apply_cfo(acc, cfg_.cfo_norm);
-    if (cfg_.sfo_ppm != 0.0) acc = apply_sfo(acc, cfg_.sfo_ppm);
+    if (cfg_.cfo_norm != 0.0) apply_cfo(rx[r], cfg_.cfo_norm);
+    if (cfg_.sfo_ppm != 0.0) rx[r] = apply_sfo(rx[r], cfg_.sfo_ppm);
     if (cfg_.power_scale != 1.0) {
-      dsp::scale(acc, static_cast<float>(cfg_.power_scale));
+      dsp::scale(rx[r], static_cast<float>(cfg_.power_scale));
     }
+  }
 
+  truth_.realization = current_;
+  truth_.cfo_norm = cfg_.cfo_norm;
+  truth_.snr_db = cfg_.snr_db;
+  return rx;
+}
+
+std::vector<std::vector<cf32>> MimoChannel::finalize(
+    std::vector<std::vector<cf32>> clean) {
+  if (clean.size() != cfg_.nrx) {
+    throw std::invalid_argument("MimoChannel::finalize: wrong stream count");
+  }
+  const double nv = noise_variance();
+  std::vector<std::vector<cf32>> rx(cfg_.nrx);
+  for (std::size_t r = 0; r < cfg_.nrx; ++r) {
     // Timing pad (noise-only air before/after the burst), then AWGN over
     // the whole capture.
-    auto capture =
-        pad_with_noise(acc, cfg_.timing_pad, cfg_.tail_pad, nv, pad_seed_ + r);
+    auto capture = pad_with_noise(clean[r], cfg_.timing_pad, cfg_.tail_pad, nv,
+                                  pad_seed_ + r);
     noise_.add_to(
         std::span(capture).subspan(cfg_.timing_pad, capture.size() - cfg_.timing_pad -
                                                         cfg_.tail_pad));
@@ -133,13 +148,47 @@ std::vector<std::vector<cf32>> MimoChannel::transmit(
     rx[r] = std::move(capture);
   }
 
-  truth_.realization = current_;
-  truth_.cfo_norm = cfg_.cfo_norm;
   truth_.packet_start = cfg_.timing_pad;
   truth_.noise_variance = nv;
-  truth_.snr_db = cfg_.snr_db;
   truth_.faults = cfg_.faults;
   return rx;
+}
+
+const ChannelRealization& MimoChannel::draw_realization() {
+  if (cfg_.fading && !fixed_) {
+    current_ = fading_.next();
+    fixed_ = true;
+  }
+  return current_;
+}
+
+ChannelRealization MimoChannel::aged_realization(const ChannelRealization& r,
+                                                 std::size_t blocks) {
+  ChannelRealization aged = r;
+  if (blocks == 0 || !cfg_.fading || cfg_.doppler_norm <= 0.0) return aged;
+  // The same first-order Gauss-Markov step propagate_doppler applies within
+  // a packet, advanced `blocks` times; draws come from the shared innovation
+  // stream so sounding-to-data aging and in-packet aging form one process.
+  const double rho = std::exp(-dsp::two_pi_d * cfg_.doppler_norm *
+                              static_cast<double>(kDopplerBlock));
+  const double innov = std::sqrt(std::max(0.0, 1.0 - rho * rho));
+  const auto powers = profile_powers(cfg_.profile);
+  const std::size_t n_taps = powers.size();
+  for (std::size_t step = 0; step < blocks; ++step) {
+    for (std::size_t rx = 0; rx < aged.nrx; ++rx) {
+      for (std::size_t tx = 0; tx < aged.ntx; ++tx) {
+        for (std::size_t k = 0; k < n_taps; ++k) {
+          const cf32 w = doppler_innovation_.sample();
+          const double sigma = std::sqrt(powers[k]);
+          const dsp::cf64 next = rho * dsp::cf64(aged.taps[rx][tx][k]) +
+                                 innov * sigma * dsp::cf64(w);
+          aged.taps[rx][tx][k] = cf32(static_cast<float>(next.real()),
+                                      static_cast<float>(next.imag()));
+        }
+      }
+    }
+  }
+  return aged;
 }
 
 std::vector<std::vector<cf32>> MimoChannel::propagate_doppler(
@@ -148,7 +197,7 @@ std::vector<std::vector<cf32>> MimoChannel::propagate_doppler(
   // h' = rho h + sqrt(1 - rho^2) * sqrt(p_tap) * w, preserving each tap's
   // stationary power. One block per OFDM symbol keeps the channel constant
   // within a symbol (no ICI) while aging across the packet.
-  constexpr std::size_t kBlock = 80;
+  constexpr std::size_t kBlock = kDopplerBlock;
   const double rho = std::exp(-dsp::two_pi_d * cfg_.doppler_norm *
                               static_cast<double>(kBlock));
   const double innov = std::sqrt(std::max(0.0, 1.0 - rho * rho));

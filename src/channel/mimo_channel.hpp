@@ -14,6 +14,11 @@
 
 namespace mimonet::channel {
 
+/// Gauss-Markov tap-aging block length in samples: one OFDM symbol, so the
+/// channel is constant within a symbol (no ICI) while aging across the
+/// packet. Shared by in-packet Doppler evolution and CSI-staleness aging.
+inline constexpr std::size_t kDopplerBlock = 80;
+
 /// Everything the "air" does to the packet.
 struct ChannelConfig {
   std::size_t ntx = 1;
@@ -84,8 +89,37 @@ class MimoChannel {
   /// Propagate per-TX-antenna streams; returns per-RX-antenna streams.
   /// All TX streams must be equal length. Output length is timing_pad +
   /// len + taps - 1 + tail_pad (slightly different under SFO).
+  /// Equivalent to finalize(propagate(tx_streams)) — bit-identical, same
+  /// random draw order.
   [[nodiscard]] std::vector<std::vector<cf32>> transmit(
       const std::vector<std::vector<cf32>>& tx_streams);
+
+  /// Propagation half of transmit(): draws this packet's fading realization
+  /// (unless pinned), convolves, applies CFO/SFO/power scale. No timing
+  /// pads, noise, clipping, quantization or faults — finalize() adds those.
+  /// Split out so MultiUserChannel can superpose several users' propagated
+  /// signals at one receiver before a single front-end finalize pass.
+  [[nodiscard]] std::vector<std::vector<cf32>> propagate(
+      const std::vector<std::vector<cf32>>& tx_streams);
+
+  /// Front-end half of transmit(): pads each propagated stream with
+  /// noise-only air, adds AWGN over the burst, then clipping / ADC
+  /// quantization / erasure / the fault campaign. Consumes the propagated
+  /// streams and completes this packet's truth() record.
+  [[nodiscard]] std::vector<std::vector<cf32>> finalize(
+      std::vector<std::vector<cf32>> clean);
+
+  /// Draw (and pin) the fading realization the next propagate()/transmit()
+  /// would use — the sounding hook: callers snapshot it, age it with
+  /// aged_realization(), and pin the aged version before the data transmit.
+  /// For a non-fading channel this returns the static identity realization.
+  const ChannelRealization& draw_realization();
+
+  /// Age `r` by `blocks` Gauss-Markov steps of kDopplerBlock samples each,
+  /// consuming the same doppler innovation stream in-packet aging uses.
+  /// Identity when doppler_norm == 0 or blocks == 0 (no draws consumed).
+  [[nodiscard]] ChannelRealization aged_realization(const ChannelRealization& r,
+                                                    std::size_t blocks);
 
   /// Restart every random source (fading, noise, Doppler innovation, pad
   /// noise) from `seed`, exactly as if the channel had been constructed with

@@ -1,0 +1,167 @@
+#include "channel/multi_user_channel.hpp"
+
+#include <stdexcept>
+
+namespace mimonet::channel {
+
+namespace {
+
+constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
+
+/// Per-user sub-seed: distinct, seed-dependent streams per user so fading /
+/// noise / Doppler draws never collide across users or with the BS front
+/// end (which uses user index n_users below).
+std::uint64_t user_seed(std::uint64_t base, std::size_t u) {
+  return dsp::splitmix64(base + kGolden * (static_cast<std::uint64_t>(u) + 1));
+}
+
+ChannelConfig user_config(const MuChannelConfig& cfg, std::size_t n_bs,
+                          std::size_t u) {
+  ChannelConfig c = cfg.user;
+  if (cfg.direction == MuDirection::kDownlink) {
+    c.ntx = n_bs;
+    c.nrx = 1;
+  } else {
+    c.ntx = 1;
+    c.nrx = n_bs;
+    // The shared BS front end owns pads / noise / ADC / faults on the
+    // uplink; the per-user channel is propagation only. Zeroing the pads
+    // here keeps the per-user truth records from claiming offsets the
+    // superposed capture does not have.
+    c.timing_pad = 0;
+    c.tail_pad = 0;
+  }
+  c.seed = user_seed(cfg.user.seed, u);
+  return c;
+}
+
+ChannelConfig frontend_config(const MuChannelConfig& cfg, std::size_t n_bs) {
+  ChannelConfig c = cfg.user;
+  c.ntx = n_bs;
+  c.nrx = n_bs;
+  c.fading = false;  // propagation happened per user; this is the RF front end
+  c.doppler_norm = 0.0;
+  c.cfo_norm = 0.0;
+  c.sfo_ppm = 0.0;
+  c.seed = user_seed(cfg.user.seed, cfg.n_users);  // one past the user range
+  return c;
+}
+
+}  // namespace
+
+MultiUserChannel::MultiUserChannel(MuChannelConfig cfg)
+    : cfg_(cfg),
+      n_bs_(cfg.n_bs_antennas != 0 ? cfg.n_bs_antennas : cfg.n_users),
+      bs_frontend_(frontend_config(cfg, n_bs_)) {
+  if (cfg.n_users == 0 || cfg.n_users > 4 || n_bs_ == 0 || n_bs_ > 4) {
+    throw std::invalid_argument("MultiUserChannel: users and BS antennas must be 1..4");
+  }
+  if (cfg.n_users > n_bs_) {
+    throw std::invalid_argument(
+        "MultiUserChannel: need n_users <= n_bs_antennas (ZF dimensioning)");
+  }
+  if (cfg.n_users > 1 && !cfg.user.fading) {
+    throw std::invalid_argument(
+        "MultiUserChannel: multi-user separation needs fading channels");
+  }
+  if (cfg.user.sfo_ppm != 0.0) {
+    // Per-user SFO desynchronizes the users' sample clocks, which breaks
+    // both the time-domain downlink precoding and the triggered uplink
+    // superposition. Model SFO on single-user links only.
+    throw std::invalid_argument("MultiUserChannel: per-user SFO unsupported");
+  }
+  users_.reserve(cfg.n_users);
+  for (std::size_t u = 0; u < cfg.n_users; ++u) {
+    users_.emplace_back(user_config(cfg_, n_bs_, u));
+  }
+}
+
+void MultiUserChannel::reseed(std::uint64_t seed) {
+  for (std::size_t u = 0; u < users_.size(); ++u) {
+    users_[u].reseed(user_seed(seed, u));
+    users_[u].unfix_realization();
+  }
+  bs_frontend_.reseed(user_seed(seed, users_.size()));
+}
+
+void MultiUserChannel::set_user_fault_plan(std::size_t u, FaultPlan plan) {
+  users_.at(u).set_fault_plan(std::move(plan));
+}
+
+std::size_t MultiUserChannel::stale_symbols(std::size_t u) const {
+  return users_.at(u).config().faults.csi_stale_symbols();
+}
+
+std::vector<std::vector<cf32>> MultiUserChannel::sound_user(
+    std::size_t u, const std::vector<std::vector<cf32>>& chains) {
+  if (cfg_.direction != MuDirection::kDownlink) {
+    throw std::logic_error("sound_user: downlink only");
+  }
+  auto& chan = users_.at(u);
+  chan.draw_realization();  // draw and pin the sounding-time snapshot
+  return chan.propagate(chains);
+}
+
+void MultiUserChannel::advance_csi(std::size_t u) {
+  auto& chan = users_.at(u);
+  const std::size_t stale = stale_symbols(u);
+  // draw_realization() returns the realization sound_user() pinned (or pins
+  // a fresh one when sounding was skipped, e.g. precoding disabled).
+  auto aged = chan.aged_realization(chan.draw_realization(), stale);
+  chan.fix_realization(std::move(aged));
+}
+
+std::vector<std::vector<cf32>> MultiUserChannel::transmit_downlink(
+    std::size_t u, const std::vector<std::vector<cf32>>& chains) {
+  if (cfg_.direction != MuDirection::kDownlink) {
+    throw std::logic_error("transmit_downlink: wrong direction");
+  }
+  return users_.at(u).transmit(chains);
+}
+
+const ChannelTruth& MultiUserChannel::user_truth(std::size_t u) const {
+  return users_.at(u).truth();
+}
+
+MimoChannel& MultiUserChannel::user_channel(std::size_t u) {
+  return users_.at(u);
+}
+
+std::vector<std::vector<cf32>> MultiUserChannel::transmit_uplink(
+    const std::vector<std::vector<std::vector<cf32>>>& per_user_chains) {
+  if (cfg_.direction != MuDirection::kUplink) {
+    throw std::logic_error("transmit_uplink: wrong direction");
+  }
+  if (per_user_chains.size() != users_.size()) {
+    throw std::invalid_argument("transmit_uplink: wrong user count");
+  }
+  const std::size_t len = per_user_chains[0].at(0).size();
+  for (const auto& chains : per_user_chains) {
+    if (chains.size() != 1 || chains[0].size() != len) {
+      throw std::invalid_argument(
+          "transmit_uplink: each user sends one chain, all equal length "
+          "(triggered uplink)");
+    }
+  }
+
+  std::vector<std::vector<cf32>> acc;
+  for (std::size_t u = 0; u < users_.size(); ++u) {
+    auto rx = users_[u].propagate(per_user_chains[u]);
+    if (u == 0) {
+      acc = std::move(rx);
+    } else {
+      // Delay profiles are per-configuration, so every user's propagated
+      // length matches and the superposition is sample-aligned.
+      for (std::size_t a = 0; a < acc.size(); ++a) {
+        for (std::size_t i = 0; i < acc[a].size(); ++i) acc[a][i] += rx[a][i];
+      }
+    }
+  }
+  return bs_frontend_.finalize(std::move(acc));
+}
+
+const ChannelTruth& MultiUserChannel::bs_truth() const {
+  return bs_frontend_.truth();
+}
+
+}  // namespace mimonet::channel

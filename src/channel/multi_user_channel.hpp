@@ -1,0 +1,108 @@
+// Multi-user channel composition: one MimoChannel per user plus a shared
+// base-station front end, covering both MU directions.
+//
+//  - Downlink (one BS with n_bs_antennas chains -> U single-antenna users):
+//    each user owns an independent (n_bs x 1) channel with its own fading,
+//    noise, Doppler and fault streams. The CSI lifecycle is explicit:
+//    sound_user() pins the snapshot realization the sounding waveform
+//    crosses, advance_csi() ages it by the configured staleness (the
+//    FaultKind::kCsiStale campaign knob) before the data transmit, so the
+//    precoder's CSI is `stale_symbols` OFDM symbols behind the air.
+//  - Uplink (U single-antenna users -> one BS with n_bs_antennas chains):
+//    each user's transmission propagates through its own (1 x n_bs)
+//    channel; the propagated signals superpose at the BS antennas and one
+//    shared front-end pass (noise, pads, ADC, faults) finalizes the
+//    capture — the joint-detection problem the MU receiver inverts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/mimo_channel.hpp"
+
+namespace mimonet::channel {
+
+/// Which direction a MultiUserChannel simulates.
+enum class MuDirection : std::uint8_t { kDownlink, kUplink };
+
+/// Configuration of the composed channel. `user` is the per-user template:
+/// its ntx/nrx are overridden per direction (downlink: n_bs x 1, uplink:
+/// 1 x n_bs), and its faults entry's csi_stale() length sets the downlink
+/// CSI staleness for every user. Per-user overrides go through
+/// set_user_fault_plan().
+struct MuChannelConfig {
+  std::size_t n_users = 1;
+  std::size_t n_bs_antennas = 0;  ///< 0 = n_users
+  ChannelConfig user{};
+  MuDirection direction = MuDirection::kDownlink;
+};
+
+class MultiUserChannel {
+ public:
+  explicit MultiUserChannel(MuChannelConfig cfg);
+
+  [[nodiscard]] std::size_t n_users() const noexcept { return users_.size(); }
+  [[nodiscard]] std::size_t n_bs_antennas() const noexcept { return n_bs_; }
+  [[nodiscard]] MuDirection direction() const noexcept { return cfg_.direction; }
+  [[nodiscard]] const MuChannelConfig& config() const noexcept { return cfg_; }
+
+  /// Restart every user's random sources (and the BS front end's) from
+  /// seeds derived from `seed` — the per-packet determinism hook, exactly
+  /// mirroring MimoChannel::reseed. Unpins all realizations.
+  void reseed(std::uint64_t seed);
+
+  /// Replace one user's fault campaign (applied by that user's front end on
+  /// the downlink; csi_stale entries feed stale_symbols()).
+  void set_user_fault_plan(std::size_t u, FaultPlan plan);
+
+  /// Downlink CSI staleness for user u in OFDM-symbol blocks, read from the
+  /// user's fault plan (FaultKind::kCsiStale entries).
+  [[nodiscard]] std::size_t stale_symbols(std::size_t u) const;
+
+  // ---- Downlink ----
+
+  /// Propagate a noiseless sounding waveform (n_bs chains) through user
+  /// u's channel, pinning the snapshot realization it crosses. The caller
+  /// estimates the user's CSI row from the return value — genie-timed,
+  /// noise-free feedback whose only error source is staleness.
+  [[nodiscard]] std::vector<std::vector<cf32>> sound_user(
+      std::size_t u, const std::vector<std::vector<cf32>>& chains);
+
+  /// Age user u's pinned realization by its configured staleness: the data
+  /// transmit then crosses the aged channel while the precoder holds the
+  /// sounding-time snapshot. No-op at zero staleness or doppler.
+  void advance_csi(std::size_t u);
+
+  /// Full impairment pass of the precoded BS chains to user u (propagate +
+  /// front-end finalize). Uses the realization advance_csi() pinned.
+  [[nodiscard]] std::vector<std::vector<cf32>> transmit_downlink(
+      std::size_t u, const std::vector<std::vector<cf32>>& chains);
+
+  /// Ground truth of user u's most recent transmit_downlink().
+  [[nodiscard]] const ChannelTruth& user_truth(std::size_t u) const;
+
+  /// User u's channel object (tests inspect realizations through this).
+  [[nodiscard]] MimoChannel& user_channel(std::size_t u);
+
+  // ---- Uplink ----
+
+  /// Superpose every user's propagated transmission at the BS antennas and
+  /// run one shared front-end finalize (noise, pads, clipping, ADC, faults
+  /// from the template config). per_user_chains[u] holds user u's single
+  /// TX chain; all chains must be equal length (triggered uplink).
+  [[nodiscard]] std::vector<std::vector<cf32>> transmit_uplink(
+      const std::vector<std::vector<std::vector<cf32>>>& per_user_chains);
+
+  /// Ground truth of the most recent transmit_uplink() (timing, noise).
+  [[nodiscard]] const ChannelTruth& bs_truth() const;
+
+ private:
+  MuChannelConfig cfg_;
+  std::size_t n_bs_;
+  std::vector<MimoChannel> users_;
+  /// Noise/pads/faults for the superposed uplink capture. Fading disabled:
+  /// propagation happened per user; this is only the shared front end.
+  MimoChannel bs_frontend_;
+};
+
+}  // namespace mimonet::channel

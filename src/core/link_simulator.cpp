@@ -3,14 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <condition_variable>
 #include <cstdio>
-#include <deque>
 #include <exception>
 #include <memory>
 #include <mutex>
 #include <thread>
 
+#include "core/bounded_queue.hpp"
+#include "core/link_internal.hpp"
 #include "core/workspace.hpp"
 #include "dsp/rng.hpp"
 #include "wifi/bits.hpp"
@@ -18,36 +18,18 @@
 
 namespace mimonet::core {
 
-namespace {
+namespace detail {
 
-constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
-
-/// Every random draw for packet p flows from this value: unique per
-/// (link seed, packet index) and independent of simulation history, which
-/// is what makes the engine thread-count invariant.
 std::uint64_t packet_seed(std::uint64_t link_seed, std::size_t p) {
   return dsp::splitmix64(link_seed ^ dsp::splitmix64(static_cast<std::uint64_t>(p) + 1));
 }
 
-/// Fold the link-level seed into the channel's, so varying LinkConfig::seed
-/// varies fading/noise draws too (channel.seed can still be pinned
-/// explicitly relative to it for common-random-number comparisons).
 channel::ChannelConfig seeded_channel(const LinkConfig& cfg) {
   auto ch = cfg.channel;
   ch.seed = ch.seed * kGolden + cfg.seed;
   return ch;
 }
 
-/// One packet's contribution: the mergeable partial result plus the
-/// observer payload.
-struct PacketWork {
-  LinkResult partial;
-  PacketOutcome outcome;
-};
-
-/// @param want_rx copy the decoded RxPacket into the outcome (needed only
-///        when an observer consumes it — skipping the copy keeps the
-///        no-observer hot path free of per-packet RxPacket duplication).
 PacketWork simulate_packet(const LinkConfig& cfg, const Transmitter& tx,
                            channel::MimoChannel& chan, const Receiver& rx,
                            std::size_t p, TxWorkspace& tws, RxWorkspace& rws,
@@ -83,28 +65,40 @@ PacketWork simulate_packet(const LinkConfig& cfg, const Transmitter& tx,
   work.outcome.truth_packet_start = truth.packet_start;
   work.outcome.truth_cfo_norm = truth.cfo_norm;
 
-  LinkResult& res = work.partial;
+  account_packet(work.partial, rws, detected, psdu, payload.size(), airtime,
+                 truth);
+  if (!detected) return work;
+
+  work.outcome.detected = true;
+  if (want_rx) work.outcome.rx = rws.packet;
+  return work;
+}
+
+void account_packet(LinkResult& res, const RxWorkspace& rws, bool detected,
+                    std::span<const std::uint8_t> sent_psdu,
+                    std::size_t payload_bytes, double airtime,
+                    const channel::ChannelTruth& truth) {
   if (!detected) {
     ++res.undetected;
     res.per.add(false);
     res.throughput.add_packet(0, airtime);
     res.rx_errors.add(rws.packet.error);  // kNoSync or kTruncated
-    return work;
+    return;
   }
   const RxPacket& rx_pkt = rws.packet;
   res.rx_errors.add(rx_pkt.error);
 
   const bool ok = rx_pkt.fcs_ok;
   res.per.add(ok);
-  res.throughput.add_packet(ok ? payload.size() : 0, airtime);
+  res.throughput.add_packet(ok ? payload_bytes : 0, airtime);
 
-  if (rx_pkt.htsig_ok && rx_pkt.psdu.size() == psdu.size()) {
-    const auto sent_bits = wifi::bytes_to_bits(psdu);
+  if (rx_pkt.htsig_ok && rx_pkt.psdu.size() == sent_psdu.size()) {
+    const auto sent_bits = wifi::bytes_to_bits(sent_psdu);
     const auto got_bits = wifi::bytes_to_bits(rx_pkt.psdu);
     res.ber.add(sent_bits, got_bits);
   } else if (rx_pkt.htsig_ok) {
     // Length corrupted: count every PSDU bit as errored.
-    res.ber.add_counts(psdu.size() * 8, psdu.size() * 8);
+    res.ber.add_counts(sent_psdu.size() * 8, sent_psdu.size() * 8);
   }
 
   res.snr_est_db.add(rx_pkt.snr.snr_db);
@@ -114,60 +108,18 @@ PacketWork simulate_packet(const LinkConfig& cfg, const Transmitter& tx,
   res.timing_err.add(static_cast<double>(rx_pkt.sync.packet_start) -
                      static_cast<double>(truth.packet_start));
   res.cfo_err.add(rx_pkt.sync.cfo_norm - truth.cfo_norm);
-
-  work.outcome.detected = true;
-  if (want_rx) work.outcome.rx = rx_pkt;
-  return work;
+  for (std::size_t s = 0; s < rx_pkt.n_stream_sinr; ++s) {
+    res.stream_sinr_db[s].add(rx_pkt.stream_sinr_db[s]);
+  }
 }
 
-/// Bounded single-producer queue feeding the merging (calling) thread.
-/// close() signals the producer is done; stop() aborts a blocked producer.
-class BoundedQueue {
- public:
-  explicit BoundedQueue(std::size_t cap) : cap_(cap) {}
+}  // namespace detail
 
-  bool push(PacketWork&& work) {
-    std::unique_lock lk(m_);
-    cv_space_.wait(lk, [&] { return q_.size() < cap_ || stopped_; });
-    if (stopped_) return false;
-    q_.push_back(std::move(work));
-    cv_item_.notify_one();
-    return true;
-  }
+namespace {
 
-  void close() {
-    const std::lock_guard lk(m_);
-    closed_ = true;
-    cv_item_.notify_all();
-  }
-
-  void stop() {
-    const std::lock_guard lk(m_);
-    stopped_ = true;
-    cv_space_.notify_all();
-  }
-
-  /// Next item in production order; nullopt once the producer closed and
-  /// the queue drained (i.e. the worker exited early).
-  std::optional<PacketWork> pop() {
-    std::unique_lock lk(m_);
-    cv_item_.wait(lk, [&] { return !q_.empty() || closed_; });
-    if (q_.empty()) return std::nullopt;
-    PacketWork work = std::move(q_.front());
-    q_.pop_front();
-    cv_space_.notify_one();
-    return work;
-  }
-
- private:
-  std::mutex m_;
-  std::condition_variable cv_item_;
-  std::condition_variable cv_space_;
-  std::deque<PacketWork> q_;
-  std::size_t cap_;
-  bool closed_ = false;
-  bool stopped_ = false;
-};
+using detail::PacketWork;
+using detail::seeded_channel;
+using detail::simulate_packet;
 
 class LegacyAdapter final : public PacketObserver {
  public:
@@ -192,6 +144,9 @@ void LinkResult::merge(const LinkResult& other) {
   pilot_snr_db.merge(other.pilot_snr_db);
   timing_err.merge(other.timing_err);
   cfo_err.merge(other.cfo_err);
+  for (std::size_t s = 0; s < stream_sinr_db.size(); ++s) {
+    stream_sinr_db[s].merge(other.stream_sinr_db[s]);
+  }
 }
 
 std::vector<std::string> LinkResult::summary_headers() {
@@ -283,10 +238,10 @@ LinkResult LinkSimulator::run(const RunOptions& opt, PacketObserver* observer) {
   // order and runs the observer, so aggregates and observer semantics are
   // exactly the single-threaded ones.
   constexpr std::size_t kQueueDepth = 4;
-  std::vector<std::unique_ptr<BoundedQueue>> queues;
+  std::vector<std::unique_ptr<BoundedQueue<PacketWork>>> queues;
   queues.reserve(n_threads);
   for (std::size_t w = 0; w < n_threads; ++w) {
-    queues.push_back(std::make_unique<BoundedQueue>(kQueueDepth));
+    queues.push_back(std::make_unique<BoundedQueue<PacketWork>>(kQueueDepth));
   }
 
   std::atomic<bool> stop{false};

@@ -8,6 +8,7 @@
 // bit-identical for any n_threads, including n_threads = 1.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -97,6 +98,10 @@ struct LinkResult {
   dsp::RunningStats pilot_snr_db; ///< receiver's pilot-EVM SNR estimates
   dsp::RunningStats timing_err;   ///< packet_start error in samples
   dsp::RunningStats cfo_err;      ///< CFO estimate error, cycles/sample
+  /// Post-equalization SINR per spatial stream (dB), fed from
+  /// RxPacket::stream_sinr_db of every packet that reached the linear
+  /// equalizer; unused streams stay at count() == 0.
+  std::array<dsp::RunningStats, 4> stream_sinr_db{};
 
   /// Fold another result in. Counter fields are exact sums; RunningStats
   /// fields use the parallel moment combination.

@@ -1,0 +1,89 @@
+// Multi-user Monte-Carlo harness: the MU counterpart of LinkSimulator.
+//
+//  - Downlink: sound every user's channel, age the air by the configured
+//    CSI staleness, zero-force precode, mix the user PPDUs at the base
+//    station, then run each user's capture through an unmodified 1x1
+//    Receiver (the effective precoded channel is just another channel to
+//    estimate).
+//  - Uplink: every user transmits its PPDU as virtual space-time stream u
+//    of U (see Transmitter::transmit_virtual_into); the superposition at
+//    the BS antennas goes through MuUplinkReceiver's joint detection.
+//
+// The engine keeps LinkSimulator's determinism contract: every random draw
+// for packet p derives from (cfg.user.seed, p) via the same splitmix64
+// discipline, partial results merge in packet order on the calling thread,
+// so MuLinkResult aggregates are bit-identical for any n_threads. With
+// n_users == 1 on the downlink the engine delegates to the single-user
+// per-packet path verbatim — the "MU collapses to SU" pin is a structural
+// identity, not a tolerance.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "channel/multi_user_channel.hpp"
+#include "core/link_simulator.hpp"
+
+namespace mimonet::core {
+
+/// One simulated multi-user link. `user` is the per-user template: its phy
+/// must be a 1-stream MCS without STBC (every user runs the same one — the
+/// triggered-MU simplification), its channel block seeds the per-user
+/// channels, its seed/psdu_payload_bytes drive the packet schedule.
+struct MuLinkConfig {
+  LinkConfig user{};
+  std::size_t n_users = 1;
+  /// Base-station antennas; 0 = n_users (square downlink precoder / square
+  /// uplink joint detection).
+  std::size_t n_bs_antennas = 0;
+  channel::MuDirection direction = channel::MuDirection::kDownlink;
+  /// Downlink CSI-feedback staleness in OFDM-symbol blocks (the
+  /// FaultKind::kCsiStale campaign knob): the precoder for each packet is
+  /// computed from a channel snapshot this many symbol blocks older than
+  /// the channel the data crosses. 0 = genie-fresh CSI.
+  std::size_t csi_stale_symbols = 0;
+
+  [[nodiscard]] std::size_t resolved_bs_antennas() const noexcept {
+    return n_bs_antennas != 0 ? n_bs_antennas : n_users;
+  }
+};
+
+/// Mergeable MU batch result: one LinkResult per user plus their fold.
+/// total is exactly the in-order merge of the per-user partials, so sum
+/// throughput, aggregate PER and pooled SINR stats read off it directly.
+struct MuLinkResult {
+  LinkResult total;
+  std::vector<LinkResult> per_user;
+
+  void merge(const MuLinkResult& other);
+};
+
+/// How to run an MU batch. (The SU early-stop knobs don't carry over: MU
+/// sweeps are throughput-shaped, not tail-PER-shaped.)
+struct MuRunOptions {
+  std::size_t n_packets = 0;
+  std::size_t n_threads = 1;  ///< 0 = hardware concurrency
+};
+
+class MuLinkSimulator {
+ public:
+  explicit MuLinkSimulator(MuLinkConfig cfg);
+
+  /// Run a batch; bit-identical for any n_threads.
+  [[nodiscard]] MuLinkResult run(const MuRunOptions& opt);
+
+  [[nodiscard]] const MuLinkConfig& config() const noexcept { return cfg_; }
+
+ private:
+  MuLinkConfig cfg_;
+};
+
+/// Convenience: an MuLinkConfig whose user template matches
+/// make_link_config(mcs, snr_db) with per-user Rayleigh fading (flat —
+/// the precoder's channel model) at the given normalized Doppler.
+[[nodiscard]] MuLinkConfig make_mu_link_config(
+    unsigned mcs, double snr_db, std::size_t n_users,
+    channel::MuDirection direction = channel::MuDirection::kDownlink,
+    double doppler_norm = 0.0);
+
+}  // namespace mimonet::core

@@ -3,6 +3,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/mu_receiver.hpp"
 #include "core/receiver_farm.hpp"
 #include "core/workspace.hpp"
 
@@ -67,6 +68,46 @@ bool ReceiveSession::receive_one(
 }
 
 const RxPacket& ReceiveSession::packet() const noexcept { return ws_->packet; }
+
+bool ReceiveSession::receive_mu_one(
+    std::span<const std::span<const cf32>> capture, std::size_t n_users,
+    std::size_t psdu_bytes) {
+  if (!mu_rx_ || mu_rx_->n_users() != n_users) {
+    mu_rx_ = std::make_unique<MuUplinkReceiver>(engine_.config(), n_users, nrx_);
+    if (!mu_ws_) mu_ws_ = std::make_unique<MuRxWorkspace>();
+  }
+  if (mu_stats_.size() < n_users) mu_stats_.resize(n_users);
+
+  const bool got = mu_rx_->receive(capture, psdu_bytes, *mu_ws_);
+  const std::size_t samples = capture.empty() ? 0 : capture[0].size();
+  stats_.samples_scanned += samples;
+
+  for (std::size_t u = 0; u < n_users; ++u) {
+    StreamStats& st = mu_stats_[u];
+    st.samples_scanned += samples;
+    if (!got) {
+      st.errors.add(metrics::RxError::kNoSync);
+      stats_.errors.add(metrics::RxError::kNoSync);
+      continue;
+    }
+    const MuUserPacket& up = mu_ws_->packet.users[u];
+    ++st.frames;
+    ++stats_.frames;
+    const auto err =
+        up.fcs_ok ? metrics::RxError::kOk : metrics::RxError::kFcsFail;
+    st.errors.add(err);
+    stats_.errors.add(err);
+    if (up.fcs_ok) {
+      ++st.delivered;
+      ++stats_.delivered;
+    }
+    st.stream_sinr_db[0].add(up.sinr_db);
+    stats_.stream_sinr_db[u].add(up.sinr_db);
+  }
+  return got;
+}
+
+const MuRxPacket& ReceiveSession::mu_packet() const { return mu_ws_->packet; }
 
 void ReceiveSession::scan(std::span<const std::span<const cf32>> capture,
                           const EventFn& on_event) {

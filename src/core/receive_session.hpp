@@ -23,6 +23,9 @@
 namespace mimonet::core {
 
 class ReceiverFarm;
+class MuUplinkReceiver;  // core/mu_receiver.hpp
+struct MuRxPacket;
+struct MuRxWorkspace;
 
 /// Everything a receive session can be told: the scan-loop policy knobs the
 /// StreamReceiver engine keys on, plus the parallelism shape (workers,
@@ -147,6 +150,28 @@ class ReceiveSession {
   [[nodiscard]] std::vector<StreamRecord> receive_all(
       const std::vector<std::vector<cf32>>& capture);
 
+  // --- multi-user uplink mode -------------------------------------------
+
+  /// Jointly decode one triggered MU uplink capture: `n_users` virtual
+  /// streams superposed across this session's `nrx` antennas, every user at
+  /// the trigger-announced `psdu_bytes` (see MuUplinkReceiver). Returns true
+  /// when sync + joint channel estimation ran; per-user FCS outcomes land in
+  /// mu_packet().users. Each user's outcome folds into mu_stats()[u]
+  /// (delivered / errors / post-eq SINR at stream 0) and the aggregate
+  /// stats() grows by the sum, mirroring run_streams' accounting. The joint
+  /// detector is created lazily on first use and rebuilt when n_users
+  /// changes.
+  [[nodiscard]] bool receive_mu_one(
+      std::span<const std::span<const cf32>> capture, std::size_t n_users,
+      std::size_t psdu_bytes);
+  /// Outcome of the last receive_mu_one (valid after first call).
+  [[nodiscard]] const MuRxPacket& mu_packet() const;
+  /// Per-user statistics accumulated by receive_mu_one, one slot per user
+  /// index (sized to the largest n_users seen).
+  [[nodiscard]] std::span<const StreamStats> mu_stats() const noexcept {
+    return mu_stats_;
+  }
+
   // --- base-station mode ------------------------------------------------
 
   /// Multiplex many independent per-user streams over the worker pool.
@@ -182,6 +207,10 @@ class ReceiveSession {
   std::unique_ptr<RxWorkspace> ws_;
   std::unique_ptr<ReceiverFarm> farm_;
   StreamStats stats_;
+  // MU uplink mode, created lazily by receive_mu_one.
+  std::unique_ptr<MuUplinkReceiver> mu_rx_;
+  std::unique_ptr<MuRxWorkspace> mu_ws_;
+  std::vector<StreamStats> mu_stats_;
 };
 
 }  // namespace mimonet::core

@@ -83,6 +83,8 @@ void reset_packet(RxPacket& pkt) {
   pkt.channel.nrx = 0;
   pkt.channel.nss = 0;
   pkt.residual_cfo_norm = 0.0;
+  pkt.stream_sinr_db.fill(0.0);
+  pkt.n_stream_sinr = 0;
 }
 
 }  // namespace
@@ -298,6 +300,22 @@ bool Receiver::receive(std::span<const std::span<const cf32>> capture,
     for (const std::size_t b : data_bins) {
       lin_eq->prepare(ws.h_at[b], nv_bin, ws.coeffs[b]);
     }
+    // Per-stream post-eq SINR from the prepared CSI, before any
+    // decision-tracking updates: the link-adaptation observable.
+    for (std::size_t s = 0; s < mcs.nss; ++s) {
+      double acc = 0.0;
+      std::size_t cnt = 0;
+      for (const std::size_t b : data_bins) {
+        const float nv = ws.coeffs[b].noise_vars[s];
+        if (nv > 0.0F && nv < eq::kErasedNoiseVar) {
+          acc += 1.0 / static_cast<double>(nv);
+          ++cnt;
+        }
+      }
+      pkt.stream_sinr_db[s] =
+          cnt > 0 ? 10.0 * std::log10(acc / static_cast<double>(cnt)) : 0.0;
+    }
+    pkt.n_stream_sinr = mcs.nss;
   }
 
   // The batched symbol-plane pipeline replaces the per-symbol layer walk for

@@ -4,6 +4,7 @@
 // evaluation relies on.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -56,6 +57,13 @@ struct RxPacket {
   chanest::SnrEstimate pilot_snr;        ///< pilot-EVM based estimate
   chanest::MimoChannelEstimate channel;  ///< post-smoothing HT estimate
   double residual_cfo_norm = 0.0;        ///< from the pilot phase slope
+  /// Mean post-equalization SINR per spatial stream (dB): the prepared
+  /// equalizer's per-bin CSI (1/noise_var at unit signal gain) averaged in
+  /// the linear domain over the data bins. Filled on the linear-equalizer
+  /// paths (ZF/MMSE, batched or per-symbol); n_stream_sinr == 0 when the
+  /// packet never reached equalization or used ML detection / STBC.
+  std::array<double, 4> stream_sinr_db{};
+  std::size_t n_stream_sinr = 0;
 };
 
 /// Stateless-per-packet receiver; construct once per configuration.

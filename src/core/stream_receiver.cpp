@@ -125,6 +125,9 @@ void StreamReceiver::scan_window(std::span<const std::span<const cf32>> capture,
         ++stats.frames;
         ++frames_this_scan;
         if (pkt.fcs_ok) ++stats.delivered;
+        for (std::size_t s = 0; s < pkt.n_stream_sinr; ++s) {
+          stats.stream_sinr_db[s].add(pkt.stream_sinr_db[s]);
+        }
       }
       failed_candidates = 0;
       next = frame_start + *decoded_frame_samples(pkt, rx_.config());

@@ -8,6 +8,7 @@
 #include "core/workspace.hpp"
 #include "dsp/fft.hpp"
 #include "eq/alamouti.hpp"
+#include "eq/precoder.hpp"
 #include "fec/ldpc.hpp"
 #include "fec/scrambler.hpp"
 #include "fec/viterbi.hpp"
@@ -199,38 +200,42 @@ std::vector<std::vector<cf32>> Transmitter::transmit(
   return std::move(ws.chains);
 }
 
+void Transmitter::ensure_sig_carriers(std::size_t psdu_size, TxWorkspace& ws) const {
+  // SIG field contents depend only on the PSDU length under a fixed config,
+  // so the mapped carriers are cached in the workspace.
+  const TxWorkspace::SigKey key{psdu_size, static_cast<int>(cfg_.mcs),
+                                cfg_.fec_enabled && cfg_.fec_type == FecType::kLdpc,
+                                cfg_.stbc};
+  if (ws.sig_key == key) return;
+
+  const FrameLayout fl = layout(psdu_size);
+  wifi::LSig lsig;
+  // Spoofed legacy length so 11a devices defer for the whole PPDU
+  // (802.11n eq. 20-11 shape): LENGTH = ceil((TXTIME - 20us) / 4us) * 3 - 3.
+  const double txtime_us = fl.airtime_us();
+  const auto spoof =
+      static_cast<long>(std::ceil((txtime_us - 20.0) / 4.0)) * 3 - 3;
+  lsig.length = static_cast<std::uint16_t>(std::clamp<long>(spoof, 0, 0xFFF));
+  const auto lsig_bits = wifi::encode_lsig(lsig);
+  ws.lsig_carriers = wifi::map_sig_field(lsig_bits, /*qbpsk=*/false);
+
+  wifi::HtSig htsig;
+  htsig.mcs = static_cast<std::uint8_t>(cfg_.mcs);
+  htsig.length = static_cast<std::uint16_t>(psdu_size);
+  htsig.fec_coding = key.ldpc;
+  htsig.stbc = cfg_.stbc ? 1 : 0;  // N_STS - N_SS
+  const auto htsig_bits = wifi::encode_htsig(htsig);
+  ws.htsig_carriers = wifi::map_sig_field(htsig_bits, /*qbpsk=*/true);
+  ws.sig_key = key;
+}
+
 void Transmitter::transmit_into(std::span<const std::uint8_t> psdu,
                                 TxWorkspace& ws) const {
   if (psdu.size() > wifi::kMaxPsduLen) {
     throw std::invalid_argument("Transmitter: PSDU too large");
   }
   const FrameLayout fl = layout(psdu.size());
-
-  // SIG field contents depend only on the PSDU length under a fixed config,
-  // so the mapped carriers are cached in the workspace.
-  const TxWorkspace::SigKey key{psdu.size(), static_cast<int>(cfg_.mcs),
-                                cfg_.fec_enabled && cfg_.fec_type == FecType::kLdpc,
-                                cfg_.stbc};
-  if (!(ws.sig_key == key)) {
-    wifi::LSig lsig;
-    // Spoofed legacy length so 11a devices defer for the whole PPDU
-    // (802.11n eq. 20-11 shape): LENGTH = ceil((TXTIME - 20us) / 4us) * 3 - 3.
-    const double txtime_us = fl.airtime_us();
-    const auto spoof =
-        static_cast<long>(std::ceil((txtime_us - 20.0) / 4.0)) * 3 - 3;
-    lsig.length = static_cast<std::uint16_t>(std::clamp<long>(spoof, 0, 0xFFF));
-    const auto lsig_bits = wifi::encode_lsig(lsig);
-    ws.lsig_carriers = wifi::map_sig_field(lsig_bits, /*qbpsk=*/false);
-
-    wifi::HtSig htsig;
-    htsig.mcs = static_cast<std::uint8_t>(cfg_.mcs);
-    htsig.length = static_cast<std::uint16_t>(psdu.size());
-    htsig.fec_coding = key.ldpc;
-    htsig.stbc = cfg_.stbc ? 1 : 0;  // N_STS - N_SS
-    const auto htsig_bits = wifi::encode_htsig(htsig);
-    ws.htsig_carriers = wifi::map_sig_field(htsig_bits, /*qbpsk=*/true);
-    ws.sig_key = key;
-  }
+  ensure_sig_carriers(psdu.size(), ws);
 
   // Data bits -> per-stream coded bits.
   const auto coded = encode_data_bits_into(psdu, ws);
@@ -272,6 +277,118 @@ void Transmitter::transmit_into(std::span<const std::uint8_t> psdu,
   const float norm = 1.0F / std::sqrt(static_cast<float>(nsts_));
   for (auto& chain : ws.chains) {
     for (auto& v : chain) v *= norm;
+  }
+}
+
+void Transmitter::modulate_virtual(std::span<const std::uint8_t> stream_bits,
+                                   std::size_t iss, std::size_t n_sts,
+                                   std::vector<cf32>& out, TxWorkspace& ws) const {
+  const wifi::Interleaver& il =
+      wifi::cached_interleaver(mcs_.bits_per_subcarrier(), iss, n_sts);
+  il.interleave_into(stream_bits, ws.interleaved);
+  constellation_.map_all_into(ws.interleaved, ws.symbols);
+  const std::size_t per_sym = wifi::kHtDataCarriers;
+  const std::size_t n_sym = ws.symbols.size() / per_sym;
+  const float gain = wifi::tone_gain(ht_mod_.map().num_occupied());
+
+  const int csd = wifi::ht_csd_samples(iss, n_sts);
+  for (std::size_t n = 0; n < n_sym; ++n) {
+    const auto pilots = ofdm::ht_data_pilots(n_sts, iss, n);
+    const std::size_t base = out.size();
+    ht_mod_.modulate(std::span(ws.symbols).subspan(n * per_sym, per_sym),
+                     std::span<const cf32, 4>(pilots), out, csd, ws.time_scratch);
+    for (std::size_t i = base; i < out.size(); ++i) out[i] *= gain;
+  }
+}
+
+void Transmitter::transmit_virtual_into(std::span<const std::uint8_t> psdu,
+                                        std::size_t iss, std::size_t n_sts_total,
+                                        TxWorkspace& ws) const {
+  if (nss_ != 1 || cfg_.stbc) {
+    throw std::logic_error(
+        "transmit_virtual_into: needs a 1-stream MCS without STBC");
+  }
+  if (iss >= n_sts_total || n_sts_total > 4) {
+    throw std::invalid_argument("transmit_virtual_into: bad stream index");
+  }
+  if (psdu.size() > wifi::kMaxPsduLen) {
+    throw std::invalid_argument("Transmitter: PSDU too large");
+  }
+  const FrameLayout fl = layout(psdu.size());
+  ensure_sig_carriers(psdu.size(), ws);
+
+  // Virtual-stream preamble tables, cached per (iss, n_sts).
+  const TxWorkspace::VirtualKey vkey{iss, n_sts_total};
+  if (!(ws.virtual_key == vkey)) {
+    ws.v_lstf = wifi::make_lstf(iss, n_sts_total);
+    ws.v_lltf = wifi::make_lltf(iss, n_sts_total);
+    ws.v_htstf = wifi::make_htstf(iss, n_sts_total);
+    ws.v_htltfs = wifi::make_htltfs(iss, n_sts_total);
+    ws.virtual_key = vkey;
+  }
+
+  const auto coded = encode_data_bits_into(psdu, ws);
+
+  ws.chains.resize(1);
+  auto& chain = ws.chains[0];
+  chain.clear();
+  FrameLayout vl;  // geometry of the n_sts-stream joint PPDU
+  vl.nss = n_sts_total;
+  vl.n_data_symbols = fl.n_data_symbols;
+  chain.reserve(vl.total_samples());
+
+  chain.insert(chain.end(), ws.v_lstf.begin(), ws.v_lstf.end());
+  chain.insert(chain.end(), ws.v_lltf.begin(), ws.v_lltf.end());
+
+  const int csd = wifi::legacy_csd_samples(iss, n_sts_total);
+  append_legacy_symbol(ws.lsig_carriers, 0, csd, chain, ws.time_scratch);
+  append_legacy_symbol(std::span(ws.htsig_carriers).first(48), 1, csd, chain,
+                       ws.time_scratch);
+  append_legacy_symbol(std::span(ws.htsig_carriers).subspan(48, 48), 2, csd,
+                       chain, ws.time_scratch);
+
+  chain.insert(chain.end(), ws.v_htstf.begin(), ws.v_htstf.end());
+  chain.insert(chain.end(), ws.v_htltfs.begin(), ws.v_htltfs.end());
+
+  modulate_virtual(coded, iss, n_sts_total, chain, ws);
+
+  // Per-user share of the joint transmission's power budget: the U
+  // superposed virtual streams arrive with unit total power, matching the
+  // single-link convention the BS noise level is calibrated against.
+  const float norm = 1.0F / std::sqrt(static_cast<float>(n_sts_total));
+  for (auto& v : chain) v *= norm;
+}
+
+void Transmitter::transmit_mu_into(
+    std::span<const std::span<const std::uint8_t>> psdus, const eq::Precoder& w,
+    MuTxWorkspace& ws) const {
+  if (nss_ != 1 || cfg_.stbc) {
+    throw std::logic_error("transmit_mu_into: needs a 1-stream MCS without STBC");
+  }
+  const std::size_t n_users = psdus.size();
+  if (n_users == 0 || w.n_users() != n_users) {
+    throw std::invalid_argument("transmit_mu_into: precoder/user count mismatch");
+  }
+  ws.per_user.resize(n_users);
+  for (std::size_t u = 0; u < n_users; ++u) {
+    transmit_into(psdus[u], ws.per_user[u]);
+    if (ws.per_user[u].chains[0].size() != ws.per_user[0].chains[0].size()) {
+      throw std::invalid_argument(
+          "transmit_mu_into: user PPDUs must be equal length (equal PSDU sizes)");
+    }
+  }
+
+  const std::size_t len = ws.per_user[0].chains[0].size();
+  const std::size_t n_tx = w.n_tx();
+  ws.chains.resize(n_tx);
+  for (std::size_t a = 0; a < n_tx; ++a) {
+    auto& chain = ws.chains[a];
+    chain.assign(len, cf32{0.0F, 0.0F});
+    for (std::size_t u = 0; u < n_users; ++u) {
+      const cf32 wau = w.weight(a, u);
+      const auto& ppdu = ws.per_user[u].chains[0];
+      for (std::size_t t = 0; t < len; ++t) chain[t] += wau * ppdu[t];
+    }
   }
 }
 

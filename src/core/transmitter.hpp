@@ -15,11 +15,16 @@
 #include "wifi/signal_field.hpp"
 #include "wifi/stream_parser.hpp"
 
+namespace mimonet::eq {
+class Precoder;  // eq/precoder.hpp
+}
+
 namespace mimonet::core {
 
 using dsp::cf32;
 
-struct TxWorkspace;  // core/workspace.hpp
+struct TxWorkspace;    // core/workspace.hpp
+struct MuTxWorkspace;  // core/workspace.hpp
 
 /// One-shot PPDU builder. Construct once per PHY configuration; transmit()
 /// is then reusable for any PSDU length.
@@ -42,6 +47,30 @@ class Transmitter {
   /// performs no heap allocation. Output is bit-identical to transmit().
   void transmit_into(std::span<const std::uint8_t> psdu, TxWorkspace& ws) const;
 
+  /// Multi-user downlink: build every user's single-stream PPDU (one PSDU
+  /// per user, this transmitter's single-stream configuration for all) and
+  /// mix them through the precoder into ws.chains — chains[a][t] =
+  /// sum_u W(a, u) * ppdu_u[t], covering preambles and data alike, so each
+  /// user's unmodified 1x1 receiver estimates its effective precoded
+  /// channel from its own preamble. Requires a 1-stream MCS without STBC,
+  /// equal PSDU sizes (triggered MU-PPDU), and w.n_users() == psdus.size().
+  /// Warm calls perform no heap allocation.
+  void transmit_mu_into(std::span<const std::span<const std::uint8_t>> psdus,
+                        const eq::Precoder& w, MuTxWorkspace& ws) const;
+
+  /// Multi-user uplink "virtual stream": build this user's PPDU as
+  /// space-time stream `iss` of an `n_sts_total`-stream transmission —
+  /// preamble chain iss (CSD + P-matrix), stream-iss interleaving and
+  /// pilots, 1/sqrt(n_sts_total) power — while the data field carries this
+  /// user's own codeword. U users transmitting virtual streams 0..U-1
+  /// superpose at the base station into exactly the tall MIMO problem the
+  /// joint detector inverts. Requires a 1-stream MCS without STBC; the
+  /// result lands in ws.chains[0]. iss == 0, n_sts_total == 1 reproduces
+  /// transmit_into bit-for-bit.
+  void transmit_virtual_into(std::span<const std::uint8_t> psdu,
+                             std::size_t iss, std::size_t n_sts_total,
+                             TxWorkspace& ws) const;
+
   /// Frame layout for a PSDU of the given size under this configuration.
   [[nodiscard]] FrameLayout layout(std::size_t psdu_bytes) const;
 
@@ -59,6 +88,16 @@ class Transmitter {
   /// Map one stream's interleaved coded bits onto HT data symbols.
   void modulate_stream(std::span<const std::uint8_t> stream_bits, std::size_t iss,
                        std::vector<cf32>& out, TxWorkspace& ws) const;
+
+  /// modulate_stream for a virtual space-time stream (iss of n_sts), using
+  /// the globally cached interleaver for that geometry.
+  void modulate_virtual(std::span<const std::uint8_t> stream_bits, std::size_t iss,
+                        std::size_t n_sts, std::vector<cf32>& out,
+                        TxWorkspace& ws) const;
+
+  /// Build (or reuse) the cached L-SIG / HT-SIG carriers in `ws` for a PSDU
+  /// of this size.
+  void ensure_sig_carriers(std::size_t psdu_size, TxWorkspace& ws) const;
 
   /// Alamouti path: map the single coded stream onto both space-time
   /// streams (chains[0], chains[1]) pairwise across OFDM symbols.

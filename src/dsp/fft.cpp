@@ -5,7 +5,94 @@
 #include <bit>
 #include <stdexcept>
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#define MIMONET_FFT_X86_DISPATCH 1
+#include <immintrin.h>
+#endif
+
 namespace mimonet::dsp {
+
+namespace {
+
+bool g_force_scalar_fft = false;
+
+// Scalar butterfly stage, the dispatch fallback and the reference the AVX2
+// kernel must match bit for bit: the complex multiply is spelled out with
+// one rounding per float multiply and add, and fp-contract is pinned off so
+// a native build cannot fuse multiply-adds into FMAs the vector kernel does
+// not use. One call runs every butterfly of one stage (fixed `half`).
+#if defined(__GNUC__) && !defined(__clang__)
+__attribute__((optimize("-ffp-contract=off")))
+#endif
+void butterflies_scalar(cf32* data, std::size_t n, std::size_t half,
+                        const cf32* tw) {
+  for (std::size_t start = 0; start < n; start += 2 * half) {
+    cf32* lo = data + start;
+    cf32* hi = lo + half;
+    for (std::size_t k = 0; k < half; ++k) {
+      const float wr = tw[k].real();
+      const float wi = tw[k].imag();
+      const float br = hi[k].real();
+      const float bi = hi[k].imag();
+      const float xr = br * wr - bi * wi;
+      const float xi = bi * wr + br * wi;
+      const float ar = lo[k].real();
+      const float ai = lo[k].imag();
+      lo[k] = cf32(ar + xr, ai + xi);
+      hi[k] = cf32(ar - xr, ai - xi);
+    }
+  }
+}
+
+#ifdef MIMONET_FFT_X86_DISPATCH
+// AVX2 butterfly stage, 4 complex lanes per iteration on the interleaved
+// re/im layout. Bit-identical to butterflies_scalar: _mm256_addsub_ps
+// subtracts in the even (real) lanes and adds in the odd (imag) lanes, so
+// each lane computes exactly br*wr - bi*wi / bi*wr + br*wi with the same
+// two multiplies and one add/sub, no FMA contraction. Requires half >= 4;
+// `half` is a power of two, so the lane loop has no remainder.
+__attribute__((target("avx2"))) void butterflies_avx2(cf32* data,
+                                                      std::size_t n,
+                                                      std::size_t half,
+                                                      const cf32* tw) {
+  float* f = reinterpret_cast<float*>(data);
+  const float* twf = reinterpret_cast<const float*>(tw);
+  for (std::size_t start = 0; start < n; start += 2 * half) {
+    float* lo = f + 2 * start;
+    float* hi = lo + 2 * half;
+    for (std::size_t k = 0; k + 4 <= half; k += 4) {
+      const __m256 w = _mm256_loadu_ps(twf + 2 * k);
+      const __m256 b = _mm256_loadu_ps(hi + 2 * k);
+      const __m256 a = _mm256_loadu_ps(lo + 2 * k);
+      // [br*wr, bi*wr, ...] and [bi*wi, br*wi, ...] -> addsub gives
+      // [br*wr - bi*wi, bi*wr + br*wi, ...] = b * w per lane pair.
+      const __m256 t1 = _mm256_mul_ps(b, _mm256_moveldup_ps(w));
+      const __m256 t2 = _mm256_mul_ps(_mm256_permute_ps(b, 0xB1),
+                                      _mm256_movehdup_ps(w));
+      const __m256 bw = _mm256_addsub_ps(t1, t2);
+      _mm256_storeu_ps(lo + 2 * k, _mm256_add_ps(a, bw));
+      _mm256_storeu_ps(hi + 2 * k, _mm256_sub_ps(a, bw));
+    }
+  }
+}
+
+bool have_avx2() noexcept {
+  static const bool has = __builtin_cpu_supports("avx2") != 0;
+  return has;
+}
+#endif
+
+}  // namespace
+
+void force_scalar_fft(bool on) noexcept { g_force_scalar_fft = on; }
+
+bool fft_kernel_is_avx2() noexcept {
+#ifdef MIMONET_FFT_X86_DISPATCH
+  return have_avx2() && !g_force_scalar_fft;
+#else
+  return false;
+#endif
+}
 
 FftPlan::FftPlan(std::size_t size) : size_(size) {
   if (size < 2 || !std::has_single_bit(size)) {
@@ -22,13 +109,20 @@ FftPlan::FftPlan(std::size_t size) : size_(size) {
     bitrev_[i] = rev;
   }
 
-  twiddle_fwd_.resize(size / 2);
-  twiddle_inv_.resize(size / 2);
-  for (std::size_t k = 0; k < size / 2; ++k) {
-    const double theta = -two_pi_d * static_cast<double>(k) / static_cast<double>(size);
-    const cf64 w = phasor_d(theta);
-    twiddle_fwd_[k] = cf32(static_cast<float>(w.real()), static_cast<float>(w.imag()));
-    twiddle_inv_[k] = std::conj(twiddle_fwd_[k]);
+  // Stage tables: the stage of length len = 2*half needs w_k = e^{-j2πk/len}
+  // for k in [0, half), stored contiguously at offset half-1 (offsets 0, 1,
+  // 3, 7, ... for half = 1, 2, 4, 8, ...).
+  stage_tw_fwd_.resize(size - 1);
+  stage_tw_inv_.resize(size - 1);
+  for (std::size_t half = 1; half < size; half <<= 1U) {
+    const std::size_t len = 2 * half;
+    for (std::size_t k = 0; k < half; ++k) {
+      const double theta = -two_pi_d * static_cast<double>(k) / static_cast<double>(len);
+      const cf64 w = phasor_d(theta);
+      stage_tw_fwd_[half - 1 + k] =
+          cf32(static_cast<float>(w.real()), static_cast<float>(w.imag()));
+      stage_tw_inv_[half - 1 + k] = std::conj(stage_tw_fwd_[half - 1 + k]);
+    }
   }
 }
 
@@ -50,19 +144,23 @@ void FftPlan::transform_one(const cf32* in, cf32* out, bool invert) const noexce
     for (std::size_t i = 0; i < size_; ++i) out[bitrev_[i]] = in[i];
   }
 
-  const auto& tw = invert ? twiddle_inv_ : twiddle_fwd_;
-  for (std::size_t len = 2; len <= size_; len <<= 1U) {
-    const std::size_t half = len / 2;
-    const std::size_t stride = size_ / len;  // twiddle index step
-    for (std::size_t start = 0; start < size_; start += len) {
-      for (std::size_t k = 0; k < half; ++k) {
-        const cf32 w = tw[k * stride];
-        const cf32 a = out[start + k];
-        const cf32 b = out[start + k + half] * w;
-        out[start + k] = a + b;
-        out[start + k + half] = a - b;
-      }
+  const cf32* stage_tw = (invert ? stage_tw_inv_ : stage_tw_fwd_).data();
+#ifdef MIMONET_FFT_X86_DISPATCH
+  const bool use_avx2 = have_avx2() && !g_force_scalar_fft;
+#else
+  constexpr bool use_avx2 = false;
+#endif
+  for (std::size_t half = 1; half < size_; half <<= 1U) {
+    const cf32* tw = stage_tw + (half - 1);
+#ifdef MIMONET_FFT_X86_DISPATCH
+    if (use_avx2 && half >= 4) {
+      butterflies_avx2(out, size_, half, tw);
+      continue;
     }
+#else
+    (void)use_avx2;
+#endif
+    butterflies_scalar(out, size_, half, tw);
   }
 
   if (invert) {

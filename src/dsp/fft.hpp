@@ -61,9 +61,22 @@ class FftPlan {
   std::size_t size_;
   std::size_t log2_size_;
   std::vector<std::size_t> bitrev_;
-  std::vector<cf32> twiddle_fwd_;  // e^{-j 2π k / N}, k in [0, N/2)
-  std::vector<cf32> twiddle_inv_;  // conj of the above
+  // Per-stage contiguous twiddle tables: the stage with `half` butterflies
+  // per block owns entries [half-1, 2*half-1), i.e. w_k = e^{-j 2π k / len}
+  // for k in [0, half). Contiguous per stage so the vector butterfly kernel
+  // loads twiddles with a straight unit-stride load; N-1 entries total.
+  std::vector<cf32> stage_tw_fwd_;
+  std::vector<cf32> stage_tw_inv_;  // conj of the above
 };
+
+/// Test hook: force the scalar butterfly kernel even where AVX2 is
+/// available. Both kernels are bit-identical by construction; the hook lets
+/// tests prove it and benches measure the dispatch win.
+void force_scalar_fft(bool on) noexcept;
+
+/// True when transform calls will run the AVX2 butterfly kernel (x86 with
+/// AVX2 at runtime and not forced scalar).
+[[nodiscard]] bool fft_kernel_is_avx2() noexcept;
 
 /// Convenience one-shot forward FFT (allocates a plan; prefer FftPlan in loops).
 [[nodiscard]] std::vector<cf32> fft(std::span<const cf32> in);

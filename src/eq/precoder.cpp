@@ -1,0 +1,85 @@
+#include "eq/precoder.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mimonet::eq {
+
+CMatrix stack_user_rows(std::span<const std::array<cf32, 4>> rows,
+                        std::size_t n_tx) {
+  if (rows.empty() || n_tx == 0 || n_tx > CMatrix::kMaxDim ||
+      rows.size() > CMatrix::kMaxDim) {
+    throw std::invalid_argument("stack_user_rows: bad dimensions");
+  }
+  CMatrix h(rows.size(), n_tx);
+  for (std::size_t u = 0; u < rows.size(); ++u) {
+    for (std::size_t a = 0; a < n_tx; ++a) {
+      h(u, a) = dsp::cf64(rows[u][a]);
+    }
+  }
+  return h;
+}
+
+Precoder Precoder::identity(std::size_t n) {
+  if (n == 0 || n > CMatrix::kMaxDim) {
+    throw std::invalid_argument("Precoder::identity: bad stream count");
+  }
+  CMatrix w = CMatrix::identity(n);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(n));
+  for (std::size_t a = 0; a < n; ++a) w(a, a) *= scale;
+  return Precoder(std::move(w));
+}
+
+Precoder Precoder::pass_through(std::size_t n_tx, std::size_t n_users) {
+  if (n_users == 0 || n_users > n_tx || n_tx > CMatrix::kMaxDim) {
+    throw std::invalid_argument("Precoder::pass_through: bad dimensions");
+  }
+  CMatrix w(n_tx, n_users);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(n_users));
+  for (std::size_t u = 0; u < n_users; ++u) w(u, u) = scale;
+  return Precoder(std::move(w));
+}
+
+Precoder Precoder::zero_forcing(const CMatrix& h) {
+  if (h.rows() == 0 || h.cols() == 0 || h.rows() > h.cols()) {
+    throw std::invalid_argument(
+        "Precoder::zero_forcing: need n_users <= n_tx, both nonzero");
+  }
+  // W = H^H (H H^H)^{-1}: the right pseudo-inverse, exact inversion when
+  // square. The Gram matrix H H^H is n_users x n_users, so the inverse cost
+  // is bounded by the user count, not the antenna count.
+  const CMatrix hh = h.hermitian();
+  const CMatrix gram = h * hh;
+  CMatrix w = hh * gram.inverse();
+
+  const double frob = std::sqrt(w.frob_sqr());
+  if (!(frob > 0.0) || !std::isfinite(frob)) {
+    throw std::runtime_error("Precoder::zero_forcing: degenerate weights");
+  }
+  const double scale = 1.0 / frob;
+  for (std::size_t a = 0; a < w.rows(); ++a) {
+    for (std::size_t u = 0; u < w.cols(); ++u) w(a, u) *= scale;
+  }
+  return Precoder(std::move(w));
+}
+
+Precoder Precoder::zero_forcing_rows(std::span<const std::array<cf32, 4>> rows,
+                                     std::size_t n_tx) {
+  return zero_forcing(stack_user_rows(rows, n_tx));
+}
+
+void Precoder::effective_row(std::span<const cf32> h_row,
+                             std::span<cf32> out) const {
+  if (h_row.size() < n_tx() || out.size() < n_users()) {
+    throw std::invalid_argument("Precoder::effective_row: bad spans");
+  }
+  for (std::size_t u = 0; u < n_users(); ++u) {
+    dsp::cf64 acc{0.0, 0.0};
+    for (std::size_t a = 0; a < n_tx(); ++a) {
+      acc += dsp::cf64(h_row[a]) * w_(a, u);
+    }
+    out[u] = cf32(static_cast<float>(acc.real()), static_cast<float>(acc.imag()));
+  }
+}
+
+}  // namespace mimonet::eq

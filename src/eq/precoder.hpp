@@ -1,0 +1,77 @@
+// Downlink multi-user precoding: zero-forcing (channel-inversion) weights
+// computed from the per-user CSI feedback rows, normalized to unit total
+// transmit power. The dual of the uplink joint detector — where the base
+// station inverts the stacked channel after the air, the precoder inverts
+// it before, so each single-antenna user sees (ideally) only its own
+// stream through an effective scalar channel.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+
+#include "dsp/types.hpp"
+#include "eq/matrix.hpp"
+
+namespace mimonet::eq {
+
+using dsp::cf32;
+
+/// Zero-forcing precoder W (n_tx x n_users): W = H^H (H H^H)^{-1} scaled so
+/// ||W||_F = 1, where H (n_users x n_tx) stacks one flat channel row per
+/// user. With that normalization the base station radiates unit total power
+/// when each user PPDU has unit mean sample power, matching the single-user
+/// transmitter's power convention. For the square case (n_users == n_tx,
+/// the shipped MU configurations) this reduces to the normalized channel
+/// inversion H^{-1} / ||H^{-1}||_F.
+class Precoder {
+ public:
+  /// Identity pass-through for n streams (W = I / sqrt(n)): what a
+  /// precoding-disabled downlink uses, and the exact single-user weight
+  /// when n == 1 (W = [1]).
+  [[nodiscard]] static Precoder identity(std::size_t n);
+
+  /// Rectangular pass-through (n_tx x n_users, W(u, u) = 1 / sqrt(n_users),
+  /// extra antennas silent): the shape-preserving fallback when zero
+  /// forcing is impossible (degenerate channel draw).
+  [[nodiscard]] static Precoder pass_through(std::size_t n_tx,
+                                             std::size_t n_users);
+
+  /// Build from the stacked channel matrix H (n_users x n_tx).
+  /// @throws std::runtime_error when H H^H is singular (a user row is zero
+  ///         or two users are colinear beyond double precision).
+  [[nodiscard]] static Precoder zero_forcing(const CMatrix& h);
+
+  /// Build from per-user flat CSI rows: rows[u][a] is user u's estimated
+  /// channel from BS antenna a (entries beyond n_tx ignored).
+  [[nodiscard]] static Precoder zero_forcing_rows(
+      std::span<const std::array<cf32, 4>> rows, std::size_t n_tx);
+
+  [[nodiscard]] std::size_t n_tx() const noexcept { return w_.rows(); }
+  [[nodiscard]] std::size_t n_users() const noexcept { return w_.cols(); }
+
+  /// Weight of user u's stream at BS antenna a.
+  [[nodiscard]] cf32 weight(std::size_t a, std::size_t u) const noexcept {
+    const auto v = w_(a, u);
+    return {static_cast<float>(v.real()), static_cast<float>(v.imag())};
+  }
+
+  [[nodiscard]] const CMatrix& matrix() const noexcept { return w_; }
+
+  /// Effective channel row a user with flat channel `h_row` (1 x n_tx)
+  /// experiences through this precoder: out[u] = sum_a h_row[a] * W(a, u).
+  /// Diagnostic for leakage / staleness tests — out[u != self] is the
+  /// residual inter-user interference gain.
+  void effective_row(std::span<const cf32> h_row, std::span<cf32> out) const;
+
+ private:
+  explicit Precoder(CMatrix w) : w_(std::move(w)) {}
+  CMatrix w_;
+};
+
+/// Stack per-user flat CSI rows into the n_users x n_tx channel matrix the
+/// precoder (and tests) consume.
+[[nodiscard]] CMatrix stack_user_rows(std::span<const std::array<cf32, 4>> rows,
+                                      std::size_t n_tx);
+
+}  // namespace mimonet::eq

@@ -9,6 +9,9 @@ void StreamStats::merge(const StreamStats& other) noexcept {
   budget_exhaustions += other.budget_exhaustions;
   samples_scanned += other.samples_scanned;
   errors.merge(other.errors);
+  for (std::size_t s = 0; s < stream_sinr_db.size(); ++s) {
+    stream_sinr_db[s].merge(other.stream_sinr_db[s]);
+  }
 }
 
 void StreamStats::reset() noexcept {
@@ -18,6 +21,7 @@ void StreamStats::reset() noexcept {
   budget_exhaustions = 0;
   samples_scanned = 0;
   errors.reset();
+  for (auto& s : stream_sinr_db) s.reset();
 }
 
 }  // namespace mimonet::metrics

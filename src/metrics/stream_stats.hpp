@@ -6,8 +6,10 @@
 // losslessly in any order.
 #pragma once
 
+#include <array>
 #include <cstddef>
 
+#include "dsp/stats.hpp"
 #include "metrics/rx_error.hpp"
 
 namespace mimonet::metrics {
@@ -19,6 +21,11 @@ struct StreamStats {
   std::size_t budget_exhaustions = 0; ///< scans abandoned by the watchdog
   std::size_t samples_scanned = 0;
   RxErrorCounter errors;              ///< every candidate's classification
+  /// Post-equalization SINR per spatial stream (dB) over the frames that
+  /// reached equalization (RxPacket::n_stream_sinr > 0), indexed by stream.
+  /// RunningStats merge with the parallel moment combination, so shard and
+  /// worker partials fold together like every other field.
+  std::array<dsp::RunningStats, 4> stream_sinr_db{};
 
   void merge(const StreamStats& other) noexcept;
 

@@ -10,6 +10,7 @@
 // Kept in its own executable so the hook cannot distort the main unit suite.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cstdlib>
 #include <new>
@@ -17,11 +18,14 @@
 #include <vector>
 
 #include "channel/mimo_channel.hpp"
+#include "channel/multi_user_channel.hpp"
+#include "core/mu_receiver.hpp"
 #include "core/receive_session.hpp"
 #include "core/receiver.hpp"
 #include "core/receiver_farm.hpp"
 #include "core/transmitter.hpp"
 #include "core/workspace.hpp"
+#include "eq/precoder.hpp"
 #include "wifi/psdu.hpp"
 
 namespace {
@@ -240,6 +244,97 @@ TEST(AllocFree, FarmSteadyStateBaseStationRun) {
         << "steady-state ReceiverFarm::run allocated";
   }
   EXPECT_EQ(per_stream[1].delivered, 6U);
+}
+
+// The MU downlink mixer shares the single-user contract: once the per-user
+// PPDU scratch and the mixed chains are sized, a warm transmit_mu_into with
+// a same-shape precoder performs zero heap allocations.
+TEST(AllocFree, MuDownlinkTransmitSteadyState) {
+  core::PhyConfig phy;
+  phy.mcs = 3;
+  const core::Transmitter tx(phy);
+  const std::array<std::array<dsp::cf32, 4>, 2> rows = {{
+      {{{1.0F, 0.2F}, {0.3F, -0.4F}, {}, {}}},
+      {{{-0.2F, 0.6F}, {0.9F, 0.1F}, {}, {}}},
+  }};
+  const auto w = eq::Precoder::zero_forcing_rows(rows, 2);
+  const std::vector<std::uint8_t> psdu_a(300, 0xA5);
+  const std::vector<std::uint8_t> psdu_b(300, 0x3C);
+  const std::array<std::span<const std::uint8_t>, 2> psdus = {
+      std::span<const std::uint8_t>(psdu_a),
+      std::span<const std::uint8_t>(psdu_b)};
+  core::MuTxWorkspace ws;
+  tx.transmit_mu_into(psdus, w, ws);
+  ASSERT_EQ(ws.chains.size(), 2U);
+  const auto reference = ws.chains;
+
+  {
+    const AllocGuard guard;
+    for (int i = 0; i < 4; ++i) tx.transmit_mu_into(psdus, w, ws);
+    EXPECT_EQ(AllocGuard::count(), 0U)
+        << "steady-state Transmitter::transmit_mu_into allocated";
+  }
+  EXPECT_EQ(ws.chains, reference);
+}
+
+// Uplink MU: both halves of the virtual-stream path must be warm-clean —
+// the per-user virtual transmit and the base station's joint detector.
+TEST(AllocFree, MuUplinkReceiveSteadyState) {
+  constexpr std::size_t kUsers = 2;
+  core::PhyConfig phy;
+  const core::Transmitter tx(phy);
+  const auto psdu =
+      wifi::build_psdu(wifi::MacHeader{}, std::vector<std::uint8_t>(200, 0x5A));
+
+  std::array<core::TxWorkspace, kUsers> utws;
+  for (std::size_t u = 0; u < kUsers; ++u) {
+    tx.transmit_virtual_into(psdu, u, kUsers, utws[u]);
+  }
+  {
+    const AllocGuard guard;
+    for (int i = 0; i < 4; ++i) {
+      for (std::size_t u = 0; u < kUsers; ++u) {
+        tx.transmit_virtual_into(psdu, u, kUsers, utws[u]);
+      }
+    }
+    EXPECT_EQ(AllocGuard::count(), 0U)
+        << "steady-state Transmitter::transmit_virtual_into allocated";
+  }
+
+  channel::MuChannelConfig mcfg;
+  mcfg.n_users = kUsers;
+  mcfg.direction = channel::MuDirection::kUplink;
+  mcfg.user.fading = true;
+  mcfg.user.snr_db = 35.0;
+  mcfg.user.timing_pad = 200;
+  mcfg.user.tail_pad = 80;
+  mcfg.user.seed = 77;
+  channel::MultiUserChannel chan(mcfg);
+  std::vector<std::vector<std::vector<dsp::cf32>>> per_user(kUsers);
+  for (std::size_t u = 0; u < kUsers; ++u) {
+    per_user[u].push_back(utws[u].chains[0]);
+  }
+  const auto capture = chan.transmit_uplink(per_user);
+  const std::vector<std::span<const dsp::cf32>> spans(capture.begin(),
+                                                      capture.end());
+  const std::span<const std::span<const dsp::cf32>> cap(spans);
+
+  const core::MuUplinkReceiver murx(phy, kUsers, kUsers);
+  core::MuRxWorkspace mws;
+  ASSERT_TRUE(murx.receive(cap, psdu.size(), mws));
+  ASSERT_TRUE(mws.packet.users[0].fcs_ok);
+  ASSERT_TRUE(mws.packet.users[1].fcs_ok);
+
+  {
+    const AllocGuard guard;
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(murx.receive(cap, psdu.size(), mws));
+    }
+    EXPECT_EQ(AllocGuard::count(), 0U)
+        << "steady-state MuUplinkReceiver::receive allocated";
+  }
+  EXPECT_EQ(mws.packet.users[0].psdu, psdu);
+  EXPECT_EQ(mws.packet.users[1].psdu, psdu);
 }
 
 }  // namespace

@@ -132,6 +132,10 @@ CellRun run_cell(const Cell& cell) {
     case channel::FaultKind::kErasure:
       plan.erasure(r.fault_start, 240);
       break;
+    case channel::FaultKind::kCsiStale:
+      // Not a sample-domain fault — the MU downlink interprets it at
+      // sounding time; nothing for this single-link campaign to inject.
+      break;
   }
 
   channel::ChannelConfig ccfg;

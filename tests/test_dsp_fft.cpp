@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <random>
 
 #include "dsp/fft.hpp"
@@ -128,6 +129,43 @@ TEST(Fftshift, SwapsHalves) {
   EXPECT_FLOAT_EQ(v[1].real(), 3.0F);
   EXPECT_FLOAT_EQ(v[2].real(), 0.0F);
   EXPECT_FLOAT_EQ(v[3].real(), 1.0F);
+}
+
+// The AVX2 butterfly kernel must be bit-identical to the pinned scalar
+// fallback — not merely close. Forward and inverse, across sizes covering
+// scalar-only stages (half < 4) and vector stages, in-place and
+// out-of-place. On machines without AVX2 both runs take the scalar path and
+// the test degenerates to a determinism check.
+TEST(FftPlan, DispatchKernelBitIdenticalToForcedScalar) {
+  for (const std::size_t n : {2UL, 4UL, 8UL, 64UL, 256UL, 1024UL}) {
+    FftPlan plan(n);
+    const auto in = random_vector(n, static_cast<unsigned>(0xF0 + n));
+    std::vector<cf32> fwd_dispatch(n);
+    std::vector<cf32> fwd_scalar(n);
+    std::vector<cf32> inv_dispatch(n);
+    std::vector<cf32> inv_scalar(n);
+
+    mimonet::dsp::force_scalar_fft(false);
+    plan.forward(in, fwd_dispatch);
+    plan.inverse(fwd_dispatch, inv_dispatch);
+    mimonet::dsp::force_scalar_fft(true);
+    plan.forward(in, fwd_scalar);
+    plan.inverse(fwd_scalar, inv_scalar);
+    mimonet::dsp::force_scalar_fft(false);
+
+    EXPECT_EQ(0, std::memcmp(fwd_dispatch.data(), fwd_scalar.data(),
+                             n * sizeof(cf32)))
+        << "forward n=" << n;
+    EXPECT_EQ(0, std::memcmp(inv_dispatch.data(), inv_scalar.data(),
+                             n * sizeof(cf32)))
+        << "inverse n=" << n;
+
+    // In-place must match the out-of-place result exactly too.
+    auto buf = in;
+    plan.forward(std::span<cf32>(buf));
+    EXPECT_EQ(0, std::memcmp(buf.data(), fwd_dispatch.data(), n * sizeof(cf32)))
+        << "in-place n=" << n;
+  }
 }
 
 class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
