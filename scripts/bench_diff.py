@@ -23,6 +23,13 @@ key of the new results:
       dominates them, so they are reported but not gated (the bench binary
       itself asserts their monotonic degradation).
 
+  harq    (BENCH_harq.json) — gates the E23 goodput figures at the pinned
+      chase-combining cliff SNR (per policy) and every interference-campaign
+      policy row, ISSUE 10's acceptance shape. Off-cliff sweep points are
+      reported but not gated; the bench binary itself asserts the two
+      load-bearing shapes (chase delivers at the cliff, evidence out-earns
+      the blind baseline) and records them as "shape_ok".
+
 Usage:
     scripts/bench_diff.py NEW.json [--baseline BASELINE.json]
                           [--threshold 0.20]
@@ -179,6 +186,55 @@ def diff_mu(new_doc, base_doc, threshold):
     return failures, gated_any
 
 
+def diff_harq(new_doc, base_doc, threshold):
+    """Gate BENCH_harq.json: cliff-SNR sweep goodput + campaign goodput."""
+    failures = []
+    gated_any = False
+
+    if not new_doc.get("shape_ok", False):
+        failures.append("harq: bench shape assertions failed (shape_ok false)")
+
+    cliff = base_doc.get("cliff_snr_db")
+
+    def points_by_key(doc):
+        return {(p.get("snr_db"), p["policy"]): p
+                for p in doc.get("points", [])}
+
+    new, base = points_by_key(new_doc), points_by_key(base_doc)
+    for key, base_pt in sorted(base.items(), key=str):
+        snr, policy = key
+        new_pt = new.get(key)
+        name = f"snr{snr:g}.{policy}"
+        if new_pt is None:
+            failures.append(f"{name}: point missing from new results")
+            continue
+        if snr == cliff:
+            # The acceptance point: chase must keep delivering (and earning)
+            # where standalone retries cannot. gate_ratio skips baselines at
+            # zero goodput (standalone below the cliff has nothing to gate).
+            gated_any = True
+            gate_ratio(failures, name, "goodput_mbps", base_pt, new_pt,
+                       threshold, unit="Mb/s")
+        else:
+            b, n = base_pt.get("goodput_mbps"), new_pt.get("goodput_mbps")
+            if b is not None and n is not None and b > 0:
+                print(f"  {name:.<28s} {'goodput_mbps':.<28s} "
+                      f"{n:12.4g} / {b:12.4g} Mb/s  (not gated)")
+
+    new_camp = {p["policy"]: p for p in new_doc.get("interference", [])}
+    base_camp = {p["policy"]: p for p in base_doc.get("interference", [])}
+    for policy, base_pt in sorted(base_camp.items()):
+        new_pt = new_camp.get(policy)
+        name = f"interference.{policy}"
+        if new_pt is None:
+            failures.append(f"{name}: row missing from new results")
+            continue
+        gated_any = True
+        gate_ratio(failures, name, "goodput_mbps", base_pt, new_pt,
+                   threshold, unit="Mb/s")
+    return failures, gated_any
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("new", help="freshly emitted bench JSON")
@@ -208,6 +264,9 @@ def main():
     elif family == "mu":
         default_baseline = os.path.join(REPO_ROOT, "BENCH_mu.json")
         diff = diff_mu
+    elif family == "harq":
+        default_baseline = os.path.join(REPO_ROOT, "BENCH_harq.json")
+        diff = diff_harq
     else:
         print(f"bench_diff: unknown bench family {family!r} in {args.new}",
               file=sys.stderr)

@@ -11,6 +11,7 @@
 #   scripts/check.sh scan-smoke   # E20 scan bench + "scan" schema + regression diff
 #   scripts/check.sh decode-smoke # E21 batched-decode bench + "decode" schema + diff
 #   scripts/check.sh mu-smoke     # E22 multi-user bench + "mu" schema + diff
+#   scripts/check.sh harq-smoke   # E23 HARQ/adaptation bench + "harq" schema + diff
 #
 # Build trees are kept per-configuration (build/, build-asan/, build-tsan/)
 # so incremental re-runs are cheap.
@@ -20,7 +21,7 @@ cd "$(dirname "$0")/.."
 
 configs=("$@")
 if [ ${#configs[@]} -eq 0 ]; then
-  configs=(plain asan tsan bench-smoke farm-smoke scan-smoke decode-smoke mu-smoke)
+  configs=(plain asan tsan bench-smoke farm-smoke scan-smoke decode-smoke mu-smoke harq-smoke)
 fi
 
 run_config() {
@@ -290,6 +291,70 @@ EOF
   return "$rc"
 }
 
+# HARQ/adaptation smoke: a full-count run of bench_e23_harq — unlike the
+# perf smokes this bench is a deterministic link simulation, not a
+# wall-clock timing, so the full default sweep runs in about a second and
+# reruns are bit-identical. The binary itself asserts the two load-bearing
+# shapes (chase combining delivers at the pinned cliff SNR where standalone
+# retries cannot; the evidence controller out-earns the blind failure-count
+# baseline under pulsed interference) and exits nonzero if either fails.
+# Then a schema check on BENCH_harq.json and the regression diff — >20%
+# goodput loss at the cliff or in the campaign fails the job.
+run_harq_smoke() {
+  echo "==== [harq-smoke] build ===="
+  cmake -B build -S . > build.configure.log 2>&1 || {
+    cat build.configure.log; return 1; }
+  cmake --build build -j --target bench_e23_harq > build.build.log 2>&1 || {
+    tail -50 build.build.log; return 1; }
+  echo "==== [harq-smoke] run (full deterministic sweep) ===="
+  local tmp
+  tmp="$(mktemp -d)"
+  MIMONET_BENCH_JSON_DIR="$tmp" \
+    ./build/bench/bench_e23_harq || { rm -rf "$tmp"; return 1; }
+  echo "==== [harq-smoke] validate BENCH_harq.json ===="
+  python3 - "$tmp/BENCH_harq.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+for key in ("bench", "msdus_per_point", "campaign_msdus", "payload_bytes",
+            "mcs", "cliff_snr_db", "max_retries", "shape_ok", "points",
+            "interference"):
+    assert key in d, f"missing key: {key}"
+assert d["bench"] == "harq"
+assert d["shape_ok"] is True, "bench shape assertions failed"
+pts = d["points"]
+assert isinstance(pts, list) and len(pts) == 18, "want 6 SNRs x 3 policies"
+policies = {"standalone", "chase", "chase_evidence"}
+for p in pts:
+    for key in ("snr_db", "policy", "delivered", "lost", "goodput_mbps",
+                "avg_attempts", "harq_combined_ok", "mcs_fallbacks",
+                "interference_holds", "final_mcs"):
+        assert key in p, f"missing point key: {key}"
+    assert p["policy"] in policies
+cliff = {p["policy"]: p for p in pts if p["snr_db"] == d["cliff_snr_db"]}
+assert cliff["chase"]["delivered"] > cliff["standalone"]["delivered"], \
+    "chase combining no better than standalone at the cliff"
+assert cliff["chase"]["harq_combined_ok"] > 0, \
+    "no combined decodes at the cliff"
+camp = {p["policy"]: p for p in d["interference"]}
+assert set(camp) == policies, "want all 3 campaign policies"
+assert camp["chase_evidence"]["goodput_mbps"] >= \
+    camp["standalone"]["goodput_mbps"], \
+    "evidence policy below the failure-count baseline under interference"
+assert camp["chase_evidence"]["interference_holds"] > 0, \
+    "evidence policy logged no interference holds"
+print("BENCH_harq.json schema OK")
+EOF
+  local rc=$?
+  if [ "$rc" -ne 0 ]; then rm -rf "$tmp"; return "$rc"; fi
+  echo "==== [harq-smoke] diff vs committed baseline ===="
+  python3 scripts/bench_diff.py "$tmp/BENCH_harq.json"
+  rc=$?
+  rm -rf "$tmp"
+  return "$rc"
+}
+
 for cfg in "${configs[@]}"; do
   case "$cfg" in
     plain)
@@ -311,8 +376,10 @@ for cfg in "${configs[@]}"; do
       run_decode_smoke ;;
     mu-smoke)
       run_mu_smoke ;;
+    harq-smoke)
+      run_harq_smoke ;;
     *)
-      echo "unknown config: $cfg (want plain|asan|tsan|bench-smoke|farm-smoke|scan-smoke|decode-smoke|mu-smoke)" >&2
+      echo "unknown config: $cfg (want plain|asan|tsan|bench-smoke|farm-smoke|scan-smoke|decode-smoke|mu-smoke|harq-smoke)" >&2
       exit 2 ;;
   esac
 done

@@ -1,0 +1,132 @@
+// HARQ chase-combining soft-state retention: a small, bounded, capacity-
+// reusing store of per-frame payload LLRs keyed by 12-bit sequence number.
+//
+// The receiver already paid for the soft information of every failed
+// attempt; throwing it away and decoding each retransmission standalone
+// wastes exactly the evidence that makes retries succeed at the SNR cliff.
+// A HarqBuffer keeps the post-merge (pre-depuncture / pre-LDPC) LLR stream
+// of each outstanding frame so the next attempt's LLRs can be summed with
+// it before FEC decoding (chase combining: the retransmission is an
+// identical copy, so LLR addition is the ML combining rule).
+//
+// Allocation discipline matches the rest of the sample plane (DESIGN.md
+// "The soft-combining plane"): a fixed slot array, each slot's LLR vector
+// resized but never released, LRU eviction when every slot is live. Once
+// every slot has been warmed to the link's LLR stream length, store() /
+// find() / release() perform no heap allocation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mimonet::core {
+
+class HarqBuffer {
+ public:
+  /// @param depth retained frames (slots). Should be >= the ARQ window so
+  ///        every outstanding frame can keep its soft state; when a link
+  ///        overflows it anyway, the least-recently-touched entry is evicted
+  ///        (that frame's next attempt decodes standalone — degraded, never
+  ///        wrong).
+  explicit HarqBuffer(std::size_t depth = 8) : slots_(depth == 0 ? 1 : depth) {}
+
+  [[nodiscard]] std::size_t depth() const noexcept { return slots_.size(); }
+
+  /// Live entries.
+  [[nodiscard]] std::size_t size() const noexcept {
+    std::size_t n = 0;
+    for (const auto& s : slots_) n += s.used ? 1 : 0;
+    return n;
+  }
+
+  /// The retained combined LLRs for `seq`, or nullptr when none are held.
+  /// Touches the entry (LRU freshness).
+  [[nodiscard]] const std::vector<float>* find(std::uint16_t seq) noexcept {
+    for (auto& s : slots_) {
+      if (s.used && s.seq == seq) {
+        s.stamp = ++clock_;
+        return &s.llrs;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Attempts accumulated into the entry for `seq` (0 when absent).
+  [[nodiscard]] unsigned attempts(std::uint16_t seq) const noexcept {
+    for (const auto& s : slots_) {
+      if (s.used && s.seq == seq) return s.attempts;
+    }
+    return 0;
+  }
+
+  /// Retain `llrs` as the combined soft state for `seq`, overwriting any
+  /// previous entry for the same seq or evicting the LRU slot when full.
+  /// Steady-state allocation-free: the slot's vector keeps its capacity.
+  void store(std::uint16_t seq, std::span<const float> llrs) {
+    Slot* slot = nullptr;
+    for (auto& s : slots_) {
+      if (s.used && s.seq == seq) {
+        slot = &s;
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      for (auto& s : slots_) {
+        if (!s.used) {
+          slot = &s;
+          break;
+        }
+      }
+    }
+    if (slot == nullptr) {  // evict least-recently-touched
+      slot = &slots_.front();
+      for (auto& s : slots_) {
+        if (s.stamp < slot->stamp) slot = &s;
+      }
+      slot->attempts = 0;
+    }
+    if (!slot->used || slot->seq != seq) slot->attempts = 0;
+    slot->used = true;
+    slot->seq = seq;
+    ++slot->attempts;
+    slot->stamp = ++clock_;
+    slot->llrs.assign(llrs.begin(), llrs.end());
+  }
+
+  /// Drop the entry for `seq` (frame delivered or abandoned). The slot's
+  /// LLR storage keeps its capacity for reuse.
+  void release(std::uint16_t seq) noexcept {
+    for (auto& s : slots_) {
+      if (s.used && s.seq == seq) {
+        s.used = false;
+        s.attempts = 0;
+        return;
+      }
+    }
+  }
+
+  /// Drop every entry (e.g. on an MCS change, which invalidates the LLR
+  /// stream geometry of all retained frames). Capacity is kept.
+  void clear() noexcept {
+    for (auto& s : slots_) {
+      s.used = false;
+      s.attempts = 0;
+    }
+  }
+
+ private:
+  struct Slot {
+    bool used = false;
+    std::uint16_t seq = 0;
+    unsigned attempts = 0;       ///< attempts folded into `llrs`
+    std::uint64_t stamp = 0;     ///< LRU freshness
+    std::vector<float> llrs;     ///< combined post-merge LLR stream
+  };
+
+  std::vector<Slot> slots_;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace mimonet::core

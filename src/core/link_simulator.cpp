@@ -147,10 +147,14 @@ void LinkResult::merge(const LinkResult& other) {
   for (std::size_t s = 0; s < stream_sinr_db.size(); ++s) {
     stream_sinr_db[s].merge(other.stream_sinr_db[s]);
   }
+  for (std::size_t k = 0; k < attempts_hist.size(); ++k) {
+    attempts_hist[k] += other.attempts_hist[k];
+  }
+  harq_combined_ok += other.harq_combined_ok;
 }
 
 std::vector<std::string> LinkResult::summary_headers() {
-  return {"packets", "PER", "BER", "Mb/s", "SNRest dB"};
+  return {"packets", "PER", "BER", "Mb/s", "SNRest dB", "avg att", "harq ok"};
 }
 
 std::vector<std::string> LinkResult::summary_row() const {
@@ -166,6 +170,18 @@ std::vector<std::string> LinkResult::summary_row() const {
   std::snprintf(buf, sizeof buf, "%.1f",
                 snr_est_db.count() > 0 ? snr_est_db.mean() : 0.0);
   row.emplace_back(buf);
+  std::size_t finished = 0;
+  std::size_t transmissions = 0;
+  for (std::size_t k = 1; k < attempts_hist.size(); ++k) {
+    finished += attempts_hist[k];
+    transmissions += k * attempts_hist[k];
+  }
+  std::snprintf(buf, sizeof buf, "%.2f",
+                finished > 0 ? static_cast<double>(transmissions) /
+                                   static_cast<double>(finished)
+                             : 0.0);
+  row.emplace_back(buf);
+  row.push_back(std::to_string(harq_combined_ok));
   return row;
 }
 

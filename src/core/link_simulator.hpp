@@ -102,6 +102,12 @@ struct LinkResult {
   /// RxPacket::stream_sinr_db of every packet that reached the linear
   /// equalizer; unused streams stay at count() == 0.
   std::array<dsp::RunningStats, 4> stream_sinr_db{};
+  /// ARQ/HARQ outcomes (filled by the MAC links via
+  /// SelectiveRepeatLink::link_result(); zero for plain PHY Monte-Carlo
+  /// runs). attempts_hist[k] counts frames finished after k transmissions
+  /// (k = 0 unused, the last bucket aggregates >= 8).
+  std::array<std::size_t, 9> attempts_hist{};
+  std::size_t harq_combined_ok = 0;  ///< deliveries that used combined LLRs
 
   /// Fold another result in. Counter fields are exact sums; RunningStats
   /// fields use the parallel moment combination.
@@ -109,7 +115,9 @@ struct LinkResult {
 
   /// Column headers matching summary_row(), for bench tables.
   [[nodiscard]] static std::vector<std::string> summary_headers();
-  /// One formatted table row: packets, PER, BER, goodput, mean SNR estimate.
+  /// One formatted table row: packets, PER, BER, goodput, mean SNR
+  /// estimate, mean transmissions per finished frame, combined-decode
+  /// successes. Never emits NaN/Inf, even for an empty result.
   [[nodiscard]] std::vector<std::string> summary_row() const;
 };
 

@@ -122,9 +122,16 @@ void Receiver::decode_sig_llrs(const dsp::SampleGrid& grids,
 
 bool Receiver::receive(std::span<const std::span<const cf32>> capture,
                        RxWorkspace& ws) const {
+  return receive(capture, ws, HarqDecode{});
+}
+
+bool Receiver::receive(std::span<const std::span<const cf32>> capture,
+                       RxWorkspace& ws, const HarqDecode& harq) const {
   if (capture.size() != nrx_) {
     throw std::invalid_argument("Receiver: capture antenna count mismatch");
   }
+  // No soft state is worth retaining unless decode reaches the FEC stage.
+  if (harq.combined != nullptr) harq.combined->clear();
   RxPacket& pkt = ws.packet;
   reset_packet(pkt);
 
@@ -398,7 +405,12 @@ bool Receiver::receive(std::span<const std::span<const cf32>> capture,
   const std::size_t n_info_bits = fl.n_data_symbols * mcs.data_bits_per_symbol();
   // Batched BCC streams depunctured LLRs straight into the Viterbi ACS as
   // each chunk lands; everything else accumulates ws.merged for the tail.
-  const bool bcc_stream = batched && cfg_.fec_enabled && fec_type == FecType::kBcc;
+  // HARQ combining needs the whole merged stream materialized (to sum the
+  // prior in and to retain the result), so it forces the accumulate path —
+  // bit-identical to the streaming one (chunked depuncture/ACS is pinned to
+  // the one-shot decode; see fec/convolutional.hpp and fec/viterbi.hpp).
+  const bool bcc_stream = batched && cfg_.fec_enabled &&
+                          fec_type == FecType::kBcc && !harq.active();
   std::size_t llrs_fed = 0;
 
   if (batched) {
@@ -645,6 +657,23 @@ bool Receiver::receive(std::span<const std::span<const cf32>> capture,
       il.deinterleave_into(ws.stream_llrs[s], ws.deinterleaved[s]);
     }
     parser.merge_into(ws.deinterleaved, ws.merged);
+  }
+
+  // ---- HARQ chase combining: sum the retained prior attempts' LLRs into
+  // this attempt's merged stream before any FEC decoding, and export the
+  // combined stream for retention. A prior whose length disagrees with this
+  // attempt's stream (the retransmission changed MCS/length) is skipped —
+  // the attempt decodes standalone rather than combining incompatible soft
+  // state. ----
+  if (harq.active()) {
+    if (!harq.prior.empty() && harq.prior.size() == ws.merged.size()) {
+      for (std::size_t i = 0; i < ws.merged.size(); ++i) {
+        ws.merged[i] += harq.prior[i];
+      }
+    }
+    if (harq.combined != nullptr) {
+      harq.combined->assign(ws.merged.begin(), ws.merged.end());
+    }
   }
 
   if (cfg_.fec_enabled && fec_type == FecType::kLdpc) {

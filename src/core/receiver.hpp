@@ -66,6 +66,29 @@ struct RxPacket {
   std::size_t n_stream_sinr = 0;
 };
 
+/// HARQ chase-combining decode mode (see core/harq_buffer.hpp and DESIGN.md
+/// "The soft-combining plane"). Passed to the receive() overload below:
+///   - `prior` carries the combined post-merge LLR stream retained from
+///     earlier attempts of the same frame. When non-empty and its length
+///     matches this attempt's merged stream, the two are summed element-wise
+///     before depuncture/Viterbi (BCC) or LDPC decoding — chase combining.
+///     A length mismatch (e.g. the retransmission changed MCS) is ignored
+///     and the attempt decodes standalone.
+///   - `combined` (when non-null) receives this attempt's post-merge LLR
+///     stream *after* any prior was summed in — what a HARQ link stores
+///     back into its HarqBuffer. It is cleared whenever decoding failed
+///     before the FEC stage (no soft state worth retaining).
+/// A default HarqDecode{} (empty prior, null combined) is attempt-1
+/// semantics and bit-identical to the plain receive() path.
+struct HarqDecode {
+  std::span<const float> prior{};
+  std::vector<float>* combined = nullptr;
+
+  [[nodiscard]] bool active() const noexcept {
+    return !prior.empty() || combined != nullptr;
+  }
+};
+
 /// Stateless-per-packet receiver; construct once per configuration.
 class Receiver {
  public:
@@ -89,14 +112,24 @@ class Receiver {
   /// region of a longer capture, and ws.packet.sync.packet_start is
   /// relative to the window). All scratch — and the result, ws.packet —
   /// lives in `ws`, so a warm call performs no heap allocation. Returns
-  /// true when a frame was delivered (fcs_ok); either way ws.packet.error
-  /// classifies the outcome. Everything above this — StreamReceiver's scan
+  /// true when a sync candidate was found and carried through the decode
+  /// pipeline — including frames that then failed HT-SIG, truncation, or
+  /// the FCS; false only when nothing synced. Delivery is ws.packet.fcs_ok,
+  /// and ws.packet.error classifies the outcome either way. Everything
+  /// above this — StreamReceiver's scan
   /// loop, the farm, ReceiveSession — is a wrapper over this call. (The
   /// PR 6 vector-overload shims completed their one-release deprecation
   /// window and are gone; ReceiveSession::receive_one covers the
   /// convenience cases.)
   [[nodiscard]] bool receive(std::span<const std::span<const cf32>> capture,
                              RxWorkspace& ws) const;
+
+  /// receive() in HARQ soft-combining mode: sums `harq.prior` into the
+  /// post-merge LLR stream before FEC decoding and (when requested) exports
+  /// the combined stream for retention. With a default HarqDecode the result
+  /// is bit-identical to the plain overload.
+  [[nodiscard]] bool receive(std::span<const std::span<const cf32>> capture,
+                             RxWorkspace& ws, const HarqDecode& harq) const;
 
  private:
   /// Maximal-ratio combine one legacy symbol across antennas and soft-decode

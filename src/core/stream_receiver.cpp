@@ -45,13 +45,26 @@ std::vector<StreamRecord> StreamReceiver::receive_all(
 void StreamReceiver::scan(std::span<const std::span<const cf32>> capture,
                           RxWorkspace& ws, StreamStats& stats,
                           const EventFn& on_event) const {
-  scan_window(capture, ws, stats, on_event, ScanWindow{});
+  scan_window(capture, ws, stats, on_event, ScanWindow{}, HarqDecode{});
+}
+
+void StreamReceiver::scan(std::span<const std::span<const cf32>> capture,
+                          RxWorkspace& ws, StreamStats& stats,
+                          const EventFn& on_event, const HarqDecode& harq) const {
+  scan_window(capture, ws, stats, on_event, ScanWindow{}, harq);
 }
 
 void StreamReceiver::scan_window(std::span<const std::span<const cf32>> capture,
                                  RxWorkspace& ws, StreamStats& stats,
                                  const EventFn& on_event,
                                  const ScanWindow& window) const {
+  scan_window(capture, ws, stats, on_event, window, HarqDecode{});
+}
+
+void StreamReceiver::scan_window(std::span<const std::span<const cf32>> capture,
+                                 RxWorkspace& ws, StreamStats& stats,
+                                 const EventFn& on_event, const ScanWindow& window,
+                                 const HarqDecode& harq) const {
   if (capture.size() != nrx_) {
     throw std::invalid_argument("StreamReceiver::scan: antenna count mismatch");
   }
@@ -84,12 +97,20 @@ void StreamReceiver::scan_window(std::span<const std::span<const cf32>> capture,
   // into samples it was not given to own or align on.
   std::size_t rewind_barrier = window.begin;
 
+  // The soft-combining state belongs to the first synced candidate (the
+  // harq overloads are documented single-frame-capture helpers). Once that
+  // candidate consumed it, later iterations — in particular the final
+  // no-sync pass over the trailing idle air — must run plain, or their
+  // entry reset would wipe the combined stream the caller is about to
+  // retain.
+  HarqDecode active = harq;
   while (pos < stop) {
     for (std::size_t a = 0; a < nrx_; ++a) {
       view[a] = capture[a].subspan(pos, vis_end - pos);
     }
     const bool got = rx_.receive(
-        std::span<const std::span<const cf32>>(view.data(), nrx_), ws);
+        std::span<const std::span<const cf32>>(view.data(), nrx_), ws, active);
+    if (got) active = HarqDecode{};
     const RxPacket& pkt = ws.packet;
     const metrics::RxError err = pkt.error;
 

@@ -162,6 +162,21 @@ class StreamReceiver {
                    RxWorkspace& ws, StreamStats& stats, const EventFn& on_event,
                    const ScanWindow& window) const;
 
+  /// HARQ soft-combining scans: every candidate decode runs through
+  /// Receiver's combining overload with `harq` (see core::HarqDecode). Meant
+  /// for single-frame retransmission captures — an ARQ link scanning one
+  /// retry slot — where the prior soft state belongs to the one expected
+  /// frame; on a multi-packet capture the same prior would be offered to
+  /// every candidate (harmless when lengths differ, but not chase
+  /// combining). A default HarqDecode{} makes these bit-identical to the
+  /// plain overloads.
+  void scan(std::span<const std::span<const cf32>> capture, RxWorkspace& ws,
+            StreamStats& stats, const EventFn& on_event,
+            const HarqDecode& harq) const;
+  void scan_window(std::span<const std::span<const cf32>> capture,
+                   RxWorkspace& ws, StreamStats& stats, const EventFn& on_event,
+                   const ScanWindow& window, const HarqDecode& harq) const;
+
  private:
   StreamReceiverConfig scfg_;
   Receiver rx_;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "chanest/snr_estimator.hpp"
+#include "core/harq_buffer.hpp"
 #include "core/receiver.hpp"
 #include "dsp/fft_cache.hpp"
 #include "dsp/sample_grid.hpp"
@@ -146,6 +147,14 @@ struct RxWorkspace {
   std::vector<float> chunk_depunct;      ///< depunctured chunk LLRs
   fec::StreamingDepuncturer depunct_stream;      ///< mask phase across chunks
   fec::ViterbiDecoder::StreamState viterbi_stream;  ///< live path metrics
+
+  // ---- HARQ soft-combining plane (DESIGN.md "The soft-combining plane"):
+  // retained per-frame combined LLR streams keyed by ARQ seq number, plus
+  // the staging vector a combining receive() exports into. Both keep their
+  // capacity across packets, so steady-state HARQ decodes allocate
+  // nothing. ----
+  HarqBuffer harq;                       ///< per-frame retained soft state
+  std::vector<float> harq_combined;      ///< combined-LLR export staging
 
   RxPacket packet;                       ///< the result of the last receive
 };

@@ -1,9 +1,11 @@
 #include "mac/arq.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <span>
 #include <stdexcept>
 
+#include "channel/fault_plan.hpp"
 #include "dsp/rng.hpp"
 
 namespace mimonet::mac {
@@ -20,6 +22,38 @@ ArqConfig normalize(ArqConfig cfg) {
 /// Uniform double in [0, 1) from a mixed 64-bit key.
 double unit_uniform(std::uint64_t key) noexcept {
   return static_cast<double>(dsp::splitmix64(key) >> 11U) * 0x1.0p-53;
+}
+
+/// Add every scheduled burst overlapping the frame's airtime [t0, t1) to
+/// the capture, mapping burst time onto the capture proportionally (the
+/// capture — pad included — spans the frame's airtime). Deterministic: the
+/// noise draw is keyed on the link seed, the frame's start clock and the
+/// antenna, so a retransmission at a different clock sees fresh noise while
+/// a replay of the same schedule reproduces bit-identically.
+void apply_interference(std::span<const InterferenceSegment> bursts,
+                        double t0_us, double t1_us, std::uint64_t seed,
+                        std::vector<std::vector<dsp::cf32>>& capture) {
+  if (bursts.empty() || capture.empty() || t1_us <= t0_us) return;
+  const std::size_t len = capture.front().size();
+  const double dur = t1_us - t0_us;
+  for (const auto& b : bursts) {
+    const double lo = std::max(b.start_us, t0_us);
+    const double hi = std::min(b.end_us, t1_us);
+    if (hi <= lo || b.variance <= 0.0) continue;
+    const auto s0 = static_cast<std::size_t>((lo - t0_us) / dur *
+                                             static_cast<double>(len));
+    const auto s1 = static_cast<std::size_t>((hi - t0_us) / dur *
+                                             static_cast<double>(len));
+    if (s1 <= s0 || s0 >= len) continue;
+    channel::FaultPlan plan;
+    plan.noise_burst(s0, std::min(s1, len) - s0, b.variance);
+    const auto t_key = static_cast<std::uint64_t>(t0_us * 16.0);
+    for (std::size_t a = 0; a < capture.size(); ++a) {
+      channel::apply_fault_plan(
+          capture[a], plan,
+          dsp::splitmix64(seed ^ (t_key * 0x9E3779B97F4A7C15ULL) ^ a));
+    }
+  }
 }
 
 }  // namespace
@@ -71,9 +105,11 @@ std::optional<wifi::ParsedPsdu> StopAndWaitLink::phy_exchange(
   const auto psdu = wifi::build_psdu(hdr, payload);
   const auto streams = tx.transmit(psdu);
   const double t = tx.layout(psdu.size()).airtime_us();
+  const double t0 = clock_us_;
   airtime_us += t;
   clock_us_ += t;
-  const auto capture = chan.transmit(streams);
+  auto capture = chan.transmit(streams);
+  apply_interference(cfg_.interference, t0, t0 + t, cfg_.seed, capture);
   rx_ws_.capture_spans.assign(capture.begin(), capture.end());
   const bool got = rx.receive(
       std::span<const std::span<const dsp::cf32>>(rx_ws_.capture_spans),
@@ -153,9 +189,15 @@ DeliveryReport StopAndWaitLink::send(std::span<const std::uint8_t> msdu) {
   return report;
 }
 
+namespace {
+SrConfig normalize_sr(SrConfig cfg) {
+  cfg.arq = normalize(std::move(cfg.arq));
+  return cfg;
+}
+}  // namespace
+
 SelectiveRepeatLink::SelectiveRepeatLink(SrConfig cfg)
-    : cfg_(SrConfig{normalize(std::move(cfg.arq)), cfg.window,
-                    cfg.fallback_after, cfg.recover_after, cfg.min_mcs}),
+    : cfg_(normalize_sr(std::move(cfg))),
       current_mcs_(cfg_.arq.data_phy.mcs),
       min_mcs_(0),
       data_rx_(cfg_.arq.data_phy, cfg_.arq.forward.nrx),
@@ -186,24 +228,33 @@ SelectiveRepeatLink::SelectiveRepeatLink(SrConfig cfg)
     throw std::invalid_argument(
         "SelectiveRepeatLink: reverse ntx != ACK TX chains");
   }
+  // The legacy streak knobs stay authoritative for the failure-count
+  // policy, so pre-adaptor configs behave identically.
+  LinkAdaptorConfig acfg = cfg_.adapt;
+  acfg.fallback_after = cfg_.fallback_after;
+  acfg.recover_after = cfg_.recover_after;
+  adaptor_.emplace(acfg, current_mcs_, min_mcs_, cfg_.arq.data_phy.mcs);
+  peer_next_abs_ = cfg_.first_frame_index;
 }
 
 std::optional<wifi::ParsedPsdu> SelectiveRepeatLink::phy_exchange(
     const core::Transmitter& tx, channel::MimoChannel& chan,
     const core::Receiver& rx, const wifi::MacHeader& hdr,
     std::span<const std::uint8_t> payload, double nominal_scale,
-    double& airtime_us) {
+    double& airtime_us, const core::HarqDecode& harq) {
   chan.set_power_scale(fade_scale_at(cfg_.arq.fades, clock_us_, nominal_scale));
   const auto psdu = wifi::build_psdu(hdr, payload);
   const auto streams = tx.transmit(psdu);
   const double t = tx.layout(psdu.size()).airtime_us();
+  const double t0 = clock_us_;
   airtime_us += t;
   clock_us_ += t;
-  const auto capture = chan.transmit(streams);
+  auto capture = chan.transmit(streams);
+  apply_interference(cfg_.arq.interference, t0, t0 + t, cfg_.arq.seed, capture);
   rx_ws_.capture_spans.assign(capture.begin(), capture.end());
   const bool got = rx.receive(
       std::span<const std::span<const dsp::cf32>>(rx_ws_.capture_spans),
-      rx_ws_);
+      rx_ws_, harq);
   if (!got || !rx_ws_.packet.fcs_ok) {
     return std::nullopt;
   }
@@ -213,7 +264,7 @@ std::optional<wifi::ParsedPsdu> SelectiveRepeatLink::phy_exchange(
 void SelectiveRepeatLink::queue(std::span<const std::uint8_t> msdu) {
   Slot slot;
   slot.msdu.assign(msdu.begin(), msdu.end());
-  slot.abs = frames_.size();
+  slot.abs = cfg_.first_frame_index + frames_.size();
   frames_.push_back(std::move(slot));
   ++stats_.msdus;
 }
@@ -250,15 +301,30 @@ void SelectiveRepeatLink::transmit_slot(Slot& slot) {
 
   wifi::MacHeader hdr;
   hdr.frame_control = 0x0008;  // data
-  hdr.sequence_control = static_cast<std::uint16_t>((slot.abs & 0x0FFFU) << 4U);
+  const auto seq12 = static_cast<std::uint16_t>(slot.abs & 0x0FFFU);
+  hdr.sequence_control = static_cast<std::uint16_t>(seq12 << 4U);
+
+  // HARQ decode mode: offer any retained prior soft state for this frame
+  // and capture this attempt's combined stream for retention.
+  core::HarqDecode harq;
+  if (cfg_.harq) {
+    if (const auto* prior = rx_ws_.harq.find(seq12)) {
+      harq.prior = std::span<const float>(*prior);
+    }
+    harq.combined = &rx_ws_.harq_combined;
+  }
 
   double airtime = 0.0;
   const auto delivered =
       phy_exchange(*data_tx_, forward_, data_rx_, hdr, slot.msdu,
-                   cfg_.arq.forward.power_scale, airtime);
+                   cfg_.arq.forward.power_scale, airtime, harq);
+  adapt_on_data_outcome(delivered.has_value());
   bool acked = false;
   if (delivered) {
-    note_data_success();
+    if (cfg_.harq) {
+      if (!harq.prior.empty()) ++stats_.harq_combined_ok;
+      rx_ws_.harq.release(seq12);
+    }
     peer_accept(*delivered);
     wifi::MacHeader ack_hdr;
     ack_hdr.frame_control = kAckFrameControl;
@@ -267,8 +333,10 @@ void SelectiveRepeatLink::transmit_slot(Slot& slot) {
                                   cfg_.arq.reverse.power_scale, airtime);
     acked = ack && ack->header.frame_control == kAckFrameControl &&
             ack->header.sequence_control == hdr.sequence_control;
-  } else {
-    note_data_failure();
+  } else if (cfg_.harq && !rx_ws_.harq_combined.empty()) {
+    // The attempt failed but produced soft state (reached the payload):
+    // retain the combined LLRs so the next attempt decodes against them.
+    rx_ws_.harq.store(seq12, rx_ws_.harq_combined);
   }
   stats_.airtime_us += airtime;
   ++slot.attempts;
@@ -277,9 +345,12 @@ void SelectiveRepeatLink::transmit_slot(Slot& slot) {
     slot.acked = true;
     ++stats_.delivered;
     stats_.delivered_bits += static_cast<double>(slot.msdu.size()) * 8.0;
+    ++stats_.attempts_hist[std::min<std::size_t>(slot.attempts, 8)];
   } else if (slot.attempts > cfg_.arq.max_retries) {
     slot.abandoned = true;
     ++stats_.lost;
+    ++stats_.attempts_hist[std::min<std::size_t>(slot.attempts, 8)];
+    if (cfg_.harq) rx_ws_.harq.release(seq12);
     // The peer will never see this frame: let in-order release skip it, as
     // a higher layer's reassembly timeout would.
     abandoned_abs_.push_back(slot.abs);
@@ -292,7 +363,9 @@ void SelectiveRepeatLink::transmit_slot(Slot& slot) {
         cfg_.arq.backoff.enabled
             ? backoff_delay_us(cfg_.arq.backoff, slot.attempts - 1, key)
             : cfg_.arq.backoff.initial_timeout_us;
-    slot.next_tx_us = clock_us_ + d;
+    // backoff_scale_ > 1 while the adaptor holds interference evidence:
+    // stretch the retry past the burst instead of dropping the rate.
+    slot.next_tx_us = clock_us_ + d * backoff_scale_;
   }
 }
 
@@ -300,11 +373,10 @@ void SelectiveRepeatLink::peer_accept(const wifi::ParsedPsdu& frame) {
   const auto seq12 =
       static_cast<std::uint16_t>(frame.header.sequence_control >> 4U);
   const auto exp12 = static_cast<std::uint16_t>(peer_next_abs_ & 0x0FFFU);
-  // Sign-extend the 12-bit sequence difference: frames at most a window
-  // behind (duplicates) or ahead (out-of-order) of the expected index.
-  const auto diff12 = static_cast<std::uint16_t>((seq12 - exp12) & 0x0FFFU);
-  const int delta = (diff12 & 0x0800U) != 0 ? static_cast<int>(diff12) - 4096
-                                            : static_cast<int>(diff12);
+  // Frames arrive at most a window behind (duplicates) or ahead
+  // (out-of-order) of the expected index; seq12_delta sign-extends the
+  // 12-bit ring distance, exact across the 4095 -> 0 wrap.
+  const int delta = seq12_delta(seq12, exp12);
   const auto abs_idx =
       static_cast<long long>(peer_next_abs_) + static_cast<long long>(delta);
   if (abs_idx < static_cast<long long>(peer_next_abs_)) {
@@ -336,24 +408,36 @@ void SelectiveRepeatLink::release_in_order() {
   }
 }
 
-void SelectiveRepeatLink::note_data_success() {
-  consecutive_fail_ = 0;
-  if (cfg_.recover_after == 0 || current_mcs_ >= cfg_.arq.data_phy.mcs) return;
-  if (++consecutive_ok_ < cfg_.recover_after) return;
-  consecutive_ok_ = 0;
-  set_mcs(current_mcs_ + 1);
-  ++stats_.mcs_recoveries;
-}
-
-void SelectiveRepeatLink::note_data_failure() {
-  consecutive_ok_ = 0;
-  if (cfg_.fallback_after == 0) return;
-  if (++consecutive_fail_ < cfg_.fallback_after) return;
-  consecutive_fail_ = 0;
-  if (current_mcs_ > min_mcs_) {
-    set_mcs(current_mcs_ - 1);
-    ++stats_.mcs_fallbacks;
+void SelectiveRepeatLink::adapt_on_data_outcome(bool delivered) {
+  const core::RxPacket& pkt = rx_ws_.packet;
+  LinkObservation obs;
+  obs.delivered = delivered;
+  obs.error = pkt.error;
+  if (pkt.htsig_ok) {
+    // Both estimates ran; take the best as the channel-quality evidence (a
+    // mid-frame burst depresses the pilot EVM but not the L-LTF estimate).
+    obs.snr_db = std::max(pkt.snr.snr_db, pkt.pilot_snr.snr_db);
+    obs.have_snr = true;
   }
+  if (pkt.n_stream_sinr > 0) {
+    obs.min_stream_sinr_db = pkt.stream_sinr_db[0];
+    for (std::size_t s = 1; s < pkt.n_stream_sinr; ++s) {
+      obs.min_stream_sinr_db = std::min(obs.min_stream_sinr_db,
+                                        pkt.stream_sinr_db[s]);
+    }
+    obs.have_stream_sinr = true;
+  }
+  const LinkDecision decision = adaptor_->observe(obs);
+  backoff_scale_ = decision.backoff_scale;
+  if (decision.mcs_step != 0) {
+    set_mcs(adaptor_->current_mcs());
+    if (decision.mcs_step < 0) {
+      ++stats_.mcs_fallbacks;
+    } else {
+      ++stats_.mcs_recoveries;
+    }
+  }
+  stats_.interference_holds = adaptor_->interference_holds();
 }
 
 void SelectiveRepeatLink::set_mcs(unsigned mcs) {
@@ -363,6 +447,23 @@ void SelectiveRepeatLink::set_mcs(unsigned mcs) {
   core::PhyConfig phy = cfg_.arq.data_phy;
   phy.mcs = mcs;
   data_tx_.emplace(phy);
+  // An MCS change alters the coded-stream geometry: every retained LLR
+  // stream is now incompatible with the frames the new rate will send.
+  rx_ws_.harq.clear();
+}
+
+core::LinkResult SelectiveRepeatLink::link_result() const {
+  core::LinkResult r;
+  for (std::size_t i = 0; i < stats_.delivered; ++i) r.per.add(/*packet_ok=*/true);
+  for (std::size_t i = 0; i < stats_.lost; ++i) r.per.add(/*packet_ok=*/false);
+  // One aggregate throughput sample: all delivered payload bits over the
+  // link's total airtime (retries included), i.e. the MAC goodput.
+  r.throughput.add_packet(
+      static_cast<std::size_t>(stats_.delivered_bits / 8.0),
+      stats_.airtime_us);
+  r.attempts_hist = stats_.attempts_hist;
+  r.harq_combined_ok = stats_.harq_combined_ok;
+  return r;
 }
 
 }  // namespace mimonet::mac

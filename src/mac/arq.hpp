@@ -12,6 +12,7 @@
 // exponential backoff stretches the retry window past it.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -19,10 +20,12 @@
 #include <vector>
 
 #include "channel/mimo_channel.hpp"
+#include "core/link_simulator.hpp"
 #include "core/phy_config.hpp"
 #include "core/receiver.hpp"
 #include "core/transmitter.hpp"
 #include "core/workspace.hpp"
+#include "mac/link_adaptor.hpp"
 #include "wifi/psdu.hpp"
 
 namespace mimonet::mac {
@@ -59,6 +62,19 @@ struct FadeSegment {
 [[nodiscard]] double fade_scale_at(std::span<const FadeSegment> fades,
                                    double t_us, double nominal) noexcept;
 
+/// One scheduled wideband interference burst: while a frame's airtime
+/// overlaps [start_us, end_us), CN(0, variance) noise is added to the
+/// overlapping stretch of its capture (independent per antenna,
+/// deterministic in the link seed and the frame's clock). Unlike a fade —
+/// which scales the whole channel — a burst corrupts frames on an otherwise
+/// healthy channel, which is exactly the case the evidence-driven adaptor
+/// must not answer with an MCS fallback.
+struct InterferenceSegment {
+  double start_us = 0.0;
+  double end_us = 0.0;
+  double variance = 1.0;  ///< total complex noise variance of the burst
+};
+
 struct ArqConfig {
   core::PhyConfig data_phy{};   ///< PHY used for data frames
   core::PhyConfig ack_phy{};    ///< PHY for ACKs (defaults to MCS 0: robust)
@@ -69,6 +85,9 @@ struct ArqConfig {
   /// Scheduled fades, applied to both directions as a function of the
   /// link's simulated clock (a physical obstruction shadows both paths).
   std::vector<FadeSegment> fades{};
+  /// Scheduled interference bursts, applied to any frame (data or ACK)
+  /// whose airtime overlaps a segment.
+  std::vector<InterferenceSegment> interference{};
   std::uint64_t seed = 1;
 };
 
@@ -150,19 +169,47 @@ class StopAndWaitLink {
 /// ACK frame_control marker (control frame subtype ACK, simplified).
 inline constexpr std::uint16_t kAckFrameControl = 0x00D4;
 
+/// Signed distance from `expected12` to `seq12` on the 12-bit sequence ring,
+/// sign-extended into [-2048, 2047]: negative = the frame is behind the
+/// expectation (duplicate / already released), positive = ahead
+/// (out-of-order arrival). Exact as long as true distances stay within half
+/// the ring — guaranteed by the window < 2048 bound — including across the
+/// 4095 -> 0 wrap.
+[[nodiscard]] constexpr int seq12_delta(std::uint16_t seq12,
+                                        std::uint16_t expected12) noexcept {
+  const auto diff12 = static_cast<std::uint16_t>((seq12 - expected12) & 0x0FFFU);
+  return (diff12 & 0x0800U) != 0 ? static_cast<int>(diff12) - 4096
+                                 : static_cast<int>(diff12);
+}
+
 /// Selective-repeat window ARQ configuration.
 struct SrConfig {
   ArqConfig arq{};          ///< PHYs, channels, retry/backoff/fade policy
   std::size_t window = 4;   ///< outstanding frames (must be < 2048)
   /// MCS fallback: after this many consecutive failed data exchanges, step
   /// the data MCS down one rate within its spatial-stream group. 0 = never.
+  /// (kFailureCount policy; copied over adapt.fallback_after.)
   unsigned fallback_after = 3;
   /// Recovery: after this many consecutive successful data exchanges below
   /// the configured MCS, step one rate back up. 0 = never recover.
+  /// (kFailureCount policy; copied over adapt.recover_after.)
   unsigned recover_after = 8;
   /// Floor for fallback; -1 = the lowest rate of the configured MCS's
   /// spatial-stream group (nss never changes — antenna counts are fixed).
   int min_mcs = -1;
+  /// HARQ chase combining: retain failed data attempts' post-merge LLRs in
+  /// the workspace HarqBuffer and sum them into each retransmission's
+  /// decode (see core::HarqDecode). Off = every attempt decodes standalone.
+  bool harq = false;
+  /// Adaptation controller (see mac/link_adaptor.hpp). adapt.policy selects
+  /// the legacy failure-count baseline (default) or the evidence-driven
+  /// controller; the legacy fallback_after / recover_after knobs above
+  /// override the copies inside `adapt` so existing configs keep working.
+  LinkAdaptorConfig adapt{};
+  /// Absolute index of the first queued frame (seq = abs & 0xFFF). Lets a
+  /// test start a link just below the 12-bit wrap (e.g. 4090) so a short
+  /// run crosses 4095 -> 0 without queueing 4096 frames.
+  std::size_t first_frame_index = 0;
 };
 
 /// Aggregate selective-repeat statistics.
@@ -174,6 +221,11 @@ struct SrStats {
   std::size_t duplicates = 0;
   std::size_t mcs_fallbacks = 0;   ///< downward MCS steps taken
   std::size_t mcs_recoveries = 0;  ///< upward steps after the channel improved
+  std::size_t interference_holds = 0;  ///< evidence policy: bursts ridden out
+  std::size_t harq_combined_ok = 0;    ///< deliveries decoded with prior LLRs
+  /// attempts_hist[k] = frames finished (ACKed or abandoned) after k
+  /// transmissions; the last bucket aggregates >= 8.
+  std::array<std::size_t, 9> attempts_hist{};
   double airtime_us = 0.0;
   double wait_us = 0.0;
   double delivered_bits = 0.0;
@@ -213,6 +265,15 @@ class SelectiveRepeatLink {
   /// fallback is active).
   [[nodiscard]] unsigned current_mcs() const noexcept { return current_mcs_; }
   [[nodiscard]] double now_us() const noexcept { return clock_us_; }
+  /// The adaptation controller (policy per cfg.adapt), for inspecting its
+  /// evidence stats (interference_holds, ...).
+  [[nodiscard]] const LinkAdaptor& adaptor() const noexcept { return *adaptor_; }
+
+  /// The link's outcome in the uniform Monte-Carlo result shape, so benches
+  /// and the stress campaign report MAC runs alongside PHY sweeps: PER over
+  /// MSDUs (lost = error), goodput over airtime, the per-frame attempts
+  /// histogram and combined-decode successes.
+  [[nodiscard]] core::LinkResult link_result() const;
 
  private:
   struct Slot {
@@ -228,12 +289,13 @@ class SelectiveRepeatLink {
       const core::Transmitter& tx, channel::MimoChannel& chan,
       const core::Receiver& rx, const wifi::MacHeader& hdr,
       std::span<const std::uint8_t> payload, double nominal_scale,
-      double& airtime_us);
+      double& airtime_us, const core::HarqDecode& harq = {});
   void transmit_slot(Slot& slot);
   void peer_accept(const wifi::ParsedPsdu& frame);
   void release_in_order();
-  void note_data_success();
-  void note_data_failure();
+  /// Feed the data exchange's outcome (rx_ws_.packet) to the adaptor and
+  /// apply its MCS / backoff decision.
+  void adapt_on_data_outcome(bool delivered);
   void set_mcs(unsigned mcs);
 
   SrConfig cfg_;
@@ -246,9 +308,9 @@ class SelectiveRepeatLink {
   channel::MimoChannel forward_;
   channel::MimoChannel reverse_;
   core::RxWorkspace rx_ws_;  ///< warm workspace shared by both directions
+  std::optional<LinkAdaptor> adaptor_;  ///< never empty after construction
   double clock_us_ = 0.0;
-  unsigned consecutive_fail_ = 0;
-  unsigned consecutive_ok_ = 0;
+  double backoff_scale_ = 1.0;  ///< adaptor's stretch on retry waits
 
   std::vector<Slot> frames_;
   std::size_t base_ = 0;  ///< first not-yet-finished frame

@@ -1,0 +1,141 @@
+#include "mac/link_adaptor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mimonet::mac {
+
+double mcs_required_sinr_db(unsigned mcs) noexcept {
+  // BPSK 1/2, QPSK 1/2, QPSK 3/4, 16-QAM 1/2, 16-QAM 3/4, 64-QAM 2/3,
+  // 64-QAM 3/4, 64-QAM 5/6 — the canonical 802.11n-style ladder.
+  constexpr double kTable[8] = {5.0, 8.0, 10.5, 13.5, 17.0, 21.0, 22.5, 24.0};
+  return kTable[mcs % 8U];
+}
+
+const char* failure_evidence_name(FailureEvidence e) noexcept {
+  switch (e) {
+    case FailureEvidence::kNone: return "none";
+    case FailureEvidence::kChannel: return "channel";
+    case FailureEvidence::kInterference: return "interference";
+  }
+  return "?";
+}
+
+LinkAdaptor::LinkAdaptor(LinkAdaptorConfig cfg, unsigned initial_mcs,
+                         unsigned min_mcs, unsigned max_mcs)
+    : cfg_(cfg), current_mcs_(initial_mcs), min_mcs_(min_mcs),
+      max_mcs_(max_mcs) {
+  if (min_mcs_ > initial_mcs || initial_mcs > max_mcs_) {
+    throw std::invalid_argument(
+        "LinkAdaptor: need min_mcs <= initial_mcs <= max_mcs");
+  }
+  if (cfg_.interference_backoff < 1.0 || cfg_.max_backoff_scale < 1.0) {
+    throw std::invalid_argument(
+        "LinkAdaptor: backoff factors must be >= 1");
+  }
+}
+
+FailureEvidence LinkAdaptor::classify(const LinkObservation& obs,
+                                      double required_sinr_db,
+                                      double margin_db) noexcept {
+  if (obs.delivered) return FailureEvidence::kNone;
+  if (obs.error == metrics::RxError::kFalseSync) {
+    return FailureEvidence::kInterference;
+  }
+  if (obs.have_snr && obs.snr_db >= required_sinr_db + margin_db) {
+    return FailureEvidence::kInterference;
+  }
+  return FailureEvidence::kChannel;
+}
+
+LinkDecision LinkAdaptor::observe(const LinkObservation& obs) {
+  return cfg_.policy == AdaptPolicy::kEvidence ? observe_evidence(obs)
+                                               : observe_failure_count(obs);
+}
+
+LinkDecision LinkAdaptor::observe_failure_count(const LinkObservation& obs) {
+  // Faithful port of the legacy SelectiveRepeatLink streak heuristic, so
+  // the baseline policy's decisions (and stats) are unchanged.
+  LinkDecision d;
+  if (obs.delivered) {
+    consecutive_fail_ = 0;
+    if (cfg_.recover_after == 0 || current_mcs_ >= max_mcs_) return d;
+    if (++consecutive_ok_ < cfg_.recover_after) return d;
+    consecutive_ok_ = 0;
+    ++current_mcs_;
+    ++recoveries_;
+    d.mcs_step = +1;
+    return d;
+  }
+  consecutive_ok_ = 0;
+  if (cfg_.fallback_after == 0) return d;
+  if (++consecutive_fail_ < cfg_.fallback_after) return d;
+  consecutive_fail_ = 0;
+  if (current_mcs_ > min_mcs_) {
+    --current_mcs_;
+    ++fallbacks_;
+    d.mcs_step = -1;
+  }
+  return d;
+}
+
+LinkDecision LinkAdaptor::observe_evidence(const LinkObservation& obs) {
+  LinkDecision d;
+  if (obs.delivered) {
+    channel_fails_ = 0;
+    // A clean delivery is evidence any burst has passed: relax the stretch.
+    backoff_scale_ = std::max(1.0, backoff_scale_ / cfg_.interference_backoff);
+    // Step up only on demonstrated headroom over the *next* rate's
+    // requirement — not on streak length alone.
+    if (cfg_.up_after != 0 && current_mcs_ < max_mcs_) {
+      const double need =
+          mcs_required_sinr_db(current_mcs_ + 1) + cfg_.up_margin_db;
+      const double evidence = obs.have_stream_sinr ? obs.min_stream_sinr_db
+                              : obs.have_snr       ? obs.snr_db
+                                                   : need - 1.0;
+      if (evidence >= need) {
+        if (++headroom_ok_ >= cfg_.up_after) {
+          headroom_ok_ = 0;
+          ++current_mcs_;
+          ++recoveries_;
+          d.mcs_step = +1;
+        }
+      } else {
+        headroom_ok_ = 0;
+      }
+    } else {
+      headroom_ok_ = 0;
+    }
+    d.backoff_scale = backoff_scale_;
+    return d;
+  }
+
+  headroom_ok_ = 0;
+  switch (classify(obs, mcs_required_sinr_db(current_mcs_),
+                   cfg_.low_snr_margin_db)) {
+    case FailureEvidence::kInterference:
+      // The channel supports the rate; dropping MCS would only donate
+      // goodput while the burst passes. Hold, stretch the retry pacing.
+      ++interference_holds_;
+      channel_fails_ = 0;
+      backoff_scale_ = std::min(cfg_.max_backoff_scale,
+                                backoff_scale_ * cfg_.interference_backoff);
+      break;
+    case FailureEvidence::kChannel:
+      if (cfg_.down_after != 0 && ++channel_fails_ >= cfg_.down_after) {
+        channel_fails_ = 0;
+        if (current_mcs_ > min_mcs_) {
+          --current_mcs_;
+          ++fallbacks_;
+          d.mcs_step = -1;
+        }
+      }
+      break;
+    case FailureEvidence::kNone:
+      break;
+  }
+  d.backoff_scale = backoff_scale_;
+  return d;
+}
+
+}  // namespace mimonet::mac

@@ -1,0 +1,146 @@
+// Evidence-driven link adaptation: the rate/backoff controller behind
+// SelectiveRepeatLink.
+//
+// The legacy heuristic counts consecutive delivery failures and steps the
+// MCS down blindly — it cannot tell a channel that no longer supports the
+// rate (step down: the evidence says the SNR is short) from an interference
+// burst corrupting frames on an otherwise healthy channel (hold the rate;
+// stepping down just donates goodput while the burst passes — stretch the
+// retry backoff past it instead). The structured receive outcome gives the
+// controller exactly that discrimination: a kFcsFail whose pilot/preamble
+// SNR sits below what the current MCS needs is channel evidence, while a
+// kFalseSync — or a kFcsFail at an SNR the rate should comfortably survive —
+// is interference evidence ("Bit Error Rate Prediction of Coded MIMO-OFDM
+// Systems" maps post-eq SINR to coded-PER well enough to anchor the per-MCS
+// requirement table; "SNR Estimation in Maximum Likelihood Decoded Spatial
+// Multiplexing" covers the ML-detector estimate the evidence rides on).
+//
+// LinkAdaptor implements both policies (AdaptPolicy) behind one observe()
+// interface so the old behavior stays config-selectable as the baseline the
+// E23 campaign compares against.
+#pragma once
+
+#include <cstdint>
+
+#include "metrics/rx_error.hpp"
+
+namespace mimonet::mac {
+
+/// Which controller drives MCS/backoff decisions.
+enum class AdaptPolicy : std::uint8_t {
+  kFailureCount,  ///< legacy: consecutive failure/success streak counting
+  kEvidence,      ///< RxError taxonomy + SNR/SINR evidence
+};
+
+/// Approximate post-equalization SINR (dB) a rate needs for low coded PER,
+/// by modulation/coding step within the spatial-stream group (mcs % 8:
+/// BPSK 1/2 ... 64-QAM 5/6). Anchors the evidence controller's
+/// channel-vs-interference discrimination and its headroom-based recovery.
+[[nodiscard]] double mcs_required_sinr_db(unsigned mcs) noexcept;
+
+struct LinkAdaptorConfig {
+  AdaptPolicy policy = AdaptPolicy::kFailureCount;
+
+  // --- kFailureCount (mirrors the legacy SelectiveRepeatLink heuristic) ---
+  unsigned fallback_after = 3;  ///< consecutive failures before MCS down; 0 = never
+  unsigned recover_after = 8;   ///< consecutive successes before MCS up; 0 = never
+
+  // --- kEvidence ---
+  unsigned down_after = 2;  ///< consecutive channel-evidence failures before MCS down
+  unsigned up_after = 6;    ///< consecutive headroom deliveries before MCS up
+  /// A failure with SNR evidence below required + this margin is channel
+  /// evidence; at or above it the channel supported the rate, so the loss
+  /// is classed as interference.
+  double low_snr_margin_db = 1.0;
+  /// Recovery headroom: step up only when the SINR evidence clears the next
+  /// rate's requirement by this much.
+  double up_margin_db = 2.0;
+  /// Backoff stretch per interference-classed failure (and the decay factor
+  /// per delivery); the scale multiplies the link's retransmission waits.
+  double interference_backoff = 2.0;
+  double max_backoff_scale = 8.0;
+};
+
+/// What one data-frame exchange taught the controller.
+struct LinkObservation {
+  bool delivered = false;  ///< frame decoded clean (FCS ok)
+  metrics::RxError error = metrics::RxError::kOk;
+  /// Channel-quality evidence for the frame: the best of the L-LTF preamble
+  /// SNR and the pilot-EVM SNR. (The max matters: an interference burst
+  /// that starts after the preamble drags the pilot EVM down but leaves the
+  /// L-LTF estimate showing the channel was healthy.)
+  double snr_db = 0.0;
+  bool have_snr = false;
+  /// Worst per-stream post-equalization SINR (the weakest stream bounds the
+  /// spatial-multiplexed rate).
+  double min_stream_sinr_db = 0.0;
+  bool have_stream_sinr = false;
+};
+
+/// The controller's verdict for the exchange just observed.
+struct LinkDecision {
+  int mcs_step = 0;           ///< -1 step down, +1 step up, 0 hold
+  double backoff_scale = 1.0; ///< multiplier on the link's retry backoff
+};
+
+/// classify()'s verdict on a failed exchange.
+enum class FailureEvidence : std::uint8_t {
+  kNone,          ///< not a failure
+  kChannel,       ///< the channel does not support the current rate
+  kInterference,  ///< healthy channel, external corruption
+};
+
+[[nodiscard]] const char* failure_evidence_name(FailureEvidence e) noexcept;
+
+/// Stateful per-link controller. Feed every data-frame exchange outcome to
+/// observe(); apply the returned decision (the adaptor tracks the MCS it
+/// believes the link runs at, so apply every nonzero step).
+class LinkAdaptor {
+ public:
+  /// @param min_mcs..max_mcs inclusive rate bounds (same spatial-stream
+  ///        group; the adaptor never crosses a group boundary itself).
+  LinkAdaptor(LinkAdaptorConfig cfg, unsigned initial_mcs, unsigned min_mcs,
+              unsigned max_mcs);
+
+  [[nodiscard]] LinkDecision observe(const LinkObservation& obs);
+
+  /// The evidence discrimination, stateless and separately testable:
+  /// kFalseSync is always interference; any other failure is interference
+  /// when the SNR evidence shows the channel cleared required + margin, and
+  /// channel evidence otherwise (including when no SNR evidence exists — a
+  /// frame that never synced looks like a fade, not a burst).
+  [[nodiscard]] static FailureEvidence classify(const LinkObservation& obs,
+                                                double required_sinr_db,
+                                                double margin_db) noexcept;
+
+  [[nodiscard]] unsigned current_mcs() const noexcept { return current_mcs_; }
+  [[nodiscard]] double backoff_scale() const noexcept { return backoff_scale_; }
+  [[nodiscard]] std::size_t fallbacks() const noexcept { return fallbacks_; }
+  [[nodiscard]] std::size_t recoveries() const noexcept { return recoveries_; }
+  [[nodiscard]] std::size_t interference_holds() const noexcept {
+    return interference_holds_;
+  }
+
+ private:
+  [[nodiscard]] LinkDecision observe_failure_count(const LinkObservation& obs);
+  [[nodiscard]] LinkDecision observe_evidence(const LinkObservation& obs);
+
+  LinkAdaptorConfig cfg_;
+  unsigned current_mcs_;
+  unsigned min_mcs_;
+  unsigned max_mcs_;
+  double backoff_scale_ = 1.0;
+
+  // kFailureCount streaks.
+  unsigned consecutive_fail_ = 0;
+  unsigned consecutive_ok_ = 0;
+  // kEvidence streaks.
+  unsigned channel_fails_ = 0;
+  unsigned headroom_ok_ = 0;
+
+  std::size_t fallbacks_ = 0;
+  std::size_t recoveries_ = 0;
+  std::size_t interference_holds_ = 0;
+};
+
+}  // namespace mimonet::mac

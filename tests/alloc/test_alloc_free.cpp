@@ -337,4 +337,66 @@ TEST(AllocFree, MuUplinkReceiveSteadyState) {
   EXPECT_EQ(mws.packet.users[1].psdu, psdu);
 }
 
+// HarqBuffer must be allocation-free once its slots are warm: store() keeps
+// each slot's LLR capacity across overwrite, LRU eviction and release, so a
+// retransmission-heavy link never allocates per frame.
+TEST(AllocFree, HarqBufferSteadyState) {
+  core::HarqBuffer buf(4);
+  std::vector<float> llrs(2048, 0.5F);
+  // Warm-up: size every slot's vector once.
+  for (std::uint16_t seq = 0; seq < 8; ++seq) buf.store(seq, llrs);
+
+  {
+    const AllocGuard guard;
+    for (std::uint16_t round = 0; round < 8; ++round) {
+      for (std::uint16_t seq = 0; seq < 8; ++seq) {
+        buf.store(seq, llrs);             // overwrite + LRU eviction churn
+        ASSERT_NE(buf.find(seq), nullptr);
+      }
+      buf.release(static_cast<std::uint16_t>(round % 8));
+    }
+    EXPECT_EQ(AllocGuard::count(), 0U) << "steady-state HarqBuffer allocated";
+  }
+}
+
+// The HARQ combining decode mode must keep receive()'s allocation-free
+// steady state: summing a prior into ws.merged and exporting the combined
+// stream reuse warm capacity (the combining path pins the accumulate
+// pipeline, so the warm-up pass below sizes exactly the buffers the
+// steady-state passes touch).
+TEST(AllocFree, HarqCombiningReceiveSteadyState) {
+  core::PhyConfig phy;
+  phy.mcs = 7;
+  const core::Transmitter tx(phy);
+  const core::Receiver rx(phy, 1);
+  const auto capture = make_capture(tx, 1, 1);
+  const std::vector<std::span<const dsp::cf32>> spans(capture.begin(),
+                                                      capture.end());
+  const std::span<const std::span<const dsp::cf32>> cap(spans);
+
+  core::RxWorkspace ws;
+  core::HarqDecode warmup;
+  warmup.combined = &ws.harq_combined;
+  ASSERT_TRUE(rx.receive(cap, ws, warmup));
+  ASSERT_TRUE(ws.packet.fcs_ok);
+  const auto reference = ws.packet.psdu;
+  std::vector<float> prior = ws.harq_combined;
+  ASSERT_FALSE(prior.empty());
+  ws.harq.store(1, prior);  // warm one retention slot too
+
+  {
+    const AllocGuard guard;
+    for (int i = 0; i < 4; ++i) {
+      core::HarqDecode harq;
+      harq.prior = *ws.harq.find(1);
+      harq.combined = &ws.harq_combined;
+      ASSERT_TRUE(rx.receive(cap, ws, harq));
+      ws.harq.store(1, ws.harq_combined);
+    }
+    EXPECT_EQ(AllocGuard::count(), 0U)
+        << "steady-state HARQ-combining receive allocated";
+  }
+  EXPECT_EQ(ws.packet.psdu, reference);
+}
+
 }  // namespace

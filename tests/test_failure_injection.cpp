@@ -128,6 +128,58 @@ TEST(FailureInjection, WholeDataSymbolLossBreaksFcsOnly) {
   EXPECT_EQ(pkt->psdu.size(), s.psdu.size());  // length still from HT-SIG
 }
 
+TEST(FailureInjection, RxErrorTaxonomyClassifiesEachStage) {
+  // The structured taxonomy is what the evidence-driven link adaptor keys
+  // on, so each injected failure must land in its designated category —
+  // and the payload-corruption case must carry the "healthy preamble SNR"
+  // signature that distinguishes interference from a fade.
+  core::RxWorkspace ws;
+  const auto receive_err = [&ws](const Scenario& s) {
+    core::Receiver rx(s.phy, 1);
+    ws.capture_spans.assign(s.capture.begin(), s.capture.end());
+    (void)rx.receive(std::span<const std::span<const cf32>>(ws.capture_spans),
+                     ws);
+    return ws.packet.error;
+  };
+
+  // Clean frame: kOk.
+  EXPECT_EQ(receive_err(make_clean_capture()), metrics::RxError::kOk);
+
+  // Noise-only air: kNoSync (no candidate anywhere).
+  {
+    auto s = make_clean_capture();
+    obliterate(s.capture[0], 0, s.capture[0].size(), 21);
+    EXPECT_EQ(receive_err(s), metrics::RxError::kNoSync);
+  }
+
+  // Data field corrupted, preamble intact: kFcsFail — and the L-LTF SNR
+  // estimate still reports the healthy channel, which is exactly the
+  // evidence LinkAdaptor::classify uses to call it interference.
+  {
+    auto s = make_clean_capture();
+    obliterate(s.capture[0], s.start + s.layout.data_offset(),
+               s.capture[0].size(), 22);
+    EXPECT_EQ(receive_err(s), metrics::RxError::kFcsFail);
+    EXPECT_FALSE(ws.packet.fcs_ok);
+    EXPECT_GT(ws.packet.snr.snr_db, 20.0);
+  }
+
+  // HT-SIG destroyed, L-SIG intact: kHtsigFail.
+  {
+    auto s = make_clean_capture();
+    obliterate(s.capture[0], s.start + s.layout.htsig_offset(),
+               wifi::kHtSigLen, 23);
+    EXPECT_EQ(receive_err(s), metrics::RxError::kHtsigFail);
+  }
+
+  // Capture cut inside the announced data field: kTruncated.
+  {
+    auto s = make_clean_capture();
+    s.capture[0].resize(s.start + s.layout.data_offset() + 10);
+    EXPECT_EQ(receive_err(s), metrics::RxError::kTruncated);
+  }
+}
+
 TEST(FailureInjection, OneDeadRxAntennaFailsCleanlyOnMimo) {
   // 2x2 packet, one RX chain goes silent (dead cable): detection and SIG
   // decode survive on the healthy antenna, but two streams cannot be

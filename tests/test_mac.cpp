@@ -249,6 +249,226 @@ TEST(SelectiveRepeat, McsFallsBackInFadeAndRecoversAfter) {
   }
 }
 
+// ---------------------------------------------------------------- seq ring
+
+TEST(Seq12Delta, SignExtendsAcrossTheRing) {
+  EXPECT_EQ(mac::seq12_delta(0, 0), 0);
+  EXPECT_EQ(mac::seq12_delta(5, 3), 2);     // ahead of expectation
+  EXPECT_EQ(mac::seq12_delta(3, 5), -2);    // behind: duplicate territory
+  EXPECT_EQ(mac::seq12_delta(0, 4095), 1);  // the 4095 -> 0 wrap is "next"
+  EXPECT_EQ(mac::seq12_delta(4095, 0), -1); // and its mirror is "previous"
+  EXPECT_EQ(mac::seq12_delta(3, 4090), 9);  // window straddling the wrap
+  // Half-ring bounds: +2047 is the farthest "ahead", -2048 the farthest
+  // "behind" — the window < 2048 bound keeps real links inside this.
+  EXPECT_EQ(mac::seq12_delta(2047, 0), 2047);
+  EXPECT_EQ(mac::seq12_delta(2048, 0), -2048);
+  static_assert(mac::seq12_delta(0, 4095) == 1);  // usable in constant context
+}
+
+TEST(SelectiveRepeat, DeliversInOrderAcrossSequenceWraparound) {
+  // Start the link 6 frames below the 12-bit wrap and push 12 through: the
+  // peer's in-order release and de-duplication must carry across 4095 -> 0.
+  auto cfg = sr_config(12.0, 30.0, 26);  // noisy enough to force retries
+  cfg.arq.forward.fading = true;
+  cfg.arq.max_retries = 10;
+  cfg.fallback_after = 0;
+  cfg.first_frame_index = 4090;
+  mac::SelectiveRepeatLink link(cfg);
+  for (int i = 0; i < 12; ++i) {
+    link.queue(payload_of(200, static_cast<std::uint8_t>(i)));
+  }
+  const auto& stats = link.run();
+  EXPECT_GT(stats.retransmissions, 0U);  // the ring saw duplicates in flight
+  EXPECT_GE(stats.delivered, 10U);
+  int prev = -1;
+  for (const auto& p : link.received()) {
+    EXPECT_GT(static_cast<int>(p[0]), prev);  // strict queue order, no dupes
+    prev = p[0];
+  }
+}
+
+// ---------------------------------------------------------------- adaptor
+
+TEST(LinkAdaptor, ClassifiesFailuresByEvidence) {
+  mac::LinkObservation obs;
+  obs.delivered = true;
+  EXPECT_EQ(mac::LinkAdaptor::classify(obs, 24.0, 1.0),
+            mac::FailureEvidence::kNone);
+
+  obs.delivered = false;
+  obs.error = metrics::RxError::kFalseSync;
+  EXPECT_EQ(mac::LinkAdaptor::classify(obs, 24.0, 1.0),
+            mac::FailureEvidence::kInterference);
+
+  // kFcsFail at an SNR the rate comfortably clears: interference.
+  obs.error = metrics::RxError::kFcsFail;
+  obs.snr_db = 30.0;
+  obs.have_snr = true;
+  EXPECT_EQ(mac::LinkAdaptor::classify(obs, 24.0, 1.0),
+            mac::FailureEvidence::kInterference);
+
+  // Same failure with the SNR short of required + margin: the channel.
+  obs.snr_db = 20.0;
+  EXPECT_EQ(mac::LinkAdaptor::classify(obs, 24.0, 1.0),
+            mac::FailureEvidence::kChannel);
+
+  // No SNR evidence at all (never synced): looks like a fade.
+  obs.error = metrics::RxError::kNoSync;
+  obs.have_snr = false;
+  EXPECT_EQ(mac::LinkAdaptor::classify(obs, 24.0, 1.0),
+            mac::FailureEvidence::kChannel);
+}
+
+TEST(LinkAdaptor, EvidencePolicyHoldsRateOnInterference) {
+  mac::LinkAdaptorConfig cfg;
+  cfg.policy = mac::AdaptPolicy::kEvidence;
+  cfg.down_after = 2;
+  mac::LinkAdaptor ad(cfg, /*initial=*/7, /*min=*/0, /*max=*/7);
+
+  // A run of interference-classed failures: rate held, backoff stretched
+  // geometrically up to the cap.
+  mac::LinkObservation burst;
+  burst.error = metrics::RxError::kFcsFail;
+  burst.snr_db = 30.0;  // >= required(7) + margin: healthy channel
+  burst.have_snr = true;
+  double last_scale = 1.0;
+  for (int i = 0; i < 5; ++i) {
+    const auto d = ad.observe(burst);
+    EXPECT_EQ(d.mcs_step, 0);
+    EXPECT_GE(d.backoff_scale, last_scale);
+    last_scale = d.backoff_scale;
+  }
+  EXPECT_EQ(ad.current_mcs(), 7U);
+  EXPECT_EQ(ad.fallbacks(), 0U);
+  EXPECT_EQ(ad.interference_holds(), 5U);
+  EXPECT_DOUBLE_EQ(ad.backoff_scale(), cfg.max_backoff_scale);  // capped
+
+  // Deliveries decay the stretch back toward nominal.
+  mac::LinkObservation ok;
+  ok.delivered = true;
+  for (int i = 0; i < 5; ++i) (void)ad.observe(ok);
+  EXPECT_DOUBLE_EQ(ad.backoff_scale(), 1.0);
+}
+
+TEST(LinkAdaptor, EvidencePolicyStepsDownOnChannelEvidence) {
+  mac::LinkAdaptorConfig cfg;
+  cfg.policy = mac::AdaptPolicy::kEvidence;
+  cfg.down_after = 2;
+  mac::LinkAdaptor ad(cfg, 7, 0, 7);
+
+  mac::LinkObservation fade;
+  fade.error = metrics::RxError::kFcsFail;
+  fade.snr_db = 15.0;  // well short of required(7): the channel is the story
+  fade.have_snr = true;
+  EXPECT_EQ(ad.observe(fade).mcs_step, 0);   // first strike
+  EXPECT_EQ(ad.observe(fade).mcs_step, -1);  // second: step down
+  EXPECT_EQ(ad.current_mcs(), 6U);
+  EXPECT_EQ(ad.fallbacks(), 1U);
+  EXPECT_EQ(ad.interference_holds(), 0U);
+
+  // An interleaved interference burst resets the channel streak: two more
+  // channel strikes are needed before the next step.
+  mac::LinkObservation burst = fade;
+  burst.snr_db = 30.0;
+  EXPECT_EQ(ad.observe(fade).mcs_step, 0);
+  EXPECT_EQ(ad.observe(burst).mcs_step, 0);
+  EXPECT_EQ(ad.observe(fade).mcs_step, 0);
+  EXPECT_EQ(ad.observe(fade).mcs_step, -1);
+  EXPECT_EQ(ad.current_mcs(), 5U);
+}
+
+TEST(LinkAdaptor, EvidencePolicyStepsUpOnlyWithHeadroom) {
+  mac::LinkAdaptorConfig cfg;
+  cfg.policy = mac::AdaptPolicy::kEvidence;
+  cfg.up_after = 3;
+  mac::LinkAdaptor ad(cfg, 5, 0, 7);
+
+  // Deliveries without headroom over required(6) + up_margin: no step.
+  mac::LinkObservation ok;
+  ok.delivered = true;
+  ok.min_stream_sinr_db = 20.0;  // required(6)=22.5 + 2.0 margin not met
+  ok.have_stream_sinr = true;
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(ad.observe(ok).mcs_step, 0);
+  EXPECT_EQ(ad.current_mcs(), 5U);
+
+  // With demonstrated headroom the third consecutive delivery steps up.
+  ok.min_stream_sinr_db = 27.0;
+  EXPECT_EQ(ad.observe(ok).mcs_step, 0);
+  EXPECT_EQ(ad.observe(ok).mcs_step, 0);
+  EXPECT_EQ(ad.observe(ok).mcs_step, +1);
+  EXPECT_EQ(ad.current_mcs(), 6U);
+  EXPECT_EQ(ad.recoveries(), 1U);
+}
+
+TEST(LinkAdaptor, FailureCountPolicyMatchesLegacyStreaks) {
+  mac::LinkAdaptorConfig cfg;  // kFailureCount default
+  cfg.fallback_after = 2;
+  cfg.recover_after = 3;
+  mac::LinkAdaptor ad(cfg, 4, 0, 7);
+
+  mac::LinkObservation fail;   // policy is evidence-blind: any failure counts
+  fail.error = metrics::RxError::kFcsFail;
+  mac::LinkObservation ok;
+  ok.delivered = true;
+
+  EXPECT_EQ(ad.observe(fail).mcs_step, 0);
+  EXPECT_EQ(ad.observe(fail).mcs_step, -1);
+  EXPECT_EQ(ad.current_mcs(), 3U);
+  EXPECT_EQ(ad.observe(ok).mcs_step, 0);
+  EXPECT_EQ(ad.observe(fail).mcs_step, 0);  // success reset the fail streak
+  EXPECT_EQ(ad.observe(ok).mcs_step, 0);
+  EXPECT_EQ(ad.observe(ok).mcs_step, 0);
+  EXPECT_EQ(ad.observe(ok).mcs_step, +1);   // 3 consecutive successes
+  EXPECT_EQ(ad.current_mcs(), 4U);
+}
+
+// ---------------------------------------------------------------- HARQ link
+
+TEST(SelectiveRepeat, HarqChaseCombiningRecoversCliffLink) {
+  // MCS 7 at 16 dB over the identity channel: standalone PER ~ 1 (see
+  // test_harq.cpp's pinned cliff), so without combining every frame burns
+  // its retries and is lost. With chase combining the second or third
+  // attempt's summed LLRs decode.
+  auto base = sr_config(16.0, 30.0, 27);
+  base.arq.data_phy.mcs = 7;
+  base.arq.max_retries = 5;
+  base.fallback_after = 0;  // hold the rate: isolate the combining gain
+  constexpr int kFrames = 8;
+
+  auto harq_cfg = base;
+  harq_cfg.harq = true;
+  mac::SelectiveRepeatLink harq_link(harq_cfg);
+  mac::SelectiveRepeatLink plain_link(base);
+  for (int i = 0; i < kFrames; ++i) {
+    harq_link.queue(payload_of(200, static_cast<std::uint8_t>(i)));
+    plain_link.queue(payload_of(200, static_cast<std::uint8_t>(i)));
+  }
+  const auto& harq_stats = harq_link.run();
+  const auto& plain_stats = plain_link.run();
+
+  EXPECT_EQ(plain_stats.delivered, 0U)
+      << "standalone retries decoded at the cliff; the pin moved";
+  EXPECT_EQ(harq_stats.delivered, kFrames);
+  EXPECT_EQ(harq_stats.harq_combined_ok, harq_stats.delivered)
+      << "every cliff delivery must have come from a combined decode";
+  EXPECT_EQ(harq_stats.lost, 0U);
+
+  // The attempts histogram must place every finished frame at >= 2
+  // transmissions (bucket 1 empty) and account for all of them.
+  EXPECT_EQ(harq_stats.attempts_hist[1], 0U);
+  std::size_t finished = 0;
+  for (const auto n : harq_stats.attempts_hist) finished += n;
+  EXPECT_EQ(finished, static_cast<std::size_t>(kFrames));
+
+  // The uniform Monte-Carlo shape mirrors the link stats.
+  const auto result = harq_link.link_result();
+  EXPECT_EQ(result.harq_combined_ok, harq_stats.harq_combined_ok);
+  EXPECT_EQ(result.attempts_hist, harq_stats.attempts_hist);
+  EXPECT_DOUBLE_EQ(result.per.per(), 0.0);
+  const auto row = result.summary_row();
+  EXPECT_EQ(row.size(), core::LinkResult::summary_headers().size());
+}
+
 TEST(SelectiveRepeat, InvalidConfigThrows) {
   auto cfg = sr_config(20.0, 20.0, 25);
   cfg.window = 0;

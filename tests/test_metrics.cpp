@@ -241,6 +241,30 @@ TEST(RxErrorCounter, MergeIsALosslessSum) {
   EXPECT_EQ(b.total(), 4U);
 }
 
+TEST(RxErrorCounter, MergeEqualsSinglePassOnSplitStream) {
+  // The Monte-Carlo workers' contract, same as the other counters: feeding
+  // two workers halves of an attempt stream and merging equals one counter
+  // fed the whole stream — for every category at once.
+  const RxError stream[] = {
+      RxError::kOk,        RxError::kFcsFail,   RxError::kNoSync,
+      RxError::kOk,        RxError::kFalseSync, RxError::kFcsFail,
+      RxError::kTruncated, RxError::kOk,        RxError::kHtsigFail,
+      RxError::kBudgetExceeded};
+  RxErrorCounter whole, lo, hi;
+  std::size_t i = 0;
+  for (const auto e : stream) {
+    whole.add(e);
+    (i++ < 5 ? lo : hi).add(e);
+  }
+  lo.merge(hi);
+  EXPECT_EQ(lo.total(), whole.total());
+  EXPECT_EQ(lo.errors(), whole.errors());
+  for (std::size_t k = 0; k < kRxErrorCount; ++k) {
+    EXPECT_EQ(lo.count(static_cast<RxError>(k)),
+              whole.count(static_cast<RxError>(k)));
+  }
+}
+
 TEST(RxErrorCounter, EveryCategoryHasAStableName) {
   for (std::size_t i = 0; i < kRxErrorCount; ++i) {
     const char* name = rx_error_name(static_cast<RxError>(i));
